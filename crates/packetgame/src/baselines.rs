@@ -1,0 +1,329 @@
+//! Baseline gating policies (paper §6.2).
+//!
+//! * [`RandomGate`] — random packet selection under the budget;
+//! * [`TemporalGate`] — the temporal estimator alone (ablation);
+//! * [`ContextualGate`] — the contextual predictor without the temporal
+//!   view (ablation);
+//! * [`RoundRobinGate`] — the canonical stream-agnostic scheduler whose
+//!   degradation motivates cross-stream coordination (Fig. 4b);
+//! * [`OracleGate`] — selects exactly the ground-truth-necessary packets,
+//!   cheapest first (the "Optimal" curves).
+
+use pg_pipeline::gate::{FeedbackEvent, GatePolicy, PacketContext};
+use pg_scene::rng::rng;
+use pg_scene::TaskKind;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use crate::config::PacketGameConfig;
+use crate::game::PacketGame;
+use crate::optimizer::{CombinatorialOptimizer, Item};
+use crate::temporal::TemporalEstimator;
+use crate::training::train_for_task;
+
+// ---------------------------------------------------------------------------
+// Random
+// ---------------------------------------------------------------------------
+
+/// Selects packets in a fresh random order every round.
+pub struct RandomGate {
+    rng: StdRng,
+}
+
+impl RandomGate {
+    /// Seeded random gate.
+    pub fn new(seed: u64) -> Self {
+        RandomGate {
+            rng: rng(seed, 0x52_41_4E_44),
+        }
+    }
+}
+
+impl GatePolicy for RandomGate {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn select(&mut self, _round: u64, candidates: &[PacketContext], _budget: f64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.shuffle(&mut self.rng);
+        order
+    }
+
+    fn feedback(&mut self, _events: &[FeedbackEvent]) {}
+}
+
+// ---------------------------------------------------------------------------
+// Temporal-only
+// ---------------------------------------------------------------------------
+
+/// The temporal estimator alone: confidence = `μ̂`, no packet metadata.
+pub struct TemporalGate {
+    temporal: TemporalEstimator,
+    optimizer: CombinatorialOptimizer,
+}
+
+impl TemporalGate {
+    /// Temporal-only gate with window `w` and the given exploration cap.
+    pub fn new(window: usize, exploration_cap: f64) -> Self {
+        TemporalGate {
+            temporal: TemporalEstimator::new(0, window, exploration_cap),
+            optimizer: CombinatorialOptimizer,
+        }
+    }
+
+    /// Defaults from a [`PacketGameConfig`].
+    pub fn from_config(config: &PacketGameConfig) -> Self {
+        Self::new(config.window, config.exploration_cap)
+    }
+}
+
+impl GatePolicy for TemporalGate {
+    fn name(&self) -> &'static str {
+        "Temporal"
+    }
+
+    fn select(&mut self, _round: u64, candidates: &[PacketContext], budget: f64) -> Vec<usize> {
+        self.temporal.ensure_streams(candidates.len());
+        self.temporal.begin_round();
+        let items: Vec<Item> = candidates
+            .iter()
+            .map(|c| Item {
+                idx: c.stream_idx,
+                confidence: self.temporal.estimate(c.stream_idx),
+                cost: c.pending_cost.max(f64::MIN_POSITIVE),
+            })
+            .collect();
+        self.optimizer.select(&items, budget).0
+    }
+
+    fn feedback(&mut self, events: &[FeedbackEvent]) {
+        for e in events {
+            self.temporal.record(e.stream_idx, e.necessary);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Contextual-only
+// ---------------------------------------------------------------------------
+
+/// The contextual predictor without the temporal view (trained that way).
+pub struct ContextualGate {
+    inner: PacketGame,
+}
+
+impl ContextualGate {
+    /// Train a temporal-view-free predictor for `task` and wrap it.
+    pub fn train(task: TaskKind, config: &PacketGameConfig, seed: u64) -> Self {
+        let mut ablated = config.clone();
+        ablated.use_temporal_view = false;
+        let predictor = train_for_task(task, &ablated, seed);
+        ContextualGate {
+            inner: PacketGame::named("Contextual", ablated, predictor, 0),
+        }
+    }
+
+    /// Wrap an existing predictor (must have been trained without the
+    /// temporal view for the ablation to be meaningful).
+    pub fn from_predictor(config: PacketGameConfig, predictor: crate::ContextualPredictor) -> Self {
+        let mut ablated = config;
+        ablated.use_temporal_view = false;
+        ContextualGate {
+            inner: PacketGame::named("Contextual", ablated, predictor, 0),
+        }
+    }
+}
+
+impl GatePolicy for ContextualGate {
+    fn name(&self) -> &'static str {
+        "Contextual"
+    }
+
+    fn select(&mut self, round: u64, candidates: &[PacketContext], budget: f64) -> Vec<usize> {
+        self.inner.select(round, candidates, budget)
+    }
+
+    fn feedback(&mut self, events: &[FeedbackEvent]) {
+        self.inner.feedback(events);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Round-robin
+// ---------------------------------------------------------------------------
+
+/// The canonical stream-agnostic scheduler: serve streams in rotating
+/// order, irrespective of content (paper §3.2).
+pub struct RoundRobinGate {
+    offset: usize,
+}
+
+impl RoundRobinGate {
+    /// Round-robin starting at stream 0.
+    pub fn new() -> Self {
+        RoundRobinGate { offset: 0 }
+    }
+}
+
+impl Default for RoundRobinGate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GatePolicy for RoundRobinGate {
+    fn name(&self) -> &'static str {
+        "RoundRobin"
+    }
+
+    fn select(&mut self, _round: u64, candidates: &[PacketContext], budget: f64) -> Vec<usize> {
+        let m = candidates.len();
+        if m == 0 {
+            return Vec::new();
+        }
+        let order: Vec<usize> = (0..m).map(|i| (self.offset + i) % m).collect();
+        // Advance the rotation past the streams that will fit this round,
+        // so every stream eventually gets service.
+        let mut spent = 0.0;
+        let mut served = 0usize;
+        for &i in &order {
+            if spent >= budget {
+                break;
+            }
+            spent += candidates[i].pending_cost;
+            served += 1;
+        }
+        self.offset = (self.offset + served.max(1)) % m;
+        order
+    }
+
+    fn feedback(&mut self, _events: &[FeedbackEvent]) {}
+}
+
+// ---------------------------------------------------------------------------
+// Oracle
+// ---------------------------------------------------------------------------
+
+/// Selects exactly the packets whose ground-truth necessity is `true`,
+/// cheapest first. Requires the simulator's `expose_oracle` flag.
+pub struct OracleGate;
+
+impl GatePolicy for OracleGate {
+    fn name(&self) -> &'static str {
+        "Optimal"
+    }
+
+    fn select(&mut self, _round: u64, candidates: &[PacketContext], _budget: f64) -> Vec<usize> {
+        let mut necessary: Vec<&PacketContext> = candidates
+            .iter()
+            .filter(|c| c.oracle_necessary == Some(true))
+            .collect();
+        necessary.sort_by(|a, b| {
+            a.pending_cost
+                .partial_cmp(&b.pending_cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        necessary.iter().map(|c| c.stream_idx).collect()
+    }
+
+    fn feedback(&mut self, _events: &[FeedbackEvent]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_pipeline::{RoundSimulator, SimConfig};
+
+    fn sim(task: TaskKind, m: usize, budget: f64, oracle: bool) -> RoundSimulator {
+        let config = SimConfig {
+            budget_per_round: budget,
+            segments: 4,
+            expose_oracle: oracle,
+            ..SimConfig::default()
+        };
+        RoundSimulator::uniform(task, m, 11, config)
+    }
+
+    #[test]
+    fn oracle_dominates_random() {
+        let rounds = 500;
+        let mut oracle = OracleGate;
+        let oracle_report = sim(TaskKind::AnomalyDetection, 16, 4.0, true).run(&mut oracle, rounds);
+        let mut random = RandomGate::new(1);
+        let random_report =
+            sim(TaskKind::AnomalyDetection, 16, 4.0, false).run(&mut random, rounds);
+        assert!(
+            oracle_report.accuracy_overall() > random_report.accuracy_overall(),
+            "oracle {:.3} vs random {:.3}",
+            oracle_report.accuracy_overall(),
+            random_report.accuracy_overall()
+        );
+    }
+
+    #[test]
+    fn oracle_never_decodes_redundant_packets() {
+        let mut oracle = OracleGate;
+        let report = sim(TaskKind::FireDetection, 8, 1e9, true).run(&mut oracle, 300);
+        // Everything decoded was necessary.
+        assert_eq!(report.packets_decoded, report.necessary_decoded);
+    }
+
+    #[test]
+    fn temporal_gate_beats_random_on_persistent_events() {
+        let rounds = 800;
+        let mut temporal = TemporalGate::new(5, 0.3);
+        let t_report = sim(TaskKind::AnomalyDetection, 16, 3.0, false).run(&mut temporal, rounds);
+        let mut random = RandomGate::new(2);
+        let r_report = sim(TaskKind::AnomalyDetection, 16, 3.0, false).run(&mut random, rounds);
+        assert!(
+            t_report.accuracy_overall() > r_report.accuracy_overall() + 0.01,
+            "temporal {:.3} vs random {:.3}",
+            t_report.accuracy_overall(),
+            r_report.accuracy_overall()
+        );
+    }
+
+    #[test]
+    fn round_robin_serves_all_streams() {
+        use std::collections::HashSet;
+        struct Recorder {
+            inner: RoundRobinGate,
+            first: HashSet<usize>,
+        }
+        impl GatePolicy for Recorder {
+            fn name(&self) -> &'static str {
+                "recorder"
+            }
+            fn select(&mut self, r: u64, c: &[PacketContext], b: f64) -> Vec<usize> {
+                let order = self.inner.select(r, c, b);
+                self.first.insert(order[0]);
+                order
+            }
+            fn feedback(&mut self, _e: &[FeedbackEvent]) {}
+        }
+        let mut rec = Recorder {
+            inner: RoundRobinGate::new(),
+            first: HashSet::new(),
+        };
+        sim(TaskKind::PersonCounting, 6, 1.0, false).run(&mut rec, 100);
+        // The rotation must have started from many different streams.
+        assert!(rec.first.len() >= 4, "rotation starts: {:?}", rec.first);
+    }
+
+    #[test]
+    fn random_gate_is_seed_deterministic() {
+        let r1 = sim(TaskKind::PersonCounting, 8, 2.0, false).run(&mut RandomGate::new(7), 100);
+        let r2 = sim(TaskKind::PersonCounting, 8, 2.0, false).run(&mut RandomGate::new(7), 100);
+        assert_eq!(r1.packets_decoded, r2.packets_decoded);
+        assert!((r1.accuracy_overall() - r2.accuracy_overall()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_names() {
+        assert_eq!(RandomGate::new(0).name(), "Random");
+        assert_eq!(TemporalGate::new(5, 0.5).name(), "Temporal");
+        assert_eq!(RoundRobinGate::new().name(), "RoundRobin");
+        assert_eq!(OracleGate.name(), "Optimal");
+    }
+}

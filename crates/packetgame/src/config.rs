@@ -1,0 +1,136 @@
+//! PacketGame configuration (paper §6.1 hyper-parameters).
+
+use serde::{Deserialize, Serialize};
+
+/// Which layer family embeds the packet-size views (paper §5.2: "we also
+/// explored other types of neural network layers, including fully
+/// connected, recurrent, and LSTM layers ... we select the 1D convolution
+/// layer due to its parameter efficiency and experimental performance").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EmbeddingKind {
+    /// Two 1-D convolutions + global max pooling (the paper's choice).
+    Conv,
+    /// Two fully-connected layers over the flattened window.
+    Dense,
+    /// A simple recurrent (Elman) layer + global max pooling.
+    Rnn,
+    /// An LSTM layer + global max pooling.
+    Lstm,
+}
+
+/// Hyper-parameters of PacketGame. Defaults are the paper's §6.1 settings:
+/// "5 window length, 2 convolutional layers with 32 units, 128 dense units,
+/// 2048 batch size, and 0.001 learning rate."
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PacketGameConfig {
+    /// Temporal window length `w` (both the estimator's feedback window and
+    /// the predictor's packet-size window).
+    pub window: usize,
+    /// Convolution channels per layer in each predictor view.
+    pub conv_units: usize,
+    /// Convolution kernel size.
+    pub conv_kernel: usize,
+    /// Layer family used for the size-view embedding branches.
+    pub embedding: EmbeddingKind,
+    /// Dense fusion layer width.
+    pub dense_units: usize,
+    /// Number of task heads (1 = single task; >1 = the multi-task
+    /// extension of §5.2).
+    pub tasks: usize,
+    /// Training batch size.
+    pub batch_size: usize,
+    /// RMSprop learning rate.
+    pub learning_rate: f32,
+    /// Training epochs over the offline dataset.
+    pub epochs: usize,
+    /// Exploration scale of the temporal estimator's UCB bonus
+    /// (`sqrt(3·ln t / (2·T_{w,i}))`, clipped to this value).
+    pub exploration_cap: f64,
+    /// Use the temporal-estimate view in the predictor (disabled by the
+    /// Contextual-only ablation).
+    pub use_temporal_view: bool,
+    /// Use the packet-size views (disabled by the Temporal-only ablation).
+    pub use_size_views: bool,
+    /// Packet-size normalization: sizes are embedded as `ln(1+size)/scale`.
+    pub size_log_scale: f32,
+    /// Weight-initialization / training seed.
+    pub seed: u64,
+}
+
+impl Default for PacketGameConfig {
+    fn default() -> Self {
+        PacketGameConfig {
+            window: 5,
+            conv_units: 32,
+            conv_kernel: 3,
+            embedding: EmbeddingKind::Conv,
+            dense_units: 128,
+            tasks: 1,
+            batch_size: 2048,
+            learning_rate: 0.001,
+            epochs: 30,
+            exploration_cap: 0.3,
+            use_temporal_view: true,
+            use_size_views: true,
+            size_log_scale: 16.0,
+            seed: 0,
+        }
+    }
+}
+
+impl PacketGameConfig {
+    /// Set the window length (clamped to ≥ 1).
+    pub fn with_window(mut self, w: usize) -> Self {
+        self.window = w.max(1);
+        self
+    }
+
+    /// Set the number of task heads.
+    pub fn with_tasks(mut self, tasks: usize) -> Self {
+        self.tasks = tasks.max(1);
+        self
+    }
+
+    /// Set the training seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Normalize a packet size in bytes to a network input feature.
+    pub fn embed_size(&self, size: u32) -> f32 {
+        (1.0 + f64::from(size)).ln() as f32 / self.size_log_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = PacketGameConfig::default();
+        assert_eq!(c.window, 5);
+        assert_eq!(c.conv_units, 32);
+        assert_eq!(c.dense_units, 128);
+        assert_eq!(c.batch_size, 2048);
+        assert!((c.learning_rate - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_embedding_is_monotone_and_bounded() {
+        let c = PacketGameConfig::default();
+        let small = c.embed_size(100);
+        let large = c.embed_size(200_000);
+        assert!(small < large);
+        assert!(large < 1.0, "typical sizes should embed below 1.0: {large}");
+        assert!(c.embed_size(0) >= 0.0);
+    }
+
+    #[test]
+    fn builders_clamp() {
+        let c = PacketGameConfig::default().with_window(0).with_tasks(0);
+        assert_eq!(c.window, 1);
+        assert_eq!(c.tasks, 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! Per-stream packet-metadata feature windows (predictor views 1 and 2).
+//!
+//! "We use separate embedding layers to learn features for two types of
+//! frames' packet sizes" (paper §5.2): the sizes of *independent* (I) and
+//! *predicted* (P/B) packets carry different information — richness of the
+//! scene vs. change relative to the reference — and live in different
+//! ranges. Each stream keeps two fixed-length windows of the most recent
+//! normalized sizes per type; packets of the other type do not displace
+//! entries (an I packet updates only the I window).
+
+use std::collections::VecDeque;
+
+use pg_codec::{FrameType, PacketMeta};
+
+use crate::config::PacketGameConfig;
+
+/// The two packet-size views for one stream.
+#[derive(Debug, Clone)]
+pub struct StreamWindows {
+    window: usize,
+    independent: VecDeque<f32>,
+    predicted: VecDeque<f32>,
+}
+
+impl StreamWindows {
+    fn new(window: usize) -> Self {
+        StreamWindows {
+            window,
+            independent: VecDeque::with_capacity(window),
+            predicted: VecDeque::with_capacity(window),
+        }
+    }
+
+    fn push(&mut self, embedded_size: f32, frame_type: FrameType) {
+        let target = if frame_type.is_independent() {
+            &mut self.independent
+        } else {
+            &mut self.predicted
+        };
+        if target.len() == self.window {
+            target.pop_front();
+        }
+        target.push_back(embedded_size);
+    }
+
+    /// View as a fixed-length vector: zero-padded at the *front* so the
+    /// most recent packet is always the last element.
+    fn view(&self, deque: &VecDeque<f32>) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.window];
+        let offset = self.window - deque.len();
+        for (i, &x) in deque.iter().enumerate() {
+            v[offset + i] = x;
+        }
+        v
+    }
+
+    /// The I-packet size window (view 1).
+    pub fn independent_view(&self) -> Vec<f32> {
+        self.view(&self.independent)
+    }
+
+    /// The P/B-packet size window (view 2).
+    pub fn predicted_view(&self) -> Vec<f32> {
+        self.view(&self.predicted)
+    }
+
+    /// Number of I sizes currently held.
+    pub fn independent_len(&self) -> usize {
+        self.independent.len()
+    }
+
+    /// Number of P/B sizes currently held.
+    pub fn predicted_len(&self) -> usize {
+        self.predicted.len()
+    }
+}
+
+/// Feature windows for all streams of a deployment.
+#[derive(Debug, Clone)]
+pub struct FeatureWindows {
+    window: usize,
+    size_log_scale: f32,
+    streams: Vec<StreamWindows>,
+}
+
+impl FeatureWindows {
+    /// Windows for `streams` streams under `config`.
+    pub fn new(streams: usize, config: &PacketGameConfig) -> Self {
+        FeatureWindows {
+            window: config.window,
+            size_log_scale: config.size_log_scale,
+            streams: (0..streams).map(|_| StreamWindows::new(config.window)).collect(),
+        }
+    }
+
+    /// Number of streams tracked.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whether no streams are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Grow to at least `streams` streams.
+    pub fn ensure_streams(&mut self, streams: usize) {
+        while self.streams.len() < streams {
+            self.streams.push(StreamWindows::new(self.window));
+        }
+    }
+
+    /// Ingest one packet's metadata for its stream.
+    pub fn push(&mut self, stream: usize, meta: &PacketMeta) {
+        self.ensure_streams(stream + 1);
+        let embedded = (1.0 + f64::from(meta.size)).ln() as f32 / self.size_log_scale;
+        self.streams[stream].push(embedded, meta.frame_type);
+    }
+
+    /// The windows of one stream.
+    pub fn stream(&self, stream: usize) -> &StreamWindows {
+        &self.streams[stream]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(size: u32, frame_type: FrameType) -> PacketMeta {
+        PacketMeta {
+            stream_id: 0,
+            seq: 0,
+            pts: 0,
+            frame_type,
+            size,
+            gop_id: 0,
+        }
+    }
+
+    fn windows() -> FeatureWindows {
+        FeatureWindows::new(1, &PacketGameConfig::default())
+    }
+
+    #[test]
+    fn views_separate_by_frame_type() {
+        let mut fw = windows();
+        fw.push(0, &meta(100_000, FrameType::I));
+        fw.push(0, &meta(5_000, FrameType::P));
+        fw.push(0, &meta(3_000, FrameType::B));
+        let s = fw.stream(0);
+        assert_eq!(s.independent_len(), 1);
+        assert_eq!(s.predicted_len(), 2);
+    }
+
+    #[test]
+    fn views_are_fixed_length_and_recent_last() {
+        let mut fw = windows();
+        for size in [1_000u32, 2_000, 4_000] {
+            fw.push(0, &meta(size, FrameType::P));
+        }
+        let v = fw.stream(0).predicted_view();
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[1], 0.0);
+        assert!(v[2] < v[3] && v[3] < v[4], "sizes increase: {v:?}");
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut fw = windows();
+        for size in 1..=10u32 {
+            fw.push(0, &meta(size * 1000, FrameType::P));
+        }
+        let s = fw.stream(0);
+        assert_eq!(s.predicted_len(), 5);
+        let v = s.predicted_view();
+        // Oldest surviving entry is size 6000.
+        let expect = (1.0 + 6000.0f64).ln() as f32 / 16.0;
+        assert!((v[0] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn streams_grow_on_demand() {
+        let mut fw = windows();
+        fw.push(7, &meta(1000, FrameType::I));
+        assert_eq!(fw.len(), 8);
+        assert_eq!(fw.stream(7).independent_len(), 1);
+        assert_eq!(fw.stream(3).independent_len(), 0);
+    }
+
+    #[test]
+    fn intra_only_stream_leaves_predicted_view_zero() {
+        // JPEG2000 behaviour: all I packets ⇒ view 2 stays all-zero, which
+        // effectively removes that view (paper Fig. 14 discussion).
+        let mut fw = windows();
+        for _ in 0..10 {
+            fw.push(0, &meta(120_000, FrameType::I));
+        }
+        assert!(fw.stream(0).predicted_view().iter().all(|&x| x == 0.0));
+        assert!(fw.stream(0).independent_view().iter().all(|&x| x > 0.0));
+    }
+}

@@ -1,0 +1,354 @@
+//! The PacketGame gate — Algorithm 1 of the paper.
+//!
+//! Per round: parse packet features, estimate each stream's temporal value
+//! `μ̂`, predict gating confidence with the contextual predictor, divide by
+//! the pending decode cost, and greedily select under the budget. Feedback
+//! from decoded packets updates the temporal estimator.
+
+use pg_nn::loss::bce_with_logits;
+use pg_nn::optim::RmsProp;
+use pg_pipeline::gate::{FeedbackEvent, GatePolicy, PacketContext};
+
+use crate::config::PacketGameConfig;
+use crate::context::FeatureWindows;
+use crate::optimizer::{CombinatorialOptimizer, Item};
+use crate::predictor::ContextualPredictor;
+use crate::temporal::TemporalEstimator;
+
+/// Configuration for online fine-tuning of the contextual predictor from
+/// live redundancy feedback.
+///
+/// The paper trains offline and deploys frozen weights, explicitly leaving
+/// "learning-related advances like online optimization and domain
+/// adaptation" to future work (§5.2). This implements that extension: each
+/// decoded packet's (features, feedback) pair becomes a training sample;
+/// when a mini-batch accumulates, the predictor takes one RMSprop step.
+/// Note the usual caveat: feedback only exists for *selected* packets, so
+/// online updates see a policy-biased sample of the stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineConfig {
+    /// Learning rate for the live updates (usually below the offline rate).
+    pub learning_rate: f32,
+    /// Samples per live update step.
+    pub batch_size: usize,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            learning_rate: 5e-4,
+            batch_size: 64,
+        }
+    }
+}
+
+/// Live-training state.
+struct OnlineState {
+    opt: RmsProp,
+    batch_size: usize,
+    /// Per-stream feature snapshot of the current round (views + temporal).
+    snapshots: Vec<Option<(Vec<f32>, Vec<f32>, f32)>>,
+    /// Accumulated (view_i, view_p, temporal, label) samples.
+    batch: Vec<(Vec<f32>, Vec<f32>, f32, f32)>,
+    /// Update steps taken.
+    steps: u64,
+}
+
+/// The PacketGame gating policy (Alg. 1). Construct with a predictor
+/// trained offline via [`crate::training`].
+pub struct PacketGame {
+    name: &'static str,
+    config: PacketGameConfig,
+    predictor: ContextualPredictor,
+    temporal: TemporalEstimator,
+    windows: FeatureWindows,
+    optimizer: CombinatorialOptimizer,
+    /// Which predictor head scores this deployment's streams.
+    task_head: usize,
+    /// Live fine-tuning state, when enabled.
+    online: Option<OnlineState>,
+}
+
+impl PacketGame {
+    /// PacketGame with a trained predictor (single-task head 0).
+    pub fn new(config: PacketGameConfig, predictor: ContextualPredictor) -> Self {
+        Self::named("PacketGame", config, predictor, 0)
+    }
+
+    /// PacketGame scoring with a specific task head of a multi-task
+    /// predictor.
+    pub fn with_task_head(
+        config: PacketGameConfig,
+        predictor: ContextualPredictor,
+        task_head: usize,
+    ) -> Self {
+        Self::named("PacketGame", config, predictor, task_head)
+    }
+
+    /// Internal: named construction (used by ablated baselines).
+    pub(crate) fn named(
+        name: &'static str,
+        config: PacketGameConfig,
+        predictor: ContextualPredictor,
+        task_head: usize,
+    ) -> Self {
+        let temporal = TemporalEstimator::new(0, config.window, config.exploration_cap);
+        let windows = FeatureWindows::new(0, &config);
+        PacketGame {
+            name,
+            config,
+            predictor,
+            temporal,
+            windows,
+            optimizer: CombinatorialOptimizer,
+            task_head,
+            online: None,
+        }
+    }
+
+    /// Enable online fine-tuning of the predictor from live feedback (the
+    /// paper's future-work extension; see [`OnlineConfig`]).
+    pub fn enable_online_learning(&mut self, config: OnlineConfig) {
+        self.online = Some(OnlineState {
+            opt: RmsProp::with_lr(config.learning_rate),
+            batch_size: config.batch_size.max(1),
+            snapshots: Vec::new(),
+            batch: Vec::new(),
+            steps: 0,
+        });
+    }
+
+    /// Online update steps taken so far (0 when online learning is off).
+    pub fn online_steps(&self) -> u64 {
+        self.online.as_ref().map(|o| o.steps).unwrap_or(0)
+    }
+
+    /// Access the trained predictor (e.g. to export the weight file).
+    pub fn predictor(&self) -> &ContextualPredictor {
+        &self.predictor
+    }
+
+    /// Gating confidence for one stream right now (exposed for tests and
+    /// overhead benchmarks): the predictor's fused probability. The
+    /// exploration bonus is added on top of this during selection.
+    pub fn confidence(&mut self, stream: usize) -> f64 {
+        let exploit = self.temporal.exploitation(stream);
+        let s = self.windows.stream(stream);
+        self.predictor.predict(
+            &s.independent_view(),
+            &s.predicted_view(),
+            exploit,
+            self.task_head,
+        )
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PacketGameConfig {
+        &self.config
+    }
+}
+
+impl GatePolicy for PacketGame {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn select(&mut self, _round: u64, candidates: &[PacketContext], budget: f64) -> Vec<usize> {
+        let m = candidates.len();
+        self.temporal.ensure_streams(m);
+        self.windows.ensure_streams(m);
+        self.temporal.begin_round();
+
+        // Parse packet features into the per-stream windows (Alg. 1 line 2).
+        for c in candidates {
+            self.windows.push(c.stream_idx, &c.meta);
+        }
+
+        // Confidence per stream (lines 3-6). The predictor fuses the
+        // metadata views with the temporal *exploitation* estimate (its
+        // training distribution); the exploration/aging bonus is added on
+        // top — the same optimism-under-uncertainty structure as Alg. 1,
+        // applied outside the network so the network never sees
+        // out-of-distribution temporal inputs.
+        if let Some(online) = &mut self.online {
+            online.snapshots.resize(m.max(online.snapshots.len()), None);
+        }
+        let items: Vec<Item> = candidates
+            .iter()
+            .map(|c| {
+                let exploit = self.temporal.exploitation(c.stream_idx);
+                let explore = self.temporal.exploration(c.stream_idx);
+                let s = self.windows.stream(c.stream_idx);
+                let view_i = s.independent_view();
+                let view_p = s.predicted_view();
+                let fused =
+                    self.predictor
+                        .predict(&view_i, &view_p, exploit, self.task_head);
+                if let Some(online) = &mut self.online {
+                    online.snapshots[c.stream_idx] =
+                        Some((view_i, view_p, exploit as f32));
+                }
+                Item {
+                    idx: c.stream_idx,
+                    confidence: fused + explore,
+                    cost: c.pending_cost.max(f64::MIN_POSITIVE),
+                }
+            })
+            .collect();
+
+        // Greedy budgeted selection (lines 7-12); dependency completion
+        // (line 13) is realized by the pending-cost closure the pipeline
+        // decodes for each selected packet.
+        self.optimizer.select(&items, budget).0
+    }
+
+    fn feedback(&mut self, events: &[FeedbackEvent]) {
+        for e in events {
+            self.temporal.record(e.stream_idx, e.necessary);
+        }
+        // Live fine-tuning: join feedback with this round's feature
+        // snapshots and step once a mini-batch accumulates.
+        if let Some(mut online) = self.online.take() {
+            for e in events {
+                if let Some(Some((v1, v2, t))) =
+                    online.snapshots.get_mut(e.stream_idx).map(Option::take)
+                {
+                    let label = if e.necessary { 1.0 } else { 0.0 };
+                    online.batch.push((v1, v2, t, label));
+                }
+            }
+            if online.batch.len() >= online.batch_size {
+                self.predictor.zero_grad();
+                let tasks = self.predictor.tasks();
+                for (v1, v2, t, label) in online.batch.drain(..) {
+                    let logits = self.predictor.forward_logits(&v1, &v2, f64::from(t));
+                    let head = self.task_head.min(tasks - 1);
+                    let (_, dz) = bce_with_logits(label, logits[head]);
+                    let mut grad = vec![0.0f32; tasks];
+                    grad[head] = dz;
+                    self.predictor.backward(&grad);
+                }
+                self.predictor.scale_grad(1.0 / online.batch_size as f32);
+                self.predictor.step(&online.opt);
+                online.steps += 1;
+            }
+            self.online = Some(online);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{test_config, train_for_task};
+    use pg_pipeline::{RoundSimulator, SimConfig};
+    use pg_scene::TaskKind;
+
+    fn trained_gate(task: TaskKind, seed: u64) -> PacketGame {
+        let config = test_config();
+        let predictor = train_for_task(task, &config, seed);
+        PacketGame::new(config, predictor)
+    }
+
+    #[test]
+    fn gate_runs_in_simulator() {
+        let mut gate = trained_gate(TaskKind::AnomalyDetection, 1);
+        let sim_config = SimConfig {
+            budget_per_round: 4.0,
+            segments: 4,
+            ..SimConfig::default()
+        };
+        let sim = RoundSimulator::uniform(TaskKind::AnomalyDetection, 12, 1, sim_config);
+        let report = sim.run(&mut gate, 300);
+        assert_eq!(report.policy, "PacketGame");
+        assert!(report.packets_decoded > 0);
+        assert!(report.filtering_rate() > 0.0);
+    }
+
+    #[test]
+    fn gate_beats_random_selection_under_same_budget() {
+        use crate::baselines::RandomGate;
+        let task = TaskKind::AnomalyDetection;
+        let sim_config = SimConfig {
+            budget_per_round: 3.0,
+            segments: 4,
+            ..SimConfig::default()
+        };
+        let rounds = 600;
+        let streams = 12;
+
+        let mut pg = trained_gate(task, 2);
+        let pg_report =
+            RoundSimulator::uniform(task, streams, 7, sim_config).run(&mut pg, rounds);
+
+        let mut random = RandomGate::new(3);
+        let rand_report =
+            RoundSimulator::uniform(task, streams, 7, sim_config).run(&mut random, rounds);
+
+        assert!(
+            pg_report.accuracy_overall() > rand_report.accuracy_overall() + 0.02,
+            "PacketGame {:.3} vs Random {:.3}",
+            pg_report.accuracy_overall(),
+            rand_report.accuracy_overall()
+        );
+    }
+
+    #[test]
+    fn confidence_is_a_probability() {
+        let mut gate = trained_gate(TaskKind::FireDetection, 4);
+        // Feed one round through select so windows exist.
+        let sim = RoundSimulator::uniform(TaskKind::FireDetection, 3, 4, SimConfig::default());
+        sim.run(&mut gate, 5);
+        for s in 0..3 {
+            let c = gate.confidence(s);
+            assert!((0.0..=1.0).contains(&c), "confidence {c}");
+        }
+    }
+
+    #[test]
+    fn online_learning_takes_steps_and_adapts() {
+        use super::OnlineConfig;
+        // Deliberately under-trained predictor: online updates must help.
+        let task = TaskKind::AnomalyDetection;
+        let mut config = test_config();
+        config.epochs = 1;
+        let predictor = train_for_task(task, &config, 8);
+        let wf = predictor.to_weight_file();
+
+        let sim_config = SimConfig {
+            budget_per_round: 4.0,
+            segments: 4,
+            ..SimConfig::default()
+        };
+        let rounds = 900;
+        let streams = 12;
+
+        let mut frozen = PacketGame::new(config.clone(), predictor);
+        let frozen_report =
+            RoundSimulator::uniform(task, streams, 9, sim_config).run(&mut frozen, rounds);
+        assert_eq!(frozen.online_steps(), 0);
+
+        let mut reloaded = crate::ContextualPredictor::new(config.clone().with_seed(8));
+        reloaded.load_weight_file(&wf).expect("weights");
+        let mut online = PacketGame::new(config, reloaded);
+        online.enable_online_learning(OnlineConfig::default());
+        let online_report =
+            RoundSimulator::uniform(task, streams, 9, sim_config).run(&mut online, rounds);
+
+        assert!(online.online_steps() > 3, "steps: {}", online.online_steps());
+        assert!(
+            online_report.accuracy_overall() + 0.03 >= frozen_report.accuracy_overall(),
+            "online {:.3} should not trail frozen {:.3} materially",
+            online_report.accuracy_overall(),
+            frozen_report.accuracy_overall()
+        );
+    }
+
+    #[test]
+    fn name_and_config_accessors() {
+        let gate = trained_gate(TaskKind::PersonCounting, 5);
+        assert_eq!(gate.name(), "PacketGame");
+        assert_eq!(gate.config().window, 5);
+        assert!(gate.predictor().param_count() > 0);
+    }
+}

@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+//! # packetgame — multi-stream packet gating for concurrent video inference
+//!
+//! A from-scratch Rust reproduction of **PacketGame** (Yuan, Zhang, You &
+//! Li, ACM SIGCOMM 2023): a *packet gate* that sits between the stream
+//! parser and the video decoder and selects, at every round and across all
+//! concurrent streams, the subset of packets worth decoding under a
+//! decoding budget — using only pre-decode metadata (packet size, picture
+//! type) and online redundancy feedback from the downstream inference
+//! model.
+//!
+//! The three modules of the paper's framework (Fig. 5):
+//!
+//! * [`temporal::TemporalEstimator`] (§5.1) — sliding-window
+//!   exploitation/exploration estimate of each stream's selection value;
+//! * [`predictor::ContextualPredictor`] (§5.2) — a multi-view 1-D CNN over
+//!   the recent packet sizes of independent (I) and predicted (P/B) frames,
+//!   fused with the temporal estimate; trained offline, deployed frozen;
+//! * [`optimizer::CombinatorialOptimizer`] (§5.3) — greedy
+//!   confidence-per-cost selection with GOP dependency-closure costs, a
+//!   `1 − c/B` approximation guarantee (Lemma 1, verified in
+//!   [`theory`]), and an overall `O(√T)` regret bound (Theorem 1).
+//!
+//! [`game::PacketGame`] ties them together into a
+//! [`pg_pipeline::GatePolicy`] plug-in (Algorithm 1). [`baselines`]
+//! provides Random / Temporal-only / Contextual-only / RoundRobin / Oracle
+//! gates, and [`comparators`] models the four complementary systems the
+//! paper compares against (Grace, Reducto, InFi, TensorRT).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use packetgame::{PacketGame, PacketGameConfig, train_for_task};
+//! use pg_pipeline::{RoundSimulator, SimConfig};
+//! use pg_scene::TaskKind;
+//!
+//! // Train a contextual predictor offline, then gate 100 live streams.
+//! let config = PacketGameConfig::default();
+//! let predictor = train_for_task(TaskKind::PersonCounting, &config, 7);
+//! let mut gate = PacketGame::new(config, predictor);
+//! let sim = RoundSimulator::uniform(TaskKind::PersonCounting, 100, 7, SimConfig::default());
+//! let report = sim.run(&mut gate, 1000);
+//! println!("accuracy {:.3}", report.accuracy_overall());
+//! ```
+
+pub mod baselines;
+pub mod comparators;
+pub mod config;
+pub mod context;
+pub mod game;
+pub mod optimizer;
+pub mod predictor;
+pub mod temporal;
+pub mod theory;
+pub mod training;
+
+pub use baselines::{ContextualGate, OracleGate, RandomGate, RoundRobinGate, TemporalGate};
+pub use comparators::{ComparatorStack, Method};
+pub use config::{EmbeddingKind, PacketGameConfig};
+pub use context::FeatureWindows;
+pub use game::{OnlineConfig, PacketGame};
+pub use optimizer::{CombinatorialOptimizer, Item};
+pub use predictor::ContextualPredictor;
+pub use temporal::TemporalEstimator;
+pub use training::{build_offline_dataset, train_for_task, train_multi_task, TrainSample};

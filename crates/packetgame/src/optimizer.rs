@@ -1,0 +1,186 @@
+//! Combinatorial optimizer (paper §5.3).
+//!
+//! Given per-stream gating confidences and (dependency-closure) decode
+//! costs, select packets under the budget by greedy confidence-per-cost
+//! ratio — an approximately-fractional knapsack with approximation ratio
+//! `1 − c/B` (Lemma 1, verified empirically in [`crate::theory`]).
+//! Complexity is `O(m log m)` per round (the sort), giving the linear
+//! scalability the paper requires for 1000+ streams.
+
+/// One candidate item for the knapsack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item {
+    /// Caller-side identifier (stream index).
+    pub idx: usize,
+    /// Gating confidence (value), ≥ 0.
+    pub confidence: f64,
+    /// Decode cost including the dependency closure, > 0.
+    pub cost: f64,
+}
+
+/// The greedy ratio optimizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CombinatorialOptimizer;
+
+impl CombinatorialOptimizer {
+    /// Full priority order: items sorted by descending confidence/cost
+    /// ratio (ties broken by lower cost, then lower index for
+    /// determinism). The caller walks this order charging costs until the
+    /// budget is exhausted.
+    pub fn priority_order(&self, items: &[Item]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = ratio(&items[a]);
+            let rb = ratio(&items[b]);
+            rb.partial_cmp(&ra)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    items[a]
+                        .cost
+                        .partial_cmp(&items[b].cost)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .then_with(|| items[a].idx.cmp(&items[b].idx))
+        });
+        order.into_iter().map(|i| items[i].idx).collect()
+    }
+
+    /// Greedy selection under `budget` (Alg. 1 lines 7–12): walk the
+    /// priority order, adding items while the running cost is strictly
+    /// below the budget — the final item may overshoot (the
+    /// approximately-fractional model). Returns selected `idx`s in
+    /// priority order and the total cost charged.
+    pub fn select(&self, items: &[Item], budget: f64) -> (Vec<usize>, f64) {
+        let by_idx: std::collections::HashMap<usize, &Item> =
+            items.iter().map(|it| (it.idx, it)).collect();
+        let mut selected = Vec::new();
+        let mut spent = 0.0f64;
+        for idx in self.priority_order(items) {
+            if spent >= budget {
+                break;
+            }
+            let item = by_idx[&idx];
+            selected.push(idx);
+            spent += item.cost;
+        }
+        (selected, spent)
+    }
+
+    /// Total value (sum of confidences) of a selection.
+    pub fn value_of(items: &[Item], selection: &[usize]) -> f64 {
+        let by_idx: std::collections::HashMap<usize, &Item> =
+            items.iter().map(|it| (it.idx, it)).collect();
+        selection
+            .iter()
+            .filter_map(|i| by_idx.get(i))
+            .map(|it| it.confidence)
+            .sum()
+    }
+}
+
+fn ratio(item: &Item) -> f64 {
+    item.confidence / item.cost.max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(idx: usize, confidence: f64, cost: f64) -> Item {
+        Item {
+            idx,
+            confidence,
+            cost,
+        }
+    }
+
+    #[test]
+    fn orders_by_ratio() {
+        let opt = CombinatorialOptimizer;
+        let items = vec![
+            item(0, 0.9, 3.0), // ratio 0.30
+            item(1, 0.5, 1.0), // ratio 0.50
+            item(2, 0.1, 1.0), // ratio 0.10
+        ];
+        assert_eq!(opt.priority_order(&items), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn selection_respects_budget_with_one_overshoot() {
+        let opt = CombinatorialOptimizer;
+        let items = vec![
+            item(0, 1.0, 2.0),
+            item(1, 0.9, 2.0),
+            item(2, 0.8, 2.0),
+            item(3, 0.7, 2.0),
+        ];
+        let (sel, spent) = opt.select(&items, 5.0);
+        // 2.0 + 2.0 = 4.0 < 5.0, third item overshoots to 6.0, fourth not taken.
+        assert_eq!(sel, vec![0, 1, 2]);
+        assert!((spent - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_budget_selects_nothing() {
+        let opt = CombinatorialOptimizer;
+        let items = vec![item(0, 1.0, 1.0)];
+        let (sel, spent) = opt.select(&items, 0.0);
+        assert!(sel.is_empty());
+        assert_eq!(spent, 0.0);
+    }
+
+    #[test]
+    fn ties_broken_by_cost_then_idx() {
+        let opt = CombinatorialOptimizer;
+        let items = vec![
+            item(5, 0.6, 2.0), // ratio 0.3
+            item(2, 0.3, 1.0), // ratio 0.3, cheaper
+            item(1, 0.3, 1.0), // ratio 0.3, cheaper, smaller idx
+        ];
+        assert_eq!(opt.priority_order(&items), vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn deterministic_under_permutation() {
+        let opt = CombinatorialOptimizer;
+        let a = vec![item(0, 0.2, 1.0), item(1, 0.9, 2.9), item(2, 0.5, 1.0)];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(opt.priority_order(&a), opt.priority_order(&b));
+    }
+
+    #[test]
+    fn value_of_sums_selected_confidences() {
+        let items = vec![item(0, 0.2, 1.0), item(1, 0.9, 1.0)];
+        assert!((CombinatorialOptimizer::value_of(&items, &[1]) - 0.9).abs() < 1e-9);
+        assert!((CombinatorialOptimizer::value_of(&items, &[0, 1]) - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_confidence_does_not_poison_order() {
+        let opt = CombinatorialOptimizer;
+        let items = vec![item(0, f64::NAN, 1.0), item(1, 0.9, 1.0), item(2, 0.1, 1.0)];
+        let order = opt.priority_order(&items);
+        assert_eq!(order.len(), 3);
+        // The finite-ratio items must keep their relative order.
+        let pos1 = order.iter().position(|&i| i == 1).unwrap();
+        let pos2 = order.iter().position(|&i| i == 2).unwrap();
+        assert!(pos1 < pos2);
+    }
+
+    #[test]
+    fn scales_to_many_items() {
+        let opt = CombinatorialOptimizer;
+        let items: Vec<Item> = (0..10_000)
+            .map(|i| item(i, (i % 97) as f64 / 97.0, 1.0 + (i % 3) as f64))
+            .collect();
+        let start = std::time::Instant::now();
+        let (sel, _) = opt.select(&items, 500.0);
+        assert!(!sel.is_empty());
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(100),
+            "10k-item selection took {:?}",
+            start.elapsed()
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! Temporal estimator (paper §5.1).
+//!
+//! Per stream `i` at round `t`, with a window of the last `w` rounds:
+//!
+//! ```text
+//! μ̂_{t,i} = (1/w) · Σ_{j=1..w} r_{t−j,i}  +  sqrt( 3·ln t / (2·T_{w,i}) )
+//! ```
+//!
+//! where `r` is the redundancy feedback of rounds where the stream was
+//! selected (0 for unselected rounds — skipped packets yield no reward)
+//! and `T_{w,i}` is the number of times stream `i` was selected in the
+//! window. The first term exploits recent reward; the second is the UCB
+//! exploration bonus.
+//!
+//! Two practical refinements (both forms of the same
+//! optimism-under-uncertainty principle):
+//!
+//! * the bonus for a stream with `T_{w,i} = 0` is evaluated at an
+//!   effective half-selection (`T = ½`), keeping it finite but strictly
+//!   above every selected stream's bonus;
+//! * an **aging** term grows linearly with the rounds since the stream was
+//!   last selected. Under the published-result semantics the risk that a
+//!   stream's published result has gone stale accumulates with time, so
+//!   streams must be re-examined periodically; aging also breaks ties
+//!   among cold streams into a deterministic least-recently-served
+//!   rotation instead of starving high indices.
+
+use std::collections::VecDeque;
+
+/// Per-round record for one stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RoundRecord {
+    selected: bool,
+    reward: bool,
+}
+
+/// Sliding-window temporal estimator over `m` streams. See module docs.
+#[derive(Debug, Clone)]
+pub struct TemporalEstimator {
+    window: usize,
+    exploration_cap: f64,
+    age_coeff: f64,
+    age_cap: f64,
+    /// Ring of the last `window` rounds per stream.
+    history: Vec<VecDeque<RoundRecord>>,
+    /// Rounds since each stream was last selected (saturating).
+    age: Vec<u64>,
+    /// Current round (the `t` in `ln t`).
+    round: u64,
+}
+
+impl TemporalEstimator {
+    /// Estimator for `streams` streams with window `w`. `exploration_cap`
+    /// bounds the UCB bonus (numeric sanity; the paper's bonus is
+    /// unbounded as `t` grows).
+    pub fn new(streams: usize, window: usize, exploration_cap: f64) -> Self {
+        TemporalEstimator {
+            window: window.max(1),
+            exploration_cap: exploration_cap.max(0.0),
+            age_coeff: 0.005,
+            age_cap: 0.6,
+            history: vec![VecDeque::with_capacity(window.max(1)); streams],
+            age: vec![u64::MAX / 2; streams],
+            round: 0,
+        }
+    }
+
+    /// Override the aging coefficient (staleness-risk growth per round)
+    /// and its cap. Setting both to 0 disables aging.
+    pub fn with_aging(mut self, coeff: f64, cap: f64) -> Self {
+        self.age_coeff = coeff.max(0.0);
+        self.age_cap = cap.max(0.0);
+        self
+    }
+
+    /// Number of streams tracked.
+    pub fn streams(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Grow to accommodate more streams (elastic scaling — the property DRL
+    /// approaches lack, §5.4).
+    pub fn ensure_streams(&mut self, streams: usize) {
+        while self.history.len() < streams {
+            self.history.push(VecDeque::with_capacity(self.window));
+            self.age.push(u64::MAX / 2);
+        }
+    }
+
+    /// Advance to the next round. Call once per round, before estimates.
+    pub fn begin_round(&mut self) {
+        self.round += 1;
+        for h in &mut self.history {
+            if h.len() == self.window {
+                h.pop_front();
+            }
+            h.push_back(RoundRecord {
+                selected: false,
+                reward: false,
+            });
+        }
+        for a in &mut self.age {
+            *a = a.saturating_add(1);
+        }
+    }
+
+    /// Record that stream `i` was selected this round and received
+    /// feedback `reward` (true = necessary).
+    pub fn record(&mut self, stream: usize, reward: bool) {
+        if let Some(h) = self.history.get_mut(stream) {
+            if let Some(last) = h.back_mut() {
+                last.selected = true;
+                last.reward = reward;
+            }
+            self.age[stream] = 0;
+        }
+    }
+
+    /// The exploitation term: mean reward over the window.
+    pub fn exploitation(&self, stream: usize) -> f64 {
+        let Some(h) = self.history.get(stream) else {
+            return 0.0;
+        };
+        h.iter().filter(|r| r.selected && r.reward).count() as f64 / self.window as f64
+    }
+
+    /// The exploration term: capped window-UCB bonus plus the aging term.
+    pub fn exploration(&self, stream: usize) -> f64 {
+        let Some(h) = self.history.get(stream) else {
+            return self.exploration_cap;
+        };
+        let selected = h.iter().filter(|r| r.selected).count() as f64;
+        // T = 0 is treated as half a selection: finite, but strictly above
+        // any selected stream's bonus.
+        let t_eff = if selected == 0.0 { 0.5 } else { selected };
+        let ucb = ((3.0 * (self.round.max(2) as f64).ln()) / (2.0 * t_eff))
+            .sqrt()
+            .min(self.exploration_cap);
+        let age = (self.age_coeff * self.age.get(stream).copied().unwrap_or(0) as f64)
+            .min(self.age_cap);
+        ucb + age
+    }
+
+    /// The full estimate `μ̂_{t,i}` (exploitation + exploration).
+    pub fn estimate(&self, stream: usize) -> f64 {
+        self.exploitation(stream) + self.exploration(stream)
+    }
+
+    /// Backwards-compatible alias for [`exploitation`](Self::exploitation).
+    pub fn mean_reward(&self, stream: usize) -> f64 {
+        self.exploitation(stream)
+    }
+
+    /// Selections of stream `i` within the window (`T_{w,i}`).
+    pub fn selections_in_window(&self, stream: usize) -> usize {
+        self.history
+            .get(stream)
+            .map(|h| h.iter().filter(|r| r.selected).count())
+            .unwrap_or(0)
+    }
+
+    /// Rounds since stream `i` was last selected (large if never).
+    pub fn age_of(&self, stream: usize) -> u64 {
+        self.age.get(stream).copied().unwrap_or(u64::MAX / 2)
+    }
+
+    /// Current round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewarded_streams_score_higher() {
+        let mut est = TemporalEstimator::new(2, 5, 0.5).with_aging(0.0, 0.0);
+        for _ in 0..5 {
+            est.begin_round();
+            est.record(0, true);
+            est.record(1, false);
+        }
+        assert!(est.estimate(0) > est.estimate(1) + 0.5);
+    }
+
+    #[test]
+    fn unselected_streams_get_exploration_bonus() {
+        // A cap high enough that neither stream saturates it.
+        let mut est = TemporalEstimator::new(2, 5, 10.0).with_aging(0.0, 0.0);
+        for _ in 0..5 {
+            est.begin_round();
+            est.record(0, false); // selected, no reward
+                                  // stream 1 never selected
+        }
+        // Stream 1 (T=0, treated as ½) explores strictly more than
+        // stream 0 (T=5).
+        assert!(est.exploration(1) > est.exploration(0));
+        assert!(est.estimate(1) > est.estimate(0));
+    }
+
+    #[test]
+    fn window_forgets_old_rewards() {
+        let mut est = TemporalEstimator::new(1, 3, 0.0).with_aging(0.0, 0.0);
+        est.begin_round();
+        est.record(0, true);
+        assert!(est.exploitation(0) > 0.0);
+        for _ in 0..3 {
+            est.begin_round();
+            est.record(0, false);
+        }
+        assert_eq!(est.exploitation(0), 0.0);
+    }
+
+    #[test]
+    fn bonus_shrinks_with_more_selections() {
+        let mut est = TemporalEstimator::new(2, 10, 10.0).with_aging(0.0, 0.0);
+        for round in 0..10 {
+            est.begin_round();
+            est.record(0, false);
+            if round % 5 == 0 {
+                est.record(1, false);
+            }
+        }
+        // Stream 0 selected 10x, stream 1 only 2x: stream 1 explores more.
+        assert!(est.estimate(1) > est.estimate(0));
+    }
+
+    #[test]
+    fn aging_rotates_cold_streams() {
+        let mut est = TemporalEstimator::new(3, 5, 0.5);
+        // Serve stream 0 every round; streams 1 and 2 never. Stream 1 was
+        // served once long ago, stream 2 more recently.
+        for round in 0..200 {
+            est.begin_round();
+            est.record(0, false);
+            if round == 10 {
+                est.record(1, false);
+            }
+            if round == 150 {
+                est.record(2, false);
+            }
+        }
+        // The longer-starved cold stream ranks higher.
+        assert!(est.estimate(1) > est.estimate(2));
+        assert!(est.estimate(2) > est.estimate(0));
+        assert!(est.age_of(1) > est.age_of(2));
+    }
+
+    #[test]
+    fn aging_is_capped() {
+        let mut est = TemporalEstimator::new(1, 5, 0.5);
+        for _ in 0..100_000 {
+            est.begin_round();
+        }
+        assert!(est.exploration(0) <= 0.5 + 0.6 + 1e-9);
+    }
+
+    #[test]
+    fn ensure_streams_grows() {
+        let mut est = TemporalEstimator::new(2, 5, 0.5);
+        est.ensure_streams(5);
+        assert_eq!(est.streams(), 5);
+        est.begin_round();
+        est.record(4, true);
+        assert!(est.estimate(4) > 0.0);
+    }
+
+    #[test]
+    fn estimate_is_bounded() {
+        let mut est = TemporalEstimator::new(1, 5, 0.5);
+        for _ in 0..100 {
+            est.begin_round();
+            est.record(0, true);
+        }
+        // Max exploit 1.0 + ucb cap 0.5 + age 0 (just selected).
+        assert!(est.estimate(0) <= 1.5 + 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_stream_is_safe() {
+        let est = TemporalEstimator::new(1, 5, 0.3);
+        assert_eq!(est.estimate(9), 0.3);
+        assert_eq!(est.exploitation(9), 0.0);
+        assert_eq!(est.selections_in_window(9), 0);
+    }
+
+    #[test]
+    fn fresh_streams_start_with_max_staleness() {
+        let est = TemporalEstimator::new(2, 5, 0.5);
+        // Never-served streams carry the full aging bonus from the start:
+        // their published result does not exist yet.
+        assert!(est.exploration(0) >= 0.5 + 0.6 - 1e-9);
+    }
+}

@@ -1,0 +1,216 @@
+//! Criterion micro-benchmarks for the hot paths:
+//!
+//! * the combinatorial optimizer's per-round selection at various stream
+//!   counts (must scale ~O(m log m), §5.3);
+//! * the contextual predictor's per-packet inference latency (Table 4:
+//!   microseconds per frame);
+//! * the incremental packet parser's byte throughput;
+//! * one full simulator round end-to-end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use packetgame::{CombinatorialOptimizer, ContextualPredictor, Item, PacketGameConfig};
+use pg_codec::{serialize_stream, Codec, Encoder, EncoderConfig, PacketParser};
+use pg_pipeline::gate::DecodeAll;
+use pg_pipeline::{RoundSimulator, SimConfig};
+use pg_scene::{PersonSceneGen, SceneGenerator, TaskKind};
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_select");
+    for &m in &[100usize, 1000, 10_000] {
+        let items: Vec<Item> = (0..m)
+            .map(|i| Item {
+                idx: i,
+                confidence: ((i * 37) % 101) as f64 / 101.0,
+                cost: 1.0 + ((i * 13) % 3) as f64,
+            })
+            .collect();
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &items, |b, items| {
+            let opt = CombinatorialOptimizer;
+            b.iter(|| opt.select(std::hint::black_box(items), (m as f64) * 0.1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictor_forward");
+    for &w in &[5usize, 25] {
+        let config = PacketGameConfig::default().with_window(w);
+        let mut predictor = ContextualPredictor::new(config);
+        let v1 = vec![0.4f32; w];
+        let v2 = vec![0.3f32; w];
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(predictor.predict(
+                    std::hint::black_box(&v1),
+                    std::hint::black_box(&v2),
+                    0.5,
+                    0,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let enc = EncoderConfig::new(Codec::H264);
+    let mut encoder = Encoder::new(enc, 1);
+    let mut scene = PersonSceneGen::new(1, 25.0);
+    let packets: Vec<_> = (0..500).map(|_| encoder.encode(&scene.next_frame())).collect();
+    let bytes = serialize_stream(0, &enc, &packets);
+
+    let mut group = c.benchmark_group("parser");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("metadata_500_packets", |b| {
+        b.iter(|| {
+            let mut parser = PacketParser::new();
+            parser.push(std::hint::black_box(&bytes));
+            std::hint::black_box(parser.drain_meta().expect("parse"))
+        });
+    });
+    group.finish();
+}
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_round");
+    group.sample_size(10);
+    for &m in &[50usize, 200] {
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                let cfg = SimConfig {
+                    budget_per_round: m as f64 * 0.2,
+                    segments: 1,
+                    ..SimConfig::default()
+                };
+                let sim = RoundSimulator::uniform(TaskKind::PersonCounting, m, 3, cfg);
+                std::hint::black_box(sim.run(&mut DecodeAll, 20))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gate_select(c: &mut Criterion) {
+    use packetgame::training::test_config;
+    use packetgame::PacketGame;
+    use pg_pipeline::GatePolicy;
+
+    let mut group = c.benchmark_group("packetgame_select");
+    group.sample_size(20);
+    for &m in &[100usize, 1000] {
+        // Untrained predictor: forward cost is identical; avoids minutes of
+        // training inside a benchmark.
+        let config = test_config();
+        let predictor = packetgame::ContextualPredictor::new(config.clone());
+        let mut gate = PacketGame::new(config, predictor);
+        let candidates: Vec<pg_pipeline::PacketContext> = (0..m)
+            .map(|i| pg_pipeline::PacketContext {
+                stream_idx: i,
+                meta: pg_codec::PacketMeta {
+                    stream_id: i as u32,
+                    seq: 10,
+                    pts: 10,
+                    frame_type: if i % 8 == 0 {
+                        pg_codec::FrameType::I
+                    } else {
+                        pg_codec::FrameType::P
+                    },
+                    size: 5000 + (i as u32 % 900) * 37,
+                    gop_id: 0,
+                },
+                pending_cost: 1.0 + (i % 3) as f64,
+                codec: Codec::H264,
+                oracle_necessary: None,
+            })
+            .collect();
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                std::hint::black_box(gate.select(
+                    round,
+                    std::hint::black_box(&candidates),
+                    m as f64 * 0.2,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_net(c: &mut Criterion) {
+    use pg_net::{Datagram, Fragmenter, ImpairedChannel, ImpairmentConfig, ReliableLink};
+
+    let mut group = c.benchmark_group("net");
+    let payload = vec![0xA7u8; 64 * 1024];
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("fragment_64k", |b| {
+        b.iter(|| {
+            let mut f = Fragmenter::new(0);
+            let mut n = f.push(std::hint::black_box(&payload)).len();
+            n += usize::from(f.flush().is_some());
+            std::hint::black_box(n)
+        });
+    });
+
+    group.bench_function("impaired_channel_1k_datagrams", |b| {
+        let wires: Vec<Vec<u8>> = (0..1000u64)
+            .map(|seq| {
+                Datagram {
+                    stream_id: 0,
+                    seq,
+                    payload: vec![1u8; 1200],
+                }
+                .to_bytes()
+            })
+            .collect();
+        b.iter(|| {
+            let mut ch = ImpairedChannel::new(ImpairmentConfig::stressed(), 3);
+            for w in &wires {
+                ch.send(w.clone());
+            }
+            let mut total = 0usize;
+            for _ in 0..12 {
+                total += ch.tick().len();
+            }
+            std::hint::black_box(total)
+        });
+    });
+
+    group.sample_size(10);
+    group.bench_function("arq_1k_datagrams_15pct_loss", |b| {
+        b.iter(|| {
+            let mut link = ReliableLink::new(ImpairmentConfig::lossy(0.15), 7);
+            let mut bytes = 0usize;
+            for seq in 0..1000u64 {
+                link.send(&Datagram {
+                    stream_id: 0,
+                    seq,
+                    payload: vec![2u8; 256],
+                });
+                bytes += link.tick().len();
+            }
+            for _ in 0..100 {
+                bytes += link.tick().len();
+            }
+            std::hint::black_box(bytes)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_optimizer,
+    bench_predictor,
+    bench_parser,
+    bench_round,
+    bench_gate_select,
+    bench_net
+);
+criterion_main!(benches);

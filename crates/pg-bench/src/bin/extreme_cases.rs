@@ -1,0 +1,115 @@
+//! §6.4 extreme cases — extreme-low bitrate and extreme-large GOP.
+//!
+//! (1) At 100 kbit/s, packet sizes collapse toward the entropy floor and
+//!     the contextual views approach random guessing, but the temporal
+//!     estimator keeps PacketGame effective.
+//! (2) At GOP 300 (live streaming), independent frames are rare so the
+//!     I-size view carries little signal, but the P/B view and the
+//!     temporal estimator are unaffected.
+
+use packetgame::training::{
+    balance_dataset, build_offline_dataset, classification_accuracy, score_samples, train,
+};
+use packetgame::ContextualPredictor;
+use pg_bench::harness::{bench_config, print_table, write_json, Scale};
+use pg_codec::{Codec, EncoderConfig};
+use pg_scene::TaskKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    case: String,
+    contextual_accuracy: f64,
+    temporal_accuracy: f64,
+    packetgame_accuracy: f64,
+}
+
+fn evaluate(case: &str, enc: EncoderConfig, task: TaskKind, scale: &Scale) -> Row {
+    let config = bench_config(scale);
+    let ds = build_offline_dataset(
+        task,
+        scale.train_streams,
+        scale.train_frames,
+        enc,
+        &config,
+        111,
+    );
+    let balanced = balance_dataset(&ds, 111);
+    let cut = balanced.len() * 4 / 5;
+    let (train_set, test_set) = balanced.split_at(cut);
+
+    let mut ctx_cfg = config.clone();
+    ctx_cfg.use_temporal_view = false;
+    let mut contextual = ContextualPredictor::new(ctx_cfg.clone().with_seed(111));
+    train(&mut contextual, train_set, &ctx_cfg);
+    let ctx = classification_accuracy(&score_samples(&mut contextual, test_set));
+
+    let temporal_scores: Vec<(f64, bool)> = test_set
+        .iter()
+        .map(|s| (f64::from(s.temporal), s.label > 0.5))
+        .collect();
+    let temporal = classification_accuracy(&temporal_scores);
+
+    let mut full = ContextualPredictor::new(config.clone().with_seed(111));
+    train(&mut full, train_set, &config);
+    let pg = classification_accuracy(&score_samples(&mut full, test_set));
+
+    Row {
+        case: case.to_string(),
+        contextual_accuracy: ctx,
+        temporal_accuracy: temporal,
+        packetgame_accuracy: pg,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let task = TaskKind::SuperResolution;
+
+    let rows = vec![
+        evaluate("baseline (4 Mbit/s, GOP 25)", EncoderConfig::new(Codec::H264), task, &scale),
+        evaluate(
+            "extreme-low bitrate (100 kbit/s)",
+            EncoderConfig::new(Codec::H264).with_bitrate(100_000),
+            task,
+            &scale,
+        ),
+        evaluate(
+            "extreme-large GOP (300)",
+            EncoderConfig::new(Codec::H264).with_gop(300),
+            task,
+            &scale,
+        ),
+        evaluate(
+            "both extremes",
+            EncoderConfig::new(Codec::H264)
+                .with_bitrate(100_000)
+                .with_gop(300),
+            task,
+            &scale,
+        ),
+    ];
+
+    print_table(
+        "§6.4 extreme cases — test accuracy per component (SR task)",
+        &["case", "Contextual", "Temporal", "PacketGame"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.case.clone(),
+                    format!("{:.1}%", r.contextual_accuracy * 100.0),
+                    format!("{:.1}%", r.temporal_accuracy * 100.0),
+                    format!("{:.1}%", r.packetgame_accuracy * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nShape check vs paper: under the extremes the contextual component\n\
+         degrades toward chance while the temporal component is unaffected,\n\
+         so the fused PacketGame stays usable — the hybrid design is what\n\
+         handles extreme scenarios (paper §6.4)."
+    );
+    write_json("extreme_cases", &rows);
+}

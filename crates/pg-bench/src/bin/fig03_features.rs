@@ -1,0 +1,151 @@
+//! Figure 3 — why handcrafted packet features fail (§3.1).
+//!
+//! (a) Packet sizes of a person-counting clip, split by picture type and
+//!     by whether people are present: the correlation is temporal and
+//!     non-linear.
+//! (b) The residual-based feature (estimated from packet sizes, as in
+//!     prior super-resolution work) barely discriminates necessary from
+//!     redundant packets: at FPR ≤ 10% its TPR collapses, while a trained
+//!     PacketGame predictor reaches a high TPR (the paper reports 6.1% vs
+//!     76.6%).
+
+use packetgame::training::{balance_dataset, build_offline_dataset, score_samples};
+use packetgame::ContextualPredictor;
+use pg_bench::harness::{bench_config, print_table, trained_predictor, write_json, Scale};
+use pg_codec::{Codec, Encoder, EncoderConfig, FrameType};
+use pg_inference::accuracy::{auc, offline_curve, tpr_at_fpr};
+use pg_scene::{PersonSceneGen, SceneGenerator, SceneState};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    residual_tpr_at_fpr10: f64,
+    packetgame_tpr_at_fpr10: f64,
+    residual_auc: f64,
+    packetgame_auc: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let enc = EncoderConfig::new(Codec::H264);
+
+    // ---- (a) packet-size distribution of a PC clip -----------------------
+    let mut gen = PersonSceneGen::new(33, 25.0);
+    let mut encoder = Encoder::new(enc, 33);
+    let mut by_class: std::collections::HashMap<(FrameType, bool), Vec<f64>> = Default::default();
+    for _ in 0..450 {
+        let frame = gen.next_frame();
+        let present = matches!(frame.state, SceneState::PersonCount(c) if c > 0);
+        let packet = encoder.encode(&frame);
+        by_class
+            .entry((packet.meta.frame_type, present))
+            .or_default()
+            .push(f64::from(packet.meta.size));
+    }
+    let stat = |k: (FrameType, bool)| -> String {
+        match by_class.get(&k) {
+            Some(v) if !v.is_empty() => {
+                let mean = v.iter().sum::<f64>() / v.len() as f64;
+                format!("{:.1e} (n={})", mean, v.len())
+            }
+            _ => "-".to_string(),
+        }
+    };
+    print_table(
+        "Fig. 3a — mean packet size by picture type and person presence (one clip)",
+        &["picture type", "no person", "person"],
+        &[
+            vec![
+                "I (independent)".into(),
+                stat((FrameType::I, false)),
+                stat((FrameType::I, true)),
+            ],
+            vec![
+                "P (predicted)".into(),
+                stat((FrameType::P, false)),
+                stat((FrameType::P, true)),
+            ],
+            vec![
+                "B (predicted)".into(),
+                stat((FrameType::B, false)),
+                stat((FrameType::B, true)),
+            ],
+        ],
+    );
+    println!(
+        "I sizes sit an order of magnitude above P/B sizes and overlap across\n\
+         classes — a single threshold on size cannot separate necessity."
+    );
+
+    // ---- (b) residual feature vs PacketGame ------------------------------
+    // Build a labelled offline set, then score it two ways.
+    let config = bench_config(&scale);
+    let ds = build_offline_dataset(
+        pg_scene::TaskKind::PersonCounting,
+        scale.train_streams,
+        scale.train_frames,
+        enc,
+        &config,
+        33,
+    );
+    let balanced = balance_dataset(&ds, 33);
+    let cut = balanced.len() * 4 / 5;
+    let test = &balanced[cut..];
+
+    // Residual feature [52]: the ratio of the newest predicted-frame size
+    // to the newest independent-frame size — a bandwidth-normalized
+    // "change energy" estimate.
+    let residual_scores: Vec<(f64, bool)> = test
+        .iter()
+        .map(|s| {
+            let p = *s.view_p.last().unwrap_or(&0.0) as f64;
+            let i = *s.view_i.last().unwrap_or(&0.0) as f64;
+            (p / i.max(1e-6), s.label > 0.5)
+        })
+        .collect();
+    // Normalize scores into [0,1] for thresholding.
+    let max_r = residual_scores
+        .iter()
+        .map(|(r, _)| *r)
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
+    let residual_scores: Vec<(f64, bool)> = residual_scores
+        .into_iter()
+        .map(|(r, l)| (r / max_r, l))
+        .collect();
+
+    let mut predictor: ContextualPredictor =
+        trained_predictor(pg_scene::TaskKind::PersonCounting, &scale, 33);
+    let pg_scores = score_samples(&mut predictor, test);
+
+    let residual_curve = offline_curve(&residual_scores, 201);
+    let pg_curve = offline_curve(&pg_scores, 201);
+    let record = Record {
+        residual_tpr_at_fpr10: tpr_at_fpr(&residual_curve, 0.10),
+        packetgame_tpr_at_fpr10: tpr_at_fpr(&pg_curve, 0.10),
+        residual_auc: auc(&residual_curve),
+        packetgame_auc: auc(&pg_curve),
+    };
+
+    print_table(
+        "Fig. 3b — discriminability of residual feature vs PacketGame (PC task)",
+        &["feature", "TPR @ FPR<=10%", "AUC"],
+        &[
+            vec![
+                "residual [52]".into(),
+                format!("{:.1}%", record.residual_tpr_at_fpr10 * 100.0),
+                format!("{:.3}", record.residual_auc),
+            ],
+            vec![
+                "PacketGame".into(),
+                format!("{:.1}%", record.packetgame_tpr_at_fpr10 * 100.0),
+                format!("{:.3}", record.packetgame_auc),
+            ],
+        ],
+    );
+    println!(
+        "\nPaper reference: residual 6.1% vs PacketGame 76.6% TPR at 10% FPR.\n\
+         Shape check: PacketGame's TPR should be several times the residual's."
+    );
+    write_json("fig03_features", &record);
+}

@@ -1,0 +1,152 @@
+//! Figure 4 — stream-agnostic scheduling degrades at scale (§3.2).
+//!
+//! (a) Distribution of *necessary* inference over one day across the
+//!     1108-camera campus fleet: two diurnal peaks, and even the peak
+//!     demand sits below the decoder's 870 FPS capacity — if one could
+//!     perfectly pick the necessary packets.
+//! (b) Inference accuracy of round-robin vs the optimal (oracle)
+//!     cross-stream strategy as the number of concurrent streams grows
+//!     under the same decoding budget.
+
+use packetgame::{OracleGate, RoundRobinGate};
+use pg_bench::harness::{print_table, sparkline, write_json, Scale};
+use pg_inference::modules::ModuleThroughputs;
+use pg_pipeline::{RoundSimulator, SimConfig};
+use pg_scene::{CameraFleet, DiurnalProfile, TaskKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    hourly_necessary_fps: Vec<f64>,
+    peak_necessary_fps: f64,
+    decode_capacity_fps: f64,
+    sweep: Vec<SweepPoint>,
+}
+
+#[derive(Serialize)]
+struct SweepPoint {
+    streams: usize,
+    round_robin_accuracy: f64,
+    optimal_accuracy: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let throughputs = ModuleThroughputs::default();
+
+    // ---- (a) necessary inference per second over one day -----------------
+    // Sample the fleet (full 1108 cameras in full scale) and replay one
+    // compressed virtual day, counting necessary frames per hour.
+    let fleet = CameraFleet::campus(TaskKind::PersonCounting, 404);
+    let sample = scale.streams.min(fleet.len());
+    let frames_per_day = 1500usize; // default speedup: 1 day = 1500 frames
+    let mut hourly_necessary = vec![0u64; 24];
+    let mut hourly_frames = vec![0u64; 24];
+    for cam in &fleet.cameras()[..sample] {
+        let mut gen = cam.generator(25.0);
+        let trace = gen.generate(frames_per_day);
+        let labels = trace.necessity_labels();
+        for (f, &necessary) in labels.iter().enumerate() {
+            let hour = DiurnalProfile::hour_of_frame(f as u64, 25.0, 1440.0) as usize % 24;
+            hourly_frames[hour] += 1;
+            if necessary {
+                hourly_necessary[hour] += 1;
+            }
+        }
+    }
+    // Scale the sampled necessity rate up to the full 1108-camera fleet at
+    // 25 FPS to get "necessary inference / s".
+    let hourly_fps: Vec<f64> = (0..24)
+        .map(|h| {
+            let rate = hourly_necessary[h] as f64 / hourly_frames[h].max(1) as f64;
+            rate * 25.0 * 1108.0
+        })
+        .collect();
+    let peak = hourly_fps.iter().cloned().fold(0.0, f64::max);
+
+    println!("== Fig. 4a — necessary inference per second over one day (1108 cameras) ==");
+    println!("hour:   {}", (0..24).map(|h| format!("{h:>3}")).collect::<String>());
+    println!(
+        "need/s: {}",
+        hourly_fps
+            .iter()
+            .map(|v| format!("{:>3.0}", v / 10.0))
+            .collect::<String>()
+    );
+    println!("trend:  {}", sparkline(&hourly_fps));
+    println!(
+        "peak necessary: {:.1} FPS | decode capacity: {:.1} FPS  →  capacity {} demand",
+        peak,
+        throughputs.decode_cpu12,
+        if peak < throughputs.decode_cpu12 {
+            "EXCEEDS"
+        } else {
+            "falls short of"
+        }
+    );
+    println!("(paper: at most 540.8 FPS needed vs 870 FPS available)");
+
+    // ---- (b) round-robin vs optimal over stream counts -------------------
+    let budget = throughputs.per_round_budget_units(1.0); // ≈ 34.8 units/round
+    let sweep_points: Vec<usize> = [25usize, 50, 100, 200, 400, 800, 1600]
+        .into_iter()
+        .filter(|&m| m <= scale.max_streams)
+        .collect();
+    let rounds = scale.rounds.min(1000);
+
+    let mut sweep = Vec::new();
+    for &m in &sweep_points {
+        let rr_cfg = SimConfig {
+            budget_per_round: budget,
+            segments: 8,
+            ..SimConfig::default()
+        };
+        let or_cfg = SimConfig {
+            expose_oracle: true,
+            ..rr_cfg
+        };
+        let mut rr = RoundRobinGate::new();
+        let rr_acc = RoundSimulator::uniform(TaskKind::PersonCounting, m, 19, rr_cfg)
+            .run(&mut rr, rounds)
+            .accuracy_overall();
+        let mut oracle = OracleGate;
+        let or_acc = RoundSimulator::uniform(TaskKind::PersonCounting, m, 19, or_cfg)
+            .run(&mut oracle, rounds)
+            .accuracy_overall();
+        sweep.push(SweepPoint {
+            streams: m,
+            round_robin_accuracy: rr_acc,
+            optimal_accuracy: or_acc,
+        });
+    }
+
+    print_table(
+        "Fig. 4b — accuracy vs number of streams (same decoding budget)",
+        &["streams", "round-robin", "optimal"],
+        &sweep
+            .iter()
+            .map(|p| {
+                vec![
+                    p.streams.to_string(),
+                    format!("{:.1}%", p.round_robin_accuracy * 100.0),
+                    format!("{:.1}%", p.optimal_accuracy * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nShape check vs paper: round-robin degrades quickly with stream count\n\
+         while the optimal strategy sustains high accuracy far beyond it\n\
+         (paper: 90% accuracy at 2000 streams optimal vs 30 round-robin)."
+    );
+
+    write_json(
+        "fig04_coordination",
+        &Record {
+            hourly_necessary_fps: hourly_fps,
+            peak_necessary_fps: peak,
+            decode_capacity_fps: throughputs.decode_cpu12,
+            sweep,
+        },
+    );
+}

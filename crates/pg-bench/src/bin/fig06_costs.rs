@@ -1,0 +1,141 @@
+//! Figure 6 — non-uniform, decision-dependent decode costs, reproduced as
+//! the paper's exact worked example.
+//!
+//! Three streams at decision time `t`:
+//!
+//! 1. an `I B B …` stream whose GOP-opening I was *skipped*: decoding the
+//!    current B costs `1I + 1B + 1P` (the I, the B's forward P reference,
+//!    and the B itself);
+//! 2. a stream whose current packet is an I: cost `1I` regardless of
+//!    history;
+//! 3. an `I P P P …` stream where the last decoded packet is two P's back:
+//!    decoding the current P costs `2P`.
+
+use pg_bench::harness::{print_table, write_json};
+use pg_codec::{Codec, CostModel, Decoder, Encoder, EncoderConfig, FrameType};
+use pg_scene::{SceneFrame, SceneState};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    stream: &'static str,
+    current: String,
+    closure: Vec<String>,
+    cost_units: f64,
+    paper_cost: &'static str,
+}
+
+fn frame(i: u64) -> SceneFrame {
+    SceneFrame::new(i, 0.5, 0.1, SceneState::Fire(false))
+}
+
+fn main() {
+    let costs = CostModel::default();
+    let mut rows = Vec::new();
+
+    // --- Stream 1: I B B P ..., I skipped; current packet is the first B.
+    {
+        let enc = EncoderConfig::new(Codec::H264).with_gop(9).with_b_frames(2);
+        let mut encoder = Encoder::new(enc, 1);
+        let mut decoder = Decoder::new(0, costs);
+        // Decode order: I0 P1 B2 ... — ingest I0 and P1 without decoding,
+        // current packet is B2.
+        for i in 0..3 {
+            decoder.ingest(encoder.encode(&frame(i)));
+        }
+        let closure = decoder.tracker().pending_closure(2).unwrap();
+        let cost = decoder.pending_cost(2).unwrap();
+        let types: Vec<String> = closure
+            .iter()
+            .map(|&s| format!("{}{s}", decoder.tracker().frame_type(s).unwrap()))
+            .collect();
+        assert_eq!(
+            cost,
+            costs.c_i + costs.c_p + costs.c_b,
+            "stream 1 must cost 1I+1B+1P"
+        );
+        rows.push(Row {
+            stream: "1: ..I(skipped) B B P..",
+            current: "B".into(),
+            closure: types,
+            cost_units: cost,
+            paper_cost: "1I + 1B + 1P",
+        });
+    }
+
+    // --- Stream 2: current packet is an I — no dependencies, ever.
+    {
+        let enc = EncoderConfig::new(Codec::H264).with_gop(4).with_b_frames(0);
+        let mut encoder = Encoder::new(enc, 2);
+        let mut decoder = Decoder::new(0, costs);
+        // Skip a whole GOP, then the next I arrives.
+        for i in 0..5 {
+            decoder.ingest(encoder.encode(&frame(i)));
+        }
+        let current = 4; // second GOP's I
+        assert_eq!(
+            decoder.tracker().frame_type(current),
+            Some(FrameType::I)
+        );
+        let cost = decoder.pending_cost(current).unwrap();
+        assert_eq!(cost, costs.c_i, "stream 2 must cost 1I");
+        rows.push(Row {
+            stream: "2: ..skipped GOP.. I",
+            current: "I".into(),
+            closure: vec![format!("I{current}")],
+            cost_units: cost,
+            paper_cost: "1I",
+        });
+    }
+
+    // --- Stream 3: I P P P..., I and first P decoded, next P skipped;
+    //     current P must trace back to the last decoded P: cost 2P.
+    {
+        let enc = EncoderConfig::new(Codec::H264).with_gop(10).with_b_frames(0);
+        let mut encoder = Encoder::new(enc, 3);
+        let mut decoder = Decoder::new(0, costs);
+        for i in 0..4 {
+            decoder.ingest(encoder.encode(&frame(i)));
+        }
+        decoder.decode(0).unwrap(); // I0
+        decoder.decode(1).unwrap(); // P1
+                                    // P2 skipped; current is P3.
+        let closure = decoder.tracker().pending_closure(3).unwrap();
+        let cost = decoder.pending_cost(3).unwrap();
+        assert_eq!(cost, 2.0 * costs.c_p, "stream 3 must cost 2P");
+        let types: Vec<String> = closure
+            .iter()
+            .map(|&s| format!("{}{s}", decoder.tracker().frame_type(s).unwrap()))
+            .collect();
+        rows.push(Row {
+            stream: "3: I(dec) P(dec) P(skip) P",
+            current: "P".into(),
+            closure: types,
+            cost_units: cost,
+            paper_cost: "2P",
+        });
+    }
+
+    print_table(
+        "Fig. 6 — decision-dependent decode costs (c_P = c_B = 1, c_I = 32/11)",
+        &["stream", "current", "pending closure", "cost (units)", "paper"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.stream.to_string(),
+                    r.current.clone(),
+                    r.closure.join(" "),
+                    format!("{:.2}", r.cost_units),
+                    r.paper_cost.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nAll three cases match the paper's worked example exactly — the\n\
+         dependency tracker reproduces Fig. 6's cost semantics (asserted,\n\
+         not just printed)."
+    );
+    write_json("fig06_costs", &rows);
+}

@@ -1,0 +1,144 @@
+//! Figure 10 — online inference accuracy over time at a fixed budget.
+//!
+//! For each task: find the minimum per-round budget at which PacketGame's
+//! average accuracy exceeds 90% (the paper reports B = 248/207/238/480 for
+//! its 1000-stream workloads), then run Random / Temporal / Contextual /
+//! PacketGame at that same budget and report accuracy per time segment.
+
+use packetgame::training::train_for_task;
+use packetgame::{ContextualGate, PacketGame, RandomGate, TemporalGate};
+use pg_bench::harness::{
+    bench_config, min_budget_at_accuracy, print_table, sparkline, trained_predictor, write_json,
+    Scale,
+};
+use pg_pipeline::{GatePolicy, RoundSimulator, SimConfig};
+use pg_scene::TaskKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TaskRecord {
+    task: String,
+    budget: f64,
+    decode_all_budget: f64,
+    policies: Vec<PolicyRecord>,
+}
+
+#[derive(Serialize)]
+struct PolicyRecord {
+    policy: String,
+    mean_accuracy: f64,
+    per_segment: Vec<f64>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let config = bench_config(&scale);
+    let segments = 24usize;
+    let mut records = Vec::new();
+
+    for task in TaskKind::ALL {
+        eprintln!("[fig10] task {task}");
+        let predictor = trained_predictor(task, &scale, 55);
+        // Decode-everything budget for this workload (mean cost/frame ×
+        // streams).
+        let costs = pg_codec::CostModel::default();
+        let mean_cost = costs.mean_cost_per_frame(25, 2);
+        let full_budget = mean_cost * scale.streams as f64;
+
+        let sim = |budget: f64, gate: &mut dyn GatePolicy| {
+            let cfg = SimConfig {
+                budget_per_round: budget,
+                segments,
+                ..SimConfig::default()
+            };
+            RoundSimulator::uniform(task, scale.streams, 21, cfg).run(gate, scale.rounds)
+        };
+
+        // Find PacketGame's minimal 90% budget.
+        let wf = predictor.to_weight_file();
+        let budget = min_budget_at_accuracy(
+            |b| {
+                let mut p = packetgame::ContextualPredictor::new(
+                    config.clone().with_seed(55),
+                );
+                p.load_weight_file(&wf).expect("weights");
+                let mut gate = PacketGame::new(config.clone(), p);
+                sim(b, &mut gate).accuracy_overall()
+            },
+            0.90,
+            full_budget,
+            0.02,
+        )
+        .unwrap_or(full_budget);
+        println!(
+            "\n{}: minimum budget for 90% PacketGame accuracy: {budget:.1} units/round \
+             (decode-everything needs {full_budget:.1})",
+            task.name()
+        );
+
+        // Run every policy at that budget.
+        let mut policies: Vec<(&str, Box<dyn GatePolicy>)> = vec![
+            ("Random", Box::new(RandomGate::new(5))),
+            (
+                "Temporal",
+                Box::new(TemporalGate::new(config.window, config.exploration_cap)),
+            ),
+            (
+                "Contextual",
+                Box::new(ContextualGate::train(task, &config, 55)),
+            ),
+            (
+                "PacketGame",
+                Box::new({
+                    let mut p =
+                        packetgame::ContextualPredictor::new(config.clone().with_seed(55));
+                    p.load_weight_file(&wf).expect("weights");
+                    PacketGame::new(config.clone(), p)
+                }),
+            ),
+        ];
+
+        let mut rows = Vec::new();
+        let mut policy_records = Vec::new();
+        for (label, gate) in policies.iter_mut() {
+            let report = sim(budget, gate.as_mut());
+            let per_segment = report.accuracy.per_segment();
+            rows.push(vec![
+                label.to_string(),
+                format!("{:.1}%", report.accuracy_overall() * 100.0),
+                sparkline(&per_segment),
+            ]);
+            policy_records.push(PolicyRecord {
+                policy: label.to_string(),
+                mean_accuracy: report.accuracy_overall(),
+                per_segment,
+            });
+        }
+        print_table(
+            &format!(
+                "Fig. 10 ({}) — accuracy over {} time segments at B={budget:.1}",
+                task.name(),
+                segments
+            ),
+            &["policy", "mean", "per-segment trend (1=low..8=high)"],
+            &rows,
+        );
+
+        records.push(TaskRecord {
+            task: task.abbrev().to_string(),
+            budget,
+            decode_all_budget: full_budget,
+            policies: policy_records,
+        });
+    }
+
+    println!(
+        "\nShape check vs paper: PacketGame holds ≈90% everywhere and dips only\n\
+         where necessity peaks (daytime segments for PC/AD); Random sits far\n\
+         below; Temporal and Contextual land in between (Fig. 10 legends:\n\
+         Random 25-76%, Temporal 85-88%, Contextual 33-87%, PacketGame ~90%)."
+    );
+    write_json("fig10_online", &records);
+    // Silence unused warning when train_for_task is not otherwise used.
+    let _ = train_for_task;
+}

@@ -1,0 +1,117 @@
+//! Figure 14 — effect of the video codec (H.264, H.265, JPEG2000, VP9).
+//!
+//! (a) Packet-size distributions per codec and picture type differ
+//!     clearly (histogram summary statistics).
+//! (b) PacketGame's learning performance stays robust across codecs
+//!     (paper: 91.2–95.2% test accuracy); for the intra-only JPEG2000 the
+//!     predicted-frame view is inherently empty.
+
+use packetgame::training::{
+    balance_dataset, build_offline_dataset, classification_accuracy, score_samples, train,
+};
+use packetgame::ContextualPredictor;
+use pg_bench::harness::{bench_config, print_table, write_json, Scale};
+use pg_codec::{Codec, Encoder, EncoderConfig, FrameType};
+use pg_scene::{SceneGenerator, SrSceneGen, TaskKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CodecRecord {
+    codec: String,
+    mean_i_size: f64,
+    mean_p_size: Option<f64>,
+    contextual_accuracy: f64,
+    packetgame_accuracy: f64,
+}
+
+fn size_stats(codec: Codec) -> (f64, Option<f64>) {
+    let enc = EncoderConfig::new(codec);
+    let mut encoder = Encoder::new(enc, 44);
+    let mut scene = SrSceneGen::new(44, 25.0);
+    let mut i_sizes = Vec::new();
+    let mut p_sizes = Vec::new();
+    for _ in 0..3000 {
+        let p = encoder.encode(&scene.next_frame());
+        match p.meta.frame_type {
+            FrameType::I => i_sizes.push(f64::from(p.meta.size)),
+            _ => p_sizes.push(f64::from(p.meta.size)),
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    (
+        mean(&i_sizes),
+        if p_sizes.is_empty() {
+            None
+        } else {
+            Some(mean(&p_sizes))
+        },
+    )
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let config = bench_config(&scale);
+    let task = TaskKind::SuperResolution; // YT-UGC's task
+    let mut records = Vec::new();
+
+    for codec in Codec::ALL {
+        eprintln!("[fig14] codec {codec}");
+        let (mean_i, mean_p) = size_stats(codec);
+
+        let enc = EncoderConfig::new(codec);
+        let ds = build_offline_dataset(
+            task,
+            scale.train_streams,
+            scale.train_frames,
+            enc,
+            &config,
+            44,
+        );
+        let balanced = balance_dataset(&ds, 44);
+        let cut = balanced.len() * 4 / 5;
+        let (train_set, test_set) = balanced.split_at(cut);
+
+        let mut ctx_cfg = config.clone();
+        ctx_cfg.use_temporal_view = false;
+        let mut contextual = ContextualPredictor::new(ctx_cfg.clone().with_seed(44));
+        train(&mut contextual, train_set, &ctx_cfg);
+        let ctx_acc = classification_accuracy(&score_samples(&mut contextual, test_set));
+
+        let mut full = ContextualPredictor::new(config.clone().with_seed(44));
+        train(&mut full, train_set, &config);
+        let full_acc = classification_accuracy(&score_samples(&mut full, test_set));
+
+        records.push(CodecRecord {
+            codec: codec.label().to_string(),
+            mean_i_size: mean_i,
+            mean_p_size: mean_p,
+            contextual_accuracy: ctx_acc,
+            packetgame_accuracy: full_acc,
+        });
+    }
+
+    print_table(
+        "Fig. 14 — packet sizes and learning performance per codec (SR task)",
+        &["codec", "mean I size", "mean P/B size", "Contextual", "PacketGame"],
+        &records
+            .iter()
+            .map(|r| {
+                vec![
+                    r.codec.clone(),
+                    format!("{:.1e}", r.mean_i_size),
+                    r.mean_p_size
+                        .map(|p| format!("{p:.1e}"))
+                        .unwrap_or_else(|| "- (intra-only)".into()),
+                    format!("{:.1}%", r.contextual_accuracy * 100.0),
+                    format!("{:.1}%", r.packetgame_accuracy * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nShape check vs paper: H.265 < VP9 < H.264 < JPEG2000 in packet size\n\
+         (compression efficiency ordering), and PacketGame stays in a high,\n\
+         narrow accuracy band across all codecs (paper: 91.2-95.2%)."
+    );
+    write_json("fig14_codec", &records);
+}

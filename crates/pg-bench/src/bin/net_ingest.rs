@@ -1,0 +1,110 @@
+//! Network ingest robustness — loss amplification through GOP dependencies.
+//!
+//! The paper's system ingests 1000+ RTSP streams over a campus network; a
+//! reproduction that never drops a datagram would be too polite. This
+//! experiment pushes streams through the impaired channel (`pg-net`) and
+//! measures, per loss rate and GOP length:
+//!
+//! * packet delivery rate (parser resyncs past holes);
+//! * *decodable* rate — a delivered packet is only decodable if its whole
+//!   reference closure survived, so one lost I-frame costs a whole GOP:
+//!   loss amplifies through decode dependencies, and short GOPs bound the
+//!   blast radius.
+
+use pg_bench::harness::{print_table, write_json, Scale};
+use pg_codec::{Codec, CostModel, Decoder, EncoderConfig};
+use pg_net::{ImpairmentConfig, NetworkedStream, ReassemblyConfig};
+use pg_scene::TaskKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    loss_pct: f64,
+    gop: u32,
+    delivered_rate: f64,
+    decodable_rate: f64,
+    arq_decodable_rate: f64,
+    resyncs: u64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let ticks = (scale.rounds as usize).clamp(1000, 4000);
+    let mut rows = Vec::new();
+
+    for &loss in &[0.0f64, 0.02, 0.05, 0.10] {
+        for &gop in &[8u32, 25, 100] {
+            let enc = EncoderConfig::new(Codec::H264).with_gop(gop).with_b_frames(2);
+            let run = |mut stream: NetworkedStream| -> (f64, f64, u64) {
+                let mut decoder = Decoder::new(0, CostModel::default());
+                let mut decodable = 0u64;
+                let mut delivered = 0u64;
+                for _ in 0..ticks {
+                    for packet in stream.tick() {
+                        delivered += 1;
+                        let seq = packet.meta.seq;
+                        decoder.ingest(packet);
+                        // Decodable iff the full reference closure survived.
+                        if decoder.decode_closure(seq).is_ok() {
+                            decodable += 1;
+                        }
+                    }
+                }
+                let stats = stream.stats();
+                (
+                    delivered as f64 / stats.packets_sent.max(1) as f64,
+                    decodable as f64 / stats.packets_sent.max(1) as f64,
+                    stats.records_resynced,
+                )
+            };
+            let (delivered_rate, decodable_rate, resyncs) =
+                run(NetworkedStream::with_config(
+                    TaskKind::PersonCounting,
+                    2024,
+                    enc,
+                    ImpairmentConfig::lossy(loss),
+                    ReassemblyConfig::default(),
+                ));
+            let (_, arq_decodable_rate, _) = run(NetworkedStream::with_arq(
+                TaskKind::PersonCounting,
+                2024,
+                enc,
+                ImpairmentConfig::lossy(loss),
+            ));
+            rows.push(Row {
+                loss_pct: loss * 100.0,
+                gop,
+                delivered_rate,
+                decodable_rate,
+                arq_decodable_rate,
+                resyncs,
+            });
+        }
+    }
+
+    print_table(
+        "network ingest under datagram loss (delivery vs decodability)",
+        &["loss", "GOP", "delivered", "decodable", "decodable+ARQ", "resyncs"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.0}%", r.loss_pct),
+                    r.gop.to_string(),
+                    format!("{:.1}%", r.delivered_rate * 100.0),
+                    format!("{:.1}%", r.decodable_rate * 100.0),
+                    format!("{:.1}%", r.arq_decodable_rate * 100.0),
+                    r.resyncs.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nExpected shape: raw-transport decodability collapses far faster than\n\
+         delivery — a large I-frame spans ~70 datagrams, so even small loss\n\
+         rates strand whole GOPs (worse at long GOPs). Selective-repeat ARQ\n\
+         turns losses into latency and restores decodability — the reason\n\
+         real ingest uses RTSP-over-TCP / RTP-NACK / SRT."
+    );
+    write_json("net_ingest", &rows);
+}

@@ -1,0 +1,186 @@
+//! Theory checks — Lemma 1 (approximation ratio) and Theorem 1 (regret).
+//!
+//! Lemma 1: on randomized knapsack instances shaped like real rounds
+//! (heterogeneous I/P/B closure costs), the greedy optimizer's value is at
+//! least `1 − c/B` of the fractional optimum; in practice `c/B ≲ 0.05`, so
+//! ≥ 95% (paper §5.3).
+//!
+//! Theorem 1: running Algorithm 1 online, the cumulative regret against
+//! the per-round oracle grows sublinearly — the fitted growth exponent of
+//! `R(T)` should be well below 1 (√T ⇒ 0.5).
+
+use packetgame::theory::{
+    approximation_ratio, cumulative_regret, lemma1_bound, regret_growth_exponent,
+    ucb_bandit_regret,
+};
+use packetgame::{Item, OracleGate, PacketGame};
+use pg_bench::harness::{bench_config, print_table, trained_predictor, write_json, Scale};
+use pg_pipeline::{RoundSimulator, SimConfig};
+use pg_scene::rng::rng;
+use pg_scene::TaskKind;
+use rand::Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    lemma1_min_ratio: f64,
+    lemma1_min_bound: f64,
+    lemma1_instances: usize,
+    bandit_regret_exponent: f64,
+    bandit_rounds: usize,
+    optimality_gap_exponent: f64,
+    optimality_gap_final: f64,
+    rounds: u64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+
+    // ---- Lemma 1 on realistic instances -----------------------------------
+    let mut r = rng(0xF00D, 0);
+    let costs = pg_codec::CostModel::default();
+    let mut min_ratio = f64::MAX;
+    let mut min_bound = 0.0;
+    let instances = 2000usize;
+    for _ in 0..instances {
+        let m = r.gen_range(20..200);
+        let items: Vec<Item> = (0..m)
+            .map(|i| {
+                // Closure costs: one of {1 (P/B), c_I, c_I+1, c_I+2, 2, 3}.
+                let cost = match r.gen_range(0..6) {
+                    0 | 1 => 1.0,
+                    2 => costs.c_i,
+                    3 => costs.c_i + 1.0,
+                    4 => 2.0,
+                    _ => 3.0,
+                };
+                Item {
+                    idx: i,
+                    confidence: r.gen::<f64>(),
+                    cost,
+                }
+            })
+            .collect();
+        let budget = r.gen_range(20.0..120.0);
+        let ratio = approximation_ratio(&items, budget);
+        let bound = lemma1_bound(&items, budget);
+        assert!(
+            ratio >= bound - 1e-9,
+            "Lemma 1 violated: ratio {ratio} < bound {bound}"
+        );
+        if ratio < min_ratio {
+            min_ratio = ratio;
+            min_bound = bound;
+        }
+    }
+    print_table(
+        "Lemma 1 — greedy vs fractional optimum on realistic rounds",
+        &["instances", "worst observed ratio", "its 1-c/B bound"],
+        &[vec![
+            instances.to_string(),
+            format!("{min_ratio:.4}"),
+            format!("{min_bound:.4}"),
+        ]],
+    );
+    println!("(paper: c/B is typically < 0.05 ⇒ ≥95% of optimal)");
+
+    // ---- Theorem 1: bandit regret against the comparator class ------------
+    // Theorem 1's cited results bound regret against the best policy *under
+    // the same information model* (combinatorial semi-bandit). A stationary
+    // instance makes that comparator concrete: the best fixed k-subset.
+    eprintln!("[regret] UCB combinatorial bandit ...");
+    let means: Vec<f64> = (0..40).map(|i| 0.05 + 0.0225 * i as f64).collect();
+    let bandit_rounds = 30_000usize;
+    let bandit = ucb_bandit_regret(&means, 8, bandit_rounds, 11);
+    let bandit_exponent = regret_growth_exponent(&bandit);
+    print_table(
+        "Theorem 1 — combinatorial-bandit regret vs best fixed subset",
+        &["arms", "k", "rounds", "final regret", "growth exponent", "sublinear?"],
+        &[vec![
+            means.len().to_string(),
+            "8".into(),
+            bandit_rounds.to_string(),
+            format!("{:.1}", bandit.last().copied().unwrap_or(0.0)),
+            format!("{bandit_exponent:.3}"),
+            (bandit_exponent < 0.75).to_string(),
+        ]],
+    );
+    println!(
+        "(O(√T) ⇒ exponent ≈ 0.5; UCB on stationary instances is O(log T),
+         even lower — the sublinearity Theorem 1 inherits from [21, 58])"
+    );
+
+    // ---- End-to-end optimality gap (context, not a regret bound) ----------
+    eprintln!("[regret] running PacketGame vs omniscient oracle ...");
+    let task = TaskKind::AnomalyDetection;
+    let streams = scale.streams.min(64);
+    let rounds = scale.rounds.max(1500);
+    let budget = 4.0;
+    let config = bench_config(&scale);
+    let predictor = trained_predictor(task, &scale, 55);
+
+    // Oracle per-round reward: run the oracle; its necessary_decoded per
+    // round is the achievable reward. We approximate per-round series by
+    // slicing the run into many segments.
+    let segments = (rounds / 10).max(10) as usize;
+    let run = |gate: &mut dyn pg_pipeline::GatePolicy, oracle: bool| {
+        let cfg = SimConfig {
+            budget_per_round: budget,
+            segments,
+            expose_oracle: oracle,
+            ..SimConfig::default()
+        };
+        RoundSimulator::uniform(task, streams, 13, cfg).run(gate, rounds)
+    };
+    let mut oracle = OracleGate;
+    let oracle_report = run(&mut oracle, true);
+    let mut pg = PacketGame::new(config.clone(), predictor);
+    let pg_report = run(&mut pg, false);
+
+    // Per-segment necessary-decoded counts act as the reward series.
+    let seg_rewards = |rep: &pg_pipeline::RoundSimReport| -> Vec<f64> {
+        // accuracy.per_segment() gives correctness; reward = recall proxy:
+        // necessary packets correctly served per segment. Reconstruct from
+        // accuracy: correct = decoded ∪ redundant, so per-segment accuracy
+        // directly tracks reward; rescale by packets per segment.
+        rep.accuracy
+            .per_segment()
+            .iter()
+            .map(|a| a * (rep.packets_total as f64 / segments as f64))
+            .collect()
+    };
+    let optimal = seg_rewards(&oracle_report);
+    let achieved = seg_rewards(&pg_report);
+    let regret = cumulative_regret(&optimal, &achieved);
+    let exponent = regret_growth_exponent(&regret);
+
+    print_table(
+        "End-to-end optimality gap vs an omniscient per-round oracle",
+        &["rounds", "final gap", "growth exponent"],
+        &[vec![
+            rounds.to_string(),
+            format!("{:.1}", regret.last().copied().unwrap_or(0.0)),
+            format!("{exponent:.3}"),
+        ]],
+    );
+    println!(
+        "(An omniscient oracle knows ground-truth necessity before decoding;\n\
+         any imperfect predictor trails it by a constant per round, so this\n\
+         gap grows ~linearly by construction. It measures the realizability\n\
+         gap of the predictor, not Theorem 1's bandit regret.)"
+    );
+
+    write_json(
+        "regret_check",
+        &Record {
+            lemma1_min_ratio: min_ratio,
+            lemma1_min_bound: min_bound,
+            lemma1_instances: instances,
+            bandit_regret_exponent: bandit_exponent,
+            bandit_rounds,
+            optimality_gap_exponent: exponent,
+            optimality_gap_final: regret.last().copied().unwrap_or(0.0),
+            rounds,
+        },
+    );
+}

@@ -1,0 +1,59 @@
+//! Run every experiment binary in sequence (the full reproduction sweep).
+//!
+//! ```sh
+//! PG_SCALE=quick cargo run --release -p pg-bench --bin run_all
+//! ```
+//!
+//! Each experiment also runs standalone; see `cargo run -p pg-bench --bin`.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig02_bottleneck",
+    "fig03_features",
+    "fig04_coordination",
+    "fig06_costs",
+    "fig09_offline",
+    "fig10_online",
+    "tab03_overall",
+    "tab04_overheads",
+    "fig11_multitask",
+    "fig12_training_size",
+    "fig13_window",
+    "fig14_codec",
+    "tab05_comparison",
+    "extreme_cases",
+    "regret_check",
+    "ablations",
+    "ablation_embedding",
+    "online_adaptation",
+    "net_ingest",
+    "tab01_tab02_fig08",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n################ {name} ################");
+        let path = exe_dir.join(name);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("experiment {name} FAILED: {status}");
+            failures.push(*name);
+        }
+    }
+    println!("\n################ summary ################");
+    if failures.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        println!("failures: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Table 3 — overall efficiency: budget saving and concurrency level at a
+//! 90% accuracy target, for Temporal / Contextual / PacketGame on all four
+//! tasks.
+//!
+//! *Budget saving* = 1 − B_min/B_all where B_min is the smallest per-round
+//! budget at which the policy still averages ≥ 90% accuracy and B_all is
+//! the decode-everything budget. *Concurrency level* is the multiple of
+//! streams supportable at a fixed budget, measured by binary search
+//! (paper: PacketGame saves 52.0–79.3% and reaches 2.1–4.8×).
+
+use packetgame::{ContextualGate, PacketGame, TemporalGate};
+use pg_bench::harness::{
+    bench_config, min_budget_at_accuracy, print_table, trained_predictor, write_json, Scale,
+};
+use pg_pipeline::{max_streams_at_accuracy, GatePolicy, RoundSimulator, SimConfig};
+use pg_scene::TaskKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    task: String,
+    method: String,
+    budget_saving: Option<f64>,
+    concurrency_x: Option<f64>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let config = bench_config(&scale);
+    let target = 0.90;
+    let costs = pg_codec::CostModel::default();
+    let mean_cost = costs.mean_cost_per_frame(25, 2);
+    let rounds = scale.rounds;
+    let mut rows: Vec<Row> = Vec::new();
+
+    for task in TaskKind::ALL {
+        eprintln!("[tab03] task {task}");
+        let wf = trained_predictor(task, &scale, 55).to_weight_file();
+
+        // Gate factories (fresh state per simulation).
+        let make_gate = |name: &str| -> Box<dyn GatePolicy> {
+            match name {
+                "Temporal" => Box::new(TemporalGate::new(config.window, config.exploration_cap)),
+                "Contextual" => Box::new(ContextualGate::train(task, &config, 55)),
+                "PacketGame" => {
+                    let mut p =
+                        packetgame::ContextualPredictor::new(config.clone().with_seed(55));
+                    p.load_weight_file(&wf).expect("weights");
+                    Box::new(PacketGame::new(config.clone(), p))
+                }
+                other => panic!("unknown method {other}"),
+            }
+        };
+
+        for method in ["Temporal", "Contextual", "PacketGame"] {
+            // --- budget saving at the scale's stream count ---------------
+            let m = scale.streams;
+            let full_budget = mean_cost * m as f64;
+            let b_min = min_budget_at_accuracy(
+                |b| {
+                    let cfg = SimConfig {
+                        budget_per_round: b,
+                        segments: 8,
+                        ..SimConfig::default()
+                    };
+                    let mut gate = make_gate(method);
+                    RoundSimulator::uniform(task, m, 21, cfg)
+                        .run(gate.as_mut(), rounds)
+                        .accuracy_overall()
+                },
+                target,
+                full_budget,
+                0.05,
+            );
+            let saving = b_min.map(|b| 1.0 - b / full_budget);
+
+            // --- concurrency multiple at a fixed budget ------------------
+            // Budget sized so the original workload supports exactly
+            // `base_streams` decode-everything streams.
+            let base_streams = (scale.streams / 4).max(4);
+            let budget = mean_cost * base_streams as f64;
+            let search_rounds = (rounds / 2).max(750);
+            // The paper's best concurrency multiple is 4.8x; searching past
+            // 8x the baseline only burns time.
+            let search_cap = scale.max_streams.min(base_streams * 8);
+            let concurrency = max_streams_at_accuracy(
+                |m| {
+                    let cfg = SimConfig {
+                        budget_per_round: budget,
+                        segments: 8,
+                        ..SimConfig::default()
+                    };
+                    let mut gate = make_gate(method);
+                    RoundSimulator::uniform(task, m, 23, cfg).run(gate.as_mut(), search_rounds)
+                },
+                target,
+                search_cap,
+            )
+            .map(|(m, _)| m as f64 / base_streams as f64);
+
+            println!(
+                "  {task} {method:<11} saving {:>6} concurrency {:>6}",
+                saving
+                    .map(|s| format!("{:.1}%", s * 100.0))
+                    .unwrap_or_else(|| "-".into()),
+                concurrency
+                    .map(|c| format!("{c:.1}x"))
+                    .unwrap_or_else(|| "-".into()),
+            );
+            rows.push(Row {
+                task: task.abbrev().to_string(),
+                method: method.to_string(),
+                budget_saving: saving,
+                concurrency_x: concurrency,
+            });
+        }
+    }
+
+    // Assemble the paper-style table: methods × tasks.
+    let fmt = |r: &Row| {
+        format!(
+            "{} / {}",
+            r.budget_saving
+                .map(|s| format!("{:.1}%", s * 100.0))
+                .unwrap_or_else(|| "-".into()),
+            r.concurrency_x
+                .map(|c| format!("{c:.1}x"))
+                .unwrap_or_else(|| "-".into())
+        )
+    };
+    let methods = ["Temporal", "Contextual", "PacketGame"];
+    let table: Vec<Vec<String>> = methods
+        .iter()
+        .map(|m| {
+            let mut cells = vec![m.to_string()];
+            for task in TaskKind::ALL {
+                let row = rows
+                    .iter()
+                    .find(|r| r.method == *m && r.task == task.abbrev())
+                    .expect("row exists");
+                cells.push(fmt(row));
+            }
+            cells
+        })
+        .collect();
+    print_table(
+        "Table 3 — budget saving / concurrency level at 90% accuracy",
+        &["method", "PC", "AD", "SR", "FD"],
+        &table,
+    );
+    println!(
+        "\nPaper reference: Temporal 52.6%/2.3x 71.8%/3.6x 75.8%/4.1x 50.5%/1.9x;\n\
+         Contextual 68.1%/2.9x 38.9%/1.7x 14.4%/1.1x 31.0%/1.5x;\n\
+         PacketGame 75.2%/3.6x 79.3%/4.8x 76.2%/4.3x 52.0%/2.1x.\n\
+         Shape check: PacketGame ≥ max(Temporal, Contextual) on every task."
+    );
+    write_json("tab03_overall", &rows);
+}

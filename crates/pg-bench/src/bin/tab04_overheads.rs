@@ -1,0 +1,122 @@
+//! Table 4 — computing overheads of the gate.
+//!
+//! The paper reports FLOPs and per-frame latency for MobileNetV1 (1137 M),
+//! InFi's image filter (351 M), Reducto's area feature, and PacketGame
+//! (5 K FLOPs, 7 µs/frame on the edge server). We measure our predictor's
+//! FLOPs analytically (counted during the forward pass) and its per-frame
+//! latency empirically, and put them against the paper's reference points
+//! for the RGB-input alternatives.
+
+use packetgame::training::test_config;
+use packetgame::{ContextualPredictor, PacketGameConfig};
+use pg_bench::harness::{print_table, write_json, Scale};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Record {
+    model: String,
+    flops: f64,
+    latency_us_per_frame: Option<f64>,
+    parameters: Option<usize>,
+}
+
+fn measure_latency(predictor: &mut ContextualPredictor, window: usize) -> f64 {
+    let v1 = vec![0.4f32; window];
+    let v2 = vec![0.3f32; window];
+    // Warm up, then measure.
+    for _ in 0..1000 {
+        predictor.predict(&v1, &v2, 0.5, 0);
+    }
+    let iters = 20_000u32;
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    for i in 0..iters {
+        acc += predictor.predict(&v1, &v2, f64::from(i % 100) / 100.0, 0);
+    }
+    std::hint::black_box(acc);
+    t0.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
+}
+
+fn main() {
+    let _scale = Scale::from_env();
+
+    // The paper's deployed architecture.
+    let paper_config = PacketGameConfig::default();
+    let mut paper_net = ContextualPredictor::new(paper_config.clone());
+    paper_net.forward_logits(&[0.1; 5], &[0.1; 5], 0.0);
+    let paper_flops = paper_net.last_flops();
+    let paper_latency = measure_latency(&mut paper_net, paper_config.window);
+
+    // The slim test architecture, for contrast.
+    let slim_config = test_config();
+    let mut slim_net = ContextualPredictor::new(slim_config.clone());
+    slim_net.forward_logits(&[0.1; 5], &[0.1; 5], 0.0);
+    let slim_flops = slim_net.last_flops();
+    let slim_latency = measure_latency(&mut slim_net, slim_config.window);
+
+    let records = vec![
+        Record {
+            model: "MobileNetV1 (paper ref)".into(),
+            flops: 1137e6,
+            latency_us_per_frame: Some(4000.0),
+            parameters: None,
+        },
+        Record {
+            model: "InFi image filter (paper ref)".into(),
+            flops: 351e6,
+            latency_us_per_frame: Some(800.0),
+            parameters: None,
+        },
+        Record {
+            model: "PacketGame (paper ref)".into(),
+            flops: 5e3,
+            latency_us_per_frame: Some(7.0),
+            parameters: None,
+        },
+        Record {
+            model: "our predictor (paper arch)".into(),
+            flops: paper_flops as f64,
+            latency_us_per_frame: Some(paper_latency),
+            parameters: Some(paper_net.param_count()),
+        },
+        Record {
+            model: "our predictor (slim)".into(),
+            flops: slim_flops as f64,
+            latency_us_per_frame: Some(slim_latency),
+            parameters: Some(slim_net.param_count()),
+        },
+    ];
+
+    print_table(
+        "Table 4 — gate overheads per frame",
+        &["model", "FLOPs", "latency (µs)", "params"],
+        &records
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    if r.flops >= 1e6 {
+                        format!("{:.0}M", r.flops / 1e6)
+                    } else {
+                        format!("{:.1}K", r.flops / 1e3)
+                    },
+                    r.latency_us_per_frame
+                        .map(|l| format!("{l:.1}"))
+                        .unwrap_or_else(|| "-".into()),
+                    r.parameters
+                        .map(|p| p.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    println!(
+        "\nShape check vs paper: the packet-metadata gate is 4-6 orders of\n\
+         magnitude cheaper than RGB-input filters (MobileNetV1 1137M /\n\
+         InFi 351M vs PacketGame ~10^4), and per-frame latency is in the\n\
+         microsecond range — cheap enough for on-camera deployment (<1 mJ)."
+    );
+    write_json("tab04_overheads", &records);
+}

@@ -1,0 +1,246 @@
+//! Shared helpers for the experiment binaries.
+//!
+//! Every figure/table binary follows the same pattern: build workloads at a
+//! configurable scale, run policies, print the paper's rows, and write a
+//! machine-readable JSON record under `target/experiments/` (EXPERIMENTS.md
+//! is compiled from those records).
+//!
+//! Scale is controlled by the `PG_SCALE` environment variable:
+//! `quick` (CI-sized), `std` (default; minutes), `full` (paper-sized).
+
+use std::path::PathBuf;
+
+use packetgame::{ContextualPredictor, PacketGameConfig};
+use pg_scene::TaskKind;
+use serde::Serialize;
+
+/// Workload scale knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Streams in online simulations.
+    pub streams: usize,
+    /// Rounds per online simulation.
+    pub rounds: u64,
+    /// Streams replayed to build offline datasets.
+    pub train_streams: usize,
+    /// Frames per offline training stream.
+    pub train_frames: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Upper bound for concurrency searches.
+    pub max_streams: usize,
+}
+
+impl Scale {
+    /// Resolve from `PG_SCALE` (quick / std / full).
+    pub fn from_env() -> Scale {
+        match std::env::var("PG_SCALE").as_deref() {
+            Ok("quick") => Scale {
+                streams: 16,
+                rounds: 1500, // one full virtual day at the default speedup
+                train_streams: 4,
+                train_frames: 1200,
+                epochs: 6,
+                max_streams: 128,
+            },
+            Ok("full") => Scale {
+                streams: 1000,
+                rounds: 6000, // four virtual days
+                train_streams: 16,
+                train_frames: 6000,
+                epochs: 30,
+                max_streams: 4096,
+            },
+            // Default: sized for a single laptop core in ~an hour while
+            // still covering one full virtual day per run.
+            _ => Scale {
+                streams: 32,
+                rounds: 1500, // one virtual day
+                train_streams: 6,
+                train_frames: 2400,
+                epochs: 10,
+                max_streams: 256,
+            },
+        }
+    }
+}
+
+/// The predictor configuration used by the experiment harness: the paper's
+/// architecture with the scale's epoch count.
+pub fn bench_config(scale: &Scale) -> PacketGameConfig {
+    PacketGameConfig {
+        epochs: scale.epochs,
+        batch_size: 512,
+        learning_rate: 0.002,
+        ..PacketGameConfig::default()
+    }
+}
+
+/// Directory for machine-readable experiment outputs.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Directory for cached trained weights.
+pub fn weights_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/pg-weights");
+    std::fs::create_dir_all(&dir).expect("create weights dir");
+    dir
+}
+
+/// Train (or load from cache) the standard predictor for `task`.
+///
+/// Caching mirrors the paper's deployment: train once offline, export a
+/// binary runtime file, reuse it everywhere.
+pub fn trained_predictor(task: TaskKind, scale: &Scale, seed: u64) -> ContextualPredictor {
+    use packetgame::training::{balance_dataset, build_offline_dataset, train};
+    let config = bench_config(scale);
+    let path = weights_dir().join(format!(
+        "{}-s{}-f{}-e{}-seed{}.pgnn",
+        task.abbrev(),
+        scale.train_streams,
+        scale.train_frames,
+        scale.epochs,
+        seed
+    ));
+    let mut predictor = ContextualPredictor::new(config.clone().with_seed(seed));
+    if let Ok(wf) = pg_nn::serialize::WeightFile::load(&path) {
+        if predictor.load_weight_file(&wf).is_ok() {
+            eprintln!(
+                "[harness] loaded cached predictor for {task} from {}",
+                path.display()
+            );
+            return predictor;
+        }
+    }
+    eprintln!(
+        "[harness] training predictor for {task} ({} epochs) ...",
+        config.epochs
+    );
+    let enc = pg_codec::EncoderConfig::new(pg_codec::Codec::H264);
+    let ds = build_offline_dataset(
+        task,
+        scale.train_streams,
+        scale.train_frames,
+        enc,
+        &config,
+        seed,
+    );
+    let balanced = balance_dataset(&ds, seed);
+    let cut = (balanced.len() * 4 / 5).max(1);
+    train(&mut predictor, &balanced[..cut], &config);
+    predictor.to_weight_file().save(&path).ok();
+    predictor
+}
+
+/// Binary-search the minimum per-round budget at which `run(budget)`
+/// reaches `target_accuracy`. `hi` must be feasible (decode-everything
+/// budget). Tolerance is relative (`rtol` of `hi`).
+pub fn min_budget_at_accuracy(
+    mut run: impl FnMut(f64) -> f64,
+    target_accuracy: f64,
+    hi: f64,
+    rtol: f64,
+) -> Option<f64> {
+    let mut lo = 0.0f64;
+    let mut hi_b = hi;
+    if run(hi_b) < target_accuracy {
+        return None;
+    }
+    let tol = (hi * rtol).max(1e-6);
+    while hi_b - lo > tol {
+        let mid = 0.5 * (lo + hi_b);
+        if run(mid) >= target_accuracy {
+            hi_b = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi_b)
+}
+
+/// Print a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map(|c| c.len()).unwrap_or(0))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
+    for r in rows {
+        println!("{}", fmt_row(r));
+    }
+}
+
+/// Write a JSON experiment record.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = experiments_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize experiment record");
+    std::fs::write(&path, json).expect("write experiment record");
+    println!("\n[wrote {}]", path.display());
+}
+
+/// Simple ASCII sparkline for series output.
+pub fn sparkline(values: &[f64]) -> String {
+    const TICKS: [char; 8] = ['1', '2', '3', '4', '5', '6', '7', '8'];
+    let (lo, hi) = values
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let span = (hi - lo).max(1e-12);
+    values
+        .iter()
+        .map(|&v| TICKS[(((v - lo) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_default_is_std() {
+        let s = Scale::from_env();
+        assert!(s.streams >= 16);
+        assert!(s.rounds >= 400);
+    }
+
+    #[test]
+    fn sparkline_maps_extremes() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s.chars().count(), 2);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '1');
+        assert_eq!(chars[1], '8');
+    }
+
+    #[test]
+    fn print_table_smoke() {
+        print_table(
+            "demo",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! # pg-bench — experiment harness for the PacketGame reproduction
+//!
+//! One binary per paper table/figure (see `src/bin/`), plus criterion
+//! micro-benchmarks (`benches/micro.rs`). Shared helpers live here.
+
+pub mod harness;

@@ -1,0 +1,133 @@
+//! Tiny hand-rolled `--flag value` argument parser (no external deps).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` options plus positional arguments.
+#[derive(Debug, Default)]
+pub struct Options {
+    flags: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Options {
+    /// Parse an argument slice. `--key value` pairs become flags; bare
+    /// `--key` at the end or before another flag becomes `"true"`;
+    /// everything else is positional.
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut out = Options::default();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty flag name `--`".into());
+                }
+                let value = args.get(i + 1);
+                match value {
+                    Some(v) if !v.starts_with("--") => {
+                        out.flags.insert(key.to_string(), v.clone());
+                        i += 2;
+                    }
+                    _ => {
+                        out.flags.insert(key.to_string(), "true".to_string());
+                        i += 1;
+                    }
+                }
+            } else {
+                out.positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether `--help` was requested.
+    pub fn wants_help(&self) -> bool {
+        self.flags.contains_key("help")
+    }
+
+    /// String flag with a default.
+    pub fn str_or(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Required string flag.
+    pub fn str_required(&self, key: &str) -> Result<String, String> {
+        self.flags
+            .get(key)
+            .cloned()
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Parsed numeric flag with a default.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v:?}")),
+        }
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+/// Parse a codec name.
+pub fn parse_codec(name: &str) -> Result<pg_codec::Codec, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "h264" | "h.264" | "avc" => Ok(pg_codec::Codec::H264),
+        "h265" | "h.265" | "hevc" => Ok(pg_codec::Codec::H265),
+        "vp9" => Ok(pg_codec::Codec::Vp9),
+        "j2k" | "jpeg2000" => Ok(pg_codec::Codec::Jpeg2000),
+        other => Err(format!("unknown codec {other:?} (h264/h265/vp9/j2k)")),
+    }
+}
+
+/// Parse a task abbreviation.
+pub fn parse_task(name: &str) -> Result<pg_scene::TaskKind, String> {
+    name.parse::<pg_scene::TaskKind>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let o = Options::parse(&argv(&["--task", "PC", "file.pgv", "--fast"])).unwrap();
+        assert_eq!(o.str_or("task", "AD"), "PC");
+        assert_eq!(o.str_or("fast", "false"), "true");
+        assert_eq!(o.positional(), &["file.pgv".to_string()]);
+    }
+
+    #[test]
+    fn numeric_parsing() {
+        let o = Options::parse(&argv(&["--frames", "500"])).unwrap();
+        assert_eq!(o.num_or("frames", 0usize).unwrap(), 500);
+        assert_eq!(o.num_or("missing", 7u32).unwrap(), 7);
+        assert!(Options::parse(&argv(&["--frames", "abc"]))
+            .unwrap()
+            .num_or("frames", 0usize)
+            .is_err());
+    }
+
+    #[test]
+    fn required_flags() {
+        let o = Options::parse(&argv(&[])).unwrap();
+        assert!(o.str_required("out").is_err());
+    }
+
+    #[test]
+    fn codec_and_task_parsing() {
+        assert_eq!(parse_codec("H265").unwrap(), pg_codec::Codec::H265);
+        assert!(parse_codec("av1").is_err());
+        assert_eq!(parse_task("fd").unwrap(), pg_scene::TaskKind::FireDetection);
+    }
+}

@@ -1,0 +1,141 @@
+//! `pgv gate` — simulate multi-stream gating and report accuracy.
+
+use crate::args::{parse_task, Options};
+use packetgame::training::test_config;
+use packetgame::{
+    ContextualPredictor, OracleGate, PacketGame, PacketGameConfig, RandomGate, RoundRobinGate,
+    TemporalGate,
+};
+use pg_pipeline::{GatePolicy, ReplaySimulator, RoundSimulator, SimConfig};
+
+const HELP: &str = "\
+pgv gate — simulate multi-stream packet gating
+
+OPTIONS:
+    --task <PC|AD|SR|FD>     workload task (default AD; synthetic mode)
+    --streams <n>            concurrent streams (default 32; synthetic mode)
+    --inputs <a.pgv,b.pgv>   gate offline .pgv files instead of synthetic
+                             streams (comma-separated; overrides --task)
+    --rounds <n>             rounds to simulate (default 1500)
+    --budget <units>         decode budget per round (default 6.0)
+    --policy <name>          packetgame|random|temporal|roundrobin|optimal
+                             (default packetgame)
+    --weights <path>         trained weight file (packetgame policy; trains
+                             a small predictor on the fly if omitted)
+    --seed <n>               workload seed (default 1)
+";
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let o = Options::parse(args)?;
+    if o.wants_help() {
+        print!("{HELP}");
+        return Ok(());
+    }
+    let task = parse_task(&o.str_or("task", "AD"))?;
+    let streams: usize = o.num_or("streams", 32)?;
+    let rounds: u64 = o.num_or("rounds", 1500)?;
+    let budget: f64 = o.num_or("budget", 6.0)?;
+    let policy = o.str_or("policy", "packetgame");
+    let seed: u64 = o.num_or("seed", 1)?;
+
+    let config = test_config();
+    let mut gate: Box<dyn GatePolicy> = match policy.as_str() {
+        "random" => Box::new(RandomGate::new(seed)),
+        "temporal" => Box::new(TemporalGate::from_config(&config)),
+        "roundrobin" => Box::new(RoundRobinGate::new()),
+        "optimal" => Box::new(OracleGate),
+        "packetgame" => {
+            match o.str_required("weights") {
+                Ok(path) => {
+                    let wf = pg_nn::serialize::WeightFile::load(&path)
+                        .map_err(|e| format!("loading {path}: {e}"))?;
+                    // Try the CLI's default architectures until one fits.
+                    let mut loaded = None;
+                    for cfg in [PacketGameConfig::default(), test_config()] {
+                        let mut p = ContextualPredictor::new(cfg.clone());
+                        if p.load_weight_file(&wf).is_ok() {
+                            loaded = Some((cfg, p));
+                            break;
+                        }
+                    }
+                    let (cfg, p) = loaded.ok_or_else(|| {
+                        format!("weight file {path} does not match a known architecture")
+                    })?;
+                    Box::new(PacketGame::new(cfg, p))
+                }
+                Err(_) => {
+                    eprintln!("no --weights given; training a small predictor ...");
+                    let predictor = packetgame::train_for_task(task, &config, seed);
+                    Box::new(PacketGame::new(config, predictor))
+                }
+            }
+        }
+        other => return Err(format!("unknown policy {other:?}")),
+    };
+    let inputs: Vec<String> = o
+        .str_or("inputs", "")
+        .split(',')
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect();
+    if inputs.is_empty() {
+        return run_sim(task, streams, rounds, budget, seed, &policy, gate.as_mut());
+    }
+
+    // Offline mode: replay parsed .pgv files (design goal 3 — no
+    // transcoding, codec-agnostic).
+    let mut recorded = Vec::new();
+    for path in &inputs {
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let (header, packets) =
+            pg_codec::parse_stream(&bytes).map_err(|e| format!("parsing {path}: {e}"))?;
+        if packets.is_empty() {
+            return Err(format!("{path}: no packets"));
+        }
+        recorded.push((header.config.codec, packets));
+    }
+    let sim_config = SimConfig {
+        budget_per_round: budget,
+        segments: 12,
+        expose_oracle: policy == "optimal",
+        ..SimConfig::default()
+    };
+    eprintln!("replaying {} offline streams at B={budget} ...", recorded.len());
+    let report = ReplaySimulator::new(recorded, sim_config).run(gate.as_mut(), rounds);
+    print_report(&report, budget);
+    Ok(())
+}
+
+fn run_sim(
+    task: pg_scene::TaskKind,
+    streams: usize,
+    rounds: u64,
+    budget: f64,
+    seed: u64,
+    policy: &str,
+    gate: &mut dyn GatePolicy,
+) -> Result<(), String> {
+    let sim_config = SimConfig {
+        budget_per_round: budget,
+        segments: 12,
+        expose_oracle: policy == "optimal",
+        ..SimConfig::default()
+    };
+    eprintln!("simulating {streams} x {task} streams for {rounds} rounds at B={budget} ...");
+    let report = RoundSimulator::uniform(task, streams, seed, sim_config).run(gate, rounds);
+    print_report(&report, budget);
+    Ok(())
+}
+
+fn print_report(report: &pg_pipeline::RoundSimReport, budget: f64) {
+    println!("policy          {}", report.policy);
+    println!("accuracy        {:.2}%", report.accuracy_overall() * 100.0);
+    println!("staleness acc.  {:.2}%", report.staleness_overall() * 100.0);
+    println!("recall          {:.2}%", report.recall() * 100.0);
+    println!("filtering rate  {:.2}%", report.filtering_rate() * 100.0);
+    println!("cost/round      {:.2} of {:.2}", report.mean_cost_per_round(), budget);
+    println!(
+        "decoded         {} of {} packets (+{} dependency back-fill)",
+        report.packets_decoded, report.packets_total, report.packets_backfilled
+    );
+}

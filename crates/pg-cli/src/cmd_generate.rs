@@ -1,0 +1,55 @@
+//! `pgv generate` — synthesize a PGVS stream file.
+
+use crate::args::{parse_codec, parse_task, Options};
+use pg_codec::{serialize_stream, Encoder, EncoderConfig};
+use pg_scene::generator_for;
+
+const HELP: &str = "\
+pgv generate — synthesize a PGVS stream file
+
+OPTIONS:
+    --task <PC|AD|SR|FD>     inference task content (default PC)
+    --frames <n>             frames to generate (default 1000)
+    --codec <h264|h265|vp9|j2k>   (default h264)
+    --gop <n>                GOP length (default 25)
+    --b-frames <n>           B-frames per mini-group (default 2)
+    --bitrate <bps>          target bitrate (default 4000000)
+    --seed <n>               generator seed (default 1)
+    --out <path>             output file (required)
+";
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let o = Options::parse(args)?;
+    if o.wants_help() {
+        print!("{HELP}");
+        return Ok(());
+    }
+    let task = parse_task(&o.str_or("task", "PC"))?;
+    let frames: usize = o.num_or("frames", 1000)?;
+    let codec = parse_codec(&o.str_or("codec", "h264"))?;
+    let gop: u32 = o.num_or("gop", 25)?;
+    let b_frames: u32 = o.num_or("b-frames", 2)?;
+    let bitrate: u32 = o.num_or("bitrate", 4_000_000)?;
+    let seed: u64 = o.num_or("seed", 1)?;
+    let out = o.str_required("out")?;
+
+    let config = EncoderConfig::new(codec)
+        .with_gop(gop)
+        .with_b_frames(b_frames)
+        .with_bitrate(bitrate);
+    let mut generator = generator_for(task, seed, config.fps);
+    let mut encoder = Encoder::for_stream(config, seed, 0);
+    let packets: Vec<_> = (0..frames)
+        .map(|_| encoder.encode(&generator.next_frame()))
+        .collect();
+    let bytes = serialize_stream(0, &config, &packets);
+    std::fs::write(&out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} packets, {} KiB, {} {} GOP={gop}",
+        packets.len(),
+        bytes.len() / 1024,
+        task.name(),
+        codec.label(),
+    );
+    Ok(())
+}

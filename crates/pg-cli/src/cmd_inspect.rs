@@ -1,0 +1,90 @@
+//! `pgv inspect` — summarize a PGVS stream file.
+
+use crate::args::Options;
+use pg_codec::{CostModel, FrameType, PacketParser};
+
+const HELP: &str = "\
+pgv inspect — summarize a PGVS stream file
+
+USAGE:
+    pgv inspect <file.pgv> [--packets <n>]
+
+OPTIONS:
+    --packets <n>   also dump the first n packet records
+";
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let o = Options::parse(args)?;
+    if o.wants_help() || o.positional().is_empty() {
+        print!("{HELP}");
+        return if o.wants_help() {
+            Ok(())
+        } else {
+            Err("missing input file".into())
+        };
+    }
+    let path = &o.positional()[0];
+    let dump: usize = o.num_or("packets", 0)?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+
+    let mut parser = PacketParser::new();
+    parser.push(&bytes);
+    let (packets, damaged) = parser.drain_packets_lossy();
+    let header = parser
+        .header()
+        .ok_or_else(|| "no valid stream header found".to_string())?;
+
+    println!("stream #{}", header.stream_id);
+    println!(
+        "  codec {}  {}x{} @ {:.0} FPS  {} kbit/s  GOP {}  B-frames {}",
+        header.config.codec,
+        header.config.width,
+        header.config.height,
+        header.config.fps,
+        header.config.bitrate / 1000,
+        header.config.gop,
+        header.config.b_frames,
+    );
+    println!("  file: {} KiB, {} packets parsed, {} damaged records", bytes.len() / 1024, packets.len(), damaged);
+
+    let costs = CostModel::default();
+    let mut count = [0u64; 3];
+    let mut size_sum = [0u64; 3];
+    let mut total_cost = 0.0;
+    for p in &packets {
+        let i = match p.meta.frame_type {
+            FrameType::I => 0,
+            FrameType::P => 1,
+            FrameType::B => 2,
+        };
+        count[i] += 1;
+        size_sum[i] += u64::from(p.meta.size);
+        total_cost += costs.cost(p.meta.frame_type);
+    }
+    for (i, label) in ["I", "P", "B"].iter().enumerate() {
+        if count[i] > 0 {
+            println!(
+                "  {label}: {:>6} packets, mean size {:>9.1} bytes",
+                count[i],
+                size_sum[i] as f64 / count[i] as f64
+            );
+        }
+    }
+    println!(
+        "  total decode cost: {total_cost:.1} units ({:.2} units/frame)",
+        total_cost / packets.len().max(1) as f64
+    );
+    let gops = packets.iter().map(|p| p.meta.gop_id).max().map(|g| g + 1).unwrap_or(0);
+    println!("  GOPs: {gops}");
+
+    if dump > 0 {
+        println!("\n  seq   type   size  gop  refs");
+        for p in packets.iter().take(dump) {
+            println!(
+                "  {:>4}  {:>4}  {:>6}  {:>3}  {:?}",
+                p.meta.seq, p.meta.frame_type, p.meta.size, p.meta.gop_id, p.refs
+            );
+        }
+    }
+    Ok(())
+}

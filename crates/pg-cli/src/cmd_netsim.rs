@@ -1,0 +1,64 @@
+//! `pgv netsim` — push a stream through an impaired network link.
+
+use crate::args::{parse_codec, parse_task, Options};
+use pg_codec::EncoderConfig;
+use pg_net::{ImpairmentConfig, NetworkedStream, ReassemblyConfig};
+
+const HELP: &str = "\
+pgv netsim — stream over an impaired link and report transport stats
+
+OPTIONS:
+    --task <PC|AD|SR|FD>     content task (default PC)
+    --codec <h264|h265|vp9|j2k>  (default h264)
+    --gop <n>                GOP length (default 25)
+    --ticks <n>              frames/ticks to run (default 2000)
+    --loss <p>               datagram drop probability (default 0.02)
+    --corrupt <p>            datagram corruption probability (default 0)
+    --duplicate <p>          duplication probability (default 0)
+    --jitter <ticks>         max delivery jitter (default 0)
+    --seed <n>               seed (default 1)
+";
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let o = Options::parse(args)?;
+    if o.wants_help() {
+        print!("{HELP}");
+        return Ok(());
+    }
+    let task = parse_task(&o.str_or("task", "PC"))?;
+    let codec = parse_codec(&o.str_or("codec", "h264"))?;
+    let gop: u32 = o.num_or("gop", 25)?;
+    let ticks: usize = o.num_or("ticks", 2000)?;
+    let seed: u64 = o.num_or("seed", 1)?;
+    let impairments = ImpairmentConfig {
+        drop_chance: o.num_or("loss", 0.02)?,
+        corrupt_chance: o.num_or("corrupt", 0.0)?,
+        duplicate_chance: o.num_or("duplicate", 0.0)?,
+        base_delay: 1,
+        jitter: o.num_or("jitter", 0)?,
+    };
+
+    let enc = EncoderConfig::new(codec).with_gop(gop);
+    let mut stream =
+        NetworkedStream::with_config(task, seed, enc, impairments, ReassemblyConfig::default());
+    let mut received = 0u64;
+    for _ in 0..ticks {
+        received += stream.tick().len() as u64;
+    }
+    let stats = stream.stats();
+    println!("link: drop {:.1}% corrupt {:.1}% duplicate {:.1}% jitter {} ticks",
+        impairments.drop_chance * 100.0,
+        impairments.corrupt_chance * 100.0,
+        impairments.duplicate_chance * 100.0,
+        impairments.jitter,
+    );
+    println!("packets sent       {}", stats.packets_sent);
+    println!("packets received   {received}");
+    println!("packet loss        {:.2}%", stats.packet_loss() * 100.0);
+    println!("datagrams sent     {}", stats.datagrams_sent);
+    println!("datagrams dropped  {}", stats.datagrams_dropped);
+    println!("integrity failures {}", stats.integrity_failures);
+    println!("parser resyncs     {}", stats.records_resynced);
+    println!("bytes delivered    {} KiB", stats.bytes_delivered / 1024);
+    Ok(())
+}

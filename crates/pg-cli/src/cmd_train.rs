@@ -1,0 +1,68 @@
+//! `pgv train` — train a contextual predictor and save a weight file.
+
+use crate::args::{parse_task, Options};
+use packetgame::training::{
+    balance_dataset, build_offline_dataset, classification_accuracy, score_samples, train,
+};
+use packetgame::{ContextualPredictor, PacketGameConfig};
+use pg_codec::{Codec, EncoderConfig};
+
+const HELP: &str = "\
+pgv train — train a contextual predictor offline
+
+OPTIONS:
+    --task <PC|AD|SR|FD>   task to train for (default PC)
+    --streams <n>          training streams to replay (default 8)
+    --frames <n>           frames per stream (default 3000)
+    --epochs <n>           training epochs (default 15)
+    --window <n>           feature window length (default 5)
+    --seed <n>             seed (default 1)
+    --out <path>           weight file to write (required)
+";
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let o = Options::parse(args)?;
+    if o.wants_help() {
+        print!("{HELP}");
+        return Ok(());
+    }
+    let task = parse_task(&o.str_or("task", "PC"))?;
+    let streams: usize = o.num_or("streams", 8)?;
+    let frames: usize = o.num_or("frames", 3000)?;
+    let epochs: usize = o.num_or("epochs", 15)?;
+    let window: usize = o.num_or("window", 5)?;
+    let seed: u64 = o.num_or("seed", 1)?;
+    let out = o.str_required("out")?;
+
+    let config = PacketGameConfig {
+        epochs,
+        batch_size: 512,
+        learning_rate: 0.002,
+        ..PacketGameConfig::default()
+    }
+    .with_window(window)
+    .with_seed(seed);
+
+    eprintln!("building offline dataset ({streams} streams x {frames} frames) ...");
+    let enc = EncoderConfig::new(Codec::H264);
+    let ds = build_offline_dataset(task, streams, frames, enc, &config, seed);
+    let balanced = balance_dataset(&ds, seed);
+    let cut = (balanced.len() * 4 / 5).max(1);
+    let (train_set, test_set) = balanced.split_at(cut);
+
+    eprintln!("training {epochs} epochs on {} samples ...", train_set.len());
+    let mut predictor = ContextualPredictor::new(config.clone());
+    let loss = train(&mut predictor, train_set, &config);
+    let acc = classification_accuracy(&score_samples(&mut predictor, test_set));
+
+    predictor
+        .to_weight_file()
+        .save(&out)
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} parameters, final loss {loss:.4}, held-out accuracy {:.1}%",
+        predictor.param_count(),
+        acc * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! `pgv weights` — inspect a binary predictor weight file.
+
+use crate::args::Options;
+use pg_nn::serialize::WeightFile;
+
+const HELP: &str = "\
+pgv weights — inspect a .pgnn predictor weight file
+
+USAGE:
+    pgv weights <file.pgnn>
+";
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let o = Options::parse(args)?;
+    if o.wants_help() || o.positional().is_empty() {
+        print!("{HELP}");
+        return if o.wants_help() {
+            Ok(())
+        } else {
+            Err("missing input file".into())
+        };
+    }
+    let path = &o.positional()[0];
+    let wf = WeightFile::load(path).map_err(|e| format!("loading {path}: {e}"))?;
+
+    println!("{path}: {} entries, {} parameters", wf.len(), wf.total_params());
+    println!("\n{:<12} {:>10} {:>12} {:>12} {:>12}", "entry", "params", "min", "mean", "max");
+    for (name, values) in wf.entries() {
+        let (mut lo, mut hi, mut sum) = (f32::MAX, f32::MIN, 0.0f64);
+        for &v in values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+            sum += f64::from(v);
+        }
+        let mean = if values.is_empty() { 0.0 } else { sum / values.len() as f64 };
+        println!(
+            "{:<12} {:>10} {:>12.4} {:>12.4} {:>12.4}",
+            name,
+            values.len(),
+            lo,
+            mean,
+            hi
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! `pgv` — command-line tool for the PacketGame reproduction.
+//!
+//! ```text
+//! pgv generate --task PC --frames 1000 --codec h265 --out stream.pgv
+//! pgv inspect stream.pgv
+//! pgv gate --task AD --streams 32 --budget 6 --rounds 1000 [--policy packetgame]
+//! pgv train --task PC --out weights.pgnn
+//! pgv netsim --loss 0.05 --ticks 2000
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod cmd_gate;
+mod cmd_generate;
+mod cmd_inspect;
+mod cmd_netsim;
+mod cmd_train;
+mod cmd_weights;
+
+const USAGE: &str = "\
+pgv — PacketGame video-stream tool
+
+USAGE:
+    pgv <command> [options]
+
+COMMANDS:
+    generate   Synthesize a PGVS stream file from a scene generator
+    inspect    Summarize a PGVS stream file (packets, sizes, GOPs)
+    train      Train a contextual predictor and save a weight file
+    gate       Simulate multi-stream gating and report accuracy
+    netsim     Push a stream through an impaired network link
+    weights    Inspect a .pgnn predictor weight file
+    help       Show this message
+
+Run `pgv <command> --help` for per-command options.
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &argv[1..];
+    let result = match command.as_str() {
+        "generate" => cmd_generate::run(rest),
+        "inspect" => cmd_inspect::run(rest),
+        "train" => cmd_train::run(rest),
+        "gate" => cmd_gate::run(rest),
+        "netsim" => cmd_netsim::run(rest),
+        "weights" => cmd_weights::run(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `pgv help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pgv: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! End-to-end tests of the `pgv` binary.
+
+use std::process::Command;
+
+fn pgv() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pgv"))
+}
+
+fn tmpdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pgv-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    dir
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = pgv().arg("help").output().expect("run pgv");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["generate", "inspect", "train", "gate", "netsim"] {
+        assert!(text.contains(cmd), "help should mention {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = pgv().arg("frobnicate").output().expect("run pgv");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_then_inspect_roundtrip() {
+    let dir = tmpdir();
+    let file = dir.join("clip.pgv");
+    let out = pgv()
+        .args([
+            "generate", "--task", "FD", "--frames", "200", "--codec", "h265", "--gop", "10",
+            "--out",
+        ])
+        .arg(&file)
+        .output()
+        .expect("generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(file.exists());
+
+    let out = pgv().arg("inspect").arg(&file).output().expect("inspect");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("H.265"), "inspect output: {text}");
+    assert!(text.contains("200 packets parsed"), "inspect output: {text}");
+    assert!(text.contains("GOPs: 20"), "inspect output: {text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gate_replays_offline_files() {
+    let dir = tmpdir();
+    let a = dir.join("a.pgv");
+    let b = dir.join("b.pgv");
+    for (seed, path) in [("5", &a), ("6", &b)] {
+        let out = pgv()
+            .args(["generate", "--task", "AD", "--frames", "150", "--seed", seed, "--out"])
+            .arg(path)
+            .output()
+            .expect("generate");
+        assert!(out.status.success());
+    }
+    let inputs = format!("{},{}", a.display(), b.display());
+    let out = pgv()
+        .args([
+            "gate", "--inputs", &inputs, "--policy", "roundrobin", "--budget", "1.5",
+        ])
+        .output()
+        .expect("gate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("policy          RoundRobin"), "{text}");
+    assert!(text.contains("accuracy"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn netsim_reports_transport_stats() {
+    let out = pgv()
+        .args(["netsim", "--loss", "0.05", "--ticks", "300"])
+        .output()
+        .expect("netsim");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("packet loss"), "{text}");
+    assert!(text.contains("datagrams dropped"), "{text}");
+}
+
+#[test]
+fn missing_required_option_is_a_clean_error() {
+    let out = pgv().args(["generate", "--task", "PC"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+}

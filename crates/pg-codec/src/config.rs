@@ -1,0 +1,207 @@
+//! Codec selection and encoder configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Video codec. The paper evaluates PacketGame across H.264 (YT-UGC native),
+/// H.265 (Campus1K native), VP9, and JPEG2000 (Fig. 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Codec {
+    /// H.264/AVC — the baseline; YT-UGC's native codec.
+    H264,
+    /// H.265/HEVC — ~45% better compression than H.264; Campus1K's codec.
+    H265,
+    /// VP9 — between H.264 and H.265 in efficiency.
+    Vp9,
+    /// JPEG2000 — intra-only: every frame is independent (the paper notes
+    /// PacketGame drops the independent-frame view's *counterpart* for this
+    /// codec since there are no predicted frames).
+    Jpeg2000,
+}
+
+impl Codec {
+    /// All codecs in the paper's Fig. 14 order.
+    pub const ALL: [Codec; 4] = [Codec::H264, Codec::H265, Codec::Vp9, Codec::Jpeg2000];
+
+    /// Compression efficiency relative to H.264 (lower = smaller packets
+    /// for the same perceived quality). Values follow the common rule of
+    /// thumb for these codecs.
+    pub fn efficiency(self) -> f64 {
+        match self {
+            Codec::H264 => 1.0,
+            Codec::H265 => 0.55,
+            Codec::Vp9 => 0.70,
+            // Intra-only coding cannot exploit temporal redundancy, so the
+            // per-frame size is far larger at equal quality.
+            Codec::Jpeg2000 => 3.0,
+        }
+    }
+
+    /// Whether the codec produces predicted (P/B) frames at all.
+    pub fn has_predicted_frames(self) -> bool {
+        !matches!(self, Codec::Jpeg2000)
+    }
+
+    /// Short name used in experiment output (matches the paper's labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            Codec::H264 => "H.264",
+            Codec::H265 => "H.265",
+            Codec::Vp9 => "VP9",
+            Codec::Jpeg2000 => "J2K",
+        }
+    }
+
+    pub(crate) fn to_wire(self) -> u8 {
+        match self {
+            Codec::H264 => 1,
+            Codec::H265 => 2,
+            Codec::Vp9 => 3,
+            Codec::Jpeg2000 => 4,
+        }
+    }
+
+    pub(crate) fn from_wire(byte: u8) -> Option<Codec> {
+        match byte {
+            1 => Some(Codec::H264),
+            2 => Some(Codec::H265),
+            3 => Some(Codec::Vp9),
+            4 => Some(Codec::Jpeg2000),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Codec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Encoder configuration for one stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EncoderConfig {
+    /// Codec in use.
+    pub codec: Codec,
+    /// GOP length in frames (one I-frame every `gop` frames). Live
+    /// streaming commonly uses very large GOPs (paper §6.4 tests 300).
+    pub gop: u32,
+    /// Number of B-frames between consecutive reference frames
+    /// (0 = IPPP..., 2 = IBBPBBP...). Ignored for intra-only codecs.
+    pub b_frames: u32,
+    /// Target bitrate in bits/s. The paper's extreme-low-bitrate case
+    /// (§6.4) uses 100 kbit/s; 1080p defaults to 4 Mbit/s.
+    pub bitrate: u32,
+    /// Frames per second.
+    pub fps: f64,
+    /// Frame width in pixels (affects absolute sizes only).
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+}
+
+impl EncoderConfig {
+    /// A 1080p 25 FPS 4 Mbit/s stream — the paper's workhorse configuration.
+    pub fn new(codec: Codec) -> Self {
+        EncoderConfig {
+            codec,
+            gop: 25,
+            b_frames: 2,
+            bitrate: 4_000_000,
+            fps: 25.0,
+            width: 1920,
+            height: 1080,
+        }
+    }
+
+    /// Set the GOP length (clamped to ≥ 1).
+    pub fn with_gop(mut self, gop: u32) -> Self {
+        self.gop = gop.max(1);
+        self
+    }
+
+    /// Set the number of B-frames between references.
+    pub fn with_b_frames(mut self, b: u32) -> Self {
+        self.b_frames = b;
+        self
+    }
+
+    /// Set the target bitrate in bits/s (clamped to ≥ 1000).
+    pub fn with_bitrate(mut self, bitrate: u32) -> Self {
+        self.bitrate = bitrate.max(1000);
+        self
+    }
+
+    /// Set the frame rate.
+    pub fn with_fps(mut self, fps: f64) -> Self {
+        self.fps = fps.max(1.0);
+        self
+    }
+
+    /// Set the resolution.
+    pub fn with_resolution(mut self, width: u32, height: u32) -> Self {
+        self.width = width.max(16);
+        self.height = height.max(16);
+        self
+    }
+
+    /// Average target bytes per frame implied by bitrate and fps.
+    pub fn bytes_per_frame(&self) -> f64 {
+        f64::from(self.bitrate) / self.fps / 8.0
+    }
+
+    /// Effective number of B-frames (0 for intra-only codecs).
+    pub fn effective_b_frames(&self) -> u32 {
+        if self.codec.has_predicted_frames() {
+            self.b_frames
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_wire_roundtrip() {
+        for c in Codec::ALL {
+            assert_eq!(Codec::from_wire(c.to_wire()), Some(c));
+        }
+        assert_eq!(Codec::from_wire(0), None);
+        assert_eq!(Codec::from_wire(99), None);
+    }
+
+    #[test]
+    fn efficiency_ordering_matches_folklore() {
+        assert!(Codec::H265.efficiency() < Codec::Vp9.efficiency());
+        assert!(Codec::Vp9.efficiency() < Codec::H264.efficiency());
+        assert!(Codec::Jpeg2000.efficiency() > Codec::H264.efficiency());
+    }
+
+    #[test]
+    fn builder_clamps_degenerate_values() {
+        let c = EncoderConfig::new(Codec::H264)
+            .with_gop(0)
+            .with_bitrate(0)
+            .with_fps(0.0)
+            .with_resolution(0, 0);
+        assert_eq!(c.gop, 1);
+        assert_eq!(c.bitrate, 1000);
+        assert_eq!(c.fps, 1.0);
+        assert_eq!((c.width, c.height), (16, 16));
+    }
+
+    #[test]
+    fn bytes_per_frame_arithmetic() {
+        let c = EncoderConfig::new(Codec::H264); // 4 Mbit/s at 25 FPS
+        assert!((c.bytes_per_frame() - 20_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jpeg2000_has_no_predicted_frames() {
+        let c = EncoderConfig::new(Codec::Jpeg2000).with_b_frames(2);
+        assert_eq!(c.effective_b_frames(), 0);
+        assert!(!Codec::Jpeg2000.has_predicted_frames());
+    }
+}

@@ -1,0 +1,122 @@
+//! Heterogeneous decode-cost model.
+//!
+//! The paper's running example (§4.1): "the edge server's resource budget
+//! supports decoding 11 I-frame packets or 32 P/B-frame packets at each
+//! round". We normalise the cost of a P/B packet to 1.0, which makes an
+//! I packet cost 32/11 ≈ 2.909 and the per-round budget of that example
+//! B = 32 units.
+
+use serde::{Deserialize, Serialize};
+
+use crate::frame::FrameType;
+
+/// Decode cost per picture type, in normalised units (P/B = 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of decoding an I packet.
+    pub c_i: f64,
+    /// Cost of decoding a P packet.
+    pub c_p: f64,
+    /// Cost of decoding a B packet.
+    pub c_b: f64,
+}
+
+impl Default for CostModel {
+    /// The paper's example ratio: 11 I ≍ 32 P/B per round.
+    fn default() -> Self {
+        CostModel {
+            c_i: 32.0 / 11.0,
+            c_p: 1.0,
+            c_b: 1.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Uniform costs (used to show the budget is only interesting when
+    /// costs are heterogeneous; §4.3 "the budget will be trivial if item
+    /// costs are uniform").
+    pub fn uniform() -> Self {
+        CostModel {
+            c_i: 1.0,
+            c_p: 1.0,
+            c_b: 1.0,
+        }
+    }
+
+    /// Cost of decoding one packet of the given picture type.
+    pub fn cost(&self, frame_type: FrameType) -> f64 {
+        match frame_type {
+            FrameType::I => self.c_i,
+            FrameType::P => self.c_p,
+            FrameType::B => self.c_b,
+        }
+    }
+
+    /// The maximal single-packet cost `c` in Lemma 1's `1 − c/B` bound.
+    pub fn max_cost(&self) -> f64 {
+        self.c_i.max(self.c_p).max(self.c_b)
+    }
+
+    /// Average cost per packet for a GOP pattern with the given length and
+    /// B-frame count (used to convert a per-round budget into an
+    /// FPS-equivalent decode capacity).
+    pub fn mean_cost_per_frame(&self, gop: u32, b_frames: u32) -> f64 {
+        let gop = f64::from(gop.max(1));
+        // One I per GOP; remaining frames split between B and P in the
+        // ratio b_frames : 1 per mini-group.
+        let predicted = gop - 1.0;
+        let group = f64::from(b_frames) + 1.0;
+        let n_b = predicted * f64::from(b_frames) / group;
+        let n_p = predicted - n_b;
+        (self.c_i + n_p * self.c_p + n_b * self.c_b) / gop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_example() {
+        let m = CostModel::default();
+        // A budget that decodes 11 I-frames should decode 32 P-frames.
+        let budget = 11.0 * m.c_i;
+        assert!((budget - 32.0 * m.c_p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_lookup() {
+        let m = CostModel::default();
+        assert!(m.cost(FrameType::I) > m.cost(FrameType::P));
+        assert_eq!(m.cost(FrameType::P), m.cost(FrameType::B));
+    }
+
+    #[test]
+    fn max_cost_is_i_by_default() {
+        let m = CostModel::default();
+        assert_eq!(m.max_cost(), m.c_i);
+    }
+
+    #[test]
+    fn mean_cost_gop1_is_all_i() {
+        let m = CostModel::default();
+        assert!((m.mean_cost_per_frame(1, 0) - m.c_i).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_cost_decreases_with_gop() {
+        let m = CostModel::default();
+        let short = m.mean_cost_per_frame(5, 2);
+        let long = m.mean_cost_per_frame(300, 2);
+        assert!(long < short);
+        assert!(long >= 1.0, "cannot be cheaper than a P frame");
+    }
+
+    #[test]
+    fn uniform_model_is_flat() {
+        let m = CostModel::uniform();
+        assert_eq!(m.cost(FrameType::I), 1.0);
+        assert!((m.mean_cost_per_frame(25, 2) - 1.0).abs() < 1e-9);
+    }
+}

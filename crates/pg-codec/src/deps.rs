@@ -1,0 +1,256 @@
+//! GOP decode-dependency tracking (paper Fig. 6).
+//!
+//! The *actual* cost of decoding a packet depends on previous gating
+//! decisions: if its references were skipped, they must be decoded first
+//! (transitively, back to the nearest already-decoded frame or the GOP's
+//! I frame). This module tracks, per stream, which recent packets arrived
+//! and which were decoded, and answers two queries the optimizer needs:
+//!
+//! * [`DependencyTracker::pending_closure`] — the undecoded transitive
+//!   dependency set of a packet (including itself), in decode order;
+//! * [`DependencyTracker::pending_cost`] — the total cost of that closure.
+//!
+//! The paper's Fig. 6 examples map directly onto these queries: a B packet
+//! whose GOP-opening I was skipped costs `1I + 1B + 1P`; an I packet always
+//! costs `1I`; a P packet three places behind the last decoded P costs `2P`
+//! (its own P plus the skipped one in between... traced transitively).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::cost::CostModel;
+use crate::frame::FrameType;
+use crate::packet::Packet;
+
+/// Per-packet bookkeeping entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    frame_type: FrameType,
+    refs: Vec<u64>,
+    gop_id: u64,
+    decoded: bool,
+}
+
+/// Tracks arrival and decode status of recent packets in one stream.
+///
+/// Old GOPs are pruned automatically: once a packet from GOP `g` arrives,
+/// everything before GOP `g − 1` is dropped (no dependency can reach back
+/// further than the previous GOP boundary in our closed-GOP model; in fact
+/// dependencies never cross GOPs, but keeping one extra GOP makes the
+/// pruning obviously safe).
+#[derive(Debug, Clone, Default)]
+pub struct DependencyTracker {
+    entries: BTreeMap<u64, Entry>,
+    newest_gop: u64,
+}
+
+impl DependencyTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `packet` arrived (not yet decoded).
+    pub fn note_arrival(&mut self, packet: &Packet) {
+        self.entries.insert(
+            packet.meta.seq,
+            Entry {
+                frame_type: packet.meta.frame_type,
+                refs: packet.refs.clone(),
+                gop_id: packet.meta.gop_id,
+                decoded: false,
+            },
+        );
+        if packet.meta.gop_id > self.newest_gop {
+            self.newest_gop = packet.meta.gop_id;
+            self.prune();
+        }
+    }
+
+    /// Mark a packet as decoded. Unknown packets are ignored (they may have
+    /// been pruned).
+    pub fn mark_decoded(&mut self, seq: u64) {
+        if let Some(e) = self.entries.get_mut(&seq) {
+            e.decoded = true;
+        }
+    }
+
+    /// Whether `seq` is known and decoded.
+    pub fn is_decoded(&self, seq: u64) -> bool {
+        self.entries.get(&seq).map(|e| e.decoded).unwrap_or(false)
+    }
+
+    /// Whether `seq` is known (arrived and not pruned).
+    pub fn knows(&self, seq: u64) -> bool {
+        self.entries.contains_key(&seq)
+    }
+
+    /// Number of tracked packets (bounded by ~2 GOPs).
+    pub fn tracked(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The undecoded transitive dependency closure of `seq`, **including
+    /// `seq` itself**, sorted in decode order (ascending sequence number).
+    /// Returns `None` if `seq` is unknown or any transitive reference has
+    /// been pruned while still undecoded (cannot happen in normal operation).
+    pub fn pending_closure(&self, seq: u64) -> Option<Vec<u64>> {
+        let mut pending: HashMap<u64, bool> = HashMap::new();
+        let mut stack = vec![seq];
+        while let Some(s) = stack.pop() {
+            if pending.contains_key(&s) {
+                continue;
+            }
+            let entry = self.entries.get(&s)?;
+            if entry.decoded && s != seq {
+                // Decoded ancestors terminate the trace-back.
+                continue;
+            }
+            pending.insert(s, true);
+            for &r in &entry.refs {
+                if !self.is_decoded(r) {
+                    stack.push(r);
+                }
+            }
+        }
+        let mut closure: Vec<u64> = pending.into_keys().collect();
+        closure.sort_unstable();
+        Some(closure)
+    }
+
+    /// Total decode cost of [`pending_closure`](Self::pending_closure)
+    /// under `costs`. Returns `None` when the closure is unavailable.
+    pub fn pending_cost(&self, seq: u64, costs: &CostModel) -> Option<f64> {
+        let closure = self.pending_closure(seq)?;
+        Some(
+            closure
+                .iter()
+                .map(|s| costs.cost(self.entries[s].frame_type))
+                .sum(),
+        )
+    }
+
+    /// Frame type of a tracked packet.
+    pub fn frame_type(&self, seq: u64) -> Option<FrameType> {
+        self.entries.get(&seq).map(|e| e.frame_type)
+    }
+
+    fn prune(&mut self) {
+        let keep_from_gop = self.newest_gop.saturating_sub(1);
+        self.entries.retain(|_, e| e.gop_id >= keep_from_gop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Codec, EncoderConfig};
+    use crate::encoder::Encoder;
+    use pg_scene::{PersonSceneGen, SceneGenerator};
+
+    /// Encode an IPBBPBB… stream and ingest everything.
+    fn setup(gop: u32, b: u32, n: usize) -> (DependencyTracker, Vec<Packet>) {
+        let config = EncoderConfig::new(Codec::H264).with_gop(gop).with_b_frames(b);
+        let mut enc = Encoder::new(config, 9);
+        let mut scene = PersonSceneGen::new(9, 25.0);
+        let packets: Vec<Packet> = (0..n).map(|_| enc.encode(&scene.next_frame())).collect();
+        let mut tracker = DependencyTracker::new();
+        for p in &packets {
+            tracker.note_arrival(p);
+        }
+        (tracker, packets)
+    }
+
+    #[test]
+    fn i_packet_closure_is_itself() {
+        let (t, _) = setup(9, 2, 9);
+        assert_eq!(t.pending_closure(0), Some(vec![0]));
+        assert_eq!(t.pending_cost(0, &CostModel::default()), Some(32.0 / 11.0));
+    }
+
+    #[test]
+    fn fig6_stream1_case_b_with_skipped_i() {
+        // seq: 0=I 1=P 2=B ...; nothing decoded. Decoding B2 requires I0
+        // and P1: cost = 1I + 1P + 1B.
+        let (t, _) = setup(9, 2, 9);
+        let costs = CostModel::default();
+        assert_eq!(t.pending_closure(2), Some(vec![0, 1, 2]));
+        let expect = costs.c_i + costs.c_p + costs.c_b;
+        assert!((t.pending_cost(2, &costs).unwrap() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig6_stream2_case_i_has_no_dependency() {
+        let (t, _) = setup(9, 2, 18);
+        // Second GOP's I at seq 9.
+        assert_eq!(t.pending_closure(9), Some(vec![9]));
+    }
+
+    #[test]
+    fn fig6_stream3_case_trace_back_to_decoded_p() {
+        // IPPPP… stream: decode P1; skip P2; cost of P3 = 2P (P2 + P3).
+        let (mut t, _) = setup(10, 0, 10);
+        t.mark_decoded(0);
+        t.mark_decoded(1);
+        let costs = CostModel::default();
+        assert_eq!(t.pending_closure(3), Some(vec![2, 3]));
+        assert!((t.pending_cost(3, &costs).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decoded_references_drop_out_of_closure() {
+        let (mut t, _) = setup(9, 2, 9);
+        t.mark_decoded(0);
+        t.mark_decoded(1);
+        // B2 now only needs itself.
+        assert_eq!(t.pending_closure(2), Some(vec![2]));
+        assert_eq!(t.pending_cost(2, &CostModel::default()), Some(1.0));
+    }
+
+    #[test]
+    fn closure_of_decoded_packet_is_itself() {
+        // Re-requesting a decoded packet is the caller's business; the
+        // closure still reports the packet itself.
+        let (mut t, _) = setup(9, 2, 9);
+        t.mark_decoded(0);
+        assert_eq!(t.pending_closure(0), Some(vec![0]));
+    }
+
+    #[test]
+    fn unknown_seq_yields_none() {
+        let (t, _) = setup(9, 2, 9);
+        assert_eq!(t.pending_closure(99), None);
+        assert_eq!(t.pending_cost(99, &CostModel::default()), None);
+    }
+
+    #[test]
+    fn pruning_bounds_memory() {
+        let (t, _) = setup(10, 2, 500); // 50 GOPs
+        assert!(
+            t.tracked() <= 20,
+            "tracker holds {} entries, expected ≤ 2 GOPs",
+            t.tracked()
+        );
+    }
+
+    #[test]
+    fn long_p_chain_accumulates_cost() {
+        // IPPPPPPPPP, nothing decoded: cost of P9 = 1I + 9P? No - trace back
+        // to the I (undecoded): closure = 0..=9.
+        let (t, _) = setup(10, 0, 10);
+        let costs = CostModel::default();
+        let closure = t.pending_closure(9).unwrap();
+        assert_eq!(closure, (0..=9).collect::<Vec<u64>>());
+        let expect = costs.c_i + 9.0 * costs.c_p;
+        assert!((t.pending_cost(9, &costs).unwrap() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closure_is_sorted_decode_order() {
+        let (t, _) = setup(25, 2, 25);
+        for seq in 0..25 {
+            let c = t.pending_closure(seq).unwrap();
+            assert!(c.windows(2).all(|w| w[0] < w[1]), "unsorted closure {c:?}");
+            assert_eq!(*c.last().unwrap(), seq);
+        }
+    }
+}

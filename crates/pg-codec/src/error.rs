@@ -1,0 +1,85 @@
+//! Error types for parsing and decoding.
+
+/// Errors produced by the codec substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodecError {
+    /// A packet's reference frame has not been decoded (and is not
+    /// available to decode either). Decoding must be refused — this is the
+    /// invariant that makes skipped packets actually *cost nothing*.
+    MissingReference {
+        /// Stream the packet belongs to.
+        stream_id: u32,
+        /// The packet that was asked to decode.
+        seq: u64,
+        /// The reference that is unavailable.
+        missing: u64,
+    },
+    /// The decoder was asked about a packet it never ingested.
+    UnknownPacket {
+        /// Stream queried.
+        stream_id: u32,
+        /// Unknown sequence number.
+        seq: u64,
+    },
+    /// The byte stream does not start with a valid stream header.
+    InvalidHeader(String),
+    /// A packet record in the byte stream is malformed.
+    MalformedRecord {
+        /// Byte offset (within all bytes fed to the parser) of the record.
+        offset: u64,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::MissingReference {
+                stream_id,
+                seq,
+                missing,
+            } => write!(
+                f,
+                "stream {stream_id}: packet {seq} requires reference {missing}, which is not decoded"
+            ),
+            CodecError::UnknownPacket { stream_id, seq } => {
+                write!(f, "stream {stream_id}: packet {seq} was never ingested")
+            }
+            CodecError::InvalidHeader(reason) => write!(f, "invalid stream header: {reason}"),
+            CodecError::MalformedRecord { offset, reason } => {
+                write!(f, "malformed packet record at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CodecError::MissingReference {
+            stream_id: 3,
+            seq: 42,
+            missing: 40,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("42") && msg.contains("40") && msg.contains("3"));
+
+        let e = CodecError::MalformedRecord {
+            offset: 128,
+            reason: "bad sync".into(),
+        };
+        assert!(e.to_string().contains("128"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(CodecError::InvalidHeader("x".into()));
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Picture types: independent (I) and predicted (P/B) frames.
+
+use serde::{Deserialize, Serialize};
+
+/// Picture type of an encoded video packet (paper §4.1: "Common video
+/// codecs have two types of encoded frames, independent (I-frame) and
+/// predicted (P/B-frame), and their costs are heterogeneous").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameType {
+    /// Intra-coded frame: decodable by itself; large; starts a GOP.
+    I,
+    /// Forward-predicted frame: references the previous reference frame.
+    P,
+    /// Bi-directionally predicted frame: references the surrounding two
+    /// reference frames; smallest of the three.
+    B,
+}
+
+impl FrameType {
+    /// Whether the frame is *independent* (decodable without references) —
+    /// the distinction PacketGame's multi-view predictor splits on (§5.2).
+    pub fn is_independent(self) -> bool {
+        matches!(self, FrameType::I)
+    }
+
+    /// Whether the frame can serve as a reference for later frames
+    /// (I and P can; B frames are not used as references in our model).
+    pub fn is_reference(self) -> bool {
+        matches!(self, FrameType::I | FrameType::P)
+    }
+
+    /// Wire encoding for the bitstream container.
+    pub(crate) fn to_wire(self) -> u8 {
+        match self {
+            FrameType::I => 0x49, // 'I'
+            FrameType::P => 0x50, // 'P'
+            FrameType::B => 0x42, // 'B'
+        }
+    }
+
+    /// Decode the wire representation.
+    pub(crate) fn from_wire(byte: u8) -> Option<FrameType> {
+        match byte {
+            0x49 => Some(FrameType::I),
+            0x50 => Some(FrameType::P),
+            0x42 => Some(FrameType::B),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FrameType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = match self {
+            FrameType::I => 'I',
+            FrameType::P => 'P',
+            FrameType::B => 'B',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        for t in [FrameType::I, FrameType::P, FrameType::B] {
+            assert_eq!(FrameType::from_wire(t.to_wire()), Some(t));
+        }
+    }
+
+    #[test]
+    fn from_wire_rejects_unknown() {
+        assert_eq!(FrameType::from_wire(0x00), None);
+        assert_eq!(FrameType::from_wire(0xFF), None);
+    }
+
+    #[test]
+    fn independence_and_reference_flags() {
+        assert!(FrameType::I.is_independent());
+        assert!(!FrameType::P.is_independent());
+        assert!(!FrameType::B.is_independent());
+        assert!(FrameType::I.is_reference());
+        assert!(FrameType::P.is_reference());
+        assert!(!FrameType::B.is_reference());
+    }
+
+    #[test]
+    fn display_single_letter() {
+        assert_eq!(FrameType::I.to_string(), "I");
+        assert_eq!(FrameType::P.to_string(), "P");
+        assert_eq!(FrameType::B.to_string(), "B");
+    }
+}

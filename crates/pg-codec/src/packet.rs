@@ -1,0 +1,145 @@
+//! Encoded video packets and their pre-decode metadata.
+
+use serde::{Deserialize, Serialize};
+
+use pg_scene::SceneFrame;
+
+use crate::frame::FrameType;
+
+/// Pre-decode packet metadata — everything a packet gate is allowed to see
+/// (paper §3.1: "only some metadata of the video packet is available, such
+/// as video codec, picture type, packet size").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketMeta {
+    /// Stream the packet belongs to.
+    pub stream_id: u32,
+    /// Decode-order sequence number within the stream (0-based).
+    pub seq: u64,
+    /// Presentation timestamp in frame units (display order).
+    pub pts: u64,
+    /// Picture type.
+    pub frame_type: FrameType,
+    /// Encoded payload size in bytes.
+    pub size: u32,
+    /// Index of the GOP this packet belongs to.
+    pub gop_id: u64,
+}
+
+/// A complete encoded packet: gate-visible metadata, decode dependencies,
+/// and the opaque payload.
+///
+/// `refs` and `scene` model what a real bitstream carries implicitly: the
+/// reference structure is recoverable from the GOP pattern (and *is*
+/// metadata — a parser can derive it), while `scene` stands in for the
+/// pixel payload and is **only** readable after decoding (the
+/// [`Decoder`](crate::Decoder) enforces this by refusing packets with
+/// missing references).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Gate-visible metadata.
+    pub meta: PacketMeta,
+    /// Decode-order sequence numbers of the packets this one references.
+    /// Always strictly smaller than `meta.seq` (references have already
+    /// arrived when a packet arrives in decode order).
+    pub refs: Vec<u64>,
+    /// Ground-truth scene content (the "pixels"); recovered by decoding.
+    pub scene: SceneFrame,
+}
+
+impl Packet {
+    /// Whether this packet can be decoded with no references at all.
+    pub fn is_independent(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Sanity-check the invariants a well-formed packet must satisfy.
+    /// Used by tests and debug assertions throughout the workspace.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.meta.frame_type == FrameType::I && !self.refs.is_empty() {
+            return Err(format!(
+                "I packet seq={} must have no references",
+                self.meta.seq
+            ));
+        }
+        if self.meta.frame_type != FrameType::I && self.refs.is_empty() {
+            return Err(format!(
+                "{} packet seq={} must have references",
+                self.meta.frame_type, self.meta.seq
+            ));
+        }
+        for &r in &self.refs {
+            if r >= self.meta.seq {
+                return Err(format!(
+                    "packet seq={} references future/self packet {}",
+                    self.meta.seq, r
+                ));
+            }
+        }
+        if self.meta.size == 0 {
+            return Err(format!("packet seq={} has zero size", self.meta.seq));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_scene::SceneState;
+
+    fn scene() -> SceneFrame {
+        SceneFrame::new(0, 0.5, 0.1, SceneState::Fire(false))
+    }
+
+    fn packet(frame_type: FrameType, seq: u64, refs: Vec<u64>) -> Packet {
+        Packet {
+            meta: PacketMeta {
+                stream_id: 0,
+                seq,
+                pts: seq,
+                frame_type,
+                size: 1000,
+                gop_id: 0,
+            },
+            refs,
+            scene: scene(),
+        }
+    }
+
+    #[test]
+    fn i_packet_is_independent() {
+        let p = packet(FrameType::I, 0, vec![]);
+        assert!(p.is_independent());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn p_packet_needs_refs() {
+        let bad = packet(FrameType::P, 3, vec![]);
+        assert!(bad.validate().is_err());
+        let good = packet(FrameType::P, 3, vec![0]);
+        assert!(good.validate().is_ok());
+        assert!(!good.is_independent());
+    }
+
+    #[test]
+    fn i_packet_with_refs_is_invalid() {
+        let bad = packet(FrameType::I, 5, vec![0]);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn forward_references_are_invalid() {
+        let bad = packet(FrameType::B, 2, vec![1, 3]);
+        assert!(bad.validate().is_err());
+        let self_ref = packet(FrameType::B, 2, vec![2]);
+        assert!(self_ref.validate().is_err());
+    }
+
+    #[test]
+    fn zero_size_is_invalid() {
+        let mut p = packet(FrameType::I, 0, vec![]);
+        p.meta.size = 0;
+        assert!(p.validate().is_err());
+    }
+}

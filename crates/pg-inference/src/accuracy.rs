@@ -1,0 +1,260 @@
+//! Accuracy metrics for offline and online evaluation (paper §6.3).
+//!
+//! **Offline** (Fig. 9): sweep a confidence threshold over scored samples
+//! with a 1:1 positive/negative ratio; at each threshold measure the
+//! *filtering rate* `r` (fraction of packets filtered out) and the
+//! *inference accuracy* `a = 1 − FN/N` (every necessary packet that was
+//! filtered costs accuracy; filtering redundant packets is free). The
+//! optimal curve is `a = 1 − max(r − TN, 0)` where `TN` is the fraction of
+//! redundant packets in the test set.
+//!
+//! **Online** (Fig. 10): per time segment, accuracy is the fraction of
+//! packets whose analytics outcome is correct — a packet is correct if it
+//! was decoded, or if skipping it was harmless (it was redundant).
+
+use serde::Serialize;
+
+/// One point of an offline filtering-rate/accuracy curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct OfflineCurvePoint {
+    /// Confidence threshold producing this point.
+    pub threshold: f64,
+    /// Fraction of samples filtered out (not decoded).
+    pub filtering_rate: f64,
+    /// Inference accuracy `1 − FN/N`.
+    pub accuracy: f64,
+    /// True-positive rate among necessary samples (recall).
+    pub tpr: f64,
+    /// False-positive rate among redundant samples.
+    pub fpr: f64,
+}
+
+/// Sweep thresholds over `(score, necessary)` samples and produce the
+/// offline curve. Scores are "keep confidences": samples with
+/// `score ≥ threshold` are decoded.
+pub fn offline_curve(samples: &[(f64, bool)], thresholds: usize) -> Vec<OfflineCurvePoint> {
+    assert!(thresholds >= 2, "need at least two thresholds");
+    let n = samples.len().max(1) as f64;
+    let positives = samples.iter().filter(|(_, nec)| *nec).count().max(1) as f64;
+    let negatives = (samples.len() - samples.iter().filter(|(_, nec)| *nec).count()).max(1) as f64;
+
+    (0..thresholds)
+        .map(|i| {
+            let threshold = i as f64 / (thresholds - 1) as f64;
+            let mut filtered = 0usize;
+            let mut fn_count = 0usize;
+            let mut tp = 0usize;
+            let mut fp = 0usize;
+            for &(score, necessary) in samples {
+                let keep = score >= threshold;
+                if !keep {
+                    filtered += 1;
+                    if necessary {
+                        fn_count += 1;
+                    }
+                } else if necessary {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+            OfflineCurvePoint {
+                threshold,
+                filtering_rate: filtered as f64 / n,
+                accuracy: 1.0 - fn_count as f64 / n,
+                tpr: tp as f64 / positives,
+                fpr: fp as f64 / negatives,
+            }
+        })
+        .collect()
+}
+
+/// The paper's optimal accuracy at filtering rate `r` given a
+/// true-negative (redundant) fraction `tn`: `a = 1 − max(r − TN, 0)`.
+pub fn optimal_curve_point(r: f64, tn: f64) -> f64 {
+    1.0 - (r - tn).max(0.0)
+}
+
+/// Interpolate the achievable filtering rate at a target accuracy from a
+/// measured curve (the paper reports e.g. "filtering rates of 51.8% ... at
+/// 90% accuracy"). Returns the highest filtering rate whose accuracy is at
+/// least `target_accuracy`.
+pub fn filtering_rate_at_accuracy(
+    curve: &[OfflineCurvePoint],
+    target_accuracy: f64,
+) -> Option<f64> {
+    curve
+        .iter()
+        .filter(|p| p.accuracy >= target_accuracy)
+        .map(|p| p.filtering_rate)
+        .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+}
+
+/// TPR at the largest threshold whose FPR is ≤ `max_fpr` (paper §3.1:
+/// "setting the maximal false-positive rate as 10%, residual-based
+/// selection results in only 6.1% true-positive rate while PacketGame
+/// achieves 76.6%").
+pub fn tpr_at_fpr(curve: &[OfflineCurvePoint], max_fpr: f64) -> f64 {
+    curve
+        .iter()
+        .filter(|p| p.fpr <= max_fpr)
+        .map(|p| p.tpr)
+        .fold(0.0, f64::max)
+}
+
+/// Area under the ROC curve via trapezoidal integration over the curve's
+/// (fpr, tpr) points.
+pub fn auc(curve: &[OfflineCurvePoint]) -> f64 {
+    let mut pts: Vec<(f64, f64)> = curve.iter().map(|p| (p.fpr, p.tpr)).collect();
+    pts.push((0.0, 0.0));
+    pts.push((1.0, 1.0));
+    pts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    pts.windows(2)
+        .map(|w| (w[1].0 - w[0].0) * (w[0].1 + w[1].1) / 2.0)
+        .sum()
+}
+
+/// Online accuracy accumulator for one evaluation run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct OnlineAccuracy {
+    correct: u64,
+    total: u64,
+    /// Per-segment tallies: (correct, total).
+    segments: Vec<(u64, u64)>,
+}
+
+impl OnlineAccuracy {
+    /// Accumulator with `segments` time buckets.
+    pub fn with_segments(segments: usize) -> Self {
+        OnlineAccuracy {
+            correct: 0,
+            total: 0,
+            segments: vec![(0, 0); segments],
+        }
+    }
+
+    /// Record one packet outcome. `decoded` — whether the gate decoded it;
+    /// `necessary` — ground-truth necessity; `segment` — time bucket.
+    pub fn record(&mut self, segment: usize, decoded: bool, necessary: bool) {
+        let correct = decoded || !necessary;
+        self.total += 1;
+        if correct {
+            self.correct += 1;
+        }
+        if let Some(s) = self.segments.get_mut(segment) {
+            s.1 += 1;
+            if correct {
+                s.0 += 1;
+            }
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn overall(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.correct as f64 / self.total as f64
+    }
+
+    /// Accuracy per time segment (1.0 for empty segments).
+    pub fn per_segment(&self) -> Vec<f64> {
+        self.segments
+            .iter()
+            .map(|&(c, t)| if t == 0 { 1.0 } else { c as f64 / t as f64 })
+            .collect()
+    }
+
+    /// Total packets recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A perfectly separable score set: necessary → 0.9, redundant → 0.1.
+    fn separable(n: usize) -> Vec<(f64, bool)> {
+        (0..n)
+            .map(|i| {
+                let necessary = i % 2 == 0;
+                (if necessary { 0.9 } else { 0.1 }, necessary)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separable_scores_reach_optimal() {
+        let curve = offline_curve(&separable(1000), 101);
+        // At threshold 0.5: filter all redundant (r = 0.5), accuracy 1.0.
+        let p = curve.iter().find(|p| (p.threshold - 0.5).abs() < 1e-9).unwrap();
+        assert!((p.filtering_rate - 0.5).abs() < 1e-9);
+        assert!((p.accuracy - 1.0).abs() < 1e-9);
+        assert!((auc(&curve) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn random_scores_track_the_diagonal() {
+        use rand::Rng;
+        let mut rng = pg_scene::rng::rng(1, 0);
+        let samples: Vec<(f64, bool)> = (0..20_000)
+            .map(|i| (rng.gen::<f64>(), i % 2 == 0))
+            .collect();
+        let curve = offline_curve(&samples, 21);
+        let a = auc(&curve);
+        assert!((a - 0.5).abs() < 0.02, "AUC {a}");
+    }
+
+    #[test]
+    fn optimal_curve_shape() {
+        assert_eq!(optimal_curve_point(0.3, 0.5), 1.0);
+        assert_eq!(optimal_curve_point(0.5, 0.5), 1.0);
+        assert!((optimal_curve_point(0.7, 0.5) - 0.8).abs() < 1e-9);
+        assert!((optimal_curve_point(1.0, 0.5) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filtering_rate_at_accuracy_picks_best() {
+        let curve = offline_curve(&separable(100), 101);
+        let r = filtering_rate_at_accuracy(&curve, 0.9).unwrap();
+        assert!(r >= 0.5, "should filter at least all redundant, got {r}");
+    }
+
+    #[test]
+    fn tpr_at_fpr_for_separable_data_is_one() {
+        let curve = offline_curve(&separable(100), 101);
+        assert!((tpr_at_fpr(&curve, 0.1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_accuracy_counts_harmless_skips_as_correct() {
+        let mut acc = OnlineAccuracy::with_segments(2);
+        acc.record(0, false, false); // harmless skip
+        acc.record(0, true, true); // decoded necessary
+        acc.record(1, false, true); // missed necessary
+        assert!((acc.overall() - 2.0 / 3.0).abs() < 1e-9);
+        let per = acc.per_segment();
+        assert!((per[0] - 1.0).abs() < 1e-9);
+        assert!((per[1] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_accumulator_is_perfect() {
+        let acc = OnlineAccuracy::with_segments(3);
+        assert_eq!(acc.overall(), 1.0);
+        assert_eq!(acc.per_segment(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn curve_endpoints_are_sane() {
+        let curve = offline_curve(&separable(100), 11);
+        let first = &curve[0]; // threshold 0: keep everything
+        assert_eq!(first.filtering_rate, 0.0);
+        assert_eq!(first.accuracy, 1.0);
+        let last = &curve[curve.len() - 1]; // threshold 1: filter ~everything
+        assert!(last.filtering_rate > 0.9);
+        assert!((last.accuracy - 0.5).abs() < 0.05);
+    }
+}

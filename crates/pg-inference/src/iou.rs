@@ -1,0 +1,203 @@
+//! Bounding boxes and IoU-based redundancy (paper §5.1).
+//!
+//! "For detection tasks, if the IoU of bounding boxes is higher than a
+//! threshold, the inference is redundant." The simpler count/label rules
+//! drive the main experiments; this module provides the full detection
+//! variant for models that emit boxes: a box type, IoU, greedy set
+//! matching, and a [`DetectionJudge`] that compares consecutive detection
+//! results under an IoU threshold.
+
+use serde::{Deserialize, Serialize};
+
+/// Axis-aligned bounding box in normalized image coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Left edge.
+    pub x: f64,
+    /// Top edge.
+    pub y: f64,
+    /// Width (≥ 0).
+    pub w: f64,
+    /// Height (≥ 0).
+    pub h: f64,
+}
+
+impl BoundingBox {
+    /// Construct, clamping negative extents to zero.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        BoundingBox {
+            x,
+            y,
+            w: w.max(0.0),
+            h: h.max(0.0),
+        }
+    }
+
+    /// Box area.
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Intersection-over-union with another box, in `[0, 1]`.
+    pub fn iou(&self, other: &BoundingBox) -> f64 {
+        let ix = (self.x + self.w).min(other.x + other.w) - self.x.max(other.x);
+        let iy = (self.y + self.h).min(other.y + other.h) - self.y.max(other.y);
+        if ix <= 0.0 || iy <= 0.0 {
+            return 0.0;
+        }
+        let inter = ix * iy;
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+/// Greedy one-to-one matching between two detection sets: repeatedly pair
+/// the highest-IoU remaining boxes. Returns the matched IoUs (unmatched
+/// boxes contribute nothing).
+pub fn match_detections(a: &[BoundingBox], b: &[BoundingBox]) -> Vec<f64> {
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, ba) in a.iter().enumerate() {
+        for (j, bb) in b.iter().enumerate() {
+            let iou = ba.iou(bb);
+            if iou > 0.0 {
+                pairs.push((iou, i, j));
+            }
+        }
+    }
+    pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut used_a = vec![false; a.len()];
+    let mut used_b = vec![false; b.len()];
+    let mut matched = Vec::new();
+    for (iou, i, j) in pairs {
+        if !used_a[i] && !used_b[j] {
+            used_a[i] = true;
+            used_b[j] = true;
+            matched.push(iou);
+        }
+    }
+    matched
+}
+
+/// Stateful per-stream detection-redundancy judge: a new detection result
+/// is *redundant* iff every box matches a box of the previous result with
+/// IoU above the threshold, one-to-one and with equal counts.
+#[derive(Debug, Clone)]
+pub struct DetectionJudge {
+    threshold: f64,
+    last: Option<Vec<BoundingBox>>,
+}
+
+impl DetectionJudge {
+    /// Judge with the given IoU redundancy threshold (typically 0.5–0.9).
+    pub fn new(threshold: f64) -> Self {
+        DetectionJudge {
+            threshold: threshold.clamp(0.0, 1.0),
+            last: None,
+        }
+    }
+
+    /// Record `detections` and return the feedback bit: `true` if the
+    /// inference was necessary (the scene changed materially).
+    pub fn feedback(&mut self, detections: &[BoundingBox]) -> bool {
+        let necessary = match &self.last {
+            None => true, // first result is always news
+            Some(prev) => {
+                if prev.len() != detections.len() {
+                    true
+                } else {
+                    let matched = match_detections(prev, detections);
+                    matched.len() != detections.len()
+                        || matched.iter().any(|&iou| iou < self.threshold)
+                }
+            }
+        };
+        self.last = Some(detections.to_vec());
+        necessary
+    }
+
+    /// The latest recorded detections.
+    pub fn last(&self) -> Option<&[BoundingBox]> {
+        self.last.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_box(x: f64, y: f64) -> BoundingBox {
+        BoundingBox::new(x, y, 0.1, 0.1)
+    }
+
+    #[test]
+    fn iou_basics() {
+        let a = BoundingBox::new(0.0, 0.0, 1.0, 1.0);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-12);
+        let b = BoundingBox::new(2.0, 2.0, 1.0, 1.0);
+        assert_eq!(a.iou(&b), 0.0);
+        // Half overlap: intersection 0.5, union 1.5 → IoU 1/3.
+        let c = BoundingBox::new(0.5, 0.0, 1.0, 1.0);
+        assert!((a.iou(&c) - 1.0 / 3.0).abs() < 1e-12);
+        // Symmetry.
+        assert_eq!(a.iou(&c), c.iou(&a));
+    }
+
+    #[test]
+    fn degenerate_boxes_are_safe() {
+        let zero = BoundingBox::new(0.5, 0.5, 0.0, 0.0);
+        let a = BoundingBox::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(zero.iou(&a), 0.0);
+        assert_eq!(zero.iou(&zero), 0.0);
+        let neg = BoundingBox::new(0.0, 0.0, -1.0, 2.0);
+        assert_eq!(neg.w, 0.0, "negative extent clamps");
+    }
+
+    #[test]
+    fn matching_is_one_to_one_and_greedy() {
+        let a = vec![unit_box(0.0, 0.0), unit_box(0.5, 0.5)];
+        let b = vec![unit_box(0.01, 0.0), unit_box(0.5, 0.51)];
+        let m = match_detections(&a, &b);
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().all(|&iou| iou > 0.5));
+        // A single far-away box matches nothing.
+        let c = vec![unit_box(0.9, 0.9)];
+        assert!(match_detections(&a, &c).is_empty());
+    }
+
+    #[test]
+    fn judge_flags_changes_only() {
+        let mut j = DetectionJudge::new(0.7);
+        let stable = vec![unit_box(0.2, 0.2), unit_box(0.6, 0.6)];
+        assert!(j.feedback(&stable), "first result is news");
+        // Tiny jitter: IoU stays above 0.7 → redundant.
+        let jittered = vec![unit_box(0.202, 0.2), unit_box(0.6, 0.601)];
+        assert!(!j.feedback(&jittered));
+        // A box moved far: necessary.
+        let moved = vec![unit_box(0.202, 0.2), unit_box(0.8, 0.1)];
+        assert!(j.feedback(&moved));
+        // Count change: necessary.
+        let fewer = vec![unit_box(0.202, 0.2)];
+        assert!(j.feedback(&fewer));
+        assert_eq!(j.last().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn threshold_controls_sensitivity() {
+        // The same displacement is redundant at a loose threshold and
+        // necessary at a strict one.
+        let before = vec![unit_box(0.2, 0.2)];
+        let after = vec![unit_box(0.23, 0.2)]; // IoU = 0.7/1.3 ≈ 0.538
+
+        let mut loose = DetectionJudge::new(0.3);
+        loose.feedback(&before);
+        assert!(!loose.feedback(&after));
+
+        let mut strict = DetectionJudge::new(0.9);
+        strict.feedback(&before);
+        assert!(strict.feedback(&after));
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # pg-inference — downstream inference models, feedback, and metrics
+//!
+//! The **model-zoo substitute** for the PacketGame reproduction. The paper
+//! runs YOLOX(+TensorRT) person detection, pose-based anomaly
+//! classification, ISR super-resolution, and a FireNet CNN. PacketGame
+//! itself consumes only two things from this stack:
+//!
+//! 1. the **redundancy feedback bit** `r_{t,i}` (§4.1/§5.1) produced by
+//!    comparing consecutive inference results, and
+//! 2. the **module throughputs** that determine where the pipeline
+//!    bottleneck sits (Fig. 2) and how concurrency levels are computed.
+//!
+//! Both are reproduced exactly: [`tasks`] implements the four inference
+//! models over decoded frames (reading the ground-truth scene state the
+//! synthetic codec carries, with optional observation noise), [`redundancy`]
+//! implements the paper's per-task feedback rules, [`accuracy`] implements
+//! the offline/online metrics including the paper's optimal filtering curve
+//! `a = 1 − max(r − TN, 0)`, and [`modules`] encodes the measured module
+//! throughputs of the paper's Fig. 2 / Table 4 so concurrency arithmetic
+//! matches the paper's.
+
+pub mod accuracy;
+pub mod iou;
+pub mod modules;
+pub mod redundancy;
+pub mod tasks;
+
+pub use accuracy::{offline_curve, optimal_curve_point, OfflineCurvePoint, OnlineAccuracy};
+pub use iou::{match_detections, BoundingBox, DetectionJudge};
+pub use modules::{potential_concurrency, ModuleThroughputs, STREAM_FPS};
+pub use redundancy::{necessity_labels_for, RedundancyJudge};
+pub use tasks::{model_for, InferenceModel, InferenceResult};

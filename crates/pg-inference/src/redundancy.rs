@@ -1,0 +1,136 @@
+//! Redundancy feedback (paper §4.1 and §5.1).
+//!
+//! "We define a set of Bernoulli variables `r_{t,i}` as the redundancy
+//! feedback of the packet from stream i at round t. [...] if a decoded
+//! frame returns as 'normal', we set the feedback as 0; and if it returns
+//! as 'abnormal', we set the feedback as 1." Feedback 1 therefore means the
+//! inference was *necessary* (a reward in the bandit objective). Per-task
+//! rules (§5.1):
+//!
+//! * object counting — necessary when the result differs from the latest;
+//! * detection/classification — necessary while the event label is active.
+
+use pg_scene::{SceneState, TaskKind};
+
+use crate::tasks::InferenceResult;
+
+/// Stateful per-stream feedback computer: remembers the latest inference
+/// result and judges whether a new result was necessary.
+#[derive(Debug, Clone, Default)]
+pub struct RedundancyJudge {
+    last: Option<InferenceResult>,
+}
+
+impl RedundancyJudge {
+    /// Fresh judge with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The latest result seen.
+    pub fn last(&self) -> Option<InferenceResult> {
+        self.last
+    }
+
+    /// Record `result` and return the feedback bit: `true` (= r = 1) if the
+    /// inference was necessary.
+    pub fn feedback(&mut self, result: InferenceResult) -> bool {
+        let necessary = match (result, self.last) {
+            // Counting: necessary iff the count changed (first result is news).
+            (InferenceResult::Count(now), Some(InferenceResult::Count(before))) => now != before,
+            (InferenceResult::Count(_), _) => true,
+            // Event tasks: necessary while the event is active.
+            (InferenceResult::Flag(active), _) => active,
+        };
+        self.last = Some(result);
+        necessary
+    }
+}
+
+/// Ground-truth necessity labels for a scene-state sequence (the oracle
+/// view used by offline evaluation and the Optimal baseline).
+pub fn necessity_labels_for(task: TaskKind, states: &[SceneState]) -> Vec<bool> {
+    let mut labels = Vec::with_capacity(states.len());
+    let mut prev: Option<&SceneState> = None;
+    for s in states {
+        debug_assert_eq!(s.task(), task, "state/task mismatch");
+        labels.push(s.necessary_after(prev));
+        prev = Some(s);
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_feedback_fires_on_change() {
+        let mut j = RedundancyJudge::new();
+        assert!(j.feedback(InferenceResult::Count(2))); // first is news
+        assert!(!j.feedback(InferenceResult::Count(2)));
+        assert!(j.feedback(InferenceResult::Count(3)));
+        assert!(!j.feedback(InferenceResult::Count(3)));
+        assert_eq!(j.last(), Some(InferenceResult::Count(3)));
+    }
+
+    #[test]
+    fn flag_feedback_tracks_active_state() {
+        let mut j = RedundancyJudge::new();
+        assert!(!j.feedback(InferenceResult::Flag(false)));
+        assert!(j.feedback(InferenceResult::Flag(true)));
+        assert!(j.feedback(InferenceResult::Flag(true))); // persists
+        assert!(!j.feedback(InferenceResult::Flag(false)));
+    }
+
+    #[test]
+    fn labels_match_scene_rules() {
+        let states = vec![
+            SceneState::PersonCount(0),
+            SceneState::PersonCount(0),
+            SceneState::PersonCount(1),
+            SceneState::PersonCount(1),
+        ];
+        assert_eq!(
+            necessity_labels_for(TaskKind::PersonCounting, &states),
+            vec![true, false, true, false]
+        );
+    }
+
+    #[test]
+    fn labels_for_event_task() {
+        let states = vec![
+            SceneState::Fire(false),
+            SceneState::Fire(true),
+            SceneState::Fire(true),
+            SceneState::Fire(false),
+        ];
+        assert_eq!(
+            necessity_labels_for(TaskKind::FireDetection, &states),
+            vec![false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn judge_feedback_agrees_with_oracle_labels_when_exact() {
+        // With an exact model, the online feedback sequence equals the
+        // oracle labels.
+        let states = [3u32, 3, 4, 4, 4, 2, 2]
+            .iter()
+            .map(|&c| SceneState::PersonCount(c))
+            .collect::<Vec<_>>();
+        let labels = necessity_labels_for(TaskKind::PersonCounting, &states);
+        let mut j = RedundancyJudge::new();
+        let online: Vec<bool> = states
+            .iter()
+            .map(|s| {
+                let r = match s {
+                    SceneState::PersonCount(c) => InferenceResult::Count(*c),
+                    _ => unreachable!(),
+                };
+                j.feedback(r)
+            })
+            .collect();
+        assert_eq!(online, labels);
+    }
+}

@@ -1,0 +1,117 @@
+//! The four downstream inference models (paper Table 2).
+//!
+//! Each model consumes a decoded frame and produces an
+//! [`InferenceResult`]. Models read the ground-truth scene state that the
+//! synthetic codec carries in lieu of pixels; optional observation noise
+//! models the imperfection of real detectors (YOLOX does miscount,
+//! anomaly classifiers do produce false positives).
+
+pub mod anomaly;
+pub mod fire;
+pub mod person_count;
+pub mod superres;
+
+pub use anomaly::AnomalyDetector;
+pub use fire::FireDetector;
+pub use person_count::PersonCounter;
+pub use superres::SuperResolver;
+
+use pg_codec::DecodedFrame;
+use pg_scene::TaskKind;
+
+/// Output of one inference invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InferenceResult {
+    /// Object count (person counting).
+    Count(u32),
+    /// Binary event flag (anomaly / fire / quality-degraded).
+    Flag(bool),
+}
+
+impl InferenceResult {
+    /// Whether this result is an "event active" style positive.
+    pub fn is_positive(&self) -> bool {
+        match self {
+            InferenceResult::Count(c) => *c > 0,
+            InferenceResult::Flag(f) => *f,
+        }
+    }
+}
+
+/// A downstream inference model.
+pub trait InferenceModel: Send {
+    /// The task this model serves.
+    fn task(&self) -> TaskKind;
+
+    /// Run inference on a decoded frame.
+    fn infer(&mut self, frame: &DecodedFrame) -> InferenceResult;
+}
+
+/// Build the (noise-free) inference model for `task`.
+pub fn model_for(task: TaskKind) -> Box<dyn InferenceModel> {
+    match task {
+        TaskKind::PersonCounting => Box::new(PersonCounter::exact()),
+        TaskKind::AnomalyDetection => Box::new(AnomalyDetector::exact()),
+        TaskKind::SuperResolution => Box::new(SuperResolver::exact()),
+        TaskKind::FireDetection => Box::new(FireDetector::exact()),
+    }
+}
+
+/// The result a perfect inference model would produce for a scene state —
+/// the ground truth that a pipeline's *published* result is scored against.
+pub fn truth_result(state: &pg_scene::SceneState) -> InferenceResult {
+    match *state {
+        pg_scene::SceneState::PersonCount(c) => InferenceResult::Count(c),
+        pg_scene::SceneState::Anomaly(a) => InferenceResult::Flag(a),
+        pg_scene::SceneState::Degraded(a) => InferenceResult::Flag(a),
+        pg_scene::SceneState::Fire(a) => InferenceResult::Flag(a),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_codec::{CostModel, Decoder, Encoder, EncoderConfig};
+    use pg_scene::generator_for;
+
+    /// Decode a short stream for each task and check the model output
+    /// matches the scene ground truth when exact.
+    #[test]
+    fn exact_models_read_ground_truth() {
+        for task in TaskKind::ALL {
+            let mut gen = generator_for(task, 3, 25.0);
+            let mut enc = Encoder::new(EncoderConfig::new(pg_codec::Codec::H264), 3);
+            let mut dec = Decoder::new(0, CostModel::default());
+            let mut model = model_for(task);
+            assert_eq!(model.task(), task);
+            for _ in 0..200 {
+                let frame = gen.next_frame();
+                let packet = enc.encode(&frame);
+                dec.ingest(packet.clone());
+                let decoded = dec.decode(packet.meta.seq).expect("in-order decode");
+                let result = model.infer(&decoded);
+                match (frame.state, result) {
+                    (pg_scene::SceneState::PersonCount(c), InferenceResult::Count(rc)) => {
+                        assert_eq!(c, rc)
+                    }
+                    (pg_scene::SceneState::Anomaly(a), InferenceResult::Flag(f)) => {
+                        assert_eq!(a, f)
+                    }
+                    (pg_scene::SceneState::Degraded(a), InferenceResult::Flag(f)) => {
+                        assert_eq!(a, f)
+                    }
+                    (pg_scene::SceneState::Fire(a), InferenceResult::Flag(f)) => assert_eq!(a, f),
+                    (s, r) => panic!("mismatched state/result: {s:?} vs {r:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn is_positive_semantics() {
+        assert!(InferenceResult::Count(2).is_positive());
+        assert!(!InferenceResult::Count(0).is_positive());
+        assert!(InferenceResult::Flag(true).is_positive());
+        assert!(!InferenceResult::Flag(false).is_positive());
+    }
+}

@@ -1,0 +1,93 @@
+//! Anomaly-detection model (pose-based action classifier substitute).
+
+use pg_codec::DecodedFrame;
+use pg_scene::rng::rng;
+use pg_scene::{SceneState, TaskKind};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::{InferenceModel, InferenceResult};
+
+/// Flags abnormal behaviour in a decoded frame, with configurable
+/// false-positive / false-negative rates.
+#[derive(Debug)]
+pub struct AnomalyDetector {
+    fp_rate: f64,
+    fn_rate: f64,
+    rng: StdRng,
+}
+
+impl AnomalyDetector {
+    /// Perfect detector.
+    pub fn exact() -> Self {
+        Self::noisy(0.0, 0.0, 0)
+    }
+
+    /// Detector with the given per-frame error rates.
+    pub fn noisy(fp_rate: f64, fn_rate: f64, seed: u64) -> Self {
+        AnomalyDetector {
+            fp_rate: fp_rate.clamp(0.0, 1.0),
+            fn_rate: fn_rate.clamp(0.0, 1.0),
+            rng: rng(seed, 0x6164),
+        }
+    }
+}
+
+impl InferenceModel for AnomalyDetector {
+    fn task(&self) -> TaskKind {
+        TaskKind::AnomalyDetection
+    }
+
+    fn infer(&mut self, frame: &DecodedFrame) -> InferenceResult {
+        let truth = match frame.scene.state {
+            SceneState::Anomaly(a) => a,
+            other => panic!("AnomalyDetector fed a {other:?} frame"),
+        };
+        let flag = if truth {
+            !self.rng.gen_bool(self.fn_rate)
+        } else {
+            self.rng.gen_bool(self.fp_rate)
+        };
+        InferenceResult::Flag(flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_codec::FrameType;
+    use pg_scene::SceneFrame;
+
+    fn frame(active: bool) -> DecodedFrame {
+        DecodedFrame {
+            stream_id: 0,
+            seq: 0,
+            pts: 0,
+            frame_type: FrameType::P,
+            scene: SceneFrame::new(0, 0.5, 0.1, SceneState::Anomaly(active)),
+        }
+    }
+
+    #[test]
+    fn exact_detector_matches_truth() {
+        let mut m = AnomalyDetector::exact();
+        assert_eq!(m.infer(&frame(true)), InferenceResult::Flag(true));
+        assert_eq!(m.infer(&frame(false)), InferenceResult::Flag(false));
+    }
+
+    #[test]
+    fn error_rates_are_respected() {
+        let mut m = AnomalyDetector::noisy(0.1, 0.3, 7);
+        let n = 30_000;
+        let fp = (0..n)
+            .filter(|_| m.infer(&frame(false)) == InferenceResult::Flag(true))
+            .count() as f64
+            / f64::from(n);
+        let fnr = (0..n)
+            .filter(|_| m.infer(&frame(true)) == InferenceResult::Flag(false))
+            .count() as f64
+            / f64::from(n);
+        assert!((fp - 0.1).abs() < 0.02, "fp {fp}");
+        assert!((fnr - 0.3).abs() < 0.02, "fn {fnr}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Fire-detection model (FireNet CNN substitute).
+
+use pg_codec::DecodedFrame;
+use pg_scene::rng::rng;
+use pg_scene::{SceneState, TaskKind};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::{InferenceModel, InferenceResult};
+
+/// Flags visible fire in a decoded frame.
+#[derive(Debug)]
+pub struct FireDetector {
+    fp_rate: f64,
+    fn_rate: f64,
+    rng: StdRng,
+}
+
+impl FireDetector {
+    /// Perfect detector.
+    pub fn exact() -> Self {
+        Self::noisy(0.0, 0.0, 0)
+    }
+
+    /// Detector with the given per-frame error rates.
+    pub fn noisy(fp_rate: f64, fn_rate: f64, seed: u64) -> Self {
+        FireDetector {
+            fp_rate: fp_rate.clamp(0.0, 1.0),
+            fn_rate: fn_rate.clamp(0.0, 1.0),
+            rng: rng(seed, 0x6664),
+        }
+    }
+}
+
+impl InferenceModel for FireDetector {
+    fn task(&self) -> TaskKind {
+        TaskKind::FireDetection
+    }
+
+    fn infer(&mut self, frame: &DecodedFrame) -> InferenceResult {
+        let truth = match frame.scene.state {
+            SceneState::Fire(a) => a,
+            other => panic!("FireDetector fed a {other:?} frame"),
+        };
+        let flag = if truth {
+            !self.rng.gen_bool(self.fn_rate)
+        } else {
+            self.rng.gen_bool(self.fp_rate)
+        };
+        InferenceResult::Flag(flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_codec::FrameType;
+    use pg_scene::SceneFrame;
+
+    fn frame(active: bool) -> DecodedFrame {
+        DecodedFrame {
+            stream_id: 0,
+            seq: 0,
+            pts: 0,
+            frame_type: FrameType::B,
+            scene: SceneFrame::new(0, 0.6, 0.4, SceneState::Fire(active)),
+        }
+    }
+
+    #[test]
+    fn exact_detector_matches_truth() {
+        let mut m = FireDetector::exact();
+        assert_eq!(m.infer(&frame(true)), InferenceResult::Flag(true));
+        assert_eq!(m.infer(&frame(false)), InferenceResult::Flag(false));
+    }
+
+    #[test]
+    fn task_is_fd() {
+        assert_eq!(FireDetector::exact().task(), TaskKind::FireDetection);
+    }
+}

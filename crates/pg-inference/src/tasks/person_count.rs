@@ -1,0 +1,119 @@
+//! Person-counting model (YOLOX person detection substitute).
+
+use pg_codec::DecodedFrame;
+use pg_scene::rng::rng;
+use pg_scene::{SceneState, TaskKind};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::{InferenceModel, InferenceResult};
+
+/// Counts people in a decoded frame. With `miss_prob > 0` the counter
+/// occasionally misses or double-counts one person, modelling real detector
+/// noise.
+#[derive(Debug)]
+pub struct PersonCounter {
+    miss_prob: f64,
+    rng: StdRng,
+}
+
+impl PersonCounter {
+    /// Perfect counter.
+    pub fn exact() -> Self {
+        PersonCounter {
+            miss_prob: 0.0,
+            rng: rng(0, 0x7063),
+        }
+    }
+
+    /// Noisy counter: each inference independently miscounts by ±1 with
+    /// probability `miss_prob`.
+    pub fn noisy(miss_prob: f64, seed: u64) -> Self {
+        PersonCounter {
+            miss_prob: miss_prob.clamp(0.0, 1.0),
+            rng: rng(seed, 0x7063),
+        }
+    }
+}
+
+impl InferenceModel for PersonCounter {
+    fn task(&self) -> TaskKind {
+        TaskKind::PersonCounting
+    }
+
+    fn infer(&mut self, frame: &DecodedFrame) -> InferenceResult {
+        let true_count = match frame.scene.state {
+            SceneState::PersonCount(c) => c,
+            other => panic!("PersonCounter fed a {other:?} frame"),
+        };
+        let count = if self.miss_prob > 0.0 && self.rng.gen_bool(self.miss_prob) {
+            if self.rng.gen_bool(0.5) {
+                true_count.saturating_sub(1)
+            } else {
+                true_count + 1
+            }
+        } else {
+            true_count
+        };
+        InferenceResult::Count(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_codec::FrameType;
+    use pg_scene::SceneFrame;
+
+    fn frame(count: u32) -> DecodedFrame {
+        DecodedFrame {
+            stream_id: 0,
+            seq: 0,
+            pts: 0,
+            frame_type: FrameType::I,
+            scene: SceneFrame::new(0, 0.5, 0.1, SceneState::PersonCount(count)),
+        }
+    }
+
+    #[test]
+    fn exact_counter_is_exact() {
+        let mut m = PersonCounter::exact();
+        assert_eq!(m.infer(&frame(7)), InferenceResult::Count(7));
+    }
+
+    #[test]
+    fn noisy_counter_errs_at_configured_rate() {
+        let mut m = PersonCounter::noisy(0.2, 5);
+        let n = 20_000;
+        let errors = (0..n)
+            .filter(|_| m.infer(&frame(5)) != InferenceResult::Count(5))
+            .count();
+        let rate = errors as f64 / f64::from(n);
+        assert!((rate - 0.2).abs() < 0.02, "error rate {rate}");
+    }
+
+    #[test]
+    fn noisy_counter_never_goes_negative() {
+        let mut m = PersonCounter::noisy(1.0, 6);
+        for _ in 0..100 {
+            match m.infer(&frame(0)) {
+                InferenceResult::Count(c) => assert!(c <= 1),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fed a")]
+    fn wrong_task_frame_panics() {
+        let mut m = PersonCounter::exact();
+        let f = DecodedFrame {
+            stream_id: 0,
+            seq: 0,
+            pts: 0,
+            frame_type: FrameType::I,
+            scene: SceneFrame::new(0, 0.5, 0.1, SceneState::Fire(true)),
+        };
+        m.infer(&f);
+    }
+}

@@ -1,0 +1,89 @@
+//! Super-resolution "need enhancement" model (ISR substitute).
+//!
+//! The SR pipeline enhances exactly the quality-degraded segments; the
+//! inference result we track is the binary "this frame needs enhancement"
+//! decision, which is what drives redundancy feedback for the SR task.
+
+use pg_codec::DecodedFrame;
+use pg_scene::rng::rng;
+use pg_scene::{SceneState, TaskKind};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::{InferenceModel, InferenceResult};
+
+/// Detects whether a decoded frame is quality-degraded (needs SR).
+#[derive(Debug)]
+pub struct SuperResolver {
+    error_rate: f64,
+    rng: StdRng,
+}
+
+impl SuperResolver {
+    /// Perfect quality assessor.
+    pub fn exact() -> Self {
+        Self::noisy(0.0, 0)
+    }
+
+    /// Assessor that flips its decision with probability `error_rate`.
+    pub fn noisy(error_rate: f64, seed: u64) -> Self {
+        SuperResolver {
+            error_rate: error_rate.clamp(0.0, 1.0),
+            rng: rng(seed, 0x7372),
+        }
+    }
+}
+
+impl InferenceModel for SuperResolver {
+    fn task(&self) -> TaskKind {
+        TaskKind::SuperResolution
+    }
+
+    fn infer(&mut self, frame: &DecodedFrame) -> InferenceResult {
+        let truth = match frame.scene.state {
+            SceneState::Degraded(d) => d,
+            other => panic!("SuperResolver fed a {other:?} frame"),
+        };
+        let flag = if self.error_rate > 0.0 && self.rng.gen_bool(self.error_rate) {
+            !truth
+        } else {
+            truth
+        };
+        InferenceResult::Flag(flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_codec::FrameType;
+    use pg_scene::SceneFrame;
+
+    fn frame(degraded: bool) -> DecodedFrame {
+        DecodedFrame {
+            stream_id: 0,
+            seq: 0,
+            pts: 0,
+            frame_type: FrameType::P,
+            scene: SceneFrame::new(0, 0.3, 0.05, SceneState::Degraded(degraded)),
+        }
+    }
+
+    #[test]
+    fn exact_assessor_matches_truth() {
+        let mut m = SuperResolver::exact();
+        assert_eq!(m.infer(&frame(true)), InferenceResult::Flag(true));
+        assert_eq!(m.infer(&frame(false)), InferenceResult::Flag(false));
+    }
+
+    #[test]
+    fn noise_flips_decisions() {
+        let mut m = SuperResolver::noisy(0.25, 3);
+        let n = 20_000;
+        let flips = (0..n)
+            .filter(|_| m.infer(&frame(true)) == InferenceResult::Flag(false))
+            .count() as f64
+            / f64::from(n);
+        assert!((flips - 0.25).abs() < 0.02, "flip rate {flips}");
+    }
+}

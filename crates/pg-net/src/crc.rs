@@ -1,0 +1,80 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! Datagram integrity checking needs a real checksum — corruption faults
+//! must be *detected*, not silently parsed. Implemented locally to keep the
+//! workspace dependency-light.
+
+/// Compute the CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streaming update: feed chunks with the running state (start from
+/// `0xFFFF_FFFF`, finish by XOR-ing `0xFFFF_FFFF`).
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    for &byte in data {
+        let idx = ((state ^ u32::from(byte)) & 0xFF) as usize;
+        state = (state >> 8) ^ TABLE[idx];
+    }
+    state
+}
+
+/// Lazily-computed lookup table for the reflected polynomial 0xEDB88320.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32 test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"hello, packet gating world";
+        let oneshot = crc32(data);
+        let mut state = 0xFFFF_FFFF;
+        for chunk in data.chunks(5) {
+            state = crc32_update(state, chunk);
+        }
+        assert_eq!(state ^ 0xFFFF_FFFF, oneshot);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = vec![0xABu8; 64];
+        let clean = crc32(&data);
+        for byte in 0..64 {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), clean, "flip at {byte}:{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

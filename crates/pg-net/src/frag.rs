@@ -1,0 +1,228 @@
+//! RTP-style fragmentation of a byte stream into sequenced datagrams.
+//!
+//! Wire layout (little-endian):
+//!
+//! ```text
+//! datagram := "PD" stream_id:u32 seq:u64 len:u16 crc32:u32 payload[len]
+//! ```
+//!
+//! `seq` numbers datagrams (not bytes); the receiver reassembles the byte
+//! stream in sequence order. The CRC covers the header fields after the
+//! magic plus the payload, so both header and payload corruption are
+//! detected.
+
+use crate::crc::crc32;
+
+/// Default maximum payload bytes per datagram (Ethernet-ish MTU minus
+/// IP/UDP/RTP overhead).
+pub const DEFAULT_MTU: usize = 1400;
+
+/// Fixed datagram header size: magic(2) + stream_id(4) + seq(8) + len(2) +
+/// crc(4).
+pub const DATAGRAM_HEADER_SIZE: usize = 2 + 4 + 8 + 2 + 4;
+
+/// Magic bytes opening a datagram.
+pub const DATAGRAM_MAGIC: [u8; 2] = *b"PD";
+
+/// One transport datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Stream the datagram belongs to.
+    pub stream_id: u32,
+    /// Sequence number (0-based, per stream).
+    pub seq: u64,
+    /// Payload bytes (≤ MTU).
+    pub payload: Vec<u8>,
+}
+
+impl Datagram {
+    /// Serialize to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(DATAGRAM_HEADER_SIZE + self.payload.len());
+        out.extend_from_slice(&DATAGRAM_MAGIC);
+        out.extend_from_slice(&self.stream_id.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.integrity().to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parse from wire bytes; `None` on malformed framing (bad magic,
+    /// truncation) — integrity is checked separately via
+    /// [`verify`](Self::verify).
+    pub fn from_bytes(bytes: &[u8]) -> Option<(Datagram, u32)> {
+        if bytes.len() < DATAGRAM_HEADER_SIZE || bytes[..2] != DATAGRAM_MAGIC {
+            return None;
+        }
+        let stream_id = u32::from_le_bytes(bytes[2..6].try_into().ok()?);
+        let seq = u64::from_le_bytes(bytes[6..14].try_into().ok()?);
+        let len = u16::from_le_bytes(bytes[14..16].try_into().ok()?) as usize;
+        let crc = u32::from_le_bytes(bytes[16..20].try_into().ok()?);
+        if bytes.len() < DATAGRAM_HEADER_SIZE + len {
+            return None;
+        }
+        let payload = bytes[20..20 + len].to_vec();
+        Some((
+            Datagram {
+                stream_id,
+                seq,
+                payload,
+            },
+            crc,
+        ))
+    }
+
+    /// The integrity checksum over (stream_id, seq, payload).
+    pub fn integrity(&self) -> u32 {
+        let mut buf = Vec::with_capacity(12 + self.payload.len());
+        buf.extend_from_slice(&self.stream_id.to_le_bytes());
+        buf.extend_from_slice(&self.seq.to_le_bytes());
+        buf.extend_from_slice(&self.payload);
+        crc32(&buf)
+    }
+
+    /// Whether a parsed datagram's carried CRC matches its contents.
+    pub fn verify(&self, carried_crc: u32) -> bool {
+        self.integrity() == carried_crc
+    }
+}
+
+/// Splits an outgoing byte stream into sequenced datagrams.
+#[derive(Debug, Clone)]
+pub struct Fragmenter {
+    stream_id: u32,
+    mtu: usize,
+    next_seq: u64,
+    /// Bytes not yet flushed into a datagram.
+    pending: Vec<u8>,
+}
+
+impl Fragmenter {
+    /// Fragmenter for one stream with the default MTU.
+    pub fn new(stream_id: u32) -> Self {
+        Self::with_mtu(stream_id, DEFAULT_MTU)
+    }
+
+    /// Fragmenter with a custom MTU (≥ 16 bytes of payload).
+    pub fn with_mtu(stream_id: u32, mtu: usize) -> Self {
+        Fragmenter {
+            stream_id,
+            mtu: mtu.max(16),
+            next_seq: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Queue bytes and emit every full-MTU datagram now available.
+    /// Residual bytes are held until [`flush`](Self::flush) or more input.
+    pub fn push(&mut self, bytes: &[u8]) -> Vec<Datagram> {
+        self.pending.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        while self.pending.len() >= self.mtu {
+            let payload: Vec<u8> = self.pending.drain(..self.mtu).collect();
+            out.push(self.make(payload));
+        }
+        out
+    }
+
+    /// Emit any residual bytes as a final (short) datagram. Real-time
+    /// senders flush at frame boundaries to bound latency.
+    pub fn flush(&mut self) -> Option<Datagram> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let payload = std::mem::take(&mut self.pending);
+        Some(self.make(payload))
+    }
+
+    /// Datagrams emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    fn make(&mut self, payload: Vec<u8>) -> Datagram {
+        let d = Datagram {
+            stream_id: self.stream_id,
+            seq: self.next_seq,
+            payload,
+        };
+        self.next_seq += 1;
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        let d = Datagram {
+            stream_id: 7,
+            seq: 42,
+            payload: vec![1, 2, 3, 4, 5],
+        };
+        let bytes = d.to_bytes();
+        let (back, crc) = Datagram::from_bytes(&bytes).expect("parse");
+        assert_eq!(back, d);
+        assert!(back.verify(crc));
+    }
+
+    #[test]
+    fn corruption_fails_verification() {
+        let d = Datagram {
+            stream_id: 1,
+            seq: 9,
+            payload: vec![0xAA; 100],
+        };
+        let mut bytes = d.to_bytes();
+        bytes[DATAGRAM_HEADER_SIZE + 50] ^= 0x01;
+        let (back, crc) = Datagram::from_bytes(&bytes).expect("framing still parses");
+        assert!(!back.verify(crc));
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_rejected() {
+        let d = Datagram {
+            stream_id: 1,
+            seq: 0,
+            payload: vec![9; 30],
+        };
+        let mut bytes = d.to_bytes();
+        bytes[0] = b'X';
+        assert!(Datagram::from_bytes(&bytes).is_none());
+        let bytes = d.to_bytes();
+        assert!(Datagram::from_bytes(&bytes[..10]).is_none());
+        assert!(Datagram::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn fragmenter_respects_mtu_and_order() {
+        let mut f = Fragmenter::with_mtu(3, 100);
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let mut dgrams = f.push(&data);
+        if let Some(last) = f.flush() {
+            dgrams.push(last);
+        }
+        assert_eq!(dgrams.len(), 10);
+        assert!(dgrams.iter().all(|d| d.payload.len() <= 100));
+        let seqs: Vec<u64> = dgrams.iter().map(|d| d.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<u64>>());
+        // Reassembled payloads equal the input.
+        let reassembled: Vec<u8> = dgrams.into_iter().flat_map(|d| d.payload).collect();
+        assert_eq!(reassembled, data);
+    }
+
+    #[test]
+    fn incremental_pushes_accumulate() {
+        let mut f = Fragmenter::with_mtu(0, 64);
+        assert!(f.push(&[1; 30]).is_empty());
+        assert!(f.push(&[2; 30]).is_empty());
+        let out = f.push(&[3; 30]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload.len(), 64);
+        assert_eq!(f.flush().map(|d| d.payload.len()), Some(26));
+        assert_eq!(f.flush(), None);
+    }
+}

@@ -1,0 +1,255 @@
+//! Reordering, integrity-checking reassembly.
+//!
+//! The receiver buffers out-of-order datagrams and delivers the byte stream
+//! in sequence order. Gaps (lost or corrupt datagrams) stall delivery; if a
+//! gap persists for more than [`ReassemblyConfig::max_stall`] accepted
+//! datagrams, it is *skipped* — real-time video cannot wait forever, and
+//! the downstream PGVS parser resynchronizes at the next record marker.
+
+use std::collections::BTreeMap;
+
+use crate::frag::Datagram;
+
+/// Reassembly policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReassemblyConfig {
+    /// Skip a missing datagram after this many later datagrams have been
+    /// accepted while waiting for it.
+    pub max_stall: usize,
+    /// Maximum buffered out-of-order datagrams before the oldest gap is
+    /// force-skipped regardless of stall age (memory bound).
+    pub max_buffer: usize,
+}
+
+impl Default for ReassemblyConfig {
+    fn default() -> Self {
+        ReassemblyConfig {
+            max_stall: 16,
+            max_buffer: 256,
+        }
+    }
+}
+
+/// Per-stream reassembly state. See module docs.
+#[derive(Debug)]
+pub struct ReorderReceiver {
+    config: ReassemblyConfig,
+    /// Next sequence number expected for in-order delivery.
+    next_seq: u64,
+    /// Out-of-order datagrams waiting for the gap to fill.
+    buffer: BTreeMap<u64, Datagram>,
+    /// Datagrams accepted since the current head gap appeared.
+    stall: usize,
+    /// Statistics.
+    accepted: u64,
+    /// Datagrams rejected by integrity check.
+    pub integrity_failures: u64,
+    /// Duplicates discarded.
+    pub duplicates: u64,
+    /// Sequence numbers skipped due to stalls.
+    pub skipped: u64,
+}
+
+impl ReorderReceiver {
+    /// Fresh receiver.
+    pub fn new(config: ReassemblyConfig) -> Self {
+        ReorderReceiver {
+            config,
+            next_seq: 0,
+            buffer: BTreeMap::new(),
+            stall: 0,
+            accepted: 0,
+            integrity_failures: 0,
+            duplicates: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Offer a received datagram (with the CRC carried on the wire).
+    /// Returns any bytes that became deliverable, in stream order.
+    pub fn accept(&mut self, datagram: Datagram, carried_crc: u32) -> Vec<u8> {
+        if !datagram.verify(carried_crc) {
+            self.integrity_failures += 1;
+            return self.maybe_skip();
+        }
+        if datagram.seq < self.next_seq || self.buffer.contains_key(&datagram.seq) {
+            self.duplicates += 1;
+            return Vec::new();
+        }
+        self.accepted += 1;
+        self.buffer.insert(datagram.seq, datagram);
+        if self.buffer.keys().next() != Some(&self.next_seq) {
+            self.stall += 1;
+        }
+        let mut out = self.drain_in_order();
+        out.extend(self.maybe_skip());
+        out
+    }
+
+    /// Deliverable bytes after force-skipping the head gap (used on
+    /// timeout-style flushes at end of stream).
+    pub fn flush_gaps(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        while !self.buffer.is_empty() {
+            let head = *self.buffer.keys().next().expect("non-empty");
+            if head > self.next_seq {
+                self.skipped += head - self.next_seq;
+                self.next_seq = head;
+            }
+            out.extend(self.drain_in_order());
+        }
+        out
+    }
+
+    /// Next expected sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Datagrams accepted (passing integrity + dedupe).
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Currently buffered out-of-order datagrams.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn drain_in_order(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        while let Some(d) = self.buffer.remove(&self.next_seq) {
+            out.extend_from_slice(&d.payload);
+            self.next_seq += 1;
+            self.stall = 0;
+        }
+        out
+    }
+
+    fn maybe_skip(&mut self) -> Vec<u8> {
+        let over_stall = self.stall > self.config.max_stall;
+        let over_buffer = self.buffer.len() > self.config.max_buffer;
+        if (over_stall || over_buffer) && !self.buffer.is_empty() {
+            let head = *self.buffer.keys().next().expect("non-empty");
+            debug_assert!(head > self.next_seq);
+            self.skipped += head - self.next_seq;
+            self.next_seq = head;
+            self.stall = 0;
+            return self.drain_in_order();
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dgram(seq: u64) -> (Datagram, u32) {
+        let d = Datagram {
+            stream_id: 0,
+            seq,
+            payload: vec![seq as u8; 4],
+        };
+        let crc = d.integrity();
+        (d, crc)
+    }
+
+    fn rx() -> ReorderReceiver {
+        ReorderReceiver::new(ReassemblyConfig {
+            max_stall: 3,
+            max_buffer: 16,
+        })
+    }
+
+    #[test]
+    fn in_order_delivery() {
+        let mut r = rx();
+        let mut out = Vec::new();
+        for seq in 0..5 {
+            let (d, crc) = dgram(seq);
+            out.extend(r.accept(d, crc));
+        }
+        assert_eq!(out.len(), 20);
+        assert_eq!(r.next_seq(), 5);
+        assert_eq!(r.skipped, 0);
+    }
+
+    #[test]
+    fn reordering_is_absorbed() {
+        let mut r = rx();
+        let order = [1u64, 0, 3, 2, 4];
+        let mut out = Vec::new();
+        for &seq in &order {
+            let (d, crc) = dgram(seq);
+            out.extend(r.accept(d, crc));
+        }
+        // All five delivered, in order 0..5.
+        assert_eq!(out, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4]);
+        assert_eq!(r.duplicates, 0);
+    }
+
+    #[test]
+    fn corrupt_datagrams_are_rejected() {
+        let mut r = rx();
+        let (d, _) = dgram(0);
+        assert!(r.accept(d, 0xDEAD_BEEF).is_empty());
+        assert_eq!(r.integrity_failures, 1);
+        // The good copy still delivers.
+        let (d, crc) = dgram(0);
+        assert_eq!(r.accept(d, crc).len(), 4);
+    }
+
+    #[test]
+    fn duplicates_are_discarded() {
+        let mut r = rx();
+        let (d, crc) = dgram(0);
+        r.accept(d.clone(), crc);
+        assert!(r.accept(d, crc).is_empty());
+        assert_eq!(r.duplicates, 1);
+    }
+
+    #[test]
+    fn persistent_gap_is_skipped_after_stall() {
+        let mut r = rx();
+        // Datagram 0 is lost; 1..=5 arrive.
+        let mut out = Vec::new();
+        for seq in 1..=5 {
+            let (d, crc) = dgram(seq);
+            out.extend(r.accept(d, crc));
+        }
+        // After max_stall=3 accepted while stalled, the gap skips and
+        // everything buffered drains.
+        assert!(!out.is_empty(), "stalled gap should eventually skip");
+        assert_eq!(r.skipped, 1);
+        assert_eq!(r.next_seq(), 6);
+    }
+
+    #[test]
+    fn flush_gaps_drains_everything() {
+        let mut r = rx();
+        for seq in [2u64, 5, 9] {
+            let (d, crc) = dgram(seq);
+            r.accept(d, crc);
+        }
+        let out = r.flush_gaps();
+        assert_eq!(out.len(), 12);
+        assert_eq!(r.buffered(), 0);
+        assert!(r.skipped >= 6);
+    }
+
+    #[test]
+    fn buffer_bound_forces_progress() {
+        let mut r = ReorderReceiver::new(ReassemblyConfig {
+            max_stall: 1_000_000,
+            max_buffer: 8,
+        });
+        // Seq 0 never arrives; pour in far-future datagrams.
+        for seq in 1..=40 {
+            let (d, crc) = dgram(seq);
+            r.accept(d, crc);
+        }
+        assert!(r.buffered() <= 9, "buffer must stay bounded: {}", r.buffered());
+        assert!(r.skipped >= 1);
+    }
+}

@@ -1,0 +1,343 @@
+//! A fully-networked camera stream: scene → encoder → fragmenter →
+//! impaired channel → reorder receiver → PGVS parser.
+//!
+//! [`NetworkedStream::tick`] advances the virtual camera by one frame and
+//! the network by one tick, returning every packet that made it through
+//! parsing on the receiver side. With a lossy channel, some packets never
+//! arrive; the parser resynchronizes at the next record marker and the
+//! stream keeps flowing — this is the ingest path a gate sits behind in
+//! the paper's RTSP deployment.
+
+use pg_codec::{serialize_stream_chunks, Codec, Encoder, EncoderConfig, Packet, PacketParser};
+use pg_scene::{generator_for, SceneFrame, SceneGenerator, TaskKind};
+
+use crate::arq::ReliableLink;
+use crate::frag::{Datagram, Fragmenter};
+use crate::impair::{ImpairedChannel, ImpairmentConfig};
+use crate::receiver::{ReassemblyConfig, ReorderReceiver};
+
+/// The transport under a networked stream: raw datagrams (losses become
+/// parser holes) or ARQ-repaired (losses become latency).
+enum Link {
+    Raw {
+        channel: ImpairedChannel,
+        receiver: ReorderReceiver,
+    },
+    Reliable(Box<ReliableLink>),
+}
+
+/// End-to-end transport statistics for one stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransportStats {
+    /// Packets encoded at the sender.
+    pub packets_sent: u64,
+    /// Packets parsed at the receiver.
+    pub packets_received: u64,
+    /// Datagrams emitted by the fragmenter.
+    pub datagrams_sent: u64,
+    /// Datagrams dropped in the channel.
+    pub datagrams_dropped: u64,
+    /// Datagrams rejected by the receiver (integrity).
+    pub integrity_failures: u64,
+    /// Parser records abandoned to resync.
+    pub records_resynced: u64,
+    /// Bytes delivered to the parser.
+    pub bytes_delivered: u64,
+}
+
+impl TransportStats {
+    /// Fraction of packets lost end-to-end.
+    pub fn packet_loss(&self) -> f64 {
+        if self.packets_sent == 0 {
+            return 0.0;
+        }
+        1.0 - self.packets_received as f64 / self.packets_sent as f64
+    }
+}
+
+/// Frames between in-band stream-header repeats.
+pub const HEADER_REPEAT_INTERVAL: u64 = 100;
+
+/// One networked camera. See module docs.
+pub struct NetworkedStream {
+    generator: Box<dyn SceneGenerator + Send>,
+    encoder: Encoder,
+    fragmenter: Fragmenter,
+    link: Link,
+    parser: PacketParser,
+    stats: TransportStats,
+    frames_since_header: u64,
+}
+
+impl NetworkedStream {
+    /// A camera of `task` over a channel with the given impairments.
+    pub fn new(task: TaskKind, seed: u64, impairments: ImpairmentConfig) -> Self {
+        Self::with_config(
+            task,
+            seed,
+            EncoderConfig::new(Codec::H264),
+            impairments,
+            ReassemblyConfig::default(),
+        )
+    }
+
+    /// Fully-configured constructor.
+    pub fn with_config(
+        task: TaskKind,
+        seed: u64,
+        encoder: EncoderConfig,
+        impairments: ImpairmentConfig,
+        reassembly: ReassemblyConfig,
+    ) -> Self {
+        NetworkedStream {
+            generator: generator_for(task, seed, encoder.fps),
+            encoder: Encoder::for_stream(encoder, seed, 0),
+            fragmenter: Fragmenter::new(0),
+            link: Link::Raw {
+                channel: ImpairedChannel::new(impairments, seed),
+                receiver: ReorderReceiver::new(reassembly),
+            },
+            parser: PacketParser::new(),
+            stats: TransportStats::default(),
+            frames_since_header: HEADER_REPEAT_INTERVAL, // send immediately
+        }
+    }
+
+    /// A camera whose transport repairs losses with selective-repeat ARQ
+    /// (see [`crate::arq`]): losses become latency instead of holes.
+    pub fn with_arq(
+        task: TaskKind,
+        seed: u64,
+        encoder: EncoderConfig,
+        impairments: ImpairmentConfig,
+    ) -> Self {
+        NetworkedStream {
+            generator: generator_for(task, seed, encoder.fps),
+            encoder: Encoder::for_stream(encoder, seed, 0),
+            fragmenter: Fragmenter::new(0),
+            link: Link::Reliable(Box::new(ReliableLink::new(impairments, seed))),
+            parser: PacketParser::new(),
+            stats: TransportStats::default(),
+            frames_since_header: HEADER_REPEAT_INTERVAL,
+        }
+    }
+
+    /// Advance one frame + one network tick; return packets parsed at the
+    /// receiver this tick.
+    pub fn tick(&mut self) -> Vec<Packet> {
+        self.tick_full().1
+    }
+
+    /// Like [`tick`](Self::tick), but also returns the scene frame the
+    /// *sender* encoded this tick — the ground truth an evaluator needs
+    /// even when the network eats the packet.
+    pub fn tick_full(&mut self) -> (SceneFrame, Vec<Packet>) {
+        // Sender side: repeat the stream header in-band periodically (as
+        // real encoders repeat parameter sets) so a lost header datagram
+        // does not kill the stream; then encode the next frame.
+        if self.frames_since_header >= HEADER_REPEAT_INTERVAL {
+            let header =
+                serialize_stream_chunks::header_bytes(0, self.encoder.config());
+            for d in self.fragmenter.push(&header) {
+                self.send(d);
+            }
+            self.frames_since_header = 0;
+        }
+        self.frames_since_header += 1;
+        let frame = self.generator.next_frame();
+        let packet = self.encoder.encode(&frame);
+        self.stats.packets_sent += 1;
+        let bytes = serialize_stream_chunks::packet_bytes(&packet);
+        let dgrams: Vec<Datagram> = self.fragmenter.push(&bytes);
+        for d in dgrams {
+            self.send(d);
+        }
+        // Real-time senders flush at frame boundaries.
+        if let Some(d) = self.fragmenter.flush() {
+            self.send(d);
+        }
+
+        // Network + receiver side.
+        let delivered: Vec<u8> = match &mut self.link {
+            Link::Raw { channel, receiver } => {
+                // Parse wire bytes back into datagrams; corruption shows
+                // up as broken framing or a CRC mismatch.
+                let mut out = Vec::new();
+                for wire in channel.tick() {
+                    let Some((parsed, carried_crc)) = Datagram::from_bytes(&wire) else {
+                        self.stats.integrity_failures += 1;
+                        continue;
+                    };
+                    out.extend(receiver.accept(parsed, carried_crc));
+                }
+                self.stats.datagrams_dropped = channel.dropped;
+                out
+            }
+            Link::Reliable(link) => {
+                let out = link.tick();
+                let (_, integrity, _) = link.receiver_stats();
+                self.stats.integrity_failures = integrity;
+                out
+            }
+        };
+        let mut received = Vec::new();
+        if !delivered.is_empty() {
+            self.stats.bytes_delivered += delivered.len() as u64;
+            self.parser.push(&delivered);
+            let (packets, resynced) = self.parser.drain_packets_lossy();
+            self.stats.records_resynced += resynced;
+            self.stats.packets_received += packets.len() as u64;
+            received.extend(packets);
+        }
+        self.stats.datagrams_sent = self.fragmenter.emitted();
+        (frame, received)
+    }
+
+    fn send(&mut self, datagram: Datagram) {
+        match &mut self.link {
+            Link::Raw { channel, .. } => channel.send(datagram.to_bytes()),
+            Link::Reliable(link) => link.send(&datagram),
+        }
+    }
+
+    /// Transport statistics so far.
+    pub fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(impairments: ImpairmentConfig, ticks: usize, seed: u64) -> (Vec<Packet>, TransportStats) {
+        let mut stream = NetworkedStream::new(TaskKind::AnomalyDetection, seed, impairments);
+        let mut packets = Vec::new();
+        for _ in 0..ticks {
+            packets.extend(stream.tick());
+        }
+        (packets, stream.stats())
+    }
+
+    #[test]
+    fn perfect_channel_delivers_every_packet() {
+        let (packets, stats) = run(ImpairmentConfig::perfect(), 200, 1);
+        // Everything sent (minus in-flight tail) arrives, in order.
+        assert!(stats.packets_received >= stats.packets_sent - 3);
+        assert_eq!(stats.datagrams_dropped, 0);
+        assert_eq!(stats.records_resynced, 0);
+        assert!(packets.windows(2).all(|w| w[0].meta.seq < w[1].meta.seq));
+        for p in &packets {
+            p.validate().expect("valid packet");
+        }
+    }
+
+    #[test]
+    fn lossy_channel_degrades_gracefully() {
+        let (packets, stats) = run(ImpairmentConfig::lossy(0.08), 600, 2);
+        let loss = stats.packet_loss();
+        assert!(stats.datagrams_dropped > 0, "faults should fire");
+        assert!(
+            !packets.is_empty() && loss < 0.9,
+            "stream must keep flowing, loss={loss}"
+        );
+        assert!(
+            stats.records_resynced > 0,
+            "parser should have resynced past holes"
+        );
+        // Surviving packets are intact.
+        for p in &packets {
+            p.validate().expect("valid packet");
+        }
+        // Sequence numbers strictly increase (holes allowed).
+        assert!(packets.windows(2).all(|w| w[0].meta.seq < w[1].meta.seq));
+    }
+
+    #[test]
+    fn stressed_channel_still_makes_progress() {
+        let (packets, stats) = run(ImpairmentConfig::stressed(), 800, 3);
+        assert!(
+            stats.packets_received as f64 > 0.3 * stats.packets_sent as f64,
+            "received {} of {}",
+            stats.packets_received,
+            stats.packets_sent
+        );
+        for p in &packets {
+            p.validate().expect("valid packet");
+        }
+    }
+
+    #[test]
+    fn corruption_is_caught_by_integrity() {
+        let config = ImpairmentConfig {
+            corrupt_chance: 0.2,
+            ..ImpairmentConfig::perfect()
+        };
+        let (_, stats) = run(config, 300, 4);
+        assert!(stats.integrity_failures > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, sa) = run(ImpairmentConfig::stressed(), 300, 7);
+        let (b, sb) = run(ImpairmentConfig::stressed(), 300, 7);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+}
+
+#[cfg(test)]
+mod arq_source_tests {
+    use super::*;
+
+    #[test]
+    fn arq_transport_recovers_what_raw_loses() {
+        let enc = EncoderConfig::new(Codec::H264);
+        let loss = ImpairmentConfig::lossy(0.05);
+        let ticks = 800;
+
+        let mut raw = NetworkedStream::with_config(
+            TaskKind::PersonCounting,
+            6,
+            enc,
+            loss,
+            ReassemblyConfig::default(),
+        );
+        let mut arq = NetworkedStream::with_arq(TaskKind::PersonCounting, 6, enc, loss);
+        let mut raw_count = 0usize;
+        let mut arq_count = 0usize;
+        for _ in 0..ticks {
+            raw_count += raw.tick().len();
+            arq_count += arq.tick().len();
+        }
+        let raw_loss = raw.stats().packet_loss();
+        let arq_loss = 1.0 - arq_count as f64 / arq.stats().packets_sent as f64;
+        assert!(
+            arq_loss < raw_loss / 3.0,
+            "ARQ loss {arq_loss:.3} should be far below raw {raw_loss:.3}"
+        );
+        assert!(arq_count > raw_count);
+    }
+
+    #[test]
+    fn arq_packets_arrive_in_order_and_valid() {
+        let enc = EncoderConfig::new(Codec::H265).with_gop(12);
+        let mut arq = NetworkedStream::with_arq(
+            TaskKind::FireDetection,
+            7,
+            enc,
+            ImpairmentConfig::lossy(0.10),
+        );
+        let mut last_seq = None;
+        for _ in 0..600 {
+            for p in arq.tick() {
+                p.validate().expect("valid");
+                if let Some(last) = last_seq {
+                    assert!(p.meta.seq > last, "ARQ stream must be in order");
+                }
+                last_seq = Some(p.meta.seq);
+            }
+        }
+        assert!(last_seq.is_some());
+    }
+}

@@ -1,0 +1,72 @@
+//! Weight initialization.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for weight init (SplitMix-mixed so nearby seeds give
+/// unrelated weights).
+pub fn init_rng(seed: u64) -> StdRng {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Glorot/Xavier uniform initialization: `U(−a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Keeps activation variance stable for
+/// sigmoid/tanh-style heads.
+pub fn glorot_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize, n: usize) -> Vec<f32> {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt() as f32;
+    (0..n).map(|_| rng.gen_range(-a..a)).collect()
+}
+
+/// He/Kaiming uniform initialization: `U(−a, a)` with `a = sqrt(6/fan_in)`.
+/// The right choice ahead of ReLU activations.
+pub fn he_uniform(rng: &mut StdRng, fan_in: usize, n: usize) -> Vec<f32> {
+    let a = (6.0 / fan_in.max(1) as f64).sqrt() as f32;
+    (0..n).map(|_| rng.gen_range(-a..a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glorot_respects_bound() {
+        let mut rng = init_rng(1);
+        let w = glorot_uniform(&mut rng, 32, 64, 1000);
+        let a = (6.0f32 / 96.0).sqrt();
+        assert!(w.iter().all(|&v| v.abs() <= a));
+        // Should not be degenerate.
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.05);
+    }
+
+    #[test]
+    fn he_respects_bound() {
+        let mut rng = init_rng(2);
+        let w = he_uniform(&mut rng, 16, 1000);
+        let a = (6.0f32 / 16.0).sqrt();
+        assert!(w.iter().all(|&v| v.abs() <= a));
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let mut a = init_rng(7);
+        let mut b = init_rng(7);
+        assert_eq!(
+            glorot_uniform(&mut a, 4, 4, 16),
+            glorot_uniform(&mut b, 4, 4, 16)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = init_rng(7);
+        let mut b = init_rng(8);
+        assert_ne!(
+            glorot_uniform(&mut a, 4, 4, 16),
+            glorot_uniform(&mut b, 4, 4, 16)
+        );
+    }
+}

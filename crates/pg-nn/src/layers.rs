@@ -1,0 +1,621 @@
+//! Neural-network layers with forward and backward passes.
+//!
+//! Every layer caches what it needs from the last `forward` call so that a
+//! subsequent `backward` can compute parameter gradients (accumulated into
+//! each [`ParamSet::g`]) and return the gradient w.r.t. the layer input.
+//! Gradients are verified against numerical differentiation in this
+//! module's tests.
+
+use crate::init::{glorot_uniform, he_uniform, init_rng};
+use crate::param::ParamSet;
+use crate::tensor::Tensor;
+
+/// A differentiable layer.
+pub trait Layer: std::fmt::Debug + Send {
+    /// Forward pass. Caches activations needed by `backward`.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Backward pass: takes ∂L/∂output, accumulates parameter gradients,
+    /// returns ∂L/∂input. Must be called after `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Trainable parameter sets (empty for activations/pooling).
+    fn params_mut(&mut self) -> Vec<&mut ParamSet> {
+        Vec::new()
+    }
+
+    /// Read-only parameter sets.
+    fn params(&self) -> Vec<&ParamSet> {
+        Vec::new()
+    }
+
+    /// Number of trainable scalars.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Floating-point operations of the last `forward` call (multiply and
+    /// add counted separately — the convention behind the paper's Table 4).
+    fn last_flops(&self) -> u64 {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conv1d
+// ---------------------------------------------------------------------------
+
+/// 1-D convolution with *same* zero-padding and stride 1.
+///
+/// Weight layout: `w[o][i][k]` flattened row-major into one [`ParamSet`];
+/// bias is a second set. Kernel size must be odd (so same-padding is
+/// symmetric).
+#[derive(Debug)]
+pub struct Conv1d {
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    weights: ParamSet,
+    bias: ParamSet,
+    cached_input: Option<Tensor>,
+    last_flops: u64,
+}
+
+impl Conv1d {
+    /// New layer with He initialization.
+    pub fn new(in_ch: usize, out_ch: usize, kernel: usize, seed: u64) -> Self {
+        assert!(kernel % 2 == 1, "kernel size must be odd for same padding");
+        let mut rng = init_rng(seed);
+        let w = he_uniform(&mut rng, in_ch * kernel, out_ch * in_ch * kernel);
+        Conv1d {
+            in_ch,
+            out_ch,
+            kernel,
+            weights: ParamSet::new(w),
+            bias: ParamSet::new(vec![0.0; out_ch]),
+            cached_input: None,
+            last_flops: 0,
+        }
+    }
+
+    #[inline]
+    fn w(&self, o: usize, i: usize, k: usize) -> f32 {
+        self.weights.w[(o * self.in_ch + i) * self.kernel + k]
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_ch
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_ch
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.rows(), self.in_ch, "conv1d input channel mismatch");
+        let len = input.cols();
+        let pad = self.kernel / 2;
+        let mut out = Tensor::zeros(self.out_ch, len);
+        for o in 0..self.out_ch {
+            for t in 0..len {
+                let mut acc = self.bias.w[o];
+                for i in 0..self.in_ch {
+                    for k in 0..self.kernel {
+                        let s = t + k;
+                        if s >= pad && s - pad < len {
+                            acc += self.w(o, i, k) * input.get(i, s - pad);
+                        }
+                    }
+                }
+                out.set(o, t, acc);
+            }
+        }
+        self.last_flops =
+            (2 * self.out_ch * len * self.in_ch * self.kernel + self.out_ch * len) as u64;
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward")
+            .clone();
+        let len = input.cols();
+        let pad = self.kernel / 2;
+        assert_eq!(grad_out.rows(), self.out_ch);
+        assert_eq!(grad_out.cols(), len);
+
+        let mut grad_in = Tensor::zeros(self.in_ch, len);
+        for o in 0..self.out_ch {
+            for t in 0..len {
+                let go = grad_out.get(o, t);
+                if go == 0.0 {
+                    continue;
+                }
+                self.bias.g[o] += go;
+                for i in 0..self.in_ch {
+                    for k in 0..self.kernel {
+                        let s = t + k;
+                        if s >= pad && s - pad < len {
+                            let x = input.get(i, s - pad);
+                            self.weights.g[(o * self.in_ch + i) * self.kernel + k] += go * x;
+                            let cur = grad_in.get(i, s - pad);
+                            grad_in.set(i, s - pad, cur + go * self.w(o, i, k));
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut ParamSet> {
+        vec![&mut self.weights, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&ParamSet> {
+        vec![&self.weights, &self.bias]
+    }
+
+    fn last_flops(&self) -> u64 {
+        self.last_flops
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------------
+
+/// Fully-connected layer: `y = W·x + b` on a flattened input.
+#[derive(Debug)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    weights: ParamSet,
+    bias: ParamSet,
+    cached_input: Option<Tensor>,
+    last_flops: u64,
+}
+
+impl Dense {
+    /// New layer with Glorot initialization.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        let mut rng = init_rng(seed);
+        let w = glorot_uniform(&mut rng, in_dim, out_dim, out_dim * in_dim);
+        Dense {
+            in_dim,
+            out_dim,
+            weights: ParamSet::new(w),
+            bias: ParamSet::new(vec![0.0; out_dim]),
+            cached_input: None,
+            last_flops: 0,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let x = input.clone().flatten();
+        assert_eq!(x.rows(), self.in_dim, "dense input dim mismatch");
+        let mut out = Tensor::zeros(self.out_dim, 1);
+        for j in 0..self.out_dim {
+            let mut acc = self.bias.w[j];
+            for i in 0..self.in_dim {
+                acc += self.weights.w[j * self.in_dim + i] * x.get(i, 0);
+            }
+            out.set(j, 0, acc);
+        }
+        self.last_flops = (2 * self.out_dim * self.in_dim + self.out_dim) as u64;
+        self.cached_input = Some(x);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward")
+            .clone();
+        assert_eq!(grad_out.len(), self.out_dim);
+        let mut grad_in = Tensor::zeros(self.in_dim, 1);
+        for j in 0..self.out_dim {
+            let go = grad_out.data()[j];
+            self.bias.g[j] += go;
+            for i in 0..self.in_dim {
+                self.weights.g[j * self.in_dim + i] += go * x.get(i, 0);
+                let cur = grad_in.get(i, 0);
+                grad_in.set(i, 0, cur + go * self.weights.w[j * self.in_dim + i]);
+            }
+        }
+        grad_in
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut ParamSet> {
+        vec![&mut self.weights, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&ParamSet> {
+        vec![&self.weights, &self.bias]
+    }
+
+    fn last_flops(&self) -> u64 {
+        self.last_flops
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Activations
+// ---------------------------------------------------------------------------
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct ReLU {
+    mask: Option<Tensor>,
+}
+
+impl ReLU {
+    /// New activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.mask = Some(input.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+        input.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        let mut g = grad_out.clone();
+        for (gv, mv) in g.data_mut().iter_mut().zip(mask.data()) {
+            *gv *= mv;
+        }
+        g
+    }
+}
+
+/// Logistic sigmoid.
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// New activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = input.map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.output.as_ref().expect("backward before forward");
+        let mut g = grad_out.clone();
+        for (gv, yv) in g.data_mut().iter_mut().zip(y.data()) {
+            *gv *= yv * (1.0 - yv);
+        }
+        g
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global max pooling
+// ---------------------------------------------------------------------------
+
+/// Global max pooling over the time axis: `(C, L) → (C, 1)`.
+#[derive(Debug, Default)]
+pub struct GlobalMaxPool1d {
+    argmax: Vec<usize>,
+    in_cols: usize,
+}
+
+impl GlobalMaxPool1d {
+    /// New pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalMaxPool1d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (c, l) = (input.rows(), input.cols());
+        assert!(l > 0, "cannot max-pool an empty sequence");
+        self.argmax.clear();
+        self.in_cols = l;
+        let mut out = Tensor::zeros(c, 1);
+        for ch in 0..c {
+            let (mut best_t, mut best_v) = (0usize, f32::NEG_INFINITY);
+            for t in 0..l {
+                let v = input.get(ch, t);
+                if v > best_v {
+                    best_v = v;
+                    best_t = t;
+                }
+            }
+            self.argmax.push(best_t);
+            out.set(ch, 0, best_v);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let c = self.argmax.len();
+        assert_eq!(grad_out.len(), c, "pool grad shape mismatch");
+        let mut grad_in = Tensor::zeros(c, self.in_cols);
+        for ch in 0..c {
+            grad_in.set(ch, self.argmax[ch], grad_out.data()[ch]);
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerical gradient check: perturb each parameter and each input and
+    /// compare the analytic gradient with the finite difference of a scalar
+    /// loss `L = Σ out²/2` (so ∂L/∂out = out).
+    fn check_layer_gradients(layer: &mut dyn Layer, input: &Tensor, tol: f32) {
+        let eps = 1e-3f32;
+        let loss_of = |out: &Tensor| -> f32 {
+            out.data().iter().map(|&v| 0.5 * v * v).sum()
+        };
+        // Analytic pass.
+        let out = layer.forward(input);
+        let grad_in = layer.backward(&out.clone());
+
+        // Parameter gradients.
+        let analytic_param_grads: Vec<Vec<f32>> =
+            layer.params().iter().map(|p| p.g.clone()).collect();
+        for (pi, grads) in analytic_param_grads.iter().enumerate() {
+            for wi in 0..grads.len() {
+                let orig = layer.params()[pi].w[wi];
+                layer.params_mut()[pi].w[wi] = orig + eps;
+                let lp = loss_of(&layer.forward(input));
+                layer.params_mut()[pi].w[wi] = orig - eps;
+                let lm = loss_of(&layer.forward(input));
+                layer.params_mut()[pi].w[wi] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - grads[wi]).abs() < tol * (1.0 + numeric.abs()),
+                    "param set {pi} weight {wi}: analytic {} vs numeric {numeric}",
+                    grads[wi]
+                );
+            }
+        }
+
+        // Input gradients.
+        for idx in 0..input.len() {
+            let mut plus = input.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[idx] -= eps;
+            let lp = loss_of(&layer.forward(&plus));
+            let lm = loss_of(&layer.forward(&minus));
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad_in.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < tol * (1.0 + numeric.abs()),
+                "input {idx}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    fn sample_input(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut rng = init_rng(seed);
+        let data = glorot_uniform(&mut rng, 1, 1, rows * cols);
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn conv1d_gradients_check_out() {
+        let mut layer = Conv1d::new(2, 3, 3, 1);
+        let input = sample_input(2, 5, 11);
+        check_layer_gradients(&mut layer, &input, 2e-2);
+    }
+
+    #[test]
+    fn dense_gradients_check_out() {
+        let mut layer = Dense::new(4, 3, 2);
+        let input = sample_input(4, 1, 12);
+        check_layer_gradients(&mut layer, &input, 2e-2);
+    }
+
+    #[test]
+    fn relu_gradients_check_out() {
+        let mut layer = ReLU::new();
+        let input = sample_input(3, 4, 13);
+        check_layer_gradients(&mut layer, &input, 2e-2);
+    }
+
+    #[test]
+    fn sigmoid_gradients_check_out() {
+        let mut layer = Sigmoid::new();
+        let input = sample_input(2, 3, 14);
+        check_layer_gradients(&mut layer, &input, 2e-2);
+    }
+
+    #[test]
+    fn conv1d_same_padding_preserves_length() {
+        let mut layer = Conv1d::new(1, 4, 3, 3);
+        let input = sample_input(1, 7, 15);
+        let out = layer.forward(&input);
+        assert_eq!(out.rows(), 4);
+        assert_eq!(out.cols(), 7);
+    }
+
+    #[test]
+    fn conv1d_identity_kernel() {
+        // A kernel that is 1 at the center and 0 elsewhere, zero bias,
+        // reproduces the input.
+        let mut layer = Conv1d::new(1, 1, 3, 4);
+        layer.params_mut()[0].w.copy_from_slice(&[0.0, 1.0, 0.0]);
+        layer.params_mut()[1].w[0] = 0.0;
+        let input = sample_input(1, 6, 16);
+        let out = layer.forward(&input);
+        for t in 0..6 {
+            assert!((out.get(0, t) - input.get(0, t)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn maxpool_selects_max_and_routes_gradient() {
+        let mut layer = GlobalMaxPool1d::new();
+        let input = Tensor::from_vec(2, 3, vec![1.0, 5.0, 2.0, -1.0, -3.0, -2.0]);
+        let out = layer.forward(&input);
+        assert_eq!(out.data(), &[5.0, -1.0]);
+        let grad = layer.backward(&Tensor::vector(vec![1.0, 2.0]));
+        assert_eq!(grad.data(), &[0.0, 1.0, 0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dense_param_count() {
+        let layer = Dense::new(10, 4, 5);
+        assert_eq!(layer.param_count(), 10 * 4 + 4);
+    }
+
+    #[test]
+    fn flops_are_reported() {
+        let mut conv = Conv1d::new(1, 32, 3, 6);
+        conv.forward(&sample_input(1, 5, 17));
+        // 2 * out * len * in * k + out * len = 2*32*5*1*3 + 32*5
+        assert_eq!(conv.last_flops(), 960 + 160);
+        let mut dense = Dense::new(64, 128, 7);
+        dense.forward(&sample_input(64, 1, 18));
+        assert_eq!(dense.last_flops(), 2 * 64 * 128 + 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel size must be odd")]
+    fn even_kernel_panics() {
+        let _ = Conv1d::new(1, 1, 4, 0);
+    }
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let mut layer = ReLU::new();
+        let out = layer.forward(&Tensor::vector(vec![-1.0, 0.0, 2.0]));
+        assert_eq!(out.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        let mut layer = Sigmoid::new();
+        let out = layer.forward(&Tensor::vector(vec![-10.0, 0.0, 10.0]));
+        assert!(out.data()[0] < 0.001);
+        assert!((out.data()[1] - 0.5).abs() < 1e-6);
+        assert!(out.data()[2] > 0.999);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Lighter-weight analytic-vs-numeric check for proptest: verify the
+    /// input gradient only (parameter gradients are covered by the
+    /// deterministic tests above).
+    fn input_gradient_matches(layer: &mut dyn Layer, input: &Tensor, tol: f32) -> Result<(), String> {
+        let eps = 1e-2f32;
+        let loss_of =
+            |out: &Tensor| -> f32 { out.data().iter().map(|&v| 0.5 * v * v).sum() };
+        let out = layer.forward(input);
+        let grad_in = layer.backward(&out.clone());
+        for idx in 0..input.len() {
+            let mut plus = input.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[idx] -= eps;
+            let lp = loss_of(&layer.forward(&plus));
+            let lm = loss_of(&layer.forward(&minus));
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad_in.data()[idx];
+            if (numeric - analytic).abs() > tol * (1.0 + numeric.abs()) {
+                return Err(format!(
+                    "input {idx}: analytic {analytic} vs numeric {numeric}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Conv1D input gradients hold for random shapes and inputs.
+        #[test]
+        fn conv1d_gradients_hold_for_random_shapes(
+            in_ch in 1usize..4,
+            out_ch in 1usize..5,
+            kernel in prop_oneof![Just(1usize), Just(3), Just(5)],
+            len in 3usize..8,
+            seed in 0u64..1000,
+            data in proptest::collection::vec(-1.0f32..1.0, 4 * 8),
+        ) {
+            let mut layer = Conv1d::new(in_ch, out_ch, kernel, seed);
+            let input = Tensor::from_vec(in_ch, len, data[..in_ch * len].to_vec());
+            prop_assert!(input_gradient_matches(&mut layer, &input, 0.08).is_ok());
+        }
+
+        /// Dense input gradients hold for random shapes and inputs.
+        #[test]
+        fn dense_gradients_hold_for_random_shapes(
+            in_dim in 1usize..10,
+            out_dim in 1usize..8,
+            seed in 0u64..1000,
+            data in proptest::collection::vec(-1.0f32..1.0, 10),
+        ) {
+            let mut layer = Dense::new(in_dim, out_dim, seed);
+            let input = Tensor::from_vec(in_dim, 1, data[..in_dim].to_vec());
+            prop_assert!(input_gradient_matches(&mut layer, &input, 0.08).is_ok());
+        }
+
+        /// Max pooling forward: output equals the per-channel maximum, and
+        /// the backward routes all gradient mass to one slot per channel.
+        #[test]
+        fn maxpool_invariants(
+            rows in 1usize..5,
+            cols in 1usize..7,
+            data in proptest::collection::vec(-10.0f32..10.0, 5 * 7),
+        ) {
+            let input = Tensor::from_vec(rows, cols, data[..rows * cols].to_vec());
+            let mut pool = GlobalMaxPool1d::new();
+            let out = pool.forward(&input);
+            for r in 0..rows {
+                let max = (0..cols).map(|c| input.get(r, c)).fold(f32::MIN, f32::max);
+                prop_assert_eq!(out.get(r, 0), max);
+            }
+            let grad = pool.backward(&Tensor::vector(vec![1.0; rows]));
+            for r in 0..rows {
+                let nonzero = (0..cols).filter(|&c| grad.get(r, c) != 0.0).count();
+                prop_assert_eq!(nonzero, 1, "row {} must route grad to one slot", r);
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+//! # pg-nn — a minimal neural-network library
+//!
+//! The **TensorFlow substitute** for the PacketGame reproduction. The
+//! paper's contextual predictor (§5.2, §6.1) is a deliberately tiny network
+//! — two 1-D convolution layers of 32 units per view, global max pooling,
+//! 128 dense units, sigmoid output, binary cross-entropy loss, RMSprop
+//! optimizer, ~5 K FLOPs per inference — so a small from-scratch library
+//! reproduces it exactly: no graph compiler, no SIMD heroics, just correct
+//! forward/backward passes and a binary weight file (the paper likewise
+//! deploys the trained predictor as "a binary runtime file").
+//!
+//! Components:
+//!
+//! * [`tensor::Tensor`] — a dense 2-D `f32` tensor (channels × time for
+//!   convolutions, features × 1 for dense layers);
+//! * [`layers`] — `Conv1d`, `Dense`, `ReLU`, `Sigmoid`, `GlobalMaxPool1d`,
+//!   each with forward + backward;
+//! * [`model::Sequential`] — ordered layer container;
+//! * [`loss`] — binary cross-entropy (plain and with-logits) and MSE;
+//! * [`optim::RmsProp`] — the paper's optimizer (plus plain SGD);
+//! * [`serialize::WeightFile`] — binary save/load of named parameter blobs.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use pg_nn::layers::{Conv1d, Dense, GlobalMaxPool1d, Layer, ReLU};
+//! use pg_nn::model::Sequential;
+//! use pg_nn::tensor::Tensor;
+//!
+//! let mut net = Sequential::new(vec![
+//!     Box::new(Conv1d::new(1, 8, 3, 1)),
+//!     Box::new(ReLU::new()),
+//!     Box::new(GlobalMaxPool1d::new()),
+//!     Box::new(Dense::new(8, 1, 2)),
+//! ]);
+//! let x = Tensor::from_vec(1, 5, vec![0.1, 0.4, 0.2, 0.9, 0.3]);
+//! let y = net.forward(&x);
+//! assert_eq!(y.len(), 1);
+//! ```
+
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod lstm;
+pub mod model;
+pub mod optim;
+pub mod param;
+pub mod recurrent;
+pub mod serialize;
+pub mod tensor;
+
+pub use layers::{Conv1d, Dense, GlobalMaxPool1d, Layer, ReLU, Sigmoid};
+pub use loss::{bce, bce_grad, bce_with_logits, mse};
+pub use lstm::Lstm;
+pub use model::Sequential;
+pub use optim::{Optimizer, RmsProp, Sgd};
+pub use param::ParamSet;
+pub use recurrent::Rnn;
+pub use serialize::WeightFile;
+pub use tensor::Tensor;

@@ -1,0 +1,108 @@
+//! Loss functions.
+//!
+//! The paper trains the contextual predictor with binary cross-entropy
+//! (§5.2): `L(r, y) = −(r·log y + (1−r)·log(1−y))`.
+
+/// Clamp for probabilities to keep logs finite.
+const EPS: f32 = 1e-7;
+
+/// Binary cross-entropy between a true label `r ∈ [0,1]` and a predicted
+/// probability `y ∈ (0,1)`.
+pub fn bce(r: f32, y: f32) -> f32 {
+    let y = y.clamp(EPS, 1.0 - EPS);
+    -(r * y.ln() + (1.0 - r) * (1.0 - y).ln())
+}
+
+/// Gradient of [`bce`] w.r.t. the predicted probability `y`.
+pub fn bce_grad(r: f32, y: f32) -> f32 {
+    let y = y.clamp(EPS, 1.0 - EPS);
+    (y - r) / (y * (1.0 - y))
+}
+
+/// Numerically-stable BCE on a raw logit `z` (i.e. before sigmoid).
+/// Returns `(loss, dL/dz)`; note `dL/dz = σ(z) − r`, which is why training
+/// on logits avoids the `1/(y(1−y))` blow-up.
+pub fn bce_with_logits(r: f32, z: f32) -> (f32, f32) {
+    // log(1 + e^z) computed stably.
+    let softplus = if z > 0.0 {
+        z + (-z).exp().ln_1p()
+    } else {
+        z.exp().ln_1p()
+    };
+    let loss = softplus - r * z;
+    let sigma = 1.0 / (1.0 + (-z).exp());
+    (loss, sigma - r)
+}
+
+/// Mean squared error over two equal-length slices; returns `(loss, grads)`.
+pub fn mse(target: &[f32], pred: &[f32]) -> (f32, Vec<f32>) {
+    assert_eq!(target.len(), pred.len());
+    let n = target.len().max(1) as f32;
+    let mut loss = 0.0;
+    let mut grads = Vec::with_capacity(target.len());
+    for (&t, &p) in target.iter().zip(pred) {
+        let d = p - t;
+        loss += d * d;
+        grads.push(2.0 * d / n);
+    }
+    (loss / n, grads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_is_low_for_correct_confident_predictions() {
+        assert!(bce(1.0, 0.99) < 0.02);
+        assert!(bce(0.0, 0.01) < 0.02);
+        assert!(bce(1.0, 0.01) > 4.0);
+    }
+
+    #[test]
+    fn bce_handles_saturated_probabilities() {
+        assert!(bce(1.0, 1.0).is_finite());
+        assert!(bce(1.0, 0.0).is_finite());
+        assert!(bce_grad(0.0, 1.0).is_finite());
+    }
+
+    #[test]
+    fn bce_grad_matches_numeric() {
+        for (r, y) in [(1.0, 0.3), (0.0, 0.7), (0.5, 0.5), (1.0, 0.9)] {
+            let eps = 1e-4;
+            let numeric = (bce(r, y + eps) - bce(r, y - eps)) / (2.0 * eps);
+            let analytic = bce_grad(r, y);
+            assert!(
+                (numeric - analytic).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "r={r} y={y}: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn bce_with_logits_matches_composition() {
+        for (r, z) in [(1.0f32, -2.0f32), (0.0, 3.0), (1.0, 0.0), (0.0, -0.5)] {
+            let y = 1.0 / (1.0 + (-z).exp());
+            let (loss, grad) = bce_with_logits(r, z);
+            assert!((loss - bce(r, y)).abs() < 1e-5, "loss mismatch at r={r} z={z}");
+            assert!(((y - r) - grad).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bce_with_logits_is_stable_at_extremes() {
+        let (loss, grad) = bce_with_logits(0.0, 80.0);
+        assert!(loss.is_finite() && grad.is_finite());
+        let (loss, grad) = bce_with_logits(1.0, -80.0);
+        assert!(loss.is_finite() && grad.is_finite());
+    }
+
+    #[test]
+    fn mse_basics() {
+        let (loss, grads) = mse(&[1.0, 2.0], &[1.0, 4.0]);
+        assert!((loss - 2.0).abs() < 1e-6);
+        assert_eq!(grads.len(), 2);
+        assert!((grads[0]).abs() < 1e-6);
+        assert!((grads[1] - 2.0).abs() < 1e-6);
+    }
+}

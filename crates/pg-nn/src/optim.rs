@@ -1,0 +1,130 @@
+//! Optimizers: RMSprop (the paper's choice, §6.1) and plain SGD.
+
+use crate::param::ParamSet;
+
+/// An optimizer updates a parameter set in place from its accumulated
+/// gradients. Gradients are *not* cleared (call
+/// [`ParamSet::zero_grad`] between batches).
+pub trait Optimizer: std::fmt::Debug + Send {
+    /// Apply one update step to `params` using `params.g`.
+    fn step(&self, params: &mut ParamSet);
+}
+
+/// RMSprop: `s ← ρ·s + (1−ρ)·g²; w ← w − lr·g/√(s+ε)`.
+///
+/// Defaults match the paper's training setup (learning rate 0.001) and
+/// Keras' RMSprop defaults (ρ = 0.9, ε = 1e−7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmsProp {
+    /// Learning rate.
+    pub lr: f32,
+    /// Decay of the squared-gradient moving average.
+    pub rho: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl Default for RmsProp {
+    fn default() -> Self {
+        RmsProp {
+            lr: 0.001,
+            rho: 0.9,
+            eps: 1e-7,
+        }
+    }
+}
+
+impl RmsProp {
+    /// RMSprop with a custom learning rate.
+    pub fn with_lr(lr: f32) -> Self {
+        RmsProp {
+            lr,
+            ..Self::default()
+        }
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn step(&self, params: &mut ParamSet) {
+        for i in 0..params.w.len() {
+            let g = params.g[i];
+            params.state[i] = self.rho * params.state[i] + (1.0 - self.rho) * g * g;
+            params.w[i] -= self.lr * g / (params.state[i] + self.eps).sqrt();
+        }
+    }
+}
+
+/// Plain stochastic gradient descent: `w ← w − lr·g`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&self, params: &mut ParamSet) {
+        for i in 0..params.w.len() {
+            params.w[i] -= self.lr * params.g[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(w) = (w−3)² with each optimizer; both must converge.
+    fn minimize(opt: &dyn Optimizer, steps: usize) -> f32 {
+        let mut p = ParamSet::new(vec![0.0]);
+        for _ in 0..steps {
+            p.zero_grad();
+            p.g[0] = 2.0 * (p.w[0] - 3.0);
+            opt.step(&mut p);
+        }
+        p.w[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = minimize(&Sgd::new(0.1), 200);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn rmsprop_converges_on_quadratic() {
+        let w = minimize(&RmsProp::with_lr(0.05), 2000);
+        assert!((w - 3.0).abs() < 0.05, "w = {w}");
+    }
+
+    #[test]
+    fn rmsprop_adapts_step_to_gradient_scale() {
+        // With a huge gradient, RMSprop's normalized step stays ≈ lr,
+        // whereas SGD would explode.
+        let opt = RmsProp::with_lr(0.01);
+        let mut p = ParamSet::new(vec![0.0]);
+        p.g[0] = 1e6;
+        opt.step(&mut p);
+        assert!(p.w[0].abs() < 0.05, "step too large: {}", p.w[0]);
+    }
+
+    #[test]
+    fn default_lr_matches_paper() {
+        assert!((RmsProp::default().lr - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_does_not_clear_gradients() {
+        let opt = Sgd::new(0.1);
+        let mut p = ParamSet::new(vec![1.0]);
+        p.g[0] = 1.0;
+        opt.step(&mut p);
+        assert_eq!(p.g[0], 1.0);
+    }
+}

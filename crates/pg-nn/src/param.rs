@@ -1,0 +1,70 @@
+//! Trainable parameter storage: weights, gradients, optimizer state.
+
+/// A block of trainable parameters with its gradient accumulator and one
+/// slot of per-parameter optimizer state (RMSprop's squared-gradient
+/// moving average; unused by plain SGD).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSet {
+    /// Parameter values.
+    pub w: Vec<f32>,
+    /// Accumulated gradients (summed over a mini-batch until
+    /// [`zero_grad`](Self::zero_grad)).
+    pub g: Vec<f32>,
+    /// Per-parameter optimizer state.
+    pub state: Vec<f32>,
+}
+
+impl ParamSet {
+    /// Initialize from weight values.
+    pub fn new(w: Vec<f32>) -> Self {
+        let n = w.len();
+        ParamSet {
+            w,
+            g: vec![0.0; n],
+            state: vec![0.0; n],
+        }
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Reset accumulated gradients to zero.
+    pub fn zero_grad(&mut self) {
+        self.g.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Scale accumulated gradients (e.g. by 1/batch_size).
+    pub fn scale_grad(&mut self, s: f32) {
+        self.g.iter_mut().for_each(|g| *g *= s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_allocates_matching_buffers() {
+        let p = ParamSet::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.g, vec![0.0; 3]);
+        assert_eq!(p.state, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn zero_and_scale_grad() {
+        let mut p = ParamSet::new(vec![0.0; 2]);
+        p.g = vec![4.0, -2.0];
+        p.scale_grad(0.5);
+        assert_eq!(p.g, vec![2.0, -1.0]);
+        p.zero_grad();
+        assert_eq!(p.g, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Binary weight files ("the binary runtime file" of paper §5.2).
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! file  := "PGNN" version:u16 n_entries:u32 entry*
+//! entry := name_len:u16 name[name_len] n_values:u64 f32*n_values
+//! ```
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Magic bytes opening a weight file.
+pub const WEIGHTS_MAGIC: [u8; 4] = *b"PGNN";
+/// Weight file format version.
+pub const WEIGHTS_VERSION: u16 = 1;
+
+/// A set of named parameter blobs, savable as a single binary file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WeightFile {
+    entries: Vec<(String, Vec<f32>)>,
+}
+
+impl WeightFile {
+    /// Empty weight file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a named blob. Names must be unique.
+    pub fn add(&mut self, name: impl Into<String>, values: Vec<f32>) {
+        let name = name.into();
+        assert!(
+            self.get(&name).is_none(),
+            "duplicate weight entry name {name:?}"
+        );
+        self.entries.push((name, values));
+    }
+
+    /// Look up a blob by name.
+    pub fn get(&self, name: &str) -> Option<&[f32]> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// All entries in insertion order.
+    pub fn entries(&self) -> &[(String, Vec<f32>)] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the file has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of scalar parameters across all entries.
+    pub fn total_params(&self) -> usize {
+        self.entries.iter().map(|(_, v)| v.len()).sum()
+    }
+
+    /// Serialize to a writer.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&WEIGHTS_MAGIC)?;
+        w.write_all(&WEIGHTS_VERSION.to_le_bytes())?;
+        w.write_all(&(self.entries.len() as u32).to_le_bytes())?;
+        for (name, values) in &self.entries {
+            let name_bytes = name.as_bytes();
+            w.write_all(&(name_bytes.len() as u16).to_le_bytes())?;
+            w.write_all(name_bytes)?;
+            w.write_all(&(values.len() as u64).to_le_bytes())?;
+            for v in values {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialize from a reader.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if magic != WEIGHTS_MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let mut u16buf = [0u8; 2];
+        r.read_exact(&mut u16buf)?;
+        if u16::from_le_bytes(u16buf) != WEIGHTS_VERSION {
+            return Err(bad("unsupported version"));
+        }
+        let mut u32buf = [0u8; 4];
+        r.read_exact(&mut u32buf)?;
+        let n_entries = u32::from_le_bytes(u32buf) as usize;
+        let mut entries = Vec::with_capacity(n_entries.min(1 << 16));
+        for _ in 0..n_entries {
+            r.read_exact(&mut u16buf)?;
+            let name_len = u16::from_le_bytes(u16buf) as usize;
+            let mut name_bytes = vec![0u8; name_len];
+            r.read_exact(&mut name_bytes)?;
+            let name = String::from_utf8(name_bytes).map_err(|_| bad("non-utf8 name"))?;
+            let mut u64buf = [0u8; 8];
+            r.read_exact(&mut u64buf)?;
+            let n_values = u64::from_le_bytes(u64buf) as usize;
+            if n_values > (1 << 28) {
+                return Err(bad("implausibly large entry"));
+            }
+            let mut values = Vec::with_capacity(n_values);
+            let mut f32buf = [0u8; 4];
+            for _ in 0..n_values {
+                r.read_exact(&mut f32buf)?;
+                values.push(f32::from_le_bytes(f32buf));
+            }
+            entries.push((name, values));
+        }
+        Ok(WeightFile { entries })
+    }
+
+    /// Save to a file path.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        self.write_to(&mut f)
+    }
+
+    /// Load from a file path.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut f = std::fs::File::open(path)?;
+        Self::read_from(&mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WeightFile {
+        let mut wf = WeightFile::new();
+        wf.add("conv1/w", vec![1.0, -2.5, 3.25]);
+        wf.add("conv1/b", vec![0.0; 8]);
+        wf.add("dense/w", (0..100).map(|i| i as f32 * 0.1).collect());
+        wf
+    }
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let wf = sample();
+        let mut buf = Vec::new();
+        wf.write_to(&mut buf).unwrap();
+        let back = WeightFile::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, wf);
+        assert_eq!(back.total_params(), 111);
+    }
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let wf = sample();
+        let dir = std::env::temp_dir().join(format!("pgnn-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("weights.pgnn");
+        wf.save(&path).unwrap();
+        let back = WeightFile::load(&path).unwrap();
+        assert_eq!(back, wf);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(WeightFile::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(WeightFile::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate weight entry")]
+    fn duplicate_names_panic() {
+        let mut wf = WeightFile::new();
+        wf.add("a", vec![1.0]);
+        wf.add("a", vec![2.0]);
+    }
+
+    #[test]
+    fn get_finds_entries() {
+        let wf = sample();
+        assert_eq!(wf.get("conv1/w"), Some(&[1.0, -2.5, 3.25][..]));
+        assert!(wf.get("missing").is_none());
+    }
+}

@@ -1,0 +1,176 @@
+//! Dense 2-D `f32` tensor.
+//!
+//! Row-major `(rows, cols)`. Convolutional layers interpret rows as
+//! channels and cols as time; dense layers flatten.
+
+/// A dense 2-D tensor of `f32`. Cheap to clone at the sizes this library
+//  targets (tens to thousands of elements).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zero tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Wrap an existing buffer. Panics if the length doesn't match.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "tensor data length {} != {rows}x{cols}",
+            data.len()
+        );
+        Tensor { rows, cols, data }
+    }
+
+    /// A 1-column tensor (feature vector).
+    pub fn vector(data: Vec<f32>) -> Self {
+        let rows = data.len();
+        Tensor {
+            rows,
+            cols: 1,
+            data,
+        }
+    }
+
+    /// Number of rows (channels / features).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (time steps).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Raw data, row-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data, row-major.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterpret as a flat feature vector (rows*cols × 1) without copying
+    /// the data.
+    pub fn flatten(mut self) -> Tensor {
+        self.rows *= self.cols;
+        self.cols = 1;
+        self
+    }
+
+    /// Concatenate feature vectors (all inputs flattened, stacked into one
+    /// column vector).
+    pub fn concat(parts: &[&Tensor]) -> Tensor {
+        let mut data = Vec::with_capacity(parts.iter().map(|t| t.len()).sum());
+        for t in parts {
+            data.extend_from_slice(t.data());
+        }
+        Tensor::vector(data)
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Whether any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_access() {
+        let mut t = Tensor::zeros(2, 3);
+        assert_eq!(t.len(), 6);
+        t.set(1, 2, 5.0);
+        assert_eq!(t.get(1, 2), 5.0);
+        assert_eq!(t.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tensor data length")]
+    fn from_vec_checks_length() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn row_major_layout() {
+        let t = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.get(0, 2), 3.0);
+        assert_eq!(t.get(1, 0), 4.0);
+    }
+
+    #[test]
+    fn flatten_preserves_data() {
+        let t = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let f = t.clone().flatten();
+        assert_eq!(f.rows(), 4);
+        assert_eq!(f.cols(), 1);
+        assert_eq!(f.data(), t.data());
+    }
+
+    #[test]
+    fn concat_stacks_vectors() {
+        let a = Tensor::vector(vec![1., 2.]);
+        let b = Tensor::vector(vec![3.]);
+        let c = Tensor::concat(&[&a, &b]);
+        assert_eq!(c.data(), &[1., 2., 3.]);
+        assert_eq!(c.rows(), 3);
+    }
+
+    #[test]
+    fn map_and_nonfinite_detection() {
+        let t = Tensor::vector(vec![1.0, -2.0]);
+        let m = t.map(|v| v * v);
+        assert_eq!(m.data(), &[1.0, 4.0]);
+        assert!(!m.has_non_finite());
+        let bad = t.map(|v| v / 0.0);
+        assert!(bad.has_non_finite());
+    }
+}

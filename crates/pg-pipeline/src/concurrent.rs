@@ -1,0 +1,521 @@
+//! A genuinely concurrent pipeline: threads + channels moving real bytes.
+//!
+//! The round simulator ([`crate::round`]) answers accuracy questions; this
+//! module answers *throughput* questions (paper Fig. 2, Table 4): how many
+//! packets per second can the parse → gate → decode → infer pipeline move
+//! when decoding costs real CPU work, and how much does the gate add?
+//!
+//! Topology (one thread each unless noted):
+//!
+//! ```text
+//! producer ──bytes──▶ parser ──packets──▶ gate ──jobs──▶ decode pool (N)
+//!                                          ▲                   │frames
+//!                                          └──── feedback ◀── inference
+//! ```
+//!
+//! Decode work is synthetic but real CPU time: a deterministic xorshift
+//! loop proportional to the packet's decode cost in [`CostModel`] units,
+//! calibrated by [`DecodeWorkModel`].
+
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use pg_codec::{
+    serialize_stream_chunks, CostModel, DependencyTracker, Encoder, EncoderConfig, Packet,
+    PacketParser,
+};
+use pg_scene::{generator_for, TaskKind};
+
+use crate::gate::{FeedbackEvent, GatePolicy, PacketContext};
+
+/// Synthetic decode work: CPU iterations per cost unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeWorkModel {
+    /// Xorshift iterations per cost unit. 0 = free decoding (pure
+    /// orchestration overhead measurement).
+    pub iters_per_unit: u64,
+}
+
+impl Default for DecodeWorkModel {
+    fn default() -> Self {
+        // ~20 µs per P-frame on a modern core: fast enough for tests,
+        // heavy enough that the decode pool dominates without gating.
+        DecodeWorkModel {
+            iters_per_unit: 20_000,
+        }
+    }
+}
+
+impl DecodeWorkModel {
+    /// Burn CPU proportional to `cost_units`; returns a checksum so the
+    /// work cannot be optimized away.
+    pub fn decode_work(&self, cost_units: f64) -> u64 {
+        let iters = (cost_units * self.iters_per_unit as f64) as u64;
+        let mut x = 0x9E37_79B9_7F4A_7C15u64 | 1;
+        for _ in 0..iters {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        std::hint::black_box(x)
+    }
+}
+
+/// Configuration for one concurrent run.
+#[derive(Debug, Clone)]
+pub struct ConcurrentConfig {
+    /// Number of streams.
+    pub streams: usize,
+    /// Packets per stream.
+    pub rounds: u64,
+    /// Decode worker threads.
+    pub decode_workers: usize,
+    /// Per-round decoding budget in cost units.
+    pub budget_per_round: f64,
+    /// Task generating the content.
+    pub task: TaskKind,
+    /// Encoder configuration shared by all streams.
+    pub encoder: EncoderConfig,
+    /// Synthetic decode work calibration.
+    pub work: DecodeWorkModel,
+    /// Cost model.
+    pub costs: CostModel,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ConcurrentConfig {
+    fn default() -> Self {
+        ConcurrentConfig {
+            streams: 8,
+            rounds: 100,
+            decode_workers: 2,
+            budget_per_round: 8.0,
+            task: TaskKind::PersonCounting,
+            encoder: EncoderConfig::new(pg_codec::Codec::H264),
+            work: DecodeWorkModel::default(),
+            costs: CostModel::default(),
+            seed: 1,
+        }
+    }
+}
+
+/// Result of a concurrent run.
+#[derive(Debug, Clone)]
+pub struct ConcurrentReport {
+    /// Streams processed.
+    pub streams: usize,
+    /// Rounds processed.
+    pub rounds: u64,
+    /// Total bytes pushed through the parser.
+    pub bytes_parsed: u64,
+    /// Packets parsed (= streams × rounds on success).
+    pub packets_parsed: u64,
+    /// Packets decoded (targets; closures counted separately).
+    pub packets_decoded: u64,
+    /// Frames decoded including dependency closures.
+    pub frames_decoded: u64,
+    /// Decode cost spent (units).
+    pub cost_spent: f64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Cumulative time the gate spent inside `select`.
+    pub gate_time: Duration,
+}
+
+impl ConcurrentReport {
+    /// End-to-end packet throughput (packets/s through the whole pipeline).
+    pub fn pipeline_pps(&self) -> f64 {
+        self.packets_parsed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Decoded-frame throughput.
+    pub fn decode_fps(&self) -> f64 {
+        self.frames_decoded as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Mean gate latency per round.
+    pub fn gate_latency_per_round(&self) -> Duration {
+        if self.rounds == 0 {
+            Duration::ZERO
+        } else {
+            self.gate_time / self.rounds as u32
+        }
+    }
+}
+
+/// A decode job: the packets of one dependency closure.
+struct DecodeJob {
+    stream_idx: usize,
+    round: u64,
+    closure: Vec<Packet>,
+    cost: f64,
+}
+
+/// A decoded target frame heading for inference.
+struct InferItem {
+    stream_idx: usize,
+    round: u64,
+    target: Packet,
+}
+
+/// The concurrent pipeline runner.
+pub struct ConcurrentPipeline {
+    config: ConcurrentConfig,
+}
+
+impl ConcurrentPipeline {
+    /// New pipeline with the given configuration.
+    pub fn new(config: ConcurrentConfig) -> Self {
+        assert!(config.streams > 0 && config.decode_workers > 0);
+        ConcurrentPipeline { config }
+    }
+
+    /// Run to completion under `gate`.
+    pub fn run(&self, gate: &mut dyn GatePolicy) -> ConcurrentReport {
+        let cfg = &self.config;
+        let m = cfg.streams;
+        let start = Instant::now();
+
+        // producer → parser: per-stream byte chunks.
+        let (byte_tx, byte_rx) = bounded::<(usize, Vec<u8>)>(m * 4);
+        // parser → gate: parsed packets, tagged with the stream index.
+        let (pkt_tx, pkt_rx) = bounded::<(usize, Packet)>(m * 4);
+        // gate → decoders.
+        let (job_tx, job_rx) = bounded::<DecodeJob>(m * 4);
+        // decoders → inference.
+        let (frame_tx, frame_rx) = bounded::<(InferItem, f64, usize)>(m * 4);
+        // inference → gate (feedback).
+        let (fb_tx, fb_rx) = bounded::<FeedbackEvent>(m * 16);
+
+        std::thread::scope(|scope| {
+            // ---------------- producer ----------------
+            let producer_cfg = cfg.clone();
+            scope.spawn(move || {
+                producer(&producer_cfg, byte_tx);
+            });
+
+            // ---------------- parser ----------------
+            let parser_handle = scope.spawn(move || parser_stage(m, byte_rx, pkt_tx));
+
+            // ---------------- decode pool ----------------
+            let mut decode_handles = Vec::new();
+            for _ in 0..cfg.decode_workers {
+                let rx: Receiver<DecodeJob> = job_rx.clone();
+                let tx = frame_tx.clone();
+                let work = cfg.work;
+                decode_handles.push(scope.spawn(move || {
+                    let mut frames = 0u64;
+                    let mut cost = 0.0f64;
+                    while let Ok(job) = rx.recv() {
+                        work.decode_work(job.cost);
+                        frames += job.closure.len() as u64;
+                        cost += job.cost;
+                        let target = job.closure.last().expect("non-empty closure").clone();
+                        let item = InferItem {
+                            stream_idx: job.stream_idx,
+                            round: job.round,
+                            target,
+                        };
+                        if tx.send((item, job.cost, job.closure.len())).is_err() {
+                            break;
+                        }
+                    }
+                    (frames, cost)
+                }));
+            }
+            drop(job_rx);
+            drop(frame_tx);
+
+            // ---------------- inference ----------------
+            let infer_task = cfg.task;
+            let infer_handle = scope.spawn(move || {
+                inference_stage(m, infer_task, frame_rx, fb_tx)
+            });
+
+            // ---------------- gate (this thread) ----------------
+            let gate_stats = gate_stage(cfg, gate, pkt_rx, job_tx, fb_rx);
+
+            // Collect.
+            let (packets_parsed, bytes_parsed) = parser_handle.join().expect("parser thread");
+            let mut frames_decoded = 0u64;
+            let mut cost_spent = 0.0;
+            for h in decode_handles {
+                let (f, c) = h.join().expect("decode worker");
+                frames_decoded += f;
+                cost_spent += c;
+            }
+            let _inferences = infer_handle.join().expect("inference thread");
+
+            ConcurrentReport {
+                streams: m,
+                rounds: cfg.rounds,
+                bytes_parsed,
+                packets_parsed,
+                packets_decoded: gate_stats.decoded,
+                frames_decoded,
+                cost_spent,
+                wall: start.elapsed(),
+                gate_time: gate_stats.gate_time,
+            }
+        })
+    }
+}
+
+fn producer(cfg: &ConcurrentConfig, byte_tx: Sender<(usize, Vec<u8>)>) {
+    let mut encoders: Vec<Encoder> = (0..cfg.streams)
+        .map(|i| Encoder::for_stream(cfg.encoder, cfg.seed, i as u32))
+        .collect();
+    let mut generators: Vec<_> = (0..cfg.streams)
+        .map(|i| {
+            generator_for(
+                cfg.task,
+                pg_scene::rng::mix(cfg.seed, i as u64),
+                cfg.encoder.fps,
+            )
+        })
+        .collect();
+    // First send each stream's header.
+    for (i, _) in encoders.iter().enumerate() {
+        let chunk = serialize_stream_chunks::header_bytes(i as u32, &cfg.encoder);
+        if byte_tx.send((i, chunk)).is_err() {
+            return;
+        }
+    }
+    for _ in 0..cfg.rounds {
+        for i in 0..cfg.streams {
+            let frame = generators[i].next_frame();
+            let packet = encoders[i].encode(&frame);
+            let chunk = serialize_stream_chunks::packet_bytes(&packet);
+            if byte_tx.send((i, chunk)).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+fn parser_stage(
+    m: usize,
+    byte_rx: Receiver<(usize, Vec<u8>)>,
+    pkt_tx: Sender<(usize, Packet)>,
+) -> (u64, u64) {
+    let mut parsers: Vec<PacketParser> = (0..m).map(|_| PacketParser::new()).collect();
+    let mut packets = 0u64;
+    let mut bytes = 0u64;
+    while let Ok((i, chunk)) = byte_rx.recv() {
+        bytes += chunk.len() as u64;
+        parsers[i].push(&chunk);
+        while let Some(p) = parsers[i].next_packet().expect("well-formed stream") {
+            packets += 1;
+            if pkt_tx.send((i, p)).is_err() {
+                return (packets, bytes);
+            }
+        }
+    }
+    (packets, bytes)
+}
+
+struct GateStats {
+    decoded: u64,
+    gate_time: Duration,
+}
+
+fn gate_stage(
+    cfg: &ConcurrentConfig,
+    gate: &mut dyn GatePolicy,
+    pkt_rx: Receiver<(usize, Packet)>,
+    job_tx: Sender<DecodeJob>,
+    fb_rx: Receiver<FeedbackEvent>,
+) -> GateStats {
+    let m = cfg.streams;
+    let mut trackers: Vec<DependencyTracker> = (0..m).map(|_| DependencyTracker::new()).collect();
+    let mut stores: Vec<std::collections::BTreeMap<u64, Packet>> =
+        (0..m).map(|_| std::collections::BTreeMap::new()).collect();
+    let mut pending: Vec<Option<Packet>> = (0..m).map(|_| None).collect();
+    let mut decoded = 0u64;
+    let mut gate_time = Duration::ZERO;
+
+    for round in 0..cfg.rounds {
+        // Assemble this round's packet from every stream.
+        let mut filled = 0usize;
+        while filled < m {
+            let (i, p) = match pkt_rx.recv() {
+                Ok(x) => x,
+                Err(_) => return GateStats { decoded, gate_time },
+            };
+            trackers[i].note_arrival(&p);
+            stores[i].insert(p.meta.seq, p.clone());
+            // Keep stores bounded: drop entries older than two GOPs.
+            let horizon = p.meta.gop_id.saturating_sub(1);
+            stores[i].retain(|_, q| q.meta.gop_id >= horizon);
+            debug_assert!(pending[i].is_none(), "stream {i} delivered twice per round");
+            pending[i] = Some(p);
+            filled += 1;
+        }
+
+        // Drain async feedback.
+        let mut events = Vec::new();
+        while let Ok(e) = fb_rx.try_recv() {
+            events.push(e);
+        }
+        if !events.is_empty() {
+            gate.feedback(&events);
+        }
+
+        // Build contexts and select.
+        let contexts: Vec<PacketContext> = (0..m)
+            .map(|i| {
+                let p = pending[i].as_ref().expect("filled above");
+                PacketContext {
+                    stream_idx: i,
+                    meta: p.meta,
+                    pending_cost: trackers[i]
+                        .pending_cost(p.meta.seq, &cfg.costs)
+                        .expect("tracked"),
+                    codec: cfg.encoder.codec,
+                    oracle_necessary: None,
+                }
+            })
+            .collect();
+        let t0 = Instant::now();
+        let selection = gate.select(round, &contexts, cfg.budget_per_round);
+        gate_time += t0.elapsed();
+
+        // Dispatch decode jobs under the budget.
+        let mut spent = 0.0f64;
+        let mut sent = vec![false; m];
+        for idx in selection {
+            if idx >= m || sent[idx] {
+                continue;
+            }
+            if spent >= cfg.budget_per_round {
+                break;
+            }
+            let seq = pending[idx].as_ref().expect("filled").meta.seq;
+            let closure_seqs = trackers[idx].pending_closure(seq).expect("tracked");
+            let closure: Vec<Packet> = closure_seqs
+                .iter()
+                .map(|s| stores[idx][s].clone())
+                .collect();
+            let cost: f64 = closure_seqs
+                .iter()
+                .map(|s| cfg.costs.cost(trackers[idx].frame_type(*s).expect("tracked")))
+                .sum();
+            for s in &closure_seqs {
+                trackers[idx].mark_decoded(*s);
+            }
+            spent += cost;
+            sent[idx] = true;
+            decoded += 1;
+            if job_tx
+                .send(DecodeJob {
+                    stream_idx: idx,
+                    round,
+                    closure,
+                    cost,
+                })
+                .is_err()
+            {
+                return GateStats { decoded, gate_time };
+            }
+        }
+        pending.iter_mut().for_each(|p| *p = None);
+    }
+    GateStats { decoded, gate_time }
+}
+
+fn inference_stage(
+    m: usize,
+    task: TaskKind,
+    frame_rx: Receiver<(InferItem, f64, usize)>,
+    fb_tx: Sender<FeedbackEvent>,
+) -> u64 {
+    use pg_inference::redundancy::RedundancyJudge;
+    use pg_inference::tasks::model_for;
+    let mut models: Vec<_> = (0..m).map(|_| model_for(task)).collect();
+    let mut judges: Vec<RedundancyJudge> = (0..m).map(|_| RedundancyJudge::new()).collect();
+    let mut count = 0u64;
+    while let Ok((item, _cost, _len)) = frame_rx.recv() {
+        let decoded = pg_codec::DecodedFrame {
+            stream_id: item.target.meta.stream_id,
+            seq: item.target.meta.seq,
+            pts: item.target.meta.pts,
+            frame_type: item.target.meta.frame_type,
+            scene: item.target.scene,
+        };
+        let result = models[item.stream_idx].infer(&decoded);
+        let necessary = judges[item.stream_idx].feedback(result);
+        count += 1;
+        if fb_tx
+            .send(FeedbackEvent {
+                stream_idx: item.stream_idx,
+                round: item.round,
+                necessary,
+            })
+            .is_err()
+        {
+            break;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::DecodeAll;
+
+    fn config(streams: usize, rounds: u64, budget: f64) -> ConcurrentConfig {
+        ConcurrentConfig {
+            streams,
+            rounds,
+            decode_workers: 2,
+            budget_per_round: budget,
+            work: DecodeWorkModel { iters_per_unit: 100 },
+            ..ConcurrentConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_moves_all_packets() {
+        let report = ConcurrentPipeline::new(config(4, 50, 1e9)).run(&mut DecodeAll);
+        assert_eq!(report.packets_parsed, 200);
+        assert_eq!(report.packets_decoded, 200);
+        assert_eq!(report.frames_decoded, 200);
+        assert!(report.bytes_parsed > 200 * 64);
+        assert!(report.pipeline_pps() > 0.0);
+    }
+
+    #[test]
+    fn budget_limits_decoding() {
+        let report = ConcurrentPipeline::new(config(8, 50, 2.0)).run(&mut DecodeAll);
+        assert_eq!(report.packets_parsed, 400);
+        assert!(report.packets_decoded < 400, "decoded {}", report.packets_decoded);
+        // Dependency back-fill can exceed the target count.
+        assert!(report.frames_decoded >= report.packets_decoded);
+    }
+
+    #[test]
+    fn gate_time_is_measured() {
+        let report = ConcurrentPipeline::new(config(4, 30, 1e9)).run(&mut DecodeAll);
+        assert!(report.gate_time > Duration::ZERO);
+        assert!(report.gate_latency_per_round() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn heavier_decode_work_slows_the_pipeline() {
+        let fast = ConcurrentPipeline::new(config(4, 60, 1e9)).run(&mut DecodeAll);
+        let mut heavy_cfg = config(4, 60, 1e9);
+        heavy_cfg.work = DecodeWorkModel {
+            iters_per_unit: 300_000,
+        };
+        let heavy = ConcurrentPipeline::new(heavy_cfg).run(&mut DecodeAll);
+        assert!(
+            heavy.wall > fast.wall,
+            "heavy {:?} should exceed fast {:?}",
+            heavy.wall,
+            fast.wall
+        );
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # pg-pipeline — the multi-stream video-inference pipeline
+//!
+//! The **evaluation substrate**: parse → gate → decode → infer → feedback,
+//! over `m` concurrent streams, under a per-round decoding budget. Two
+//! execution modes share the same components:
+//!
+//! * [`round::RoundSimulator`] — the deterministic round-based simulator
+//!   behind every accuracy/concurrency experiment. One round = one packet
+//!   per stream (the paper's formalization, §4.1: "we divide one second
+//!   into 25 rounds, so we receive 1000 packets at each round");
+//! * [`concurrent::ConcurrentPipeline`] — a threads-and-channels runtime
+//!   that moves real bytes through a parser and a decoder pool, used to
+//!   measure wall-clock throughput and gate overheads.
+//!
+//! Gating policies plug in through the [`gate::GatePolicy`] trait; the
+//! `packetgame` crate provides PacketGame itself plus all baselines.
+
+pub mod budget;
+pub mod concurrent;
+pub mod gate;
+pub mod metrics;
+pub mod netround;
+pub mod replay;
+pub mod round;
+pub mod search;
+
+pub use budget::RoundBudget;
+pub use concurrent::{ConcurrentPipeline, ConcurrentReport, DecodeWorkModel};
+pub use gate::{FeedbackEvent, GatePolicy, PacketContext};
+pub use metrics::RoundSimReport;
+pub use netround::{NetworkedRoundSimulator, NetworkedSimReport};
+pub use replay::ReplaySimulator;
+pub use round::{RoundSimulator, SimConfig, StreamSpec};
+pub use search::max_streams_at_accuracy;

@@ -1,0 +1,414 @@
+//! The deterministic round-based multi-stream simulator.
+//!
+//! One round = one packet arriving from each of `m` streams (the paper's
+//! formalization, §4.1). Per round the simulator:
+//!
+//! 1. generates each stream's next scene frame and encodes it;
+//! 2. ingests the packet into the stream's decoder (arrival ≠ decode!);
+//! 3. presents all packet contexts to the [`GatePolicy`];
+//! 4. decodes the selected packets' dependency closures, in the policy's
+//!    priority order, until the round budget is exhausted (the last item
+//!    may overshoot — the approximately-fractional model of Lemma 1);
+//! 5. runs the downstream inference model on each decoded target frame and
+//!    feeds the redundancy bit back to the policy;
+//! 6. scores two accuracy metrics:
+//!    * **inference accuracy** (primary; the paper's §4.1 objective): a
+//!      packet is correct iff it was decoded or was redundant — skipping a
+//!      *necessary* packet (per the paper's per-task rules: count change /
+//!      event active) costs accuracy;
+//!    * **staleness accuracy** (secondary; reported for system insight):
+//!      each stream's latest decoded result is what downstream
+//!      applications see; a round is correct iff that *published* result
+//!      still matches ground truth, so a missed change stays wrong until
+//!      the next decode.
+
+use pg_codec::{CostModel, Decoder, Encoder, EncoderConfig};
+use pg_inference::accuracy::OnlineAccuracy;
+use pg_inference::redundancy::RedundancyJudge;
+use pg_inference::tasks::{model_for, InferenceModel};
+use pg_scene::{generator_for, SceneGenerator, SceneState, TaskKind};
+
+use crate::budget::RoundBudget;
+use crate::gate::{FeedbackEvent, GatePolicy, PacketContext};
+use crate::metrics::RoundSimReport;
+
+/// Specification of one stream for the simulator.
+pub struct StreamSpec {
+    /// Scene content source.
+    pub generator: Box<dyn SceneGenerator + Send>,
+    /// Encoder configuration.
+    pub encoder_config: EncoderConfig,
+    /// Seed for the encoder's size noise.
+    pub seed: u64,
+}
+
+impl StreamSpec {
+    /// Standard stream: default generator for `task`, given encoder config.
+    pub fn new(task: TaskKind, seed: u64, encoder_config: EncoderConfig) -> Self {
+        StreamSpec {
+            generator: generator_for(task, seed, encoder_config.fps),
+            encoder_config,
+            seed,
+        }
+    }
+
+    /// Stream with a custom generator.
+    pub fn with_generator(
+        generator: Box<dyn SceneGenerator + Send>,
+        seed: u64,
+        encoder_config: EncoderConfig,
+    ) -> Self {
+        StreamSpec {
+            generator,
+            encoder_config,
+            seed,
+        }
+    }
+}
+
+/// Simulator-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Per-round decoding budget in cost units.
+    pub budget_per_round: f64,
+    /// Decode cost model.
+    pub cost_model: CostModel,
+    /// Number of time segments for accuracy reporting (paper Fig. 10 uses 24).
+    pub segments: usize,
+    /// Expose ground-truth necessity in [`PacketContext`] (Oracle baseline
+    /// only).
+    pub expose_oracle: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            budget_per_round: 32.0, // the paper's running example
+            cost_model: CostModel::default(),
+            segments: 24,
+            expose_oracle: false,
+        }
+    }
+}
+
+struct StreamState {
+    generator: Box<dyn SceneGenerator + Send>,
+    encoder: Encoder,
+    decoder: Decoder,
+    model: Box<dyn InferenceModel>,
+    judge: RedundancyJudge,
+    /// The latest decoded inference result — what downstream applications
+    /// currently see for this stream (drives the staleness metric).
+    published: Option<pg_inference::tasks::InferenceResult>,
+    /// Previous scene state (drives the paper's static necessity labels).
+    prev_state: Option<SceneState>,
+}
+
+/// The round-based simulator. See module docs.
+pub struct RoundSimulator {
+    streams: Vec<StreamState>,
+    config: SimConfig,
+}
+
+impl RoundSimulator {
+    /// Build a simulator from stream specifications.
+    pub fn new(specs: Vec<StreamSpec>, config: SimConfig) -> Self {
+        let streams = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let task = spec.generator.task();
+                StreamState {
+                    generator: spec.generator,
+                    encoder: Encoder::for_stream(spec.encoder_config, spec.seed, i as u32),
+                    decoder: Decoder::new(i as u32, config.cost_model),
+                    model: model_for(task),
+                    judge: RedundancyJudge::new(),
+                    published: None,
+                    prev_state: None,
+                }
+            })
+            .collect();
+        RoundSimulator { streams, config }
+    }
+
+    /// Convenience: `m` homogeneous streams of `task`.
+    pub fn uniform(task: TaskKind, m: usize, seed: u64, config: SimConfig) -> Self {
+        let enc = EncoderConfig::new(pg_codec::Codec::H264);
+        let specs = (0..m)
+            .map(|i| StreamSpec::new(task, pg_scene::rng::mix(seed, i as u64), enc))
+            .collect();
+        Self::new(specs, config)
+    }
+
+    /// Number of streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Run `rounds` rounds under `gate` and report.
+    pub fn run(mut self, gate: &mut dyn GatePolicy, rounds: u64) -> RoundSimReport {
+        let m = self.streams.len();
+        let mut budget = RoundBudget::new(self.config.budget_per_round);
+        let mut accuracy = OnlineAccuracy::with_segments(self.config.segments);
+        let mut staleness = OnlineAccuracy::with_segments(self.config.segments);
+        let mut packets_decoded = 0u64;
+        let mut packets_backfilled = 0u64;
+        let mut necessary_total = 0u64;
+        let mut necessary_decoded = 0u64;
+
+        let mut contexts: Vec<PacketContext> = Vec::with_capacity(m);
+        let mut necessity: Vec<bool> = vec![false; m];
+        let mut decoded_flags: Vec<bool> = vec![false; m];
+        let mut truths: Vec<Option<pg_inference::tasks::InferenceResult>> = vec![None; m];
+
+        for round in 0..rounds {
+            budget.begin_round();
+            contexts.clear();
+
+            // 1-2. Generate, encode, ingest; build gate contexts.
+            for (i, s) in self.streams.iter_mut().enumerate() {
+                let frame = s.generator.next_frame();
+                // Paper necessity: count change / event active (§5.1).
+                necessity[i] = frame.state.necessary_after(s.prev_state.as_ref());
+                s.prev_state = Some(frame.state);
+                truths[i] = Some(pg_inference::tasks::truth_result(&frame.state));
+                let packet = s.encoder.encode(&frame);
+                let seq = packet.meta.seq;
+                let meta = packet.meta;
+                s.decoder.ingest(packet);
+                let pending = s
+                    .decoder
+                    .pending_cost(seq)
+                    .expect("freshly ingested packet has a pending cost");
+                contexts.push(PacketContext {
+                    stream_idx: i,
+                    meta,
+                    pending_cost: pending,
+                    codec: s.encoder.config().codec,
+                    oracle_necessary: if self.config.expose_oracle {
+                        Some(necessity[i])
+                    } else {
+                        None
+                    },
+                });
+            }
+
+            // 3. Policy decision.
+            let selection = gate.select(round, &contexts, budget.per_round);
+
+            // 4-5. Decode in priority order until the budget runs out; infer
+            // and collect feedback.
+            decoded_flags.iter_mut().for_each(|f| *f = false);
+            let mut events: Vec<FeedbackEvent> = Vec::new();
+            for &idx in &selection {
+                if idx >= m || decoded_flags[idx] {
+                    continue; // out-of-range or duplicate selection
+                }
+                if !budget.can_spend() {
+                    break;
+                }
+                let s = &mut self.streams[idx];
+                let seq = contexts[idx].meta.seq;
+                let before = s.decoder.stats().cost_spent;
+                let frames = s
+                    .decoder
+                    .decode_closure(seq)
+                    .expect("closure of an ingested packet is decodable");
+                budget.charge(s.decoder.stats().cost_spent - before);
+                decoded_flags[idx] = true;
+                packets_decoded += 1;
+                packets_backfilled += (frames.len() - 1) as u64;
+
+                let target = frames.last().expect("closure includes the target");
+                debug_assert_eq!(target.seq, seq);
+                let result = s.model.infer(target);
+                s.published = Some(result);
+                let necessary_fb = s.judge.feedback(result);
+                events.push(FeedbackEvent {
+                    stream_idx: idx,
+                    round,
+                    necessary: necessary_fb,
+                });
+            }
+            gate.feedback(&events);
+
+            // 6. Score the round on both metrics.
+            let segment = (round as usize * self.config.segments) / rounds.max(1) as usize;
+            for (i, s) in self.streams.iter().enumerate() {
+                // Primary: the paper's per-packet correctness.
+                accuracy.record(segment, decoded_flags[i], necessity[i]);
+                // Secondary: published-result correctness.
+                let fresh = s.published == truths[i];
+                staleness.record(segment, fresh, true);
+                if necessity[i] {
+                    necessary_total += 1;
+                    if decoded_flags[i] {
+                        necessary_decoded += 1;
+                    }
+                }
+            }
+        }
+
+        RoundSimReport {
+            policy: gate.name().to_string(),
+            streams: m,
+            rounds,
+            budget_per_round: self.config.budget_per_round,
+            packets_total: rounds * m as u64,
+            packets_decoded,
+            packets_backfilled,
+            cost_spent: budget.total_spent(),
+            accuracy,
+            staleness,
+            necessary_total,
+            necessary_decoded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::DecodeAll;
+
+    fn sim(m: usize, budget: f64) -> RoundSimulator {
+        let config = SimConfig {
+            budget_per_round: budget,
+            segments: 4,
+            ..SimConfig::default()
+        };
+        RoundSimulator::uniform(TaskKind::PersonCounting, m, 42, config)
+    }
+
+    #[test]
+    fn unlimited_budget_decodes_everything() {
+        let report = sim(4, 1e9).run(&mut DecodeAll, 100);
+        assert_eq!(report.packets_total, 400);
+        assert_eq!(report.packets_decoded, 400);
+        assert_eq!(report.packets_backfilled, 0, "in-order decode needs no backfill");
+        assert!((report.accuracy_overall() - 1.0).abs() < 1e-9);
+        assert_eq!(report.filtering_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_budget_decodes_nothing() {
+        let report = sim(4, 0.0).run(&mut DecodeAll, 50);
+        assert_eq!(report.packets_decoded, 0);
+        assert!(report.accuracy_overall() < 1.0);
+        assert_eq!(report.filtering_rate(), 1.0);
+    }
+
+    #[test]
+    fn budget_is_enforced_within_one_overshoot() {
+        let budget = 3.0;
+        let report = sim(10, budget).run(&mut DecodeAll, 200);
+        let max_cost = CostModel::default().max_cost();
+        // Worst-case closure at arrival time: one packet (in-order arrivals
+        // have at most their own cost pending... unless skipped GOPs build
+        // up closures). Allow a generous closure bound.
+        let per_round = report.cost_spent / report.rounds as f64;
+        assert!(
+            per_round <= budget + max_cost * 4.0,
+            "mean spend {per_round} far exceeds budget {budget}"
+        );
+        assert!(report.packets_decoded < report.packets_total);
+    }
+
+    #[test]
+    fn accuracy_degrades_gracefully_with_budget() {
+        let tight = sim(10, 2.0).run(&mut DecodeAll, 300);
+        let loose = sim(10, 20.0).run(&mut DecodeAll, 300);
+        assert!(loose.accuracy_overall() >= tight.accuracy_overall());
+        assert!(loose.filtering_rate() <= tight.filtering_rate());
+    }
+
+    #[test]
+    fn oracle_flag_controls_exposure() {
+        struct Probe {
+            saw_oracle: bool,
+        }
+        impl GatePolicy for Probe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn select(&mut self, _r: u64, c: &[PacketContext], _b: f64) -> Vec<usize> {
+                self.saw_oracle |= c.iter().any(|x| x.oracle_necessary.is_some());
+                vec![]
+            }
+            fn feedback(&mut self, _e: &[FeedbackEvent]) {}
+        }
+
+        let mut probe = Probe { saw_oracle: false };
+        sim(2, 1.0).run(&mut probe, 5);
+        assert!(!probe.saw_oracle);
+
+        let mut probe = Probe { saw_oracle: false };
+        let config = SimConfig {
+            expose_oracle: true,
+            ..SimConfig::default()
+        };
+        RoundSimulator::uniform(TaskKind::FireDetection, 2, 1, config).run(&mut probe, 5);
+        assert!(probe.saw_oracle);
+    }
+
+    #[test]
+    fn duplicate_and_out_of_range_selections_are_ignored() {
+        struct Weird;
+        impl GatePolicy for Weird {
+            fn name(&self) -> &'static str {
+                "weird"
+            }
+            fn select(&mut self, _r: u64, _c: &[PacketContext], _b: f64) -> Vec<usize> {
+                vec![0, 0, 999, 1]
+            }
+            fn feedback(&mut self, _e: &[FeedbackEvent]) {}
+        }
+        let report = sim(3, 100.0).run(&mut Weird, 10);
+        assert_eq!(report.packets_decoded, 20); // streams 0 and 1, 10 rounds
+    }
+
+    #[test]
+    fn feedback_events_reach_the_gate() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        struct Counting(Arc<AtomicU64>);
+        impl GatePolicy for Counting {
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn select(&mut self, _r: u64, c: &[PacketContext], _b: f64) -> Vec<usize> {
+                (0..c.len()).collect()
+            }
+            fn feedback(&mut self, e: &[FeedbackEvent]) {
+                self.0.fetch_add(e.len() as u64, Ordering::Relaxed);
+            }
+        }
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut gate = Counting(counter.clone());
+        sim(3, 1e9).run(&mut gate, 20);
+        assert_eq!(counter.load(Ordering::Relaxed), 60);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = sim(5, 8.0).run(&mut DecodeAll, 100);
+        let b = sim(5, 8.0).run(&mut DecodeAll, 100);
+        assert_eq!(a.packets_decoded, b.packets_decoded);
+        assert!((a.accuracy_overall() - b.accuracy_overall()).abs() < 1e-12);
+        assert!((a.cost_spent - b.cost_spent).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_tasks_simulate() {
+        let enc = EncoderConfig::new(pg_codec::Codec::H265);
+        let specs: Vec<StreamSpec> = TaskKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| StreamSpec::new(t, i as u64, enc))
+            .collect();
+        let report = RoundSimulator::new(specs, SimConfig::default()).run(&mut DecodeAll, 50);
+        assert_eq!(report.streams, 4);
+        assert_eq!(report.packets_total, 200);
+    }
+}

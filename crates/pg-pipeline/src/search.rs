@@ -1,0 +1,119 @@
+//! Concurrency-level search: the paper's headline metric.
+//!
+//! "We report the maximal concurrency level that can be achieved within the
+//! same decoding budget while maintaining a 90% accuracy target" (§6.3).
+//! Given a simulator factory parameterized by the stream count, binary
+//! search for the largest `m` whose accuracy meets the target.
+
+use crate::metrics::RoundSimReport;
+
+/// Find the largest stream count in `[1, max_streams]` whose run meets
+/// `target_accuracy`. `run` builds and executes a simulation for a given
+/// stream count and returns its report. Returns `(streams, report)` of the
+/// best feasible count, or `None` if even one stream misses the target.
+///
+/// Accuracy is assumed monotone non-increasing in the stream count (more
+/// streams on the same budget ⇒ less decoding per stream); binary search
+/// then needs `O(log max_streams)` simulations.
+pub fn max_streams_at_accuracy(
+    mut run: impl FnMut(usize) -> RoundSimReport,
+    target_accuracy: f64,
+    max_streams: usize,
+) -> Option<(usize, RoundSimReport)> {
+    let mut lo = 1usize;
+    let mut hi = max_streams.max(1);
+    let mut best: Option<(usize, RoundSimReport)>;
+
+    // Early exit: if even 1 stream fails, there is no feasible count.
+    let first = run(1);
+    if first.accuracy_overall() < target_accuracy {
+        return None;
+    }
+    best = Some((1, first));
+
+    // If the maximum is feasible, no need to search.
+    let top = run(hi);
+    if top.accuracy_overall() >= target_accuracy {
+        return Some((hi, top));
+    }
+
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        let report = run(mid);
+        if report.accuracy_overall() >= target_accuracy {
+            lo = mid;
+            best = Some((mid, report));
+        } else {
+            hi = mid;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_inference::accuracy::OnlineAccuracy;
+
+    /// Synthetic report whose accuracy decays with the stream count.
+    fn fake_report(m: usize, acc_of: impl Fn(usize) -> f64) -> RoundSimReport {
+        let mut acc = OnlineAccuracy::with_segments(1);
+        let a = acc_of(m);
+        let total = 1000usize;
+        let correct = (a * total as f64).round() as usize;
+        for i in 0..total {
+            acc.record(0, i < correct, true);
+        }
+        RoundSimReport {
+            policy: "fake".into(),
+            streams: m,
+            rounds: 1,
+            budget_per_round: 1.0,
+            packets_total: total as u64,
+            packets_decoded: 0,
+            packets_backfilled: 0,
+            cost_spent: 0.0,
+            accuracy: acc,
+            staleness: OnlineAccuracy::with_segments(1),
+            necessary_total: 0,
+            necessary_decoded: 0,
+        }
+    }
+
+    #[test]
+    fn finds_the_knee() {
+        // Accuracy 1 − m/200: target 0.9 crossed at m = 20.
+        let (m, report) =
+            max_streams_at_accuracy(|m| fake_report(m, |m| 1.0 - m as f64 / 200.0), 0.9, 1000)
+                .expect("feasible");
+        assert!((19..=21).contains(&m), "found m = {m}");
+        assert!(report.accuracy_overall() >= 0.9);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        assert!(max_streams_at_accuracy(|m| fake_report(m, |_| 0.5), 0.9, 100).is_none());
+    }
+
+    #[test]
+    fn fully_feasible_returns_max() {
+        let (m, _) =
+            max_streams_at_accuracy(|m| fake_report(m, |_| 0.99), 0.9, 64).expect("feasible");
+        assert_eq!(m, 64);
+    }
+
+    #[test]
+    fn search_is_logarithmic() {
+        use std::cell::Cell;
+        let calls = Cell::new(0usize);
+        let _ = max_streams_at_accuracy(
+            |m| {
+                calls.set(calls.get() + 1);
+                fake_report(m, |m| 1.0 - m as f64 / 2000.0)
+            },
+            0.9,
+            4096,
+        );
+        assert!(calls.get() <= 16, "{} simulations", calls.get());
+    }
+}

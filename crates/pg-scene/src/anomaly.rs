@@ -1,0 +1,218 @@
+//! Anomaly-detection scene generator (Campus1K / AD substitute).
+//!
+//! A campus camera sees routine diurnal pedestrian traffic; occasionally an
+//! abnormal event (fight, fall, crowd surge) begins and persists for a while.
+//! The event rate is modulated by the diurnal activity level (abnormal
+//! behaviour needs people around), which gives the AD task the same two-peak
+//! necessity distribution as PC (paper Fig. 10b shows both tasks are harder
+//! during the day). While an event is active, motion and complexity rise —
+//! the observable content signal the contextual predictor learns.
+
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, Normal};
+
+use crate::diurnal::DiurnalProfile;
+use crate::events::{EventProcess, EventProcessConfig};
+use crate::frame::{SceneFrame, SceneState};
+use crate::rng::rng;
+use crate::scenario::TaskKind;
+use crate::SceneGenerator;
+
+/// Tunables for [`AnomalySceneGen`].
+#[derive(Debug, Clone)]
+pub struct AnomalySceneConfig {
+    /// Diurnal modulation of the anomaly start rate.
+    pub profile: DiurnalProfile,
+    /// Anomaly start/stop process (start prob is further modulated by the
+    /// diurnal profile).
+    pub event: EventProcessConfig,
+    /// Static scene richness.
+    pub base_complexity: f64,
+    /// Routine background motion at peak activity (normal pedestrians).
+    pub background_motion: f64,
+    /// Extra motion while an anomaly is active.
+    pub anomaly_motion: f64,
+    /// Extra complexity while an anomaly is active (crowding).
+    pub anomaly_complexity: f64,
+    /// Multiplicative noise std-dev.
+    pub noise: f64,
+    /// Virtual seconds per video second.
+    pub speedup: f64,
+    /// Starting hour of day for frame 0.
+    pub start_hour: f64,
+}
+
+impl Default for AnomalySceneConfig {
+    fn default() -> Self {
+        AnomalySceneConfig {
+            profile: DiurnalProfile::default(),
+            event: EventProcessConfig {
+                p_start: 0.020,
+                p_end: 0.012, // mean anomaly ≈ 83 frames ≈ 3.3 s of video
+            },
+            base_complexity: 0.5,
+            background_motion: 0.12,
+            anomaly_motion: 0.45,
+            anomaly_complexity: 0.25,
+            noise: 0.10,
+            speedup: 1440.0,
+            start_hour: 0.0,
+        }
+    }
+}
+
+/// Scene generator for the anomaly-detection task. See module docs.
+#[derive(Debug, Clone)]
+pub struct AnomalySceneGen {
+    config: AnomalySceneConfig,
+    rng: StdRng,
+    fps: f64,
+    frame: u64,
+    event: EventProcess,
+    noise_dist: Normal<f64>,
+}
+
+impl AnomalySceneGen {
+    /// Default campus camera at `fps`, seeded with `seed`.
+    pub fn new(seed: u64, fps: f64) -> Self {
+        Self::with_config(seed, fps, AnomalySceneConfig::default())
+    }
+
+    /// Fully-configured constructor.
+    pub fn with_config(seed: u64, fps: f64, config: AnomalySceneConfig) -> Self {
+        let noise_dist = Normal::new(0.0, config.noise).expect("noise std must be finite");
+        AnomalySceneGen {
+            event: EventProcess::new(config.event),
+            config,
+            rng: rng(seed, 0x4144), // lane tag: "AD"
+            fps,
+            frame: 0,
+            noise_dist,
+        }
+    }
+
+    /// Whether an anomaly is currently active.
+    pub fn anomaly_active(&self) -> bool {
+        self.event.is_active()
+    }
+
+    fn noisy(&mut self, v: f64) -> f64 {
+        (v * (1.0 + self.noise_dist.sample(&mut self.rng))).max(0.0)
+    }
+}
+
+impl SceneGenerator for AnomalySceneGen {
+    fn task(&self) -> TaskKind {
+        TaskKind::AnomalyDetection
+    }
+
+    fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    fn next_frame(&mut self) -> SceneFrame {
+        let hour = (self.config.start_hour
+            + DiurnalProfile::hour_of_frame(self.frame, self.fps, self.config.speedup))
+        .rem_euclid(24.0);
+        let activity = self.config.profile.activity(hour);
+        let active = self.event.step(&mut self.rng, activity);
+
+        let complexity = self.noisy(
+            self.config.base_complexity
+                + 0.2 * activity
+                + if active {
+                    self.config.anomaly_complexity
+                } else {
+                    0.0
+                },
+        );
+        let motion = self.noisy(
+            self.config.background_motion * activity
+                + if active { self.config.anomaly_motion } else { 0.0 }
+                + 0.01,
+        );
+
+        let frame = SceneFrame::new(self.frame, complexity, motion, SceneState::Anomaly(active));
+        self.frame += 1;
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_active(f: &SceneFrame) -> bool {
+        matches!(f.state, SceneState::Anomaly(true))
+    }
+
+    #[test]
+    fn anomaly_duty_cycle_in_paper_band() {
+        let mut gen = AnomalySceneGen::new(21, 25.0);
+        let frames: Vec<SceneFrame> = (0..60_000).map(|_| gen.next_frame()).collect();
+        let rate = frames.iter().filter(|f| is_active(f)).count() as f64 / frames.len() as f64;
+        assert!(rate > 0.10, "anomalies should occur regularly, rate={rate}");
+        assert!(rate < 0.60, "anomalies should be the minority, rate={rate}");
+    }
+
+    #[test]
+    fn anomalies_raise_motion() {
+        let mut gen = AnomalySceneGen::new(22, 25.0);
+        let frames: Vec<SceneFrame> = (0..60_000).map(|_| gen.next_frame()).collect();
+        let mean = |sel: bool| {
+            let v: Vec<f64> = frames
+                .iter()
+                .filter(|f| is_active(f) == sel)
+                .map(|f| f.motion)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(mean(true) > mean(false) + 0.2);
+    }
+
+    #[test]
+    fn anomalies_persist_across_frames() {
+        // The average active run should exceed 20 frames (temporal
+        // continuity — the property the temporal estimator relies on).
+        let mut gen = AnomalySceneGen::new(23, 25.0);
+        let frames: Vec<SceneFrame> = (0..120_000).map(|_| gen.next_frame()).collect();
+        let mut runs = Vec::new();
+        let mut cur = 0usize;
+        for f in &frames {
+            if is_active(f) {
+                cur += 1;
+            } else if cur > 0 {
+                runs.push(cur);
+                cur = 0;
+            }
+        }
+        assert!(!runs.is_empty());
+        let mean = runs.iter().sum::<usize>() as f64 / runs.len() as f64;
+        assert!(mean > 20.0, "mean anomaly run {mean} too short");
+    }
+
+    #[test]
+    fn anomalies_cluster_in_daytime() {
+        let mut day = 0usize;
+        let mut night = 0usize;
+        for seed in 0..30 {
+            let mut gen = AnomalySceneGen::new(seed, 25.0);
+            for _ in 0..3000 {
+                // two virtual days
+                let f = gen.next_frame();
+                if is_active(&f) {
+                    let hour = DiurnalProfile::hour_of_frame(f.index, 25.0, 1440.0).rem_euclid(24.0);
+                    if (7.0..21.0).contains(&hour) {
+                        day += 1;
+                    } else {
+                        night += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            day > night * 2,
+            "daytime anomalies {day} should dominate night {night}"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Diurnal (24-hour) activity profile with the paper's double-peak shape.
+//!
+//! Fig. 4a of the paper shows the rate of *necessary* inference for person
+//! counting over one day on the 1108-camera campus: two peaks (morning and
+//! evening) "consistent with common sense". We model the activity level as a
+//! base load plus two Gaussian bumps, normalised so the profile can be used
+//! directly as a multiplicative rate.
+
+use serde::{Deserialize, Serialize};
+
+/// A 24-hour activity profile: `activity(hour) ∈ [0, ~1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalProfile {
+    /// Night-time base activity (fraction of peak).
+    pub base: f64,
+    /// Morning peak hour (e.g. 8.5 = 08:30).
+    pub morning_peak: f64,
+    /// Evening peak hour.
+    pub evening_peak: f64,
+    /// Width (std-dev, hours) of the morning bump.
+    pub morning_width: f64,
+    /// Width (std-dev, hours) of the evening bump.
+    pub evening_width: f64,
+    /// Relative height of the evening bump vs the morning bump.
+    pub evening_scale: f64,
+}
+
+impl Default for DiurnalProfile {
+    /// The campus profile: morning peak ~08:30, evening peak ~18:00,
+    /// evening slightly busier (dinner + after-work traffic), quiet nights.
+    fn default() -> Self {
+        DiurnalProfile {
+            base: 0.06,
+            morning_peak: 8.5,
+            evening_peak: 18.0,
+            morning_width: 1.6,
+            evening_width: 2.1,
+            evening_scale: 1.1,
+        }
+    }
+}
+
+impl DiurnalProfile {
+    /// A flat profile (useful for tasks whose necessity is not diurnal).
+    pub fn flat(level: f64) -> Self {
+        DiurnalProfile {
+            base: level,
+            morning_peak: 0.0,
+            evening_peak: 0.0,
+            morning_width: 1.0,
+            evening_width: 1.0,
+            evening_scale: 0.0,
+        }
+    }
+
+    /// Activity level at `hour ∈ [0, 24)`. Hours wrap modulo 24, and the
+    /// Gaussian bumps wrap across midnight so 23:59 → 00:01 is continuous.
+    pub fn activity(&self, hour: f64) -> f64 {
+        let h = hour.rem_euclid(24.0);
+        let bump = |peak: f64, width: f64| -> f64 {
+            // Wrapped distance on the 24h circle.
+            let d = (h - peak).rem_euclid(24.0);
+            let d = d.min(24.0 - d);
+            (-0.5 * (d / width).powi(2)).exp()
+        };
+        let morning = if self.evening_scale == 0.0 && self.morning_peak == 0.0 {
+            0.0
+        } else {
+            bump(self.morning_peak, self.morning_width)
+        };
+        let evening = self.evening_scale * bump(self.evening_peak, self.evening_width);
+        self.base + (1.0 - self.base) * (morning + evening).min(1.0)
+    }
+
+    /// Convert a frame index to an hour-of-day given the camera FPS and a
+    /// time-compression factor (`speedup` virtual seconds per real second of
+    /// video; experiments compress a 24 h day into a few thousand rounds).
+    pub fn hour_of_frame(frame: u64, fps: f64, speedup: f64) -> f64 {
+        let seconds = frame as f64 / fps * speedup;
+        (seconds / 3600.0).rem_euclid(24.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_has_two_peaks() {
+        let p = DiurnalProfile::default();
+        let morning = p.activity(8.5);
+        let evening = p.activity(18.0);
+        let night = p.activity(3.0);
+        let midday = p.activity(13.0);
+        assert!(morning > midday, "morning peak should beat midday");
+        assert!(evening > midday, "evening peak should beat midday");
+        assert!(night < 0.15, "night should be quiet, got {night}");
+        assert!(midday > night, "midday should be busier than night");
+    }
+
+    #[test]
+    fn activity_is_bounded() {
+        let p = DiurnalProfile::default();
+        for i in 0..240 {
+            let a = p.activity(i as f64 / 10.0);
+            assert!((0.0..=1.0 + 1e-9).contains(&a), "activity out of range: {a}");
+        }
+    }
+
+    #[test]
+    fn activity_wraps_midnight_continuously() {
+        let p = DiurnalProfile::default();
+        let before = p.activity(23.999);
+        let after = p.activity(0.001);
+        assert!((before - after).abs() < 1e-3);
+    }
+
+    #[test]
+    fn flat_profile_is_flat() {
+        let p = DiurnalProfile::flat(0.3);
+        for h in [0.0, 6.0, 12.0, 18.0] {
+            assert!((p.activity(h) - 0.3).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hour_of_frame_compresses_time() {
+        // At 25 FPS with a 1440x speedup, one minute of video = one day.
+        let h0 = DiurnalProfile::hour_of_frame(0, 25.0, 1440.0);
+        let h_half = DiurnalProfile::hour_of_frame(25 * 30, 25.0, 1440.0);
+        assert!((h0 - 0.0).abs() < 1e-9);
+        assert!((h_half - 12.0).abs() < 1e-6);
+    }
+}

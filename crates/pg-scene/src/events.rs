@@ -1,0 +1,186 @@
+//! A two-state (idle/active) event process with geometric durations.
+//!
+//! Used for every "rare persistent event" in the evaluation: abnormal
+//! behaviour (AD), fire clips (FD, mirroring the paper's random insertion of
+//! fire segments into non-fire videos), and network-quality drops (SR,
+//! mirroring the paper's manual re-encoding of segments at lower bit rates).
+//!
+//! The process is a discrete-time Markov chain: in the idle state an event
+//! starts each frame with probability `p_start · modulation`; in the active
+//! state it ends with probability `p_end`. Mean event duration is `1/p_end`
+//! frames, so temporal persistence — the property the temporal estimator
+//! exploits (§5.1) — is directly configurable.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for an [`EventProcess`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventProcessConfig {
+    /// Per-frame probability of an event starting when idle (before
+    /// modulation).
+    pub p_start: f64,
+    /// Per-frame probability of the event ending when active.
+    pub p_end: f64,
+}
+
+impl EventProcessConfig {
+    /// Mean event duration in frames.
+    pub fn mean_duration(&self) -> f64 {
+        1.0 / self.p_end.max(f64::MIN_POSITIVE)
+    }
+
+    /// Long-run fraction of frames that are active, under modulation 1.
+    pub fn duty_cycle(&self) -> f64 {
+        let up = self.mean_duration();
+        let down = 1.0 / self.p_start.max(f64::MIN_POSITIVE);
+        up / (up + down)
+    }
+}
+
+/// The two-state event chain. See module docs.
+#[derive(Debug, Clone)]
+pub struct EventProcess {
+    config: EventProcessConfig,
+    active: bool,
+    /// Frames since the current state was entered.
+    dwell: u64,
+}
+
+impl EventProcess {
+    /// Start in the idle state.
+    pub fn new(config: EventProcessConfig) -> Self {
+        EventProcess {
+            config,
+            active: false,
+            dwell: 0,
+        }
+    }
+
+    /// Whether an event is currently in progress.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Frames spent in the current state.
+    pub fn dwell(&self) -> u64 {
+        self.dwell
+    }
+
+    /// Advance one frame. `modulation ≥ 0` scales the start probability
+    /// (e.g. by the diurnal activity level); it does not affect event
+    /// duration. Returns the new active flag.
+    pub fn step(&mut self, rng: &mut StdRng, modulation: f64) -> bool {
+        let flip = if self.active {
+            rng.gen_bool(self.config.p_end.clamp(0.0, 1.0))
+        } else {
+            rng.gen_bool((self.config.p_start * modulation.max(0.0)).clamp(0.0, 1.0))
+        };
+        if flip {
+            self.active = !self.active;
+            self.dwell = 0;
+        } else {
+            self.dwell += 1;
+        }
+        self.active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng;
+
+    fn run(config: EventProcessConfig, frames: usize, modulation: f64, seed: u64) -> Vec<bool> {
+        let mut proc = EventProcess::new(config);
+        let mut r = rng(seed, 0);
+        (0..frames).map(|_| proc.step(&mut r, modulation)).collect()
+    }
+
+    #[test]
+    fn duty_cycle_matches_theory() {
+        let config = EventProcessConfig {
+            p_start: 0.01,
+            p_end: 0.05,
+        };
+        let trace = run(config, 200_000, 1.0, 3);
+        let measured = trace.iter().filter(|&&a| a).count() as f64 / trace.len() as f64;
+        let expected = config.duty_cycle();
+        assert!(
+            (measured - expected).abs() < 0.03,
+            "measured {measured}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn events_persist() {
+        // Active runs should have mean length ≈ 1/p_end.
+        let config = EventProcessConfig {
+            p_start: 0.02,
+            p_end: 0.02,
+        };
+        let trace = run(config, 100_000, 1.0, 4);
+        let mut runs = Vec::new();
+        let mut cur = 0usize;
+        for &a in &trace {
+            if a {
+                cur += 1;
+            } else if cur > 0 {
+                runs.push(cur);
+                cur = 0;
+            }
+        }
+        let mean = runs.iter().sum::<usize>() as f64 / runs.len() as f64;
+        assert!(
+            (mean - 50.0).abs() < 10.0,
+            "mean active run {mean}, expected ~50"
+        );
+    }
+
+    #[test]
+    fn zero_modulation_prevents_events() {
+        let config = EventProcessConfig {
+            p_start: 0.5,
+            p_end: 0.1,
+        };
+        let trace = run(config, 5_000, 0.0, 5);
+        assert!(trace.iter().all(|&a| !a));
+    }
+
+    #[test]
+    fn modulation_scales_event_frequency() {
+        let config = EventProcessConfig {
+            p_start: 0.002,
+            p_end: 0.05,
+        };
+        let low = run(config, 100_000, 0.25, 6)
+            .iter()
+            .filter(|&&a| a)
+            .count();
+        let high = run(config, 100_000, 2.0, 6)
+            .iter()
+            .filter(|&&a| a)
+            .count();
+        assert!(
+            high > low * 2,
+            "high-modulation activity {high} should well exceed low {low}"
+        );
+    }
+
+    #[test]
+    fn dwell_resets_on_transition() {
+        let config = EventProcessConfig {
+            p_start: 1.0,
+            p_end: 1.0,
+        };
+        let mut proc = EventProcess::new(config);
+        let mut r = rng(7, 0);
+        proc.step(&mut r, 1.0); // idle -> active
+        assert!(proc.is_active());
+        assert_eq!(proc.dwell(), 0);
+        proc.step(&mut r, 1.0); // active -> idle
+        assert!(!proc.is_active());
+        assert_eq!(proc.dwell(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Fire-detection scene generator (FireNet / FD substitute).
+//!
+//! FireNet contains mobile-phone clips with and without fire; the paper
+//! randomly inserts fire clips into non-fire videos. We model a mostly
+//! static outdoor scene with hand-held camera jitter, into which fire events
+//! are inserted by a flat-rate event process. Fire flicker adds oscillating
+//! motion and extra complexity (flames are high-frequency content), which is
+//! the signal that makes P-frame sizes informative for this task.
+
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, Normal};
+
+use crate::events::{EventProcess, EventProcessConfig};
+use crate::frame::{SceneFrame, SceneState};
+use crate::rng::rng;
+use crate::scenario::TaskKind;
+use crate::SceneGenerator;
+
+/// Tunables for [`FireSceneGen`].
+#[derive(Debug, Clone)]
+pub struct FireSceneConfig {
+    /// Fire start/stop process (flat rate — FD temporal patterns are
+    /// "randomly simulated" per the paper §6.3).
+    pub event: EventProcessConfig,
+    /// Static scene richness.
+    pub base_complexity: f64,
+    /// Hand-held camera jitter motion.
+    pub jitter_motion: f64,
+    /// Extra motion from flame flicker while fire is active.
+    pub fire_motion: f64,
+    /// Flicker oscillation frequency (cycles per frame).
+    pub flicker_freq: f64,
+    /// Extra complexity while fire is active.
+    pub fire_complexity: f64,
+    /// Multiplicative noise std-dev.
+    pub noise: f64,
+}
+
+impl Default for FireSceneConfig {
+    fn default() -> Self {
+        FireSceneConfig {
+            event: EventProcessConfig {
+                p_start: 0.008,
+                p_end: 0.008, // mean fire clip ≈ 125 frames ≈ 5 s
+            },
+            base_complexity: 0.55,
+            jitter_motion: 0.08,
+            fire_motion: 0.40,
+            flicker_freq: 0.18,
+            fire_complexity: 0.30,
+            noise: 0.12,
+        }
+    }
+}
+
+/// Scene generator for the fire-detection task. See module docs.
+#[derive(Debug, Clone)]
+pub struct FireSceneGen {
+    config: FireSceneConfig,
+    rng: StdRng,
+    fps: f64,
+    frame: u64,
+    event: EventProcess,
+    noise_dist: Normal<f64>,
+}
+
+impl FireSceneGen {
+    /// Default mobile camera at `fps`, seeded with `seed`.
+    pub fn new(seed: u64, fps: f64) -> Self {
+        Self::with_config(seed, fps, FireSceneConfig::default())
+    }
+
+    /// Fully-configured constructor.
+    pub fn with_config(seed: u64, fps: f64, config: FireSceneConfig) -> Self {
+        let noise_dist = Normal::new(0.0, config.noise).expect("noise std must be finite");
+        FireSceneGen {
+            event: EventProcess::new(config.event),
+            config,
+            rng: rng(seed, 0x4644), // lane tag: "FD"
+            fps,
+            frame: 0,
+            noise_dist,
+        }
+    }
+
+    /// Whether fire is currently visible.
+    pub fn fire_active(&self) -> bool {
+        self.event.is_active()
+    }
+
+    fn noisy(&mut self, v: f64) -> f64 {
+        (v * (1.0 + self.noise_dist.sample(&mut self.rng))).max(0.0)
+    }
+}
+
+impl SceneGenerator for FireSceneGen {
+    fn task(&self) -> TaskKind {
+        TaskKind::FireDetection
+    }
+
+    fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    fn next_frame(&mut self) -> SceneFrame {
+        let active = self.event.step(&mut self.rng, 1.0);
+
+        let flicker = if active {
+            // Flames flicker: oscillating motion on top of a raised mean.
+            let phase = self.frame as f64 * self.config.flicker_freq * std::f64::consts::TAU;
+            self.config.fire_motion * (1.0 + 0.5 * phase.sin())
+        } else {
+            0.0
+        };
+        let complexity = self.noisy(
+            self.config.base_complexity
+                + if active { self.config.fire_complexity } else { 0.0 },
+        );
+        let motion = self.noisy(self.config.jitter_motion + flicker + 0.01);
+
+        let frame = SceneFrame::new(self.frame, complexity, motion, SceneState::Fire(active));
+        self.frame += 1;
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fire(f: &SceneFrame) -> bool {
+        matches!(f.state, SceneState::Fire(true))
+    }
+
+    #[test]
+    fn fire_raises_motion_and_complexity() {
+        let mut gen = FireSceneGen::new(41, 25.0);
+        let frames: Vec<SceneFrame> = (0..80_000).map(|_| gen.next_frame()).collect();
+        let mean = |get: fn(&SceneFrame) -> f64, sel: bool| {
+            let v: Vec<f64> = frames.iter().filter(|f| fire(f) == sel).map(get).collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(mean(|f| f.motion, true) > mean(|f| f.motion, false) + 0.15);
+        assert!(mean(|f| f.complexity, true) > mean(|f| f.complexity, false) + 0.1);
+    }
+
+    #[test]
+    fn fire_clips_persist() {
+        let mut gen = FireSceneGen::new(42, 25.0);
+        let frames: Vec<SceneFrame> = (0..120_000).map(|_| gen.next_frame()).collect();
+        let mut runs = Vec::new();
+        let mut cur = 0usize;
+        for f in &frames {
+            if fire(f) {
+                cur += 1;
+            } else if cur > 0 {
+                runs.push(cur);
+                cur = 0;
+            }
+        }
+        assert!(!runs.is_empty());
+        let mean = runs.iter().sum::<usize>() as f64 / runs.len() as f64;
+        assert!(mean > 40.0, "mean fire run {mean} too short");
+    }
+
+    #[test]
+    fn no_fire_at_start() {
+        let gen = FireSceneGen::new(43, 25.0);
+        assert!(!gen.fire_active());
+    }
+}

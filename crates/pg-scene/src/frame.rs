@@ -1,0 +1,124 @@
+//! Per-frame scene content: what a camera "sees" at one instant.
+
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::TaskKind;
+
+/// Task-specific ground-truth scene state at one frame.
+///
+/// This is the information the downstream inference model would extract from
+/// the decoded RGB frame. The synthetic codec never looks at it — packet
+/// sizes are derived only from [`SceneFrame::complexity`] and
+/// [`SceneFrame::motion`] — so the gate genuinely has to *learn* the
+/// correlation, exactly as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SceneState {
+    /// Number of people currently visible (person-counting task).
+    PersonCount(u32),
+    /// Whether an abnormal event is in progress (anomaly-detection task).
+    Anomaly(bool),
+    /// Whether the stream is currently quality-degraded and needs
+    /// super-resolution enhancement.
+    Degraded(bool),
+    /// Whether fire is currently visible (fire-detection task).
+    Fire(bool),
+}
+
+impl SceneState {
+    /// The task this state variant belongs to.
+    pub fn task(&self) -> TaskKind {
+        match self {
+            SceneState::PersonCount(_) => TaskKind::PersonCounting,
+            SceneState::Anomaly(_) => TaskKind::AnomalyDetection,
+            SceneState::Degraded(_) => TaskKind::SuperResolution,
+            SceneState::Fire(_) => TaskKind::FireDetection,
+        }
+    }
+
+    /// Whether this frame's inference is *necessary* given the previous
+    /// frame's state, under the paper's per-task redundancy rules (§5.1):
+    ///
+    /// * PC — necessary when the count differs from the previous count;
+    /// * AD / FD — necessary while the event is active;
+    /// * SR — necessary while the stream is degraded.
+    pub fn necessary_after(&self, prev: Option<&SceneState>) -> bool {
+        match (self, prev) {
+            (SceneState::PersonCount(now), Some(SceneState::PersonCount(before))) => {
+                now != before
+            }
+            // First frame of a stream: the result is always news.
+            (SceneState::PersonCount(_), None) => true,
+            (SceneState::PersonCount(_), Some(_)) => true,
+            (SceneState::Anomaly(active), _) => *active,
+            (SceneState::Degraded(active), _) => *active,
+            (SceneState::Fire(active), _) => *active,
+        }
+    }
+}
+
+/// One frame of scene content produced by a [`SceneGenerator`](crate::SceneGenerator).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SceneFrame {
+    /// Frame index within the stream (0-based).
+    pub index: u64,
+    /// Spatial richness of the frame, ≥ 0. Drives I-frame packet sizes:
+    /// an intra-coded frame must describe the whole picture.
+    pub complexity: f64,
+    /// Temporal change relative to the previous frame, ≥ 0. Drives P/B
+    /// packet sizes: predicted frames encode only the residual.
+    pub motion: f64,
+    /// Ground-truth task state (used by the inference simulator, not the codec).
+    pub state: SceneState,
+}
+
+impl SceneFrame {
+    /// Clamp-construct a frame, guarding against NaN/negative signals from
+    /// buggy generators.
+    pub fn new(index: u64, complexity: f64, motion: f64, state: SceneState) -> Self {
+        let sanitize = |v: f64| if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        SceneFrame {
+            index,
+            complexity: sanitize(complexity),
+            motion: sanitize(motion),
+            state,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sanitizes_bad_signals() {
+        let f = SceneFrame::new(0, f64::NAN, -1.0, SceneState::Fire(false));
+        assert_eq!(f.complexity, 0.0);
+        assert_eq!(f.motion, 0.0);
+    }
+
+    #[test]
+    fn person_count_necessity_is_change_detection() {
+        let a = SceneState::PersonCount(3);
+        let b = SceneState::PersonCount(3);
+        let c = SceneState::PersonCount(4);
+        assert!(!b.necessary_after(Some(&a)));
+        assert!(c.necessary_after(Some(&a)));
+        assert!(a.necessary_after(None));
+    }
+
+    #[test]
+    fn event_tasks_necessity_tracks_active_state() {
+        assert!(SceneState::Anomaly(true).necessary_after(Some(&SceneState::Anomaly(true))));
+        assert!(!SceneState::Anomaly(false).necessary_after(None));
+        assert!(SceneState::Fire(true).necessary_after(None));
+        assert!(!SceneState::Degraded(false).necessary_after(Some(&SceneState::Degraded(true))));
+    }
+
+    #[test]
+    fn state_task_mapping() {
+        assert_eq!(SceneState::PersonCount(0).task(), TaskKind::PersonCounting);
+        assert_eq!(SceneState::Anomaly(false).task(), TaskKind::AnomalyDetection);
+        assert_eq!(SceneState::Degraded(false).task(), TaskKind::SuperResolution);
+        assert_eq!(SceneState::Fire(false).task(), TaskKind::FireDetection);
+    }
+}

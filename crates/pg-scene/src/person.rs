@@ -1,0 +1,249 @@
+//! Person-counting scene generator (Campus1K / PC substitute).
+//!
+//! People arrive and depart according to a birth–death process whose arrival
+//! rate follows the diurnal campus profile. Each person contributes to scene
+//! complexity (more to draw) and to frame-to-frame motion (people move), and
+//! arrivals/departures create motion spikes — the content signal that makes
+//! P-frame packet sizes informative about count *changes*, which is exactly
+//! the necessity signal for the PC task.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+use crate::diurnal::DiurnalProfile;
+use crate::frame::{SceneFrame, SceneState};
+use crate::rng::rng;
+use crate::scenario::TaskKind;
+use crate::SceneGenerator;
+
+/// Tunables for [`PersonSceneGen`].
+#[derive(Debug, Clone)]
+pub struct PersonSceneConfig {
+    /// Diurnal arrival-rate profile.
+    pub profile: DiurnalProfile,
+    /// Per-frame arrival probability at peak activity.
+    pub arrive_scale: f64,
+    /// Per-person per-frame departure probability.
+    pub leave_prob: f64,
+    /// Static scene richness (architecture, foliage...) for this camera.
+    pub base_complexity: f64,
+    /// Complexity added per visible person.
+    pub complexity_per_person: f64,
+    /// Steady motion contributed per visible person (walking).
+    pub motion_per_person: f64,
+    /// Motion spike when the count changes (someone enters/leaves the view).
+    pub change_motion: f64,
+    /// Multiplicative noise std-dev on both signals.
+    pub noise: f64,
+    /// Virtual seconds per video second (compresses a day into a short trace).
+    pub speedup: f64,
+    /// Starting hour of day for frame 0.
+    pub start_hour: f64,
+}
+
+impl Default for PersonSceneConfig {
+    fn default() -> Self {
+        PersonSceneConfig {
+            profile: DiurnalProfile::default(),
+            arrive_scale: 0.30,
+            leave_prob: 0.05,
+            base_complexity: 0.45,
+            complexity_per_person: 0.06,
+            motion_per_person: 0.03,
+            change_motion: 0.35,
+            noise: 0.10,
+            speedup: 1440.0, // one minute of video = one virtual day
+            start_hour: 0.0,
+        }
+    }
+}
+
+/// Scene generator for the person-counting task. See module docs.
+#[derive(Debug, Clone)]
+pub struct PersonSceneGen {
+    config: PersonSceneConfig,
+    rng: StdRng,
+    fps: f64,
+    frame: u64,
+    count: u32,
+    noise_dist: Normal<f64>,
+}
+
+impl PersonSceneGen {
+    /// Default campus camera at `fps`, seeded with `seed`.
+    pub fn new(seed: u64, fps: f64) -> Self {
+        Self::with_config(seed, fps, PersonSceneConfig::default())
+    }
+
+    /// Fully-configured constructor.
+    pub fn with_config(seed: u64, fps: f64, config: PersonSceneConfig) -> Self {
+        let noise_dist = Normal::new(0.0, config.noise).expect("noise std must be finite");
+        PersonSceneGen {
+            config,
+            rng: rng(seed, 0x5043), // lane tag: "PC"
+            fps,
+            frame: 0,
+            count: 0,
+            noise_dist,
+        }
+    }
+
+    /// Current number of visible people.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Hour of day for the current frame.
+    pub fn hour(&self) -> f64 {
+        (self.config.start_hour
+            + DiurnalProfile::hour_of_frame(self.frame, self.fps, self.config.speedup))
+        .rem_euclid(24.0)
+    }
+
+    fn noisy(&mut self, v: f64) -> f64 {
+        (v * (1.0 + self.noise_dist.sample(&mut self.rng))).max(0.0)
+    }
+}
+
+impl SceneGenerator for PersonSceneGen {
+    fn task(&self) -> TaskKind {
+        TaskKind::PersonCounting
+    }
+
+    fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    fn next_frame(&mut self) -> SceneFrame {
+        let activity = self.config.profile.activity(self.hour());
+
+        // Birth–death step.
+        let prev = self.count;
+        if self
+            .rng
+            .gen_bool((self.config.arrive_scale * activity).clamp(0.0, 1.0))
+        {
+            self.count = self.count.saturating_add(1);
+        }
+        let mut departures = 0u32;
+        for _ in 0..prev {
+            if self.rng.gen_bool(self.config.leave_prob.clamp(0.0, 1.0)) {
+                departures += 1;
+            }
+        }
+        self.count = self.count.saturating_sub(departures);
+
+        let delta = (i64::from(self.count) - i64::from(prev)).unsigned_abs() as f64;
+        let complexity = self.noisy(
+            self.config.base_complexity
+                + self.config.complexity_per_person * f64::from(self.count),
+        );
+        let motion = self.noisy(
+            self.config.motion_per_person * f64::from(self.count)
+                + self.config.change_motion * delta
+                + 0.01, // sensor/compression noise floor
+        );
+
+        let frame = SceneFrame::new(
+            self.frame,
+            complexity,
+            motion,
+            SceneState::PersonCount(self.count),
+        );
+        self.frame += 1;
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One full virtual day at default speedup (1 day = 60 s of video = 1500 frames).
+    fn day_trace(seed: u64) -> Vec<SceneFrame> {
+        let mut gen = PersonSceneGen::new(seed, 25.0);
+        (0..1500).map(|_| gen.next_frame()).collect()
+    }
+
+    fn count_of(f: &SceneFrame) -> u32 {
+        match f.state {
+            SceneState::PersonCount(c) => c,
+            _ => panic!("wrong state"),
+        }
+    }
+
+    #[test]
+    fn counts_follow_diurnal_profile() {
+        // Average count during the 17:00-19:00 peak should well exceed 02:00-04:00.
+        let mut peak = Vec::new();
+        let mut night = Vec::new();
+        for seed in 0..20 {
+            let trace = day_trace(seed);
+            for f in &trace {
+                let hour = DiurnalProfile::hour_of_frame(f.index, 25.0, 1440.0);
+                if (17.0..19.0).contains(&hour) {
+                    peak.push(f64::from(count_of(f)));
+                } else if (2.0..4.0).contains(&hour) {
+                    night.push(f64::from(count_of(f)));
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&peak) > 2.0 * mean(&night) + 0.2,
+            "peak {} vs night {}",
+            mean(&peak),
+            mean(&night)
+        );
+    }
+
+    #[test]
+    fn count_changes_produce_motion_spikes() {
+        let mut gen = PersonSceneGen::new(11, 25.0);
+        let mut prev_count = 0u32;
+        let (mut change_motion, mut stable_motion) = (Vec::new(), Vec::new());
+        for _ in 0..20_000 {
+            let f = gen.next_frame();
+            let c = count_of(&f);
+            if c != prev_count {
+                change_motion.push(f.motion);
+            } else {
+                stable_motion.push(f.motion);
+            }
+            prev_count = c;
+        }
+        assert!(!change_motion.is_empty(), "no count changes in 20k frames");
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&change_motion) > mean(&stable_motion) + 0.2,
+            "change {} vs stable {}",
+            mean(&change_motion),
+            mean(&stable_motion)
+        );
+    }
+
+    #[test]
+    fn complexity_tracks_count() {
+        let mut gen = PersonSceneGen::new(12, 25.0);
+        let frames: Vec<SceneFrame> = (0..20_000).map(|_| gen.next_frame()).collect();
+        let busy: Vec<f64> = frames
+            .iter()
+            .filter(|f| count_of(f) >= 4)
+            .map(|f| f.complexity)
+            .collect();
+        let empty: Vec<f64> = frames
+            .iter()
+            .filter(|f| count_of(f) == 0)
+            .map(|f| f.complexity)
+            .collect();
+        assert!(!busy.is_empty() && !empty.is_empty());
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&busy) > mean(&empty) + 0.1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(day_trace(99), day_trace(99));
+    }
+}

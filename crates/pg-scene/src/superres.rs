@@ -1,0 +1,207 @@
+//! Super-resolution scene generator (YT-UGC / SR substitute).
+//!
+//! The paper simulates bandwidth-induced quality fluctuation by manually
+//! re-encoding segments of YouTube user-generated content at lower bit
+//! rates; the SR model then enhances exactly the degraded segments. We model
+//! a UGC stream as a slowly-wandering content complexity with occasional
+//! scene cuts, and a flat-rate (non-diurnal, per §6.3 "randomly simulated")
+//! degradation process. While degraded, the *encoded detail* drops — the
+//! encoder sees lower effective complexity/motion, so packet sizes shrink,
+//! which is the metadata signal a gate can learn.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+use crate::events::{EventProcess, EventProcessConfig};
+use crate::frame::{SceneFrame, SceneState};
+use crate::rng::rng;
+use crate::scenario::TaskKind;
+use crate::SceneGenerator;
+
+/// Tunables for [`SrSceneGen`].
+#[derive(Debug, Clone)]
+pub struct SrSceneConfig {
+    /// Degradation start/stop process.
+    pub event: EventProcessConfig,
+    /// Mean content complexity of the UGC stream.
+    pub mean_complexity: f64,
+    /// Random-walk step std-dev for content complexity.
+    pub walk_step: f64,
+    /// Per-frame probability of a scene cut (complexity jump + motion spike).
+    pub cut_prob: f64,
+    /// Base motion of the content.
+    pub base_motion: f64,
+    /// Fraction of detail surviving a degraded (low-bitrate) segment.
+    /// The paper's extreme-low-bitrate case (§6.4) corresponds to pushing
+    /// this towards the noise floor.
+    pub degraded_detail: f64,
+    /// Multiplicative noise std-dev.
+    pub noise: f64,
+}
+
+impl Default for SrSceneConfig {
+    fn default() -> Self {
+        SrSceneConfig {
+            event: EventProcessConfig {
+                p_start: 0.006,
+                p_end: 0.010, // mean degraded segment ≈ 100 frames ≈ 4 s
+            },
+            mean_complexity: 0.8,
+            walk_step: 0.01,
+            cut_prob: 0.004,
+            base_motion: 0.18,
+            degraded_detail: 0.45,
+            noise: 0.10,
+        }
+    }
+}
+
+/// Scene generator for the super-resolution task. See module docs.
+#[derive(Debug, Clone)]
+pub struct SrSceneGen {
+    config: SrSceneConfig,
+    rng: StdRng,
+    fps: f64,
+    frame: u64,
+    event: EventProcess,
+    complexity: f64,
+    noise_dist: Normal<f64>,
+}
+
+impl SrSceneGen {
+    /// Default UGC stream at `fps`, seeded with `seed`.
+    pub fn new(seed: u64, fps: f64) -> Self {
+        Self::with_config(seed, fps, SrSceneConfig::default())
+    }
+
+    /// Fully-configured constructor.
+    pub fn with_config(seed: u64, fps: f64, config: SrSceneConfig) -> Self {
+        let noise_dist = Normal::new(0.0, config.noise).expect("noise std must be finite");
+        SrSceneGen {
+            event: EventProcess::new(config.event),
+            complexity: config.mean_complexity,
+            config,
+            rng: rng(seed, 0x5352), // lane tag: "SR"
+            fps,
+            frame: 0,
+            noise_dist,
+        }
+    }
+
+    /// Whether the stream is currently quality-degraded.
+    pub fn degraded(&self) -> bool {
+        self.event.is_active()
+    }
+
+    fn noisy(&mut self, v: f64) -> f64 {
+        (v * (1.0 + self.noise_dist.sample(&mut self.rng))).max(0.0)
+    }
+}
+
+impl SceneGenerator for SrSceneGen {
+    fn task(&self) -> TaskKind {
+        TaskKind::SuperResolution
+    }
+
+    fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    fn next_frame(&mut self) -> SceneFrame {
+        // Content evolution: mean-reverting walk plus occasional cuts.
+        let step: f64 = Normal::new(0.0, self.config.walk_step)
+            .expect("walk step finite")
+            .sample(&mut self.rng);
+        self.complexity = (self.complexity
+            + step
+            + 0.01 * (self.config.mean_complexity - self.complexity))
+            .clamp(0.2, 2.0);
+        let cut = self.rng.gen_bool(self.config.cut_prob.clamp(0.0, 1.0));
+        if cut {
+            self.complexity = self.rng.gen_range(0.4..1.4);
+        }
+
+        let degraded = self.event.step(&mut self.rng, 1.0);
+        // Low-bitrate segments carry less encoded detail.
+        let detail = if degraded {
+            self.config.degraded_detail
+        } else {
+            1.0
+        };
+        let complexity = self.noisy(self.complexity * detail);
+        let motion = self.noisy(
+            (self.config.base_motion + if cut { 0.8 } else { 0.0 }) * detail + 0.01,
+        );
+
+        let frame = SceneFrame::new(
+            self.frame,
+            complexity,
+            motion,
+            SceneState::Degraded(degraded),
+        );
+        self.frame += 1;
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn degraded(f: &SceneFrame) -> bool {
+        matches!(f.state, SceneState::Degraded(true))
+    }
+
+    #[test]
+    fn degradation_shrinks_content_signals() {
+        let mut gen = SrSceneGen::new(31, 25.0);
+        let frames: Vec<SceneFrame> = (0..60_000).map(|_| gen.next_frame()).collect();
+        let mean_c = |sel: bool| {
+            let v: Vec<f64> = frames
+                .iter()
+                .filter(|f| degraded(f) == sel)
+                .map(|f| f.complexity)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            mean_c(true) < 0.7 * mean_c(false),
+            "degraded {} vs clean {}",
+            mean_c(true),
+            mean_c(false)
+        );
+    }
+
+    #[test]
+    fn degradation_duty_cycle_reasonable() {
+        let mut gen = SrSceneGen::new(32, 25.0);
+        let frames: Vec<SceneFrame> = (0..100_000).map(|_| gen.next_frame()).collect();
+        let rate = frames.iter().filter(|f| degraded(f)).count() as f64 / frames.len() as f64;
+        assert!((0.15..0.65).contains(&rate), "duty cycle {rate}");
+    }
+
+    #[test]
+    fn complexity_stays_in_bounds() {
+        let mut gen = SrSceneGen::new(33, 25.0);
+        for _ in 0..30_000 {
+            let f = gen.next_frame();
+            assert!(f.complexity.is_finite() && f.complexity >= 0.0);
+            assert!(f.motion.is_finite() && f.motion >= 0.0);
+        }
+    }
+
+    #[test]
+    fn scene_cuts_cause_motion_spikes() {
+        let mut gen = SrSceneGen::new(34, 25.0);
+        let frames: Vec<SceneFrame> = (0..60_000).map(|_| gen.next_frame()).collect();
+        let sorted = {
+            let mut m: Vec<f64> = frames.iter().map(|f| f.motion).collect();
+            m.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            m
+        };
+        let p999 = sorted[(sorted.len() as f64 * 0.999) as usize];
+        let median = sorted[sorted.len() / 2];
+        assert!(p999 > 3.0 * median, "p999 {p999} vs median {median}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Replayable scene traces: pre-generated frame sequences with split helpers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::frame::SceneFrame;
+use crate::scenario::TaskKind;
+
+/// A pre-generated sequence of scene frames for one camera.
+///
+/// Traces make experiments repeatable and let offline evaluation (paper
+/// §6.3) split the same material into train/test portions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneTrace {
+    task: TaskKind,
+    fps: f64,
+    frames: Vec<SceneFrame>,
+}
+
+impl SceneTrace {
+    /// Wrap a frame sequence.
+    pub fn new(task: TaskKind, fps: f64, frames: Vec<SceneFrame>) -> Self {
+        SceneTrace { task, fps, frames }
+    }
+
+    /// The task this trace was generated for.
+    pub fn task(&self) -> TaskKind {
+        self.task
+    }
+
+    /// Frames per second of the virtual camera.
+    pub fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    /// The frames.
+    pub fn frames(&self) -> &[SceneFrame] {
+        &self.frames
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Duration in (video) seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.frames.len() as f64 / self.fps
+    }
+
+    /// Per-frame necessity labels under the paper's per-task redundancy
+    /// rules (see [`SceneState::necessary_after`](crate::SceneState::necessary_after)).
+    pub fn necessity_labels(&self) -> Vec<bool> {
+        let mut labels = Vec::with_capacity(self.frames.len());
+        let mut prev = None;
+        for f in &self.frames {
+            labels.push(f.state.necessary_after(prev.as_ref()));
+            prev = Some(f.state);
+        }
+        labels
+    }
+
+    /// Fraction of frames whose inference is necessary.
+    pub fn necessity_rate(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        let labels = self.necessity_labels();
+        labels.iter().filter(|&&n| n).count() as f64 / labels.len() as f64
+    }
+
+    /// Split into a leading train portion and trailing test portion.
+    /// `train_ratio` is clamped to `[0, 1]`.
+    pub fn split(&self, train_ratio: f64) -> (SceneTrace, SceneTrace) {
+        let ratio = train_ratio.clamp(0.0, 1.0);
+        let cut = (self.frames.len() as f64 * ratio).round() as usize;
+        let cut = cut.min(self.frames.len());
+        (
+            SceneTrace::new(self.task, self.fps, self.frames[..cut].to_vec()),
+            SceneTrace::new(self.task, self.fps, self.frames[cut..].to_vec()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator_for;
+
+    #[test]
+    fn necessity_labels_have_expected_length() {
+        let mut gen = generator_for(TaskKind::PersonCounting, 1, 25.0);
+        let trace = gen.generate(500);
+        assert_eq!(trace.necessity_labels().len(), 500);
+    }
+
+    #[test]
+    fn first_pc_frame_is_necessary() {
+        let mut gen = generator_for(TaskKind::PersonCounting, 2, 25.0);
+        let trace = gen.generate(10);
+        assert!(trace.necessity_labels()[0]);
+    }
+
+    #[test]
+    fn split_preserves_total() {
+        let mut gen = generator_for(TaskKind::FireDetection, 3, 25.0);
+        let trace = gen.generate(1000);
+        let (train, test) = trace.split(0.8);
+        assert_eq!(train.len(), 800);
+        assert_eq!(test.len(), 200);
+        assert_eq!(train.frames()[0], trace.frames()[0]);
+        assert_eq!(test.frames()[0], trace.frames()[800]);
+    }
+
+    #[test]
+    fn split_clamps_ratio() {
+        let mut gen = generator_for(TaskKind::SuperResolution, 4, 25.0);
+        let trace = gen.generate(100);
+        let (train, test) = trace.split(1.5);
+        assert_eq!(train.len(), 100);
+        assert_eq!(test.len(), 0);
+        let (train, test) = trace.split(-0.5);
+        assert_eq!(train.len(), 0);
+        assert_eq!(test.len(), 100);
+    }
+
+    #[test]
+    fn necessity_rate_between_zero_and_one() {
+        for task in TaskKind::ALL {
+            let mut gen = generator_for(task, 5, 25.0);
+            let trace = gen.generate(5000);
+            let rate = trace.necessity_rate();
+            assert!((0.0..=1.0).contains(&rate), "{task}: {rate}");
+            assert!(rate > 0.0, "{task}: some frames should be necessary");
+            assert!(rate < 0.9, "{task}: most frames should be redundant, got {rate}");
+        }
+    }
+
+    #[test]
+    fn duration_uses_fps() {
+        let mut gen = generator_for(TaskKind::PersonCounting, 6, 25.0);
+        let trace = gen.generate(250);
+        assert!((trace.duration_secs() - 10.0).abs() < 1e-9);
+    }
+}

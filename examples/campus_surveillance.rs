@@ -1,0 +1,99 @@
+//! Campus surveillance: person counting across a 1108-camera fleet.
+//!
+//! ```sh
+//! cargo run --release --example campus_surveillance [num_cameras]
+//! ```
+//!
+//! Reproduces the paper's deployment scenario (Campus1K, Fig. 8): a campus
+//! fleet with zone-specific diurnal traffic feeds a shared edge decoder.
+//! A PacketGame gate trained offline coordinates the decode budget across
+//! cameras; we report accuracy over the (compressed) day and compare with
+//! the stream-agnostic round-robin scheduler that motivated the work
+//! (paper Fig. 4b).
+
+use packetgame::training::{test_config, train_for_task};
+use packetgame::{PacketGame, RoundRobinGate};
+use pg_codec::{Codec, EncoderConfig};
+use pg_inference::modules::ModuleThroughputs;
+use pg_pipeline::{RoundSimulator, SimConfig, StreamSpec};
+use pg_scene::{CameraFleet, TaskKind};
+
+fn main() {
+    let cameras: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(120);
+    let rounds = 1500; // one compressed virtual day at the default speedup
+    let task = TaskKind::PersonCounting;
+
+    // The paper's edge server: 870.1 FPS of CPU decoding shared by all
+    // cameras. Scale the per-round budget to the fleet fraction we run.
+    let throughputs = ModuleThroughputs::default();
+    let full_fleet = 1108.0;
+    let budget = throughputs.per_round_budget_units(1.0) * cameras as f64 / full_fleet * 8.0;
+
+    println!("campus surveillance — {cameras} cameras, budget {budget:.1} units/round\n");
+
+    // Build the fleet (Fig. 8 zones) and take the first `cameras` cameras.
+    let fleet = CameraFleet::campus(task, 97);
+    let enc = EncoderConfig::new(Codec::H265); // Campus1K is h265
+    let specs = || -> Vec<StreamSpec> {
+        fleet.cameras()[..cameras]
+            .iter()
+            .map(|cam| StreamSpec::with_generator(cam.generator(enc.fps), cam.seed, enc))
+            .collect()
+    };
+
+    let zone_counts = {
+        let mut counts: Vec<(&str, usize)> = Vec::new();
+        for cam in &fleet.cameras()[..cameras] {
+            match counts.iter_mut().find(|(z, _)| *z == cam.zone) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((cam.zone, 1)),
+            }
+        }
+        counts
+    };
+    println!("zones in play: {zone_counts:?}\n");
+
+    println!("training PacketGame's contextual predictor offline ...");
+    let config = test_config();
+    let predictor = train_for_task(task, &config, 11);
+
+    let sim_config = SimConfig {
+        budget_per_round: budget,
+        segments: 24, // hours of the virtual day
+        ..SimConfig::default()
+    };
+
+    let mut pg = PacketGame::new(config, predictor);
+    let mut rr = RoundRobinGate::new();
+
+    let pg_report = RoundSimulator::new(specs(), sim_config).run(&mut pg, rounds);
+    let rr_report = RoundSimulator::new(specs(), sim_config).run(&mut rr, rounds);
+
+    println!("\n{:<12} {:>10} {:>14}", "policy", "accuracy", "filter-rate");
+    for r in [&pg_report, &rr_report] {
+        println!(
+            "{:<12} {:>9.1}% {:>13.1}%",
+            r.policy,
+            r.accuracy_overall() * 100.0,
+            r.filtering_rate() * 100.0
+        );
+    }
+
+    println!("\nhourly accuracy over the virtual day (PacketGame vs RoundRobin):");
+    let pg_seg = pg_report.accuracy.per_segment();
+    let rr_seg = rr_report.accuracy.per_segment();
+    for (h, (a, b)) in pg_seg.iter().zip(&rr_seg).enumerate() {
+        let bar = |v: f64| "#".repeat((v * 30.0) as usize);
+        println!("  {h:>2}:00  PG {:>5.1}% {}", a * 100.0, bar(*a));
+        println!("         RR {:>5.1}% {}", b * 100.0, bar(*b));
+    }
+
+    println!(
+        "\nRound-robin wastes budget on cameras with nothing happening;\n\
+         PacketGame tracks the diurnal activity peaks and spends decoding\n\
+         where counts are actually changing (paper §3.2, Fig. 4)."
+    );
+}

@@ -1,0 +1,79 @@
+//! Fire watch: mobile-camera fire detection through the threaded pipeline.
+//!
+//! ```sh
+//! cargo run --release --example fire_watch
+//! ```
+//!
+//! Mirrors the paper's FireNet scenario plus the Table 4 overhead story:
+//! PacketGame is cheap enough to run per-packet even on a phone. This
+//! example drives the *concurrent* pipeline (real threads, real bytes
+//! through the parser, a decode worker pool doing synthetic CPU work) and
+//! reports end-to-end throughput and the gate's per-round latency.
+
+use packetgame::training::{test_config, train_for_task};
+use packetgame::PacketGame;
+use pg_pipeline::concurrent::{ConcurrentConfig, ConcurrentPipeline, DecodeWorkModel};
+use pg_pipeline::gate::DecodeAll;
+use pg_scene::TaskKind;
+
+fn main() {
+    let task = TaskKind::FireDetection;
+    println!("fire watch — mobile fire detection through the threaded pipeline\n");
+
+    println!("training PacketGame's contextual predictor offline ...");
+    let config = test_config();
+    let predictor = train_for_task(task, &config, 3);
+    println!("  predictor ready ({} parameters)\n", predictor.param_count());
+
+    let base = ConcurrentConfig {
+        streams: 16,
+        rounds: 300,
+        decode_workers: 2,
+        budget_per_round: 6.0,
+        task,
+        work: DecodeWorkModel {
+            iters_per_unit: 60_000,
+        },
+        seed: 3,
+        ..ConcurrentConfig::default()
+    };
+
+    // Decode everything (no gating) vs PacketGame under a budget.
+    println!("running decode-everything pipeline ...");
+    let mut all = DecodeAll;
+    let full = ConcurrentPipeline::new(ConcurrentConfig {
+        budget_per_round: 1e9,
+        ..base.clone()
+    })
+    .run(&mut all);
+
+    println!("running PacketGame-gated pipeline ...\n");
+    let mut gate = PacketGame::new(config, predictor);
+    let gated = ConcurrentPipeline::new(base).run(&mut gate);
+
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>14}",
+        "pipeline", "wall (ms)", "pkts/s", "decoded", "gate µs/round"
+    );
+    for (label, r) in [("decode-all", &full), ("PacketGame", &gated)] {
+        println!(
+            "{:<14} {:>12.0} {:>12.0} {:>12} {:>14.1}",
+            label,
+            r.wall.as_secs_f64() * 1000.0,
+            r.pipeline_pps(),
+            r.frames_decoded,
+            r.gate_latency_per_round().as_secs_f64() * 1e6,
+        );
+    }
+
+    let speedup = full.wall.as_secs_f64() / gated.wall.as_secs_f64();
+    println!(
+        "\nGating skipped {} of {} packets and finished {:.1}x faster on the\n\
+         same decode pool — the concurrency headroom the paper converts into\n\
+         more streams per server (Table 3). The gate itself costs microseconds\n\
+         per round (Table 4: 7 µs per frame on the paper's edge server).",
+        full.frames_decoded - gated.frames_decoded,
+        full.frames_decoded,
+        speedup
+    );
+}

@@ -1,0 +1,93 @@
+//! Offline UGC videos: selective super-resolution across codecs.
+//!
+//! ```sh
+//! cargo run --release --example live_stream_sr
+//! ```
+//!
+//! Mirrors the paper's YT-UGC experiments: offline stored videos, encoded
+//! with different codecs (H.264 / H.265 / VP9 / JPEG2000, Fig. 14), where
+//! super-resolution should run only on quality-degraded segments. This
+//! example exercises the *byte-level* path: streams are serialized into
+//! the PGVS container, parsed back with the incremental parser (packet
+//! gating only ever sees parsed metadata), and scored offline.
+
+use packetgame::training::{
+    balance_dataset, build_offline_dataset, classification_accuracy, score_samples, test_config,
+    train,
+};
+use packetgame::ContextualPredictor;
+use pg_codec::parser::parse_stream;
+use pg_codec::{serialize_stream, Codec, Encoder, EncoderConfig};
+use pg_inference::accuracy::{auc, offline_curve, tpr_at_fpr};
+use pg_scene::{SceneGenerator, SrSceneGen};
+
+fn main() {
+    println!("offline super-resolution across codecs (YT-UGC scenario)\n");
+
+    // --- byte-level roundtrip: encode → container → parse -----------------
+    let enc = EncoderConfig::new(Codec::H264);
+    let mut encoder = Encoder::new(enc, 5);
+    let mut scene = SrSceneGen::new(5, 25.0);
+    let packets: Vec<_> = (0..200).map(|_| encoder.encode(&scene.next_frame())).collect();
+    let bytes = serialize_stream(0, &enc, &packets);
+    let (header, parsed) = parse_stream(&bytes).expect("parse PGVS stream");
+    println!(
+        "serialized 200 packets into {} KiB of {} bitstream; parser recovered {} packets\n",
+        bytes.len() / 1024,
+        header.config.codec,
+        parsed.len()
+    );
+
+    // --- per-codec offline evaluation (Fig. 14) ---------------------------
+    let config = test_config();
+    println!(
+        "{:<10} {:>10} {:>8} {:>14}",
+        "codec", "accuracy", "AUC", "TPR@FPR=10%"
+    );
+    for codec in Codec::ALL {
+        let codec_enc = EncoderConfig::new(codec);
+        let ds = build_offline_dataset(
+            pg_scene::TaskKind::SuperResolution,
+            4,
+            2000,
+            codec_enc,
+            &config,
+            13,
+        );
+        let balanced = balance_dataset(&ds, 13);
+        let cut = balanced.len() * 4 / 5;
+        let mut predictor = ContextualPredictor::new(config.clone());
+        train(&mut predictor, &balanced[..cut], &config);
+        let scored = score_samples(&mut predictor, &balanced[cut..]);
+        let curve = offline_curve(&scored, 101);
+        println!(
+            "{:<10} {:>9.1}% {:>8.3} {:>13.1}%",
+            codec.label(),
+            classification_accuracy(&scored) * 100.0,
+            auc(&curve),
+            tpr_at_fpr(&curve, 0.10) * 100.0
+        );
+    }
+
+    // --- extreme-low bitrate (paper §6.4) ----------------------------------
+    println!("\nextreme-low bitrate (100 kbit/s): packet sizes collapse toward the floor");
+    let lo_enc = EncoderConfig::new(Codec::H264).with_bitrate(100_000);
+    let ds = build_offline_dataset(
+        pg_scene::TaskKind::SuperResolution,
+        4,
+        2000,
+        lo_enc,
+        &config,
+        17,
+    );
+    let balanced = balance_dataset(&ds, 17);
+    let cut = balanced.len() * 4 / 5;
+    let mut predictor = ContextualPredictor::new(config.clone());
+    train(&mut predictor, &balanced[..cut], &config);
+    let acc = classification_accuracy(&score_samples(&mut predictor, &balanced[cut..]));
+    println!(
+        "  contextual accuracy at 100 kbit/s: {:.1}% (the temporal estimator\n\
+         keeps PacketGame effective when metadata degrades — paper §6.4)",
+        acc * 100.0
+    );
+}

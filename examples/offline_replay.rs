@@ -1,0 +1,100 @@
+//! Offline stored videos: gate pre-encoded `.pgv` files with no transcoding.
+//!
+//! ```sh
+//! cargo run --release --example offline_replay
+//! ```
+//!
+//! Design goal 3 of the paper (§2.4): "Offline stored videos have been
+//! encoded with a certain video codec. An ideal packet gating solution
+//! should be codec-agnostic and require no additional transcoding
+//! overhead." This example writes a small library of mixed-codec `.pgv`
+//! files to a temporary directory, parses them back (byte level), and
+//! replays them through PacketGame under a decode budget — the exact
+//! workflow `pgv generate` + `pgv gate --inputs` automates.
+
+use packetgame::training::{test_config, train_for_task};
+use packetgame::{PacketGame, RandomGate};
+use pg_codec::{parse_stream, serialize_stream, Codec, Encoder, EncoderConfig};
+use pg_pipeline::{GatePolicy, ReplaySimulator, SimConfig};
+use pg_scene::{generator_for, TaskKind};
+
+fn main() {
+    let task = TaskKind::SuperResolution;
+    let dir = std::env::temp_dir().join(format!("pg-offline-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // 1. Build a mixed-codec library of stored videos.
+    println!("writing a mixed-codec .pgv library to {} ...", dir.display());
+    let codecs = [Codec::H264, Codec::H265, Codec::Vp9, Codec::Jpeg2000];
+    let frames = 800;
+    let mut paths = Vec::new();
+    for (i, &codec) in codecs.iter().cycle().take(12).enumerate() {
+        // Modest bitrate keeps the temp library small (J2K is intra-only
+        // and would otherwise dominate disk).
+        let enc = EncoderConfig::new(codec).with_gop(16).with_bitrate(1_200_000);
+        let mut gen = generator_for(task, 7000 + i as u64, enc.fps);
+        let mut encoder = Encoder::for_stream(enc, 7000 + i as u64, i as u32);
+        let packets: Vec<_> = (0..frames).map(|_| encoder.encode(&gen.next_frame())).collect();
+        let bytes = serialize_stream(i as u32, &enc, &packets);
+        let path = dir.join(format!("video-{i:02}-{}.pgv", codec.label()));
+        std::fs::write(&path, &bytes).expect("write pgv");
+        paths.push(path);
+    }
+
+    // 2. Parse them back — the gate never sees anything but stored bytes.
+    let mut recorded = Vec::new();
+    let mut total_bytes = 0usize;
+    for path in &paths {
+        let bytes = std::fs::read(path).expect("read pgv");
+        total_bytes += bytes.len();
+        let (header, packets) = parse_stream(&bytes).expect("parse pgv");
+        recorded.push((header.config.codec, packets));
+    }
+    println!(
+        "parsed {} files ({:.1} MiB) — codecs: {:?}\n",
+        paths.len(),
+        total_bytes as f64 / 1048576.0,
+        codecs.map(|c| c.label())
+    );
+
+    // 3. Replay under a tight budget: PacketGame vs Random.
+    println!("training the gate's predictor ...");
+    let config = test_config();
+    let predictor = train_for_task(task, &config, 19);
+    let sim_config = SimConfig {
+        budget_per_round: 3.0,
+        segments: 8,
+        ..SimConfig::default()
+    };
+
+    let mut gates: Vec<Box<dyn GatePolicy>> = vec![
+        Box::new(RandomGate::new(2)),
+        Box::new(PacketGame::new(config, predictor)),
+    ];
+    println!(
+        "\n{:<12} {:>10} {:>12} {:>14}",
+        "policy", "accuracy", "recall", "filter-rate"
+    );
+    for gate in gates.iter_mut() {
+        let recorded_copy: Vec<_> = recorded
+            .iter()
+            .map(|(c, p)| (*c, p.clone()))
+            .collect();
+        let report =
+            ReplaySimulator::new(recorded_copy, sim_config).run(gate.as_mut(), frames as u64);
+        println!(
+            "{:<12} {:>9.1}% {:>11.1}% {:>13.1}%",
+            report.policy,
+            report.accuracy_overall() * 100.0,
+            report.recall() * 100.0,
+            report.filtering_rate() * 100.0,
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "\nNo re-encoding happened anywhere: the stored packets were parsed\n\
+         and gated as-is, across four codecs in one fleet — the pluggability\n\
+         that on-camera filtering and inference-aware compression cannot offer."
+    );
+}

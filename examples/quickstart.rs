@@ -1,0 +1,79 @@
+//! Quickstart: train a PacketGame gate and run it against baselines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Trains a small contextual predictor offline on synthetic
+//! anomaly-detection streams, then gates 24 concurrent streams under a
+//! tight decoding budget and compares accuracy with Random and Temporal
+//! baselines and the Optimal oracle.
+
+use packetgame::training::{test_config, train_for_task};
+use packetgame::{OracleGate, PacketGame, RandomGate, TemporalGate};
+use pg_pipeline::{GatePolicy, RoundSimulator, SimConfig};
+use pg_scene::TaskKind;
+
+fn main() {
+    let task = TaskKind::AnomalyDetection;
+    let streams = 24;
+    let rounds = 800;
+    let budget = 5.0; // cost units per round: far below decode-everything
+
+    println!("PacketGame quickstart — task {task}, {streams} streams, budget {budget}/round\n");
+
+    // 1. Train the contextual predictor offline (paper §5.2: offline
+    //    records in, binary runtime weights out).
+    let config = test_config();
+    println!("training contextual predictor ...");
+    let predictor = train_for_task(task, &config, 7);
+    println!(
+        "  {} parameters, ready\n",
+        predictor.param_count()
+    );
+
+    // 2. Run the same workload under each policy.
+    let sim_config = SimConfig {
+        budget_per_round: budget,
+        segments: 8,
+        ..SimConfig::default()
+    };
+    let oracle_config = SimConfig {
+        expose_oracle: true,
+        ..sim_config
+    };
+
+    let mut gates: Vec<Box<dyn GatePolicy>> = vec![
+        Box::new(RandomGate::new(1)),
+        Box::new(TemporalGate::new(config.window, config.exploration_cap)),
+        Box::new(PacketGame::new(config.clone(), predictor)),
+        Box::new(OracleGate),
+    ];
+
+    println!(
+        "{:<12} {:>10} {:>14} {:>12}",
+        "policy", "accuracy", "filter-rate", "cost/round"
+    );
+    for gate in gates.iter_mut() {
+        let cfg = if gate.name() == "Optimal" {
+            oracle_config
+        } else {
+            sim_config
+        };
+        let sim = RoundSimulator::uniform(task, streams, 42, cfg);
+        let report = sim.run(gate.as_mut(), rounds);
+        println!(
+            "{:<12} {:>9.1}% {:>13.1}% {:>12.2}",
+            report.policy,
+            report.accuracy_overall() * 100.0,
+            report.filtering_rate() * 100.0,
+            report.mean_cost_per_round(),
+        );
+    }
+
+    println!(
+        "\nWith the same budget, PacketGame recovers most of the oracle's\n\
+         accuracy by spending decode capacity only where feedback and packet\n\
+         metadata suggest the inference result is about to change."
+    );
+}

@@ -1,0 +1,13 @@
+//! Umbrella package for the PacketGame reproduction workspace.
+//!
+//! Exists to host the workspace-level examples (`examples/`) and
+//! cross-crate integration tests (`tests/`). Library users should depend on
+//! the individual crates (`packetgame`, `pg-codec`, ...) directly.
+
+pub use packetgame;
+pub use pg_codec;
+pub use pg_inference;
+pub use pg_nn;
+pub use pg_pipeline;
+pub use pg_scene;
+pub use pg_net;

@@ -1,0 +1,239 @@
+//! End-to-end integration: scene → encoder → bitstream → parser → gate →
+//! decoder → inference → feedback, across crates.
+
+use packetgame::training::{test_config, train_for_task};
+use packetgame::{OracleGate, PacketGame, RandomGate};
+use pg_codec::{parse_stream, serialize_stream, Codec, CostModel, Decoder, Encoder, EncoderConfig};
+use pg_inference::redundancy::RedundancyJudge;
+use pg_inference::tasks::model_for;
+use pg_pipeline::{RoundSimulator, SimConfig};
+use pg_scene::{generator_for, TaskKind};
+
+/// The full byte-level path: generate scenes, encode, serialize, parse the
+/// bytes back, decode in order, run inference, and verify the feedback
+/// sequence matches the ground-truth necessity labels.
+#[test]
+fn bytes_roundtrip_through_the_whole_pipeline() {
+    for task in TaskKind::ALL {
+        let enc = EncoderConfig::new(Codec::H265).with_gop(12).with_b_frames(2);
+        let mut gen = generator_for(task, 99, enc.fps);
+        let trace = gen.generate(150);
+        let labels = trace.necessity_labels();
+
+        let mut encoder = Encoder::for_stream(enc, 99, 4);
+        let packets = encoder.encode_trace(trace.frames());
+        let bytes = serialize_stream(4, &enc, &packets);
+        let (header, parsed) = parse_stream(&bytes).expect("parse");
+        assert_eq!(header.stream_id, 4);
+        assert_eq!(parsed.len(), packets.len());
+
+        let mut decoder = Decoder::new(4, CostModel::default());
+        let mut model = model_for(task);
+        let mut judge = RedundancyJudge::new();
+        let mut feedback = Vec::new();
+        for p in parsed {
+            let seq = p.meta.seq;
+            decoder.ingest(p);
+            let frame = decoder.decode(seq).expect("in-order decode");
+            feedback.push(judge.feedback(model.infer(&frame)));
+        }
+        assert_eq!(
+            feedback, labels,
+            "{task}: exact models must reproduce oracle labels end to end"
+        );
+    }
+}
+
+/// Under the same tight budget, the policy ordering must hold:
+/// Random ≤ PacketGame ≤ Oracle (with real gaps).
+#[test]
+fn policy_ordering_under_budget() {
+    let task = TaskKind::AnomalyDetection;
+    let streams = 24;
+    let rounds = 500;
+    let base = SimConfig {
+        budget_per_round: 2.5,
+        segments: 4,
+        ..SimConfig::default()
+    };
+
+    let config = test_config();
+    let predictor = train_for_task(task, &config, 17);
+    let mut pg = PacketGame::new(config, predictor);
+    let pg_report = RoundSimulator::uniform(task, streams, 3, base).run(&mut pg, rounds);
+
+    let mut random = RandomGate::new(3);
+    let rand_report = RoundSimulator::uniform(task, streams, 3, base).run(&mut random, rounds);
+
+    let oracle_cfg = SimConfig {
+        expose_oracle: true,
+        ..base
+    };
+    let mut oracle = OracleGate;
+    let oracle_report =
+        RoundSimulator::uniform(task, streams, 3, oracle_cfg).run(&mut oracle, rounds);
+
+    // Accuracy ordering (weak — the floor is high when necessity is rare).
+    assert!(
+        rand_report.accuracy_overall() < pg_report.accuracy_overall()
+            && pg_report.accuracy_overall() <= oracle_report.accuracy_overall() + 1e-9,
+        "accuracy ordering violated: random {:.3}, packetgame {:.3}, oracle {:.3}",
+        rand_report.accuracy_overall(),
+        pg_report.accuracy_overall(),
+        oracle_report.accuracy_overall()
+    );
+    // Recall on necessary packets is the discriminative metric: PacketGame
+    // must serve clearly more of the necessary packets than random under
+    // the same budget.
+    assert!(
+        pg_report.recall() > rand_report.recall() + 0.10,
+        "PacketGame recall {:.3} should clearly beat random {:.3}",
+        pg_report.recall(),
+        rand_report.recall()
+    );
+}
+
+/// Skipped GOPs must not corrupt later decoding: gate hard for a while,
+/// then decode everything again — the decoder recovers at I-frames.
+#[test]
+fn decoder_recovers_after_gating_droughts() {
+    let enc = EncoderConfig::new(Codec::H264).with_gop(10).with_b_frames(2);
+    let mut gen = generator_for(TaskKind::FireDetection, 7, enc.fps);
+    let mut encoder = Encoder::new(enc, 7);
+    let mut decoder = Decoder::new(0, CostModel::default());
+
+    let mut decoded = 0;
+    for t in 0..200u64 {
+        let packet = encoder.encode(&gen.next_frame());
+        let seq = packet.meta.seq;
+        decoder.ingest(packet);
+        // Drought: decode nothing for rounds 50..150.
+        if !(50..150).contains(&t) {
+            decoder.decode_closure(seq).expect("closure decodes");
+            decoded += 1;
+        }
+    }
+    assert_eq!(decoded, 100);
+    // After the drought, the first decodes paid extra closure costs but
+    // succeeded; total cost is bounded by decoding every packet once.
+    let all_cost: f64 = CostModel::default().mean_cost_per_frame(10, 2) * 200.0;
+    assert!(decoder.stats().cost_spent <= all_cost + 1e-9);
+}
+
+/// The weight-file deployment path: train, export, reload in a fresh gate,
+/// and verify behaviourally identical gating decisions.
+#[test]
+fn weight_file_deployment_reproduces_decisions() {
+    let task = TaskKind::PersonCounting;
+    let config = test_config();
+    let predictor = train_for_task(task, &config, 23);
+    let wf = predictor.to_weight_file();
+
+    let run = |mut gate: PacketGame| -> Vec<u64> {
+        let sim = RoundSimulator::uniform(
+            task,
+            8,
+            5,
+            SimConfig {
+                budget_per_round: 3.0,
+                segments: 2,
+                ..SimConfig::default()
+            },
+        );
+        let report = sim.run(&mut gate, 200);
+        vec![report.packets_decoded, report.packets_backfilled]
+    };
+
+    let a = run(PacketGame::new(config.clone(), predictor));
+    let mut reloaded = packetgame::ContextualPredictor::new(config.clone().with_seed(23));
+    reloaded.load_weight_file(&wf).expect("load");
+    let b = run(PacketGame::new(config, reloaded));
+    assert_eq!(a, b, "reloaded weights must gate identically");
+}
+
+/// Mixed-codec fleets work: H.264, H.265, VP9 and intra-only JPEG2000
+/// streams gated together in one simulation.
+#[test]
+fn mixed_codec_fleet_simulates() {
+    use pg_pipeline::StreamSpec;
+    let specs: Vec<StreamSpec> = Codec::ALL
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &codec)| {
+            (0..3).map(move |j| {
+                StreamSpec::new(
+                    TaskKind::SuperResolution,
+                    (i * 3 + j) as u64,
+                    EncoderConfig::new(codec),
+                )
+            })
+        })
+        .collect();
+    let config = test_config();
+    let predictor = train_for_task(TaskKind::SuperResolution, &config, 31);
+    let mut gate = PacketGame::new(config, predictor);
+    let sim = RoundSimulator::new(
+        specs,
+        SimConfig {
+            budget_per_round: 6.0,
+            segments: 4,
+            ..SimConfig::default()
+        },
+    );
+    let report = sim.run(&mut gate, 300);
+    assert_eq!(report.streams, 12);
+    assert!(report.packets_decoded > 0);
+    assert!(report.accuracy_overall() > 0.5);
+}
+
+/// PacketGame gating over a lossy network ingest: the gate keeps working
+/// when candidates are a per-round subset of streams, and ARQ transport
+/// recovers the accuracy raw transport loses.
+#[test]
+fn gating_over_impaired_network() {
+    use pg_net::ImpairmentConfig;
+    use pg_pipeline::netround::{NetworkedRoundSimulator, Transport};
+
+    let task = TaskKind::AnomalyDetection;
+    let config = test_config();
+    let predictor = train_for_task(task, &config, 41);
+    let wf = predictor.to_weight_file();
+    let enc = EncoderConfig::new(Codec::H264).with_gop(12).with_b_frames(2);
+    let budget = 4.0;
+    let rounds = 400;
+
+    let run = |transport: Transport, loss: f64| {
+        let mut p = packetgame::ContextualPredictor::new(config.clone().with_seed(41));
+        p.load_weight_file(&wf).expect("weights");
+        let mut gate = PacketGame::new(config.clone(), p);
+        NetworkedRoundSimulator::new(
+            task,
+            10,
+            5,
+            enc,
+            ImpairmentConfig::lossy(loss),
+            transport,
+            budget,
+        )
+        .run(&mut gate, rounds)
+    };
+
+    let clean = run(Transport::Raw, 0.0);
+    assert!(clean.accuracy_overall() > 0.5);
+    assert_eq!(clean.undecodable, 0);
+
+    let lossy_raw = run(Transport::Raw, 0.05);
+    let lossy_arq = run(Transport::Arq, 0.05);
+    assert!(
+        lossy_arq.delivery_rate() > lossy_raw.delivery_rate(),
+        "ARQ delivery {:.3} vs raw {:.3}",
+        lossy_arq.delivery_rate(),
+        lossy_raw.delivery_rate()
+    );
+    assert!(
+        lossy_arq.accuracy_overall() >= lossy_raw.accuracy_overall(),
+        "ARQ accuracy {:.3} vs raw {:.3}",
+        lossy_arq.accuracy_overall(),
+        lossy_raw.accuracy_overall()
+    );
+}
