@@ -8,6 +8,7 @@
 use pg_nn::loss::bce_with_logits;
 use pg_nn::optim::RmsProp;
 use pg_pipeline::gate::{FeedbackEvent, GatePolicy, PacketContext};
+use pg_pipeline::telemetry::Telemetry;
 
 use crate::config::PacketGameConfig;
 use crate::context::FeatureWindows;
@@ -42,14 +43,19 @@ impl Default for OnlineConfig {
     }
 }
 
+/// Predictor input captured for one stream: (view_i, view_p, temporal).
+type FeatureSnapshot = (Vec<f32>, Vec<f32>, f32);
+/// A training sample: (view_i, view_p, temporal, label).
+type TrainingSample = (Vec<f32>, Vec<f32>, f32, f32);
+
 /// Live-training state.
 struct OnlineState {
     opt: RmsProp,
     batch_size: usize,
     /// Per-stream feature snapshot of the current round (views + temporal).
-    snapshots: Vec<Option<(Vec<f32>, Vec<f32>, f32)>>,
-    /// Accumulated (view_i, view_p, temporal, label) samples.
-    batch: Vec<(Vec<f32>, Vec<f32>, f32, f32)>,
+    snapshots: Vec<Option<FeatureSnapshot>>,
+    /// Accumulated samples.
+    batch: Vec<TrainingSample>,
     /// Update steps taken.
     steps: u64,
 }
@@ -67,6 +73,8 @@ pub struct PacketGame {
     task_head: usize,
     /// Live fine-tuning state, when enabled.
     online: Option<OnlineState>,
+    /// Observability handle; disabled unless a simulator attaches one.
+    telemetry: Telemetry,
 }
 
 impl PacketGame {
@@ -103,6 +111,7 @@ impl PacketGame {
             optimizer: CombinatorialOptimizer,
             task_head,
             online: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -153,7 +162,7 @@ impl GatePolicy for PacketGame {
         self.name
     }
 
-    fn select(&mut self, _round: u64, candidates: &[PacketContext], budget: f64) -> Vec<usize> {
+    fn select(&mut self, round: u64, candidates: &[PacketContext], budget: f64) -> Vec<usize> {
         let m = candidates.len();
         self.temporal.ensure_streams(m);
         self.windows.ensure_streams(m);
@@ -198,8 +207,15 @@ impl GatePolicy for PacketGame {
 
         // Greedy budgeted selection (lines 7-12); dependency completion
         // (line 13) is realized by the pending-cost closure the pipeline
-        // decodes for each selected packet.
-        self.optimizer.select(&items, budget).0
+        // decodes for each selected packet. With telemetry attached, every
+        // candidate's decision lands in the audit ring.
+        if self.telemetry.is_enabled() {
+            self.optimizer
+                .select_audited(&items, budget, round, &self.telemetry)
+                .0
+        } else {
+            self.optimizer.select(&items, budget).0
+        }
     }
 
     fn feedback(&mut self, events: &[FeedbackEvent]) {
@@ -234,6 +250,10 @@ impl GatePolicy for PacketGame {
             }
             self.online = Some(online);
         }
+    }
+
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 }
 

@@ -6,6 +6,13 @@
 //! `1 − c/B` (Lemma 1, verified empirically in [`crate::theory`]).
 //! Complexity is `O(m log m)` per round (the sort), giving the linear
 //! scalability the paper requires for 1000+ streams.
+//!
+//! When a [`Telemetry`] handle is attached to the gate,
+//! [`CombinatorialOptimizer::select_audited`] additionally records one
+//! [`GateAuditEntry`] per candidate — kept or dropped, with the confidence
+//! and closure cost that drove the decision.
+
+use pg_pipeline::telemetry::{AuditReason, GateAuditEntry, Telemetry};
 
 /// One candidate item for the knapsack.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,15 +58,58 @@ impl CombinatorialOptimizer {
     /// approximately-fractional model). Returns selected `idx`s in
     /// priority order and the total cost charged.
     pub fn select(&self, items: &[Item], budget: f64) -> (Vec<usize>, f64) {
+        self.select_inner(items, budget, 0, None)
+    }
+
+    /// [`CombinatorialOptimizer::select`] plus gate-decision auditing:
+    /// every candidate is recorded in `telemetry`'s audit ring with its
+    /// confidence, cost and kept/dropped reason. Greedy walks the whole
+    /// priority order, so every dropped candidate was dropped because the
+    /// budget ran out before its turn.
+    pub fn select_audited(
+        &self,
+        items: &[Item],
+        budget: f64,
+        round: u64,
+        telemetry: &Telemetry,
+    ) -> (Vec<usize>, f64) {
+        self.select_inner(items, budget, round, Some(telemetry))
+    }
+
+    fn select_inner(
+        &self,
+        items: &[Item],
+        budget: f64,
+        round: u64,
+        telemetry: Option<&Telemetry>,
+    ) -> (Vec<usize>, f64) {
         let by_idx: std::collections::HashMap<usize, &Item> =
             items.iter().map(|it| (it.idx, it)).collect();
         let mut selected = Vec::new();
         let mut spent = 0.0f64;
         for idx in self.priority_order(items) {
-            if spent >= budget {
-                break;
-            }
             let item = by_idx[&idx];
+            let kept = spent < budget;
+            if let Some(t) = telemetry {
+                t.audit(GateAuditEntry {
+                    stream_idx: item.idx,
+                    round,
+                    confidence: item.confidence,
+                    cost: item.cost,
+                    kept,
+                    reason: if kept {
+                        AuditReason::Selected
+                    } else {
+                        AuditReason::BudgetExhausted
+                    },
+                });
+            }
+            if !kept {
+                if telemetry.is_none() {
+                    break; // nothing left to record; the walk is done
+                }
+                continue;
+            }
             selected.push(idx);
             spent += item.cost;
         }

@@ -239,8 +239,10 @@ mod tests {
 
     #[test]
     fn temporal_view_can_be_ablated() {
-        let mut config = PacketGameConfig::default();
-        config.use_temporal_view = false;
+        let config = PacketGameConfig {
+            use_temporal_view: false,
+            ..PacketGameConfig::default()
+        };
         let mut p = ContextualPredictor::new(config);
         let v = vec![0.2f32; 5];
         let a = p.forward_logits(&v, &v, 0.0)[0];
@@ -250,8 +252,10 @@ mod tests {
 
     #[test]
     fn size_views_can_be_ablated() {
-        let mut config = PacketGameConfig::default();
-        config.use_size_views = false;
+        let config = PacketGameConfig {
+            use_size_views: false,
+            ..PacketGameConfig::default()
+        };
         let mut p = ContextualPredictor::new(config);
         let a = p.forward_logits(&[0.1; 5], &[0.2; 5], 0.5)[0];
         let b = p.forward_logits(&[0.9; 5], &[0.7; 5], 0.5)[0];
@@ -283,8 +287,10 @@ mod tests {
         let mut other = ContextualPredictor::new(PacketGameConfig::default().with_window(10));
         // Window doesn't change parameter shapes (convs are size-agnostic),
         // but a different conv width does.
-        let mut cfg = PacketGameConfig::default();
-        cfg.conv_units = 16;
+        let cfg = PacketGameConfig {
+            conv_units: 16,
+            ..PacketGameConfig::default()
+        };
         let mut narrow = ContextualPredictor::new(cfg);
         assert!(narrow.load_weight_file(&wf).is_err());
         assert!(other.load_weight_file(&wf).is_ok());
@@ -322,10 +328,12 @@ mod tests {
             EmbeddingKind::Rnn,
             EmbeddingKind::Lstm,
         ] {
-            let mut cfg = PacketGameConfig::default();
-            cfg.embedding = kind;
-            cfg.conv_units = 8;
-            cfg.dense_units = 16;
+            let cfg = PacketGameConfig {
+                embedding: kind,
+                conv_units: 8,
+                dense_units: 16,
+                ..PacketGameConfig::default()
+            };
             let mut p = ContextualPredictor::new(cfg);
             let v1 = vec![0.2f32, 0.4, 0.1, 0.9, 0.3];
             let v2 = vec![0.6f32, 0.1, 0.5, 0.2, 0.7];

@@ -22,7 +22,7 @@ fn main() {
 
     // Fig. 2a/2b rows, as in the paper.
     let infi_filtering = 0.99; // InFi's 99% filtering rate (§2.3)
-    let rows = vec![
+    let rows = [
         (
             "Decode (12 CPUs)",
             m.decode_cpu12,

@@ -40,8 +40,8 @@ fn main() {
     let fleet = CameraFleet::campus(TaskKind::PersonCounting, 404);
     let sample = scale.streams.min(fleet.len());
     let frames_per_day = 1500usize; // default speedup: 1 day = 1500 frames
-    let mut hourly_necessary = vec![0u64; 24];
-    let mut hourly_frames = vec![0u64; 24];
+    let mut hourly_necessary = [0u64; 24];
+    let mut hourly_frames = [0u64; 24];
     for cam in &fleet.cameras()[..sample] {
         let mut gen = cam.generator(25.0);
         let trace = gen.generate(frames_per_day);

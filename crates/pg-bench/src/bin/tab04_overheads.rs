@@ -7,9 +7,11 @@
 //! latency empirically, and put them against the paper's reference points
 //! for the RGB-input alternatives.
 
-use packetgame::training::test_config;
-use packetgame::{ContextualPredictor, PacketGameConfig};
-use pg_bench::harness::{print_table, write_json, Scale};
+use packetgame::training::{test_config, train_for_task};
+use packetgame::{ContextualPredictor, PacketGame, PacketGameConfig};
+use pg_bench::harness::{print_table, print_telemetry_summary, write_json, Scale};
+use pg_pipeline::{RoundSimulator, SimConfig, Telemetry};
+use pg_scene::TaskKind;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -119,4 +121,27 @@ fn main() {
          microsecond range — cheap enough for on-camera deployment (<1 mJ)."
     );
     write_json("tab04_overheads", &records);
+
+    // End-to-end stage breakdown: run a short gated simulation with
+    // telemetry attached and show where the per-round time actually goes
+    // (the gate's select latency sits alongside decode/infer for context).
+    let task = TaskKind::AnomalyDetection;
+    let gate_config = test_config();
+    let predictor = train_for_task(task, &gate_config, 1);
+    let mut gate = PacketGame::new(gate_config, predictor);
+    let telemetry = Telemetry::enabled();
+    let report = RoundSimulator::uniform(
+        task,
+        16,
+        1,
+        SimConfig {
+            budget_per_round: 4.0,
+            segments: 4,
+            ..SimConfig::default()
+        },
+    )
+    .with_telemetry(telemetry)
+    .run(&mut gate, 300);
+    let snap = report.telemetry.as_ref().expect("telemetry attached");
+    print_telemetry_summary("Gated pipeline (16 streams x 300 rounds)", snap);
 }

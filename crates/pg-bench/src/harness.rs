@@ -11,6 +11,7 @@
 use std::path::PathBuf;
 
 use packetgame::{ContextualPredictor, PacketGameConfig};
+use pg_pipeline::telemetry::TelemetrySnapshot;
 use pg_scene::TaskKind;
 use serde::Serialize;
 
@@ -200,6 +201,56 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let json = serde_json::to_string_pretty(value).expect("serialize experiment record");
     std::fs::write(&path, json).expect("write experiment record");
     println!("\n[wrote {}]", path.display());
+}
+
+/// Print a per-stage telemetry summary block: one row per pipeline stage
+/// with its counters and latency distribution, plus the gate-decision
+/// totals and the retained audit tail.
+pub fn print_telemetry_summary(title: &str, snap: &TelemetrySnapshot) {
+    let fmt_us = |us: u64| {
+        if us == u64::MAX {
+            ">0.5s".to_string()
+        } else {
+            format!("{us}")
+        }
+    };
+    let rows: Vec<Vec<String>> = snap
+        .stages
+        .iter()
+        .map(|s| {
+            vec![
+                s.stage.clone(),
+                s.calls.to_string(),
+                s.items.to_string(),
+                format!("{:.1}", s.mean_us),
+                fmt_us(s.p50_us),
+                fmt_us(s.p99_us),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("{title} — per-stage telemetry"),
+        &["stage", "spans", "items", "mean µs", "p50 µs", "p99 µs"],
+        &rows,
+    );
+    println!(
+        "gate decisions: {} kept / {} dropped ({} audited, ring retains {})",
+        snap.gate.kept,
+        snap.gate.dropped,
+        snap.gate.audit_total,
+        snap.gate.audit.len()
+    );
+    if let Some(last) = snap.gate.audit.last() {
+        println!(
+            "latest decision: stream {} round {} conf {:.3} cost {:.2} -> {} ({:?})",
+            last.stream_idx,
+            last.round,
+            last.confidence,
+            last.cost,
+            if last.kept { "kept" } else { "dropped" },
+            last.reason
+        );
+    }
 }
 
 /// Simple ASCII sparkline for series output.

@@ -6,7 +6,7 @@ use packetgame::{
     ContextualPredictor, OracleGate, PacketGame, PacketGameConfig, RandomGate, RoundRobinGate,
     TemporalGate,
 };
-use pg_pipeline::{GatePolicy, ReplaySimulator, RoundSimulator, SimConfig};
+use pg_pipeline::{GatePolicy, ReplaySimulator, RoundSimulator, SimConfig, Telemetry};
 
 const HELP: &str = "\
 pgv gate — simulate multi-stream packet gating
@@ -23,6 +23,8 @@ OPTIONS:
     --weights <path>         trained weight file (packetgame policy; trains
                              a small predictor on the fly if omitted)
     --seed <n>               workload seed (default 1)
+    --telemetry-json <path>  record per-stage telemetry + the gate-decision
+                             audit ring and dump the snapshot as JSON
 ";
 
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -37,6 +39,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let budget: f64 = o.num_or("budget", 6.0)?;
     let policy = o.str_or("policy", "packetgame");
     let seed: u64 = o.num_or("seed", 1)?;
+    let telemetry_path = o.str_or("telemetry-json", "");
+    let telemetry = if telemetry_path.is_empty() {
+        Telemetry::disabled()
+    } else {
+        Telemetry::enabled()
+    };
 
     let config = test_config();
     let mut gate: Box<dyn GatePolicy> = match policy.as_str() {
@@ -79,7 +87,18 @@ pub fn run(args: &[String]) -> Result<(), String> {
         .map(str::to_string)
         .collect();
     if inputs.is_empty() {
-        return run_sim(task, streams, rounds, budget, seed, &policy, gate.as_mut());
+        let report = run_sim(
+            task,
+            streams,
+            rounds,
+            budget,
+            seed,
+            &policy,
+            gate.as_mut(),
+            telemetry,
+        )?;
+        write_telemetry(&telemetry_path, report.telemetry.as_ref())?;
+        return Ok(());
     }
 
     // Offline mode: replay parsed .pgv files (design goal 3 — no
@@ -101,11 +120,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
         ..SimConfig::default()
     };
     eprintln!("replaying {} offline streams at B={budget} ...", recorded.len());
-    let report = ReplaySimulator::new(recorded, sim_config).run(gate.as_mut(), rounds);
+    let report = ReplaySimulator::new(recorded, sim_config)
+        .with_telemetry(telemetry)
+        .run(gate.as_mut(), rounds);
     print_report(&report, budget);
+    write_telemetry(&telemetry_path, report.telemetry.as_ref())?;
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_sim(
     task: pg_scene::TaskKind,
     streams: usize,
@@ -114,7 +137,8 @@ fn run_sim(
     seed: u64,
     policy: &str,
     gate: &mut dyn GatePolicy,
-) -> Result<(), String> {
+    telemetry: Telemetry,
+) -> Result<pg_pipeline::RoundSimReport, String> {
     let sim_config = SimConfig {
         budget_per_round: budget,
         segments: 12,
@@ -122,8 +146,27 @@ fn run_sim(
         ..SimConfig::default()
     };
     eprintln!("simulating {streams} x {task} streams for {rounds} rounds at B={budget} ...");
-    let report = RoundSimulator::uniform(task, streams, seed, sim_config).run(gate, rounds);
+    let report = RoundSimulator::uniform(task, streams, seed, sim_config)
+        .with_telemetry(telemetry)
+        .run(gate, rounds);
     print_report(&report, budget);
+    Ok(report)
+}
+
+/// Dump the report's telemetry snapshot as pretty JSON when a path was
+/// requested.
+fn write_telemetry(
+    path: &str,
+    snapshot: Option<&pg_pipeline::TelemetrySnapshot>,
+) -> Result<(), String> {
+    if path.is_empty() {
+        return Ok(());
+    }
+    let snapshot = snapshot.ok_or("telemetry was requested but not recorded")?;
+    let json = serde_json::to_string_pretty(snapshot)
+        .map_err(|e| format!("serializing telemetry: {e}"))?;
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("[telemetry written to {path}]");
     Ok(())
 }
 

@@ -3,6 +3,7 @@
 use crate::args::{parse_codec, parse_task, Options};
 use pg_codec::EncoderConfig;
 use pg_net::{ImpairmentConfig, NetworkedStream, ReassemblyConfig};
+use pg_pipeline::telemetry::{Stage, Telemetry};
 
 const HELP: &str = "\
 pgv netsim — stream over an impaired link and report transport stats
@@ -17,6 +18,8 @@ OPTIONS:
     --duplicate <p>          duplication probability (default 0)
     --jitter <ticks>         max delivery jitter (default 0)
     --seed <n>               seed (default 1)
+    --telemetry-json <path>  record per-tick parse-stage telemetry and dump
+                             the snapshot as JSON
 ";
 
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -38,12 +41,22 @@ pub fn run(args: &[String]) -> Result<(), String> {
         jitter: o.num_or("jitter", 0)?,
     };
 
+    let telemetry_path = o.str_or("telemetry-json", "");
+    let telemetry = if telemetry_path.is_empty() {
+        Telemetry::disabled()
+    } else {
+        Telemetry::enabled()
+    };
+
     let enc = EncoderConfig::new(codec).with_gop(gop);
     let mut stream =
         NetworkedStream::with_config(task, seed, enc, impairments, ReassemblyConfig::default());
     let mut received = 0u64;
     for _ in 0..ticks {
-        received += stream.tick().len() as u64;
+        let tick_timer = telemetry.timer();
+        let arrived = stream.tick().len() as u64;
+        telemetry.record(Stage::Parse, arrived, tick_timer);
+        received += arrived;
     }
     let stats = stream.stats();
     println!("link: drop {:.1}% corrupt {:.1}% duplicate {:.1}% jitter {} ticks",
@@ -60,5 +73,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
     println!("integrity failures {}", stats.integrity_failures);
     println!("parser resyncs     {}", stats.records_resynced);
     println!("bytes delivered    {} KiB", stats.bytes_delivered / 1024);
+    if !telemetry_path.is_empty() {
+        let snapshot = telemetry.snapshot().ok_or("telemetry snapshot missing")?;
+        let json = serde_json::to_string_pretty(&snapshot)
+            .map_err(|e| format!("serializing telemetry: {e}"))?;
+        std::fs::write(&telemetry_path, json)
+            .map_err(|e| format!("writing {telemetry_path}: {e}"))?;
+        eprintln!("[telemetry written to {telemetry_path}]");
+    }
     Ok(())
 }

@@ -91,7 +91,7 @@ impl ImpairedChannel {
     pub fn new(config: ImpairmentConfig, seed: u64) -> Self {
         ImpairedChannel {
             config,
-            rng: rng(seed, 0x4E45_54),
+            rng: rng(seed, 0x4E_45_54),
             now: 0,
             queue: Vec::new(),
             inserted: 0,
@@ -119,8 +119,8 @@ impl ImpairedChannel {
             {
                 self.corrupted += 1;
                 let idx = self.rng.gen_range(0..b.len());
-                let bit = self.rng.gen_range(0..8);
-                b[idx] ^= 1 << bit;
+                let bit = self.rng.gen_range(0u32..8);
+                b[idx] ^= 1u8 << bit;
             }
             let delay = self.config.base_delay
                 + if self.config.jitter > 0 {

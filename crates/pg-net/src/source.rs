@@ -18,6 +18,9 @@ use crate::receiver::{ReassemblyConfig, ReorderReceiver};
 
 /// The transport under a networked stream: raw datagrams (losses become
 /// parser holes) or ARQ-repaired (losses become latency).
+// One `Link` exists per stream for its whole lifetime; the variant size
+// gap doesn't justify another allocation.
+#[allow(clippy::large_enum_variant)]
 enum Link {
     Raw {
         channel: ImpairedChannel,
@@ -67,6 +70,9 @@ pub struct NetworkedStream {
     parser: PacketParser,
     stats: TransportStats,
     frames_since_header: u64,
+    /// Wire blobs that failed datagram framing (bad magic/truncation);
+    /// CRC rejections are tracked inside the receiver.
+    framing_failures: u64,
 }
 
 impl NetworkedStream {
@@ -100,6 +106,7 @@ impl NetworkedStream {
             parser: PacketParser::new(),
             stats: TransportStats::default(),
             frames_since_header: HEADER_REPEAT_INTERVAL, // send immediately
+            framing_failures: 0,
         }
     }
 
@@ -119,6 +126,7 @@ impl NetworkedStream {
             parser: PacketParser::new(),
             stats: TransportStats::default(),
             frames_since_header: HEADER_REPEAT_INTERVAL,
+            framing_failures: 0,
         }
     }
 
@@ -165,12 +173,16 @@ impl NetworkedStream {
                 let mut out = Vec::new();
                 for wire in channel.tick() {
                     let Some((parsed, carried_crc)) = Datagram::from_bytes(&wire) else {
-                        self.stats.integrity_failures += 1;
+                        self.framing_failures += 1;
                         continue;
                     };
                     out.extend(receiver.accept(parsed, carried_crc));
                 }
                 self.stats.datagrams_dropped = channel.dropped;
+                // Corruption is caught two ways: broken framing (counted
+                // here) and CRC mismatch (counted by the receiver).
+                self.stats.integrity_failures =
+                    self.framing_failures + receiver.integrity_failures;
                 out
             }
             Link::Reliable(link) => {

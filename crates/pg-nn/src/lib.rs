@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Numeric kernels index several flat parameter buffers with one loop
+// variable; iterator rewrites obscure the math without changing the code
+// generated.
+#![allow(clippy::needless_range_loop)]
 //! # pg-nn — a minimal neural-network library
 //!
 //! The **TensorFlow substitute** for the PacketGame reproduction. The

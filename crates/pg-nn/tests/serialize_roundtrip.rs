@@ -1,0 +1,111 @@
+//! Disk round-trip regression test for the binary weight format: a model
+//! saved with [`WeightFile::save`] and restored with [`WeightFile::load`]
+//! must make **bitwise-identical** predictions — the deployment contract of
+//! paper §5.2 (train once offline, export a binary runtime file, reuse it
+//! everywhere).
+
+use pg_nn::layers::{Conv1d, Dense, GlobalMaxPool1d, ReLU};
+use pg_nn::model::Sequential;
+use pg_nn::tensor::Tensor;
+use pg_nn::WeightFile;
+
+fn build_net(seed: u64) -> Sequential {
+    Sequential::new(vec![
+        Box::new(Conv1d::new(1, 8, 3, seed)),
+        Box::new(ReLU::new()),
+        Box::new(Conv1d::new(8, 4, 3, seed + 1)),
+        Box::new(ReLU::new()),
+        Box::new(GlobalMaxPool1d::new()),
+        Box::new(Dense::new(4, 1, seed + 2)),
+    ])
+}
+
+fn export(net: &Sequential) -> WeightFile {
+    let mut wf = WeightFile::new();
+    for (i, p) in net.params().iter().enumerate() {
+        wf.add(format!("param/{i}"), p.w.clone());
+    }
+    wf
+}
+
+fn restore(net: &mut Sequential, wf: &WeightFile) {
+    for (i, p) in net.params_mut().into_iter().enumerate() {
+        let blob = wf
+            .get(&format!("param/{i}"))
+            .expect("missing parameter blob");
+        assert_eq!(blob.len(), p.w.len(), "parameter shape mismatch");
+        p.w.copy_from_slice(blob);
+    }
+}
+
+fn fixed_inputs() -> Vec<Tensor> {
+    // Deterministic synthetic feature windows: enough variety to exercise
+    // positive and negative activations through both conv layers.
+    (0..16)
+        .map(|k| {
+            let xs: Vec<f32> = (0..9)
+                .map(|i| ((k * 9 + i) as f32 * 0.37).sin())
+                .collect();
+            Tensor::from_vec(1, 9, xs)
+        })
+        .collect()
+}
+
+#[test]
+fn save_load_reproduces_predictions_bit_for_bit() {
+    let mut original = build_net(42);
+    let inputs = fixed_inputs();
+    let expected: Vec<f32> = inputs
+        .iter()
+        .map(|x| original.forward(x).data()[0])
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("pgnn-roundtrip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("model.pgnn");
+    export(&original).save(&path).expect("save weights");
+
+    // A *differently seeded* identical architecture: its own predictions
+    // must differ, and after loading the file they must match exactly.
+    let mut reloaded = build_net(4242);
+    let before: Vec<f32> = inputs
+        .iter()
+        .map(|x| reloaded.forward(x).data()[0])
+        .collect();
+    assert_ne!(
+        before, expected,
+        "fresh initialisation should not coincide with the trained weights"
+    );
+
+    let wf = WeightFile::load(&path).expect("load weights");
+    restore(&mut reloaded, &wf);
+    let after: Vec<f32> = inputs
+        .iter()
+        .map(|x| reloaded.forward(x).data()[0])
+        .collect();
+    for (i, (a, e)) in after.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            e.to_bits(),
+            "input {i}: reloaded {a} != original {e}"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn saved_file_preserves_entry_order_and_counts() {
+    let net = build_net(7);
+    let wf = export(&net);
+    let mut buf = Vec::new();
+    wf.write_to(&mut buf).expect("serialize");
+    let back = WeightFile::read_from(&mut buf.as_slice()).expect("deserialize");
+    assert_eq!(back, wf);
+    assert_eq!(back.total_params(), net.param_count());
+    // Insertion order is part of the format: restore() walks params in
+    // layer order and indexes by name, both must agree.
+    for (i, (name, _)) in back.entries().iter().enumerate() {
+        assert_eq!(name, &format!("param/{i}"));
+    }
+}

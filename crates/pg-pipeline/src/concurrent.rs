@@ -28,6 +28,7 @@ use pg_codec::{
 use pg_scene::{generator_for, TaskKind};
 
 use crate::gate::{FeedbackEvent, GatePolicy, PacketContext};
+use crate::telemetry::{Stage, Telemetry, TelemetrySnapshot};
 
 /// Synthetic decode work: CPU iterations per cost unit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -122,6 +123,8 @@ pub struct ConcurrentReport {
     pub wall: Duration,
     /// Cumulative time the gate spent inside `select`.
     pub gate_time: Duration,
+    /// Per-stage telemetry, when a handle was attached (`None` otherwise).
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl ConcurrentReport {
@@ -163,13 +166,39 @@ struct InferItem {
 /// The concurrent pipeline runner.
 pub struct ConcurrentPipeline {
     config: ConcurrentConfig,
+    telemetry: Telemetry,
 }
 
 impl ConcurrentPipeline {
     /// New pipeline with the given configuration.
     pub fn new(config: ConcurrentConfig) -> Self {
         assert!(config.streams > 0 && config.decode_workers > 0);
-        ConcurrentPipeline { config }
+        ConcurrentPipeline {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a telemetry handle: each stage thread records its counters
+    /// and latency histogram through a clone of the handle, and a snapshot
+    /// rides along on the final report.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Like [`ConcurrentPipeline::run`], but converts a panic anywhere in
+    /// the pipeline (a misbehaving gate policy, a poisoned stage) into an
+    /// `Err` instead of unwinding through the caller. The channel topology
+    /// guarantees shutdown: when any stage dies, its channel endpoints
+    /// drop and every neighbour drains out, so the scope always joins.
+    pub fn try_run(&self, gate: &mut dyn GatePolicy) -> Result<ConcurrentReport, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run(gate))).map_err(|e| {
+            e.downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| e.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "pipeline panicked".to_string())
+        })
     }
 
     /// Run to completion under `gate`.
@@ -197,7 +226,9 @@ impl ConcurrentPipeline {
             });
 
             // ---------------- parser ----------------
-            let parser_handle = scope.spawn(move || parser_stage(m, byte_rx, pkt_tx));
+            let parser_telemetry = self.telemetry.clone();
+            let parser_handle =
+                scope.spawn(move || parser_stage(m, byte_rx, pkt_tx, parser_telemetry));
 
             // ---------------- decode pool ----------------
             let mut decode_handles = Vec::new();
@@ -205,11 +236,14 @@ impl ConcurrentPipeline {
                 let rx: Receiver<DecodeJob> = job_rx.clone();
                 let tx = frame_tx.clone();
                 let work = cfg.work;
+                let telemetry = self.telemetry.clone();
                 decode_handles.push(scope.spawn(move || {
                     let mut frames = 0u64;
                     let mut cost = 0.0f64;
                     while let Ok(job) = rx.recv() {
+                        let decode_timer = telemetry.timer();
                         work.decode_work(job.cost);
+                        telemetry.record(Stage::Decode, job.closure.len() as u64, decode_timer);
                         frames += job.closure.len() as u64;
                         cost += job.cost;
                         let target = job.closure.last().expect("non-empty closure").clone();
@@ -230,12 +264,14 @@ impl ConcurrentPipeline {
 
             // ---------------- inference ----------------
             let infer_task = cfg.task;
+            let infer_telemetry = self.telemetry.clone();
             let infer_handle = scope.spawn(move || {
-                inference_stage(m, infer_task, frame_rx, fb_tx)
+                inference_stage(m, infer_task, frame_rx, fb_tx, infer_telemetry)
             });
 
             // ---------------- gate (this thread) ----------------
-            let gate_stats = gate_stage(cfg, gate, pkt_rx, job_tx, fb_rx);
+            gate.attach_telemetry(self.telemetry.clone());
+            let gate_stats = gate_stage(cfg, gate, pkt_rx, job_tx, fb_rx, &self.telemetry);
 
             // Collect.
             let (packets_parsed, bytes_parsed) = parser_handle.join().expect("parser thread");
@@ -258,6 +294,7 @@ impl ConcurrentPipeline {
                 cost_spent,
                 wall: start.elapsed(),
                 gate_time: gate_stats.gate_time,
+                telemetry: self.telemetry.snapshot(),
             }
         })
     }
@@ -299,15 +336,24 @@ fn parser_stage(
     m: usize,
     byte_rx: Receiver<(usize, Vec<u8>)>,
     pkt_tx: Sender<(usize, Packet)>,
+    telemetry: Telemetry,
 ) -> (u64, u64) {
     let mut parsers: Vec<PacketParser> = (0..m).map(|_| PacketParser::new()).collect();
     let mut packets = 0u64;
     let mut bytes = 0u64;
     while let Ok((i, chunk)) = byte_rx.recv() {
         bytes += chunk.len() as u64;
+        let parse_timer = telemetry.timer();
         parsers[i].push(&chunk);
+        let mut chunk_packets = 0u64;
+        let mut parsed = Vec::new();
         while let Some(p) = parsers[i].next_packet().expect("well-formed stream") {
-            packets += 1;
+            chunk_packets += 1;
+            parsed.push(p);
+        }
+        telemetry.record(Stage::Parse, chunk_packets, parse_timer);
+        packets += chunk_packets;
+        for p in parsed {
             if pkt_tx.send((i, p)).is_err() {
                 return (packets, bytes);
             }
@@ -327,6 +373,7 @@ fn gate_stage(
     pkt_rx: Receiver<(usize, Packet)>,
     job_tx: Sender<DecodeJob>,
     fb_rx: Receiver<FeedbackEvent>,
+    telemetry: &Telemetry,
 ) -> GateStats {
     let m = cfg.streams;
     let mut trackers: Vec<DependencyTracker> = (0..m).map(|_| DependencyTracker::new()).collect();
@@ -380,7 +427,9 @@ fn gate_stage(
             .collect();
         let t0 = Instant::now();
         let selection = gate.select(round, &contexts, cfg.budget_per_round);
-        gate_time += t0.elapsed();
+        let select_elapsed = t0.elapsed();
+        gate_time += select_elapsed;
+        telemetry.record_duration(Stage::Gate, contexts.len() as u64, select_elapsed);
 
         // Dispatch decode jobs under the budget.
         let mut spent = 0.0f64;
@@ -430,6 +479,7 @@ fn inference_stage(
     task: TaskKind,
     frame_rx: Receiver<(InferItem, f64, usize)>,
     fb_tx: Sender<FeedbackEvent>,
+    telemetry: Telemetry,
 ) -> u64 {
     use pg_inference::redundancy::RedundancyJudge;
     use pg_inference::tasks::model_for;
@@ -437,6 +487,7 @@ fn inference_stage(
     let mut judges: Vec<RedundancyJudge> = (0..m).map(|_| RedundancyJudge::new()).collect();
     let mut count = 0u64;
     while let Ok((item, _cost, _len)) = frame_rx.recv() {
+        let infer_timer = telemetry.timer();
         let decoded = pg_codec::DecodedFrame {
             stream_id: item.target.meta.stream_id,
             seq: item.target.meta.seq,
@@ -446,17 +497,18 @@ fn inference_stage(
         };
         let result = models[item.stream_idx].infer(&decoded);
         let necessary = judges[item.stream_idx].feedback(result);
+        telemetry.record(Stage::Infer, 1, infer_timer);
         count += 1;
-        if fb_tx
-            .send(FeedbackEvent {
-                stream_idx: item.stream_idx,
-                round: item.round,
-                necessary,
-            })
-            .is_err()
-        {
-            break;
-        }
+        // A failed send means the gate has finished its rounds and dropped
+        // the feedback receiver. Keep draining frames anyway: exiting here
+        // would drop the decoders' send side mid-run and abandon queued
+        // jobs at a thread-timing-dependent point, making frame/cost
+        // totals nondeterministic.
+        let _ = fb_tx.send(FeedbackEvent {
+            stream_idx: item.stream_idx,
+            round: item.round,
+            necessary,
+        });
     }
     count
 }

@@ -9,6 +9,8 @@
 
 use pg_codec::{Codec, PacketMeta};
 
+use crate::telemetry::Telemetry;
+
 /// Gate-visible information about one stream's packet at the current round.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PacketContext {
@@ -59,6 +61,12 @@ pub trait GatePolicy: Send {
     /// Receive redundancy feedback for packets decoded earlier. Called once
     /// per round, after inference, with one event per decoded stream.
     fn feedback(&mut self, events: &[FeedbackEvent]);
+
+    /// Hand the policy a [`Telemetry`] handle so it can record per-packet
+    /// gate decisions in the audit ring. Simulators call this once before
+    /// the first round. The default is a no-op: policies that do not score
+    /// candidates simply leave the audit ring to the pipeline's counters.
+    fn attach_telemetry(&mut self, _telemetry: Telemetry) {}
 }
 
 /// A trivial gate that selects every stream (the "Original" workload:

@@ -24,6 +24,7 @@ pub mod netround;
 pub mod replay;
 pub mod round;
 pub mod search;
+pub mod telemetry;
 
 pub use budget::RoundBudget;
 pub use concurrent::{ConcurrentPipeline, ConcurrentReport, DecodeWorkModel};
@@ -33,3 +34,6 @@ pub use netround::{NetworkedRoundSimulator, NetworkedSimReport};
 pub use replay::ReplaySimulator;
 pub use round::{RoundSimulator, SimConfig, StreamSpec};
 pub use search::max_streams_at_accuracy;
+pub use telemetry::{
+    AuditReason, GateAuditEntry, Stage, Telemetry, TelemetrySnapshot,
+};

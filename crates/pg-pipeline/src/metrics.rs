@@ -3,6 +3,8 @@
 use pg_inference::accuracy::OnlineAccuracy;
 use serde::Serialize;
 
+use crate::telemetry::TelemetrySnapshot;
+
 /// Result of one [`RoundSimulator`](crate::round::RoundSimulator) run.
 #[derive(Debug, Clone, Serialize)]
 pub struct RoundSimReport {
@@ -33,6 +35,9 @@ pub struct RoundSimReport {
     pub necessary_total: u64,
     /// Necessary packets that were decoded in time.
     pub necessary_decoded: u64,
+    /// Per-stage telemetry, when a [`crate::telemetry::Telemetry`] handle
+    /// was attached to the simulator (`None` otherwise).
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl RoundSimReport {
@@ -101,6 +106,7 @@ mod tests {
             staleness: OnlineAccuracy::with_segments(2),
             necessary_total: 2,
             necessary_decoded: 1,
+            telemetry: None,
         }
     }
 
@@ -129,6 +135,7 @@ mod tests {
             staleness: OnlineAccuracy::with_segments(0),
             necessary_total: 0,
             necessary_decoded: 0,
+            telemetry: None,
         };
         assert_eq!(r.filtering_rate(), 0.0);
         assert_eq!(r.recall(), 1.0);

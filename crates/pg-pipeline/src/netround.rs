@@ -21,6 +21,7 @@ use pg_scene::{SceneState, TaskKind};
 
 use crate::budget::RoundBudget;
 use crate::gate::{FeedbackEvent, GatePolicy, PacketContext};
+use crate::telemetry::{Stage, Telemetry, TelemetrySnapshot};
 
 /// Transport selection for a networked simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +52,8 @@ pub struct NetworkedSimReport {
     pub undecodable: u64,
     /// Accuracy vs sender-side ground truth.
     pub accuracy: OnlineAccuracy,
+    /// Per-stage telemetry, when a handle was attached (`None` otherwise).
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl NetworkedSimReport {
@@ -81,6 +84,7 @@ pub struct NetworkedRoundSimulator {
     codec: Codec,
     budget_per_round: f64,
     segments: usize,
+    telemetry: Telemetry,
 }
 
 impl NetworkedRoundSimulator {
@@ -126,12 +130,22 @@ impl NetworkedRoundSimulator {
             codec: encoder.codec,
             budget_per_round,
             segments: 12,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle (see
+    /// [`RoundSimulator::with_telemetry`](crate::round::RoundSimulator::with_telemetry)).
+    /// The network+parse advance of each round is timed as the parse stage.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Run `rounds` rounds under `gate`.
     pub fn run(mut self, gate: &mut dyn GatePolicy, rounds: u64) -> NetworkedSimReport {
         let m = self.streams.len();
+        gate.attach_telemetry(self.telemetry.clone());
         let mut budget = RoundBudget::new(self.budget_per_round);
         let mut accuracy = OnlineAccuracy::with_segments(self.segments);
         let mut packets_arrived = 0u64;
@@ -146,11 +160,14 @@ impl NetworkedRoundSimulator {
             // arrival per stream as the gate candidate.
             let mut necessity = vec![false; m];
             let mut contexts: Vec<PacketContext> = Vec::new();
+            let parse_timer = self.telemetry.timer();
+            let mut arrived_this_round = 0u64;
             for (i, s) in self.streams.iter_mut().enumerate() {
                 let (frame, packets) = s.net.tick_full();
                 necessity[i] = frame.state.necessary_after(s.prev_state.as_ref());
                 s.prev_state = Some(frame.state);
                 packets_arrived += packets.len() as u64;
+                arrived_this_round += packets.len() as u64;
                 for p in &packets {
                     s.decoder.ingest(p.clone());
                 }
@@ -170,8 +187,14 @@ impl NetworkedRoundSimulator {
                 }
             }
 
+            self.telemetry
+                .record(Stage::Parse, arrived_this_round, parse_timer);
+
             // Gate decision over the streams that actually delivered.
+            let gate_timer = self.telemetry.timer();
             let selection = gate.select(round, &contexts, budget.per_round);
+            self.telemetry
+                .record(Stage::Gate, contexts.len() as u64, gate_timer);
             let mut decoded_flags = vec![false; m];
             let mut events = Vec::new();
             for idx in selection {
@@ -186,13 +209,18 @@ impl NetworkedRoundSimulator {
                     continue; // gate echoed a stream that delivered nothing
                 };
                 let before = s.decoder.stats().cost_spent;
+                let decode_timer = self.telemetry.timer();
                 match s.decoder.decode_closure(p.meta.seq) {
                     Ok(frames) => {
+                        self.telemetry
+                            .record(Stage::Decode, frames.len() as u64, decode_timer);
                         budget.charge(s.decoder.stats().cost_spent - before);
                         decoded_flags[idx] = true;
                         packets_decoded += 1;
                         let target = frames.last().expect("closure includes target");
+                        let infer_timer = self.telemetry.timer();
                         let result = s.model.infer(target);
+                        self.telemetry.record(Stage::Infer, 1, infer_timer);
                         let necessary = s.judge.feedback(result);
                         events.push(FeedbackEvent {
                             stream_idx: idx,
@@ -202,8 +230,22 @@ impl NetworkedRoundSimulator {
                     }
                     Err(_) => {
                         // References were lost in transit: the packet is
-                        // stranded until the next I-frame.
+                        // stranded until the next I-frame. Only the
+                        // simulator can see this outcome, so it records the
+                        // audit entry itself.
                         undecodable += 1;
+                        self.telemetry.audit(crate::telemetry::GateAuditEntry {
+                            stream_idx: idx,
+                            round,
+                            confidence: 0.0,
+                            cost: contexts
+                                .iter()
+                                .find(|c| c.stream_idx == idx)
+                                .map(|c| c.pending_cost)
+                                .unwrap_or(0.0),
+                            kept: false,
+                            reason: crate::telemetry::AuditReason::Undecodable,
+                        });
                     }
                 }
             }
@@ -223,6 +265,7 @@ impl NetworkedRoundSimulator {
             packets_decoded,
             undecodable,
             accuracy,
+            telemetry: self.telemetry.snapshot(),
         }
     }
 }

@@ -18,6 +18,7 @@ use crate::budget::RoundBudget;
 use crate::gate::{FeedbackEvent, GatePolicy, PacketContext};
 use crate::metrics::RoundSimReport;
 use crate::round::SimConfig;
+use crate::telemetry::{Stage, Telemetry};
 
 struct ReplayStream {
     packets: Vec<Packet>,
@@ -33,6 +34,7 @@ struct ReplayStream {
 pub struct ReplaySimulator {
     streams: Vec<ReplayStream>,
     config: SimConfig,
+    telemetry: Telemetry,
 }
 
 impl ReplaySimulator {
@@ -63,7 +65,18 @@ impl ReplaySimulator {
                 }
             })
             .collect();
-        ReplaySimulator { streams, config }
+        ReplaySimulator {
+            streams,
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a telemetry handle (see
+    /// [`RoundSimulator::with_telemetry`](crate::round::RoundSimulator::with_telemetry)).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Rounds available: the shortest stream's length.
@@ -79,6 +92,7 @@ impl ReplaySimulator {
     pub fn run(mut self, gate: &mut dyn GatePolicy, max_rounds: u64) -> RoundSimReport {
         let rounds = self.rounds_available().min(max_rounds);
         let m = self.streams.len();
+        gate.attach_telemetry(self.telemetry.clone());
         let mut budget = RoundBudget::new(self.config.budget_per_round);
         let mut accuracy = OnlineAccuracy::with_segments(self.config.segments);
         let mut staleness = OnlineAccuracy::with_segments(self.config.segments);
@@ -94,6 +108,7 @@ impl ReplaySimulator {
             let mut contexts = Vec::with_capacity(m);
             let mut necessity = vec![false; m];
             let mut truths = Vec::with_capacity(m);
+            let parse_timer = self.telemetry.timer();
             for (i, s) in self.streams.iter_mut().enumerate() {
                 // Re-stamp the stream id so multi-file replays don't clash.
                 let mut packet = s.packets[round as usize].clone();
@@ -121,7 +136,12 @@ impl ReplaySimulator {
                 });
             }
 
+            self.telemetry.record(Stage::Parse, m as u64, parse_timer);
+
+            let gate_timer = self.telemetry.timer();
             let selection = gate.select(round, &contexts, budget.per_round);
+            self.telemetry
+                .record(Stage::Gate, contexts.len() as u64, gate_timer);
             let mut decoded_flags = vec![false; m];
             let mut events = Vec::new();
             for idx in selection {
@@ -136,15 +156,20 @@ impl ReplaySimulator {
                 let before = s.decoder.stats().cost_spent;
                 // A damaged/lossy file may be missing references; treat
                 // such packets as stranded rather than crashing the replay.
+                let decode_timer = self.telemetry.timer();
                 let Ok(frames) = s.decoder.decode_closure(seq) else {
                     continue;
                 };
+                self.telemetry
+                    .record(Stage::Decode, frames.len() as u64, decode_timer);
                 budget.charge(s.decoder.stats().cost_spent - before);
                 decoded_flags[idx] = true;
                 packets_decoded += 1;
                 packets_backfilled += (frames.len() - 1) as u64;
                 let target = frames.last().expect("closure includes target");
+                let infer_timer = self.telemetry.timer();
                 let result = s.model.infer(target);
+                self.telemetry.record(Stage::Infer, 1, infer_timer);
                 s.published = Some(result);
                 events.push(FeedbackEvent {
                     stream_idx: idx,
@@ -179,6 +204,7 @@ impl ReplaySimulator {
             staleness,
             necessary_total,
             necessary_decoded,
+            telemetry: self.telemetry.snapshot(),
         }
     }
 }

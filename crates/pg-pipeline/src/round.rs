@@ -31,6 +31,7 @@ use pg_scene::{generator_for, SceneGenerator, SceneState, TaskKind};
 use crate::budget::RoundBudget;
 use crate::gate::{FeedbackEvent, GatePolicy, PacketContext};
 use crate::metrics::RoundSimReport;
+use crate::telemetry::{Stage, Telemetry};
 
 /// Specification of one stream for the simulator.
 pub struct StreamSpec {
@@ -108,6 +109,7 @@ struct StreamState {
 pub struct RoundSimulator {
     streams: Vec<StreamState>,
     config: SimConfig,
+    telemetry: Telemetry,
 }
 
 impl RoundSimulator {
@@ -129,7 +131,20 @@ impl RoundSimulator {
                 }
             })
             .collect();
-        RoundSimulator { streams, config }
+        RoundSimulator {
+            streams,
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a telemetry handle: per-stage latencies/counters are recorded
+    /// for every round and a snapshot rides along on the final report. The
+    /// same handle is passed to the gate so telemetry-aware policies can
+    /// feed the audit ring.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Convenience: `m` homogeneous streams of `task`.
@@ -149,6 +164,7 @@ impl RoundSimulator {
     /// Run `rounds` rounds under `gate` and report.
     pub fn run(mut self, gate: &mut dyn GatePolicy, rounds: u64) -> RoundSimReport {
         let m = self.streams.len();
+        gate.attach_telemetry(self.telemetry.clone());
         let mut budget = RoundBudget::new(self.config.budget_per_round);
         let mut accuracy = OnlineAccuracy::with_segments(self.config.segments);
         let mut staleness = OnlineAccuracy::with_segments(self.config.segments);
@@ -167,6 +183,7 @@ impl RoundSimulator {
             contexts.clear();
 
             // 1-2. Generate, encode, ingest; build gate contexts.
+            let parse_timer = self.telemetry.timer();
             for (i, s) in self.streams.iter_mut().enumerate() {
                 let frame = s.generator.next_frame();
                 // Paper necessity: count change / event active (§5.1).
@@ -194,8 +211,13 @@ impl RoundSimulator {
                 });
             }
 
+            self.telemetry.record(Stage::Parse, m as u64, parse_timer);
+
             // 3. Policy decision.
+            let gate_timer = self.telemetry.timer();
             let selection = gate.select(round, &contexts, budget.per_round);
+            self.telemetry
+                .record(Stage::Gate, contexts.len() as u64, gate_timer);
 
             // 4-5. Decode in priority order until the budget runs out; infer
             // and collect feedback.
@@ -211,10 +233,13 @@ impl RoundSimulator {
                 let s = &mut self.streams[idx];
                 let seq = contexts[idx].meta.seq;
                 let before = s.decoder.stats().cost_spent;
+                let decode_timer = self.telemetry.timer();
                 let frames = s
                     .decoder
                     .decode_closure(seq)
                     .expect("closure of an ingested packet is decodable");
+                self.telemetry
+                    .record(Stage::Decode, frames.len() as u64, decode_timer);
                 budget.charge(s.decoder.stats().cost_spent - before);
                 decoded_flags[idx] = true;
                 packets_decoded += 1;
@@ -222,7 +247,9 @@ impl RoundSimulator {
 
                 let target = frames.last().expect("closure includes the target");
                 debug_assert_eq!(target.seq, seq);
+                let infer_timer = self.telemetry.timer();
                 let result = s.model.infer(target);
+                self.telemetry.record(Stage::Infer, 1, infer_timer);
                 s.published = Some(result);
                 let necessary_fb = s.judge.feedback(result);
                 events.push(FeedbackEvent {
@@ -263,6 +290,7 @@ impl RoundSimulator {
             staleness,
             necessary_total,
             necessary_decoded,
+            telemetry: self.telemetry.snapshot(),
         }
     }
 }

@@ -77,6 +77,7 @@ mod tests {
             staleness: OnlineAccuracy::with_segments(1),
             necessary_total: 0,
             necessary_decoded: 0,
+            telemetry: None,
         }
     }
 

@@ -1,0 +1,596 @@
+//! Pipeline observability: per-stage telemetry and a gate-decision audit
+//! log.
+//!
+//! Every execution mode of this crate moves packets through the same four
+//! conceptual stages — **parse → gate → decode → infer** — but until now
+//! only aggregate totals survived a run. This module adds a cheap,
+//! shareable [`Telemetry`] handle that stages thread through their hot
+//! loops:
+//!
+//! * per-stage **item counters** and **latency histograms** (fixed
+//!   power-of-two microsecond buckets, atomic increments, no allocation on
+//!   the hot path);
+//! * a bounded **gate-decision audit ring** recording, per candidate
+//!   packet, the stream, round, gating confidence, closure cost and the
+//!   kept/dropped reason — fed by telemetry-aware policies (PacketGame's
+//!   combinatorial optimizer) via [`GatePolicy::attach_telemetry`];
+//! * an immutable [`TelemetrySnapshot`] that serializes to JSON (the
+//!   `pgv … --telemetry-json` flag) and rides along on simulation reports.
+//!
+//! A disabled handle ([`Telemetry::disabled`]) is a `None` behind an
+//! `Option<Arc<…>>`: every hook is a single branch, no clock is read, and
+//! nothing is allocated, so instrumented code pays effectively nothing
+//! when observability is off (asserted by `pg-bench`'s overhead test).
+//!
+//! [`GatePolicy::attach_telemetry`]: crate::gate::GatePolicy::attach_telemetry
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// The four pipeline stages every execution mode shares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Byte/packet parsing (or packet arrival assembly in the round
+    /// simulators).
+    Parse,
+    /// The gating decision (`GatePolicy::select`).
+    Gate,
+    /// Decoding of selected dependency closures.
+    Decode,
+    /// Downstream inference on decoded target frames.
+    Infer,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 4] = [Stage::Parse, Stage::Gate, Stage::Decode, Stage::Infer];
+
+    /// Stable lowercase stage name (used as the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Gate => "gate",
+            Stage::Decode => "decode",
+            Stage::Infer => "infer",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Parse => 0,
+            Stage::Gate => 1,
+            Stage::Decode => 2,
+            Stage::Infer => 3,
+        }
+    }
+}
+
+/// Number of latency histogram buckets. Bucket `0` holds sub-microsecond
+/// samples; bucket `k` holds `[2^(k-1), 2^k)` µs; the last bucket is the
+/// overflow bucket (everything ≥ ~0.5 s).
+pub const HISTOGRAM_BUCKETS: usize = 21;
+
+/// Bucket index for a latency of `us` microseconds.
+pub fn bucket_index(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        ((64 - us.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` in microseconds (`u64::MAX` for the
+/// overflow bucket).
+pub fn bucket_upper_us(i: usize) -> u64 {
+    if i + 1 >= HISTOGRAM_BUCKETS {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// Per-stage accumulator: counters plus the latency histogram. All fields
+/// are relaxed atomics — stages on different threads update concurrently
+/// without locks.
+struct StageCell {
+    /// Timed spans recorded.
+    calls: AtomicU64,
+    /// Items moved across all spans (packets, frames, candidates...).
+    items: AtomicU64,
+    /// Sum of span latencies, µs (mean = total/calls).
+    total_us: AtomicU64,
+    /// Power-of-two latency buckets.
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl StageCell {
+    fn new() -> Self {
+        StageCell {
+            calls: AtomicU64::new(0),
+            items: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, items: u64, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.items.fetch_add(items, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Why a gate kept or dropped a candidate packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AuditReason {
+    /// Selected by the policy within the budget.
+    Selected,
+    /// Would have been selected but the round budget was already spent.
+    BudgetExhausted,
+    /// Ranked below the selection cut for a non-budget reason (policy
+    /// choice).
+    NotSelected,
+    /// Selected but undecodable (references lost in transit).
+    Undecodable,
+}
+
+/// One gate decision, as recorded in the audit ring.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GateAuditEntry {
+    /// Stream the candidate packet belongs to.
+    pub stream_idx: usize,
+    /// Round of the decision.
+    pub round: u64,
+    /// The policy's gating confidence for the packet (exploration bonus
+    /// included). `0.0` for policies that do not score candidates.
+    pub confidence: f64,
+    /// Decode cost of the packet's pending dependency closure.
+    pub cost: f64,
+    /// `true` if the packet was sent to the decoder.
+    pub kept: bool,
+    /// Why.
+    pub reason: AuditReason,
+}
+
+/// Fixed-capacity ring of the most recent gate decisions.
+struct AuditRing {
+    capacity: usize,
+    entries: Vec<GateAuditEntry>,
+    /// Index the next entry overwrites once the ring is full.
+    next: usize,
+}
+
+impl AuditRing {
+    fn push(&mut self, entry: GateAuditEntry) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        } else if self.capacity > 0 {
+            self.entries[self.next] = entry;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Entries oldest-first.
+    fn chronological(&self) -> Vec<GateAuditEntry> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        out.extend_from_slice(&self.entries[self.next..]);
+        out.extend_from_slice(&self.entries[..self.next]);
+        out
+    }
+}
+
+struct TelemetryInner {
+    stages: [StageCell; 4],
+    gate_kept: AtomicU64,
+    gate_dropped: AtomicU64,
+    /// Total audit entries ever pushed (the ring only retains the tail).
+    audit_total: AtomicU64,
+    audit: Mutex<AuditRing>,
+}
+
+/// Default audit-ring capacity: enough for several rounds of a large
+/// deployment without unbounded growth.
+pub const DEFAULT_AUDIT_CAPACITY: usize = 256;
+
+/// A cheap-to-clone telemetry handle shared by all pipeline stages.
+///
+/// Disabled handles carry no allocation and make every hook a single
+/// branch; enabled handles share one atomic accumulator via `Arc`.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Option<Arc<TelemetryInner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+impl Telemetry {
+    /// A disabled handle: every hook is a no-op branch.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle with the default audit-ring capacity.
+    pub fn enabled() -> Self {
+        Self::with_audit_capacity(DEFAULT_AUDIT_CAPACITY)
+    }
+
+    /// An enabled handle retaining at most `capacity` audit entries.
+    pub fn with_audit_capacity(capacity: usize) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(TelemetryInner {
+                stages: std::array::from_fn(|_| StageCell::new()),
+                gate_kept: AtomicU64::new(0),
+                gate_dropped: AtomicU64::new(0),
+                audit_total: AtomicU64::new(0),
+                audit: Mutex::new(AuditRing {
+                    capacity,
+                    entries: Vec::with_capacity(capacity.min(1024)),
+                    next: 0,
+                }),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Start a stage timer. Returns `None` (and reads no clock) when
+    /// disabled; pass the result to [`Telemetry::record`].
+    #[inline]
+    pub fn timer(&self) -> Option<Instant> {
+        if self.inner.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Record a timed span begun with [`Telemetry::timer`]. `items` is how
+    /// many packets/frames/candidates the span moved.
+    #[inline]
+    pub fn record(&self, stage: Stage, items: u64, started: Option<Instant>) {
+        if let (Some(inner), Some(t0)) = (&self.inner, started) {
+            inner.stages[stage.index()].record(items, t0.elapsed());
+        }
+    }
+
+    /// Record a span with an externally measured duration (for stages that
+    /// already keep their own clock).
+    #[inline]
+    pub fn record_duration(&self, stage: Stage, items: u64, elapsed: Duration) {
+        if let Some(inner) = &self.inner {
+            inner.stages[stage.index()].record(items, elapsed);
+        }
+    }
+
+    /// Append a gate decision to the audit ring and bump the kept/dropped
+    /// counters.
+    pub fn audit(&self, entry: GateAuditEntry) {
+        if let Some(inner) = &self.inner {
+            if entry.kept {
+                inner.gate_kept.fetch_add(1, Ordering::Relaxed);
+            } else {
+                inner.gate_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            inner.audit_total.fetch_add(1, Ordering::Relaxed);
+            inner.audit.lock().push(entry);
+        }
+    }
+
+    /// An immutable snapshot of everything recorded so far, or `None` when
+    /// disabled. Safe to call while other threads keep recording.
+    pub fn snapshot(&self) -> Option<TelemetrySnapshot> {
+        let inner = self.inner.as_ref()?;
+        let stages = Stage::ALL
+            .iter()
+            .map(|&s| {
+                let cell = &inner.stages[s.index()];
+                let buckets: Vec<u64> = cell
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect();
+                let calls = cell.calls.load(Ordering::Relaxed);
+                let total_us = cell.total_us.load(Ordering::Relaxed);
+                StageSnapshot {
+                    stage: s.name().to_string(),
+                    calls,
+                    items: cell.items.load(Ordering::Relaxed),
+                    total_us,
+                    mean_us: if calls == 0 {
+                        0.0
+                    } else {
+                        total_us as f64 / calls as f64
+                    },
+                    p50_us: percentile_from_buckets(&buckets, 0.50),
+                    p99_us: percentile_from_buckets(&buckets, 0.99),
+                    latency_buckets: buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| c > 0)
+                        .map(|(i, &count)| LatencyBucket {
+                            le_us: bucket_upper_us(i),
+                            count,
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        let audit = inner.audit.lock().chronological();
+        Some(TelemetrySnapshot {
+            stages,
+            gate: GateSnapshot {
+                kept: inner.gate_kept.load(Ordering::Relaxed),
+                dropped: inner.gate_dropped.load(Ordering::Relaxed),
+                audit_total: inner.audit_total.load(Ordering::Relaxed),
+                audit,
+            },
+        })
+    }
+}
+
+/// Latency upper bound (inclusive, µs) for the samples counted in one
+/// histogram bucket. Only non-empty buckets are serialized.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LatencyBucket {
+    /// Bucket upper bound in µs (`u64::MAX` marks the overflow bucket).
+    pub le_us: u64,
+    /// Samples in the bucket.
+    pub count: u64,
+}
+
+/// One stage's counters and latency distribution at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageSnapshot {
+    /// Stage name (`parse`/`gate`/`decode`/`infer`).
+    pub stage: String,
+    /// Timed spans recorded.
+    pub calls: u64,
+    /// Items moved across all spans.
+    pub items: u64,
+    /// Sum of span latencies, µs.
+    pub total_us: u64,
+    /// Mean span latency, µs.
+    pub mean_us: f64,
+    /// Median span latency (bucket upper bound), µs.
+    pub p50_us: u64,
+    /// 99th-percentile span latency (bucket upper bound), µs.
+    pub p99_us: u64,
+    /// Non-empty histogram buckets.
+    pub latency_buckets: Vec<LatencyBucket>,
+}
+
+/// Gate-decision counters plus the retained audit tail.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GateSnapshot {
+    /// Candidates sent to the decoder.
+    pub kept: u64,
+    /// Candidates dropped (any reason).
+    pub dropped: u64,
+    /// Audit entries ever recorded (the ring retains only the newest).
+    pub audit_total: u64,
+    /// Retained audit entries, oldest first.
+    pub audit: Vec<GateAuditEntry>,
+}
+
+/// Everything [`Telemetry`] recorded, frozen and serializable.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TelemetrySnapshot {
+    /// Per-stage counters and histograms, in pipeline order.
+    pub stages: Vec<StageSnapshot>,
+    /// Gate decisions.
+    pub gate: GateSnapshot,
+}
+
+impl TelemetrySnapshot {
+    /// Snapshot of the named stage, if recorded.
+    pub fn stage(&self, stage: Stage) -> Option<&StageSnapshot> {
+        self.stages.iter().find(|s| s.stage == stage.name())
+    }
+}
+
+/// Bucket-resolution percentile: the upper bound of the first bucket at
+/// which the cumulative count reaches `q` of the total (0 when empty).
+fn percentile_from_buckets(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut cumulative = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        cumulative += count;
+        if cumulative >= target {
+            return bucket_upper_us(i);
+        }
+    }
+    bucket_upper_us(buckets.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(round: u64, kept: bool) -> GateAuditEntry {
+        GateAuditEntry {
+            stream_idx: round as usize % 7,
+            round,
+            confidence: 0.5,
+            cost: 1.0,
+            kept,
+            reason: if kept {
+                AuditReason::Selected
+            } else {
+                AuditReason::BudgetExhausted
+            },
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        // Everything huge lands in the overflow bucket.
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_us(HISTOGRAM_BUCKETS - 1), u64::MAX);
+        // Bucket k covers [2^(k-1), 2^k): its upper bound is 2^k.
+        for k in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_upper_us(k), 1 << k);
+            assert_eq!(bucket_index(1 << (k - 1)), k, "lower edge of bucket {k}");
+            assert_eq!(bucket_index((1 << k) - 1), k, "upper edge of bucket {k}");
+        }
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        assert!(t.timer().is_none(), "disabled timer must not read the clock");
+        t.record(Stage::Parse, 10, None);
+        t.record_duration(Stage::Gate, 5, Duration::from_micros(3));
+        t.audit(entry(0, true));
+        assert!(t.snapshot().is_none());
+    }
+
+    #[test]
+    fn stage_counters_and_histogram_accumulate() {
+        let t = Telemetry::enabled();
+        t.record_duration(Stage::Decode, 4, Duration::from_micros(3));
+        t.record_duration(Stage::Decode, 1, Duration::from_micros(100));
+        t.record_duration(Stage::Infer, 1, Duration::from_micros(0));
+        let snap = t.snapshot().expect("enabled");
+        let decode = snap.stage(Stage::Decode).expect("decode stage");
+        assert_eq!(decode.calls, 2);
+        assert_eq!(decode.items, 5);
+        assert_eq!(decode.total_us, 103);
+        assert!((decode.mean_us - 51.5).abs() < 1e-9);
+        // 3 µs → bucket [2,4) (le 4); 100 µs → bucket [64,128) (le 128).
+        assert_eq!(
+            decode.latency_buckets,
+            vec![
+                LatencyBucket { le_us: 4, count: 1 },
+                LatencyBucket { le_us: 128, count: 1 },
+            ]
+        );
+        assert_eq!(decode.p50_us, 4);
+        assert_eq!(decode.p99_us, 128);
+        let infer = snap.stage(Stage::Infer).expect("infer stage");
+        assert_eq!(infer.latency_buckets, vec![LatencyBucket { le_us: 1, count: 1 }]);
+        // Untouched stages are present with zero counts (stable shape).
+        let parse = snap.stage(Stage::Parse).expect("parse stage");
+        assert_eq!(parse.calls, 0);
+        assert_eq!(parse.p50_us, 0);
+    }
+
+    #[test]
+    fn audit_ring_wraps_and_keeps_newest() {
+        let t = Telemetry::with_audit_capacity(4);
+        for round in 0..10 {
+            t.audit(entry(round, round % 2 == 0));
+        }
+        let snap = t.snapshot().expect("enabled");
+        assert_eq!(snap.gate.audit_total, 10);
+        assert_eq!(snap.gate.kept, 5);
+        assert_eq!(snap.gate.dropped, 5);
+        let rounds: Vec<u64> = snap.gate.audit.iter().map(|e| e.round).collect();
+        assert_eq!(rounds, vec![6, 7, 8, 9], "ring keeps the newest, oldest first");
+    }
+
+    #[test]
+    fn zero_capacity_ring_still_counts() {
+        let t = Telemetry::with_audit_capacity(0);
+        for round in 0..3 {
+            t.audit(entry(round, true));
+        }
+        let snap = t.snapshot().expect("enabled");
+        assert_eq!(snap.gate.audit_total, 3);
+        assert_eq!(snap.gate.kept, 3);
+        assert!(snap.gate.audit.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_consistent_under_concurrent_writers() {
+        let t = Telemetry::with_audit_capacity(64);
+        let writers = 4u32;
+        let per_writer = 500u64;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let t = t.clone();
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        t.record_duration(Stage::Parse, 2, Duration::from_micros(i % 50));
+                        t.audit(entry(u64::from(w) * per_writer + i, i % 3 != 0));
+                    }
+                });
+            }
+            // Concurrent snapshots must never observe torn structure (they
+            // may observe partial progress).
+            for _ in 0..50 {
+                if let Some(snap) = t.snapshot() {
+                    let parse = snap.stage(Stage::Parse).expect("parse stage");
+                    let bucket_sum: u64 = parse.latency_buckets.iter().map(|b| b.count).sum();
+                    assert!(bucket_sum <= u64::from(writers) * per_writer);
+                    assert_eq!(parse.items, parse.calls * 2);
+                    assert!(snap.gate.audit.len() <= 64);
+                }
+            }
+        });
+        let snap = t.snapshot().expect("enabled");
+        let parse = snap.stage(Stage::Parse).expect("parse stage");
+        let expected = u64::from(writers) * per_writer;
+        assert_eq!(parse.calls, expected);
+        assert_eq!(parse.items, expected * 2);
+        let bucket_sum: u64 = parse.latency_buckets.iter().map(|b| b.count).sum();
+        assert_eq!(bucket_sum, expected);
+        assert_eq!(snap.gate.audit_total, expected);
+        assert_eq!(snap.gate.kept + snap.gate.dropped, expected);
+        assert_eq!(snap.gate.audit.len(), 64);
+    }
+
+    #[test]
+    fn percentiles_come_from_cumulative_counts() {
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        buckets[3] = 98; // ≤ 8 µs
+        buckets[10] = 2; // ≤ 1024 µs
+        assert_eq!(percentile_from_buckets(&buckets, 0.50), bucket_upper_us(3));
+        assert_eq!(percentile_from_buckets(&buckets, 0.99), bucket_upper_us(10));
+        assert_eq!(percentile_from_buckets(&[0; 4], 0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let t = Telemetry::with_audit_capacity(2);
+        t.record_duration(Stage::Gate, 3, Duration::from_micros(7));
+        t.audit(entry(1, true));
+        let snap = t.snapshot().expect("enabled");
+        let json = serde_json::to_string_pretty(&snap).expect("snapshot serializes");
+        assert!(json.contains("\"stage\": \"gate\""));
+        assert!(json.contains("\"reason\": \"Selected\""));
+        assert!(json.contains("\"audit_total\": 1"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Golden-schema test for the telemetry JSON emitted by
+//! `pgv gate --telemetry-json` / `pgv netsim --telemetry-json`.
+//!
+//! The CLI serializes [`TelemetrySnapshot`] with `serde_json`; downstream
+//! tooling (dashboards, the bench harness) reads that shape, so it is a
+//! public contract. This test runs a small simulation with an auditing
+//! gate, re-parses the emitted JSON generically, and asserts every field
+//! the contract promises:
+//!
+//! ```text
+//! {
+//!   "stages": [ { "stage", "calls", "items", "total_us", "mean_us",
+//!                 "p50_us", "p99_us", "latency_buckets": [{"le_us","count"}] } x4 ],
+//!   "gate":   { "kept", "dropped", "audit_total",
+//!               "audit": [ { "stream_idx", "round", "confidence",
+//!                            "cost", "kept", "reason" } ] }
+//! }
+//! ```
+
+use pg_codec::{Codec, EncoderConfig};
+use pg_pipeline::gate::{FeedbackEvent, GatePolicy, PacketContext};
+use pg_pipeline::round::{RoundSimulator, SimConfig, StreamSpec};
+use pg_pipeline::telemetry::{AuditReason, GateAuditEntry, Telemetry};
+use pg_scene::TaskKind;
+use serde::Value;
+
+/// A keep-first-half gate that audits every decision, standing in for
+/// PacketGame (which lives upstream of this crate).
+struct AuditingGate {
+    telemetry: Telemetry,
+}
+
+impl GatePolicy for AuditingGate {
+    fn name(&self) -> &'static str {
+        "auditing-test-gate"
+    }
+    fn select(&mut self, round: u64, candidates: &[PacketContext], _budget: f64) -> Vec<usize> {
+        let keep = candidates.len() / 2;
+        for (i, c) in candidates.iter().enumerate() {
+            self.telemetry.audit(GateAuditEntry {
+                stream_idx: c.stream_idx,
+                round,
+                confidence: 1.0 - i as f64 / candidates.len().max(1) as f64,
+                cost: c.pending_cost,
+                kept: i < keep,
+                reason: if i < keep {
+                    AuditReason::Selected
+                } else {
+                    AuditReason::NotSelected
+                },
+            });
+        }
+        (0..keep).collect()
+    }
+    fn feedback(&mut self, _events: &[FeedbackEvent]) {}
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+}
+
+fn emitted_json() -> String {
+    let specs: Vec<StreamSpec> = (0..4)
+        .map(|i| {
+            StreamSpec::new(
+                TaskKind::AnomalyDetection,
+                100 + i,
+                EncoderConfig::new(Codec::H264).with_gop(12),
+            )
+        })
+        .collect();
+    let mut gate = AuditingGate {
+        telemetry: Telemetry::disabled(),
+    };
+    let report = RoundSimulator::new(specs, SimConfig::default())
+        .with_telemetry(Telemetry::enabled())
+        .run(&mut gate, 30);
+    let snapshot = report.telemetry.expect("telemetry enabled");
+    serde_json::to_string_pretty(&snapshot).expect("snapshot serializes")
+}
+
+fn require<'a>(v: &'a Value, key: &str) -> &'a Value {
+    v.get(key)
+        .unwrap_or_else(|| panic!("missing key {key:?} in {v:?}"))
+}
+
+#[test]
+fn telemetry_json_matches_the_documented_schema() {
+    let json = emitted_json();
+    let root: Value = serde_json::from_str(&json).expect("emitted JSON parses");
+
+    // Four stages, in pipeline order, each with the full counter set.
+    let stages = require(&root, "stages").as_array().expect("stages array");
+    let names: Vec<&str> = stages
+        .iter()
+        .map(|s| require(s, "stage").as_str().expect("stage name"))
+        .collect();
+    assert_eq!(names, ["parse", "gate", "decode", "infer"]);
+    for s in stages {
+        let calls = require(s, "calls").as_u64().expect("calls");
+        let items = require(s, "items").as_u64().expect("items");
+        assert!(calls > 0, "every stage ran: {s:?}");
+        assert!(items > 0, "every stage processed items: {s:?}");
+        require(s, "total_us").as_u64().expect("total_us");
+        require(s, "mean_us").as_f64().expect("mean_us");
+        require(s, "p50_us").as_u64().expect("p50_us");
+        require(s, "p99_us").as_u64().expect("p99_us");
+        let buckets = require(s, "latency_buckets")
+            .as_array()
+            .expect("latency_buckets");
+        assert!(!buckets.is_empty(), "timed stages have histogram mass");
+        let total: u64 = buckets
+            .iter()
+            .map(|b| require(b, "count").as_u64().expect("count"))
+            .sum();
+        assert_eq!(total, calls, "histogram mass equals span count");
+        for b in buckets {
+            let le = require(b, "le_us").as_u64().expect("le_us");
+            assert!(le == u64::MAX || le.is_power_of_two(), "bucket edge {le}");
+        }
+    }
+
+    // Gate block: totals plus the audit tail with one full entry per
+    // decision.
+    let gate = require(&root, "gate");
+    let kept = require(gate, "kept").as_u64().expect("kept");
+    let dropped = require(gate, "dropped").as_u64().expect("dropped");
+    let audit_total = require(gate, "audit_total").as_u64().expect("audit_total");
+    assert_eq!(kept + dropped, audit_total);
+    assert_eq!(audit_total, 4 * 30, "one decision per stream per round");
+
+    let audit = require(gate, "audit").as_array().expect("audit array");
+    assert!(!audit.is_empty(), "at least one audit entry retained");
+    for e in audit {
+        require(e, "stream_idx").as_u64().expect("stream_idx");
+        require(e, "round").as_u64().expect("round");
+        let conf = require(e, "confidence").as_f64().expect("confidence");
+        assert!((0.0..=1.0).contains(&conf));
+        assert!(require(e, "cost").as_f64().expect("cost") >= 0.0);
+        let kept = require(e, "kept").as_bool().expect("kept");
+        let reason = require(e, "reason").as_str().expect("reason");
+        match reason {
+            "Selected" => assert!(kept),
+            "NotSelected" | "BudgetExhausted" | "Undecodable" => assert!(!kept),
+            other => panic!("unknown audit reason {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn telemetry_json_is_stable_across_identical_runs() {
+    // Counters are deterministic; only latency values vary run-to-run. The
+    // *schema* (key set, stage order, audit length) must be identical.
+    let a: Value = serde_json::from_str(&emitted_json()).unwrap();
+    let b: Value = serde_json::from_str(&emitted_json()).unwrap();
+    let shape = |v: &Value| {
+        let stages = require(v, "stages").as_array().unwrap();
+        let gate = require(v, "gate");
+        (
+            stages
+                .iter()
+                .map(|s| {
+                    (
+                        require(s, "stage").as_str().unwrap().to_string(),
+                        require(s, "calls").as_u64().unwrap(),
+                        require(s, "items").as_u64().unwrap(),
+                    )
+                })
+                .collect::<Vec<_>>(),
+            require(gate, "kept").as_u64().unwrap(),
+            require(gate, "dropped").as_u64().unwrap(),
+            require(gate, "audit").as_array().unwrap().len(),
+        )
+    };
+    assert_eq!(shape(&a), shape(&b));
+}

@@ -8,7 +8,7 @@
 //! activity scale and diurnal phase shift: dining halls peak at meal times,
 //! apartments in the evening, lab buildings during working hours.
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 use crate::anomaly::{AnomalySceneConfig, AnomalySceneGen};
 use crate::person::{PersonSceneConfig, PersonSceneGen};
@@ -17,7 +17,7 @@ use crate::scenario::TaskKind;
 use crate::SceneGenerator;
 
 /// One campus zone: a named group of cameras with shared traffic character.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CampusZone {
     /// Zone name as in the paper's Fig. 8.
     pub name: &'static str,
@@ -70,7 +70,7 @@ pub const CAMPUS_ZONES: [CampusZone; 5] = [
 pub const CAMPUS_CAMERA_COUNT: usize = 1108;
 
 /// Specification of a single camera in the fleet.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CameraSpec {
     /// Fleet-wide camera id, `0..fleet.len()`.
     pub id: usize,

@@ -11,3 +11,8 @@ pub use pg_nn;
 pub use pg_pipeline;
 pub use pg_scene;
 pub use pg_net;
+
+// Observability surface, re-exported for direct use by downstream tools.
+pub use pg_pipeline::telemetry::{
+    AuditReason, GateAuditEntry, Stage, Telemetry, TelemetrySnapshot,
+};

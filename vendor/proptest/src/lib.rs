@@ -1,0 +1,412 @@
+//! Minimal API-compatible shim for the `proptest` crate (offline build).
+//!
+//! Deterministic by construction: each test's RNG seed is derived from the
+//! test name, so every run explores the same cases — there is no persisted
+//! failure file and no shrinking. A failing case reports its index and seed.
+//!
+//! Supported surface (what this workspace uses): the `proptest!` macro with
+//! an optional `#![proptest_config(...)]` header, `prop_assert!` /
+//! `prop_assert_eq!`, `prop_oneof!`, `Just`, integer/float range
+//! strategies, `any::<T>()`, and `proptest::collection::vec`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Uniform choice among boxed alternatives; built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// An empty union (sampling panics until an option is added).
+    pub fn empty() -> Union<T> {
+        Union { options: Vec::new() }
+    }
+
+    /// Add one alternative.
+    pub fn or(mut self, strategy: impl Strategy<Value = T> + 'static) -> Union<T> {
+        self.options.push(Box::new(strategy));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "prop_oneof! needs at least one option");
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].sample(rng)
+    }
+}
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: core::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Canonical strategy for a type: `any::<bool>()` etc.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: core::marker::PhantomData }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Acceptable length arguments to [`vec`]: a fixed `usize`, `a..b`, or
+    /// `a..=b`.
+    pub trait IntoSizeRange {
+        /// `(min, max_exclusive)` bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    /// `Vec` strategy: each element drawn from `element`, length from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max_exclusive) = size.bounds();
+        assert!(min < max_exclusive, "empty size range for collection::vec");
+        VecStrategy { element, min, max_exclusive }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.min..self.max_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration; construct with
+/// `ProptestConfig::with_cases(n)` or rely on the 64-case default.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A property failure inside one case; created by `prop_assert!`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Drives a property over `config.cases` deterministic cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Runner whose RNG stream is a pure function of the test name.
+    pub fn new(config: ProptestConfig, name: &'static str) -> TestRunner {
+        // FNV-1a over the name: stable across runs, platforms, and rustc
+        // versions, so the explored cases never change.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner { config, name, base_seed: h }
+    }
+
+    /// Run `case` once per configured case; returns the first failure.
+    pub fn run<F>(&mut self, mut case: F) -> Result<(), String>
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for i in 0..self.config.cases {
+            let seed = self
+                .base_seed
+                .wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Err(e) = case(&mut rng) {
+                return Err(format!(
+                    "property `{}` failed at case {}/{} (seed {seed:#x}): {e}",
+                    self.name, i + 1, self.config.cases
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestRunner,
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let union = $crate::Union::empty();
+        $(let union = union.or($strategy);)+
+        union
+    }};
+}
+
+/// Define deterministic property tests. Mirrors upstream's surface: an
+/// optional `#![proptest_config(expr)]` header, then `#[test] fn name(arg
+/// in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner =
+                $crate::TestRunner::new($config, stringify!($name));
+            let outcome = runner.run(|__rng| {
+                $(let $arg = $crate::Strategy::sample(&($strategy), __rng);)+
+                let __case_result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                __case_result
+            });
+            if let ::core::result::Result::Err(message) = outcome {
+                panic!("{}", message);
+            }
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn runner_is_deterministic() {
+        let collect = |tag: &'static str| {
+            let mut seen = Vec::new();
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(10), tag);
+            runner
+                .run(|rng| {
+                    seen.push(Strategy::sample(&(0u64..1000), rng));
+                    Ok(())
+                })
+                .unwrap();
+            seen
+        };
+        assert_eq!(collect("alpha"), collect("alpha"));
+        assert_ne!(collect("alpha"), collect("beta"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn range_strategies_in_bounds(x in 3u32..9, y in -2.0f64..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert_eq!(x, x);
+        }
+
+        #[test]
+        fn oneof_and_vec_work(
+            pick in prop_oneof![Just(1u8), Just(2), Just(3)],
+            items in crate::collection::vec(any::<bool>(), 2..6),
+        ) {
+            prop_assert!((1..=3).contains(&pick));
+            prop_assert!((2..6).contains(&items.len()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_block_compiles(n in 0usize..5) {
+            prop_assert!(n < 5);
+        }
+    }
+
+    #[test]
+    fn failure_reports_case_and_seed() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(5), "doomed");
+        let err = runner
+            .run(|_rng| Err(TestCaseError::fail("boom")))
+            .unwrap_err();
+        assert!(err.contains("doomed"));
+        assert!(err.contains("case 1/5"));
+        assert!(err.contains("boom"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal API-compatible shim for the `rand_distr` crate (offline build).
+//!
+//! Provides [`Distribution`], [`Normal`] and [`LogNormal`] — the only
+//! distributions the workspace samples. Normal variates use Box–Muller.
+
+use rand::{RngCore, StandardSample};
+
+/// Types that can be sampled from a distribution.
+pub trait Distribution<T> {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F = f64> {
+    mean: F,
+    std_dev: F,
+}
+
+impl Normal<f64> {
+    /// Normal with the given mean and standard deviation.
+    ///
+    /// Errors if either parameter is non-finite or `std_dev < 0`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal<f64>, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// Standard normal variate via Box–Muller (one of the pair).
+    #[inline]
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // u1 in (0, 1]: shift the [0,1) sample away from zero.
+        let u1 = 1.0 - <f64 as StandardSample>::sample_standard(rng);
+        let u2 = <f64 as StandardSample>::sample_standard(rng);
+        (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * Normal::standard(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F = f64> {
+    normal: Normal<F>,
+}
+
+impl LogNormal<f64> {
+    /// Log-normal whose underlying normal has mean `mu` and standard
+    /// deviation `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal<f64>, Error> {
+        Ok(LogNormal {
+            normal: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 60_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_std_is_degenerate() {
+        let d = Normal::new(5.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_unit_median() {
+        let d = LogNormal::new(0.0, 0.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let mut below = 0usize;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!(x > 0.0);
+            if x < 1.0 {
+                below += 1;
+            }
+        }
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "median fraction {frac}");
+    }
+}

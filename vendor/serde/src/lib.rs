@@ -1,0 +1,562 @@
+//! Minimal API-compatible shim for the `serde` crate (offline build).
+//!
+//! Instead of serde's visitor-based data model, both traits round-trip
+//! through an in-memory [`Value`] tree (the only consumer in this workspace
+//! is the sibling `serde_json` shim, which prints/parses that tree).
+//! The derive macros are re-exported from the in-tree `serde_derive` shim.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// In-memory JSON-like document tree shared by `Serialize`/`Deserialize`
+/// and the `serde_json` shim.
+///
+/// Objects are ordered `(key, value)` pairs so serialized output is
+/// deterministic and follows field declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integer (positive integers use [`Value::U64`]).
+    I64(i64),
+    /// Non-negative integer.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// `true` for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Integer payload as `i64`, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Integer payload as `u64`, if non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::I64(v) => Some(*v as f64),
+            Value::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array payload.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object payload as ordered pairs.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Member lookup: `Some(&value)` if this is an object containing `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Indexed lookup for arrays.
+    pub fn get_index(&self, idx: usize) -> Option<&Value> {
+        match self {
+            Value::Array(a) => a.get(idx),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// `value["key"]`, yielding `Value::Null` when absent (serde_json
+    /// semantics).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        self.get_index(idx).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::from(v as i64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        if v >= 0 {
+            Value::U64(v as u64)
+        } else {
+            Value::I64(v)
+        }
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+/// Types serializable into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to a document tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct from a document tree.
+    fn from_value(value: &Value) -> Result<Self, de::Error>;
+}
+
+/// Deserialization errors and the helper functions the derive macro emits
+/// calls to.
+pub mod de {
+    use super::Value;
+
+    /// Deserialization error with a human-readable message.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// Error with an arbitrary message.
+        pub fn custom<T: std::fmt::Display>(msg: T) -> Error {
+            Error { msg: msg.to_string() }
+        }
+
+        /// Error for an unrecognized enum variant tag.
+        pub fn unknown_variant(enum_name: &str, tag: &str) -> Error {
+            Error::custom(format!("unknown variant `{tag}` for enum {enum_name}"))
+        }
+
+        /// Error for a shape mismatch at `context`.
+        pub fn type_mismatch(context: &str, expected: &str, got: &Value) -> Error {
+            let kind = match got {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::I64(_) | Value::U64(_) => "integer",
+                Value::F64(_) => "number",
+                Value::String(_) => "string",
+                Value::Array(_) => "array",
+                Value::Object(_) => "object",
+            };
+            Error::custom(format!("{context}: expected {expected}, got {kind}"))
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Look up a struct field inside an object; a missing key yields
+    /// `Value::Null` so `Option<T>` fields deserialize to `None`.
+    pub fn field<'a>(value: &'a Value, type_name: &str, name: &str) -> Result<&'a Value, Error> {
+        match value {
+            Value::Object(_) => Ok(value.get(name).unwrap_or(&super::NULL)),
+            other => Err(Error::type_mismatch(type_name, "object", other)),
+        }
+    }
+
+    /// Expect an array of exactly `len` elements.
+    pub fn array<'a>(value: &'a Value, context: &str, len: usize) -> Result<&'a Vec<Value>, Error> {
+        match value {
+            Value::Array(a) if a.len() == len => Ok(a),
+            Value::Array(a) => Err(Error::custom(format!(
+                "{context}: expected {len} elements, got {}",
+                a.len()
+            ))),
+            other => Err(Error::type_mismatch(context, "array", other)),
+        }
+    }
+}
+
+// ------------------------------------------------------------ std impls
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Value, de::Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<bool, de::Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| de::Error::type_mismatch("bool", "bool", value))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::from(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, de::Error> {
+                value
+                    .as_i64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| de::Error::type_mismatch(stringify!($t), "integer", value))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, de::Error> {
+                value
+                    .as_u64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| de::Error::type_mismatch(stringify!($t), "integer", value))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<f64, de::Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| de::Error::type_mismatch("f64", "number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<f32, de::Error> {
+        Ok(f64::from_value(value)? as f32)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<String, de::Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| de::Error::type_mismatch("String", "string", value))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Option<T>, de::Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self[..].to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self[..].to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Vec<T>, de::Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::Error::type_mismatch("Vec", "array", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                let arr = de::array(value, "tuple", $len)?;
+                Ok(($($t::from_value(&arr[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(de::Error::type_mismatch("BTreeMap", "object", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys so serialized output is deterministic.
+        let mut pairs: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(de::Error::type_mismatch("HashMap", "object", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_distinguishes_null() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::U64(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn tuple_round_trip() {
+        let v = (3u64, 4u64).to_value();
+        assert_eq!(<(u64, u64)>::from_value(&v).unwrap(), (3, 4));
+    }
+
+    #[test]
+    fn index_missing_key_is_null() {
+        let v = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert!(v["missing"].is_null());
+        assert_eq!(v["a"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn numeric_cross_width() {
+        assert_eq!(u32::from_value(&Value::U64(7)).unwrap(), 7);
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+        assert_eq!(f64::from_value(&Value::U64(2)).unwrap(), 2.0);
+        assert_eq!(i64::from_value(&Value::U64(9)).unwrap(), 9);
+    }
+
+    #[test]
+    fn missing_struct_field_reads_as_null() {
+        let v = Value::Object(vec![]);
+        let f = de::field(&v, "T", "x").unwrap();
+        assert!(f.is_null());
+        assert!(de::field(&Value::U64(1), "T", "x").is_err());
+    }
+}

@@ -1,0 +1,377 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` shim for the offline build.
+//!
+//! Parses the item structurally from the raw token stream (no `syn`/`quote`
+//! available offline) and emits impls of the in-tree `serde` shim traits,
+//! which round-trip through an in-memory `serde::Value` tree.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! named structs, unit structs, tuple structs, and enums with unit, tuple
+//! and struct variants (serde's externally-tagged representation).
+//! `#[serde(...)]` attributes and generic parameters are intentionally
+//! unsupported; the derive panics with a clear message if it meets one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    UnitStruct,
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    let body = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde_derive: malformed struct `{name}`: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, body }
+}
+
+/// Skip any `#[...]` attributes (doc comments included) and a leading
+/// visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then bracketed group
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip one type (or expression) up to a top-level `,`, tracking `<`/`>`
+/// depth so commas inside generic arguments don't terminate early.
+/// Consumes the trailing comma if present.
+fn skip_to_field_end(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(tok) = toks.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_to_field_end(&toks, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        n += 1;
+        skip_to_field_end(&toks, &mut i);
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Struct(parse_named_fields(g.stream()));
+                i += 1;
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_to_field_end(&toks, &mut i);
+        } else if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__fields.push((String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__fields)");
+            s
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(String::from(\"{vname}\")),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![(String::from(\"{vname}\"), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("{f}: __{f}")).collect();
+                        let mut inner = String::from(
+                            "{ let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fields.push((String::from(\"{f}\"), ::serde::Serialize::to_value(__{f})));\n"
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Object(__fields) }");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![(String::from(\"{vname}\"), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => {
+            format!("let _ = __value;\n::core::result::Result::Ok({name})")
+        }
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::de::field(__value, \"{name}\", \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+        ),
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                .collect();
+            format!(
+                "let __arr = ::serde::de::array(__value, \"{name}\", {n})?;\n\
+                 ::core::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let __arr = ::serde::de::array(__inner, \"{name}::{vname}\", {n})?;\n\
+                             ::core::result::Result::Ok({name}::{vname}({})) }}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::de::field(__inner, \"{name}::{vname}\", \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::core::result::Result::Err(::serde::de::Error::unknown_variant(\"{name}\", __other)),\n\
+                     }},\n\
+                     ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__pairs[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\
+                             __other => ::core::result::Result::Err(::serde::de::Error::unknown_variant(\"{name}\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::core::result::Result::Err(::serde::de::Error::type_mismatch(\"{name}\", \"enum tag\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::core::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
