@@ -43,14 +43,22 @@ impl StreamWindows {
         target.push_back(embedded_size);
     }
 
-    /// View as a fixed-length vector: zero-padded at the *front* so the
-    /// most recent packet is always the last element.
+    /// Write a window into `dst` as a fixed-length vector: zero-padded at
+    /// the *front* so the most recent packet is always the last element.
+    fn write_view(&self, deque: &VecDeque<f32>, dst: &mut [f32]) {
+        assert_eq!(dst.len(), self.window, "view buffer length mismatch");
+        let offset = self.window - deque.len();
+        dst[..offset].fill(0.0);
+        for (i, &x) in deque.iter().enumerate() {
+            dst[offset + i] = x;
+        }
+    }
+
+    /// View as a freshly-allocated fixed-length vector (see
+    /// [`StreamWindows::write_views_into`] for the allocation-free form).
     fn view(&self, deque: &VecDeque<f32>) -> Vec<f32> {
         let mut v = vec![0.0f32; self.window];
-        let offset = self.window - deque.len();
-        for (i, &x) in deque.iter().enumerate() {
-            v[offset + i] = x;
-        }
+        self.write_view(deque, &mut v);
         v
     }
 
@@ -62,6 +70,13 @@ impl StreamWindows {
     /// The P/B-packet size window (view 2).
     pub fn predicted_view(&self) -> Vec<f32> {
         self.view(&self.predicted)
+    }
+
+    /// Write both views into caller-owned buffers (`window` floats each)
+    /// without allocating — the batched gate path's per-row fill.
+    pub fn write_views_into(&self, independent: &mut [f32], predicted: &mut [f32]) {
+        self.write_view(&self.independent, independent);
+        self.write_view(&self.predicted, predicted);
     }
 
     /// Number of I sizes currently held.
@@ -187,6 +202,21 @@ mod tests {
         assert_eq!(fw.len(), 8);
         assert_eq!(fw.stream(7).independent_len(), 1);
         assert_eq!(fw.stream(3).independent_len(), 0);
+    }
+
+    #[test]
+    fn write_views_into_matches_allocating_views() {
+        let mut fw = windows();
+        fw.push(0, &meta(100_000, FrameType::I));
+        fw.push(0, &meta(5_000, FrameType::P));
+        fw.push(0, &meta(3_000, FrameType::B));
+        let s = fw.stream(0);
+        // Pre-poison the buffers: stale contents must be fully overwritten.
+        let mut vi = [9.0f32; 5];
+        let mut vp = [9.0f32; 5];
+        s.write_views_into(&mut vi, &mut vp);
+        assert_eq!(vi.as_slice(), s.independent_view().as_slice());
+        assert_eq!(vp.as_slice(), s.predicted_view().as_slice());
     }
 
     #[test]

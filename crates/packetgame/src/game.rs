@@ -13,7 +13,7 @@ use pg_pipeline::telemetry::Telemetry;
 use crate::config::PacketGameConfig;
 use crate::context::FeatureWindows;
 use crate::optimizer::{CombinatorialOptimizer, Item};
-use crate::predictor::ContextualPredictor;
+use crate::predictor::{ContextualPredictor, PredictScratch};
 use crate::temporal::TemporalEstimator;
 
 /// Configuration for online fine-tuning of the contextual predictor from
@@ -75,6 +75,14 @@ pub struct PacketGame {
     online: Option<OnlineState>,
     /// Observability handle; disabled unless a simulator attaches one.
     telemetry: Telemetry,
+    /// Score candidates with the batched predictor path (the default);
+    /// `false` falls back to per-stream sequential `predict` calls.
+    batched: bool,
+    /// Reusable buffers for the batched path — grow-only, so steady-state
+    /// rounds never touch the allocator for prediction.
+    scratch: PredictScratch,
+    /// Reusable candidate list handed to the greedy optimizer.
+    items: Vec<Item>,
 }
 
 impl PacketGame {
@@ -112,7 +120,24 @@ impl PacketGame {
             task_head,
             online: None,
             telemetry: Telemetry::disabled(),
+            batched: true,
+            scratch: PredictScratch::with_threads(
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            ),
+            items: Vec::new(),
         }
+    }
+
+    /// Toggle the batched predictor path (on by default). The two paths
+    /// produce bit-identical confidences; the sequential one exists as a
+    /// baseline for benchmarks and equivalence tests.
+    pub fn set_batched_inference(&mut self, on: bool) {
+        self.batched = on;
+    }
+
+    /// Whether `select` uses the batched predictor path.
+    pub fn batched_inference(&self) -> bool {
+        self.batched
     }
 
     /// Enable online fine-tuning of the predictor from live feedback (the
@@ -137,18 +162,22 @@ impl PacketGame {
         &self.predictor
     }
 
+    /// Predictor inputs for one stream — the single source of the
+    /// view-computation logic shared by [`PacketGame::confidence`] and the
+    /// sequential `select` path: `(view_i, view_p, temporal exploitation)`.
+    fn stream_features(&self, stream: usize) -> (Vec<f32>, Vec<f32>, f64) {
+        let exploit = self.temporal.exploitation(stream);
+        let s = self.windows.stream(stream);
+        (s.independent_view(), s.predicted_view(), exploit)
+    }
+
     /// Gating confidence for one stream right now (exposed for tests and
     /// overhead benchmarks): the predictor's fused probability. The
     /// exploration bonus is added on top of this during selection.
     pub fn confidence(&mut self, stream: usize) -> f64 {
-        let exploit = self.temporal.exploitation(stream);
-        let s = self.windows.stream(stream);
-        self.predictor.predict(
-            &s.independent_view(),
-            &s.predicted_view(),
-            exploit,
-            self.task_head,
-        )
+        let (view_i, view_p, exploit) = self.stream_features(stream);
+        self.predictor
+            .predict(&view_i, &view_p, exploit, self.task_head)
     }
 
     /// The configuration in use.
@@ -182,28 +211,50 @@ impl GatePolicy for PacketGame {
         if let Some(online) = &mut self.online {
             online.snapshots.resize(m.max(online.snapshots.len()), None);
         }
-        let items: Vec<Item> = candidates
-            .iter()
-            .map(|c| {
+        self.items.clear();
+        if self.batched {
+            // Batched path: stage one `(view_i, view_p, μ̂)` row per
+            // candidate into the reusable scratch, run one frozen
+            // `predict_batch` over all m streams, then attach each
+            // stream's exploration bonus. Confidences are bit-identical
+            // to the sequential path; steady-state rounds allocate only
+            // when online learning snapshots features.
+            self.scratch.begin(m, self.config.window);
+            for (row, c) in candidates.iter().enumerate() {
                 let exploit = self.temporal.exploitation(c.stream_idx);
-                let explore = self.temporal.exploration(c.stream_idx);
-                let s = self.windows.stream(c.stream_idx);
-                let view_i = s.independent_view();
-                let view_p = s.predicted_view();
-                let fused =
-                    self.predictor
-                        .predict(&view_i, &view_p, exploit, self.task_head);
+                let (vi, vp) = self.scratch.stream_row(row, exploit);
+                self.windows.stream(c.stream_idx).write_views_into(vi, vp);
                 if let Some(online) = &mut self.online {
                     online.snapshots[c.stream_idx] =
-                        Some((view_i, view_p, exploit as f32));
+                        Some((vi.to_vec(), vp.to_vec(), exploit as f32));
                 }
-                Item {
+            }
+            let conf = self.predictor.predict_batch(&mut self.scratch, self.task_head);
+            for (row, c) in candidates.iter().enumerate() {
+                let explore = self.temporal.exploration(c.stream_idx);
+                self.items.push(Item {
+                    idx: c.stream_idx,
+                    confidence: conf[row] + explore,
+                    cost: c.pending_cost.max(f64::MIN_POSITIVE),
+                });
+            }
+        } else {
+            for c in candidates {
+                let explore = self.temporal.exploration(c.stream_idx);
+                let (view_i, view_p, exploit) = self.stream_features(c.stream_idx);
+                let fused = self
+                    .predictor
+                    .predict(&view_i, &view_p, exploit, self.task_head);
+                if let Some(online) = &mut self.online {
+                    online.snapshots[c.stream_idx] = Some((view_i, view_p, exploit as f32));
+                }
+                self.items.push(Item {
                     idx: c.stream_idx,
                     confidence: fused + explore,
                     cost: c.pending_cost.max(f64::MIN_POSITIVE),
-                }
-            })
-            .collect();
+                });
+            }
+        }
 
         // Greedy budgeted selection (lines 7-12); dependency completion
         // (line 13) is realized by the pending-cost closure the pipeline
@@ -211,10 +262,10 @@ impl GatePolicy for PacketGame {
         // candidate's decision lands in the audit ring.
         if self.telemetry.is_enabled() {
             self.optimizer
-                .select_audited(&items, budget, round, &self.telemetry)
+                .select_audited(&self.items, budget, round, &self.telemetry)
                 .0
         } else {
-            self.optimizer.select(&items, budget).0
+            self.optimizer.select(&self.items, budget).0
         }
     }
 
@@ -234,12 +285,31 @@ impl GatePolicy for PacketGame {
                 }
             }
             if online.batch.len() >= online.batch_size {
-                self.predictor.zero_grad();
                 let tasks = self.predictor.tasks();
-                for (v1, v2, t, label) in online.batch.drain(..) {
-                    let logits = self.predictor.forward_logits(&v1, &v2, f64::from(t));
-                    let head = self.task_head.min(tasks - 1);
-                    let (_, dz) = bce_with_logits(label, logits[head]);
+                let head = self.task_head.min(tasks - 1);
+                // One batched frozen pass produces every sample's logit
+                // (bit-identical to the caching forward below), so all the
+                // mini-batch loss derivatives are known up front.
+                self.scratch.begin(online.batch.len(), self.config.window);
+                for (r, (v1, v2, t, _)) in online.batch.iter().enumerate() {
+                    let (di, dp) = self.scratch.stream_row(r, f64::from(*t));
+                    di.copy_from_slice(v1);
+                    dp.copy_from_slice(v2);
+                }
+                let logits = self.predictor.forward_logits_batch(&mut self.scratch);
+                let dzs: Vec<f32> = online
+                    .batch
+                    .iter()
+                    .enumerate()
+                    .map(|(r, (_, _, _, label))| {
+                        bce_with_logits(*label, logits[r * tasks + head]).1
+                    })
+                    .collect();
+                self.predictor.zero_grad();
+                for ((v1, v2, t, _), dz) in online.batch.drain(..).zip(dzs) {
+                    // The caching forward populates the activations that
+                    // `backward` consumes; its logits equal the batched ones.
+                    self.predictor.forward_logits(&v1, &v2, f64::from(t));
                     let mut grad = vec![0.0f32; tasks];
                     grad[head] = dz;
                     self.predictor.backward(&grad);
@@ -361,6 +431,39 @@ mod tests {
             "online {:.3} should not trail frozen {:.3} materially",
             online_report.accuracy_overall(),
             frozen_report.accuracy_overall()
+        );
+    }
+
+    #[test]
+    fn batched_and_sequential_paths_gate_identically() {
+        let task = TaskKind::AnomalyDetection;
+        let config = test_config();
+        let predictor = train_for_task(task, &config, 6);
+        let wf = predictor.to_weight_file();
+
+        let sim_config = SimConfig {
+            budget_per_round: 4.0,
+            segments: 4,
+            ..SimConfig::default()
+        };
+        let mut batched = PacketGame::new(config.clone(), predictor);
+        assert!(batched.batched_inference());
+        let batched_report =
+            RoundSimulator::uniform(task, 12, 6, sim_config).run(&mut batched, 300);
+
+        let mut reloaded = crate::ContextualPredictor::new(config.clone().with_seed(6));
+        reloaded.load_weight_file(&wf).expect("weights");
+        let mut sequential = PacketGame::new(config, reloaded);
+        sequential.set_batched_inference(false);
+        let sequential_report =
+            RoundSimulator::uniform(task, 12, 6, sim_config).run(&mut sequential, 300);
+
+        // Bit-identical confidences ⇒ identical greedy selections ⇒ the
+        // deterministic simulator produces identical reports.
+        assert_eq!(batched_report.packets_decoded, sequential_report.packets_decoded);
+        assert_eq!(
+            batched_report.accuracy_overall(),
+            sequential_report.accuracy_overall()
         );
     }
 

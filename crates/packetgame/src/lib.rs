@@ -60,6 +60,6 @@ pub use config::{EmbeddingKind, PacketGameConfig};
 pub use context::FeatureWindows;
 pub use game::{OnlineConfig, PacketGame};
 pub use optimizer::{CombinatorialOptimizer, Item};
-pub use predictor::ContextualPredictor;
+pub use predictor::{ContextualPredictor, PredictScratch};
 pub use temporal::TemporalEstimator;
 pub use training::{build_offline_dataset, train_for_task, train_multi_task, TrainSample};

@@ -14,6 +14,7 @@
 //! RMSprop (§6.1); deployment freezes the weights ("we transform the
 //! trained weights into a binary runtime file").
 
+use pg_nn::batch::Scratch;
 use pg_nn::layers::{Conv1d, Dense, GlobalMaxPool1d, Layer, ReLU};
 use pg_nn::model::Sequential;
 use pg_nn::lstm::Lstm;
@@ -24,6 +25,114 @@ use pg_nn::tensor::Tensor;
 
 use crate::config::PacketGameConfig;
 
+/// Below this many rows the batched path always runs single-threaded:
+/// per-round work is a few microseconds per stream, so thread spawn +
+/// join overhead dominates any sharding win (and the single-thread path
+/// keeps its zero-allocation guarantee).
+pub const PAR_MIN_ROWS: usize = 512;
+
+/// Grow-only resize (never shrinks), so repeated rounds at or below the
+/// high-water batch size perform no allocations.
+fn grow<T: Clone + Default>(v: &mut Vec<T>, n: usize) {
+    if v.len() < n {
+        v.resize(n, T::default());
+    }
+}
+
+/// Per-shard neural-network scratch: one ping-pong buffer per branch.
+#[derive(Debug, Default)]
+struct NnScratch {
+    i: Scratch,
+    p: Scratch,
+    f: Scratch,
+}
+
+/// Caller-owned, reusable buffers for the batched gate decision path.
+///
+/// One `PredictScratch` serves any number of rounds: a round starts with
+/// [`PredictScratch::begin`], fills one row per stream via
+/// [`PredictScratch::stream_row`], then hands the scratch to
+/// [`ContextualPredictor::predict_batch`]. All buffers are grow-only, so
+/// once the high-water `(m, w)` shape has been seen, steady-state rounds
+/// perform **zero heap allocations** on the single-threaded path.
+#[derive(Debug)]
+pub struct PredictScratch {
+    m: usize,
+    w: usize,
+    /// Row-major `(m, w)` independent-frame size views.
+    view_i: Vec<f32>,
+    /// Row-major `(m, w)` predicted-frame size views.
+    view_p: Vec<f32>,
+    /// Per-stream temporal estimates.
+    temporal: Vec<f32>,
+    /// Row-major `(m, tasks)` output logits.
+    logits: Vec<f32>,
+    /// Per-stream confidences for the requested task head.
+    conf: Vec<f64>,
+    /// One NN scratch per worker shard (index 0 is the single-thread one).
+    shards: Vec<NnScratch>,
+    /// Maximum worker threads for `std::thread::scope` sharding.
+    threads: usize,
+}
+
+impl PredictScratch {
+    /// Single-threaded scratch (the common case; see [`PAR_MIN_ROWS`]).
+    pub fn new() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// Scratch allowing up to `threads` worker shards for batches of at
+    /// least [`PAR_MIN_ROWS`] rows. `threads` is clamped to ≥ 1.
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        PredictScratch {
+            m: 0,
+            w: 0,
+            view_i: Vec::new(),
+            view_p: Vec::new(),
+            temporal: Vec::new(),
+            logits: Vec::new(),
+            conf: Vec::new(),
+            shards: (0..threads).map(|_| NnScratch::default()).collect(),
+            threads,
+        }
+    }
+
+    /// Start a round of `m` streams with window length `w`. Existing row
+    /// contents become stale; every row must be rewritten via
+    /// [`PredictScratch::stream_row`] before predicting.
+    pub fn begin(&mut self, m: usize, w: usize) {
+        self.m = m;
+        self.w = w;
+        grow(&mut self.view_i, m * w);
+        grow(&mut self.view_p, m * w);
+        grow(&mut self.temporal, m);
+    }
+
+    /// Number of rows in the current round.
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Set stream `row`'s temporal estimate and return its two size-view
+    /// slices (`w` floats each) for the caller to fill in place.
+    pub fn stream_row(&mut self, row: usize, temporal: f64) -> (&mut [f32], &mut [f32]) {
+        assert!(row < self.m, "row {row} out of range (m = {})", self.m);
+        self.temporal[row] = temporal as f32;
+        let w = self.w;
+        (
+            &mut self.view_i[row * w..(row + 1) * w],
+            &mut self.view_p[row * w..(row + 1) * w],
+        )
+    }
+}
+
+impl Default for PredictScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// The multi-view contextual predictor. See module docs.
 #[derive(Debug)]
 pub struct ContextualPredictor {
@@ -31,6 +140,10 @@ pub struct ContextualPredictor {
     view_i: Sequential,
     view_p: Sequential,
     fusion: Sequential,
+    /// Reusable masked-input tensors for the sequential path — refilled in
+    /// place instead of allocating a fresh `Tensor` per call.
+    in_i: Tensor,
+    in_p: Tensor,
 }
 
 impl ContextualPredictor {
@@ -77,6 +190,8 @@ impl ContextualPredictor {
             view_i: branch(seed + 20),
             view_p: branch(seed + 30),
             fusion,
+            in_i: Tensor::zeros(1, w),
+            in_p: Tensor::zeros(1, w),
             config,
         }
     }
@@ -101,15 +216,15 @@ impl ContextualPredictor {
         assert_eq!(view_i.len(), w, "view 1 length mismatch");
         assert_eq!(view_p.len(), w, "view 2 length mismatch");
 
-        let mask = |v: &[f32], on: bool| -> Tensor {
-            if on {
-                Tensor::from_vec(1, w, v.to_vec())
-            } else {
-                Tensor::zeros(1, w)
-            }
-        };
-        let fi = self.view_i.forward(&mask(view_i, self.config.use_size_views));
-        let fp = self.view_p.forward(&mask(view_p, self.config.use_size_views));
+        if self.config.use_size_views {
+            self.in_i.data_mut().copy_from_slice(view_i);
+            self.in_p.data_mut().copy_from_slice(view_p);
+        } else {
+            self.in_i.data_mut().fill(0.0);
+            self.in_p.data_mut().fill(0.0);
+        }
+        let fi = self.view_i.forward(&self.in_i);
+        let fp = self.view_p.forward(&self.in_p);
         let t = if self.config.use_temporal_view {
             temporal as f32
         } else {
@@ -124,6 +239,130 @@ impl ContextualPredictor {
         let logits = self.forward_logits(view_i, view_p, temporal);
         let z = f64::from(logits[task.min(logits.len() - 1)]);
         1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Batched, inference-mode logits for all rows currently staged in
+    /// `scratch` (see [`PredictScratch::begin`] / `stream_row`). Returns
+    /// the row-major `(m, tasks)` logit matrix.
+    ///
+    /// Takes `&self`: the weights are frozen, no training caches are
+    /// written, and after scratch warm-up the single-threaded path performs
+    /// no heap allocations. Per-row arithmetic order matches
+    /// [`ContextualPredictor::forward_logits`] exactly, so the two paths
+    /// agree bit-for-bit. Batches of at least [`PAR_MIN_ROWS`] rows are
+    /// sharded across `scratch`'s worker threads with `std::thread::scope`.
+    pub fn forward_logits_batch<'s>(&self, scratch: &'s mut PredictScratch) -> &'s [f32] {
+        self.compute_logits_batch(scratch);
+        &scratch.logits[..scratch.m * self.config.tasks]
+    }
+
+    /// Batched gating confidences (sigmoid of the `task` head logit) for
+    /// all staged rows; see [`ContextualPredictor::forward_logits_batch`].
+    pub fn predict_batch<'s>(&self, scratch: &'s mut PredictScratch, task: usize) -> &'s [f64] {
+        self.compute_logits_batch(scratch);
+        let m = scratch.m;
+        let tasks = self.config.tasks;
+        let t = task.min(tasks - 1);
+        grow(&mut scratch.conf, m);
+        for r in 0..m {
+            let z = f64::from(scratch.logits[r * tasks + t]);
+            scratch.conf[r] = 1.0 / (1.0 + (-z).exp());
+        }
+        &scratch.conf[..m]
+    }
+
+    /// Fill `scratch.logits` for the staged rows, sharding when profitable.
+    fn compute_logits_batch(&self, scratch: &mut PredictScratch) {
+        let PredictScratch {
+            m,
+            w,
+            view_i,
+            view_p,
+            temporal,
+            logits,
+            shards,
+            threads,
+            ..
+        } = scratch;
+        let (m, w, threads) = (*m, *w, *threads);
+        assert_eq!(w, self.config.window, "scratch window mismatch");
+        let tasks = self.config.tasks;
+        grow(logits, m * tasks);
+        if m == 0 {
+            return;
+        }
+        let nshards = if threads > 1 && m >= PAR_MIN_ROWS {
+            threads.min(m)
+        } else {
+            1
+        };
+        if nshards == 1 {
+            self.run_rows(view_i, view_p, temporal, &mut shards[0], &mut logits[..m * tasks], 0..m);
+            return;
+        }
+        let chunk = m.div_ceil(nshards);
+        std::thread::scope(|scope| {
+            let mut rest = &mut logits[..m * tasks];
+            for (si, shard) in shards.iter_mut().take(nshards).enumerate() {
+                let lo = si * chunk;
+                let hi = ((si + 1) * chunk).min(m);
+                if lo >= hi {
+                    break;
+                }
+                let (head, tail) = std::mem::take(&mut rest).split_at_mut((hi - lo) * tasks);
+                rest = tail;
+                let (vi, vp, tm) = (&view_i[..], &view_p[..], &temporal[..]);
+                scope.spawn(move || self.run_rows(vi, vp, tm, shard, head, lo..hi));
+            }
+        });
+    }
+
+    /// Run `rows` of the staged batch through both view branches and
+    /// the fusion head, writing `rows.len() × tasks` logits to `logits_out`.
+    fn run_rows(
+        &self,
+        view_i: &[f32],
+        view_p: &[f32],
+        temporal: &[f32],
+        nn: &mut NnScratch,
+        logits_out: &mut [f32],
+        rows: std::ops::Range<usize>,
+    ) {
+        let (lo, hi) = (rows.start, rows.end);
+        let w = self.config.window;
+        let c = self.config.conv_units;
+        let tasks = self.config.tasks;
+        let n = hi - lo;
+        // Branch inputs: `(n, 1, w)` rows, zero-masked when the size views
+        // are ablated (mirrors the sequential path's masking).
+        let buf = nn.i.begin(n, 1, w);
+        if self.config.use_size_views {
+            buf.copy_from_slice(&view_i[lo * w..hi * w]);
+        } else {
+            buf.fill(0.0);
+        }
+        self.view_i.forward_batch(&mut nn.i);
+        let buf = nn.p.begin(n, 1, w);
+        if self.config.use_size_views {
+            buf.copy_from_slice(&view_p[lo * w..hi * w]);
+        } else {
+            buf.fill(0.0);
+        }
+        self.view_p.forward_batch(&mut nn.p);
+        // Fusion input `(n, 2c+1, 1)`: [branch_i | branch_p | temporal],
+        // the batched analogue of `Tensor::concat` in the sequential path.
+        let fin = 2 * c + 1;
+        let use_t = self.config.use_temporal_view;
+        let buf = nn.f.begin(n, fin, 1);
+        let (ei, ep) = (nn.i.cur(), nn.p.cur());
+        for r in 0..n {
+            let dst = &mut buf[r * fin..(r + 1) * fin];
+            dst[..c].copy_from_slice(&ei[r * c..(r + 1) * c]);
+            dst[c..2 * c].copy_from_slice(&ep[r * c..(r + 1) * c]);
+            dst[2 * c] = if use_t { temporal[lo + r] } else { 0.0 };
+        }
+        self.fusion.forward_batch(&mut nn.f);
+        logits_out.copy_from_slice(&nn.f.cur()[..n * tasks]);
     }
 
     /// Backward pass: `grad_logits` is ∂L/∂logits (one per task head).
@@ -365,6 +604,63 @@ mod tests {
             "conv params must not depend on the window"
         );
         assert!(at(EmbeddingKind::Dense, 25) > at(EmbeddingKind::Dense, 5));
+    }
+
+    #[test]
+    fn batch_logits_match_sequential_bit_for_bit() {
+        let mut p = predictor();
+        let m = 9usize;
+        let w = p.config().window;
+        let mut s = PredictScratch::new();
+        s.begin(m, w);
+        let rows: Vec<(Vec<f32>, Vec<f32>, f64)> = (0..m)
+            .map(|r| {
+                let vi: Vec<f32> = (0..w).map(|i| ((r * w + i) as f32 * 0.13).sin()).collect();
+                let vp: Vec<f32> = (0..w).map(|i| ((r * w + i) as f32 * 0.29).cos()).collect();
+                (vi, vp, r as f64 / m as f64)
+            })
+            .collect();
+        for (r, (vi, vp, t)) in rows.iter().enumerate() {
+            let (di, dp) = s.stream_row(r, *t);
+            di.copy_from_slice(vi);
+            dp.copy_from_slice(vp);
+        }
+        let batched = p.forward_logits_batch(&mut s).to_vec();
+        for (r, (vi, vp, t)) in rows.iter().enumerate() {
+            let seq = p.forward_logits(vi, vp, *t);
+            assert_eq!(seq.as_slice(), &batched[r..r + 1], "row {r}");
+        }
+        // And the confidence path agrees with sequential `predict`.
+        let conf = p.predict_batch(&mut s, 0).to_vec();
+        for (r, (vi, vp, t)) in rows.iter().enumerate() {
+            assert_eq!(p.predict(vi, vp, *t, 0), conf[r], "row {r}");
+        }
+    }
+
+    #[test]
+    fn batch_respects_ablation_masks() {
+        for (size_views, temporal_view) in [(false, true), (true, false), (false, false)] {
+            let cfg = PacketGameConfig {
+                use_size_views: size_views,
+                use_temporal_view: temporal_view,
+                conv_units: 8,
+                dense_units: 16,
+                ..PacketGameConfig::default()
+            };
+            let mut p = ContextualPredictor::new(cfg);
+            let w = p.config().window;
+            let mut s = PredictScratch::new();
+            s.begin(2, w);
+            let (di, dp) = s.stream_row(0, 0.7);
+            di.fill(0.4);
+            dp.fill(0.8);
+            let (di, dp) = s.stream_row(1, 0.2);
+            di.fill(0.1);
+            dp.fill(0.9);
+            let batched = p.forward_logits_batch(&mut s).to_vec();
+            assert_eq!(p.forward_logits(&vec![0.4; w], &vec![0.8; w], 0.7)[0], batched[0]);
+            assert_eq!(p.forward_logits(&vec![0.1; w], &vec![0.9; w], 0.2)[0], batched[1]);
+        }
     }
 
     #[test]

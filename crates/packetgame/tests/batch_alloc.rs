@@ -1,0 +1,94 @@
+//! Zero-allocation guarantee of the batched gate decision path.
+//!
+//! A counting global allocator wraps `System`; after one warm-up round at
+//! the high-water batch size, repeated stage-and-predict rounds through
+//! `PredictScratch` + `ContextualPredictor::predict_batch` must perform
+//! **zero** heap allocations — the property the scratch's grow-only
+//! ping-pong buffers exist to provide.
+//!
+//! The allocator is process-global, so this file holds exactly one test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use packetgame::{ContextualPredictor, PacketGameConfig, PredictScratch};
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Stage `m` synthetic rows and predict; returns a checksum so the
+/// optimizer can't elide the work.
+fn round(p: &ContextualPredictor, s: &mut PredictScratch, m: usize, w: usize, salt: f32) -> f64 {
+    s.begin(m, w);
+    for r in 0..m {
+        let (vi, vp) = s.stream_row(r, f64::from(salt) * 0.5);
+        for (t, x) in vi.iter_mut().enumerate() {
+            *x = (r as f32 * 0.37 + t as f32 * 0.11 + salt).sin();
+        }
+        for (t, x) in vp.iter_mut().enumerate() {
+            *x = (r as f32 * 0.23 + t as f32 * 0.19 + salt).cos();
+        }
+    }
+    p.predict_batch(s, 0).iter().sum()
+}
+
+#[test]
+fn steady_state_batched_rounds_do_not_allocate() {
+    let config = PacketGameConfig::default();
+    let w = config.window;
+    let p = ContextualPredictor::new(config);
+    let mut s = PredictScratch::new();
+
+    // Warm-up: reach the high-water shape (and a smaller one, to show
+    // shrinking rounds don't churn either).
+    let m = 64;
+    let mut sink = round(&p, &mut s, m, w, 0.0);
+    sink += round(&p, &mut s, 7, w, 0.5);
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for i in 0..10 {
+        sink += round(&p, &mut s, m, w, i as f32 * 0.1);
+        sink += round(&p, &mut s, m / 2, w, i as f32 * 0.2);
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    assert!(sink.is_finite());
+    assert_eq!(
+        allocs, 0,
+        "steady-state batched rounds performed {allocs} heap allocations"
+    );
+}

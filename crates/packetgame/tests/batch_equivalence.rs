@@ -1,0 +1,109 @@
+//! Property tests for the batched gate decision path.
+//!
+//! The batched kernels (`pg_nn::batch`, `ContextualPredictor::predict_batch`)
+//! were written to preserve the sequential per-sample arithmetic order, so
+//! the two paths should agree far below the 1e-5 tolerance asserted here —
+//! across every embedding kind (Conv / Dense / Rnn / Lstm), batch size, and
+//! input distribution, including rows staged in a scratch that previously
+//! held a larger round (stale-buffer reuse).
+
+use packetgame::{ContextualPredictor, EmbeddingKind, PacketGameConfig, PredictScratch};
+use proptest::prelude::*;
+
+const KINDS: [EmbeddingKind; 4] = [
+    EmbeddingKind::Conv,
+    EmbeddingKind::Dense,
+    EmbeddingKind::Rnn,
+    EmbeddingKind::Lstm,
+];
+
+const W: usize = 5;
+const MAX_M: usize = 12;
+
+fn predictor(kind: EmbeddingKind, seed: u64, tasks: usize) -> ContextualPredictor {
+    let cfg = PacketGameConfig {
+        embedding: kind,
+        conv_units: 8,
+        dense_units: 16,
+        ..PacketGameConfig::default().with_seed(seed).with_tasks(tasks)
+    };
+    ContextualPredictor::new(cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn predict_batch_matches_sequential_predict(
+        kind_idx in 0usize..4,
+        m in 1usize..=MAX_M,
+        seed in 0u64..64,
+        views in proptest::collection::vec(-2.0f32..2.0, 2 * MAX_M * W),
+        temporals in proptest::collection::vec(0.0f64..1.0, MAX_M),
+    ) {
+        let p = predictor(KINDS[kind_idx], seed, 1);
+        let mut s = PredictScratch::new();
+        // Pre-warm at the maximum size so smaller rounds reuse stale rows.
+        s.begin(MAX_M, W);
+        for r in 0..MAX_M {
+            let (vi, vp) = s.stream_row(r, 9.0);
+            vi.fill(9.0);
+            vp.fill(9.0);
+        }
+        s.begin(m, W);
+        for r in 0..m {
+            let (vi, vp) = s.stream_row(r, temporals[r]);
+            vi.copy_from_slice(&views[2 * r * W..(2 * r + 1) * W]);
+            vp.copy_from_slice(&views[(2 * r + 1) * W..(2 * r + 2) * W]);
+        }
+        // `predict_batch` takes `&self`; the sequential comparison needs
+        // `&mut self`, so collect the batched answers first.
+        let batched = p.predict_batch(&mut s, 0).to_vec();
+        let mut p = p;
+        for r in 0..m {
+            let vi = &views[2 * r * W..(2 * r + 1) * W];
+            let vp = &views[(2 * r + 1) * W..(2 * r + 2) * W];
+            let sequential = p.predict(vi, vp, temporals[r], 0);
+            prop_assert!(
+                (sequential - batched[r]).abs() <= 1e-5,
+                "{:?} row {r}: sequential {sequential} vs batched {}",
+                KINDS[kind_idx],
+                batched[r]
+            );
+        }
+    }
+
+    #[test]
+    fn batch_logits_match_for_every_task_head(
+        kind_idx in 0usize..4,
+        m in 1usize..=6,
+        tasks in 1usize..4,
+        seed in 0u64..64,
+        views in proptest::collection::vec(-1.0f32..1.0, 2 * 6 * W),
+    ) {
+        let p = predictor(KINDS[kind_idx], seed, tasks);
+        let mut s = PredictScratch::new();
+        s.begin(m, W);
+        for r in 0..m {
+            let (vi, vp) = s.stream_row(r, r as f64 * 0.1);
+            vi.copy_from_slice(&views[2 * r * W..(2 * r + 1) * W]);
+            vp.copy_from_slice(&views[(2 * r + 1) * W..(2 * r + 2) * W]);
+        }
+        let batched = p.forward_logits_batch(&mut s).to_vec();
+        prop_assert_eq!(batched.len(), m * tasks);
+        let mut p = p;
+        for r in 0..m {
+            let vi = &views[2 * r * W..(2 * r + 1) * W];
+            let vp = &views[(2 * r + 1) * W..(2 * r + 2) * W];
+            let sequential = p.forward_logits(vi, vp, r as f64 * 0.1);
+            for (h, &z) in sequential.iter().enumerate() {
+                prop_assert!(
+                    (z - batched[r * tasks + h]).abs() <= 1e-5,
+                    "{:?} row {r} head {h}: {z} vs {}",
+                    KINDS[kind_idx],
+                    batched[r * tasks + h]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Gate decision latency: batched vs sequential predictor path.
+//!
+//! The gate's per-round job is scoring all `m` concurrent streams with the
+//! contextual predictor before the greedy selection. This benchmark times
+//! exactly that step both ways — the historical per-stream sequential
+//! `predict` loop and the batched, allocation-free
+//! `ContextualPredictor::predict_batch` — at several concurrency levels,
+//! and writes `BENCH_gate.json` at the repository root.
+//!
+//! Reported per (m, path): per-round latency p50 / p99 / mean (µs) and
+//! rounds per second. `PG_SCALE=quick` shrinks the concurrency sweep and
+//! the measurement time for CI smoke runs.
+
+use packetgame::{ContextualPredictor, PacketGameConfig, PredictScratch};
+use pg_bench::harness::print_table;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize, Clone, Copy)]
+struct PathStats {
+    rounds: usize,
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    rounds_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct SizeRecord {
+    m: usize,
+    sequential: PathStats,
+    batched: PathStats,
+    /// Sequential mean round latency / batched mean round latency.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Record {
+    scale: String,
+    window: usize,
+    embedding: String,
+    sizes: Vec<SizeRecord>,
+}
+
+/// Deterministic synthetic feature rows for `m` streams: the values don't
+/// affect latency, but both paths must score identical inputs.
+struct Inputs {
+    w: usize,
+    view_i: Vec<f32>,
+    view_p: Vec<f32>,
+    temporal: Vec<f64>,
+}
+
+impl Inputs {
+    fn new(m: usize, w: usize) -> Self {
+        let wave = |r: usize, t: usize, a: f32| ((r * w + t) as f32 * a).sin().abs();
+        Inputs {
+            w,
+            view_i: (0..m * w).map(|i| wave(i / w, i % w, 0.13)).collect(),
+            view_p: (0..m * w).map(|i| wave(i / w, i % w, 0.29)).collect(),
+            temporal: (0..m).map(|r| (r % 17) as f64 / 17.0).collect(),
+        }
+    }
+
+    fn row(&self, r: usize) -> (&[f32], &[f32], f64) {
+        (
+            &self.view_i[r * self.w..(r + 1) * self.w],
+            &self.view_p[r * self.w..(r + 1) * self.w],
+            self.temporal[r],
+        )
+    }
+}
+
+/// Run `round` repeatedly and summarize the per-round wall time. The round
+/// count adapts so each (m, path) cell measures ~`target_ms` of work.
+fn measure(target_ms: u64, mut round: impl FnMut() -> f64) -> PathStats {
+    // Warm up (fills caches and scratch high-water marks) and estimate.
+    let mut sink = 0.0;
+    let warm = Instant::now();
+    for _ in 0..3 {
+        sink += round();
+    }
+    let est_ns = (warm.elapsed().as_nanos() as u64 / 3).max(1);
+    let rounds = ((target_ms * 1_000_000) / est_ns).clamp(30, 20_000) as usize;
+
+    let mut samples_ns: Vec<u64> = Vec::with_capacity(rounds);
+    let total = Instant::now();
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        sink += round();
+        samples_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    let total_s = total.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+
+    samples_ns.sort_unstable();
+    let pct = |p: f64| samples_ns[((samples_ns.len() - 1) as f64 * p) as usize] as f64 / 1e3;
+    let mean_us = samples_ns.iter().sum::<u64>() as f64 / samples_ns.len() as f64 / 1e3;
+    PathStats {
+        rounds,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        mean_us,
+        rounds_per_sec: rounds as f64 / total_s,
+    }
+}
+
+fn main() {
+    let quick = matches!(std::env::var("PG_SCALE").as_deref(), Ok("quick"));
+    let (sizes, target_ms): (&[usize], u64) = if quick {
+        (&[4, 16], 60)
+    } else {
+        (&[16, 64, 256, 1024], 400)
+    };
+
+    // The paper's deployed architecture; weights are irrelevant to latency,
+    // so an untrained predictor keeps the benchmark self-contained.
+    let config = PacketGameConfig::default();
+    let w = config.window;
+    let mut predictor = ContextualPredictor::new(config.clone());
+    let mut scratch = PredictScratch::new();
+
+    let mut records = Vec::new();
+    for &m in sizes {
+        let inputs = Inputs::new(m, w);
+
+        let sequential = measure(target_ms, || {
+            let mut acc = 0.0;
+            for r in 0..m {
+                let (vi, vp, t) = inputs.row(r);
+                acc += predictor.predict(vi, vp, t, 0);
+            }
+            acc
+        });
+
+        let batched = measure(target_ms, || {
+            scratch.begin(m, w);
+            for r in 0..m {
+                let (vi, vp, t) = inputs.row(r);
+                let (di, dp) = scratch.stream_row(r, t);
+                di.copy_from_slice(vi);
+                dp.copy_from_slice(vp);
+            }
+            predictor.predict_batch(&mut scratch, 0).iter().sum()
+        });
+
+        // Cross-check: both paths score every stream identically.
+        scratch.begin(m, w);
+        for r in 0..m {
+            let (vi, vp, t) = inputs.row(r);
+            let (di, dp) = scratch.stream_row(r, t);
+            di.copy_from_slice(vi);
+            dp.copy_from_slice(vp);
+        }
+        let conf = predictor.predict_batch(&mut scratch, 0).to_vec();
+        for (r, &batched_conf) in conf.iter().enumerate() {
+            let (vi, vp, t) = inputs.row(r);
+            let seq = predictor.predict(vi, vp, t, 0);
+            assert!(
+                (seq - batched_conf).abs() <= 1e-5,
+                "m={m} row {r}: sequential {seq} vs batched {batched_conf}"
+            );
+        }
+
+        records.push(SizeRecord {
+            m,
+            sequential,
+            batched,
+            speedup: sequential.mean_us / batched.mean_us,
+        });
+    }
+
+    print_table(
+        "Gate decision latency per round (sequential vs batched)",
+        &[
+            "m",
+            "seq p50 µs",
+            "seq p99 µs",
+            "seq rounds/s",
+            "batch p50 µs",
+            "batch p99 µs",
+            "batch rounds/s",
+            "speedup",
+        ],
+        &records
+            .iter()
+            .map(|r| {
+                vec![
+                    r.m.to_string(),
+                    format!("{:.1}", r.sequential.p50_us),
+                    format!("{:.1}", r.sequential.p99_us),
+                    format!("{:.0}", r.sequential.rounds_per_sec),
+                    format!("{:.1}", r.batched.p50_us),
+                    format!("{:.1}", r.batched.p99_us),
+                    format!("{:.0}", r.batched.rounds_per_sec),
+                    format!("{:.2}x", r.speedup),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let record = Record {
+        scale: if quick { "quick".into() } else { "std".into() },
+        window: w,
+        embedding: format!("{:?}", config.embedding),
+        sizes: records,
+    };
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_gate.json");
+    let json = serde_json::to_string_pretty(&record).expect("serialize gate benchmark");
+    std::fs::write(&path, json).expect("write BENCH_gate.json");
+    println!("\n[wrote {}]", path.display());
+}

@@ -8,7 +8,7 @@
 //! for the RGB-input alternatives.
 
 use packetgame::training::{test_config, train_for_task};
-use packetgame::{ContextualPredictor, PacketGame, PacketGameConfig};
+use packetgame::{ContextualPredictor, PacketGame, PacketGameConfig, PredictScratch};
 use pg_bench::harness::{print_table, print_telemetry_summary, write_json, Scale};
 use pg_pipeline::{RoundSimulator, SimConfig, Telemetry};
 use pg_scene::TaskKind;
@@ -40,6 +40,34 @@ fn measure_latency(predictor: &mut ContextualPredictor, window: usize) -> f64 {
     t0.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
 }
 
+/// Per-frame latency of the batched gate path: score `m` streams per round
+/// through `predict_batch`, divide by `m`. This is the path the deployed
+/// gate actually uses per round (Table 4's "our" row measures the
+/// single-frame sequential API for comparison).
+fn measure_batched_latency(predictor: &ContextualPredictor, window: usize, m: usize) -> f64 {
+    let mut scratch = PredictScratch::new();
+    let mut round = |salt: f32| -> f64 {
+        scratch.begin(m, window);
+        for r in 0..m {
+            let (vi, vp) = scratch.stream_row(r, 0.5);
+            vi.fill(0.4 + salt);
+            vp.fill(0.3);
+        }
+        predictor.predict_batch(&mut scratch, 0).iter().sum()
+    };
+    let mut acc = 0.0f64;
+    for i in 0..64 {
+        acc += round(i as f32 * 1e-3);
+    }
+    let rounds = 2_000u32;
+    let t0 = Instant::now();
+    for i in 0..rounds {
+        acc += round(f64::from(i % 100) as f32 / 100.0);
+    }
+    std::hint::black_box(acc);
+    t0.elapsed().as_secs_f64() * 1e6 / (f64::from(rounds) * m as f64)
+}
+
 fn main() {
     let _scale = Scale::from_env();
 
@@ -49,6 +77,7 @@ fn main() {
     paper_net.forward_logits(&[0.1; 5], &[0.1; 5], 0.0);
     let paper_flops = paper_net.last_flops();
     let paper_latency = measure_latency(&mut paper_net, paper_config.window);
+    let paper_batched = measure_batched_latency(&paper_net, paper_config.window, 64);
 
     // The slim test architecture, for contrast.
     let slim_config = test_config();
@@ -80,6 +109,12 @@ fn main() {
             model: "our predictor (paper arch)".into(),
             flops: paper_flops as f64,
             latency_us_per_frame: Some(paper_latency),
+            parameters: Some(paper_net.param_count()),
+        },
+        Record {
+            model: "our predictor (paper arch, batched m=64)".into(),
+            flops: paper_flops as f64,
+            latency_us_per_frame: Some(paper_batched),
             parameters: Some(paper_net.param_count()),
         },
         Record {

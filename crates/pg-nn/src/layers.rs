@@ -6,18 +6,34 @@
 //! Gradients are verified against numerical differentiation in this
 //! module's tests.
 
+use crate::batch::Scratch;
 use crate::init::{glorot_uniform, he_uniform, init_rng};
 use crate::param::ParamSet;
 use crate::tensor::Tensor;
 
 /// A differentiable layer.
-pub trait Layer: std::fmt::Debug + Send {
+///
+/// `Sync` so a frozen network (`&self`) can be shared across scoped worker
+/// threads by the batched inference path.
+pub trait Layer: std::fmt::Debug + Send + Sync {
     /// Forward pass. Caches activations needed by `backward`.
     fn forward(&mut self, input: &Tensor) -> Tensor;
 
     /// Backward pass: takes ∂L/∂output, accumulates parameter gradients,
     /// returns ∂L/∂input. Must be called after `forward`.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Inference-mode batched forward pass.
+    ///
+    /// Reads the current `(batch, channels, len)` activation of `scratch`
+    /// — `batch` independent samples — and writes the layer output back
+    /// into `scratch`, advancing its shape. Unlike [`Layer::forward`] this
+    /// takes `&self`: nothing is cached for `backward`, [`Layer::last_flops`]
+    /// is not updated, and once the scratch buffers have grown to their
+    /// high-water shape no call allocates. Per-sample arithmetic order
+    /// matches `forward` exactly, so both paths agree bit-for-bit on
+    /// targets without FMA contraction.
+    fn forward_batch(&self, scratch: &mut Scratch);
 
     /// Trainable parameter sets (empty for activations/pooling).
     fn params_mut(&mut self) -> Vec<&mut ParamSet> {
@@ -44,6 +60,50 @@ pub trait Layer: std::fmt::Debug + Send {
 // ---------------------------------------------------------------------------
 // Conv1d
 // ---------------------------------------------------------------------------
+
+/// Valid kernel-tap range for output position `t` under *same* zero
+/// padding: `k ∈ [lo, hi)` iff the tapped input column `t + k − pad` is in
+/// `[0, len)`. Hoisting this out of the innermost loop removes a
+/// per-multiply branch from every conv kernel.
+#[inline]
+fn tap_range(t: usize, pad: usize, kernel: usize, len: usize) -> (usize, usize) {
+    let lo = pad.saturating_sub(t);
+    // `t < len` always, so `len + pad - t` cannot underflow.
+    let hi = kernel.min(len + pad - t);
+    (lo, hi.max(lo))
+}
+
+/// Samples per accumulator block in the batched conv/dense kernels: one
+/// cache line of f32 lanes, held in a fixed-size register array. Each lane
+/// owns an independent accumulator chain, so the FP adds of a block
+/// pipeline (and vectorize) instead of serializing on one loop-carried
+/// dependency — the core throughput advantage of the batched path over
+/// per-sample forward.
+const LANE_BLOCK: usize = 16;
+
+/// Transpose a sample-major `(batch, features)` batch view into a
+/// feature-major `(features, batch)` buffer: `dst[j*batch + r] =
+/// row(r)[j]`. The batched matmul-style kernels run feature-major so the
+/// innermost loop walks contiguous sample lanes.
+fn transpose_to_feature_major(inp: &crate::batch::BatchView<'_>, dst: &mut [f32]) {
+    let batch = inp.batch();
+    for r in 0..batch {
+        for (j, &v) in inp.row(r).iter().enumerate() {
+            dst[j * batch + r] = v;
+        }
+    }
+}
+
+/// Inverse of [`transpose_to_feature_major`]: feature-major `(features,
+/// batch)` back into the sample-major layout the scratch exposes.
+fn transpose_to_sample_major(src: &[f32], out: &mut [f32], batch: usize, features: usize) {
+    for r in 0..batch {
+        let dst = &mut out[r * features..(r + 1) * features];
+        for (j, d) in dst.iter_mut().enumerate() {
+            *d = src[j * batch + r];
+        }
+    }
+}
 
 /// 1-D convolution with *same* zero-padding and stride 1.
 ///
@@ -92,6 +152,44 @@ impl Conv1d {
     pub fn out_channels(&self) -> usize {
         self.out_ch
     }
+
+    /// Batched kernel over one block of `N` sample lanes starting at
+    /// column `rc` of the feature-major buffers: for every `(o, t)` output,
+    /// `N` accumulators live in a fixed-size register array while the taps
+    /// stream by in ascending `(i, k)` — the same per-sample arithmetic
+    /// order as the sequential `forward`.
+    fn forward_lanes<const N: usize>(
+        &self,
+        xt: &[f32],
+        yt: &mut [f32],
+        rc: usize,
+        batch: usize,
+        len: usize,
+    ) {
+        let pad = self.kernel / 2;
+        for o in 0..self.out_ch {
+            let bias = self.bias.w[o];
+            for t in 0..len {
+                let (k_lo, k_hi) = tap_range(t, pad, self.kernel, len);
+                let mut acc = [bias; N];
+                for i in 0..self.in_ch {
+                    let w_base = (o * self.in_ch + i) * self.kernel;
+                    for k in k_lo..k_hi {
+                        let w = self.weights.w[w_base + k];
+                        // k ≥ pad − t inside the tap range, so `t + k - pad`
+                        // cannot underflow.
+                        let col = (i * len + t + k - pad) * batch + rc;
+                        let x = &xt[col..col + N];
+                        for (a, &xv) in acc.iter_mut().zip(x) {
+                            *a += w * xv;
+                        }
+                    }
+                }
+                let y = (o * len + t) * batch + rc;
+                yt[y..y + N].copy_from_slice(&acc);
+            }
+        }
+    }
 }
 
 impl Layer for Conv1d {
@@ -102,13 +200,11 @@ impl Layer for Conv1d {
         let mut out = Tensor::zeros(self.out_ch, len);
         for o in 0..self.out_ch {
             for t in 0..len {
+                let (k_lo, k_hi) = tap_range(t, pad, self.kernel, len);
                 let mut acc = self.bias.w[o];
                 for i in 0..self.in_ch {
-                    for k in 0..self.kernel {
-                        let s = t + k;
-                        if s >= pad && s - pad < len {
-                            acc += self.w(o, i, k) * input.get(i, s - pad);
-                        }
+                    for k in k_lo..k_hi {
+                        acc += self.w(o, i, k) * input.get(i, t + k - pad);
                     }
                 }
                 out.set(o, t, acc);
@@ -139,20 +235,57 @@ impl Layer for Conv1d {
                     continue;
                 }
                 self.bias.g[o] += go;
+                let (k_lo, k_hi) = tap_range(t, pad, self.kernel, len);
                 for i in 0..self.in_ch {
-                    for k in 0..self.kernel {
-                        let s = t + k;
-                        if s >= pad && s - pad < len {
-                            let x = input.get(i, s - pad);
-                            self.weights.g[(o * self.in_ch + i) * self.kernel + k] += go * x;
-                            let cur = grad_in.get(i, s - pad);
-                            grad_in.set(i, s - pad, cur + go * self.w(o, i, k));
-                        }
+                    for k in k_lo..k_hi {
+                        let s = t + k - pad;
+                        let x = input.get(i, s);
+                        self.weights.g[(o * self.in_ch + i) * self.kernel + k] += go * x;
+                        let cur = grad_in.get(i, s);
+                        grad_in.set(i, s, cur + go * self.w(o, i, k));
                     }
                 }
             }
         }
         grad_in
+    }
+
+    fn forward_batch(&self, scratch: &mut Scratch) {
+        let (batch, in_ch, len) = scratch.shape();
+        assert_eq!(in_ch, self.in_ch, "conv1d batch input channel mismatch");
+        let out_ch = self.out_ch;
+        // Feature-major workspace: samples become the contiguous innermost
+        // axis, so each tap is one weight broadcast against a lane block
+        // held in registers. Both halves are fully overwritten (transpose /
+        // bias init), hence the `_raw` aux.
+        let in_n = batch * in_ch * len;
+        let out_n = batch * out_ch * len;
+        scratch.map_layer_with_aux_raw(out_ch, len, in_n + out_n, |inp, out, aux| {
+            let (xt, yt) = aux.split_at_mut(in_n);
+            transpose_to_feature_major(&inp, xt);
+            // Cache-blocked sweep: per block of sample lanes, visit every
+            // (o, t) output with the accumulators in registers. The block
+            // width cascades 16 → 8 → 4 → 1 so small batches (and tails)
+            // keep vector-width lanes instead of falling back to scalar.
+            let mut rc = 0;
+            while rc < batch {
+                let left = batch - rc;
+                if left >= LANE_BLOCK {
+                    self.forward_lanes::<LANE_BLOCK>(xt, yt, rc, batch, len);
+                    rc += LANE_BLOCK;
+                } else if left >= 8 {
+                    self.forward_lanes::<8>(xt, yt, rc, batch, len);
+                    rc += 8;
+                } else if left >= 4 {
+                    self.forward_lanes::<4>(xt, yt, rc, batch, len);
+                    rc += 4;
+                } else {
+                    self.forward_lanes::<1>(xt, yt, rc, batch, len);
+                    rc += 1;
+                }
+            }
+            transpose_to_sample_major(yt, out, batch, out_ch * len);
+        });
     }
 
     fn params_mut(&mut self) -> Vec<&mut ParamSet> {
@@ -207,6 +340,27 @@ impl Dense {
     pub fn out_dim(&self) -> usize {
         self.out_dim
     }
+
+    /// Compute `N` consecutive sample lanes of the feature-major batched
+    /// matvec starting at lane `rc`. `N` is a compile-time constant so the
+    /// accumulator array lives in registers; per lane the arithmetic order
+    /// (bias first, then inputs in ascending `i`) matches the sequential
+    /// `forward` exactly.
+    fn forward_lanes<const N: usize>(&self, xt: &[f32], yt: &mut [f32], rc: usize, batch: usize) {
+        let in_dim = self.in_dim;
+        for j in 0..self.out_dim {
+            let w_row = &self.weights.w[j * in_dim..(j + 1) * in_dim];
+            let mut acc = [self.bias.w[j]; N];
+            for (i, &w) in w_row.iter().enumerate() {
+                let x = &xt[i * batch + rc..i * batch + rc + N];
+                for (a, &xv) in acc.iter_mut().zip(x) {
+                    *a += w * xv;
+                }
+            }
+            let y = j * batch + rc;
+            yt[y..y + N].copy_from_slice(&acc);
+        }
+    }
 }
 
 impl Layer for Dense {
@@ -244,6 +398,41 @@ impl Layer for Dense {
             }
         }
         grad_in
+    }
+
+    fn forward_batch(&self, scratch: &mut Scratch) {
+        let (batch, ch, len) = scratch.shape();
+        let in_dim = ch * len;
+        assert_eq!(in_dim, self.in_dim, "dense batch input dim mismatch");
+        let out_dim = self.out_dim;
+        // Same feature-major, lane-blocked scheme as the conv kernel: a
+        // dense layer is the kernel == len == 1 special case.
+        let in_n = batch * in_dim;
+        let out_n = batch * out_dim;
+        scratch.map_layer_with_aux_raw(out_dim, 1, in_n + out_n, |inp, out, aux| {
+            let (xt, yt) = aux.split_at_mut(in_n);
+            transpose_to_feature_major(&inp, xt);
+            // Same 16 → 8 → 4 → 1 lane cascade as the conv kernel so small
+            // batches stay vectorized.
+            let mut rc = 0;
+            while rc < batch {
+                let left = batch - rc;
+                if left >= LANE_BLOCK {
+                    self.forward_lanes::<LANE_BLOCK>(xt, yt, rc, batch);
+                    rc += LANE_BLOCK;
+                } else if left >= 8 {
+                    self.forward_lanes::<8>(xt, yt, rc, batch);
+                    rc += 8;
+                } else if left >= 4 {
+                    self.forward_lanes::<4>(xt, yt, rc, batch);
+                    rc += 4;
+                } else {
+                    self.forward_lanes::<1>(xt, yt, rc, batch);
+                    rc += 1;
+                }
+            }
+            transpose_to_sample_major(yt, out, batch, out_dim);
+        });
     }
 
     fn params_mut(&mut self) -> Vec<&mut ParamSet> {
@@ -290,6 +479,13 @@ impl Layer for ReLU {
         }
         g
     }
+
+    fn forward_batch(&self, scratch: &mut Scratch) {
+        // Elementwise and shape-preserving: rectify in place.
+        for v in scratch.cur_mut() {
+            *v = v.max(0.0);
+        }
+    }
 }
 
 /// Logistic sigmoid.
@@ -319,6 +515,12 @@ impl Layer for Sigmoid {
             *gv *= yv * (1.0 - yv);
         }
         g
+    }
+
+    fn forward_batch(&self, scratch: &mut Scratch) {
+        for v in scratch.cur_mut() {
+            *v = 1.0 / (1.0 + (-*v).exp());
+        }
     }
 }
 
@@ -370,6 +572,25 @@ impl Layer for GlobalMaxPool1d {
             grad_in.set(ch, self.argmax[ch], grad_out.data()[ch]);
         }
         grad_in
+    }
+
+    fn forward_batch(&self, scratch: &mut Scratch) {
+        let (batch, c, l) = scratch.shape();
+        assert!(l > 0, "cannot max-pool an empty sequence");
+        scratch.map_layer(c, 1, |inp, out| {
+            for r in 0..batch {
+                let row = inp.row(r);
+                for ch in 0..c {
+                    let mut best = f32::NEG_INFINITY;
+                    for &v in &row[ch * l..(ch + 1) * l] {
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                    out[r * c + ch] = best;
+                }
+            }
+        });
     }
 }
 
@@ -521,6 +742,58 @@ mod tests {
         let mut layer = ReLU::new();
         let out = layer.forward(&Tensor::vector(vec![-1.0, 0.0, 2.0]));
         assert_eq!(out.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    /// Run `batch` random samples through `forward` one by one and through
+    /// `forward_batch` all at once; the two paths must agree bit-for-bit
+    /// (same arithmetic order, no FMA contraction on test targets).
+    fn assert_batch_matches_sequential(
+        layer: &mut dyn Layer,
+        batch: usize,
+        in_ch: usize,
+        len: usize,
+        seed: u64,
+    ) {
+        use crate::batch::Scratch;
+        let samples: Vec<Tensor> = (0..batch)
+            .map(|r| sample_input(in_ch, len, seed + r as u64))
+            .collect();
+        let mut scratch = Scratch::new();
+        let buf = scratch.begin(batch, in_ch, len);
+        for (r, s) in samples.iter().enumerate() {
+            buf[r * in_ch * len..(r + 1) * in_ch * len].copy_from_slice(s.data());
+        }
+        layer.forward_batch(&mut scratch);
+        let (b, out_ch, out_len) = scratch.shape();
+        assert_eq!(b, batch);
+        for (r, s) in samples.iter().enumerate() {
+            let seq = layer.forward(s);
+            assert_eq!((seq.rows(), seq.cols()), (out_ch, out_len));
+            let got = &scratch.cur()[r * out_ch * out_len..(r + 1) * out_ch * out_len];
+            assert_eq!(seq.data(), got, "sample {r} diverges");
+        }
+    }
+
+    #[test]
+    fn conv1d_batch_matches_sequential() {
+        // Batch > ROW_BLOCK to exercise the partial tail block.
+        let mut layer = Conv1d::new(2, 3, 3, 21);
+        assert_batch_matches_sequential(&mut layer, 11, 2, 5, 100);
+        let mut wide = Conv1d::new(1, 4, 5, 22);
+        assert_batch_matches_sequential(&mut wide, 3, 1, 4, 200);
+    }
+
+    #[test]
+    fn dense_batch_matches_sequential() {
+        let mut layer = Dense::new(6, 4, 23);
+        assert_batch_matches_sequential(&mut layer, 10, 2, 3, 300);
+    }
+
+    #[test]
+    fn activation_and_pool_batch_match_sequential() {
+        assert_batch_matches_sequential(&mut ReLU::new(), 9, 2, 4, 400);
+        assert_batch_matches_sequential(&mut Sigmoid::new(), 9, 2, 4, 500);
+        assert_batch_matches_sequential(&mut GlobalMaxPool1d::new(), 9, 3, 4, 600);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   convolutions, features × 1 for dense layers);
 //! * [`layers`] — `Conv1d`, `Dense`, `ReLU`, `Sigmoid`, `GlobalMaxPool1d`,
 //!   each with forward + backward;
+//! * [`batch`] — `BatchView` + `Scratch` for the inference-mode batched
+//!   path (`Layer::forward_batch`): all samples in one row-major buffer,
+//!   ping-pong scratch reuse, zero steady-state allocations;
 //! * [`model::Sequential`] — ordered layer container;
 //! * [`loss`] — binary cross-entropy (plain and with-logits) and MSE;
 //! * [`optim::RmsProp`] — the paper's optimizer (plus plain SGD);
@@ -43,6 +46,7 @@
 //! assert_eq!(y.len(), 1);
 //! ```
 
+pub mod batch;
 pub mod init;
 pub mod layers;
 pub mod loss;
@@ -54,6 +58,7 @@ pub mod recurrent;
 pub mod serialize;
 pub mod tensor;
 
+pub use batch::{BatchView, Scratch};
 pub use layers::{Conv1d, Dense, GlobalMaxPool1d, Layer, ReLU, Sigmoid};
 pub use loss::{bce, bce_grad, bce_with_logits, mse};
 pub use lstm::Lstm;

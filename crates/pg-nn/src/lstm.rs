@@ -16,6 +16,7 @@
 //! `GlobalMaxPool1d` like the other embedding branches. The forget-gate
 //! bias is initialized to 1 (the standard trick for gradient flow).
 
+use crate::batch::Scratch;
 use crate::init::{glorot_uniform, init_rng};
 use crate::layers::Layer;
 use crate::param::ParamSet;
@@ -215,6 +216,50 @@ impl Layer for Lstm {
         grad_in
     }
 
+    /// Batched inference fallback: like [`Rnn`](crate::recurrent::Rnn),
+    /// the recurrence serializes time, so samples run **per row** — the
+    /// aux scratch holds the gate activations and cell state of the
+    /// current step only (`5·hidden` floats), reused across rows and
+    /// rounds. Hidden state is read back from output column `t − 1`.
+    fn forward_batch(&self, scratch: &mut Scratch) {
+        let (batch, in_ch, len) = scratch.shape();
+        assert_eq!(in_ch, self.in_ch, "lstm batch input channel mismatch");
+        let hd = self.hidden;
+        scratch.map_layer_with_aux(hd, len, (GATES + 1) * hd, |inp, out, aux| {
+            let (g, c) = aux.split_at_mut(GATES * hd);
+            for r in 0..batch {
+                let x = inp.row(r);
+                let o = &mut out[r * hd * len..(r + 1) * hd * len];
+                c[..hd].fill(0.0);
+                for t in 0..len {
+                    for gate in 0..GATES {
+                        for h in 0..hd {
+                            let mut acc = self.bias.w[gate * hd + h];
+                            for i in 0..in_ch {
+                                acc += self.wx_at(gate, h, i) * x[i * len + t];
+                            }
+                            if t > 0 {
+                                for hp in 0..hd {
+                                    acc += self.wh_at(gate, h, hp) * o[hp * len + t - 1];
+                                }
+                            }
+                            g[gate * hd + h] =
+                                if gate == 3 { acc.tanh() } else { sigmoid(acc) };
+                        }
+                    }
+                    for h in 0..hd {
+                        let (i_g, f_g, o_g, g_g) =
+                            (g[h], g[hd + h], g[2 * hd + h], g[3 * hd + h]);
+                        // c[h] still holds c_{t−1}; overwrite in place.
+                        let cc = f_g * c[h] + i_g * g_g;
+                        c[h] = cc;
+                        o[h * len + t] = o_g * cc.tanh();
+                    }
+                }
+            }
+        });
+    }
+
     fn params_mut(&mut self) -> Vec<&mut ParamSet> {
         vec![&mut self.wx, &mut self.wh, &mut self.bias]
     }
@@ -312,6 +357,29 @@ mod tests {
     fn param_count() {
         let layer = Lstm::new(2, 5, 5);
         assert_eq!(layer.param_count(), 4 * (5 * 2 + 5 * 5 + 5));
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        use crate::batch::Scratch;
+        let mut layer = Lstm::new(2, 3, 9);
+        let (batch, in_ch, len) = (4usize, 2usize, 5usize);
+        let mut rng = crate::init::init_rng(78);
+        let samples: Vec<Tensor> = (0..batch)
+            .map(|_| Tensor::from_vec(in_ch, len, glorot_uniform(&mut rng, 1, 1, in_ch * len)))
+            .collect();
+        let mut scratch = Scratch::new();
+        let buf = scratch.begin(batch, in_ch, len);
+        for (r, s) in samples.iter().enumerate() {
+            buf[r * in_ch * len..(r + 1) * in_ch * len].copy_from_slice(s.data());
+        }
+        layer.forward_batch(&mut scratch);
+        for (r, s) in samples.iter().enumerate() {
+            let seq = layer.forward(s);
+            let stride = seq.len();
+            let got = &scratch.cur()[r * stride..(r + 1) * stride];
+            assert_eq!(seq.data(), got, "sample {r} diverges");
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Layer containers.
 
+use crate::batch::Scratch;
 use crate::layers::Layer;
 use crate::optim::Optimizer;
 use crate::param::ParamSet;
@@ -29,6 +30,17 @@ impl Sequential {
             x = layer.forward(&x);
         }
         x
+    }
+
+    /// Inference-mode batched forward: run every layer's
+    /// [`Layer::forward_batch`] over the scratch activations. Takes
+    /// `&self` — no training caches are touched, and nothing allocates
+    /// once the scratch has warmed up to its high-water shape. The result
+    /// is left as the scratch's current activation.
+    pub fn forward_batch(&self, scratch: &mut Scratch) {
+        for layer in &self.layers {
+            layer.forward_batch(scratch);
+        }
     }
 
     /// Backward through every layer (reverse order); returns ∂L/∂input.

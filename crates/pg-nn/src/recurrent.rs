@@ -10,6 +10,7 @@
 //! sequence `(hidden, L)` so it composes with `GlobalMaxPool1d` exactly
 //! like a convolution branch.
 
+use crate::batch::Scratch;
 use crate::init::{glorot_uniform, init_rng};
 use crate::layers::Layer;
 use crate::param::ParamSet;
@@ -139,6 +140,37 @@ impl Layer for Rnn {
         grad_in
     }
 
+    /// Batched inference fallback: the recurrence serializes the time axis,
+    /// so samples are processed **per row** (no cross-row blocking as in
+    /// the conv/dense kernels) — still `&self`, cache-free, and
+    /// allocation-free after scratch warm-up. The previous hidden state is
+    /// read back from the already-written output column `t − 1`.
+    fn forward_batch(&self, scratch: &mut Scratch) {
+        let (batch, in_ch, len) = scratch.shape();
+        assert_eq!(in_ch, self.in_ch, "rnn batch input channel mismatch");
+        let hd = self.hidden;
+        scratch.map_layer(hd, len, |inp, out| {
+            for r in 0..batch {
+                let x = inp.row(r);
+                let o = &mut out[r * hd * len..(r + 1) * hd * len];
+                for t in 0..len {
+                    for h in 0..hd {
+                        let mut acc = self.bias.w[h];
+                        for i in 0..in_ch {
+                            acc += self.wx.w[h * in_ch + i] * x[i * len + t];
+                        }
+                        if t > 0 {
+                            for hp in 0..hd {
+                                acc += self.wh.w[h * hd + hp] * o[hp * len + t - 1];
+                            }
+                        }
+                        o[h * len + t] = acc.tanh();
+                    }
+                }
+            }
+        });
+    }
+
     fn params_mut(&mut self) -> Vec<&mut ParamSet> {
         vec![&mut self.wx, &mut self.wh, &mut self.bias]
     }
@@ -232,6 +264,30 @@ mod tests {
     fn param_count() {
         let layer = Rnn::new(2, 5, 4);
         assert_eq!(layer.param_count(), 2 * 5 + 5 * 5 + 5);
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        use crate::batch::Scratch;
+        use crate::init::glorot_uniform;
+        let mut layer = Rnn::new(2, 4, 6);
+        let (batch, in_ch, len) = (5usize, 2usize, 4usize);
+        let mut rng = crate::init::init_rng(77);
+        let samples: Vec<Tensor> = (0..batch)
+            .map(|_| Tensor::from_vec(in_ch, len, glorot_uniform(&mut rng, 1, 1, in_ch * len)))
+            .collect();
+        let mut scratch = Scratch::new();
+        let buf = scratch.begin(batch, in_ch, len);
+        for (r, s) in samples.iter().enumerate() {
+            buf[r * in_ch * len..(r + 1) * in_ch * len].copy_from_slice(s.data());
+        }
+        layer.forward_batch(&mut scratch);
+        for (r, s) in samples.iter().enumerate() {
+            let seq = layer.forward(s);
+            let stride = seq.len();
+            let got = &scratch.cur()[r * stride..(r + 1) * stride];
+            assert_eq!(seq.data(), got, "sample {r} diverges");
+        }
     }
 
     #[test]
