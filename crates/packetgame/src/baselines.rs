@@ -45,7 +45,7 @@ impl GatePolicy for RandomGate {
     }
 
     fn select(&mut self, _round: u64, candidates: &[PacketContext], _budget: f64) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        let mut order: Vec<usize> = candidates.iter().map(|c| c.stream_idx).collect();
         order.shuffle(&mut self.rng);
         order
     }
@@ -195,7 +195,9 @@ impl GatePolicy for RoundRobinGate {
             served += 1;
         }
         self.offset = (self.offset + served.max(1)) % m;
-        order
+        // Selections name streams, not candidate positions (the candidate
+        // list may be a subset under loss or quarantine).
+        order.into_iter().map(|i| candidates[i].stream_idx).collect()
     }
 
     fn feedback(&mut self, _events: &[FeedbackEvent]) {}

@@ -108,9 +108,26 @@ impl TemporalEstimator {
     /// feedback `reward` (true = necessary).
     pub fn record(&mut self, stream: usize, reward: bool) {
         if let Some(h) = self.history.get_mut(stream) {
-            if let Some(last) = h.back_mut() {
-                last.selected = true;
-                last.reward = reward;
+            match h.back_mut() {
+                Some(last) => {
+                    last.selected = true;
+                    last.reward = reward;
+                }
+                None => {
+                    // The stream was added by `ensure_streams` after this
+                    // round's `begin_round`, so its ring has no
+                    // current-round slot yet. Push a synthetic one instead
+                    // of dropping the feedback: otherwise the selection and
+                    // reward are lost while `age` still resets, leaving
+                    // T_{w,i} = 0 and an inflated exploration bonus.
+                    if h.len() == self.window {
+                        h.pop_front();
+                    }
+                    h.push_back(RoundRecord {
+                        selected: true,
+                        reward,
+                    });
+                }
             }
             self.age[stream] = 0;
         }
@@ -265,6 +282,28 @@ mod tests {
         est.begin_round();
         est.record(4, true);
         assert!(est.estimate(4) > 0.0);
+    }
+
+    #[test]
+    fn feedback_for_stream_added_mid_round_is_not_lost() {
+        let mut est = TemporalEstimator::new(2, 5, 10.0).with_aging(0.0, 0.0);
+        est.begin_round();
+        // Stream 2 joins after begin_round (the elastic-scaling path): its
+        // ring is empty, yet feedback for this round must still land.
+        est.ensure_streams(3);
+        est.record(2, true);
+        assert_eq!(est.selections_in_window(2), 1, "selection recorded");
+        assert!(est.exploitation(2) > 0.0, "reward recorded");
+        assert_eq!(est.age_of(2), 0);
+        // A never-selected peer added at the same time keeps the larger
+        // T=0 exploration bonus; the recorded stream's bonus shrank.
+        est.ensure_streams(4);
+        assert!(est.exploration(3) > est.exploration(2));
+        // The synthetic record obeys the window bound on later rounds.
+        for _ in 0..10 {
+            est.begin_round();
+        }
+        assert!(est.history[2].len() <= 5);
     }
 
     #[test]

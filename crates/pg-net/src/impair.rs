@@ -21,6 +21,38 @@ use serde::{Deserialize, Serialize};
 
 use pg_scene::rng::rng;
 
+/// Flip one uniformly chosen bit of `bytes` in place. No-op on empty input.
+///
+/// This is the exact corruption model [`ImpairedChannel::send`] applies; it
+/// is exposed so fault-injection harnesses elsewhere (e.g. the pg-pipeline
+/// `FaultPlan`) damage chunks the same way the network layer would.
+pub fn flip_random_bit(bytes: &mut [u8], rng: &mut StdRng) {
+    if bytes.is_empty() {
+        return;
+    }
+    let idx = rng.gen_range(0..bytes.len());
+    let bit = rng.gen_range(0u32..8);
+    bytes[idx] ^= 1u8 << bit;
+}
+
+/// Deterministic single-bit flip derived from `seed` alone.
+pub fn flip_bit_seeded(bytes: &mut [u8], seed: u64) {
+    let mut r = rng(seed, 0x46_4C_49_50);
+    flip_random_bit(bytes, &mut r);
+}
+
+/// Deterministically truncate `bytes` to a seeded fraction of its length,
+/// keeping at least one byte and dropping at least one. No-op when the
+/// buffer has fewer than two bytes (nothing can be both kept and dropped).
+pub fn truncate_seeded(bytes: &mut Vec<u8>, seed: u64) {
+    if bytes.len() < 2 {
+        return;
+    }
+    let mut r = rng(seed, 0x54_52_55_4E);
+    let keep = r.gen_range(1..bytes.len());
+    bytes.truncate(keep);
+}
+
 /// Fault probabilities and delay model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ImpairmentConfig {
@@ -118,9 +150,7 @@ impl ImpairedChannel {
             if !b.is_empty() && self.rng.gen_bool(self.config.corrupt_chance.clamp(0.0, 1.0))
             {
                 self.corrupted += 1;
-                let idx = self.rng.gen_range(0..b.len());
-                let bit = self.rng.gen_range(0u32..8);
-                b[idx] ^= 1u8 << bit;
+                flip_random_bit(&mut b, &mut self.rng);
             }
             let delay = self.config.base_delay
                 + if self.config.jitter > 0 {
@@ -273,6 +303,35 @@ mod tests {
         }
         let out = drain(&mut ch, 2);
         assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn seeded_flip_changes_exactly_one_bit() {
+        let original = vec![0xAAu8; 64];
+        let mut flipped = original.clone();
+        flip_bit_seeded(&mut flipped, 42);
+        let differing_bits: u32 = original
+            .iter()
+            .zip(&flipped)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(differing_bits, 1);
+        // Same seed, same flip.
+        let mut again = original.clone();
+        flip_bit_seeded(&mut again, 42);
+        assert_eq!(again, flipped);
+    }
+
+    #[test]
+    fn seeded_truncate_keeps_and_drops_at_least_one_byte() {
+        for seed in 0..32 {
+            let mut b = vec![7u8; 40];
+            truncate_seeded(&mut b, seed);
+            assert!(!b.is_empty() && b.len() < 40, "len {}", b.len());
+        }
+        let mut tiny = vec![1u8];
+        truncate_seeded(&mut tiny, 0);
+        assert_eq!(tiny.len(), 1);
     }
 
     #[test]

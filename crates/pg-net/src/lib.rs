@@ -47,6 +47,8 @@ pub mod source;
 pub use arq::{Nack, ReliableLink};
 pub use crc::crc32;
 pub use frag::{Datagram, Fragmenter, DATAGRAM_HEADER_SIZE, DEFAULT_MTU};
-pub use impair::{ImpairedChannel, ImpairmentConfig};
+pub use impair::{
+    flip_bit_seeded, flip_random_bit, truncate_seeded, ImpairedChannel, ImpairmentConfig,
+};
 pub use receiver::{ReassemblyConfig, ReorderReceiver};
 pub use source::{NetworkedStream, TransportStats};

@@ -33,8 +33,35 @@ impl RoundBudget {
     ///
     /// Example (paper §4.1): 870 FPS CPU decoding at mean cost 1 unit and
     /// 25 rounds/s gives ≈ 34.8 units/round.
+    ///
+    /// Panics on non-finite or negative inputs; use
+    /// [`RoundBudget::try_from_decode_fps`] to handle them recoverably.
     pub fn from_decode_fps(decode_fps: f64, mean_cost_per_frame: f64) -> Self {
-        Self::new(decode_fps / STREAM_FPS * mean_cost_per_frame)
+        match Self::try_from_decode_fps(decode_fps, mean_cost_per_frame) {
+            Ok(b) => b,
+            Err(e) => panic!("invalid decode budget: {e}"),
+        }
+    }
+
+    /// Fallible form of [`RoundBudget::from_decode_fps`]. Both inputs must
+    /// be finite and non-negative — otherwise NaN/∞ (e.g. `∞ × 0`) would
+    /// propagate into `per_round`, where only the product is checked and a
+    /// NaN would silently disable `can_spend`.
+    pub fn try_from_decode_fps(
+        decode_fps: f64,
+        mean_cost_per_frame: f64,
+    ) -> Result<Self, String> {
+        if !decode_fps.is_finite() || decode_fps < 0.0 {
+            return Err(format!(
+                "decode_fps must be finite and non-negative, got {decode_fps}"
+            ));
+        }
+        if !mean_cost_per_frame.is_finite() || mean_cost_per_frame < 0.0 {
+            return Err(format!(
+                "mean_cost_per_frame must be finite and non-negative, got {mean_cost_per_frame}"
+            ));
+        }
+        Ok(Self::new(decode_fps / STREAM_FPS * mean_cost_per_frame))
     }
 
     /// Equivalent decode FPS of this budget at a mean per-frame cost.
@@ -133,5 +160,27 @@ mod tests {
     #[should_panic]
     fn negative_budget_rejected() {
         let _ = RoundBudget::new(-1.0);
+    }
+
+    #[test]
+    fn non_finite_fps_inputs_rejected() {
+        // NaN cost would otherwise yield per_round = NaN, making
+        // can_spend() permanently false without tripping new()'s assert.
+        assert!(RoundBudget::try_from_decode_fps(870.0, f64::NAN).is_err());
+        assert!(RoundBudget::try_from_decode_fps(f64::NAN, 1.0).is_err());
+        // ∞ × 0 = NaN sneaks past a product-only check; inputs must be
+        // validated individually.
+        assert!(RoundBudget::try_from_decode_fps(f64::INFINITY, 0.0).is_err());
+        assert!(RoundBudget::try_from_decode_fps(870.0, -1.0).is_err());
+        assert!(RoundBudget::try_from_decode_fps(-870.0, 1.0).is_err());
+        // Valid inputs still go through.
+        let b = RoundBudget::try_from_decode_fps(870.0, 1.0).expect("valid");
+        assert!(b.per_round > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid decode budget")]
+    fn from_decode_fps_panics_on_nan_cost() {
+        let _ = RoundBudget::from_decode_fps(870.0, f64::NAN);
     }
 }

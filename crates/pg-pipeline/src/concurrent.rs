@@ -16,10 +16,23 @@
 //! Decode work is synthetic but real CPU time: a deterministic xorshift
 //! loop proportional to the packet's decode cost in [`CostModel`] units,
 //! calibrated by [`DecodeWorkModel`].
+//!
+//! ## Fault tolerance
+//!
+//! Malformed input never panics the runtime. The parser resynchronizes
+//! past damaged records and reports them in-band as
+//! [`PipelineError::ParseCorrupt`]; the gate quarantines the offending
+//! stream per [`QuarantineConfig`] (dropping its in-flight closure and
+//! releasing its budget share to the remaining streams) and re-admits it
+//! after the cooldown. Decode-worker and feedback failures flow back on a
+//! dedicated fault channel; a stage thread dying becomes a
+//! [`PipelineError::StageDown`] record in the report instead of a join
+//! panic. Deterministic fault injection is available via
+//! [`ConcurrentConfig::faults`].
 
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 
 use pg_codec::{
     serialize_stream_chunks, CostModel, DependencyTracker, Encoder, EncoderConfig, Packet,
@@ -27,8 +40,17 @@ use pg_codec::{
 };
 use pg_scene::{generator_for, TaskKind};
 
+use crate::fault::{
+    push_fault, FaultPlan, FaultRecord, HealthSummary, PipelineError, QuarantineConfig,
+    StreamHealth,
+};
 use crate::gate::{FeedbackEvent, GatePolicy, PacketContext};
 use crate::telemetry::{Stage, Telemetry, TelemetrySnapshot};
+
+/// How long the gate waits for parser output before declaring the
+/// uncovered streams stalled (a corrupted length field can otherwise leave
+/// a stream silently waiting for phantom payload bytes).
+const STALL_TIMEOUT: Duration = Duration::from_millis(500);
 
 /// Synthetic decode work: CPU iterations per cost unit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,6 +106,10 @@ pub struct ConcurrentConfig {
     pub costs: CostModel,
     /// Seed.
     pub seed: u64,
+    /// Quarantine thresholds for failing streams.
+    pub quarantine: QuarantineConfig,
+    /// Deterministic fault injection (empty = clean run).
+    pub faults: FaultPlan,
 }
 
 impl Default for ConcurrentConfig {
@@ -98,6 +124,8 @@ impl Default for ConcurrentConfig {
             work: DecodeWorkModel::default(),
             costs: CostModel::default(),
             seed: 1,
+            quarantine: QuarantineConfig::default(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -111,18 +139,25 @@ pub struct ConcurrentReport {
     pub rounds: u64,
     /// Total bytes pushed through the parser.
     pub bytes_parsed: u64,
-    /// Packets parsed (= streams × rounds on success).
+    /// Packets parsed (= streams × rounds on a clean run).
     pub packets_parsed: u64,
     /// Packets decoded (targets; closures counted separately).
     pub packets_decoded: u64,
     /// Frames decoded including dependency closures.
     pub frames_decoded: u64,
+    /// Frames decoded per stream (dependency closures included).
+    pub frames_per_stream: Vec<u64>,
     /// Decode cost spent (units).
     pub cost_spent: f64,
     /// Wall-clock duration of the run.
     pub wall: Duration,
     /// Cumulative time the gate spent inside `select`.
     pub gate_time: Duration,
+    /// Classified faults observed, in roughly chronological order
+    /// (bounded; see [`crate::fault::MAX_FAULT_RECORDS`]).
+    pub faults: Vec<FaultRecord>,
+    /// Stream-health roll-up (degraded/recovered/dead counts).
+    pub health: HealthSummary,
     /// Per-stage telemetry, when a handle was attached (`None` otherwise).
     pub telemetry: Option<TelemetrySnapshot>,
 }
@@ -161,6 +196,17 @@ struct InferItem {
     stream_idx: usize,
     round: u64,
     target: Packet,
+}
+
+/// What the parser hands the gate for one stream: a packet, or an in-band
+/// fault marker (so the gate never stalls waiting for a destroyed record).
+enum ParserMsg {
+    Packet(Packet),
+    Fault {
+        error: PipelineError,
+        /// `true` when the stream can never recover (destroyed header).
+        fatal: bool,
+    },
 }
 
 /// The concurrent pipeline runner.
@@ -209,19 +255,23 @@ impl ConcurrentPipeline {
 
         // producer → parser: per-stream byte chunks.
         let (byte_tx, byte_rx) = bounded::<(usize, Vec<u8>)>(m * 4);
-        // parser → gate: parsed packets, tagged with the stream index.
-        let (pkt_tx, pkt_rx) = bounded::<(usize, Packet)>(m * 4);
+        // parser → gate: parsed packets / fault markers, tagged with the
+        // stream index.
+        let (pkt_tx, pkt_rx) = bounded::<(usize, ParserMsg)>(m * 4);
         // gate → decoders.
         let (job_tx, job_rx) = bounded::<DecodeJob>(m * 4);
         // decoders → inference.
         let (frame_tx, frame_rx) = bounded::<(InferItem, f64, usize)>(m * 4);
         // inference → gate (feedback).
         let (fb_tx, fb_rx) = bounded::<FeedbackEvent>(m * 16);
+        // workers/inference → gate (classified faults). Unbounded so a
+        // fault report can never block a stage against a finished gate.
+        let (fault_tx, fault_rx) = unbounded::<PipelineError>();
 
         std::thread::scope(|scope| {
             // ---------------- producer ----------------
             let producer_cfg = cfg.clone();
-            scope.spawn(move || {
+            let producer_handle = scope.spawn(move || {
                 producer(&producer_cfg, byte_tx);
             });
 
@@ -235,28 +285,12 @@ impl ConcurrentPipeline {
             for _ in 0..cfg.decode_workers {
                 let rx: Receiver<DecodeJob> = job_rx.clone();
                 let tx = frame_tx.clone();
+                let err_tx = fault_tx.clone();
                 let work = cfg.work;
+                let plan = cfg.faults.clone();
                 let telemetry = self.telemetry.clone();
                 decode_handles.push(scope.spawn(move || {
-                    let mut frames = 0u64;
-                    let mut cost = 0.0f64;
-                    while let Ok(job) = rx.recv() {
-                        let decode_timer = telemetry.timer();
-                        work.decode_work(job.cost);
-                        telemetry.record(Stage::Decode, job.closure.len() as u64, decode_timer);
-                        frames += job.closure.len() as u64;
-                        cost += job.cost;
-                        let target = job.closure.last().expect("non-empty closure").clone();
-                        let item = InferItem {
-                            stream_idx: job.stream_idx,
-                            round: job.round,
-                            target,
-                        };
-                        if tx.send((item, job.cost, job.closure.len())).is_err() {
-                            break;
-                        }
-                    }
-                    (frames, cost)
+                    decode_worker(m, work, &plan, rx, tx, err_tx, telemetry)
                 }));
             }
             drop(job_rx);
@@ -265,24 +299,62 @@ impl ConcurrentPipeline {
             // ---------------- inference ----------------
             let infer_task = cfg.task;
             let infer_telemetry = self.telemetry.clone();
+            let infer_plan = cfg.faults.clone();
+            let infer_err_tx = fault_tx.clone();
             let infer_handle = scope.spawn(move || {
-                inference_stage(m, infer_task, frame_rx, fb_tx, infer_telemetry)
+                inference_stage(m, infer_task, &infer_plan, frame_rx, fb_tx, infer_err_tx,
+                    infer_telemetry)
             });
+            drop(fault_tx);
 
             // ---------------- gate (this thread) ----------------
             gate.attach_telemetry(self.telemetry.clone());
-            let gate_stats = gate_stage(cfg, gate, pkt_rx, job_tx, fb_rx, &self.telemetry);
+            let mut gate_stats =
+                gate_stage(cfg, gate, pkt_rx, job_tx, fb_rx, &fault_rx, &self.telemetry);
 
-            // Collect.
-            let (packets_parsed, bytes_parsed) = parser_handle.join().expect("parser thread");
+            // Collect, converting dead stage threads into StageDown reports
+            // instead of propagating their panic.
+            let mut join_fault = |stage: &'static str| {
+                let error = PipelineError::StageDown {
+                    stage,
+                    detail: "thread panicked".to_string(),
+                };
+                self.telemetry.fault(error.kind(), None);
+                push_fault(&mut gate_stats.faults, &error);
+            };
+            if producer_handle.join().is_err() {
+                join_fault("producer");
+            }
+            let (packets_parsed, bytes_parsed) = match parser_handle.join() {
+                Ok(totals) => totals,
+                Err(_) => {
+                    join_fault("parse");
+                    (0, 0)
+                }
+            };
             let mut frames_decoded = 0u64;
+            let mut frames_per_stream = vec![0u64; m];
             let mut cost_spent = 0.0;
             for h in decode_handles {
-                let (f, c) = h.join().expect("decode worker");
-                frames_decoded += f;
-                cost_spent += c;
+                match h.join() {
+                    Ok((f, c, per_stream)) => {
+                        frames_decoded += f;
+                        cost_spent += c;
+                        for (total, part) in frames_per_stream.iter_mut().zip(per_stream) {
+                            *total += part;
+                        }
+                    }
+                    Err(_) => join_fault("decode"),
+                }
             }
-            let _inferences = infer_handle.join().expect("inference thread");
+            if infer_handle.join().is_err() {
+                join_fault("infer");
+            }
+            // Faults reported after the gate finished its rounds.
+            while let Ok(error) = fault_rx.try_recv() {
+                self.telemetry.fault(error.kind(), error.stream_idx());
+                push_fault(&mut gate_stats.faults, &error);
+            }
 
             ConcurrentReport {
                 streams: m,
@@ -291,9 +363,12 @@ impl ConcurrentPipeline {
                 packets_parsed,
                 packets_decoded: gate_stats.decoded,
                 frames_decoded,
+                frames_per_stream,
                 cost_spent,
                 wall: start.elapsed(),
                 gate_time: gate_stats.gate_time,
+                faults: gate_stats.faults,
+                health: gate_stats.health,
                 telemetry: self.telemetry.snapshot(),
             }
         })
@@ -315,16 +390,18 @@ fn producer(cfg: &ConcurrentConfig, byte_tx: Sender<(usize, Vec<u8>)>) {
         .collect();
     // First send each stream's header.
     for (i, _) in encoders.iter().enumerate() {
-        let chunk = serialize_stream_chunks::header_bytes(i as u32, &cfg.encoder);
+        let mut chunk = serialize_stream_chunks::header_bytes(i as u32, &cfg.encoder);
+        cfg.faults.corrupt_header(i, &mut chunk);
         if byte_tx.send((i, chunk)).is_err() {
             return;
         }
     }
-    for _ in 0..cfg.rounds {
+    for round in 0..cfg.rounds {
         for i in 0..cfg.streams {
             let frame = generators[i].next_frame();
             let packet = encoders[i].encode(&frame);
-            let chunk = serialize_stream_chunks::packet_bytes(&packet);
+            let mut chunk = serialize_stream_chunks::packet_bytes(&packet);
+            cfg.faults.corrupt_chunk(i, round, &mut chunk);
             if byte_tx.send((i, chunk)).is_err() {
                 return;
             }
@@ -335,26 +412,57 @@ fn producer(cfg: &ConcurrentConfig, byte_tx: Sender<(usize, Vec<u8>)>) {
 fn parser_stage(
     m: usize,
     byte_rx: Receiver<(usize, Vec<u8>)>,
-    pkt_tx: Sender<(usize, Packet)>,
+    pkt_tx: Sender<(usize, ParserMsg)>,
     telemetry: Telemetry,
 ) -> (u64, u64) {
     let mut parsers: Vec<PacketParser> = (0..m).map(|_| PacketParser::new()).collect();
+    let mut dead = vec![false; m];
     let mut packets = 0u64;
     let mut bytes = 0u64;
     while let Ok((i, chunk)) = byte_rx.recv() {
         bytes += chunk.len() as u64;
+        if dead[i] {
+            // Unrecoverable stream (destroyed header): its bytes can never
+            // be framed, so drop them instead of growing the buffer.
+            continue;
+        }
         let parse_timer = telemetry.timer();
         parsers[i].push(&chunk);
         let mut chunk_packets = 0u64;
-        let mut parsed = Vec::new();
-        while let Some(p) = parsers[i].next_packet().expect("well-formed stream") {
-            chunk_packets += 1;
-            parsed.push(p);
+        let mut out: Vec<ParserMsg> = Vec::new();
+        loop {
+            match parsers[i].next_packet() {
+                Ok(Some(p)) => {
+                    chunk_packets += 1;
+                    out.push(ParserMsg::Packet(p));
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // A destroyed header is fatal: the stream can never be
+                    // identified. Record damage (the missing packets
+                    // surface as sequence gaps at the gate) and resync.
+                    let fatal = parsers[i].header().is_none();
+                    let error = PipelineError::ParseCorrupt {
+                        stream_idx: i,
+                        offset: e.offset(),
+                        reason: e.to_string(),
+                    };
+                    out.push(ParserMsg::Fault { error, fatal });
+                    if fatal {
+                        dead[i] = true;
+                        break;
+                    }
+                    parsers[i].resync();
+                }
+            }
         }
+        // Count this chunk's work *before* handing packets downstream:
+        // a failed send below (gate already shut down) must not lose the
+        // telemetry for packets that were in fact parsed.
         telemetry.record(Stage::Parse, chunk_packets, parse_timer);
         packets += chunk_packets;
-        for p in parsed {
-            if pkt_tx.send((i, p)).is_err() {
+        for msg in out {
+            if pkt_tx.send((i, msg)).is_err() {
                 return (packets, bytes);
             }
         }
@@ -362,43 +470,202 @@ fn parser_stage(
     (packets, bytes)
 }
 
+type WorkerTotals = (u64, f64, Vec<u64>);
+
+fn decode_worker(
+    m: usize,
+    work: DecodeWorkModel,
+    plan: &FaultPlan,
+    rx: Receiver<DecodeJob>,
+    tx: Sender<(InferItem, f64, usize)>,
+    err_tx: Sender<PipelineError>,
+    telemetry: Telemetry,
+) -> WorkerTotals {
+    let mut frames = 0u64;
+    let mut cost = 0.0f64;
+    let mut per_stream = vec![0u64; m];
+    while let Ok(job) = rx.recv() {
+        if plan.stalls_decoder(job.stream_idx, job.round) {
+            // Injected decoder stall: the closure is abandoned undecoded.
+            let _ = err_tx.send(PipelineError::DecodeFail {
+                stream_idx: job.stream_idx,
+                round: job.round,
+                detail: "decoder stalled (injected)".to_string(),
+            });
+            continue;
+        }
+        let Some(target) = job.closure.last().cloned() else {
+            let _ = err_tx.send(PipelineError::DecodeFail {
+                stream_idx: job.stream_idx,
+                round: job.round,
+                detail: "empty decode closure".to_string(),
+            });
+            continue;
+        };
+        let decode_timer = telemetry.timer();
+        work.decode_work(job.cost);
+        telemetry.record(Stage::Decode, job.closure.len() as u64, decode_timer);
+        frames += job.closure.len() as u64;
+        cost += job.cost;
+        if let Some(slot) = per_stream.get_mut(job.stream_idx) {
+            *slot += job.closure.len() as u64;
+        }
+        let item = InferItem {
+            stream_idx: job.stream_idx,
+            round: job.round,
+            target,
+        };
+        if tx.send((item, job.cost, job.closure.len())).is_err() {
+            break;
+        }
+    }
+    (frames, cost, per_stream)
+}
+
 struct GateStats {
     decoded: u64,
     gate_time: Duration,
+    faults: Vec<FaultRecord>,
+    health: HealthSummary,
 }
 
+/// Per-stream gate-side ingest state.
+struct GateIngest {
+    /// Highest sequence number seen per stream.
+    max_seen: Vec<Option<u64>>,
+    /// A fault marker arrived and no packet has arrived since: the stream
+    /// is considered covered for the current round (its record was lost).
+    fault_pending: Vec<bool>,
+    /// The parser hung up (end of input or parser death).
+    closed: bool,
+}
+
+impl GateIngest {
+    fn covered(&self, i: usize, round: u64, health: &StreamHealth) -> bool {
+        self.closed
+            || health.is_dead(i)
+            || self.fault_pending[i]
+            || self.max_seen[i].is_some_and(|s| s >= round)
+    }
+
+    fn all_covered(&self, m: usize, round: u64, health: &StreamHealth) -> bool {
+        (0..m).all(|i| self.covered(i, round, health))
+    }
+}
+
+#[allow(clippy::too_many_lines)]
 fn gate_stage(
     cfg: &ConcurrentConfig,
     gate: &mut dyn GatePolicy,
-    pkt_rx: Receiver<(usize, Packet)>,
+    pkt_rx: Receiver<(usize, ParserMsg)>,
     job_tx: Sender<DecodeJob>,
     fb_rx: Receiver<FeedbackEvent>,
+    fault_rx: &Receiver<PipelineError>,
     telemetry: &Telemetry,
 ) -> GateStats {
     let m = cfg.streams;
     let mut trackers: Vec<DependencyTracker> = (0..m).map(|_| DependencyTracker::new()).collect();
     let mut stores: Vec<std::collections::BTreeMap<u64, Packet>> =
         (0..m).map(|_| std::collections::BTreeMap::new()).collect();
-    let mut pending: Vec<Option<Packet>> = (0..m).map(|_| None).collect();
+    let mut health = StreamHealth::new(m, cfg.quarantine);
+    let mut faults: Vec<FaultRecord> = Vec::new();
+    let mut ingest = GateIngest {
+        max_seen: vec![None; m],
+        fault_pending: vec![false; m],
+        closed: false,
+    };
     let mut decoded = 0u64;
     let mut gate_time = Duration::ZERO;
 
+    let note_fault = |faults: &mut Vec<FaultRecord>,
+                          health: &mut StreamHealth,
+                          error: &PipelineError,
+                          round: u64,
+                          strike: bool| {
+        telemetry.fault(error.kind(), error.stream_idx());
+        push_fault(faults, error);
+        if strike {
+            if let Some(i) = error.stream_idx() {
+                if health.strike(i, round) {
+                    telemetry.stream_degraded(i);
+                }
+            }
+        }
+    };
+
     for round in 0..cfg.rounds {
-        // Assemble this round's packet from every stream.
-        let mut filled = 0usize;
-        while filled < m {
-            let (i, p) = match pkt_rx.recv() {
-                Ok(x) => x,
-                Err(_) => return GateStats { decoded, gate_time },
-            };
-            trackers[i].note_arrival(&p);
-            stores[i].insert(p.meta.seq, p.clone());
-            // Keep stores bounded: drop entries older than two GOPs.
-            let horizon = p.meta.gop_id.saturating_sub(1);
-            stores[i].retain(|_, q| q.meta.gop_id >= horizon);
-            debug_assert!(pending[i].is_none(), "stream {i} delivered twice per round");
-            pending[i] = Some(p);
-            filled += 1;
+        // Streams whose cooldown expired re-enter gating.
+        for i in health.tick(round) {
+            telemetry.stream_recovered(i);
+        }
+
+        // Ingest until every live stream covers this round. Fault markers
+        // and dead/closed streams count as covered, so one damaged stream
+        // never stalls the other m−1.
+        while !ingest.all_covered(m, round, &health) {
+            match pkt_rx.recv_timeout(STALL_TIMEOUT) {
+                Ok((i, ParserMsg::Packet(p))) => {
+                    if p.meta.seq >= cfg.rounds {
+                        // An implausible sequence number is bit-flip
+                        // damage that still framed as a record; taking it
+                        // at face value would poison round coverage.
+                        let error = PipelineError::ParseCorrupt {
+                            stream_idx: i,
+                            offset: None,
+                            reason: format!("implausible sequence number {}", p.meta.seq),
+                        };
+                        ingest.fault_pending[i] = true;
+                        note_fault(&mut faults, &mut health, &error, round, true);
+                        continue;
+                    }
+                    trackers[i].note_arrival(&p);
+                    // Keep stores bounded: drop entries older than two GOPs.
+                    let horizon = p.meta.gop_id.saturating_sub(1);
+                    let seq = p.meta.seq;
+                    stores[i].insert(seq, p);
+                    stores[i].retain(|_, q| q.meta.gop_id >= horizon);
+                    ingest.max_seen[i] = Some(ingest.max_seen[i].map_or(seq, |s| s.max(seq)));
+                    ingest.fault_pending[i] = false;
+                }
+                Ok((i, ParserMsg::Fault { error, fatal })) => {
+                    if fatal {
+                        telemetry.fault(error.kind(), Some(i));
+                        push_fault(&mut faults, &error);
+                        health.kill(i);
+                        telemetry.stream_degraded(i);
+                    } else {
+                        ingest.fault_pending[i] = true;
+                        note_fault(&mut faults, &mut health, &error, round, true);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // No parser output for a long time: declare the
+                    // uncovered streams stalled so the round can proceed.
+                    for i in 0..m {
+                        if !ingest.covered(i, round, &health) {
+                            let error = PipelineError::ParseCorrupt {
+                                stream_idx: i,
+                                offset: None,
+                                reason: "stream stalled (no parser output)".to_string(),
+                            };
+                            ingest.fault_pending[i] = true;
+                            note_fault(&mut faults, &mut health, &error, round, true);
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    ingest.closed = true;
+                }
+            }
+        }
+
+        // Faults reported by the decode pool / inference since last round.
+        while let Ok(error) = fault_rx.try_recv() {
+            // Decode failures count against the stream's health; feedback
+            // loss is recorded but does not quarantine (the stream's data
+            // path is fine).
+            let strikes = matches!(error, PipelineError::DecodeFail { .. });
+            note_fault(&mut faults, &mut health, &error, round, strikes);
         }
 
         // Drain async feedback.
@@ -410,75 +677,140 @@ fn gate_stage(
             gate.feedback(&events);
         }
 
-        // Build contexts and select.
-        let contexts: Vec<PacketContext> = (0..m)
-            .map(|i| {
-                let p = pending[i].as_ref().expect("filled above");
-                PacketContext {
-                    stream_idx: i,
-                    meta: p.meta,
-                    pending_cost: trackers[i]
-                        .pending_cost(p.meta.seq, &cfg.costs)
-                        .expect("tracked"),
-                    codec: cfg.encoder.codec,
-                    oracle_necessary: None,
+        // Build contexts from the active streams that actually delivered
+        // this round's record. Quarantined/dead streams contribute no
+        // candidate, so their budget share is released to the rest.
+        let mut contexts: Vec<PacketContext> = Vec::with_capacity(m);
+        for i in 0..m {
+            if !health.is_active(i) {
+                continue;
+            }
+            let Some(p) = stores[i].get(&round) else {
+                if ingest.fault_pending[i] || ingest.closed {
+                    // Record already accounted as lost (fault marker or
+                    // early end of input): skip quietly.
+                    continue;
                 }
-            })
-            .collect();
+                // Covered but absent: the record was displaced by damage
+                // that still framed (e.g. a bit-flipped sequence field).
+                let error = PipelineError::ParseCorrupt {
+                    stream_idx: i,
+                    offset: None,
+                    reason: format!("record for round {round} lost"),
+                };
+                note_fault(&mut faults, &mut health, &error, round, true);
+                continue;
+            };
+            let Some(pending_cost) = trackers[i].pending_cost(p.meta.seq, &cfg.costs) else {
+                let error = PipelineError::DependencyViolation {
+                    stream_idx: i,
+                    seq: p.meta.seq,
+                    detail: "pending cost unavailable (references lost)".to_string(),
+                };
+                note_fault(&mut faults, &mut health, &error, round, true);
+                continue;
+            };
+            contexts.push(PacketContext {
+                stream_idx: i,
+                meta: p.meta,
+                pending_cost,
+                codec: cfg.encoder.codec,
+                oracle_necessary: None,
+            });
+        }
+
         let t0 = Instant::now();
         let selection = gate.select(round, &contexts, cfg.budget_per_round);
         let select_elapsed = t0.elapsed();
         gate_time += select_elapsed;
         telemetry.record_duration(Stage::Gate, contexts.len() as u64, select_elapsed);
 
-        // Dispatch decode jobs under the budget.
+        // Dispatch decode jobs under the budget. Selection entries are
+        // stream indices; entries without a candidate this round are
+        // skipped.
+        let mut has_candidate = vec![false; m];
+        for c in &contexts {
+            has_candidate[c.stream_idx] = true;
+        }
         let mut spent = 0.0f64;
         let mut sent = vec![false; m];
         for idx in selection {
-            if idx >= m || sent[idx] {
+            if idx >= m || sent[idx] || !has_candidate[idx] {
                 continue;
             }
             if spent >= cfg.budget_per_round {
                 break;
             }
-            let seq = pending[idx].as_ref().expect("filled").meta.seq;
-            let closure_seqs = trackers[idx].pending_closure(seq).expect("tracked");
-            let closure: Vec<Packet> = closure_seqs
-                .iter()
-                .map(|s| stores[idx][s].clone())
-                .collect();
-            let cost: f64 = closure_seqs
-                .iter()
-                .map(|s| cfg.costs.cost(trackers[idx].frame_type(*s).expect("tracked")))
-                .sum();
-            for s in &closure_seqs {
-                trackers[idx].mark_decoded(*s);
-            }
-            spent += cost;
+            let Some(job) = build_job(&mut trackers[idx], &stores[idx], &cfg.costs, idx, round)
+            else {
+                // The closure references records lost to damage: drop the
+                // in-flight closure and quarantine until the next clean
+                // GOP can rebuild it.
+                let error = PipelineError::DependencyViolation {
+                    stream_idx: idx,
+                    seq: round,
+                    detail: "dependency closure unavailable".to_string(),
+                };
+                note_fault(&mut faults, &mut health, &error, round, true);
+                continue;
+            };
+            spent += job.cost;
             sent[idx] = true;
             decoded += 1;
-            if job_tx
-                .send(DecodeJob {
-                    stream_idx: idx,
-                    round,
-                    closure,
-                    cost,
-                })
-                .is_err()
-            {
-                return GateStats { decoded, gate_time };
+            if job_tx.send(job).is_err() {
+                return GateStats {
+                    decoded,
+                    gate_time,
+                    faults,
+                    health: health.summary(),
+                };
             }
         }
-        pending.iter_mut().for_each(|p| *p = None);
     }
-    GateStats { decoded, gate_time }
+    GateStats {
+        decoded,
+        gate_time,
+        faults,
+        health: health.summary(),
+    }
 }
 
+/// Materialize the decode job for stream `idx`'s packet at `round`, or
+/// `None` when the dependency closure cannot be produced (references lost).
+fn build_job(
+    tracker: &mut DependencyTracker,
+    store: &std::collections::BTreeMap<u64, Packet>,
+    costs: &CostModel,
+    idx: usize,
+    round: u64,
+) -> Option<DecodeJob> {
+    let seq = store.get(&round)?.meta.seq;
+    let closure_seqs = tracker.pending_closure(seq)?;
+    let mut closure = Vec::with_capacity(closure_seqs.len());
+    let mut cost = 0.0f64;
+    for s in &closure_seqs {
+        closure.push(store.get(s)?.clone());
+        cost += costs.cost(tracker.frame_type(*s)?);
+    }
+    for s in &closure_seqs {
+        tracker.mark_decoded(*s);
+    }
+    Some(DecodeJob {
+        stream_idx: idx,
+        round,
+        closure,
+        cost,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
 fn inference_stage(
     m: usize,
     task: TaskKind,
+    plan: &FaultPlan,
     frame_rx: Receiver<(InferItem, f64, usize)>,
     fb_tx: Sender<FeedbackEvent>,
+    err_tx: Sender<PipelineError>,
     telemetry: Telemetry,
 ) -> u64 {
     use pg_inference::redundancy::RedundancyJudge;
@@ -499,6 +831,16 @@ fn inference_stage(
         let necessary = judges[item.stream_idx].feedback(result);
         telemetry.record(Stage::Infer, 1, infer_timer);
         count += 1;
+        if plan.drops_feedback(item.stream_idx, item.round) {
+            // Injected feedback loss: the optimizer never hears about this
+            // decode. Reported, but not a health strike — the stream's
+            // data path is intact.
+            let _ = err_tx.send(PipelineError::FeedbackLost {
+                stream_idx: item.stream_idx,
+                round: item.round,
+            });
+            continue;
+        }
         // A failed send means the gate has finished its rounds and dropped
         // the feedback receiver. Keep draining frames anyway: exiting here
         // would drop the decoders' send side mid-run and abandon queued
@@ -516,6 +858,7 @@ fn inference_stage(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::ChunkFaultMode;
     use crate::gate::DecodeAll;
 
     fn config(streams: usize, rounds: u64, budget: f64) -> ConcurrentConfig {
@@ -535,8 +878,11 @@ mod tests {
         assert_eq!(report.packets_parsed, 200);
         assert_eq!(report.packets_decoded, 200);
         assert_eq!(report.frames_decoded, 200);
+        assert_eq!(report.frames_per_stream, vec![50; 4]);
         assert!(report.bytes_parsed > 200 * 64);
         assert!(report.pipeline_pps() > 0.0);
+        assert!(report.faults.is_empty());
+        assert_eq!(report.health.degraded_events, 0);
     }
 
     #[test]
@@ -569,5 +915,60 @@ mod tests {
             heavy.wall,
             fast.wall
         );
+    }
+
+    #[test]
+    fn corrupt_chunk_quarantines_only_that_stream() {
+        let mut cfg = config(4, 60, 1e9);
+        cfg.quarantine = QuarantineConfig::new(10, 1);
+        cfg.faults = FaultPlan::new(11)
+            .with_corrupt(2, 9, ChunkFaultMode::Truncate)
+            .with_corrupt(2, 10, ChunkFaultMode::Truncate);
+        let report = ConcurrentPipeline::new(cfg).run(&mut DecodeAll);
+        assert!(!report.faults.is_empty(), "damage must be reported");
+        assert!(report.health.degraded_events >= 1);
+        assert_eq!(report.health.streams_ever_quarantined, 1);
+        // Healthy streams unaffected.
+        for i in [0usize, 1, 3] {
+            assert_eq!(report.frames_per_stream[i], 60, "stream {i}");
+        }
+        assert!(report.frames_per_stream[2] < 60);
+    }
+
+    #[test]
+    fn destroyed_header_kills_the_stream_but_not_the_run() {
+        let mut cfg = config(4, 40, 1e9);
+        cfg.faults = FaultPlan::new(5).with_corrupt_header(1);
+        let report = ConcurrentPipeline::new(cfg).run(&mut DecodeAll);
+        assert_eq!(report.health.dead_streams, 1);
+        assert_eq!(report.frames_per_stream[1], 0);
+        for i in [0usize, 2, 3] {
+            assert_eq!(report.frames_per_stream[i], 40, "stream {i}");
+        }
+        assert!(report
+            .faults
+            .iter()
+            .any(|f| f.kind == "parse_corrupt" && f.stream_idx == Some(1)));
+    }
+
+    #[test]
+    fn decoder_stall_and_feedback_loss_are_reported() {
+        let mut cfg = config(4, 40, 1e9);
+        cfg.quarantine = QuarantineConfig::new(8, 1);
+        cfg.faults = FaultPlan::new(3)
+            .with_decoder_stall(0, 5)
+            .with_dropped_feedback(3, 7);
+        let report = ConcurrentPipeline::new(cfg).run(&mut DecodeAll);
+        assert!(report
+            .faults
+            .iter()
+            .any(|f| f.kind == "decode_fail" && f.stream_idx == Some(0)));
+        assert!(report
+            .faults
+            .iter()
+            .any(|f| f.kind == "feedback_lost" && f.stream_idx == Some(3)));
+        // Feedback loss does not quarantine; the stalled stream does.
+        assert!(report.frames_per_stream[3] == 40);
+        assert!(report.frames_per_stream[0] < 40);
     }
 }

@@ -49,13 +49,14 @@ pub trait GatePolicy: Send {
 
     /// Choose which candidate packets to decode this round.
     ///
-    /// `candidates` holds one entry per stream (every stream delivers one
-    /// packet per round). Returned indices refer to positions in
-    /// `candidates` and are processed **in order** until `budget` cost
-    /// units are exhausted — order is the policy's priority. The simulator
-    /// allows the final selection to overshoot the budget by at most one
-    /// packet closure (the paper's approximately-fractional assumption,
-    /// Lemma 1).
+    /// `candidates` holds at most one entry per stream, ordered by stream.
+    /// With a lossy transport or quarantined streams it is a **subset** of
+    /// streams, so returned values are the candidates' `stream_idx` fields
+    /// (not positions in the slice). They are processed **in order** until
+    /// `budget` cost units are exhausted — order is the policy's priority.
+    /// The simulator allows the final selection to overshoot the budget by
+    /// at most one packet closure (the paper's approximately-fractional
+    /// assumption, Lemma 1).
     fn select(&mut self, round: u64, candidates: &[PacketContext], budget: f64) -> Vec<usize>;
 
     /// Receive redundancy feedback for packets decoded earlier. Called once
@@ -80,7 +81,7 @@ impl GatePolicy for DecodeAll {
     }
 
     fn select(&mut self, _round: u64, candidates: &[PacketContext], _budget: f64) -> Vec<usize> {
-        (0..candidates.len()).collect()
+        candidates.iter().map(|c| c.stream_idx).collect()
     }
 
     fn feedback(&mut self, _events: &[FeedbackEvent]) {}
@@ -115,5 +116,14 @@ mod tests {
         assert_eq!(gate.select(0, &candidates, 10.0), vec![0, 1, 2, 3, 4]);
         gate.feedback(&[]); // must not panic
         assert_eq!(gate.name(), "DecodeAll");
+    }
+
+    #[test]
+    fn decode_all_returns_stream_indices_on_sparse_candidates() {
+        // With quarantined/lossy streams the candidate list is a subset;
+        // selections must name streams, not slice positions.
+        let mut gate = DecodeAll;
+        let candidates = vec![ctx(1), ctx(4)];
+        assert_eq!(gate.select(0, &candidates, 10.0), vec![1, 4]);
     }
 }

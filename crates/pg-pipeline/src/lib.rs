@@ -18,6 +18,7 @@
 
 pub mod budget;
 pub mod concurrent;
+pub mod fault;
 pub mod gate;
 pub mod metrics;
 pub mod netround;
@@ -28,6 +29,10 @@ pub mod telemetry;
 
 pub use budget::RoundBudget;
 pub use concurrent::{ConcurrentPipeline, ConcurrentReport, DecodeWorkModel};
+pub use fault::{
+    ChunkFaultMode, FaultKind, FaultPlan, FaultRecord, HealthSummary, PipelineError,
+    QuarantineConfig, StreamHealth,
+};
 pub use gate::{FeedbackEvent, GatePolicy, PacketContext};
 pub use metrics::RoundSimReport;
 pub use netround::{NetworkedRoundSimulator, NetworkedSimReport};

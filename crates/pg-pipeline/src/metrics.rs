@@ -3,6 +3,7 @@
 use pg_inference::accuracy::OnlineAccuracy;
 use serde::Serialize;
 
+use crate::fault::{FaultRecord, HealthSummary};
 use crate::telemetry::TelemetrySnapshot;
 
 /// Result of one [`RoundSimulator`](crate::round::RoundSimulator) run.
@@ -35,6 +36,11 @@ pub struct RoundSimReport {
     pub necessary_total: u64,
     /// Necessary packets that were decoded in time.
     pub necessary_decoded: u64,
+    /// Classified faults observed during the run (bounded; see
+    /// [`crate::fault::MAX_FAULT_RECORDS`]). Empty on a clean run.
+    pub faults: Vec<FaultRecord>,
+    /// Stream-health roll-up (degraded/recovered/dead counts).
+    pub health: HealthSummary,
     /// Per-stage telemetry, when a [`crate::telemetry::Telemetry`] handle
     /// was attached to the simulator (`None` otherwise).
     pub telemetry: Option<TelemetrySnapshot>,
@@ -106,6 +112,8 @@ mod tests {
             staleness: OnlineAccuracy::with_segments(2),
             necessary_total: 2,
             necessary_decoded: 1,
+            faults: Vec::new(),
+            health: HealthSummary::default(),
             telemetry: None,
         }
     }
@@ -135,6 +143,8 @@ mod tests {
             staleness: OnlineAccuracy::with_segments(0),
             necessary_total: 0,
             necessary_decoded: 0,
+            faults: Vec::new(),
+            health: HealthSummary::default(),
             telemetry: None,
         };
         assert_eq!(r.filtering_rate(), 0.0);

@@ -20,6 +20,7 @@ use pg_net::{ImpairmentConfig, NetworkedStream, ReassemblyConfig};
 use pg_scene::{SceneState, TaskKind};
 
 use crate::budget::RoundBudget;
+use crate::fault::{push_fault, FaultRecord, HealthSummary, PipelineError, QuarantineConfig, StreamHealth};
 use crate::gate::{FeedbackEvent, GatePolicy, PacketContext};
 use crate::telemetry::{Stage, Telemetry, TelemetrySnapshot};
 
@@ -52,6 +53,11 @@ pub struct NetworkedSimReport {
     pub undecodable: u64,
     /// Accuracy vs sender-side ground truth.
     pub accuracy: OnlineAccuracy,
+    /// Classified faults observed during the run (bounded; see
+    /// [`crate::fault::MAX_FAULT_RECORDS`]).
+    pub faults: Vec<FaultRecord>,
+    /// Stream-health roll-up (degraded/recovered/dead counts).
+    pub health: HealthSummary,
     /// Per-stage telemetry, when a handle was attached (`None` otherwise).
     pub telemetry: Option<TelemetrySnapshot>,
 }
@@ -85,6 +91,7 @@ pub struct NetworkedRoundSimulator {
     budget_per_round: f64,
     segments: usize,
     telemetry: Telemetry,
+    quarantine: QuarantineConfig,
 }
 
 impl NetworkedRoundSimulator {
@@ -131,7 +138,17 @@ impl NetworkedRoundSimulator {
             budget_per_round,
             segments: 12,
             telemetry: Telemetry::disabled(),
+            // Transport loss is routine here, so a stream must strand
+            // several consecutive closures before it is quarantined; the
+            // cooldown is about one GOP, when an I-frame can rebuild it.
+            quarantine: QuarantineConfig::new(12, 3),
         }
+    }
+
+    /// Override the quarantine thresholds for failing streams.
+    pub fn with_quarantine(mut self, quarantine: QuarantineConfig) -> Self {
+        self.quarantine = quarantine;
+        self
     }
 
     /// Attach a telemetry handle (see
@@ -151,10 +168,16 @@ impl NetworkedRoundSimulator {
         let mut packets_arrived = 0u64;
         let mut packets_decoded = 0u64;
         let mut undecodable = 0u64;
+        let mut health = StreamHealth::new(m, self.quarantine);
+        let mut fault_log: Vec<FaultRecord> = Vec::new();
 
         for round in 0..rounds {
             budget.begin_round();
             let segment = (round as usize * self.segments) / rounds.max(1) as usize;
+            // Streams whose cooldown expired re-enter gating.
+            for i in health.tick(round) {
+                self.telemetry.stream_recovered(i);
+            }
 
             // Advance every sender + network; collect this round's newest
             // arrival per stream as the gate candidate.
@@ -172,6 +195,12 @@ impl NetworkedRoundSimulator {
                     s.decoder.ingest(p.clone());
                 }
                 s.newest = packets.into_iter().next_back();
+                // Quarantined streams keep receiving and ingesting (so an
+                // I-frame can rebuild their closure) but contribute no
+                // candidate until their cooldown expires.
+                if !health.is_active(i) {
+                    continue;
+                }
                 if let Some(p) = &s.newest {
                     let pending_cost = s
                         .decoder
@@ -217,7 +246,8 @@ impl NetworkedRoundSimulator {
                         budget.charge(s.decoder.stats().cost_spent - before);
                         decoded_flags[idx] = true;
                         packets_decoded += 1;
-                        let target = frames.last().expect("closure includes target");
+                        health.clear_strikes(idx);
+                        let Some(target) = frames.last() else { continue };
                         let infer_timer = self.telemetry.timer();
                         let result = s.model.infer(target);
                         self.telemetry.record(Stage::Infer, 1, infer_timer);
@@ -228,12 +258,23 @@ impl NetworkedRoundSimulator {
                             necessary,
                         });
                     }
-                    Err(_) => {
+                    Err(e) => {
                         // References were lost in transit: the packet is
                         // stranded until the next I-frame. Only the
                         // simulator can see this outcome, so it records the
-                        // audit entry itself.
+                        // audit entry itself. Repeated stranding counts
+                        // against the stream's health.
                         undecodable += 1;
+                        let error = PipelineError::DecodeFail {
+                            stream_idx: idx,
+                            round,
+                            detail: e.to_string(),
+                        };
+                        self.telemetry.fault(error.kind(), Some(idx));
+                        push_fault(&mut fault_log, &error);
+                        if health.strike(idx, round) {
+                            self.telemetry.stream_degraded(idx);
+                        }
                         self.telemetry.audit(crate::telemetry::GateAuditEntry {
                             stream_idx: idx,
                             round,
@@ -265,6 +306,8 @@ impl NetworkedRoundSimulator {
             packets_decoded,
             undecodable,
             accuracy,
+            faults: fault_log,
+            health: health.summary(),
             telemetry: self.telemetry.snapshot(),
         }
     }
@@ -298,6 +341,24 @@ mod tests {
         assert!(report.delivery_rate() > 0.98);
         assert!(report.accuracy_overall() > 0.95);
         assert_eq!(report.undecodable, 0);
+        assert!(report.faults.is_empty());
+        assert_eq!(report.health.degraded_events, 0);
+    }
+
+    #[test]
+    fn heavy_loss_quarantines_and_recovers_streams() {
+        let report = sim(ImpairmentConfig::lossy(0.15), Transport::Raw, 1e9)
+            .run(&mut DecodeAll, 400);
+        assert!(
+            report.health.degraded_events > 0,
+            "persistent stranding must quarantine"
+        );
+        assert!(report.health.recovered_events > 0, "cooldowns must expire");
+        assert_eq!(report.health.dead_streams, 0);
+        assert!(report
+            .faults
+            .iter()
+            .all(|f| f.kind == "decode_fail"));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use pg_inference::tasks::{model_for, InferenceModel};
 use pg_scene::SceneState;
 
 use crate::budget::RoundBudget;
+use crate::fault::{push_fault, FaultRecord, HealthSummary, PipelineError};
 use crate::gate::{FeedbackEvent, GatePolicy, PacketContext};
 use crate::metrics::RoundSimReport;
 use crate::round::SimConfig;
@@ -100,6 +101,7 @@ impl ReplaySimulator {
         let mut packets_backfilled = 0u64;
         let mut necessary_total = 0u64;
         let mut necessary_decoded = 0u64;
+        let mut fault_log: Vec<FaultRecord> = Vec::new();
 
         for round in 0..rounds {
             budget.begin_round();
@@ -119,10 +121,18 @@ impl ReplaySimulator {
                 let seq = packet.meta.seq;
                 let meta = packet.meta;
                 s.decoder.ingest(packet);
-                let pending = s
-                    .decoder
-                    .pending_cost(seq)
-                    .expect("ingested packet has a pending cost");
+                let Some(pending) = s.decoder.pending_cost(seq) else {
+                    // A damaged file can repeat or reorder sequence
+                    // numbers; such packets are stranded, not fatal.
+                    let error = PipelineError::DependencyViolation {
+                        stream_idx: i,
+                        seq,
+                        detail: "pending cost unavailable (references lost)".to_string(),
+                    };
+                    self.telemetry.fault(error.kind(), Some(i));
+                    push_fault(&mut fault_log, &error);
+                    continue;
+                };
                 contexts.push(PacketContext {
                     stream_idx: i,
                     meta,
@@ -143,30 +153,44 @@ impl ReplaySimulator {
             self.telemetry
                 .record(Stage::Gate, contexts.len() as u64, gate_timer);
             let mut decoded_flags = vec![false; m];
+            let mut round_seq = vec![None; m];
+            for c in &contexts {
+                round_seq[c.stream_idx] = Some(c.meta.seq);
+            }
             let mut events = Vec::new();
             for idx in selection {
                 if idx >= m || decoded_flags[idx] {
                     continue;
                 }
+                let Some(seq) = round_seq[idx] else { continue };
                 if !budget.can_spend() {
                     break;
                 }
                 let s = &mut self.streams[idx];
-                let seq = contexts[idx].meta.seq;
                 let before = s.decoder.stats().cost_spent;
                 // A damaged/lossy file may be missing references; treat
                 // such packets as stranded rather than crashing the replay.
                 let decode_timer = self.telemetry.timer();
-                let Ok(frames) = s.decoder.decode_closure(seq) else {
-                    continue;
+                let frames = match s.decoder.decode_closure(seq) {
+                    Ok(frames) => frames,
+                    Err(e) => {
+                        let error = PipelineError::DecodeFail {
+                            stream_idx: idx,
+                            round,
+                            detail: e.to_string(),
+                        };
+                        self.telemetry.fault(error.kind(), Some(idx));
+                        push_fault(&mut fault_log, &error);
+                        continue;
+                    }
                 };
                 self.telemetry
                     .record(Stage::Decode, frames.len() as u64, decode_timer);
                 budget.charge(s.decoder.stats().cost_spent - before);
                 decoded_flags[idx] = true;
                 packets_decoded += 1;
-                packets_backfilled += (frames.len() - 1) as u64;
-                let target = frames.last().expect("closure includes target");
+                packets_backfilled += frames.len().saturating_sub(1) as u64;
+                let Some(target) = frames.last() else { continue };
                 let infer_timer = self.telemetry.timer();
                 let result = s.model.infer(target);
                 self.telemetry.record(Stage::Infer, 1, infer_timer);
@@ -204,6 +228,8 @@ impl ReplaySimulator {
             staleness,
             necessary_total,
             necessary_decoded,
+            faults: fault_log,
+            health: HealthSummary::default(),
             telemetry: self.telemetry.snapshot(),
         }
     }

@@ -22,13 +22,14 @@
 //!      still matches ground truth, so a missed change stays wrong until
 //!      the next decode.
 
-use pg_codec::{CostModel, Decoder, Encoder, EncoderConfig};
+use pg_codec::{serialize_stream_chunks, CostModel, Decoder, Encoder, EncoderConfig, PacketParser};
 use pg_inference::accuracy::OnlineAccuracy;
 use pg_inference::redundancy::RedundancyJudge;
 use pg_inference::tasks::{model_for, InferenceModel};
 use pg_scene::{generator_for, SceneGenerator, SceneState, TaskKind};
 
 use crate::budget::RoundBudget;
+use crate::fault::{push_fault, FaultPlan, FaultRecord, PipelineError, QuarantineConfig, StreamHealth};
 use crate::gate::{FeedbackEvent, GatePolicy, PacketContext};
 use crate::metrics::RoundSimReport;
 use crate::telemetry::{Stage, Telemetry};
@@ -110,6 +111,8 @@ pub struct RoundSimulator {
     streams: Vec<StreamState>,
     config: SimConfig,
     telemetry: Telemetry,
+    faults: FaultPlan,
+    quarantine: QuarantineConfig,
 }
 
 impl RoundSimulator {
@@ -135,7 +138,23 @@ impl RoundSimulator {
             streams,
             config,
             telemetry: Telemetry::disabled(),
+            faults: FaultPlan::default(),
+            quarantine: QuarantineConfig::default(),
         }
+    }
+
+    /// Inject deterministic faults: with a non-empty plan, every packet is
+    /// routed through the real serializer/parser byte path so corruption
+    /// exercises resynchronization exactly as in the concurrent pipeline.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Override the quarantine thresholds for failing streams.
+    pub fn with_quarantine(mut self, quarantine: QuarantineConfig) -> Self {
+        self.quarantine = quarantine;
+        self
     }
 
     /// Attach a telemetry handle: per-stage latencies/counters are recorded
@@ -172,15 +191,41 @@ impl RoundSimulator {
         let mut packets_backfilled = 0u64;
         let mut necessary_total = 0u64;
         let mut necessary_decoded = 0u64;
+        let mut health = StreamHealth::new(m, self.quarantine);
+        let mut fault_log: Vec<FaultRecord> = Vec::new();
+
+        // With fault injection active, packets travel the real
+        // serializer → parser byte path so corruption exercises
+        // resynchronization exactly as in the concurrent pipeline; a clean
+        // run keeps the direct in-memory hand-off.
+        let mut parsers: Option<Vec<PacketParser>> = if self.faults.is_empty() {
+            None
+        } else {
+            let mut ps: Vec<PacketParser> = (0..m).map(|_| PacketParser::new()).collect();
+            for (i, (p, s)) in ps.iter_mut().zip(&self.streams).enumerate() {
+                let mut header =
+                    serialize_stream_chunks::header_bytes(i as u32, s.encoder.config());
+                self.faults.corrupt_header(i, &mut header);
+                p.push(&header);
+            }
+            Some(ps)
+        };
 
         let mut contexts: Vec<PacketContext> = Vec::with_capacity(m);
         let mut necessity: Vec<bool> = vec![false; m];
         let mut decoded_flags: Vec<bool> = vec![false; m];
         let mut truths: Vec<Option<pg_inference::tasks::InferenceResult>> = vec![None; m];
+        // Sequence number of each stream's current-round packet, when it
+        // survived parsing (the candidate list may be sparse under faults).
+        let mut round_seq: Vec<Option<u64>> = vec![None; m];
 
         for round in 0..rounds {
             budget.begin_round();
             contexts.clear();
+            // Streams whose cooldown expired re-enter gating.
+            for i in health.tick(round) {
+                self.telemetry.stream_recovered(i);
+            }
 
             // 1-2. Generate, encode, ingest; build gate contexts.
             let parse_timer = self.telemetry.timer();
@@ -192,12 +237,82 @@ impl RoundSimulator {
                 truths[i] = Some(pg_inference::tasks::truth_result(&frame.state));
                 let packet = s.encoder.encode(&frame);
                 let seq = packet.meta.seq;
-                let meta = packet.meta;
-                s.decoder.ingest(packet);
-                let pending = s
-                    .decoder
-                    .pending_cost(seq)
-                    .expect("freshly ingested packet has a pending cost");
+                round_seq[i] = None;
+                let arrived = match &mut parsers {
+                    None => {
+                        let meta = packet.meta;
+                        s.decoder.ingest(packet);
+                        Some(meta)
+                    }
+                    Some(ps) if health.is_dead(i) => {
+                        // Unrecoverable stream (destroyed header): its
+                        // bytes can never be framed.
+                        let _ = ps;
+                        None
+                    }
+                    Some(ps) => {
+                        let mut bytes = serialize_stream_chunks::packet_bytes(&packet);
+                        self.faults.corrupt_chunk(i, round, &mut bytes);
+                        ps[i].push(&bytes);
+                        let mut this_round = None;
+                        loop {
+                            match ps[i].next_packet() {
+                                Ok(Some(p)) => {
+                                    if p.meta.seq == seq {
+                                        this_round = Some(p.meta);
+                                    }
+                                    s.decoder.ingest(p);
+                                }
+                                Ok(None) => break,
+                                Err(e) => {
+                                    // A destroyed header is fatal: the
+                                    // stream can never be identified.
+                                    let fatal = ps[i].header().is_none();
+                                    let error = PipelineError::ParseCorrupt {
+                                        stream_idx: i,
+                                        offset: e.offset(),
+                                        reason: e.to_string(),
+                                    };
+                                    if fatal {
+                                        self.telemetry.fault(error.kind(), Some(i));
+                                        push_fault(&mut fault_log, &error);
+                                        health.kill(i);
+                                        self.telemetry.stream_degraded(i);
+                                        break;
+                                    }
+                                    note_fault(
+                                        &self.telemetry,
+                                        &mut fault_log,
+                                        &mut health,
+                                        &error,
+                                        round,
+                                        true,
+                                    );
+                                    ps[i].resync();
+                                }
+                            }
+                        }
+                        this_round
+                    }
+                };
+                let Some(meta) = arrived else { continue };
+                // Quarantined streams keep ingesting (so recovery can
+                // back-fill their closure) but contribute no candidate:
+                // their budget share is released to the healthy streams.
+                if !health.is_active(i) {
+                    continue;
+                }
+                let Some(pending) = s.decoder.pending_cost(seq) else {
+                    let error = PipelineError::DependencyViolation {
+                        stream_idx: i,
+                        seq,
+                        detail: "pending cost unavailable (references lost)".to_string(),
+                    };
+                    note_fault(&self.telemetry, &mut fault_log, &mut health, &error, round, true);
+                    continue;
+                };
+                health.clear_strikes(i);
+                round_seq[i] = Some(seq);
                 contexts.push(PacketContext {
                     stream_idx: i,
                     meta,
@@ -220,38 +335,84 @@ impl RoundSimulator {
                 .record(Stage::Gate, contexts.len() as u64, gate_timer);
 
             // 4-5. Decode in priority order until the budget runs out; infer
-            // and collect feedback.
+            // and collect feedback. Selection entries are stream indices;
+            // entries without a surviving candidate this round are skipped.
             decoded_flags.iter_mut().for_each(|f| *f = false);
             let mut events: Vec<FeedbackEvent> = Vec::new();
             for &idx in &selection {
                 if idx >= m || decoded_flags[idx] {
                     continue; // out-of-range or duplicate selection
                 }
+                let Some(seq) = round_seq[idx] else { continue };
                 if !budget.can_spend() {
                     break;
                 }
+                if self.faults.stalls_decoder(idx, round) {
+                    let error = PipelineError::DecodeFail {
+                        stream_idx: idx,
+                        round,
+                        detail: "decoder stalled (injected)".to_string(),
+                    };
+                    note_fault(&self.telemetry, &mut fault_log, &mut health, &error, round, true);
+                    continue;
+                }
                 let s = &mut self.streams[idx];
-                let seq = contexts[idx].meta.seq;
                 let before = s.decoder.stats().cost_spent;
                 let decode_timer = self.telemetry.timer();
-                let frames = s
-                    .decoder
-                    .decode_closure(seq)
-                    .expect("closure of an ingested packet is decodable");
+                let frames = match s.decoder.decode_closure(seq) {
+                    Ok(frames) => frames,
+                    Err(e) => {
+                        // References lost to damage: the in-flight closure
+                        // is dropped and the stream quarantined until a
+                        // clean GOP can rebuild it.
+                        budget.charge(s.decoder.stats().cost_spent - before);
+                        let error = PipelineError::DecodeFail {
+                            stream_idx: idx,
+                            round,
+                            detail: e.to_string(),
+                        };
+                        note_fault(
+                            &self.telemetry,
+                            &mut fault_log,
+                            &mut health,
+                            &error,
+                            round,
+                            true,
+                        );
+                        continue;
+                    }
+                };
                 self.telemetry
                     .record(Stage::Decode, frames.len() as u64, decode_timer);
                 budget.charge(s.decoder.stats().cost_spent - before);
                 decoded_flags[idx] = true;
                 packets_decoded += 1;
-                packets_backfilled += (frames.len() - 1) as u64;
+                packets_backfilled += frames.len().saturating_sub(1) as u64;
 
-                let target = frames.last().expect("closure includes the target");
+                let Some(target) = frames.last() else { continue };
                 debug_assert_eq!(target.seq, seq);
                 let infer_timer = self.telemetry.timer();
                 let result = s.model.infer(target);
                 self.telemetry.record(Stage::Infer, 1, infer_timer);
                 s.published = Some(result);
                 let necessary_fb = s.judge.feedback(result);
+                if self.faults.drops_feedback(idx, round) {
+                    // Injected feedback loss: reported, but no health
+                    // strike — the stream's data path is intact.
+                    let error = PipelineError::FeedbackLost {
+                        stream_idx: idx,
+                        round,
+                    };
+                    note_fault(
+                        &self.telemetry,
+                        &mut fault_log,
+                        &mut health,
+                        &error,
+                        round,
+                        false,
+                    );
+                    continue;
+                }
                 events.push(FeedbackEvent {
                     stream_idx: idx,
                     round,
@@ -290,7 +451,30 @@ impl RoundSimulator {
             staleness,
             necessary_total,
             necessary_decoded,
+            faults: fault_log,
+            health: health.summary(),
             telemetry: self.telemetry.snapshot(),
+        }
+    }
+}
+
+/// Record a classified fault: telemetry ledger, bounded report log, and
+/// (when `strikes`) the stream's quarantine accounting.
+fn note_fault(
+    telemetry: &Telemetry,
+    faults: &mut Vec<FaultRecord>,
+    health: &mut StreamHealth,
+    error: &PipelineError,
+    round: u64,
+    strikes: bool,
+) {
+    telemetry.fault(error.kind(), error.stream_idx());
+    push_fault(faults, error);
+    if strikes {
+        if let Some(i) = error.stream_idx() {
+            if health.strike(i, round) {
+                telemetry.stream_degraded(i);
+            }
         }
     }
 }
@@ -425,6 +609,72 @@ mod tests {
         assert_eq!(a.packets_decoded, b.packets_decoded);
         assert!((a.accuracy_overall() - b.accuracy_overall()).abs() < 1e-12);
         assert!((a.cost_spent - b.cost_spent).abs() < 1e-9);
+    }
+
+    #[test]
+    fn benign_fault_plan_reproduces_the_clean_run() {
+        // A plan with no reachable corruption still activates the byte
+        // path; the serializer → parser round-trip must not change any
+        // aggregate vs the direct in-memory hand-off.
+        let clean = sim(5, 8.0).run(&mut DecodeAll, 100);
+        let plan = crate::fault::FaultPlan::new(1).with_dropped_feedback(0, 100_000);
+        let routed = sim(5, 8.0).with_faults(plan).run(&mut DecodeAll, 100);
+        assert_eq!(clean.packets_decoded, routed.packets_decoded);
+        assert!((clean.accuracy_overall() - routed.accuracy_overall()).abs() < 1e-12);
+        assert!(routed.faults.is_empty());
+        assert_eq!(routed.health.degraded_events, 0);
+    }
+
+    #[test]
+    fn corrupt_round_quarantines_and_recovers() {
+        use crate::fault::{ChunkFaultMode, FaultPlan, QuarantineConfig};
+        let plan = FaultPlan::new(9).with_corrupt(2, 10, ChunkFaultMode::Truncate);
+        let report = sim(6, 1e9)
+            .with_faults(plan)
+            .with_quarantine(QuarantineConfig::new(8, 1))
+            .run(&mut DecodeAll, 120);
+        assert!(!report.faults.is_empty(), "damage must be reported");
+        assert_eq!(report.health.streams_ever_quarantined, 1);
+        assert!(report.health.recovered_events >= 1, "cooldown must expire");
+        assert_eq!(report.health.dead_streams, 0);
+        assert!(report.packets_decoded < report.packets_total);
+        assert!(report.faults.iter().all(|f| f.stream_idx == Some(2)));
+    }
+
+    #[test]
+    fn destroyed_header_kills_one_stream_only() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::new(4).with_corrupt_header(1);
+        let report = sim(4, 1e9).with_faults(plan).run(&mut DecodeAll, 50);
+        assert_eq!(report.health.dead_streams, 1);
+        // The other three streams decode every round.
+        assert_eq!(report.packets_decoded, 150);
+        assert!(report
+            .faults
+            .iter()
+            .any(|f| f.kind == "parse_corrupt" && f.stream_idx == Some(1)));
+    }
+
+    #[test]
+    fn injected_stall_and_feedback_loss_are_classified() {
+        use crate::fault::{FaultPlan, QuarantineConfig};
+        let plan = FaultPlan::new(2)
+            .with_decoder_stall(0, 5)
+            .with_dropped_feedback(1, 7);
+        let report = sim(3, 1e9)
+            .with_faults(plan)
+            .with_quarantine(QuarantineConfig::new(4, 1))
+            .run(&mut DecodeAll, 40);
+        assert!(report
+            .faults
+            .iter()
+            .any(|f| f.kind == "decode_fail" && f.stream_idx == Some(0)));
+        assert!(report
+            .faults
+            .iter()
+            .any(|f| f.kind == "feedback_lost" && f.stream_idx == Some(1)));
+        // Feedback loss must not quarantine.
+        assert_eq!(report.health.streams_ever_quarantined, 1);
     }
 
     #[test]

@@ -77,6 +77,8 @@ mod tests {
             staleness: OnlineAccuracy::with_segments(1),
             necessary_total: 0,
             necessary_decoded: 0,
+            faults: Vec::new(),
+            health: crate::fault::HealthSummary::default(),
             telemetry: None,
         }
     }

@@ -24,12 +24,15 @@
 //!
 //! [`GatePolicy::attach_telemetry`]: crate::gate::GatePolicy::attach_telemetry
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use serde::Serialize;
+
+use crate::fault::FaultKind;
 
 /// The four pipeline stages every execution mode shares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -185,6 +188,42 @@ impl AuditRing {
     }
 }
 
+/// All five fault kinds, in ledger order.
+const FAULT_KINDS: [FaultKind; 5] = [
+    FaultKind::ParseCorrupt,
+    FaultKind::DependencyViolation,
+    FaultKind::DecodeFail,
+    FaultKind::FeedbackLost,
+    FaultKind::StageDown,
+];
+
+fn fault_kind_index(kind: FaultKind) -> usize {
+    match kind {
+        FaultKind::ParseCorrupt => 0,
+        FaultKind::DependencyViolation => 1,
+        FaultKind::DecodeFail => 2,
+        FaultKind::FeedbackLost => 3,
+        FaultKind::StageDown => 4,
+    }
+}
+
+/// Mutable half of the fault ledger. Fault paths are rare by construction,
+/// so a mutex (not atomics) keeps the per-stream map simple.
+#[derive(Default)]
+struct FaultLedger {
+    by_kind: [u64; 5],
+    per_stream: BTreeMap<usize, StreamFaultCell>,
+    degraded_events: u64,
+    recovered_events: u64,
+}
+
+#[derive(Default, Clone, Copy)]
+struct StreamFaultCell {
+    faults: u64,
+    degraded: u64,
+    recovered: u64,
+}
+
 struct TelemetryInner {
     stages: [StageCell; 4],
     gate_kept: AtomicU64,
@@ -192,6 +231,7 @@ struct TelemetryInner {
     /// Total audit entries ever pushed (the ring only retains the tail).
     audit_total: AtomicU64,
     audit: Mutex<AuditRing>,
+    faults: Mutex<FaultLedger>,
 }
 
 /// Default audit-ring capacity: enough for several rounds of a large
@@ -245,6 +285,7 @@ impl Telemetry {
                     entries: Vec::with_capacity(capacity.min(1024)),
                     next: 0,
                 }),
+                faults: Mutex::new(FaultLedger::default()),
             })),
         }
     }
@@ -297,6 +338,36 @@ impl Telemetry {
         }
     }
 
+    /// Count a classified pipeline fault, optionally attributed to one
+    /// stream.
+    pub fn fault(&self, kind: FaultKind, stream: Option<usize>) {
+        if let Some(inner) = &self.inner {
+            let mut ledger = inner.faults.lock();
+            ledger.by_kind[fault_kind_index(kind)] += 1;
+            if let Some(i) = stream {
+                ledger.per_stream.entry(i).or_default().faults += 1;
+            }
+        }
+    }
+
+    /// Record that stream `i` entered quarantine (or was killed).
+    pub fn stream_degraded(&self, i: usize) {
+        if let Some(inner) = &self.inner {
+            let mut ledger = inner.faults.lock();
+            ledger.degraded_events += 1;
+            ledger.per_stream.entry(i).or_default().degraded += 1;
+        }
+    }
+
+    /// Record that stream `i`'s cooldown expired and it re-entered gating.
+    pub fn stream_recovered(&self, i: usize) {
+        if let Some(inner) = &self.inner {
+            let mut ledger = inner.faults.lock();
+            ledger.recovered_events += 1;
+            ledger.per_stream.entry(i).or_default().recovered += 1;
+        }
+    }
+
     /// An immutable snapshot of everything recorded so far, or `None` when
     /// disabled. Safe to call while other threads keep recording.
     pub fn snapshot(&self) -> Option<TelemetrySnapshot> {
@@ -337,6 +408,33 @@ impl Telemetry {
             })
             .collect();
         let audit = inner.audit.lock().chronological();
+        let faults = {
+            let ledger = inner.faults.lock();
+            FaultsSnapshot {
+                total: ledger.by_kind.iter().sum(),
+                degraded_events: ledger.degraded_events,
+                recovered_events: ledger.recovered_events,
+                by_kind: FAULT_KINDS
+                    .iter()
+                    .zip(ledger.by_kind.iter())
+                    .filter(|(_, &count)| count > 0)
+                    .map(|(&kind, &count)| FaultKindCount {
+                        kind: kind.name().to_string(),
+                        count,
+                    })
+                    .collect(),
+                streams: ledger
+                    .per_stream
+                    .iter()
+                    .map(|(&stream_idx, cell)| StreamFaultSnapshot {
+                        stream_idx,
+                        faults: cell.faults,
+                        degraded: cell.degraded,
+                        recovered: cell.recovered,
+                    })
+                    .collect(),
+            }
+        };
         Some(TelemetrySnapshot {
             stages,
             gate: GateSnapshot {
@@ -345,6 +443,7 @@ impl Telemetry {
                 audit_total: inner.audit_total.load(Ordering::Relaxed),
                 audit,
             },
+            faults,
         })
     }
 }
@@ -393,6 +492,43 @@ pub struct GateSnapshot {
     pub audit: Vec<GateAuditEntry>,
 }
 
+/// One fault kind's occurrence count.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultKindCount {
+    /// Stable fault-kind name (`parse_corrupt`, `decode_fail`, ...).
+    pub kind: String,
+    /// Occurrences.
+    pub count: u64,
+}
+
+/// One stream's fault and quarantine history.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StreamFaultSnapshot {
+    /// Stream concerned.
+    pub stream_idx: usize,
+    /// Faults attributed to the stream.
+    pub faults: u64,
+    /// Times the stream entered quarantine (or was killed).
+    pub degraded: u64,
+    /// Times the stream re-entered gating after cooldown.
+    pub recovered: u64,
+}
+
+/// Fault-ledger roll-up: kinds, degradation events, per-stream detail.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultsSnapshot {
+    /// Faults recorded across all kinds.
+    pub total: u64,
+    /// Stream quarantine/kill events.
+    pub degraded_events: u64,
+    /// Stream cooldown-expiry recoveries.
+    pub recovered_events: u64,
+    /// Non-zero fault-kind counts.
+    pub by_kind: Vec<FaultKindCount>,
+    /// Streams with at least one fault/degradation, ascending index.
+    pub streams: Vec<StreamFaultSnapshot>,
+}
+
 /// Everything [`Telemetry`] recorded, frozen and serializable.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TelemetrySnapshot {
@@ -400,6 +536,8 @@ pub struct TelemetrySnapshot {
     pub stages: Vec<StageSnapshot>,
     /// Gate decisions.
     pub gate: GateSnapshot,
+    /// Fault ledger (empty when the run saw no faults).
+    pub faults: FaultsSnapshot,
 }
 
 impl TelemetrySnapshot {
@@ -580,6 +718,43 @@ mod tests {
         assert_eq!(percentile_from_buckets(&buckets, 0.50), bucket_upper_us(3));
         assert_eq!(percentile_from_buckets(&buckets, 0.99), bucket_upper_us(10));
         assert_eq!(percentile_from_buckets(&[0; 4], 0.5), 0);
+    }
+
+    #[test]
+    fn fault_ledger_counts_kinds_and_streams() {
+        let t = Telemetry::enabled();
+        t.fault(FaultKind::ParseCorrupt, Some(3));
+        t.fault(FaultKind::ParseCorrupt, Some(3));
+        t.fault(FaultKind::DecodeFail, Some(5));
+        t.fault(FaultKind::StageDown, None);
+        t.stream_degraded(3);
+        t.stream_recovered(3);
+        let snap = t.snapshot().expect("enabled");
+        assert_eq!(snap.faults.total, 4);
+        assert_eq!(snap.faults.degraded_events, 1);
+        assert_eq!(snap.faults.recovered_events, 1);
+        let kinds: Vec<(&str, u64)> = snap
+            .faults
+            .by_kind
+            .iter()
+            .map(|k| (k.kind.as_str(), k.count))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![("parse_corrupt", 2), ("decode_fail", 1), ("stage_down", 1)]
+        );
+        let s3 = snap
+            .faults
+            .streams
+            .iter()
+            .find(|s| s.stream_idx == 3)
+            .expect("stream 3 tracked");
+        assert_eq!((s3.faults, s3.degraded, s3.recovered), (2, 1, 1));
+        // Disabled handles ignore fault hooks entirely.
+        let off = Telemetry::disabled();
+        off.fault(FaultKind::DecodeFail, Some(0));
+        off.stream_degraded(0);
+        assert!(off.snapshot().is_none());
     }
 
     #[test]

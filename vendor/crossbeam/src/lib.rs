@@ -10,6 +10,7 @@
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct State<T> {
         queue: VecDeque<T>,
@@ -43,6 +44,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline.
+        Timeout,
+        /// Drained and all senders gone.
+        Disconnected,
+    }
+
     /// Sending half of a bounded channel. Cloneable.
     pub struct Sender<T> {
         chan: Arc<Chan<T>>,
@@ -70,6 +80,12 @@ pub mod channel {
             Sender { chan: chan.clone() },
             Receiver { chan },
         )
+    }
+
+    /// Create an unbounded MPMC channel (capacity limited only by memory);
+    /// `send` never blocks on a full queue.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        bounded(usize::MAX)
     }
 
     impl<T> Sender<T> {
@@ -103,6 +119,32 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 st = self.chan.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Block until a message arrives, the channel disconnects, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .chan
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap();
+                st = guard;
             }
         }
 
@@ -201,6 +243,31 @@ pub mod channel {
             std::thread::sleep(Duration::from_millis(50));
             drop(rx); // sender must wake with an error, not deadlock
             assert_eq!(handle.join().unwrap(), Err(SendError(1)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = bounded(2);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(20)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Ok(9));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(20)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn unbounded_send_never_blocks() {
+            let (tx, rx) = unbounded();
+            for i in 0..10_000 {
+                tx.send(i).unwrap();
+            }
+            assert_eq!(rx.recv(), Ok(0));
         }
 
         #[test]
