@@ -83,6 +83,11 @@ pub struct PacketGame {
     scratch: PredictScratch,
     /// Reusable candidate list handed to the greedy optimizer.
     items: Vec<Item>,
+    /// Per-stream predictor probability (pre-exploration-bonus) stashed at
+    /// `select` time, consumed by `feedback` for calibration tracking.
+    /// `NaN` marks "no prediction this round". Only written when the
+    /// attached telemetry carries an enabled insight monitor.
+    cal_conf: Vec<f64>,
 }
 
 impl PacketGame {
@@ -125,6 +130,7 @@ impl PacketGame {
                 std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             ),
             items: Vec::new(),
+            cal_conf: Vec::new(),
         }
     }
 
@@ -212,6 +218,20 @@ impl GatePolicy for PacketGame {
             online.snapshots.resize(m.max(online.snapshots.len()), None);
         }
         self.items.clear();
+        // Calibration stash: the insight monitor wants the raw predictor
+        // probability (before the exploration bonus) joined with the
+        // necessity ground truth that only arrives in `feedback`.
+        let cal = self.telemetry.insight().is_enabled();
+        if cal {
+            let need = candidates
+                .iter()
+                .map(|c| c.stream_idx + 1)
+                .max()
+                .unwrap_or(0);
+            if self.cal_conf.len() < need {
+                self.cal_conf.resize(need, f64::NAN);
+            }
+        }
         if self.batched {
             // Batched path: stage one `(view_i, view_p, μ̂)` row per
             // candidate into the reusable scratch, run one frozen
@@ -232,6 +252,9 @@ impl GatePolicy for PacketGame {
             let conf = self.predictor.predict_batch(&mut self.scratch, self.task_head);
             for (row, c) in candidates.iter().enumerate() {
                 let explore = self.temporal.exploration(c.stream_idx);
+                if cal {
+                    self.cal_conf[c.stream_idx] = conf[row];
+                }
                 self.items.push(Item {
                     idx: c.stream_idx,
                     confidence: conf[row] + explore,
@@ -247,6 +270,9 @@ impl GatePolicy for PacketGame {
                     .predict(&view_i, &view_p, exploit, self.task_head);
                 if let Some(online) = &mut self.online {
                     online.snapshots[c.stream_idx] = Some((view_i, view_p, exploit as f32));
+                }
+                if cal {
+                    self.cal_conf[c.stream_idx] = fused;
                 }
                 self.items.push(Item {
                     idx: c.stream_idx,
@@ -272,6 +298,19 @@ impl GatePolicy for PacketGame {
     fn feedback(&mut self, events: &[FeedbackEvent]) {
         for e in events {
             self.temporal.record(e.stream_idx, e.necessary);
+        }
+        // Join this round's stashed predictor probabilities with the
+        // necessity ground truth for the calibration (ECE/Brier) tracker.
+        let insight = self.telemetry.insight();
+        if insight.is_enabled() {
+            for e in events {
+                if let Some(conf) = self.cal_conf.get_mut(e.stream_idx) {
+                    if conf.is_finite() {
+                        insight.record_outcome(self.task_head, *conf, e.necessary);
+                        *conf = f64::NAN;
+                    }
+                }
+            }
         }
         // Live fine-tuning: join feedback with this round's feature
         // snapshots and step once a mini-batch accumulates.

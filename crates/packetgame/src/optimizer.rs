@@ -12,6 +12,7 @@
 //! [`GateAuditEntry`] per candidate — kept or dropped, with the confidence
 //! and closure cost that drove the decision.
 
+use pg_pipeline::insight::SelectionEntry;
 use pg_pipeline::telemetry::{AuditReason, GateAuditEntry, Telemetry};
 
 /// One candidate item for the knapsack.
@@ -85,6 +86,8 @@ impl CombinatorialOptimizer {
     ) -> (Vec<usize>, f64) {
         let by_idx: std::collections::HashMap<usize, &Item> =
             items.iter().map(|it| (it.idx, it)).collect();
+        let insight = telemetry.map(Telemetry::insight).filter(|i| i.is_enabled());
+        let mut entries: Vec<SelectionEntry> = Vec::new();
         let mut selected = Vec::new();
         let mut spent = 0.0f64;
         for idx in self.priority_order(items) {
@@ -104,6 +107,13 @@ impl CombinatorialOptimizer {
                     },
                 });
             }
+            if insight.is_some() {
+                entries.push(SelectionEntry {
+                    value: item.confidence,
+                    cost: item.cost,
+                    kept,
+                });
+            }
             if !kept {
                 if telemetry.is_none() {
                     break; // nothing left to record; the walk is done
@@ -112,6 +122,11 @@ impl CombinatorialOptimizer {
             }
             selected.push(idx);
             spent += item.cost;
+        }
+        if let Some(ins) = insight {
+            // Feed the Lemma-1 slack gauge: realized value vs the
+            // fractional-knapsack bound over this round's candidates.
+            ins.record_selection(round, budget, &entries);
         }
         (selected, spent)
     }

@@ -8,11 +8,15 @@
 //! and writes `BENCH_gate.json` at the repository root.
 //!
 //! Reported per (m, path): per-round latency p50 / p99 / mean (µs) and
-//! rounds per second. `PG_SCALE=quick` shrinks the concurrency sweep and
-//! the measurement time for CI smoke runs.
+//! rounds per second. A third row repeats the batched path with the
+//! decision-quality monitor ([`pg_pipeline::Insight`]) recording every
+//! packet, selection, and round close — pinning the monitor's per-round
+//! cost next to the decision it observes. `PG_SCALE=quick` shrinks the
+//! concurrency sweep and the measurement time for CI smoke runs.
 
 use packetgame::{ContextualPredictor, PacketGameConfig, PredictScratch};
 use pg_bench::harness::print_table;
+use pg_pipeline::{Insight, PacketOutcome, RoundOutcome, SelectionEntry};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -30,8 +34,14 @@ struct SizeRecord {
     m: usize,
     sequential: PathStats,
     batched: PathStats,
+    /// Batched path with the decision-quality monitor enabled: scoring
+    /// plus per-packet drift observation, Lemma-1 selection recording,
+    /// and the end-of-round regret/ring update.
+    batched_insight: PathStats,
     /// Sequential mean round latency / batched mean round latency.
     speedup: f64,
+    /// Batched-with-insight mean / batched mean (monitor cost factor).
+    insight_overhead: f64,
 }
 
 #[derive(Serialize)]
@@ -144,6 +154,54 @@ fn main() {
             predictor.predict_batch(&mut scratch, 0).iter().sum()
         });
 
+        // Batched scoring again, now with the insight monitor observing
+        // the full decision: per-packet size samples (drift), the greedy
+        // selection (Lemma-1 gauge), and the round close (regret + ring).
+        let insight = Insight::enabled();
+        let budget = (m as f64 / 4.0).max(2.0);
+        let mut round_no = 0u64;
+        let mut entries: Vec<SelectionEntry> = Vec::with_capacity(m);
+        let mut outcomes: Vec<PacketOutcome> = Vec::with_capacity(m);
+        let batched_insight = measure(target_ms, || {
+            scratch.begin(m, w);
+            for r in 0..m {
+                let (vi, vp, t) = inputs.row(r);
+                let (di, dp) = scratch.stream_row(r, t);
+                di.copy_from_slice(vi);
+                dp.copy_from_slice(vp);
+                insight.observe_packet(r, round_no, r % 4 == 0, 800 + (r as u64 % 13) * 16);
+            }
+            let conf = predictor.predict_batch(&mut scratch, 0);
+            entries.clear();
+            outcomes.clear();
+            let mut spent = 0.0;
+            for (r, &value) in conf.iter().enumerate() {
+                let cost = 1.0 + (r % 3) as f64;
+                let kept = spent < budget;
+                if kept {
+                    spent += cost;
+                }
+                entries.push(SelectionEntry { value, cost, kept });
+                outcomes.push(PacketOutcome {
+                    cost,
+                    necessary: value > 0.5,
+                    decoded: kept,
+                });
+            }
+            insight.record_selection(round_no, budget, &entries);
+            insight.record_round(&RoundOutcome {
+                round: round_no,
+                budget,
+                spent,
+                offered: m,
+                decoded: entries.iter().filter(|e| e.kept).count(),
+                quarantined: 0,
+                outcomes: &outcomes,
+            });
+            round_no += 1;
+            conf.iter().sum()
+        });
+
         // Cross-check: both paths score every stream identically.
         scratch.begin(m, w);
         for r in 0..m {
@@ -166,7 +224,9 @@ fn main() {
             m,
             sequential,
             batched,
+            batched_insight,
             speedup: sequential.mean_us / batched.mean_us,
+            insight_overhead: batched_insight.mean_us / batched.mean_us,
         });
     }
 
@@ -181,6 +241,8 @@ fn main() {
             "batch p99 µs",
             "batch rounds/s",
             "speedup",
+            "insight p50 µs",
+            "insight ovh",
         ],
         &records
             .iter()
@@ -194,6 +256,8 @@ fn main() {
                     format!("{:.1}", r.batched.p99_us),
                     format!("{:.0}", r.batched.rounds_per_sec),
                     format!("{:.2}x", r.speedup),
+                    format!("{:.1}", r.batched_insight.p50_us),
+                    format!("{:.2}x", r.insight_overhead),
                 ]
             })
             .collect::<Vec<_>>(),

@@ -18,6 +18,7 @@ use std::time::Instant;
 use packetgame::{ContextualPredictor, PacketGameConfig, PredictScratch};
 use pg_pipeline::concurrent::DecodeWorkModel;
 use pg_pipeline::telemetry::{Stage, Telemetry};
+use pg_pipeline::RoundOutcome;
 
 /// Median-of-5 timing of `reps` executions of `f`, in nanoseconds per
 /// execution. Medians shrug off the occasional preemption spike.
@@ -103,6 +104,48 @@ fn disabled_hooks_cost_under_two_percent_of_batched_gate_round() {
          batched gate round at m={m} ({:.3}% > 2%)",
         overhead * 100.0
     );
+}
+
+#[test]
+fn disabled_insight_hooks_cost_under_two_percent_of_packet_work() {
+    // The decision-quality monitor adds its own hooks on the same hot
+    // path: one drift observation per packet, one selection record per
+    // round, one calibration observation per feedback event, and one
+    // round close. Disabled, the whole set must stay under the same 2%
+    // bound as the stage timers.
+    let telemetry = Telemetry::disabled();
+    let insight = telemetry.insight().clone();
+    assert!(!insight.is_enabled());
+
+    let hooks_ns = time_ns_per_op(200_000, || {
+        insight.observe_packet(3, 7, false, 1200);
+        insight.record_selection(7, 6.0, &[]);
+        insight.record_outcome(0, 0.5, true);
+        insight.record_round(&RoundOutcome {
+            round: 7,
+            budget: 6.0,
+            spent: 4.0,
+            offered: 8,
+            decoded: 4,
+            quarantined: 0,
+            outcomes: &[],
+        });
+    });
+
+    let work = DecodeWorkModel::default();
+    let work_ns = time_ns_per_op(2_000, || {
+        work.decode_work(1.0);
+    });
+
+    let overhead = hooks_ns / work_ns;
+    assert!(
+        overhead < 0.02,
+        "disabled insight costs {hooks_ns:.1} ns against {work_ns:.1} ns \
+         of per-packet work ({:.3}% > 2%)",
+        overhead * 100.0
+    );
+    // And nothing is retained.
+    assert!(insight.snapshot().is_none());
 }
 
 #[test]

@@ -1,14 +1,16 @@
 //! `pgv gate` — simulate multi-stream gating and report accuracy.
 
 use crate::args::{parse_task, Options};
+use crate::metrics::MetricsServer;
+use crate::watch::Watch;
 use packetgame::training::test_config;
 use packetgame::{
     ContextualPredictor, OracleGate, PacketGame, PacketGameConfig, RandomGate, RoundRobinGate,
     TemporalGate,
 };
 use pg_pipeline::{
-    ChunkFaultMode, FaultPlan, GatePolicy, QuarantineConfig, ReplaySimulator, RoundSimulator,
-    SimConfig, Telemetry,
+    ChunkFaultMode, FaultPlan, GatePolicy, Insight, QuarantineConfig, ReplaySimulator,
+    RoundSimulator, SimConfig, Telemetry,
 };
 
 const HELP: &str = "\
@@ -26,8 +28,19 @@ OPTIONS:
     --weights <path>         trained weight file (packetgame policy; trains
                              a small predictor on the fly if omitted)
     --seed <n>               workload seed (default 1)
+
+OBSERVABILITY (any of these also enables the decision-quality monitor:
+regret / Lemma-1 slack / calibration / drift):
     --telemetry-json <path>  record per-stage telemetry + the gate-decision
                              audit ring and dump the snapshot as JSON
+    --metrics-addr <a>       serve a Prometheus text exposition of the live
+                             telemetry at http://<a>/metrics while the run
+                             executes (use port 0 for an ephemeral port)
+    --metrics-addr-file <p>  write the bound metrics address to a file
+                             (lets scripts discover an ephemeral port)
+    --metrics-linger <secs>  keep the metrics endpoint up this many seconds
+                             after the run finishes (default 0)
+    --watch                  live decision-quality dashboard on stderr
 
 FAULT INJECTION (synthetic mode only; deterministic per --fault-seed):
     --inject-corrupt <s@r,...>   truncate stream s's chunk at round r
@@ -53,11 +66,33 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let policy = o.str_or("policy", "packetgame");
     let seed: u64 = o.num_or("seed", 1)?;
     let telemetry_path = o.str_or("telemetry-json", "");
-    let telemetry = if telemetry_path.is_empty() {
-        Telemetry::disabled()
+    let metrics_addr = o.str_or("metrics-addr", "");
+    let metrics_addr_file = o.str_or("metrics-addr-file", "");
+    let metrics_linger: u64 = o.num_or("metrics-linger", 0)?;
+    let watch_requested = o.str_or("watch", "") == "true";
+    // Any observability surface enables full telemetry plus the
+    // decision-quality monitor; otherwise both stay disabled (and the gate
+    // hot path pays a single predicted branch).
+    let observing = !telemetry_path.is_empty() || !metrics_addr.is_empty() || watch_requested;
+    let telemetry = if observing {
+        Telemetry::enabled().with_insight(Insight::enabled())
     } else {
-        Telemetry::enabled()
+        Telemetry::disabled()
     };
+
+    let server = if metrics_addr.is_empty() {
+        None
+    } else {
+        let server = MetricsServer::bind(&metrics_addr, telemetry.clone())?;
+        let local = server.local_addr();
+        eprintln!("[metrics at http://{local}/metrics]");
+        if !metrics_addr_file.is_empty() {
+            std::fs::write(&metrics_addr_file, local.to_string())
+                .map_err(|e| format!("writing {metrics_addr_file}: {e}"))?;
+        }
+        Some(server)
+    };
+    let watch = watch_requested.then(|| Watch::start(telemetry.clone()));
 
     let config = test_config();
     let mut gate: Box<dyn GatePolicy> = match policy.as_str() {
@@ -133,6 +168,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             quarantine,
         )?;
         write_telemetry(&telemetry_path, report.telemetry.as_ref())?;
+        finish_observers(watch, server, metrics_linger);
         return Ok(());
     }
     if !plan.is_empty() {
@@ -163,7 +199,24 @@ pub fn run(args: &[String]) -> Result<(), String> {
         .run(gate.as_mut(), rounds);
     print_report(&report, budget);
     write_telemetry(&telemetry_path, report.telemetry.as_ref())?;
+    finish_observers(watch, server, metrics_linger);
     Ok(())
+}
+
+/// Wind down the optional dashboard and scrape endpoint: the dashboard
+/// paints a final frame immediately, while the metrics server lingers so
+/// late scrapers can still collect the end-of-run exposition.
+fn finish_observers(watch: Option<Watch>, server: Option<MetricsServer>, linger_secs: u64) {
+    if let Some(w) = watch {
+        w.stop();
+    }
+    if let Some(s) = server {
+        if linger_secs > 0 {
+            eprintln!("[metrics lingering {linger_secs}s at http://{}/metrics]", s.local_addr());
+            std::thread::sleep(std::time::Duration::from_secs(linger_secs));
+        }
+        s.stop();
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -17,6 +17,8 @@ mod cmd_inspect;
 mod cmd_netsim;
 mod cmd_train;
 mod cmd_weights;
+mod metrics;
+mod watch;
 
 const USAGE: &str = "\
 pgv — PacketGame video-stream tool

@@ -1,0 +1,218 @@
+//! Live terminal dashboard for `pgv gate --watch`.
+//!
+//! A background thread redraws a compact decision-quality panel on
+//! stderr (~2 Hz): keep rate, budget utilisation, the regret tracker's
+//! growth exponent, Lemma-1 slack, per-head calibration and drift flags.
+//! On a TTY the panel redraws in place (ANSI cursor-up + line-clear); on
+//! a pipe it degrades to plain appended blocks.
+
+use pg_pipeline::{Telemetry, TelemetrySnapshot};
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to the dashboard thread. [`Watch::stop`] draws one final frame
+/// so the end-of-run state stays on screen.
+pub struct Watch {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Watch {
+    /// Start the dashboard at the default ~2 Hz refresh.
+    pub fn start(telemetry: Telemetry) -> Self {
+        Self::with_interval(telemetry, Duration::from_millis(500))
+    }
+
+    /// Start the dashboard with an explicit refresh interval.
+    pub fn with_interval(telemetry: Telemetry, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("pgv-watch".into())
+            .spawn(move || run(&telemetry, interval, &thread_stop))
+            .ok();
+        Watch {
+            stop,
+            handle,
+        }
+    }
+
+    /// Stop the dashboard after a final redraw.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn run(telemetry: &Telemetry, interval: Duration, stop: &AtomicBool) {
+    let tty = std::io::stderr().is_terminal();
+    let mut drawn = 0usize;
+    loop {
+        let last = stop.load(Ordering::Acquire);
+        if let Some(snapshot) = telemetry.snapshot() {
+            let lines = render(&snapshot);
+            let mut err = std::io::stderr().lock();
+            if tty && drawn > 0 {
+                // Redraw in place: climb back over the previous frame.
+                let _ = write!(err, "\x1b[{drawn}A");
+            }
+            for line in &lines {
+                let _ = if tty {
+                    writeln!(err, "\x1b[2K{line}")
+                } else {
+                    writeln!(err, "{line}")
+                };
+            }
+            let _ = err.flush();
+            drawn = lines.len();
+        }
+        if last {
+            return;
+        }
+        // Sleep in short slices so `stop` lands within ~50 ms.
+        let mut left = interval;
+        while !left.is_zero() && !stop.load(Ordering::Acquire) {
+            let step = left.min(Duration::from_millis(50));
+            std::thread::sleep(step);
+            left = left.saturating_sub(step);
+        }
+    }
+}
+
+/// Render the dashboard frame. Pure so tests can pin the layout.
+pub fn render(snapshot: &TelemetrySnapshot) -> Vec<String> {
+    let mut lines = Vec::new();
+    lines.push("── pgv gate · decision-quality monitor ──".to_string());
+    let g = &snapshot.gate;
+    let total = g.kept + g.dropped;
+    let keep_pct = if total > 0 {
+        g.kept as f64 / total as f64 * 100.0
+    } else {
+        0.0
+    };
+    let Some(ins) = &snapshot.insight else {
+        lines.push(format!(
+            " gate    {} kept / {} dropped ({keep_pct:.1}% keep)",
+            g.kept, g.dropped
+        ));
+        lines.push(" insight off (run with --metrics-addr/--watch to enable)".to_string());
+        return lines;
+    };
+    let (util, quarantined) = ins
+        .ring
+        .last()
+        .map(|s| (s.budget_utilisation * 100.0, s.quarantined))
+        .unwrap_or((0.0, 0));
+    lines.push(format!(
+        " round   {:<8} keep {keep_pct:5.1}%   budget {util:5.1}%   quarantined {quarantined}",
+        ins.rounds
+    ));
+    let r = &ins.regret;
+    lines.push(format!(
+        " regret  {:<10.2} exponent {}  {}",
+        r.cumulative,
+        r.exponent
+            .map(|e| format!("{e:.2} (≤{:.2})", r.threshold))
+            .unwrap_or_else(|| "—".to_string()),
+        if r.flagged { "ALARM: super-√T growth" } else { "ok" }
+    ));
+    let l = &ins.lemma1;
+    lines.push(format!(
+        " lemma1  slack {:.3}   worst ratio {:.3}   guarantee {:.3}",
+        l.slack, l.worst_ratio, l.guarantee
+    ));
+    if ins.calibration.is_empty() {
+        lines.push(" calib   (no labelled outcomes yet)".to_string());
+    } else {
+        for h in &ins.calibration {
+            lines.push(format!(
+                " calib   head {}: ECE {:.3}  Brier {:.3}  (n={})",
+                h.head, h.ece, h.brier, h.samples
+            ));
+        }
+    }
+    let d = &ins.drift;
+    let stale: Vec<String> = d
+        .stale
+        .iter()
+        .map(|s| format!("{}({})", s.stream_idx, s.channel))
+        .collect();
+    lines.push(format!(
+        " drift   {} stale / {} streams, {} flags{}",
+        d.stale.len(),
+        d.streams,
+        d.flags_total,
+        if stale.is_empty() {
+            String::new()
+        } else {
+            format!("  [{}]", stale.join(" "))
+        }
+    ));
+    if snapshot.faults.total > 0 {
+        lines.push(format!(
+            " faults  {} total   {} degraded / {} recovered",
+            snapshot.faults.total,
+            snapshot.faults.degraded_events,
+            snapshot.faults.recovered_events
+        ));
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_insight_panel() {
+        let telemetry =
+            Telemetry::enabled().with_insight(pg_pipeline::Insight::enabled());
+        let insight = telemetry.insight().clone();
+        for round in 0..4 {
+            insight.observe_packet(0, round, true, 1000);
+            insight.record_outcome(0, 0.8, true);
+            insight.record_round(&pg_pipeline::RoundOutcome {
+                round,
+                budget: 4.0,
+                spent: 3.0,
+                offered: 2,
+                decoded: 1,
+                quarantined: 0,
+                outcomes: &[pg_pipeline::PacketOutcome {
+                    cost: 3.0,
+                    necessary: true,
+                    decoded: true,
+                }],
+            });
+        }
+        let snapshot = telemetry.snapshot().expect("snapshot");
+        let lines = render(&snapshot);
+        let joined = lines.join("\n");
+        assert!(joined.contains("decision-quality monitor"), "{joined}");
+        assert!(joined.contains("regret"), "{joined}");
+        assert!(joined.contains("lemma1"), "{joined}");
+        assert!(joined.contains("calib   head 0"), "{joined}");
+        assert!(joined.contains("drift"), "{joined}");
+    }
+
+    #[test]
+    fn renders_a_fallback_panel_without_insight() {
+        let telemetry = Telemetry::enabled();
+        let snapshot = telemetry.snapshot().expect("snapshot");
+        let lines = render(&snapshot);
+        assert!(lines.iter().any(|l| l.contains("insight off")));
+    }
+
+    #[test]
+    fn watch_thread_starts_and_stops_cleanly() {
+        let telemetry = Telemetry::enabled().with_insight(pg_pipeline::Insight::enabled());
+        let watch = Watch::with_interval(telemetry, Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(30));
+        watch.stop();
+    }
+}

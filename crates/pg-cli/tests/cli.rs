@@ -93,6 +93,67 @@ fn netsim_reports_transport_stats() {
 }
 
 #[test]
+fn gate_serves_metrics_and_writes_insight_telemetry() {
+    use std::io::{Read, Write};
+
+    let dir = tmpdir();
+    let addr_file = dir.join("metrics.addr");
+    let telemetry_file = dir.join("telemetry.json");
+    let mut child = pgv()
+        .args([
+            "gate", "--streams", "4", "--rounds", "80", "--budget", "2", "--policy", "random",
+            "--metrics-addr", "127.0.0.1:0", "--metrics-linger", "10",
+        ])
+        .arg("--metrics-addr-file")
+        .arg(&addr_file)
+        .arg("--telemetry-json")
+        .arg(&telemetry_file)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn gate");
+
+    // Wait for the server to publish its ephemeral port, then for the run
+    // to finish (the JSON lands before the linger window starts).
+    let wait_for = |path: &std::path::Path| {
+        for _ in 0..400 {
+            if std::fs::metadata(path).map(|m| m.len() > 0).unwrap_or(false) {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        false
+    };
+    assert!(wait_for(&addr_file), "metrics address never published");
+    assert!(wait_for(&telemetry_file), "run never finished");
+
+    let addr = std::fs::read_to_string(&addr_file).expect("addr file");
+    let mut conn = std::net::TcpStream::connect(addr.trim()).expect("connect to metrics");
+    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").expect("request");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("scrape");
+    let body = raw.split_once("\r\n\r\n").expect("http response").1;
+    pg_pipeline::validate_exposition(body).expect("exposition must parse");
+    for family in [
+        "pg_insight_regret_cumulative",
+        "pg_insight_lemma1_slack",
+        "pg_insight_calibration_ece",
+        "pg_insight_drift_flags_total",
+        "pg_insight_keep_rate",
+    ] {
+        assert!(body.contains(family), "missing {family} in:\n{body}");
+    }
+
+    let json = std::fs::read_to_string(&telemetry_file).expect("telemetry json");
+    assert!(json.contains(r#""insight""#), "insight missing from snapshot");
+    assert!(json.contains(r#""regret""#), "regret missing from snapshot");
+
+    child.kill().ok(); // don't sit out the linger window
+    child.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn missing_required_option_is_a_clean_error() {
     let out = pgv().args(["generate", "--task", "PC"]).output().expect("run");
     assert!(!out.status.success());

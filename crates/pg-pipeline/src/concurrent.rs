@@ -576,6 +576,7 @@ fn gate_stage(
     };
     let mut decoded = 0u64;
     let mut gate_time = Duration::ZERO;
+    let insight = telemetry.insight().clone();
 
     let note_fault = |faults: &mut Vec<FaultRecord>,
                           health: &mut StreamHealth,
@@ -605,6 +606,12 @@ fn gate_stage(
         while !ingest.all_covered(m, round, &health) {
             match pkt_rx.recv_timeout(STALL_TIMEOUT) {
                 Ok((i, ParserMsg::Packet(p))) => {
+                    insight.observe_packet(
+                        i,
+                        round,
+                        p.meta.frame_type.is_independent(),
+                        u64::from(p.meta.size),
+                    );
                     if p.meta.seq >= cfg.rounds {
                         // An implausible sequence number is bit-flip
                         // damage that still framed as a record; taking it
@@ -765,6 +772,22 @@ fn gate_stage(
                     health: health.summary(),
                 };
             }
+        }
+
+        // Close the round for the decision-quality monitor. The runtime
+        // has no scene ground truth, so no hindsight-oracle outcomes are
+        // reported — the regret tracker simply doesn't advance here; the
+        // ring, drift and Lemma-1 channels stay live.
+        if insight.is_enabled() {
+            insight.record_round(&crate::insight::RoundOutcome {
+                round,
+                budget: cfg.budget_per_round,
+                spent,
+                offered: contexts.len(),
+                decoded: sent.iter().filter(|&&d| d).count(),
+                quarantined: health.sidelined_count(),
+                outcomes: &[],
+            });
         }
     }
     GateStats {

@@ -1,0 +1,348 @@
+//! Prometheus text-format rendering of a [`TelemetrySnapshot`].
+//!
+//! Hand-rolled (no client library — design constraint: zero new
+//! dependencies). The output follows the exposition format version 0.0.4:
+//! every line is a `# HELP`, a `# TYPE`, or a `name{labels} value`
+//! sample. [`validate_exposition`] re-parses an exposition with the same
+//! grammar and is used by the unit tests and the CI smoke scraper to keep
+//! the renderer honest.
+
+use std::fmt::Write as _;
+
+use crate::insight::InsightSnapshot;
+use crate::telemetry::TelemetrySnapshot;
+
+/// Render a full snapshot as a Prometheus text exposition.
+pub fn prometheus_exposition(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+
+    for stage in &snapshot.stages {
+        let s = &stage.stage;
+        family(&mut out, "pg_stage_calls_total", "Timed spans recorded per stage.", "counter");
+        sample(&mut out, "pg_stage_calls_total", &[("stage", s)], stage.calls as f64);
+        family(&mut out, "pg_stage_items_total", "Items moved across all spans per stage.", "counter");
+        sample(&mut out, "pg_stage_items_total", &[("stage", s)], stage.items as f64);
+        family(&mut out, "pg_stage_latency_us", "Span latency histogram per stage (µs).", "histogram");
+        let mut cumulative = 0u64;
+        for bucket in &stage.latency_buckets {
+            cumulative += bucket.count;
+            let le = if bucket.le_us == u64::MAX {
+                "+Inf".to_string()
+            } else {
+                bucket.le_us.to_string()
+            };
+            sample(
+                &mut out,
+                "pg_stage_latency_us_bucket",
+                &[("stage", s), ("le", &le)],
+                cumulative as f64,
+            );
+        }
+        if stage.latency_buckets.last().map(|b| b.le_us) != Some(u64::MAX) {
+            sample(
+                &mut out,
+                "pg_stage_latency_us_bucket",
+                &[("stage", s), ("le", "+Inf")],
+                cumulative as f64,
+            );
+        }
+        sample(&mut out, "pg_stage_latency_us_sum", &[("stage", s)], stage.total_us as f64);
+        sample(&mut out, "pg_stage_latency_us_count", &[("stage", s)], stage.calls as f64);
+    }
+
+    family(&mut out, "pg_gate_kept_total", "Candidates the gate sent to the decoder.", "counter");
+    sample(&mut out, "pg_gate_kept_total", &[], snapshot.gate.kept as f64);
+    family(&mut out, "pg_gate_dropped_total", "Candidates the gate dropped.", "counter");
+    sample(&mut out, "pg_gate_dropped_total", &[], snapshot.gate.dropped as f64);
+    family(&mut out, "pg_gate_audit_total", "Gate decisions ever audited.", "counter");
+    sample(&mut out, "pg_gate_audit_total", &[], snapshot.gate.audit_total as f64);
+
+    family(&mut out, "pg_faults_total", "Classified pipeline faults.", "counter");
+    sample(&mut out, "pg_faults_total", &[], snapshot.faults.total as f64);
+    for kind in &snapshot.faults.by_kind {
+        family(&mut out, "pg_faults_by_kind_total", "Pipeline faults by kind.", "counter");
+        sample(&mut out, "pg_faults_by_kind_total", &[("kind", &kind.kind)], kind.count as f64);
+    }
+    family(&mut out, "pg_streams_degraded_total", "Stream quarantine/kill events.", "counter");
+    sample(&mut out, "pg_streams_degraded_total", &[], snapshot.faults.degraded_events as f64);
+    family(&mut out, "pg_streams_recovered_total", "Stream cooldown-expiry recoveries.", "counter");
+    sample(&mut out, "pg_streams_recovered_total", &[], snapshot.faults.recovered_events as f64);
+
+    if let Some(insight) = &snapshot.insight {
+        render_insight(&mut out, insight);
+    }
+    out
+}
+
+fn render_insight(out: &mut String, insight: &InsightSnapshot) {
+    family(out, "pg_insight_rounds_total", "Rounds closed by the decision-quality monitor.", "counter");
+    sample(out, "pg_insight_rounds_total", &[], insight.rounds as f64);
+
+    let r = &insight.regret;
+    family(out, "pg_insight_regret_cumulative", "Cumulative regret vs the per-round hindsight oracle (Theorem 1).", "gauge");
+    sample(out, "pg_insight_regret_cumulative", &[], r.cumulative);
+    family(out, "pg_insight_regret_exponent", "Fitted growth exponent of R(t) ~ t^a (NaN until enough history).", "gauge");
+    sample(out, "pg_insight_regret_exponent", &[], r.exponent.unwrap_or(f64::NAN));
+    family(out, "pg_insight_regret_threshold", "Alarm threshold on the regret growth exponent (0.5 + epsilon).", "gauge");
+    sample(out, "pg_insight_regret_threshold", &[], r.threshold);
+    family(out, "pg_insight_regret_alarm", "1 when the regret growth exponent exceeds its threshold.", "gauge");
+    sample(out, "pg_insight_regret_alarm", &[], if r.flagged { 1.0 } else { 0.0 });
+
+    let l = &insight.lemma1;
+    family(out, "pg_insight_lemma1_realized_value", "Selection value realized in the last round.", "gauge");
+    sample(out, "pg_insight_lemma1_realized_value", &[], l.realized_value);
+    family(out, "pg_insight_lemma1_upper_bound", "Fractional-knapsack upper bound for the last round.", "gauge");
+    sample(out, "pg_insight_lemma1_upper_bound", &[], l.upper_bound);
+    family(out, "pg_insight_lemma1_slack", "Upper bound minus realized value (last round).", "gauge");
+    sample(out, "pg_insight_lemma1_slack", &[], l.slack);
+    family(out, "pg_insight_lemma1_guarantee", "Lemma 1 guarantee 1 - c_max/B for the last round.", "gauge");
+    sample(out, "pg_insight_lemma1_guarantee", &[], l.guarantee);
+    family(out, "pg_insight_lemma1_worst_ratio", "Worst realized/upper ratio seen this run.", "gauge");
+    sample(out, "pg_insight_lemma1_worst_ratio", &[], l.worst_ratio);
+    family(out, "pg_insight_lemma1_mean_ratio", "Mean realized/upper ratio this run.", "gauge");
+    sample(out, "pg_insight_lemma1_mean_ratio", &[], l.mean_ratio);
+
+    family(out, "pg_insight_calibration_ece", "Expected calibration error per task head.", "gauge");
+    family(out, "pg_insight_calibration_brier", "Brier score per task head.", "gauge");
+    family(out, "pg_insight_calibration_samples", "Calibration observations per task head.", "counter");
+    if insight.calibration.is_empty() {
+        // Keep the ECE/Brier series present even before any feedback
+        // arrives so scrapers see a stable metric set.
+        sample(out, "pg_insight_calibration_ece", &[("head", "0")], 0.0);
+        sample(out, "pg_insight_calibration_brier", &[("head", "0")], 0.0);
+        sample(out, "pg_insight_calibration_samples", &[("head", "0")], 0.0);
+    }
+    for cal in &insight.calibration {
+        let head = cal.head.to_string();
+        sample(out, "pg_insight_calibration_ece", &[("head", &head)], cal.ece);
+        sample(out, "pg_insight_calibration_brier", &[("head", &head)], cal.brier);
+        sample(out, "pg_insight_calibration_samples", &[("head", &head)], cal.samples as f64);
+    }
+
+    let d = &insight.drift;
+    family(out, "pg_insight_drift_flags_total", "Page-Hinkley drift alarms across all streams.", "counter");
+    sample(out, "pg_insight_drift_flags_total", &[], d.flags_total as f64);
+    family(out, "pg_insight_drift_stale_streams", "Streams whose predictor is currently marked stale.", "gauge");
+    sample(out, "pg_insight_drift_stale_streams", &[], d.stale.len() as f64);
+    family(out, "pg_insight_stream_stale", "1 for each stream marked stale by drift detection.", "gauge");
+    for s in &d.stale {
+        let idx = s.stream_idx.to_string();
+        sample(out, "pg_insight_stream_stale", &[("stream", &idx), ("channel", &s.channel)], 1.0);
+    }
+
+    if let Some(last) = insight.ring.last() {
+        family(out, "pg_insight_keep_rate", "Decoded/offered candidates in the latest round.", "gauge");
+        sample(out, "pg_insight_keep_rate", &[], last.keep_rate);
+        family(out, "pg_insight_budget_utilisation", "Spent/budget in the latest round.", "gauge");
+        sample(out, "pg_insight_budget_utilisation", &[], last.budget_utilisation);
+        family(out, "pg_insight_mean_confidence", "Mean kept-candidate confidence in the latest round.", "gauge");
+        sample(out, "pg_insight_mean_confidence", &[], last.mean_confidence.unwrap_or(f64::NAN));
+        family(out, "pg_insight_quarantined_streams", "Streams quarantined at the end of the latest round.", "gauge");
+        sample(out, "pg_insight_quarantined_streams", &[], last.quarantined as f64);
+    }
+}
+
+/// Emit the `# HELP`/`# TYPE` header for a family, once per exposition.
+/// (Repeated emission is filtered here rather than at call sites so the
+/// render code can stay declarative.)
+fn family(out: &mut String, name: &str, help: &str, kind: &str) {
+    let header = format!("# HELP {name} ");
+    if out.contains(&header) {
+        return;
+    }
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    let _ = write!(out, "{name}");
+    if !labels.is_empty() {
+        let _ = write!(out, "{{");
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, ",");
+            }
+            let _ = write!(out, "{k}=\"{v}\"");
+        }
+        let _ = write!(out, "}}");
+    }
+    let _ = writeln!(out, " {}", fmt_value(value));
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf".to_string() } else { "-Inf".to_string() }
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Check that every line of `text` is a well-formed exposition line:
+/// `# HELP name …`, `# TYPE name counter|gauge|histogram|summary`, or
+/// `name{label="v",…} value`. Returns the first offending line.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |what: &str| Err(format!("line {}: {what}: {line:?}", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut words = rest.splitn(3, ' ');
+            let keyword = words.next().unwrap_or("");
+            let name = words.next().unwrap_or("");
+            if keyword != "HELP" && keyword != "TYPE" {
+                return err("comment is neither HELP nor TYPE");
+            }
+            if !is_metric_name(name) {
+                return err("bad metric name in comment");
+            }
+            if keyword == "TYPE" {
+                let kind = words.next().unwrap_or("");
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                    return err("unknown metric type");
+                }
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = match line.rsplit_once(' ') {
+            Some(parts) => parts,
+            None => return err("sample line has no value"),
+        };
+        let name = match name_part.split_once('{') {
+            None => name_part,
+            Some((name, labels)) => {
+                let Some(labels) = labels.strip_suffix('}') else {
+                    return err("unterminated label set");
+                };
+                for pair in labels.split(',') {
+                    let Some((k, v)) = pair.split_once('=') else {
+                        return err("label without '='");
+                    };
+                    if !is_metric_name(k) {
+                        return err("bad label name");
+                    }
+                    if !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                        return err("label value not quoted");
+                    }
+                }
+                name
+            }
+        };
+        if !is_metric_name(name) {
+            return err("bad sample metric name");
+        }
+        let ok = matches!(value_part, "NaN" | "+Inf" | "-Inf")
+            || value_part.parse::<f64>().is_ok();
+        if !ok {
+            return err("unparseable sample value");
+        }
+    }
+    Ok(())
+}
+
+fn is_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insight::{Insight, PacketOutcome, RoundOutcome, SelectionEntry};
+    use crate::telemetry::{Stage, Telemetry};
+    use std::time::Duration;
+
+    fn populated_snapshot() -> TelemetrySnapshot {
+        let telemetry =
+            Telemetry::enabled().with_insight(Insight::enabled());
+        telemetry.record_duration(Stage::Parse, 8, Duration::from_micros(12));
+        telemetry.record_duration(Stage::Decode, 3, Duration::from_micros(300));
+        telemetry.fault(crate::fault::FaultKind::DecodeFail, Some(2));
+        let insight = telemetry.insight().clone();
+        insight.record_selection(
+            0,
+            4.0,
+            &[
+                SelectionEntry { value: 0.9, cost: 1.0, kept: true },
+                SelectionEntry { value: 0.2, cost: 1.5, kept: false },
+            ],
+        );
+        insight.record_outcome(0, 0.9, true);
+        insight.record_outcome(0, 0.2, false);
+        insight.record_round(&RoundOutcome {
+            round: 0,
+            budget: 4.0,
+            spent: 1.0,
+            offered: 2,
+            decoded: 1,
+            quarantined: 0,
+            outcomes: &[
+                PacketOutcome { cost: 1.0, necessary: true, decoded: true },
+                PacketOutcome { cost: 1.5, necessary: false, decoded: false },
+            ],
+        });
+        telemetry.snapshot().expect("enabled")
+    }
+
+    #[test]
+    fn exposition_round_trips_the_validator() {
+        let text = prometheus_exposition(&populated_snapshot());
+        validate_exposition(&text).expect("exposition must parse");
+        for metric in [
+            "pg_stage_calls_total",
+            "pg_stage_latency_us_bucket",
+            "pg_gate_kept_total",
+            "pg_faults_total",
+            "pg_insight_regret_cumulative",
+            "pg_insight_lemma1_slack",
+            "pg_insight_calibration_ece",
+            "pg_insight_drift_flags_total",
+            "pg_insight_keep_rate",
+        ] {
+            assert!(text.contains(metric), "exposition must export {metric}\n{text}");
+        }
+    }
+
+    #[test]
+    fn help_and_type_emitted_once_per_family() {
+        let text = prometheus_exposition(&populated_snapshot());
+        let helps = text
+            .lines()
+            .filter(|l| l.starts_with("# HELP pg_stage_calls_total "))
+            .count();
+        assert_eq!(helps, 1, "HELP emitted once despite four stages");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let text = prometheus_exposition(&populated_snapshot());
+        let parse_buckets: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("pg_stage_latency_us_bucket{stage=\"parse\""))
+            .collect();
+        assert!(!parse_buckets.is_empty());
+        assert!(parse_buckets.last().unwrap().contains("le=\"+Inf\""));
+        let counts: Vec<f64> = parse_buckets
+            .iter()
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "buckets cumulative: {counts:?}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_exposition("pg_ok 1\n").is_ok());
+        assert!(validate_exposition("pg_ok{a=\"b\"} 2.5\n").is_ok());
+        assert!(validate_exposition("pg_ok NaN\n").is_ok());
+        assert!(validate_exposition("# FOO bar baz\n").is_err());
+        assert!(validate_exposition("just some text\n").is_err());
+        assert!(validate_exposition("pg_bad{unquoted=v} 1\n").is_err());
+        assert!(validate_exposition("pg_bad{open=\"v\" 1\n").is_err());
+        assert!(validate_exposition("pg_bad one\n").is_err());
+        assert!(validate_exposition("# TYPE pg_x flavor\n").is_err());
+    }
+}

@@ -303,6 +303,15 @@ impl StreamHealth {
         matches!(self.state.get(i), Some(Health::Quarantined { .. }))
     }
 
+    /// Streams currently out of gating (quarantined or dead) — the count
+    /// the decision-quality monitor samples each round.
+    pub fn sidelined_count(&self) -> u64 {
+        self.state
+            .iter()
+            .filter(|s| !matches!(s, Health::Healthy { .. }))
+            .count() as u64
+    }
+
     /// Record a fault against stream `i` during `round`. Returns `true`
     /// when this fault pushed the stream over its strike budget and it is
     /// now (newly) quarantined.

@@ -1,0 +1,1044 @@
+//! Online decision-quality observability: is the gate still making good
+//! choices, *right now*?
+//!
+//! The stage telemetry in [`telemetry`](crate::telemetry) answers "how
+//! fast"; this module answers "how well". It tracks, per round, the
+//! quantities PacketGame's analysis says an operator should watch:
+//!
+//! * an **online regret tracker** — cumulative gated utility vs an
+//!   in-hindsight fractional-knapsack oracle, with a running growth-exponent
+//!   fit of `log R(t)` against `log t`. Theorem 1 promises `O(√T)` regret,
+//!   i.e. an exponent ≤ 0.5; a fitted slope above `0.5 + ε` raises a flag.
+//! * a **Lemma-1 slack gauge** — realized selection value vs the
+//!   fractional-knapsack upper bound each round, next to the
+//!   `1 − c_max/B` guarantee the greedy selection carries.
+//! * **confidence calibration** — fixed reliability bins over gate
+//!   confidences vs realized redundancy feedback, exporting ECE and Brier
+//!   score per task head.
+//! * **per-stream drift detection** — two-sided Page–Hinkley tests over
+//!   normalized I- and P/B-packet sizes. A detected mean shift marks the
+//!   stream's predictor stale (the staleness failure mode codec-signal
+//!   gating is prone to when the input distribution moves).
+//! * a bounded per-round **time-series ring** (keep rate, budget
+//!   utilization, mean confidence, quarantine count) for dashboards.
+//!
+//! The handle follows the same discipline as [`Telemetry`]: a disabled
+//! [`Insight`] is a `None` behind an `Option<Arc<…>>` — every hook is a
+//! single branch, nothing is locked or allocated, so the hot path pays
+//! nothing when the monitor is off.
+//!
+//! [`Telemetry`]: crate::telemetry::Telemetry
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// Tuning knobs for the decision-quality monitor. The defaults are sane
+/// for the synthetic workloads in this repo; all thresholds are exported
+/// in the snapshot so dashboards can show them next to the live value.
+#[derive(Debug, Clone, Copy)]
+pub struct InsightConfig {
+    /// Flag the regret trajectory when the fitted growth exponent exceeds
+    /// `0.5 + regret_epsilon` (Theorem 1 predicts ≤ 0.5).
+    pub regret_epsilon: f64,
+    /// Rounds of regret history required before the exponent fit (and its
+    /// flag) are reported at all.
+    pub regret_min_rounds: u64,
+    /// Fixed reliability bins over `[0, 1]` for calibration.
+    pub calibration_bins: usize,
+    /// Page–Hinkley drift tolerance, in units of the normalized (mean ≈ 1)
+    /// packet-size signal.
+    pub ph_delta: f64,
+    /// Page–Hinkley alarm threshold on the cumulative deviation.
+    pub ph_lambda: f64,
+    /// Samples used to establish a stream's size baseline before the
+    /// drift test arms itself.
+    pub ph_warmup: usize,
+    /// Per-round samples retained in the dashboard time-series ring.
+    pub ring_capacity: usize,
+}
+
+impl Default for InsightConfig {
+    fn default() -> Self {
+        InsightConfig {
+            regret_epsilon: 0.1,
+            regret_min_rounds: 64,
+            calibration_bins: 10,
+            ph_delta: 0.1,
+            ph_lambda: 5.0,
+            ph_warmup: 24,
+            ring_capacity: 240,
+        }
+    }
+}
+
+/// Cap on retained regret-curve points. When reached, the series is
+/// decimated by two and the sampling stride doubles, so memory stays
+/// bounded for arbitrarily long runs while the log-log fit keeps points
+/// spread across the whole trajectory.
+const REGRET_SERIES_CAP: usize = 2048;
+
+/// One gate candidate as seen by the Lemma-1 gauge: the value the policy
+/// assigned, the closure cost, and whether it was kept.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectionEntry {
+    /// Policy value/confidence for the candidate.
+    pub value: f64,
+    /// Decode cost of the candidate's dependency closure.
+    pub cost: f64,
+    /// Whether the gate sent it to the decoder.
+    pub kept: bool,
+}
+
+/// One offered candidate's ground-truth outcome for the hindsight oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketOutcome {
+    /// Decode cost of the candidate's dependency closure.
+    pub cost: f64,
+    /// Whether decoding it was actually necessary (scene ground truth).
+    pub necessary: bool,
+    /// Whether the pipeline decoded it.
+    pub decoded: bool,
+}
+
+/// Everything a simulator reports at the end of one round.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundOutcome<'a> {
+    /// Round index.
+    pub round: u64,
+    /// Per-round decode budget.
+    pub budget: f64,
+    /// Cost actually charged this round.
+    pub spent: f64,
+    /// Candidates offered to the gate.
+    pub offered: usize,
+    /// Candidates decoded.
+    pub decoded: usize,
+    /// Streams quarantined (or dead) at the end of the round.
+    pub quarantined: u64,
+    /// Per-candidate ground truth, when the mode knows it. Empty in the
+    /// concurrent runtime (no oracle there) — the regret tracker simply
+    /// doesn't advance.
+    pub outcomes: &'a [PacketOutcome],
+}
+
+// ---------------------------------------------------------------- math
+
+/// Fractional-knapsack optimum: the maximum total value packable into
+/// `budget` when items may be taken fractionally. This is the LP
+/// relaxation Lemma 1 compares the greedy selection against — any
+/// feasible integral selection with total cost ≤ `budget` is bounded
+/// above by it.
+pub fn fractional_upper_bound(items: &[(f64, f64)], budget: f64) -> f64 {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| {
+        let da = items[a].0 / items[a].1.max(1e-12);
+        let db = items[b].0 / items[b].1.max(1e-12);
+        db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut remaining = budget;
+    let mut value = 0.0;
+    for &i in &order {
+        if remaining <= 0.0 {
+            break;
+        }
+        let (v, c) = items[i];
+        if c <= remaining {
+            value += v;
+            remaining -= c;
+        } else {
+            value += v * (remaining / c.max(1e-12));
+            remaining = 0.0;
+        }
+    }
+    value
+}
+
+/// Least-squares slope of `log R(t)` against `log t` over the *second
+/// half* of the recorded curve (the transient start would bias the fit).
+/// `None` until at least 4 positive points are available in the window.
+/// Mirrors the offline fit in `packetgame::theory` — reimplemented here
+/// because the dependency points the other way.
+pub fn growth_exponent(series: &[(f64, f64)]) -> Option<f64> {
+    let start = series.len() / 2;
+    let pts: Vec<(f64, f64)> = series[start..]
+        .iter()
+        .filter(|&&(t, r)| t > 0.0 && r > 0.0)
+        .map(|&(t, r)| (t.ln(), r.ln()))
+        .collect();
+    if pts.len() < 4 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+// ------------------------------------------------------- regret tracker
+
+#[derive(Debug)]
+struct RegretTracker {
+    rounds: u64,
+    cumulative: f64,
+    /// Decimated `(t, R_t)` curve for the growth-exponent fit.
+    series: Vec<(f64, f64)>,
+    /// Record every `stride`-th round (doubles on decimation).
+    stride: u64,
+    since_last: u64,
+}
+
+impl RegretTracker {
+    fn new() -> Self {
+        RegretTracker {
+            rounds: 0,
+            cumulative: 0.0,
+            series: Vec::new(),
+            stride: 1,
+            since_last: 0,
+        }
+    }
+
+    fn push(&mut self, increment: f64) {
+        self.rounds += 1;
+        self.cumulative += increment.max(0.0);
+        self.since_last += 1;
+        if self.since_last >= self.stride {
+            self.since_last = 0;
+            self.series.push((self.rounds as f64, self.cumulative));
+            if self.series.len() >= REGRET_SERIES_CAP {
+                let mut i = 0;
+                self.series.retain(|_| {
+                    i += 1;
+                    i % 2 == 0
+                });
+                self.stride *= 2;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- Lemma-1 gauge
+
+#[derive(Debug, Default)]
+struct Lemma1Gauge {
+    rounds: u64,
+    last_realized: f64,
+    last_upper: f64,
+    last_guarantee: f64,
+    sum_ratio: f64,
+    worst_ratio: f64,
+}
+
+impl Lemma1Gauge {
+    fn record(&mut self, budget: f64, entries: &[SelectionEntry]) {
+        if entries.is_empty() {
+            return;
+        }
+        let realized: f64 = entries.iter().filter(|e| e.kept).map(|e| e.value).sum();
+        let items: Vec<(f64, f64)> = entries.iter().map(|e| (e.value, e.cost)).collect();
+        let upper = fractional_upper_bound(&items, budget);
+        let c_max = entries.iter().map(|e| e.cost).fold(0.0, f64::max);
+        self.rounds += 1;
+        self.last_realized = realized;
+        self.last_upper = upper;
+        self.last_guarantee = if budget > 0.0 {
+            (1.0 - c_max / budget).max(0.0)
+        } else {
+            0.0
+        };
+        let ratio = if upper > 1e-12 {
+            (realized / upper).min(1.0)
+        } else {
+            1.0
+        };
+        self.sum_ratio += ratio;
+        self.worst_ratio = if self.rounds == 1 {
+            ratio
+        } else {
+            self.worst_ratio.min(ratio)
+        };
+    }
+}
+
+// -------------------------------------------------------- calibration
+
+#[derive(Debug, Default, Clone, Copy)]
+struct CalBin {
+    count: u64,
+    sum_conf: f64,
+    sum_pos: f64,
+}
+
+#[derive(Debug)]
+struct CalibrationHead {
+    bins: Vec<CalBin>,
+    brier_sum: f64,
+    count: u64,
+}
+
+impl CalibrationHead {
+    fn new(bins: usize) -> Self {
+        CalibrationHead {
+            bins: vec![CalBin::default(); bins.max(1)],
+            brier_sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn record(&mut self, confidence: f64, positive: bool) {
+        let conf = confidence.clamp(0.0, 1.0);
+        let idx = ((conf * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+        let bin = &mut self.bins[idx];
+        bin.count += 1;
+        bin.sum_conf += conf;
+        bin.sum_pos += if positive { 1.0 } else { 0.0 };
+        let y = if positive { 1.0 } else { 0.0 };
+        self.brier_sum += (conf - y) * (conf - y);
+        self.count += 1;
+    }
+
+    /// Expected calibration error: bin-weighted |mean confidence −
+    /// empirical frequency|.
+    fn ece(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.bins
+            .iter()
+            .filter(|b| b.count > 0)
+            .map(|b| {
+                let n = b.count as f64;
+                (n / self.count as f64) * (b.sum_conf / n - b.sum_pos / n).abs()
+            })
+            .sum()
+    }
+
+    fn brier(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.brier_sum / self.count as f64
+        }
+    }
+}
+
+// ------------------------------------------------------ drift detection
+
+/// Two-sided Page–Hinkley test over a normalized signal. The first
+/// `warmup` samples establish a baseline mean; afterwards each sample is
+/// divided by that baseline (so `delta`/`lambda` are scale-free) and the
+/// classic cumulative-deviation statistics are maintained in both
+/// directions. On an alarm the detector re-baselines at the shifted
+/// level, so a second shift can be caught too.
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    warmup: usize,
+    delta: f64,
+    lambda: f64,
+    baseline_n: usize,
+    baseline_sum: f64,
+    baseline: f64,
+    n: u64,
+    mean: f64,
+    mt_up: f64,
+    min_up: f64,
+    mt_dn: f64,
+    max_dn: f64,
+}
+
+impl PageHinkley {
+    /// Build a detector with the given warmup length, per-sample
+    /// tolerance `delta`, and alarm threshold `lambda` (both in units of
+    /// the baseline-normalized signal).
+    pub fn new(warmup: usize, delta: f64, lambda: f64) -> Self {
+        PageHinkley {
+            warmup: warmup.max(1),
+            delta,
+            lambda,
+            baseline_n: 0,
+            baseline_sum: 0.0,
+            baseline: 1.0,
+            n: 0,
+            mean: 0.0,
+            mt_up: 0.0,
+            min_up: 0.0,
+            mt_dn: 0.0,
+            max_dn: 0.0,
+        }
+    }
+
+    fn rearm(&mut self) {
+        self.baseline_n = 0;
+        self.baseline_sum = 0.0;
+        self.n = 0;
+        self.mean = 0.0;
+        self.mt_up = 0.0;
+        self.min_up = 0.0;
+        self.mt_dn = 0.0;
+        self.max_dn = 0.0;
+    }
+
+    /// Feed one sample; returns `true` when a mean shift is detected (the
+    /// detector then re-baselines itself).
+    pub fn observe(&mut self, x: f64) -> bool {
+        if !x.is_finite() {
+            return false;
+        }
+        if self.baseline_n < self.warmup {
+            self.baseline_n += 1;
+            self.baseline_sum += x;
+            if self.baseline_n == self.warmup {
+                self.baseline = (self.baseline_sum / self.warmup as f64).max(1e-9);
+            }
+            return false;
+        }
+        let z = x / self.baseline;
+        self.n += 1;
+        self.mean += (z - self.mean) / self.n as f64;
+        self.mt_up += z - self.mean - self.delta;
+        self.min_up = self.min_up.min(self.mt_up);
+        self.mt_dn += z - self.mean + self.delta;
+        self.max_dn = self.max_dn.max(self.mt_dn);
+        if self.mt_up - self.min_up > self.lambda || self.max_dn - self.mt_dn > self.lambda {
+            self.rearm();
+            return true;
+        }
+        false
+    }
+}
+
+/// Which packet-size channel a drift alarm fired on.
+const CHANNEL_INTRA: &str = "intra";
+const CHANNEL_PREDICTED: &str = "predicted";
+
+#[derive(Debug)]
+struct StreamDrift {
+    intra: PageHinkley,
+    predicted: PageHinkley,
+    stale: bool,
+    flags: u64,
+    first_flag_round: u64,
+    last_channel: &'static str,
+}
+
+// ----------------------------------------------------------- the state
+
+#[derive(Debug)]
+struct InsightState {
+    config: InsightConfig,
+    rounds: u64,
+    regret: RegretTracker,
+    lemma1: Lemma1Gauge,
+    calibration: BTreeMap<usize, CalibrationHead>,
+    drift: BTreeMap<usize, StreamDrift>,
+    drift_flags_total: u64,
+    ring: VecDeque<RoundSample>,
+    /// Mean kept-candidate confidence of the selection recorded since the
+    /// last `record_round`, folded into that round's ring sample.
+    pending_mean_conf: Option<f64>,
+}
+
+impl InsightState {
+    fn new(config: InsightConfig) -> Self {
+        InsightState {
+            config,
+            rounds: 0,
+            regret: RegretTracker::new(),
+            lemma1: Lemma1Gauge::default(),
+            calibration: BTreeMap::new(),
+            drift: BTreeMap::new(),
+            drift_flags_total: 0,
+            ring: VecDeque::with_capacity(config.ring_capacity.min(1024)),
+            pending_mean_conf: None,
+        }
+    }
+}
+
+/// A cheap-to-clone handle onto the decision-quality monitor. Disabled
+/// handles (`Insight::disabled`) are a `None`: every hook is one branch.
+#[derive(Clone)]
+pub struct Insight {
+    inner: Option<Arc<Mutex<InsightState>>>,
+}
+
+impl std::fmt::Debug for Insight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Insight").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl Default for Insight {
+    fn default() -> Self {
+        Insight::disabled()
+    }
+}
+
+impl Insight {
+    /// A disabled handle: every hook is a no-op branch.
+    pub fn disabled() -> Self {
+        Insight { inner: None }
+    }
+
+    /// An enabled monitor with default thresholds.
+    pub fn enabled() -> Self {
+        Self::with_config(InsightConfig::default())
+    }
+
+    /// An enabled monitor with explicit thresholds.
+    pub fn with_config(config: InsightConfig) -> Self {
+        Insight {
+            inner: Some(Arc::new(Mutex::new(InsightState::new(config)))),
+        }
+    }
+
+    /// Whether this handle records anything. Callers building per-round
+    /// inputs (outcome vectors) should branch on this first so disabled
+    /// runs allocate nothing.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Feed one arrived packet's size into the stream's drift detectors.
+    /// `independent` distinguishes the I-frame channel from the P/B one
+    /// (the two have very different size distributions).
+    pub fn observe_packet(&self, stream_idx: usize, round: u64, independent: bool, size: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.lock();
+        let cfg = state.config;
+        let cell = state.drift.entry(stream_idx).or_insert_with(|| StreamDrift {
+            intra: PageHinkley::new(cfg.ph_warmup, cfg.ph_delta, cfg.ph_lambda),
+            predicted: PageHinkley::new(cfg.ph_warmup, cfg.ph_delta, cfg.ph_lambda),
+            stale: false,
+            flags: 0,
+            first_flag_round: 0,
+            last_channel: CHANNEL_PREDICTED,
+        });
+        let (detector, channel) = if independent {
+            (&mut cell.intra, CHANNEL_INTRA)
+        } else {
+            (&mut cell.predicted, CHANNEL_PREDICTED)
+        };
+        if detector.observe(size as f64) {
+            if !cell.stale {
+                cell.first_flag_round = round;
+            }
+            cell.stale = true;
+            cell.flags += 1;
+            cell.last_channel = channel;
+            state.drift_flags_total += 1;
+        }
+    }
+
+    /// Record one round's gate selection for the Lemma-1 gauge (called by
+    /// telemetry-aware optimizers from inside `select`).
+    pub fn record_selection(&self, _round: u64, budget: f64, entries: &[SelectionEntry]) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.lock();
+        state.lemma1.record(budget, entries);
+        let kept: Vec<f64> =
+            entries.iter().filter(|e| e.kept).map(|e| e.value).collect();
+        state.pending_mean_conf = if kept.is_empty() {
+            None
+        } else {
+            Some(kept.iter().sum::<f64>() / kept.len() as f64)
+        };
+    }
+
+    /// Record one calibration observation: the predictor's probability
+    /// that the packet is necessary vs what the redundancy feedback said.
+    pub fn record_outcome(&self, head: usize, confidence: f64, positive: bool) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.lock();
+        let bins = state.config.calibration_bins;
+        state
+            .calibration
+            .entry(head)
+            .or_insert_with(|| CalibrationHead::new(bins))
+            .record(confidence, positive);
+    }
+
+    /// Close one round: update the regret tracker against the hindsight
+    /// oracle and push a dashboard ring sample.
+    pub fn record_round(&self, outcome: &RoundOutcome<'_>) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.lock();
+        state.rounds += 1;
+        if !outcome.outcomes.is_empty() {
+            // Hindsight oracle: fractional knapsack over ground-truth
+            // necessity (value 1 for necessary packets) at this round's
+            // budget, vs the utility the gate actually realized.
+            let items: Vec<(f64, f64)> = outcome
+                .outcomes
+                .iter()
+                .map(|o| (if o.necessary { 1.0 } else { 0.0 }, o.cost))
+                .collect();
+            let oracle = fractional_upper_bound(&items, outcome.budget);
+            let achieved = outcome
+                .outcomes
+                .iter()
+                .filter(|o| o.necessary && o.decoded)
+                .count() as f64;
+            state.regret.push(oracle - achieved);
+        }
+        let sample = RoundSample {
+            round: outcome.round,
+            keep_rate: if outcome.offered == 0 {
+                0.0
+            } else {
+                outcome.decoded as f64 / outcome.offered as f64
+            },
+            budget_utilisation: if outcome.budget > 0.0 {
+                outcome.spent / outcome.budget
+            } else {
+                0.0
+            },
+            mean_confidence: state.pending_mean_conf.take(),
+            quarantined: outcome.quarantined,
+        };
+        if state.ring.len() >= state.config.ring_capacity.max(1) {
+            state.ring.pop_front();
+        }
+        state.ring.push_back(sample);
+    }
+
+    /// An immutable snapshot of everything recorded so far, or `None`
+    /// when disabled.
+    pub fn snapshot(&self) -> Option<InsightSnapshot> {
+        let inner = self.inner.as_ref()?;
+        let state = inner.lock();
+        let cfg = &state.config;
+        let exponent = if state.regret.rounds >= cfg.regret_min_rounds {
+            growth_exponent(&state.regret.series)
+        } else {
+            None
+        };
+        let threshold = 0.5 + cfg.regret_epsilon;
+        let regret = RegretSnapshot {
+            rounds: state.regret.rounds,
+            cumulative: state.regret.cumulative,
+            exponent,
+            threshold,
+            flagged: exponent.is_some_and(|e| e > threshold),
+        };
+        let l = &state.lemma1;
+        let lemma1 = Lemma1Snapshot {
+            rounds: l.rounds,
+            realized_value: l.last_realized,
+            upper_bound: l.last_upper,
+            slack: (l.last_upper - l.last_realized).max(0.0),
+            guarantee: l.last_guarantee,
+            mean_ratio: if l.rounds == 0 { 1.0 } else { l.sum_ratio / l.rounds as f64 },
+            worst_ratio: if l.rounds == 0 { 1.0 } else { l.worst_ratio },
+        };
+        let calibration = state
+            .calibration
+            .iter()
+            .map(|(&head, cal)| {
+                let width = 1.0 / cal.bins.len() as f64;
+                HeadCalibration {
+                    head,
+                    samples: cal.count,
+                    ece: cal.ece(),
+                    brier: cal.brier(),
+                    bins: cal
+                        .bins
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, b)| b.count > 0)
+                        .map(|(i, b)| CalibrationBin {
+                            lower: i as f64 * width,
+                            upper: (i + 1) as f64 * width,
+                            count: b.count,
+                            mean_confidence: b.sum_conf / b.count as f64,
+                            empirical: b.sum_pos / b.count as f64,
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        let drift = DriftSnapshot {
+            streams: state.drift.len() as u64,
+            flags_total: state.drift_flags_total,
+            stale: state
+                .drift
+                .iter()
+                .filter(|(_, d)| d.stale)
+                .map(|(&stream_idx, d)| StaleStream {
+                    stream_idx,
+                    flags: d.flags,
+                    first_flag_round: d.first_flag_round,
+                    channel: d.last_channel.to_string(),
+                })
+                .collect(),
+        };
+        Some(InsightSnapshot {
+            rounds: state.rounds,
+            regret,
+            lemma1,
+            calibration,
+            drift,
+            ring: state.ring.iter().cloned().collect(),
+        })
+    }
+}
+
+// ------------------------------------------------------------ snapshot
+
+/// Regret trajectory at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RegretSnapshot {
+    /// Rounds with ground truth that fed the tracker.
+    pub rounds: u64,
+    /// Cumulative regret `R(T)` against the per-round fractional oracle.
+    pub cumulative: f64,
+    /// Fitted growth exponent of `R(t) ~ t^α` (`None` until enough
+    /// history accumulates).
+    pub exponent: Option<f64>,
+    /// Alarm threshold (`0.5 + ε` per Theorem 1).
+    pub threshold: f64,
+    /// `true` when the fitted exponent exceeds the threshold.
+    pub flagged: bool,
+}
+
+/// Lemma-1 gauge at snapshot time (last round's values plus run
+/// aggregates).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Lemma1Snapshot {
+    /// Rounds with a recorded selection.
+    pub rounds: u64,
+    /// Value the gate realized in the last recorded round.
+    pub realized_value: f64,
+    /// Fractional-knapsack upper bound for that round.
+    pub upper_bound: f64,
+    /// `max(0, upper_bound − realized_value)`.
+    pub slack: f64,
+    /// Lemma 1's `1 − c_max/B` guarantee for that round.
+    pub guarantee: f64,
+    /// Mean realized/upper ratio across recorded rounds.
+    pub mean_ratio: f64,
+    /// Worst realized/upper ratio across recorded rounds.
+    pub worst_ratio: f64,
+}
+
+/// One non-empty reliability bin.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CalibrationBin {
+    /// Bin lower edge (confidence).
+    pub lower: f64,
+    /// Bin upper edge (confidence).
+    pub upper: f64,
+    /// Observations in the bin.
+    pub count: u64,
+    /// Mean predicted confidence in the bin.
+    pub mean_confidence: f64,
+    /// Empirical positive frequency in the bin.
+    pub empirical: f64,
+}
+
+/// One task head's calibration summary.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HeadCalibration {
+    /// Task head index.
+    pub head: usize,
+    /// Observations recorded.
+    pub samples: u64,
+    /// Expected calibration error.
+    pub ece: f64,
+    /// Brier score.
+    pub brier: f64,
+    /// Non-empty reliability bins, ascending confidence.
+    pub bins: Vec<CalibrationBin>,
+}
+
+/// One stream whose predictor the drift detector marked stale.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StaleStream {
+    /// Stream concerned.
+    pub stream_idx: usize,
+    /// Drift alarms raised on the stream so far.
+    pub flags: u64,
+    /// Round of the first alarm.
+    pub first_flag_round: u64,
+    /// Channel of the most recent alarm (`intra` or `predicted`).
+    pub channel: String,
+}
+
+/// Drift-detection roll-up.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DriftSnapshot {
+    /// Streams with at least one observed packet.
+    pub streams: u64,
+    /// Drift alarms raised across all streams.
+    pub flags_total: u64,
+    /// Streams currently marked stale, ascending index.
+    pub stale: Vec<StaleStream>,
+}
+
+/// One dashboard ring sample (one round).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RoundSample {
+    /// Round index.
+    pub round: u64,
+    /// Decoded / offered candidates.
+    pub keep_rate: f64,
+    /// Spent / budget.
+    pub budget_utilisation: f64,
+    /// Mean kept-candidate confidence (`None` when the policy doesn't
+    /// score candidates or kept nothing).
+    pub mean_confidence: Option<f64>,
+    /// Streams quarantined at the end of the round.
+    pub quarantined: u64,
+}
+
+/// Everything the monitor tracked, frozen and serializable. Rides on
+/// [`TelemetrySnapshot`](crate::telemetry::TelemetrySnapshot) as the
+/// `insight` field.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct InsightSnapshot {
+    /// Rounds closed with `record_round`.
+    pub rounds: u64,
+    /// Online regret vs the hindsight oracle.
+    pub regret: RegretSnapshot,
+    /// Realized value vs the fractional-knapsack bound.
+    pub lemma1: Lemma1Snapshot,
+    /// Per-task-head reliability, ascending head index.
+    pub calibration: Vec<HeadCalibration>,
+    /// Per-stream drift detection.
+    pub drift: DriftSnapshot,
+    /// Per-round dashboard samples, oldest first.
+    pub ring: Vec<RoundSample>,
+}
+
+impl InsightSnapshot {
+    /// Merge another run's monitor state into this one (counters add,
+    /// worst-case gauges take the worse value, reliability bins add).
+    /// Last-round gauges (`lemma1.realized_value` etc.) keep `other`'s
+    /// values when it recorded any round, treating `other` as the later
+    /// run.
+    pub fn merge(&mut self, other: &InsightSnapshot) {
+        self.rounds += other.rounds;
+        // Regret: cumulative adds; the exponent can't be re-fit from two
+        // summaries, so keep the more pessimistic view.
+        self.regret.cumulative += other.regret.cumulative;
+        self.regret.rounds += other.regret.rounds;
+        self.regret.flagged |= other.regret.flagged;
+        self.regret.exponent = match (self.regret.exponent, other.regret.exponent) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        let (a_rounds, b_rounds) = (self.lemma1.rounds, other.lemma1.rounds);
+        if a_rounds + b_rounds > 0 {
+            self.lemma1.mean_ratio = (self.lemma1.mean_ratio * a_rounds as f64
+                + other.lemma1.mean_ratio * b_rounds as f64)
+                / (a_rounds + b_rounds) as f64;
+        }
+        if b_rounds > 0 {
+            self.lemma1.worst_ratio = if a_rounds > 0 {
+                self.lemma1.worst_ratio.min(other.lemma1.worst_ratio)
+            } else {
+                other.lemma1.worst_ratio
+            };
+            self.lemma1.realized_value = other.lemma1.realized_value;
+            self.lemma1.upper_bound = other.lemma1.upper_bound;
+            self.lemma1.slack = other.lemma1.slack;
+            self.lemma1.guarantee = other.lemma1.guarantee;
+        }
+        self.lemma1.rounds += b_rounds;
+        for theirs in &other.calibration {
+            match self.calibration.iter_mut().find(|c| c.head == theirs.head) {
+                None => self.calibration.push(theirs.clone()),
+                Some(ours) => ours.merge(theirs),
+            }
+        }
+        self.calibration.sort_by_key(|c| c.head);
+        self.drift.streams = self.drift.streams.max(other.drift.streams);
+        self.drift.flags_total += other.drift.flags_total;
+        for theirs in &other.drift.stale {
+            match self
+                .drift
+                .stale
+                .iter_mut()
+                .find(|s| s.stream_idx == theirs.stream_idx)
+            {
+                None => self.drift.stale.push(theirs.clone()),
+                Some(ours) => {
+                    ours.flags += theirs.flags;
+                    ours.first_flag_round = ours.first_flag_round.min(theirs.first_flag_round);
+                    ours.channel = theirs.channel.clone();
+                }
+            }
+        }
+        self.drift.stale.sort_by_key(|s| s.stream_idx);
+        self.ring.extend(other.ring.iter().cloned());
+    }
+}
+
+impl HeadCalibration {
+    fn merge(&mut self, other: &HeadCalibration) {
+        if self.samples + other.samples == 0 {
+            return;
+        }
+        // Brier is a sample mean — recombine by weight. ECE is recomputed
+        // from the merged bins below.
+        self.brier = (self.brier * self.samples as f64 + other.brier * other.samples as f64)
+            / (self.samples + other.samples) as f64;
+        for theirs in &other.bins {
+            match self
+                .bins
+                .iter_mut()
+                .find(|b| (b.lower - theirs.lower).abs() < 1e-9)
+            {
+                None => self.bins.push(theirs.clone()),
+                Some(ours) => {
+                    let n = (ours.count + theirs.count) as f64;
+                    ours.mean_confidence = (ours.mean_confidence * ours.count as f64
+                        + theirs.mean_confidence * theirs.count as f64)
+                        / n;
+                    ours.empirical = (ours.empirical * ours.count as f64
+                        + theirs.empirical * theirs.count as f64)
+                        / n;
+                    ours.count += theirs.count;
+                }
+            }
+        }
+        self.bins.sort_by(|a, b| a.lower.partial_cmp(&b.lower).unwrap());
+        self.samples += other.samples;
+        let total = self.samples as f64;
+        self.ece = self
+            .bins
+            .iter()
+            .map(|b| (b.count as f64 / total) * (b.mean_confidence - b.empirical).abs())
+            .sum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_insight_records_nothing() {
+        let ins = Insight::disabled();
+        assert!(!ins.is_enabled());
+        ins.observe_packet(0, 0, true, 1000);
+        ins.record_outcome(0, 0.5, true);
+        ins.record_round(&RoundOutcome {
+            round: 0,
+            budget: 4.0,
+            spent: 3.0,
+            offered: 8,
+            decoded: 4,
+            quarantined: 0,
+            outcomes: &[],
+        });
+        assert!(ins.snapshot().is_none());
+    }
+
+    #[test]
+    fn fractional_bound_takes_the_density_prefix() {
+        // items (value, cost): densities 3, 1, 0.5; budget fits the first
+        // whole and half the second.
+        let items = [(3.0, 1.0), (2.0, 2.0), (1.0, 2.0)];
+        let v = fractional_upper_bound(&items, 2.0);
+        assert!((v - 4.0).abs() < 1e-9, "3 + half of 2 = 4, got {v}");
+        assert!((fractional_upper_bound(&items, 100.0) - 6.0).abs() < 1e-9);
+        assert_eq!(fractional_upper_bound(&[], 5.0), 0.0);
+    }
+
+    #[test]
+    fn regret_ring_decimates_but_keeps_growing() {
+        let mut tracker = RegretTracker::new();
+        for _ in 0..(REGRET_SERIES_CAP as u64 * 4) {
+            tracker.push(1.0);
+        }
+        assert!(tracker.series.len() < REGRET_SERIES_CAP);
+        assert!(tracker.stride > 1, "stride doubles on decimation");
+        assert_eq!(tracker.rounds, REGRET_SERIES_CAP as u64 * 4);
+        let last = tracker.series.last().unwrap();
+        assert!(last.1 <= tracker.cumulative);
+    }
+
+    #[test]
+    fn linear_regret_fits_exponent_near_one() {
+        let series: Vec<(f64, f64)> = (1..400).map(|t| (t as f64, t as f64 * 2.0)).collect();
+        let e = growth_exponent(&series).expect("enough points");
+        assert!((e - 1.0).abs() < 1e-6, "linear growth → slope 1, got {e}");
+        let sqrt_series: Vec<(f64, f64)> =
+            (1..400).map(|t| (t as f64, (t as f64).sqrt())).collect();
+        let e = growth_exponent(&sqrt_series).expect("enough points");
+        assert!((e - 0.5).abs() < 1e-6, "√t growth → slope 0.5, got {e}");
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let ins = Insight::with_config(InsightConfig {
+            ring_capacity: 8,
+            ..InsightConfig::default()
+        });
+        for round in 0..50 {
+            ins.record_round(&RoundOutcome {
+                round,
+                budget: 4.0,
+                spent: 2.0,
+                offered: 10,
+                decoded: 5,
+                quarantined: 1,
+                outcomes: &[],
+            });
+        }
+        let snap = ins.snapshot().expect("enabled");
+        assert_eq!(snap.rounds, 50);
+        assert_eq!(snap.ring.len(), 8);
+        assert_eq!(snap.ring.last().unwrap().round, 49);
+        assert_eq!(snap.ring.first().unwrap().round, 42);
+    }
+
+    #[test]
+    fn mean_confidence_folds_into_the_next_round_sample() {
+        let ins = Insight::enabled();
+        ins.record_selection(
+            0,
+            4.0,
+            &[
+                SelectionEntry { value: 0.8, cost: 1.0, kept: true },
+                SelectionEntry { value: 0.4, cost: 1.0, kept: true },
+                SelectionEntry { value: 0.1, cost: 1.0, kept: false },
+            ],
+        );
+        ins.record_round(&RoundOutcome {
+            round: 0,
+            budget: 4.0,
+            spent: 2.0,
+            offered: 3,
+            decoded: 2,
+            quarantined: 0,
+            outcomes: &[],
+        });
+        let snap = ins.snapshot().expect("enabled");
+        let sample = snap.ring.last().unwrap();
+        assert!((sample.mean_confidence.unwrap() - 0.6).abs() < 1e-9);
+        // The pending value is consumed — a second round without a
+        // selection reports None.
+        ins.record_round(&RoundOutcome {
+            round: 1,
+            budget: 4.0,
+            spent: 0.0,
+            offered: 0,
+            decoded: 0,
+            quarantined: 0,
+            outcomes: &[],
+        });
+        let snap = ins.snapshot().expect("enabled");
+        assert_eq!(snap.ring.last().unwrap().mean_confidence, None);
+    }
+}

@@ -18,8 +18,10 @@
 
 pub mod budget;
 pub mod concurrent;
+pub mod export;
 pub mod fault;
 pub mod gate;
+pub mod insight;
 pub mod metrics;
 pub mod netround;
 pub mod replay;
@@ -38,6 +40,11 @@ pub use metrics::RoundSimReport;
 pub use netround::{NetworkedRoundSimulator, NetworkedSimReport};
 pub use replay::ReplaySimulator;
 pub use round::{RoundSimulator, SimConfig, StreamSpec};
+pub use export::{prometheus_exposition, validate_exposition};
+pub use insight::{
+    Insight, InsightConfig, InsightSnapshot, PacketOutcome, PageHinkley, RoundOutcome,
+    SelectionEntry,
+};
 pub use search::max_streams_at_accuracy;
 pub use telemetry::{
     AuditReason, GateAuditEntry, Stage, Telemetry, TelemetrySnapshot,

@@ -171,8 +171,11 @@ impl NetworkedRoundSimulator {
         let mut health = StreamHealth::new(m, self.quarantine);
         let mut fault_log: Vec<FaultRecord> = Vec::new();
 
+        let insight = self.telemetry.insight().clone();
+
         for round in 0..rounds {
             budget.begin_round();
+            let spent_before = budget.total_spent();
             let segment = (round as usize * self.segments) / rounds.max(1) as usize;
             // Streams whose cooldown expired re-enter gating.
             for i in health.tick(round) {
@@ -192,6 +195,12 @@ impl NetworkedRoundSimulator {
                 packets_arrived += packets.len() as u64;
                 arrived_this_round += packets.len() as u64;
                 for p in &packets {
+                    insight.observe_packet(
+                        i,
+                        round,
+                        p.meta.frame_type.is_independent(),
+                        u64::from(p.meta.size),
+                    );
                     s.decoder.ingest(p.clone());
                 }
                 s.newest = packets.into_iter().next_back();
@@ -294,6 +303,26 @@ impl NetworkedRoundSimulator {
 
             for i in 0..m {
                 accuracy.record(segment, decoded_flags[i], necessity[i]);
+            }
+
+            if insight.is_enabled() {
+                let outcomes: Vec<crate::insight::PacketOutcome> = contexts
+                    .iter()
+                    .map(|c| crate::insight::PacketOutcome {
+                        cost: c.pending_cost,
+                        necessary: necessity[c.stream_idx],
+                        decoded: decoded_flags[c.stream_idx],
+                    })
+                    .collect();
+                insight.record_round(&crate::insight::RoundOutcome {
+                    round,
+                    budget: budget.per_round,
+                    spent: budget.total_spent() - spent_before,
+                    offered: contexts.len(),
+                    decoded: decoded_flags.iter().filter(|&&d| d).count(),
+                    quarantined: health.sidelined_count(),
+                    outcomes: &outcomes,
+                });
             }
         }
 

@@ -103,8 +103,11 @@ impl ReplaySimulator {
         let mut necessary_decoded = 0u64;
         let mut fault_log: Vec<FaultRecord> = Vec::new();
 
+        let insight = self.telemetry.insight().clone();
+
         for round in 0..rounds {
             budget.begin_round();
+            let spent_before = budget.total_spent();
             let segment = (round as usize * self.config.segments) / rounds.max(1) as usize;
 
             let mut contexts = Vec::with_capacity(m);
@@ -120,6 +123,12 @@ impl ReplaySimulator {
                 truths.push(pg_inference::tasks::truth_result(&packet.scene.state));
                 let seq = packet.meta.seq;
                 let meta = packet.meta;
+                insight.observe_packet(
+                    i,
+                    round,
+                    meta.frame_type.is_independent(),
+                    u64::from(meta.size),
+                );
                 s.decoder.ingest(packet);
                 let Some(pending) = s.decoder.pending_cost(seq) else {
                     // A damaged file can repeat or reorder sequence
@@ -212,6 +221,26 @@ impl ReplaySimulator {
                         necessary_decoded += 1;
                     }
                 }
+            }
+
+            if insight.is_enabled() {
+                let outcomes: Vec<crate::insight::PacketOutcome> = contexts
+                    .iter()
+                    .map(|c| crate::insight::PacketOutcome {
+                        cost: c.pending_cost,
+                        necessary: necessity[c.stream_idx],
+                        decoded: decoded_flags[c.stream_idx],
+                    })
+                    .collect();
+                insight.record_round(&crate::insight::RoundOutcome {
+                    round,
+                    budget: budget.per_round,
+                    spent: budget.total_spent() - spent_before,
+                    offered: contexts.len(),
+                    decoded: decoded_flags.iter().filter(|&&d| d).count(),
+                    quarantined: 0,
+                    outcomes: &outcomes,
+                });
             }
         }
 

@@ -219,8 +219,11 @@ impl RoundSimulator {
         // survived parsing (the candidate list may be sparse under faults).
         let mut round_seq: Vec<Option<u64>> = vec![None; m];
 
+        let insight = self.telemetry.insight().clone();
+
         for round in 0..rounds {
             budget.begin_round();
+            let spent_before = budget.total_spent();
             contexts.clear();
             // Streams whose cooldown expired re-enter gating.
             for i in health.tick(round) {
@@ -296,6 +299,12 @@ impl RoundSimulator {
                     }
                 };
                 let Some(meta) = arrived else { continue };
+                insight.observe_packet(
+                    i,
+                    round,
+                    meta.frame_type.is_independent(),
+                    u64::from(meta.size),
+                );
                 // Quarantined streams keep ingesting (so recovery can
                 // back-fill their closure) but contribute no candidate:
                 // their budget share is released to the healthy streams.
@@ -435,6 +444,28 @@ impl RoundSimulator {
                         necessary_decoded += 1;
                     }
                 }
+            }
+
+            // 7. Close the round for the decision-quality monitor. The
+            // outcome vector is only materialized when it is on.
+            if insight.is_enabled() {
+                let outcomes: Vec<crate::insight::PacketOutcome> = contexts
+                    .iter()
+                    .map(|c| crate::insight::PacketOutcome {
+                        cost: c.pending_cost,
+                        necessary: necessity[c.stream_idx],
+                        decoded: decoded_flags[c.stream_idx],
+                    })
+                    .collect();
+                insight.record_round(&crate::insight::RoundOutcome {
+                    round,
+                    budget: budget.per_round,
+                    spent: budget.total_spent() - spent_before,
+                    offered: contexts.len(),
+                    decoded: decoded_flags.iter().filter(|&&d| d).count(),
+                    quarantined: health.sidelined_count(),
+                    outcomes: &outcomes,
+                });
             }
         }
 

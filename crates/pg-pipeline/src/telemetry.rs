@@ -33,6 +33,7 @@ use parking_lot::Mutex;
 use serde::Serialize;
 
 use crate::fault::FaultKind;
+use crate::insight::{Insight, InsightSnapshot};
 
 /// The four pipeline stages every execution mode shares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -161,30 +162,39 @@ pub struct GateAuditEntry {
     pub reason: AuditReason,
 }
 
-/// Fixed-capacity ring of the most recent gate decisions.
+/// Audit-ring shards. Entries hash by stream index, so at m = 1024 in
+/// the concurrent runtime gate/decode threads contend on 1/16th of the
+/// former single global mutex.
+const AUDIT_SHARDS: usize = 16;
+
+/// Fixed-capacity ring of the most recent gate decisions in one shard.
+/// Entries carry a global sequence number so the snapshot can reassemble
+/// the newest `capacity` decisions across all shards — shard-local
+/// imbalance never evicts globally-recent entries (each shard holds the
+/// full capacity, bounding memory at `AUDIT_SHARDS × capacity`).
 struct AuditRing {
     capacity: usize,
-    entries: Vec<GateAuditEntry>,
+    entries: Vec<(u64, GateAuditEntry)>,
     /// Index the next entry overwrites once the ring is full.
     next: usize,
 }
 
 impl AuditRing {
-    fn push(&mut self, entry: GateAuditEntry) {
-        if self.entries.len() < self.capacity {
-            self.entries.push(entry);
-        } else if self.capacity > 0 {
-            self.entries[self.next] = entry;
-            self.next = (self.next + 1) % self.capacity;
+    fn new(capacity: usize) -> Self {
+        AuditRing {
+            capacity,
+            entries: Vec::with_capacity(capacity.min(1024)),
+            next: 0,
         }
     }
 
-    /// Entries oldest-first.
-    fn chronological(&self) -> Vec<GateAuditEntry> {
-        let mut out = Vec::with_capacity(self.entries.len());
-        out.extend_from_slice(&self.entries[self.next..]);
-        out.extend_from_slice(&self.entries[..self.next]);
-        out
+    fn push(&mut self, seq: u64, entry: GateAuditEntry) {
+        if self.entries.len() < self.capacity {
+            self.entries.push((seq, entry));
+        } else if self.capacity > 0 {
+            self.entries[self.next] = (seq, entry);
+            self.next = (self.next + 1) % self.capacity;
+        }
     }
 }
 
@@ -228,9 +238,12 @@ struct TelemetryInner {
     stages: [StageCell; 4],
     gate_kept: AtomicU64,
     gate_dropped: AtomicU64,
-    /// Total audit entries ever pushed (the ring only retains the tail).
+    /// Total audit entries ever pushed (the rings only retain the tail).
+    /// Doubles as the global sequence counter ordering entries across
+    /// shards.
     audit_total: AtomicU64,
-    audit: Mutex<AuditRing>,
+    audit_capacity: usize,
+    audit: [Mutex<AuditRing>; AUDIT_SHARDS],
     faults: Mutex<FaultLedger>,
 }
 
@@ -245,12 +258,17 @@ pub const DEFAULT_AUDIT_CAPACITY: usize = 256;
 #[derive(Clone)]
 pub struct Telemetry {
     inner: Option<Arc<TelemetryInner>>,
+    /// Optional decision-quality monitor riding on the same handle (see
+    /// [`crate::insight`]). Disabled by default — [`Telemetry::enabled`]
+    /// keeps the stage-telemetry cost profile unchanged.
+    insight: Insight,
 }
 
 impl std::fmt::Debug for Telemetry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Telemetry")
             .field("enabled", &self.is_enabled())
+            .field("insight", &self.insight.is_enabled())
             .finish()
     }
 }
@@ -264,7 +282,7 @@ impl Default for Telemetry {
 impl Telemetry {
     /// A disabled handle: every hook is a no-op branch.
     pub fn disabled() -> Self {
-        Telemetry { inner: None }
+        Telemetry { inner: None, insight: Insight::disabled() }
     }
 
     /// An enabled handle with the default audit-ring capacity.
@@ -280,14 +298,25 @@ impl Telemetry {
                 gate_kept: AtomicU64::new(0),
                 gate_dropped: AtomicU64::new(0),
                 audit_total: AtomicU64::new(0),
-                audit: Mutex::new(AuditRing {
-                    capacity,
-                    entries: Vec::with_capacity(capacity.min(1024)),
-                    next: 0,
-                }),
+                audit_capacity: capacity,
+                audit: std::array::from_fn(|_| Mutex::new(AuditRing::new(capacity))),
                 faults: Mutex::new(FaultLedger::default()),
             })),
+            insight: Insight::disabled(),
         }
+    }
+
+    /// Attach a decision-quality monitor; its snapshot rides along as
+    /// [`TelemetrySnapshot::insight`].
+    pub fn with_insight(mut self, insight: Insight) -> Self {
+        self.insight = insight;
+        self
+    }
+
+    /// The attached decision-quality monitor (disabled by default).
+    /// Cheap to clone — hooks branch on [`Insight::is_enabled`].
+    pub fn insight(&self) -> &Insight {
+        &self.insight
     }
 
     /// Whether this handle records anything.
@@ -333,8 +362,8 @@ impl Telemetry {
             } else {
                 inner.gate_dropped.fetch_add(1, Ordering::Relaxed);
             }
-            inner.audit_total.fetch_add(1, Ordering::Relaxed);
-            inner.audit.lock().push(entry);
+            let seq = inner.audit_total.fetch_add(1, Ordering::Relaxed);
+            inner.audit[entry.stream_idx % AUDIT_SHARDS].lock().push(seq, entry);
         }
     }
 
@@ -370,8 +399,44 @@ impl Telemetry {
 
     /// An immutable snapshot of everything recorded so far, or `None` when
     /// disabled. Safe to call while other threads keep recording.
+    ///
+    /// A handle with only the insight monitor attached still snapshots:
+    /// the stage/gate sections come back zeroed with the stable shape.
     pub fn snapshot(&self) -> Option<TelemetrySnapshot> {
-        let inner = self.inner.as_ref()?;
+        let Some(inner) = self.inner.as_ref() else {
+            // Stage telemetry off, but a decision-quality monitor may
+            // still be recording.
+            let insight = self.insight.snapshot()?;
+            return Some(TelemetrySnapshot {
+                stages: Stage::ALL
+                    .iter()
+                    .map(|&s| StageSnapshot {
+                        stage: s.name().to_string(),
+                        calls: 0,
+                        items: 0,
+                        total_us: 0,
+                        mean_us: 0.0,
+                        p50_us: 0,
+                        p99_us: 0,
+                        latency_buckets: Vec::new(),
+                    })
+                    .collect(),
+                gate: GateSnapshot {
+                    kept: 0,
+                    dropped: 0,
+                    audit_total: 0,
+                    audit: Vec::new(),
+                },
+                faults: FaultsSnapshot {
+                    total: 0,
+                    degraded_events: 0,
+                    recovered_events: 0,
+                    by_kind: Vec::new(),
+                    streams: Vec::new(),
+                },
+                insight: Some(insight),
+            });
+        };
         let stages = Stage::ALL
             .iter()
             .map(|&s| {
@@ -407,7 +472,18 @@ impl Telemetry {
                 }
             })
             .collect();
-        let audit = inner.audit.lock().chronological();
+        // Reassemble the newest `capacity` decisions across shards: each
+        // shard yields its retained tail, the global sequence numbers
+        // order them, and the tail past capacity is trimmed.
+        let mut tagged: Vec<(u64, GateAuditEntry)> = Vec::new();
+        for shard in &inner.audit {
+            tagged.extend(shard.lock().entries.iter().cloned());
+        }
+        tagged.sort_unstable_by_key(|(seq, _)| *seq);
+        if tagged.len() > inner.audit_capacity {
+            tagged.drain(..tagged.len() - inner.audit_capacity);
+        }
+        let audit: Vec<GateAuditEntry> = tagged.into_iter().map(|(_, e)| e).collect();
         let faults = {
             let ledger = inner.faults.lock();
             FaultsSnapshot {
@@ -444,6 +520,7 @@ impl Telemetry {
                 audit,
             },
             faults,
+            insight: self.insight.snapshot(),
         })
     }
 }
@@ -471,9 +548,10 @@ pub struct StageSnapshot {
     pub total_us: u64,
     /// Mean span latency, µs.
     pub mean_us: f64,
-    /// Median span latency (bucket upper bound), µs.
+    /// Median span latency (bucket midpoint — geometric mean of the
+    /// bucket bounds), µs.
     pub p50_us: u64,
-    /// 99th-percentile span latency (bucket upper bound), µs.
+    /// 99th-percentile span latency (bucket midpoint), µs.
     pub p99_us: u64,
     /// Non-empty histogram buckets.
     pub latency_buckets: Vec<LatencyBucket>,
@@ -538,6 +616,9 @@ pub struct TelemetrySnapshot {
     pub gate: GateSnapshot,
     /// Fault ledger (empty when the run saw no faults).
     pub faults: FaultsSnapshot,
+    /// Decision-quality monitor state (`None` unless an [`Insight`] was
+    /// attached via [`Telemetry::with_insight`]).
+    pub insight: Option<InsightSnapshot>,
 }
 
 impl TelemetrySnapshot {
@@ -545,10 +626,107 @@ impl TelemetrySnapshot {
     pub fn stage(&self, stage: Stage) -> Option<&StageSnapshot> {
         self.stages.iter().find(|s| s.stage == stage.name())
     }
+
+    /// Aggregate another run's (or worker's) snapshot into this one:
+    /// counters add, histograms add bucket-wise and the percentiles and
+    /// means are recomputed from the merged buckets. Audit tails
+    /// concatenate (this run's entries first); fault ledgers merge per
+    /// kind and per stream.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for theirs in &other.stages {
+            match self.stages.iter_mut().find(|s| s.stage == theirs.stage) {
+                None => self.stages.push(theirs.clone()),
+                Some(ours) => ours.merge(theirs),
+            }
+        }
+        self.gate.kept += other.gate.kept;
+        self.gate.dropped += other.gate.dropped;
+        self.gate.audit_total += other.gate.audit_total;
+        self.gate.audit.extend(other.gate.audit.iter().cloned());
+        self.faults.total += other.faults.total;
+        self.faults.degraded_events += other.faults.degraded_events;
+        self.faults.recovered_events += other.faults.recovered_events;
+        for theirs in &other.faults.by_kind {
+            match self.faults.by_kind.iter_mut().find(|k| k.kind == theirs.kind) {
+                None => self.faults.by_kind.push(theirs.clone()),
+                Some(ours) => ours.count += theirs.count,
+            }
+        }
+        for theirs in &other.faults.streams {
+            match self
+                .faults
+                .streams
+                .iter_mut()
+                .find(|s| s.stream_idx == theirs.stream_idx)
+            {
+                None => self.faults.streams.push(theirs.clone()),
+                Some(ours) => {
+                    ours.faults += theirs.faults;
+                    ours.degraded += theirs.degraded;
+                    ours.recovered += theirs.recovered;
+                }
+            }
+        }
+        self.faults.streams.sort_by_key(|s| s.stream_idx);
+        match (&mut self.insight, &other.insight) {
+            (Some(ours), Some(theirs)) => ours.merge(theirs),
+            (ours @ None, Some(theirs)) => *ours = Some(theirs.clone()),
+            _ => {}
+        }
+    }
 }
 
-/// Bucket-resolution percentile: the upper bound of the first bucket at
-/// which the cumulative count reaches `q` of the total (0 when empty).
+impl StageSnapshot {
+    /// Merge another run's accumulators for the same stage: counters add,
+    /// the sparse histograms add bucket-wise, and the derived mean and
+    /// percentiles are recomputed from the merged distribution.
+    fn merge(&mut self, other: &StageSnapshot) {
+        debug_assert_eq!(self.stage, other.stage);
+        self.calls += other.calls;
+        self.items += other.items;
+        self.total_us += other.total_us;
+        self.mean_us = if self.calls == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.calls as f64
+        };
+        let mut full = [0u64; HISTOGRAM_BUCKETS];
+        for bucket in self.latency_buckets.iter().chain(&other.latency_buckets) {
+            let idx = (0..HISTOGRAM_BUCKETS)
+                .find(|&i| bucket_upper_us(i) == bucket.le_us)
+                .unwrap_or(HISTOGRAM_BUCKETS - 1);
+            full[idx] += bucket.count;
+        }
+        self.p50_us = percentile_from_buckets(&full, 0.50);
+        self.p99_us = percentile_from_buckets(&full, 0.99);
+        self.latency_buckets = full
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &count)| LatencyBucket { le_us: bucket_upper_us(i), count })
+            .collect();
+    }
+}
+
+/// Representative latency for samples in bucket `i`: the geometric mean
+/// of the bucket bounds. Reporting the upper bound overstated p50 by up
+/// to 2× at coarse buckets; the geometric midpoint is the unbiased point
+/// estimate for log-spaced buckets. Bucket 0 (sub-µs) reports 0 and the
+/// overflow bucket reports its lower bound.
+pub fn bucket_midpoint_us(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i + 1 >= HISTOGRAM_BUCKETS {
+        1u64 << (HISTOGRAM_BUCKETS - 2)
+    } else {
+        // Bucket i covers [2^(i-1), 2^i): geometric mean 2^(i-1)·√2.
+        ((1u64 << (i - 1)) as f64 * std::f64::consts::SQRT_2).round() as u64
+    }
+}
+
+/// Bucket-resolution percentile: the midpoint (geometric mean of bounds)
+/// of the first bucket at which the cumulative count reaches `q` of the
+/// total (0 when empty).
 fn percentile_from_buckets(buckets: &[u64], q: f64) -> u64 {
     let total: u64 = buckets.iter().sum();
     if total == 0 {
@@ -559,10 +737,10 @@ fn percentile_from_buckets(buckets: &[u64], q: f64) -> u64 {
     for (i, &count) in buckets.iter().enumerate() {
         cumulative += count;
         if cumulative >= target {
-            return bucket_upper_us(i);
+            return bucket_midpoint_us(i);
         }
     }
-    bucket_upper_us(buckets.len() - 1)
+    bucket_midpoint_us(buckets.len() - 1)
 }
 
 #[cfg(test)]
@@ -635,8 +813,11 @@ mod tests {
                 LatencyBucket { le_us: 128, count: 1 },
             ]
         );
-        assert_eq!(decode.p50_us, 4);
-        assert_eq!(decode.p99_us, 128);
+        // Percentiles report the bucket *midpoint* (geometric mean of the
+        // bucket bounds), not the upper bound: 3 µs lands in [2,4) → 3;
+        // 100 µs lands in [64,128) → 91.
+        assert_eq!(decode.p50_us, 3);
+        assert_eq!(decode.p99_us, 91);
         let infer = snap.stage(Stage::Infer).expect("infer stage");
         assert_eq!(infer.latency_buckets, vec![LatencyBucket { le_us: 1, count: 1 }]);
         // Untouched stages are present with zero counts (stable shape).
@@ -713,11 +894,111 @@ mod tests {
     #[test]
     fn percentiles_come_from_cumulative_counts() {
         let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
-        buckets[3] = 98; // ≤ 8 µs
-        buckets[10] = 2; // ≤ 1024 µs
-        assert_eq!(percentile_from_buckets(&buckets, 0.50), bucket_upper_us(3));
-        assert_eq!(percentile_from_buckets(&buckets, 0.99), bucket_upper_us(10));
+        buckets[3] = 98; // [4,8) µs
+        buckets[10] = 2; // [512,1024) µs
+        // Percentile convention: the *midpoint* (geometric mean of the
+        // bucket bounds) of the bucket that crosses the target rank —
+        // the upper bound overstated p50 by up to 2×.
+        assert_eq!(percentile_from_buckets(&buckets, 0.50), bucket_midpoint_us(3)); // 6 µs
+        assert_eq!(percentile_from_buckets(&buckets, 0.99), bucket_midpoint_us(10)); // 724 µs
         assert_eq!(percentile_from_buckets(&[0; 4], 0.5), 0);
+    }
+
+    #[test]
+    fn bucket_midpoints_are_geometric_means() {
+        assert_eq!(bucket_midpoint_us(0), 0);
+        assert_eq!(bucket_midpoint_us(3), 6); // √(4·8) ≈ 5.66 → 6
+        assert_eq!(bucket_midpoint_us(10), 724); // √(512·1024) ≈ 724.1
+        // Overflow bucket reports its lower bound.
+        assert_eq!(bucket_midpoint_us(HISTOGRAM_BUCKETS - 1), 1 << (HISTOGRAM_BUCKETS - 2));
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            let mid = bucket_midpoint_us(i);
+            assert!(mid >= (bucket_upper_us(i) / 2) && mid <= bucket_upper_us(i));
+        }
+    }
+
+    #[test]
+    fn sharded_audit_ring_survives_cross_shard_contention() {
+        // Two writers hammer disjoint shard sets (even/odd stream
+        // indices); totals and the reassembled tail must stay exact.
+        let t = Telemetry::with_audit_capacity(32);
+        let per_writer = 2_000u64;
+        std::thread::scope(|scope| {
+            for parity in 0..2usize {
+                let t = t.clone();
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        t.audit(GateAuditEntry {
+                            stream_idx: (i as usize * 2 + parity) % 64,
+                            round: i,
+                            confidence: 0.5,
+                            cost: 1.0,
+                            kept: parity == 0,
+                            reason: AuditReason::Selected,
+                        });
+                    }
+                });
+            }
+        });
+        let snap = t.snapshot().expect("enabled");
+        assert_eq!(snap.gate.audit_total, per_writer * 2);
+        assert_eq!(snap.gate.kept, per_writer);
+        assert_eq!(snap.gate.dropped, per_writer);
+        assert_eq!(snap.gate.audit.len(), 32, "trimmed to the configured capacity");
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_recomputes_percentiles() {
+        let a = Telemetry::enabled();
+        a.record_duration(Stage::Decode, 4, Duration::from_micros(3));
+        a.audit(entry(0, true));
+        a.fault(FaultKind::DecodeFail, Some(1));
+        let b = Telemetry::enabled();
+        b.record_duration(Stage::Decode, 2, Duration::from_micros(100));
+        b.record_duration(Stage::Decode, 2, Duration::from_micros(100));
+        b.record_duration(Stage::Decode, 2, Duration::from_micros(100));
+        b.audit(entry(1, false));
+        b.fault(FaultKind::DecodeFail, Some(1));
+        b.fault(FaultKind::ParseCorrupt, None);
+
+        let mut merged = a.snapshot().expect("enabled");
+        merged.merge(&b.snapshot().expect("enabled"));
+
+        let decode = merged.stage(Stage::Decode).expect("decode stage");
+        assert_eq!(decode.calls, 4);
+        assert_eq!(decode.items, 10);
+        assert_eq!(decode.total_us, 303);
+        assert!((decode.mean_us - 75.75).abs() < 1e-9);
+        // Bucket-wise sum: one sample in [2,4), three in [64,128). The
+        // median rank (2 of 4) now falls in [64,128) → midpoint 91.
+        assert_eq!(
+            decode.latency_buckets,
+            vec![
+                LatencyBucket { le_us: 4, count: 1 },
+                LatencyBucket { le_us: 128, count: 3 },
+            ]
+        );
+        assert_eq!(decode.p50_us, 91);
+        assert_eq!(decode.p99_us, 91);
+        assert_eq!(merged.gate.kept, 1);
+        assert_eq!(merged.gate.dropped, 1);
+        assert_eq!(merged.gate.audit_total, 2);
+        assert_eq!(merged.gate.audit.len(), 2);
+        assert_eq!(merged.faults.total, 3);
+        let decode_fails = merged
+            .faults
+            .by_kind
+            .iter()
+            .find(|k| k.kind == "decode_fail")
+            .expect("kind merged");
+        assert_eq!(decode_fails.count, 2);
+        let s1 = merged
+            .faults
+            .streams
+            .iter()
+            .find(|s| s.stream_idx == 1)
+            .expect("stream merged");
+        assert_eq!(s1.faults, 2);
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Math tests for the decision-quality monitor (`pg_pipeline::insight`).
+//!
+//! Three families:
+//!
+//! 1. **Golden values** — ECE and Brier on a tiny hand-computed sample
+//!    set, so the binning and weighting conventions are pinned exactly.
+//! 2. **Properties** — cumulative regret is non-decreasing for any round
+//!    sequence, and no integral selection's value can exceed the
+//!    fractional-knapsack bound at its own spend (the inequality behind
+//!    the Lemma-1 slack gauge).
+//! 3. **Drift** — the Page–Hinkley detector stays quiet on a stationary
+//!    signal, fires deterministically on a mean shift, and the injected
+//!    shift surfaces in both the JSON snapshot and the Prometheus
+//!    exposition (the acceptance scenario from the issue).
+
+use pg_pipeline::insight::fractional_upper_bound;
+use pg_pipeline::{
+    prometheus_exposition, validate_exposition, Insight, PacketOutcome, PageHinkley,
+    RoundOutcome, Telemetry,
+};
+use proptest::prelude::*;
+
+// ------------------------------------------------------------- golden
+
+#[test]
+fn ece_and_brier_match_hand_computation() {
+    let insight = Insight::enabled();
+    // Bin 9 ([0.9,1.0)): four samples at 0.95, three positive.
+    for positive in [true, true, true, false] {
+        insight.record_outcome(0, 0.95, positive);
+    }
+    // Bin 1 ([0.1,0.2)): four samples at 0.15, none positive.
+    for _ in 0..4 {
+        insight.record_outcome(0, 0.15, false);
+    }
+    // Bin 5 ([0.5,0.6)): two samples at 0.55, both positive.
+    for _ in 0..2 {
+        insight.record_outcome(0, 0.55, true);
+    }
+    let snap = insight.snapshot().expect("enabled");
+    assert_eq!(snap.calibration.len(), 1);
+    let head = &snap.calibration[0];
+    assert_eq!(head.head, 0);
+    assert_eq!(head.samples, 10);
+    // ECE = 0.4·|0.95−0.75| + 0.4·|0.15−0| + 0.2·|0.55−1| = 0.23
+    assert!((head.ece - 0.23).abs() < 1e-12, "ece = {}", head.ece);
+    // Brier = (3·0.05² + 0.95² + 4·0.15² + 2·0.45²) / 10 = 0.1405
+    assert!((head.brier - 0.1405).abs() < 1e-12, "brier = {}", head.brier);
+    // Only occupied bins are reported, lowest edge first.
+    let edges: Vec<f64> = head.bins.iter().map(|b| b.lower).collect();
+    assert_eq!(edges, vec![0.1, 0.5, 0.9]);
+    let top = head.bins.last().unwrap();
+    assert_eq!(top.count, 4);
+    assert!((top.mean_confidence - 0.95).abs() < 1e-12);
+    assert!((top.empirical - 0.75).abs() < 1e-12);
+}
+
+#[test]
+fn perfectly_calibrated_outcomes_have_zero_ece() {
+    let insight = Insight::enabled();
+    // 0.25 confidence, 1 in 4 positive; 0.75 confidence, 3 in 4 positive.
+    for i in 0..8 {
+        insight.record_outcome(1, 0.25, i % 4 == 0);
+        insight.record_outcome(1, 0.75, i % 4 != 0);
+    }
+    let snap = insight.snapshot().expect("enabled");
+    let head = &snap.calibration[0];
+    assert_eq!(head.head, 1);
+    assert!(head.ece < 1e-12, "ece = {}", head.ece);
+}
+
+// --------------------------------------------------------- properties
+
+proptest! {
+    /// Cumulative regret never decreases, whatever the round outcomes —
+    /// the per-round increment is clamped at zero.
+    #[test]
+    fn cumulative_regret_is_non_decreasing(
+        costs in proptest::collection::vec(0.1f64..4.0, 8..160),
+        necessary in proptest::collection::vec(any::<bool>(), 8..160),
+        decoded in proptest::collection::vec(any::<bool>(), 8..160),
+        budget in 0.5f64..10.0,
+        per_round in 1usize..8,
+    ) {
+        let outcomes: Vec<PacketOutcome> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &cost)| PacketOutcome {
+                cost,
+                necessary: necessary[i % necessary.len()],
+                decoded: decoded[i % decoded.len()],
+            })
+            .collect();
+        let insight = Insight::enabled();
+        let mut last = 0.0f64;
+        for (round, chunk) in outcomes.chunks(per_round).enumerate() {
+            let spent: f64 = chunk.iter().filter(|o| o.decoded).map(|o| o.cost).sum();
+            insight.record_round(&RoundOutcome {
+                round: round as u64,
+                budget,
+                spent,
+                offered: chunk.len(),
+                decoded: chunk.iter().filter(|o| o.decoded).count(),
+                quarantined: 0,
+                outcomes: chunk,
+            });
+            let now = insight.snapshot().expect("enabled").regret.cumulative;
+            prop_assert!(now >= last - 1e-12, "regret fell: {last} -> {now}");
+            last = now;
+        }
+    }
+
+    /// Any integral selection is bounded by the fractional optimum at its
+    /// own total cost: value(S) ≤ OPT_frac(cost(S)). This is the
+    /// inequality that makes the Lemma-1 gauge's realized/upper ratio
+    /// meaningful.
+    #[test]
+    fn integral_selections_never_beat_the_fractional_bound(
+        values in proptest::collection::vec(0.0f64..1.0, 1..24),
+        costs in proptest::collection::vec(0.1f64..5.0, 1..24),
+        kept in proptest::collection::vec(any::<bool>(), 1..24),
+    ) {
+        let n = values.len().min(costs.len()).min(kept.len());
+        let items: Vec<(f64, f64)> = (0..n).map(|i| (values[i], costs[i])).collect();
+        let realized: f64 = (0..n).filter(|&i| kept[i]).map(|i| values[i]).sum();
+        let spent: f64 = (0..n).filter(|&i| kept[i]).map(|i| costs[i]).sum();
+        let bound = fractional_upper_bound(&items, spent);
+        prop_assert!(
+            realized <= bound + 1e-9,
+            "selection value {realized} exceeds fractional bound {bound} at spend {spent}"
+        );
+    }
+
+    /// The fractional bound is monotone in the budget.
+    #[test]
+    fn fractional_bound_is_monotone_in_budget(
+        values in proptest::collection::vec(0.0f64..1.0, 1..16),
+        costs in proptest::collection::vec(0.1f64..5.0, 1..16),
+        b1 in 0.0f64..20.0,
+        b2 in 0.0f64..20.0,
+    ) {
+        let n = values.len().min(costs.len());
+        let items: Vec<(f64, f64)> = (0..n).map(|i| (values[i], costs[i])).collect();
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        prop_assert!(
+            fractional_upper_bound(&items, lo) <= fractional_upper_bound(&items, hi) + 1e-9
+        );
+    }
+}
+
+// -------------------------------------------------------------- drift
+
+#[test]
+fn page_hinkley_flags_a_mean_shift_and_stays_quiet_when_stationary() {
+    let mut ph = PageHinkley::new(24, 0.1, 5.0);
+    // Stationary phase: a mild deterministic wobble around 1000.
+    for i in 0..400u64 {
+        let x = 1000.0 + (i % 7) as f64 * 4.0;
+        assert!(!ph.observe(x), "false alarm at stationary sample {i}");
+    }
+    // Mean shifts by 60%: the alarm must land within a bounded window.
+    let mut fired_at = None;
+    for i in 0..200u64 {
+        if ph.observe(1600.0) {
+            fired_at = Some(i);
+            break;
+        }
+    }
+    let fired_at = fired_at.expect("shift never flagged");
+    assert!(fired_at < 40, "alarm took {fired_at} samples");
+}
+
+#[test]
+fn injected_size_shift_flags_the_stream_in_snapshot_and_exposition() {
+    let telemetry = Telemetry::enabled().with_insight(Insight::enabled());
+    let insight = telemetry.insight().clone();
+    // Five streams of predicted packets; stream 3's sizes jump 60% at
+    // round 60 (the default warmup is 24 samples, so the baseline is
+    // long established).
+    for round in 0..200u64 {
+        for stream in 0..5usize {
+            let base = 900 + 40 * stream as u64;
+            let size = if stream == 3 && round >= 60 {
+                base * 8 / 5
+            } else {
+                base + round % 3
+            };
+            insight.observe_packet(stream, round, false, size);
+        }
+    }
+    let snapshot = telemetry.snapshot().expect("telemetry enabled");
+    let ins = snapshot.insight.as_ref().expect("insight enabled");
+    assert_eq!(ins.drift.streams, 5);
+    let stale: Vec<usize> = ins.drift.stale.iter().map(|s| s.stream_idx).collect();
+    assert_eq!(stale, vec![3], "only the shifted stream may be stale");
+    let flagged = &ins.drift.stale[0];
+    assert_eq!(flagged.channel, "predicted");
+    assert!(flagged.first_flag_round >= 60, "flagged before the shift");
+
+    // The same flag must ride into the JSON snapshot ...
+    let json = serde_json::to_string(&snapshot).expect("serializable");
+    assert!(json.contains(r#""stream_idx":3"#), "stale stream missing from JSON");
+
+    // ... and into the Prometheus exposition.
+    let text = prometheus_exposition(&snapshot);
+    validate_exposition(&text).expect("exposition must parse");
+    assert!(
+        text.contains(r#"pg_insight_stream_stale{stream="3",channel="predicted"} 1"#),
+        "stale-stream sample missing:\n{text}"
+    );
+    assert!(text.contains("pg_insight_drift_stale_streams 1"), "{text}");
+}
+
+#[test]
+fn drift_rearms_after_an_alarm_and_can_catch_a_second_shift() {
+    let mut ph = PageHinkley::new(24, 0.1, 5.0);
+    for _ in 0..100 {
+        ph.observe(1000.0);
+    }
+    let first = (0..200).any(|_| ph.observe(1500.0));
+    assert!(first, "first shift missed");
+    // After re-baselining at 1500, a further shift must also fire.
+    for _ in 0..100 {
+        assert!(!ph.observe(1500.0), "false alarm while re-baselined");
+    }
+    let second = (0..200).any(|_| ph.observe(2400.0));
+    assert!(second, "second shift missed");
+}
