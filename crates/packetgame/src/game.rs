@@ -12,7 +12,7 @@ use pg_pipeline::telemetry::Telemetry;
 
 use crate::config::PacketGameConfig;
 use crate::context::FeatureWindows;
-use crate::optimizer::{CombinatorialOptimizer, Item};
+use crate::optimizer::{CombinatorialOptimizer, Item, SelectScratch};
 use crate::predictor::{ContextualPredictor, PredictScratch};
 use crate::temporal::TemporalEstimator;
 
@@ -83,6 +83,10 @@ pub struct PacketGame {
     scratch: PredictScratch,
     /// Reusable candidate list handed to the greedy optimizer.
     items: Vec<Item>,
+    /// Reusable optimizer buffers (priority order, insight entries,
+    /// selection) — the per-round knapsack allocates nothing in steady
+    /// state beyond the `Vec` the `GatePolicy` contract returns.
+    select_scratch: SelectScratch,
     /// Per-stream predictor probability (pre-exploration-bonus) stashed at
     /// `select` time, consumed by `feedback` for calibration tracking.
     /// `NaN` marks "no prediction this round". Only written when the
@@ -130,6 +134,7 @@ impl PacketGame {
                 std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             ),
             items: Vec::new(),
+            select_scratch: SelectScratch::new(),
             cal_conf: Vec::new(),
         }
     }
@@ -287,12 +292,20 @@ impl GatePolicy for PacketGame {
         // decodes for each selected packet. With telemetry attached, every
         // candidate's decision lands in the audit ring.
         if self.telemetry.is_enabled() {
-            self.optimizer
-                .select_audited(&self.items, budget, round, &self.telemetry)
-                .0
+            self.optimizer.select_audited_with(
+                &self.items,
+                budget,
+                round,
+                &self.telemetry,
+                &mut self.select_scratch,
+            );
         } else {
-            self.optimizer.select(&self.items, budget).0
+            self.optimizer
+                .select_with(&self.items, budget, &mut self.select_scratch);
         }
+        // The trait wants an owned Vec; this take is the only steady-state
+        // allocation left on the decision path.
+        self.select_scratch.take_selected()
     }
 
     fn feedback(&mut self, events: &[FeedbackEvent]) {

@@ -59,7 +59,7 @@ pub use comparators::{ComparatorStack, Method};
 pub use config::{EmbeddingKind, PacketGameConfig};
 pub use context::FeatureWindows;
 pub use game::{OnlineConfig, PacketGame};
-pub use optimizer::{CombinatorialOptimizer, Item};
+pub use optimizer::{CombinatorialOptimizer, Item, SelectScratch};
 pub use predictor::{ContextualPredictor, PredictScratch};
 pub use temporal::TemporalEstimator;
 pub use training::{build_offline_dataset, train_for_task, train_multi_task, TrainSample};

@@ -26,30 +26,68 @@ pub struct Item {
     pub cost: f64,
 }
 
+/// Reusable per-round buffers for [`CombinatorialOptimizer`]: the
+/// priority-order permutation, the insight selection entries, and the
+/// selected indices. Grow-only — a caller that holds one across rounds
+/// (as the gate does) makes steady-state selection allocation-free.
+#[derive(Debug, Default)]
+pub struct SelectScratch {
+    /// Positions into the `items` slice, sorted by priority.
+    order: Vec<usize>,
+    entries: Vec<SelectionEntry>,
+    selected: Vec<usize>,
+}
+
+impl SelectScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        SelectScratch::default()
+    }
+
+    /// The selection produced by the last `select*_with` call: item `idx`s
+    /// in priority order.
+    pub fn selected(&self) -> &[usize] {
+        &self.selected
+    }
+
+    /// Move the last selection out (for APIs that need an owned `Vec`),
+    /// leaving the scratch reusable.
+    pub fn take_selected(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.selected)
+    }
+}
+
 /// The greedy ratio optimizer.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CombinatorialOptimizer;
+
+/// Sort `order` (positions into `items`) by descending confidence/cost
+/// ratio, ties broken by lower cost then lower index for determinism.
+fn sort_by_priority(items: &[Item], order: &mut [usize]) {
+    order.sort_by(|&a, &b| {
+        let ra = ratio(&items[a]);
+        let rb = ratio(&items[b]);
+        rb.partial_cmp(&ra)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                items[a]
+                    .cost
+                    .partial_cmp(&items[b].cost)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| items[a].idx.cmp(&items[b].idx))
+    });
+}
 
 impl CombinatorialOptimizer {
     /// Full priority order: items sorted by descending confidence/cost
     /// ratio (ties broken by lower cost, then lower index for
     /// determinism). The caller walks this order charging costs until the
-    /// budget is exhausted.
+    /// budget is exhausted. Allocating convenience wrapper; the hot path
+    /// sorts inside [`SelectScratch`] instead.
     pub fn priority_order(&self, items: &[Item]) -> Vec<usize> {
         let mut order: Vec<usize> = (0..items.len()).collect();
-        order.sort_by(|&a, &b| {
-            let ra = ratio(&items[a]);
-            let rb = ratio(&items[b]);
-            rb.partial_cmp(&ra)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| {
-                    items[a]
-                        .cost
-                        .partial_cmp(&items[b].cost)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .then_with(|| items[a].idx.cmp(&items[b].idx))
-        });
+        sort_by_priority(items, &mut order);
         order.into_iter().map(|i| items[i].idx).collect()
     }
 
@@ -58,8 +96,12 @@ impl CombinatorialOptimizer {
     /// below the budget — the final item may overshoot (the
     /// approximately-fractional model). Returns selected `idx`s in
     /// priority order and the total cost charged.
+    ///
+    /// Allocating wrapper over [`CombinatorialOptimizer::select_with`].
     pub fn select(&self, items: &[Item], budget: f64) -> (Vec<usize>, f64) {
-        self.select_inner(items, budget, 0, None)
+        let mut scratch = SelectScratch::new();
+        let spent = self.select_inner(items, budget, 0, None, &mut scratch);
+        (scratch.take_selected(), spent)
     }
 
     /// [`CombinatorialOptimizer::select`] plus gate-decision auditing:
@@ -67,6 +109,9 @@ impl CombinatorialOptimizer {
     /// confidence, cost and kept/dropped reason. Greedy walks the whole
     /// priority order, so every dropped candidate was dropped because the
     /// budget ran out before its turn.
+    ///
+    /// Allocating wrapper over
+    /// [`CombinatorialOptimizer::select_audited_with`].
     pub fn select_audited(
         &self,
         items: &[Item],
@@ -74,7 +119,31 @@ impl CombinatorialOptimizer {
         round: u64,
         telemetry: &Telemetry,
     ) -> (Vec<usize>, f64) {
-        self.select_inner(items, budget, round, Some(telemetry))
+        let mut scratch = SelectScratch::new();
+        let spent = self.select_inner(items, budget, round, Some(telemetry), &mut scratch);
+        (scratch.take_selected(), spent)
+    }
+
+    /// [`CombinatorialOptimizer::select`] into caller-owned scratch: the
+    /// selection lands in [`SelectScratch::selected`] and the total cost
+    /// charged is returned. No heap allocation once the scratch has grown
+    /// to the round's candidate count.
+    pub fn select_with(&self, items: &[Item], budget: f64, scratch: &mut SelectScratch) -> f64 {
+        self.select_inner(items, budget, 0, None, scratch)
+    }
+
+    /// [`CombinatorialOptimizer::select_audited`] into caller-owned
+    /// scratch (audit entries go to the telemetry ring, which never
+    /// allocates on record).
+    pub fn select_audited_with(
+        &self,
+        items: &[Item],
+        budget: f64,
+        round: u64,
+        telemetry: &Telemetry,
+        scratch: &mut SelectScratch,
+    ) -> f64 {
+        self.select_inner(items, budget, round, Some(telemetry), scratch)
     }
 
     fn select_inner(
@@ -83,15 +152,17 @@ impl CombinatorialOptimizer {
         budget: f64,
         round: u64,
         telemetry: Option<&Telemetry>,
-    ) -> (Vec<usize>, f64) {
-        let by_idx: std::collections::HashMap<usize, &Item> =
-            items.iter().map(|it| (it.idx, it)).collect();
+        scratch: &mut SelectScratch,
+    ) -> f64 {
+        scratch.order.clear();
+        scratch.order.extend(0..items.len());
+        sort_by_priority(items, &mut scratch.order);
+        scratch.entries.clear();
+        scratch.selected.clear();
         let insight = telemetry.map(Telemetry::insight).filter(|i| i.is_enabled());
-        let mut entries: Vec<SelectionEntry> = Vec::new();
-        let mut selected = Vec::new();
         let mut spent = 0.0f64;
-        for idx in self.priority_order(items) {
-            let item = by_idx[&idx];
+        for k in 0..scratch.order.len() {
+            let item = &items[scratch.order[k]];
             let kept = spent < budget;
             if let Some(t) = telemetry {
                 t.audit(GateAuditEntry {
@@ -108,7 +179,7 @@ impl CombinatorialOptimizer {
                 });
             }
             if insight.is_some() {
-                entries.push(SelectionEntry {
+                scratch.entries.push(SelectionEntry {
                     value: item.confidence,
                     cost: item.cost,
                     kept,
@@ -120,15 +191,15 @@ impl CombinatorialOptimizer {
                 }
                 continue;
             }
-            selected.push(idx);
+            scratch.selected.push(item.idx);
             spent += item.cost;
         }
         if let Some(ins) = insight {
             // Feed the Lemma-1 slack gauge: realized value vs the
             // fractional-knapsack bound over this round's candidates.
-            ins.record_selection(round, budget, &entries);
+            ins.record_selection(round, budget, &scratch.entries);
         }
-        (selected, spent)
+        spent
     }
 
     /// Total value (sum of confidences) of a selection.

@@ -11,7 +11,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use packetgame::{ContextualPredictor, PacketGameConfig, PredictScratch};
+use packetgame::{
+    CombinatorialOptimizer, ContextualPredictor, Item, PacketGameConfig, PredictScratch,
+    SelectScratch,
+};
 
 struct CountingAlloc;
 
@@ -90,5 +93,38 @@ fn steady_state_batched_rounds_do_not_allocate() {
     assert_eq!(
         allocs, 0,
         "steady-state batched rounds performed {allocs} heap allocations"
+    );
+
+    // Same property for the greedy knapsack: with a caller-owned
+    // `SelectScratch`, repeated selections over a stable candidate count
+    // must not touch the allocator either (the priority sort, the
+    // selection, and the walk all reuse grow-only buffers).
+    let opt = CombinatorialOptimizer;
+    let mut items: Vec<Item> = (0..m)
+        .map(|i| Item {
+            idx: i,
+            confidence: (i % 13) as f64 / 13.0,
+            cost: 1.0 + (i % 5) as f64,
+        })
+        .collect();
+    let mut sel = SelectScratch::new();
+    let mut spent_sink = opt.select_with(&items, 40.0, &mut sel); // warm-up
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for r in 0..10 {
+        for (i, it) in items.iter_mut().enumerate() {
+            it.confidence = ((i + r) % 17) as f64 / 17.0;
+        }
+        spent_sink += opt.select_with(&items, 40.0, &mut sel);
+        spent_sink += sel.selected().len() as f64;
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let select_allocs = ALLOCS.load(Ordering::SeqCst);
+
+    assert!(spent_sink.is_finite());
+    assert_eq!(
+        select_allocs, 0,
+        "steady-state selections performed {select_allocs} heap allocations"
     );
 }

@@ -49,7 +49,7 @@ fn concurrent_config(streams: usize, rounds: u64) -> ConcurrentConfig {
         rounds,
         decode_workers: 2,
         budget_per_round: 1e9,
-        work: DecodeWorkModel { iters_per_unit: 50 },
+        work: DecodeWorkModel::spin(50),
         quarantine: QuarantineConfig::new(10, 1),
         ..ConcurrentConfig::default()
     }

@@ -1,0 +1,272 @@
+//! End-to-end pipeline throughput: sharded parsing + work-stealing decode.
+//!
+//! Drives the full concurrent runtime (producer → parser shards → gate →
+//! work-stealing decode pool → inference) and measures what the multi-core
+//! rework buys:
+//!
+//! * **Worker scaling** — streams-decoded/sec and gate round latency
+//!   p50/p99 for m ∈ {64, 256, 1024} × decode workers ∈ {1, 2, 4, 8},
+//!   with the speedup over the 1-worker baseline per concurrency level;
+//! * **Sequential vs sharded parsing** — rounds/sec with one parser shard
+//!   vs the multi-shard path at each m;
+//! * **Allocation discipline** — a counting global allocator reports heap
+//!   allocations per round for the whole process, and the refcounted
+//!   payload path is asserted to perform **zero** deep copies
+//!   (`bytes::deep_copy_count`) across the entire sweep.
+//!
+//! Decode work uses [`WorkKind::Offload`] — each cost unit is a fixed
+//! nanosecond wait modelling a hardware decode engine — so worker scaling
+//! reflects latency hiding and shows up even on single-core CI hosts
+//! (spin-loop decode would need as many physical cores as workers).
+//! Writes `BENCH_pipeline.json` at the repository root. `PG_SCALE=quick`
+//! shrinks the sweep for CI smoke runs.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pg_bench::harness::print_table;
+use pg_pipeline::gate::DecodeAll;
+use pg_pipeline::{ConcurrentPipeline, DecodeWorkModel};
+use serde::Serialize;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[derive(Serialize, Clone, Copy)]
+struct Cell {
+    m: usize,
+    decode_workers: usize,
+    parser_shards: usize,
+    rounds: u64,
+    wall_s: f64,
+    /// Stream-rounds completed per second of wall clock (m × rounds / wall):
+    /// how many concurrent real-time streams this configuration sustains.
+    streams_decoded_per_sec: f64,
+    packets_per_sec: f64,
+    round_p50_us: u64,
+    round_p99_us: u64,
+    /// Process-wide heap allocations per gate round (all threads).
+    allocs_per_round: u64,
+}
+
+#[derive(Serialize)]
+struct ScalingRow {
+    cell: Cell,
+    /// streams-decoded/sec over the 1-worker baseline at the same m.
+    speedup_vs_1_worker: f64,
+}
+
+#[derive(Serialize)]
+struct ShardRow {
+    m: usize,
+    shards: usize,
+    single_shard_rounds_per_sec: f64,
+    sharded_rounds_per_sec: f64,
+    /// sharded / single-shard rounds per second. ~1.0 on a single-core
+    /// host (parsing cannot parallelize without cores); > 1 with cores.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Record {
+    scale: String,
+    cores: usize,
+    /// ns of simulated hardware-decode wait per cost unit (Offload model).
+    offload_ns_per_unit: u64,
+    worker_scaling: Vec<ScalingRow>,
+    shard_comparison: Vec<ShardRow>,
+    /// Payload deep copies across the whole sweep — the zero-copy packet
+    /// path guarantees this is 0.
+    payload_deep_copies: u64,
+}
+
+fn run_cell(m: usize, rounds: u64, workers: usize, shards: usize, offload_ns: u64) -> Cell {
+    let cfg = pg_pipeline::concurrent::ConcurrentConfig {
+        streams: m,
+        rounds,
+        decode_workers: workers,
+        parser_shards: shards,
+        budget_per_round: m as f64 / 2.0,
+        work: DecodeWorkModel::offload_ns(offload_ns),
+        seed: 7,
+        // A full round at m=1024 on one core can honestly outlast the
+        // default stall timeout; this is a throughput run, not a fault
+        // drill, so give rounds room.
+        stall_timeout: std::time::Duration::from_secs(10),
+        ..Default::default()
+    };
+    let effective_shards = cfg.effective_shards();
+    let allocs_before = ALLOCS.load(Ordering::SeqCst);
+    let report = ConcurrentPipeline::new(cfg).run(&mut DecodeAll);
+    let allocs = ALLOCS.load(Ordering::SeqCst) - allocs_before;
+    assert_eq!(
+        report.packets_parsed,
+        m as u64 * rounds,
+        "clean run must parse everything (m={m} workers={workers} shards={shards})"
+    );
+    assert!(
+        report.faults.is_empty(),
+        "clean run must report no faults (m={m} workers={workers} shards={shards}): {:?}",
+        report.faults
+    );
+    Cell {
+        m,
+        decode_workers: workers,
+        parser_shards: effective_shards,
+        rounds,
+        wall_s: report.wall.as_secs_f64(),
+        streams_decoded_per_sec: report.streams_decoded_per_sec(),
+        packets_per_sec: report.pipeline_pps(),
+        round_p50_us: report.round_latency_percentile(50.0).as_micros() as u64,
+        round_p99_us: report.round_latency_percentile(99.0).as_micros() as u64,
+        allocs_per_round: allocs / rounds.max(1),
+    }
+}
+
+fn main() {
+    let quick = matches!(std::env::var("PG_SCALE").as_deref(), Ok("quick"));
+    // Offload latency per cost unit: large enough that decode dominates
+    // the serial produce/parse/gate work even at m=1024, so worker
+    // scaling measures the pool rather than the single-core frontend.
+    let (ms, worker_counts, offload_ns): (&[usize], &[usize], u64) = if quick {
+        (&[64, 256], &[1, 2, 4], 20_000)
+    } else {
+        (&[64, 256, 1024], &[1, 2, 4, 8], 400_000)
+    };
+    let rounds_for = |m: usize| -> u64 {
+        match (quick, m) {
+            (true, _) => 6,
+            (false, 1024) => 16,
+            (false, _) => 24,
+        }
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let copies_before = bytes::deep_copy_count();
+
+    // ---- worker scaling at the auto shard count ----
+    let mut worker_scaling: Vec<ScalingRow> = Vec::new();
+    for &m in ms {
+        let rounds = rounds_for(m);
+        let mut baseline = 0.0f64;
+        for &w in worker_counts {
+            let cell = run_cell(m, rounds, w, 0, offload_ns);
+            if w == 1 {
+                baseline = cell.streams_decoded_per_sec;
+            }
+            worker_scaling.push(ScalingRow {
+                cell,
+                speedup_vs_1_worker: cell.streams_decoded_per_sec / baseline.max(1e-9),
+            });
+        }
+    }
+
+    // ---- sequential (1 shard) vs sharded parsing, fixed 2 workers ----
+    let mut shard_comparison: Vec<ShardRow> = Vec::new();
+    for &m in ms {
+        let rounds = rounds_for(m);
+        let single = run_cell(m, rounds, 2, 1, offload_ns);
+        let shards = 4.min(m);
+        let sharded = run_cell(m, rounds, 2, shards, offload_ns);
+        let single_rps = rounds as f64 / single.wall_s.max(1e-9);
+        let sharded_rps = rounds as f64 / sharded.wall_s.max(1e-9);
+        shard_comparison.push(ShardRow {
+            m,
+            shards,
+            single_shard_rounds_per_sec: single_rps,
+            sharded_rounds_per_sec: sharded_rps,
+            speedup: sharded_rps / single_rps.max(1e-9),
+        });
+    }
+
+    let payload_deep_copies = bytes::deep_copy_count() - copies_before;
+    assert_eq!(
+        payload_deep_copies, 0,
+        "the zero-copy packet path must never deep-copy a payload"
+    );
+
+    print_table(
+        "Pipeline throughput: decode-worker scaling (Offload decode model)",
+        &[
+            "m",
+            "workers",
+            "shards",
+            "streams/s",
+            "pkts/s",
+            "round p50 µs",
+            "round p99 µs",
+            "allocs/round",
+            "speedup",
+        ],
+        &worker_scaling
+            .iter()
+            .map(|r| {
+                vec![
+                    r.cell.m.to_string(),
+                    r.cell.decode_workers.to_string(),
+                    r.cell.parser_shards.to_string(),
+                    format!("{:.0}", r.cell.streams_decoded_per_sec),
+                    format!("{:.0}", r.cell.packets_per_sec),
+                    r.cell.round_p50_us.to_string(),
+                    r.cell.round_p99_us.to_string(),
+                    r.cell.allocs_per_round.to_string(),
+                    format!("{:.2}x", r.speedup_vs_1_worker),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "Sequential vs sharded parsing (2 decode workers)",
+        &["m", "shards", "1-shard rounds/s", "sharded rounds/s", "speedup"],
+        &shard_comparison
+            .iter()
+            .map(|r| {
+                vec![
+                    r.m.to_string(),
+                    r.shards.to_string(),
+                    format!("{:.1}", r.single_shard_rounds_per_sec),
+                    format!("{:.1}", r.sharded_rounds_per_sec),
+                    format!("{:.2}x", r.speedup),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let record = Record {
+        scale: if quick { "quick".into() } else { "std".into() },
+        cores,
+        offload_ns_per_unit: offload_ns,
+        worker_scaling,
+        shard_comparison,
+        payload_deep_copies,
+    };
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
+    let json = serde_json::to_string_pretty(&record).expect("serialize pipeline benchmark");
+    std::fs::write(&path, json).expect("write BENCH_pipeline.json");
+    println!("\n[wrote {}]", path.display());
+}

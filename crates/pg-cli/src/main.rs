@@ -15,6 +15,7 @@ mod cmd_gate;
 mod cmd_generate;
 mod cmd_inspect;
 mod cmd_netsim;
+mod cmd_pipeline;
 mod cmd_train;
 mod cmd_weights;
 mod metrics;
@@ -31,6 +32,7 @@ COMMANDS:
     inspect    Summarize a PGVS stream file (packets, sizes, GOPs)
     train      Train a contextual predictor and save a weight file
     gate       Simulate multi-stream gating and report accuracy
+    pipeline   Run the threaded end-to-end runtime and report throughput
     netsim     Push a stream through an impaired network link
     weights    Inspect a .pgnn predictor weight file
     help       Show this message
@@ -50,6 +52,7 @@ fn main() -> ExitCode {
         "inspect" => cmd_inspect::run(rest),
         "train" => cmd_train::run(rest),
         "gate" => cmd_gate::run(rest),
+        "pipeline" => cmd_pipeline::run(rest),
         "netsim" => cmd_netsim::run(rest),
         "weights" => cmd_weights::run(rest),
         "help" | "--help" | "-h" => {

@@ -200,6 +200,7 @@ impl Encoder {
             },
             refs,
             scene: *scene,
+            payload: bytes::Bytes::new(),
         };
         debug_assert!(packet.validate().is_ok(), "{:?}", packet.validate());
 

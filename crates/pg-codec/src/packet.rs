@@ -1,5 +1,6 @@
 //! Encoded video packets and their pre-decode metadata.
 
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use pg_scene::SceneFrame;
@@ -34,7 +35,7 @@ pub struct PacketMeta {
 /// pixel payload and is **only** readable after decoding (the
 /// [`Decoder`](crate::Decoder) enforces this by refusing packets with
 /// missing references).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Packet {
     /// Gate-visible metadata.
     pub meta: PacketMeta,
@@ -44,6 +45,21 @@ pub struct Packet {
     pub refs: Vec<u64>,
     /// Ground-truth scene content (the "pixels"); recovered by decoding.
     pub scene: SceneFrame,
+    /// The raw encoded payload bytes as they appeared on the wire, as a
+    /// refcounted slice of the arrival buffer (zero-copy through the
+    /// pipeline). Empty for packets that never crossed a bitstream — the
+    /// encoder emits packets before serialization, so only parsed packets
+    /// carry one.
+    pub payload: Bytes,
+}
+
+/// Packets compare by decoded content; `payload` is a transport detail
+/// (encoder-made packets have an empty one, parsed packets carry the wire
+/// bytes) and deliberately does not participate in equality.
+impl PartialEq for Packet {
+    fn eq(&self, other: &Packet) -> bool {
+        self.meta == other.meta && self.refs == other.refs && self.scene == other.scene
+    }
 }
 
 impl Packet {
@@ -103,6 +119,7 @@ mod tests {
             },
             refs,
             scene: scene(),
+            payload: Bytes::new(),
         }
     }
 

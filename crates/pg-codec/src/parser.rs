@@ -5,8 +5,21 @@
 //! decoding: exactly what a packet gate is allowed to see. A separate
 //! method materializes full packets (metadata + references + payload) for
 //! the decoder's benefit.
+//!
+//! Chunks arrive through two doors. [`PacketParser::push`] copies borrowed
+//! bytes into an owned compacting buffer — the fully general path every
+//! split-anywhere test exercises. [`PacketParser::push_shared`] enqueues a
+//! refcounted [`Bytes`] chunk instead; when a whole record sits inside one
+//! shared chunk (the concurrent pipeline's steady state — its producer
+//! sends one record per chunk), the payload of the yielded [`Packet`] is a
+//! zero-copy slice of that chunk. Records that span chunks, arrive
+//! fragmented, or need damage recovery are consolidated into the owned
+//! buffer and parsed exactly like pushed bytes, so both doors see identical
+//! packets, errors, and byte offsets.
 
 use std::collections::VecDeque;
+
+use bytes::Bytes;
 
 use crate::bitstream::{
     codec_from_wire, frame_type_from_wire, read_scene, RECORD_HEADER_SIZE, SCENE_WIRE_SIZE,
@@ -15,6 +28,11 @@ use crate::bitstream::{
 use crate::config::{Codec, EncoderConfig};
 use crate::error::CodecError;
 use crate::packet::{Packet, PacketMeta};
+
+/// Compact the owned buffer once this many consumed bytes accumulate at
+/// its front (and they outnumber the live bytes), keeping `advance` O(1)
+/// amortized without unbounded growth.
+const COMPACT_THRESHOLD: usize = 4096;
 
 /// Parsed PGVS stream header.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,9 +44,23 @@ pub struct ParsedStreamHeader {
 }
 
 /// Incremental parser state machine.
+///
+/// The logical byte stream is `buf[head..]` followed by the unconsumed
+/// parts of the `shared` chunk queue, in order. `push` appends to `buf`
+/// (or, to preserve ordering, behind `shared` when shared chunks are
+/// pending); `push_shared` appends to `shared`.
 #[derive(Debug, Clone)]
 pub struct PacketParser {
-    buf: VecDeque<u8>,
+    /// Owned copy-mode buffer; bytes before `head` are consumed.
+    buf: Vec<u8>,
+    head: usize,
+    /// Queue of refcounted chunks, logically after `buf[head..]`.
+    shared: VecDeque<Bytes>,
+    /// Consumed prefix of `shared.front()`.
+    shared_off: usize,
+    /// Total unconsumed bytes across `shared` (cached; keeps
+    /// [`PacketParser::buffered`] O(1)).
+    shared_len: usize,
     header: Option<ParsedStreamHeader>,
     /// Total bytes consumed from the front of the buffer (for error offsets).
     consumed: u64,
@@ -44,15 +76,36 @@ impl PacketParser {
     /// Fresh parser expecting a stream header.
     pub fn new() -> Self {
         PacketParser {
-            buf: VecDeque::new(),
+            buf: Vec::new(),
+            head: 0,
+            shared: VecDeque::new(),
+            shared_off: 0,
+            shared_len: 0,
             header: None,
             consumed: 0,
         }
     }
 
-    /// Feed a chunk of bytes.
+    /// Feed a chunk of borrowed bytes (copied into the owned buffer).
     pub fn push(&mut self, bytes: &[u8]) {
-        self.buf.extend(bytes);
+        if self.shared_len == 0 {
+            self.buf.extend_from_slice(bytes);
+        } else {
+            // Shared chunks are logically ahead of anything pushed now;
+            // park the copy behind them to keep stream order.
+            self.shared.push_back(Bytes::copy_from_slice(bytes));
+            self.shared_len += bytes.len();
+        }
+    }
+
+    /// Feed a refcounted chunk without copying it. Payloads of packets
+    /// parsed wholly inside one shared chunk are zero-copy slices of it.
+    pub fn push_shared(&mut self, chunk: Bytes) {
+        if chunk.is_empty() {
+            return;
+        }
+        self.shared_len += chunk.len();
+        self.shared.push_back(chunk);
     }
 
     /// The stream header, once parsed.
@@ -62,19 +115,95 @@ impl PacketParser {
 
     /// Bytes currently buffered and not yet parsed.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        (self.buf.len() - self.head) + self.shared_len
     }
 
-    fn peek(&self, n: usize) -> Option<Vec<u8>> {
-        if self.buf.len() < n {
+    /// The logical byte at index `i`, if buffered.
+    fn byte_at(&self, i: usize) -> Option<u8> {
+        let in_buf = self.buf.len() - self.head;
+        if i < in_buf {
+            return Some(self.buf[self.head + i]);
+        }
+        let mut i = i - in_buf;
+        let mut off = self.shared_off;
+        for chunk in &self.shared {
+            let rem = chunk.len() - off;
+            if i < rem {
+                return Some(chunk[off + i]);
+            }
+            i -= rem;
+            off = 0;
+        }
+        None
+    }
+
+    /// Make the first `n` logical bytes contiguous and return them, or
+    /// `None` if fewer than `n` bytes are buffered. Record-aligned shared
+    /// chunks are viewed in place; anything else is consolidated into the
+    /// owned buffer (a copy — the slow path by design).
+    fn contiguous(&mut self, n: usize) -> Option<&[u8]> {
+        if self.buffered() < n {
             return None;
         }
-        Some(self.buf.iter().take(n).copied().collect())
+        let in_buf = self.buf.len() - self.head;
+        if in_buf == 0 {
+            let front_ok = self
+                .shared
+                .front()
+                .is_some_and(|c| c.len() - self.shared_off >= n);
+            if front_ok {
+                let front = self.shared.front().expect("front checked");
+                return Some(&front[self.shared_off..self.shared_off + n]);
+            }
+        }
+        while self.buf.len() - self.head < n {
+            let front = self.shared.pop_front().expect("buffered() checked");
+            let rem = &front[self.shared_off..];
+            self.buf.extend_from_slice(rem);
+            self.shared_len -= rem.len();
+            self.shared_off = 0;
+        }
+        Some(&self.buf[self.head..self.head + n])
+    }
+
+    /// Move every shared chunk into the owned buffer (damage-recovery
+    /// scans want one flat view).
+    fn consolidate_all(&mut self) {
+        while let Some(front) = self.shared.pop_front() {
+            let rem = &front[self.shared_off..];
+            self.buf.extend_from_slice(rem);
+            self.shared_len -= rem.len();
+            self.shared_off = 0;
+        }
     }
 
     fn advance(&mut self, n: usize) {
-        for _ in 0..n {
-            self.buf.pop_front();
+        let in_buf = self.buf.len() - self.head;
+        let take = n.min(in_buf);
+        self.head += take;
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        } else if self.head >= COMPACT_THRESHOLD && self.head * 2 >= self.buf.len() {
+            self.buf.copy_within(self.head.., 0);
+            let live = self.buf.len() - self.head;
+            self.buf.truncate(live);
+            self.head = 0;
+        }
+        let mut rest = n - take;
+        while rest > 0 {
+            let front = self.shared.front().expect("advance past buffered bytes");
+            let rem = front.len() - self.shared_off;
+            if rest >= rem {
+                rest -= rem;
+                self.shared_len -= rem;
+                self.shared_off = 0;
+                self.shared.pop_front();
+            } else {
+                self.shared_off += rest;
+                self.shared_len -= rest;
+                rest = 0;
+            }
         }
         self.consumed += n as u64;
     }
@@ -83,9 +212,11 @@ impl PacketParser {
         if self.header.is_some() {
             return Ok(true);
         }
-        let Some(bytes) = self.peek(STREAM_HEADER_SIZE) else {
-            return Ok(false);
-        };
+        let mut bytes = [0u8; STREAM_HEADER_SIZE];
+        match self.contiguous(STREAM_HEADER_SIZE) {
+            Some(view) => bytes.copy_from_slice(view),
+            None => return Ok(false),
+        }
         if bytes[..4] != STREAM_MAGIC {
             return Err(CodecError::InvalidHeader(format!(
                 "bad magic {:02x?}",
@@ -128,12 +259,13 @@ impl PacketParser {
     /// `true` if a header was consumed; `Ok(false)` when the front is not a
     /// header (or not enough bytes yet to tell).
     fn try_consume_inline_header(&mut self) -> Result<bool, CodecError> {
-        let probe_len = STREAM_MAGIC.len().min(self.buf.len());
-        let front: Vec<u8> = self.buf.iter().take(probe_len).copied().collect();
-        if front != STREAM_MAGIC[..probe_len] {
-            return Ok(false);
+        let probe_len = STREAM_MAGIC.len().min(self.buffered());
+        for (i, &m) in STREAM_MAGIC.iter().take(probe_len).enumerate() {
+            if self.byte_at(i) != Some(m) {
+                return Ok(false);
+            }
         }
-        if self.buf.len() < STREAM_HEADER_SIZE {
+        if self.buffered() < STREAM_HEADER_SIZE {
             // Looks like a header prefix; wait for more bytes.
             return Ok(false);
         }
@@ -155,10 +287,12 @@ impl PacketParser {
 
     /// Parse the next record header if fully buffered. Returns the metadata
     /// plus the payload length, without consuming anything.
-    fn peek_record(&self) -> Result<Option<(PacketMeta, usize)>, CodecError> {
-        let Some(bytes) = self.peek(RECORD_HEADER_SIZE) else {
-            return Ok(None);
-        };
+    fn peek_record(&mut self) -> Result<Option<(PacketMeta, usize)>, CodecError> {
+        let mut bytes = [0u8; RECORD_HEADER_SIZE];
+        match self.contiguous(RECORD_HEADER_SIZE) {
+            Some(view) => bytes.copy_from_slice(view),
+            None => return Ok(None),
+        }
         if bytes[..2] != SYNC_MARKER {
             return Err(CodecError::MalformedRecord {
                 offset: self.consumed,
@@ -207,7 +341,7 @@ impl PacketParser {
         let Some((meta, payload_len)) = self.peek_record()? else {
             return Ok(None);
         };
-        if self.buf.len() < RECORD_HEADER_SIZE + payload_len {
+        if self.buffered() < RECORD_HEADER_SIZE + payload_len {
             return Ok(None);
         }
         self.advance(RECORD_HEADER_SIZE + payload_len);
@@ -224,15 +358,26 @@ impl PacketParser {
         let Some((meta, payload_len)) = self.peek_record()? else {
             return Ok(None);
         };
-        if self.buf.len() < RECORD_HEADER_SIZE + payload_len {
+        let total = RECORD_HEADER_SIZE + payload_len;
+        if self.buffered() < total {
             return Ok(None);
         }
         let record_offset = self.consumed;
-        let payload = self
-            .peek(RECORD_HEADER_SIZE + payload_len)
-            .expect("length checked");
-        let payload = &payload[RECORD_HEADER_SIZE..];
-
+        // Zero-copy fast path: the whole record sits inside the front
+        // shared chunk, so the payload is a slice of it. Otherwise
+        // consolidate and deep-copy (counted by `bytes::deep_copy_count`).
+        let record_in_front_chunk = self.buf.len() == self.head
+            && self
+                .shared
+                .front()
+                .is_some_and(|c| c.len() - self.shared_off >= total);
+        let payload: Bytes = if record_in_front_chunk {
+            let front = self.shared.front().expect("front checked");
+            front.slice(self.shared_off + RECORD_HEADER_SIZE..self.shared_off + total)
+        } else {
+            let view = self.contiguous(total).expect("length checked");
+            Bytes::copy_from_slice(&view[RECORD_HEADER_SIZE..])
+        };
         let malformed = |reason: &str| CodecError::MalformedRecord {
             offset: record_offset,
             reason: reason.to_string(),
@@ -257,8 +402,13 @@ impl PacketParser {
         let mut scene_bytes = &payload[refs_end..refs_end + SCENE_WIRE_SIZE];
         let scene = read_scene(&mut scene_bytes).ok_or_else(|| malformed("bad scene payload"))?;
 
-        self.advance(RECORD_HEADER_SIZE + payload_len);
-        Ok(Some(Packet { meta, refs, scene }))
+        self.advance(total);
+        Ok(Some(Packet {
+            meta,
+            refs,
+            scene,
+            payload,
+        }))
     }
 
     /// Resynchronize after stream damage (lost or corrupted bytes):
@@ -273,19 +423,20 @@ impl PacketParser {
     /// and a trailing half-marker is retained so a marker split across
     /// chunk boundaries still synchronizes.
     pub fn resync(&mut self) -> usize {
+        self.consolidate_all();
         let mut discarded = 0usize;
-        if !self.buf.is_empty() {
+        if self.buffered() > 0 {
             // Current front failed to parse: always advance past it.
             self.advance(1);
             discarded += 1;
         }
         loop {
-            let Some(&first) = self.buf.front() else {
+            let Some(first) = self.byte_at(0) else {
                 return discarded;
             };
             if first == SYNC_MARKER[0] {
-                match self.buf.get(1) {
-                    Some(&second) if second == SYNC_MARKER[1] => return discarded,
+                match self.byte_at(1) {
+                    Some(second) if second == SYNC_MARKER[1] => return discarded,
                     Some(_) => {}
                     // Half a marker at the end of the buffer: keep it.
                     None => return discarded,
@@ -301,19 +452,19 @@ impl PacketParser {
     /// header was damaged in transit — real senders repeat their parameter
     /// sets in-band, so a later copy will arrive. Returns bytes discarded.
     pub fn resync_to_header(&mut self) -> usize {
-        let magic_len = STREAM_MAGIC.len();
+        self.consolidate_all();
         let mut discarded = 0usize;
-        if !self.buf.is_empty() {
+        if self.buffered() > 0 {
             self.advance(1);
             discarded += 1;
         }
         'outer: loop {
-            if self.buf.is_empty() {
+            if self.buffered() == 0 {
                 return discarded;
             }
             for (i, &m) in STREAM_MAGIC.iter().enumerate() {
-                match self.buf.get(i) {
-                    Some(&b) if b == m => {}
+                match self.byte_at(i) {
+                    Some(b) if b == m => {}
                     // Prefix matches so far but buffer ran out: keep it.
                     None => return discarded,
                     Some(_) => {
@@ -323,7 +474,6 @@ impl PacketParser {
                     }
                 }
             }
-            let _ = magic_len;
             return discarded;
         }
     }
@@ -501,6 +651,83 @@ mod tests {
         for (a, b) in parsed.iter().zip(&packets) {
             assert_eq!(a.meta.size, b.meta.size);
         }
+    }
+
+    #[test]
+    fn record_aligned_shared_chunks_parse_without_payload_copies() {
+        use crate::bitstream::serialize_stream_chunks;
+        let (config, packets, _) = stream_bytes(20);
+        let mut parser = PacketParser::new();
+        parser.push_shared(Bytes::from(serialize_stream_chunks::header_bytes(
+            42, &config,
+        )));
+        let chunks: Vec<Bytes> = packets
+            .iter()
+            .map(|p| Bytes::from(serialize_stream_chunks::packet_bytes(p)))
+            .collect();
+        for chunk in &chunks {
+            parser.push_shared(chunk.clone());
+        }
+        let out = parser.drain_packets().expect("parse");
+        assert_eq!(out, packets);
+        // The fast path carries the real wire payload as a slice of the
+        // arrival chunk — same bytes at the same address, no copy.
+        for (parsed, (original, chunk)) in out.iter().zip(packets.iter().zip(&chunks)) {
+            assert_eq!(parsed.payload.len(), original.meta.size as usize);
+            assert_eq!(parsed.payload[0] as usize, original.refs.len());
+            assert_eq!(
+                parsed.payload.as_slice().as_ptr(),
+                chunk[RECORD_HEADER_SIZE..].as_ptr(),
+                "payload must alias the arrival chunk, not a copy of it"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_chunks_split_anywhere_still_parse() {
+        let (_, packets, bytes) = stream_bytes(15);
+        for chunk in [1usize, 7, 64, 1000] {
+            let mut parser = PacketParser::new();
+            let mut out = Vec::new();
+            for piece in bytes.chunks(chunk) {
+                parser.push_shared(Bytes::from(piece.to_vec()));
+                out.extend(parser.drain_packets().expect("parse"));
+            }
+            assert_eq!(out, packets, "shared chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn mixed_push_and_push_shared_preserve_stream_order() {
+        let (_, packets, bytes) = stream_bytes(12);
+        let third = bytes.len() / 3;
+        let mut parser = PacketParser::new();
+        parser.push(&bytes[..third]);
+        parser.push_shared(Bytes::from(bytes[third..2 * third].to_vec()));
+        // A plain push while shared chunks are pending must stay ordered.
+        parser.push(&bytes[2 * third..]);
+        let out = parser.drain_packets().expect("parse");
+        assert_eq!(out, packets);
+    }
+
+    #[test]
+    fn shared_chunk_payload_slices_share_the_arrival_allocation() {
+        use crate::bitstream::serialize_stream_chunks;
+        let (config, packets, _) = stream_bytes(3);
+        let mut parser = PacketParser::new();
+        parser.push_shared(Bytes::from(serialize_stream_chunks::header_bytes(
+            42, &config,
+        )));
+        let chunk = Bytes::from(serialize_stream_chunks::packet_bytes(&packets[0]));
+        parser.push_shared(chunk.clone());
+        let p = parser.next_packet().expect("parse").expect("complete");
+        // Same bytes as the wire chunk's payload region, at the same
+        // address: the parser sliced the arrival buffer, not a copy.
+        assert_eq!(&chunk[RECORD_HEADER_SIZE..], &p.payload[..]);
+        assert_eq!(
+            p.payload.as_slice().as_ptr(),
+            chunk[RECORD_HEADER_SIZE..].as_ptr()
+        );
     }
 }
 

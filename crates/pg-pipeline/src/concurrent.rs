@@ -5,33 +5,70 @@
 //! packets per second can the parse → gate → decode → infer pipeline move
 //! when decoding costs real CPU work, and how much does the gate add?
 //!
-//! Topology (one thread each unless noted):
+//! Topology (one thread per box unless noted):
 //!
 //! ```text
-//! producer ──bytes──▶ parser ──packets──▶ gate ──jobs──▶ decode pool (N)
-//!                                          ▲                   │frames
-//!                                          └──── feedback ◀── inference
+//!            ┌─parser shard 0─┐
+//! producer ──┤      ...       ├──batches──▶ gate ──jobs──▶ decode pool (N,
+//!            └─parser shard S─┘              ▲    injector   work-stealing)
+//!                                            │                  │frames
+//!                                            └─── feedback ◀── inference
 //! ```
 //!
-//! Decode work is synthetic but real CPU time: a deterministic xorshift
-//! loop proportional to the packet's decode cost in [`CostModel`] units,
-//! calibrated by [`DecodeWorkModel`].
+//! Streams are partitioned over `S` parser shards by a stable hash of the
+//! stream index ([`ConcurrentConfig::parser_shards`]), so parsing scales
+//! across cores and the gate receives **one message per shard per round**
+//! (a [`ShardBatch`] in struct-of-arrays layout) instead of one message
+//! per packet. Packet payloads are refcounted [`bytes::Bytes`] slices of
+//! the arrival chunk — sliced once at serialization and never deep-copied
+//! on the parser → gate → decode path. Decode jobs flow through a
+//! work-stealing pool ([`crate::steal`]): one stream's oversized closure
+//! can no longer head-of-line-block every other stream's job.
+//!
+//! ## Determinism across shard counts
+//!
+//! With a single parser FIFO, arrival order alone made gate decisions
+//! reproducible. With `S` shards the *arrival interleaving* of batches is
+//! timing-dependent, so the gate separates receipt from processing:
+//!
+//! * at **receipt** it only updates monotone coverage state (highest good
+//!   sequence per stream, highest fault-carrying batch round per stream,
+//!   highest batch round per shard) and parks the batch;
+//! * at **round r** it processes every parked batch with round ≤ r in
+//!   canonical order — rounds ascending, items within a round stably
+//!   sorted by stream index.
+//!
+//! Since each stream lives wholly on one shard and each shard's channel
+//! is FIFO, the canonical order is independent of how batches interleave,
+//! so reports, ledgers and telemetry counters are identical for any shard
+//! count (stall-timeout recovery paths excepted — those are inherently
+//! wall-clock-driven). Because coverage for round r additionally requires
+//! the stream's *shard* to have delivered a batch of round ≥ r, a
+//! bit-flipped sequence number cannot trick the gate into closing a round
+//! before the round's real batch arrived.
+//!
+//! Decode work is synthetic: either a deterministic xorshift spin loop
+//! proportional to decode cost ([`WorkKind::Spin`]) or a sleep modelling
+//! hardware-offloaded decoding ([`WorkKind::Offload`]), calibrated by
+//! [`DecodeWorkModel`].
 //!
 //! ## Fault tolerance
 //!
-//! Malformed input never panics the runtime. The parser resynchronizes
-//! past damaged records and reports them in-band as
-//! [`PipelineError::ParseCorrupt`]; the gate quarantines the offending
-//! stream per [`QuarantineConfig`] (dropping its in-flight closure and
-//! releasing its budget share to the remaining streams) and re-admits it
-//! after the cooldown. Decode-worker and feedback failures flow back on a
-//! dedicated fault channel; a stage thread dying becomes a
-//! [`PipelineError::StageDown`] record in the report instead of a join
-//! panic. Deterministic fault injection is available via
-//! [`ConcurrentConfig::faults`].
+//! Malformed input never panics the runtime. Parser shards resynchronize
+//! past damaged records and report them in-band as
+//! [`PipelineError::ParseCorrupt`] fault items riding in the batch; the
+//! gate quarantines the offending stream per [`QuarantineConfig`]
+//! (dropping its in-flight closure and releasing its budget share to the
+//! remaining streams) and re-admits it after the cooldown. Decode-worker
+//! and feedback failures flow back on a dedicated fault channel; a stage
+//! thread dying becomes a [`PipelineError::StageDown`] record in the
+//! report instead of a join panic. Deterministic fault injection is
+//! available via [`ConcurrentConfig::faults`].
 
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 
 use pg_codec::{
@@ -45,19 +82,39 @@ use crate::fault::{
     StreamHealth,
 };
 use crate::gate::{FeedbackEvent, GatePolicy, PacketContext};
+use crate::steal::{steal_pool, PoolWorker, StealPool};
 use crate::telemetry::{Stage, Telemetry, TelemetrySnapshot};
 
-/// How long the gate waits for parser output before declaring the
-/// uncovered streams stalled (a corrupted length field can otherwise leave
-/// a stream silently waiting for phantom payload bytes).
+/// Default for [`ConcurrentConfig::stall_timeout`]: how long the gate
+/// waits for parser output before declaring the uncovered streams stalled
+/// (a corrupted length field can otherwise leave a stream silently waiting
+/// for phantom payload bytes).
 const STALL_TIMEOUT: Duration = Duration::from_millis(500);
 
-/// Synthetic decode work: CPU iterations per cost unit.
+/// What kind of synthetic work one decode-cost unit costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkKind {
+    /// Burn CPU in a deterministic xorshift loop (`iters_per_unit`
+    /// iterations per cost unit). Models software decoding; saturates a
+    /// core, so worker scaling needs as many physical cores.
+    Spin,
+    /// Sleep `iters_per_unit` *nanoseconds* per cost unit, modelling
+    /// decode offloaded to a hardware engine (NVDEC-style): the worker
+    /// thread only waits for completion. Sleeps overlap across workers,
+    /// so worker scaling shows up even on a single-core host.
+    Offload,
+}
+
+/// Synthetic decode work: CPU iterations (or offload-wait nanoseconds)
+/// per cost unit.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DecodeWorkModel {
-    /// Xorshift iterations per cost unit. 0 = free decoding (pure
-    /// orchestration overhead measurement).
+    /// Spin: xorshift iterations per cost unit; Offload: nanoseconds of
+    /// simulated hardware-decode wait per cost unit. 0 = free decoding
+    /// (pure orchestration overhead measurement).
     pub iters_per_unit: u64,
+    /// How the per-unit work is realised.
+    pub kind: WorkKind,
 }
 
 impl Default for DecodeWorkModel {
@@ -66,22 +123,50 @@ impl Default for DecodeWorkModel {
         // heavy enough that the decode pool dominates without gating.
         DecodeWorkModel {
             iters_per_unit: 20_000,
+            kind: WorkKind::Spin,
         }
     }
 }
 
 impl DecodeWorkModel {
-    /// Burn CPU proportional to `cost_units`; returns a checksum so the
-    /// work cannot be optimized away.
-    pub fn decode_work(&self, cost_units: f64) -> u64 {
-        let iters = (cost_units * self.iters_per_unit as f64) as u64;
-        let mut x = 0x9E37_79B9_7F4A_7C15u64 | 1;
-        for _ in 0..iters {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
+    /// CPU-bound spin work: `iters` xorshift iterations per cost unit.
+    pub fn spin(iters: u64) -> Self {
+        DecodeWorkModel {
+            iters_per_unit: iters,
+            kind: WorkKind::Spin,
         }
-        std::hint::black_box(x)
+    }
+
+    /// Hardware-offload work: `ns` nanoseconds of decode wait per cost
+    /// unit.
+    pub fn offload_ns(ns: u64) -> Self {
+        DecodeWorkModel {
+            iters_per_unit: ns,
+            kind: WorkKind::Offload,
+        }
+    }
+
+    /// Perform the work for `cost_units`; returns a checksum so spin work
+    /// cannot be optimized away.
+    pub fn decode_work(&self, cost_units: f64) -> u64 {
+        let units = (cost_units * self.iters_per_unit as f64) as u64;
+        match self.kind {
+            WorkKind::Spin => {
+                let mut x = 0x9E37_79B9_7F4A_7C15u64 | 1;
+                for _ in 0..units {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                }
+                std::hint::black_box(x)
+            }
+            WorkKind::Offload => {
+                if units > 0 {
+                    std::thread::sleep(Duration::from_nanos(units));
+                }
+                std::hint::black_box(units)
+            }
+        }
     }
 }
 
@@ -94,6 +179,9 @@ pub struct ConcurrentConfig {
     pub rounds: u64,
     /// Decode worker threads.
     pub decode_workers: usize,
+    /// Parser shard threads. `0` = auto: half the available cores,
+    /// clamped to [1, 4]. Always further clamped to the stream count.
+    pub parser_shards: usize,
     /// Per-round decoding budget in cost units.
     pub budget_per_round: f64,
     /// Task generating the content.
@@ -110,6 +198,11 @@ pub struct ConcurrentConfig {
     pub quarantine: QuarantineConfig,
     /// Deterministic fault injection (empty = clean run).
     pub faults: FaultPlan,
+    /// How long the gate waits for parser output in one round before
+    /// declaring the still-uncovered streams stalled. Raise this for very
+    /// large stream counts on few cores, where an honest round of
+    /// producing + parsing can outlast the default 500 ms.
+    pub stall_timeout: Duration,
 }
 
 impl Default for ConcurrentConfig {
@@ -118,6 +211,7 @@ impl Default for ConcurrentConfig {
             streams: 8,
             rounds: 100,
             decode_workers: 2,
+            parser_shards: 0,
             budget_per_round: 8.0,
             task: TaskKind::PersonCounting,
             encoder: EncoderConfig::new(pg_codec::Codec::H264),
@@ -126,8 +220,33 @@ impl Default for ConcurrentConfig {
             seed: 1,
             quarantine: QuarantineConfig::default(),
             faults: FaultPlan::default(),
+            stall_timeout: STALL_TIMEOUT,
         }
     }
+}
+
+impl ConcurrentConfig {
+    /// The parser shard count this run will actually use.
+    pub fn effective_shards(&self) -> usize {
+        let n = if self.parser_shards == 0 {
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+            (cores / 2).clamp(1, 4)
+        } else {
+            self.parser_shards
+        };
+        n.clamp(1, self.streams.max(1))
+    }
+}
+
+/// Stable stream → shard assignment (splitmix64 of the stream index).
+/// Every packet of a stream parses on the same shard, so per-stream byte
+/// order is preserved.
+fn shard_of(stream_idx: usize, shards: usize) -> usize {
+    let mut x = (stream_idx as u64) ^ 0x9E37_79B9_7F4A_7C15;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
 }
 
 /// Result of a concurrent run.
@@ -137,6 +256,8 @@ pub struct ConcurrentReport {
     pub streams: usize,
     /// Rounds processed.
     pub rounds: u64,
+    /// Parser shards used.
+    pub parser_shards: usize,
     /// Total bytes pushed through the parser.
     pub bytes_parsed: u64,
     /// Packets parsed (= streams × rounds on a clean run).
@@ -153,6 +274,10 @@ pub struct ConcurrentReport {
     pub wall: Duration,
     /// Cumulative time the gate spent inside `select`.
     pub gate_time: Duration,
+    /// Wall latency of each gate round in microseconds (ingest + select +
+    /// dispatch), in round order. Feed to
+    /// [`ConcurrentReport::round_latency_percentile`].
+    pub round_latency_us: Vec<u64>,
     /// Classified faults observed, in roughly chronological order
     /// (bounded; see [`crate::fault::MAX_FAULT_RECORDS`]).
     pub faults: Vec<FaultRecord>,
@@ -173,6 +298,12 @@ impl ConcurrentReport {
         self.frames_decoded as f64 / self.wall.as_secs_f64().max(1e-9)
     }
 
+    /// Streams fully processed per second of wall clock: how many
+    /// concurrent streams this configuration sustains in real time.
+    pub fn streams_decoded_per_sec(&self) -> f64 {
+        self.streams as f64 * self.rounds as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
     /// Mean gate latency per round.
     pub fn gate_latency_per_round(&self) -> Duration {
         if self.rounds == 0 {
@@ -180,6 +311,18 @@ impl ConcurrentReport {
         } else {
             self.gate_time / self.rounds as u32
         }
+    }
+
+    /// Nearest-rank percentile (`pct` in [0, 100]) of the per-round wall
+    /// latency. `Duration::ZERO` when no rounds ran.
+    pub fn round_latency_percentile(&self, pct: f64) -> Duration {
+        if self.round_latency_us.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.round_latency_us.clone();
+        sorted.sort_unstable();
+        let rank = (pct.clamp(0.0, 100.0) / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+        Duration::from_micros(sorted[rank.min(sorted.len() - 1)])
     }
 }
 
@@ -198,15 +341,45 @@ struct InferItem {
     target: Packet,
 }
 
-/// What the parser hands the gate for one stream: a packet, or an in-band
-/// fault marker (so the gate never stalls waiting for a destroyed record).
-enum ParserMsg {
-    Packet(Packet),
-    Fault {
-        error: PipelineError,
-        /// `true` when the stream can never recover (destroyed header).
-        fatal: bool,
-    },
+/// A fault a parser shard reports in-band, riding in the round batch (so
+/// the gate never stalls waiting for a destroyed record).
+struct BatchFault {
+    stream_idx: usize,
+    error: PipelineError,
+    /// `true` when the stream can never recover (destroyed header).
+    fatal: bool,
+}
+
+/// One parser shard's output for one producer round: every packet and
+/// fault its streams yielded, in struct-of-arrays layout. One channel
+/// message per shard per round replaces one message per packet.
+struct ShardBatch {
+    /// Which shard produced this batch (indexes gate-side progress state).
+    shard: usize,
+    /// Producer round tag of the chunks this batch was parsed from.
+    round: u64,
+    /// Stream index of each packet in `packets` (parallel array).
+    stream_idx: Vec<u32>,
+    /// Packets parsed this round, in per-shard arrival order.
+    packets: Vec<Packet>,
+    /// Faults surfaced this round.
+    faults: Vec<BatchFault>,
+}
+
+impl ShardBatch {
+    fn new(shard: usize, round: u64) -> Self {
+        ShardBatch {
+            shard,
+            round,
+            stream_idx: Vec::new(),
+            packets: Vec::new(),
+            faults: Vec::new(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.packets.is_empty() && self.faults.is_empty()
+    }
 }
 
 /// The concurrent pipeline runner.
@@ -251,15 +424,22 @@ impl ConcurrentPipeline {
     pub fn run(&self, gate: &mut dyn GatePolicy) -> ConcurrentReport {
         let cfg = &self.config;
         let m = cfg.streams;
+        let shards = cfg.effective_shards();
         let start = Instant::now();
 
-        // producer → parser: per-stream byte chunks.
-        let (byte_tx, byte_rx) = bounded::<(usize, Vec<u8>)>(m * 4);
-        // parser → gate: parsed packets / fault markers, tagged with the
-        // stream index.
-        let (pkt_tx, pkt_rx) = bounded::<(usize, ParserMsg)>(m * 4);
-        // gate → decoders.
-        let (job_tx, job_rx) = bounded::<DecodeJob>(m * 4);
+        // producer → parser shards: per-stream byte chunks tagged with
+        // their producer round, one bounded channel per shard.
+        let mut chunk_txs = Vec::with_capacity(shards);
+        let mut chunk_rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = bounded::<(usize, u64, Bytes)>(m * 4);
+            chunk_txs.push(tx);
+            chunk_rxs.push(rx);
+        }
+        // parser shards → gate: one batch per shard per round.
+        let (batch_tx, batch_rx) = bounded::<ShardBatch>(shards * 4);
+        // gate → decoders: work-stealing pool (unbounded injector).
+        let (pool, pool_workers) = steal_pool::<DecodeJob>(cfg.decode_workers);
         // decoders → inference.
         let (frame_tx, frame_rx) = bounded::<(InferItem, f64, usize)>(m * 4);
         // inference → gate (feedback).
@@ -270,47 +450,60 @@ impl ConcurrentPipeline {
 
         std::thread::scope(|scope| {
             // ---------------- producer ----------------
-            let producer_cfg = cfg.clone();
             let producer_handle = scope.spawn(move || {
-                producer(&producer_cfg, byte_tx);
+                producer(cfg, chunk_txs, shards);
             });
 
-            // ---------------- parser ----------------
-            let parser_telemetry = self.telemetry.clone();
-            let parser_handle =
-                scope.spawn(move || parser_stage(m, byte_rx, pkt_tx, parser_telemetry));
+            // ---------------- parser shards ----------------
+            let mut parser_handles = Vec::with_capacity(shards);
+            for (shard, rx) in chunk_rxs.into_iter().enumerate() {
+                let tx = batch_tx.clone();
+                let telemetry = self.telemetry.clone();
+                parser_handles
+                    .push(scope.spawn(move || shard_parser_stage(shard, m, rx, tx, telemetry)));
+            }
+            drop(batch_tx);
 
             // ---------------- decode pool ----------------
             let mut decode_handles = Vec::new();
-            for _ in 0..cfg.decode_workers {
-                let rx: Receiver<DecodeJob> = job_rx.clone();
+            for worker in pool_workers {
                 let tx = frame_tx.clone();
                 let err_tx = fault_tx.clone();
                 let work = cfg.work;
-                let plan = cfg.faults.clone();
+                let plan = &cfg.faults;
                 let telemetry = self.telemetry.clone();
                 decode_handles.push(scope.spawn(move || {
-                    decode_worker(m, work, &plan, rx, tx, err_tx, telemetry)
+                    decode_worker(m, work, plan, worker, tx, err_tx, telemetry)
                 }));
             }
-            drop(job_rx);
             drop(frame_tx);
 
             // ---------------- inference ----------------
-            let infer_task = cfg.task;
+            let infer_plan = &cfg.faults;
             let infer_telemetry = self.telemetry.clone();
-            let infer_plan = cfg.faults.clone();
             let infer_err_tx = fault_tx.clone();
             let infer_handle = scope.spawn(move || {
-                inference_stage(m, infer_task, &infer_plan, frame_rx, fb_tx, infer_err_tx,
+                inference_stage(m, cfg.task, infer_plan, frame_rx, fb_tx, infer_err_tx,
                     infer_telemetry)
             });
             drop(fault_tx);
 
             // ---------------- gate (this thread) ----------------
             gate.attach_telemetry(self.telemetry.clone());
-            let mut gate_stats =
-                gate_stage(cfg, gate, pkt_rx, job_tx, fb_rx, &fault_rx, &self.telemetry);
+            // The decode pool shuts down by explicit close, not by channel
+            // drop — so the pool MUST close even if the gate policy
+            // panics, or the workers would block forever and the scope
+            // would never join. Catch, close, re-raise.
+            let gate_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                gate_stage(cfg, shards, gate, batch_rx, &pool, fb_rx, &fault_rx, &self.telemetry)
+            }));
+            // End of input for the decode pool: workers drain every queued
+            // job, then exit.
+            pool.close();
+            let mut gate_stats = match gate_result {
+                Ok(stats) => stats,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
 
             // Collect, converting dead stage threads into StageDown reports
             // instead of propagating their panic.
@@ -325,13 +518,17 @@ impl ConcurrentPipeline {
             if producer_handle.join().is_err() {
                 join_fault("producer");
             }
-            let (packets_parsed, bytes_parsed) = match parser_handle.join() {
-                Ok(totals) => totals,
-                Err(_) => {
-                    join_fault("parse");
-                    (0, 0)
+            let mut packets_parsed = 0u64;
+            let mut bytes_parsed = 0u64;
+            for h in parser_handles {
+                match h.join() {
+                    Ok((packets, bytes)) => {
+                        packets_parsed += packets;
+                        bytes_parsed += bytes;
+                    }
+                    Err(_) => join_fault("parse"),
                 }
-            };
+            }
             let mut frames_decoded = 0u64;
             let mut frames_per_stream = vec![0u64; m];
             let mut cost_spent = 0.0;
@@ -359,6 +556,7 @@ impl ConcurrentPipeline {
             ConcurrentReport {
                 streams: m,
                 rounds: cfg.rounds,
+                parser_shards: shards,
                 bytes_parsed,
                 packets_parsed,
                 packets_decoded: gate_stats.decoded,
@@ -367,6 +565,7 @@ impl ConcurrentPipeline {
                 cost_spent,
                 wall: start.elapsed(),
                 gate_time: gate_stats.gate_time,
+                round_latency_us: gate_stats.round_latency_us,
                 faults: gate_stats.faults,
                 health: gate_stats.health,
                 telemetry: self.telemetry.snapshot(),
@@ -375,7 +574,7 @@ impl ConcurrentPipeline {
     }
 }
 
-fn producer(cfg: &ConcurrentConfig, byte_tx: Sender<(usize, Vec<u8>)>) {
+fn producer(cfg: &ConcurrentConfig, chunk_txs: Vec<Sender<(usize, u64, Bytes)>>, shards: usize) {
     let mut encoders: Vec<Encoder> = (0..cfg.streams)
         .map(|i| Encoder::for_stream(cfg.encoder, cfg.seed, i as u32))
         .collect();
@@ -388,11 +587,13 @@ fn producer(cfg: &ConcurrentConfig, byte_tx: Sender<(usize, Vec<u8>)>) {
             )
         })
         .collect();
-    // First send each stream's header.
-    for (i, _) in encoders.iter().enumerate() {
+    let shard_map: Vec<usize> = (0..cfg.streams).map(|i| shard_of(i, shards)).collect();
+    // First send each stream's header, tagged round 0 so it lands in the
+    // same batch as the stream's first packet.
+    for i in 0..cfg.streams {
         let mut chunk = serialize_stream_chunks::header_bytes(i as u32, &cfg.encoder);
         cfg.faults.corrupt_header(i, &mut chunk);
-        if byte_tx.send((i, chunk)).is_err() {
+        if chunk_txs[shard_map[i]].send((i, 0, Bytes::from(chunk))).is_err() {
             return;
         }
     }
@@ -402,24 +603,40 @@ fn producer(cfg: &ConcurrentConfig, byte_tx: Sender<(usize, Vec<u8>)>) {
             let packet = encoders[i].encode(&frame);
             let mut chunk = serialize_stream_chunks::packet_bytes(&packet);
             cfg.faults.corrupt_chunk(i, round, &mut chunk);
-            if byte_tx.send((i, chunk)).is_err() {
+            if chunk_txs[shard_map[i]].send((i, round, Bytes::from(chunk))).is_err() {
                 return;
             }
         }
     }
 }
 
-fn parser_stage(
+/// One parser shard: parses its streams' chunks and emits one
+/// [`ShardBatch`] per producer round. The batch for round `r` is flushed
+/// when the first chunk tagged `> r` arrives (producer tags are
+/// non-decreasing within a shard channel), or at end of input.
+fn shard_parser_stage(
+    shard: usize,
     m: usize,
-    byte_rx: Receiver<(usize, Vec<u8>)>,
-    pkt_tx: Sender<(usize, ParserMsg)>,
+    chunk_rx: Receiver<(usize, u64, Bytes)>,
+    batch_tx: Sender<ShardBatch>,
     telemetry: Telemetry,
 ) -> (u64, u64) {
     let mut parsers: Vec<PacketParser> = (0..m).map(|_| PacketParser::new()).collect();
     let mut dead = vec![false; m];
     let mut packets = 0u64;
     let mut bytes = 0u64;
-    while let Ok((i, chunk)) = byte_rx.recv() {
+    let mut batch = ShardBatch::new(shard, 0);
+    while let Ok((i, round, chunk)) = chunk_rx.recv() {
+        if round > batch.round {
+            if batch.is_empty() {
+                batch.round = round;
+            } else {
+                let full = std::mem::replace(&mut batch, ShardBatch::new(shard, round));
+                if batch_tx.send(full).is_err() {
+                    return (packets, bytes);
+                }
+            }
+        }
         bytes += chunk.len() as u64;
         if dead[i] {
             // Unrecoverable stream (destroyed header): its bytes can never
@@ -427,14 +644,14 @@ fn parser_stage(
             continue;
         }
         let parse_timer = telemetry.timer();
-        parsers[i].push(&chunk);
+        parsers[i].push_shared(chunk);
         let mut chunk_packets = 0u64;
-        let mut out: Vec<ParserMsg> = Vec::new();
         loop {
             match parsers[i].next_packet() {
                 Ok(Some(p)) => {
                     chunk_packets += 1;
-                    out.push(ParserMsg::Packet(p));
+                    batch.stream_idx.push(i as u32);
+                    batch.packets.push(p);
                 }
                 Ok(None) => break,
                 Err(e) => {
@@ -447,7 +664,11 @@ fn parser_stage(
                         offset: e.offset(),
                         reason: e.to_string(),
                     };
-                    out.push(ParserMsg::Fault { error, fatal });
+                    batch.faults.push(BatchFault {
+                        stream_idx: i,
+                        error,
+                        fatal,
+                    });
                     if fatal {
                         dead[i] = true;
                         break;
@@ -456,16 +677,11 @@ fn parser_stage(
                 }
             }
         }
-        // Count this chunk's work *before* handing packets downstream:
-        // a failed send below (gate already shut down) must not lose the
-        // telemetry for packets that were in fact parsed.
         telemetry.record(Stage::Parse, chunk_packets, parse_timer);
         packets += chunk_packets;
-        for msg in out {
-            if pkt_tx.send((i, msg)).is_err() {
-                return (packets, bytes);
-            }
-        }
+    }
+    if !batch.is_empty() {
+        let _ = batch_tx.send(batch);
     }
     (packets, bytes)
 }
@@ -476,7 +692,7 @@ fn decode_worker(
     m: usize,
     work: DecodeWorkModel,
     plan: &FaultPlan,
-    rx: Receiver<DecodeJob>,
+    rx: PoolWorker<DecodeJob>,
     tx: Sender<(InferItem, f64, usize)>,
     err_tx: Sender<PipelineError>,
     telemetry: Telemetry,
@@ -484,7 +700,7 @@ fn decode_worker(
     let mut frames = 0u64;
     let mut cost = 0.0f64;
     let mut per_stream = vec![0u64; m];
-    while let Ok(job) = rx.recv() {
+    while let Some(job) = rx.next() {
         if plan.stalls_decoder(job.stream_idx, job.round) {
             // Injected decoder stall: the closure is abandoned undecoded.
             let _ = err_tx.send(PipelineError::DecodeFail {
@@ -525,57 +741,108 @@ fn decode_worker(
 struct GateStats {
     decoded: u64,
     gate_time: Duration,
+    round_latency_us: Vec<u64>,
     faults: Vec<FaultRecord>,
     health: HealthSummary,
 }
 
-/// Per-stream gate-side ingest state.
+/// Gate-side ingest state, updated *monotonically* at batch receipt so
+/// round coverage depends only on the **set** of batches received, never
+/// on their arrival interleaving — the invariant that makes reports
+/// identical across shard counts.
 struct GateIngest {
-    /// Highest sequence number seen per stream.
+    /// Highest plausible sequence number seen per stream.
     max_seen: Vec<Option<u64>>,
-    /// A fault marker arrived and no packet has arrived since: the stream
-    /// is considered covered for the current round (its record was lost).
-    fault_pending: Vec<bool>,
-    /// The parser hung up (end of input or parser death).
+    /// Highest batch round in which a fault (or implausible-sequence
+    /// packet) for this stream arrived: the stream's records up to that
+    /// round are accounted as lost, so those rounds count as covered.
+    fault_cover: Vec<Option<u64>>,
+    /// Highest batch round received per shard. Per-shard channels are
+    /// FIFO, so `shard_progress[s] >= r` proves every non-empty batch of
+    /// round ≤ r from shard `s` has been received.
+    shard_progress: Vec<Option<u64>>,
+    /// Stream → shard assignment.
+    shard_map: Vec<usize>,
+    /// All parser shards hung up (end of input or parser death).
     closed: bool,
+}
+
+fn raise(slot: &mut Option<u64>, value: u64) {
+    *slot = Some(slot.map_or(value, |v| v.max(value)));
 }
 
 impl GateIngest {
     fn covered(&self, i: usize, round: u64, health: &StreamHealth) -> bool {
         self.closed
             || health.is_dead(i)
-            || self.fault_pending[i]
-            || self.max_seen[i].is_some_and(|s| s >= round)
+            || self.fault_cover[i].is_some_and(|c| c >= round)
+            || (self.max_seen[i].is_some_and(|s| s >= round)
+                && self.shard_progress[self.shard_map[i]].is_some_and(|p| p >= round))
     }
 
     fn all_covered(&self, m: usize, round: u64, health: &StreamHealth) -> bool {
         (0..m).all(|i| self.covered(i, round, health))
     }
+
+    /// Record a batch's coverage evidence and park it for canonical
+    /// processing. Fatal faults kill the stream immediately (idempotent)
+    /// so dead-stream coverage holds; their ledger entry is written when
+    /// the batch is processed.
+    fn receive(
+        &mut self,
+        batch: ShardBatch,
+        rounds_limit: u64,
+        health: &mut StreamHealth,
+        pending: &mut BTreeMap<u64, Vec<ShardBatch>>,
+    ) {
+        raise(&mut self.shard_progress[batch.shard], batch.round);
+        for (k, p) in batch.packets.iter().enumerate() {
+            let i = batch.stream_idx[k] as usize;
+            if p.meta.seq < rounds_limit {
+                raise(&mut self.max_seen[i], p.meta.seq);
+            } else {
+                // Implausible sequence: handled as damage when processed.
+                raise(&mut self.fault_cover[i], batch.round);
+            }
+        }
+        for f in &batch.faults {
+            if f.fatal {
+                health.kill(f.stream_idx);
+            }
+            raise(&mut self.fault_cover[f.stream_idx], batch.round);
+        }
+        pending.entry(batch.round).or_default().push(batch);
+    }
 }
 
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn gate_stage(
     cfg: &ConcurrentConfig,
+    shards: usize,
     gate: &mut dyn GatePolicy,
-    pkt_rx: Receiver<(usize, ParserMsg)>,
-    job_tx: Sender<DecodeJob>,
+    batch_rx: Receiver<ShardBatch>,
+    pool: &StealPool<DecodeJob>,
     fb_rx: Receiver<FeedbackEvent>,
     fault_rx: &Receiver<PipelineError>,
     telemetry: &Telemetry,
 ) -> GateStats {
     let m = cfg.streams;
     let mut trackers: Vec<DependencyTracker> = (0..m).map(|_| DependencyTracker::new()).collect();
-    let mut stores: Vec<std::collections::BTreeMap<u64, Packet>> =
-        (0..m).map(|_| std::collections::BTreeMap::new()).collect();
+    let mut stores: Vec<BTreeMap<u64, Packet>> = (0..m).map(|_| BTreeMap::new()).collect();
     let mut health = StreamHealth::new(m, cfg.quarantine);
     let mut faults: Vec<FaultRecord> = Vec::new();
     let mut ingest = GateIngest {
         max_seen: vec![None; m],
-        fault_pending: vec![false; m],
+        fault_cover: vec![None; m],
+        shard_progress: vec![None; shards],
+        shard_map: (0..m).map(|i| shard_of(i, shards)).collect(),
         closed: false,
     };
+    // Batches received but not yet processed, keyed by producer round.
+    let mut pending: BTreeMap<u64, Vec<ShardBatch>> = BTreeMap::new();
     let mut decoded = 0u64;
     let mut gate_time = Duration::ZERO;
+    let mut round_latency_us = Vec::with_capacity(cfg.rounds as usize);
     let insight = telemetry.insight().clone();
 
     let note_fault = |faults: &mut Vec<FaultRecord>,
@@ -595,6 +862,7 @@ fn gate_stage(
     };
 
     for round in 0..cfg.rounds {
+        let round_start = Instant::now();
         // Streams whose cooldown expired re-enter gating.
         for i in health.tick(round) {
             telemetry.stream_recovered(i);
@@ -604,46 +872,9 @@ fn gate_stage(
         // and dead/closed streams count as covered, so one damaged stream
         // never stalls the other m−1.
         while !ingest.all_covered(m, round, &health) {
-            match pkt_rx.recv_timeout(STALL_TIMEOUT) {
-                Ok((i, ParserMsg::Packet(p))) => {
-                    insight.observe_packet(
-                        i,
-                        round,
-                        p.meta.frame_type.is_independent(),
-                        u64::from(p.meta.size),
-                    );
-                    if p.meta.seq >= cfg.rounds {
-                        // An implausible sequence number is bit-flip
-                        // damage that still framed as a record; taking it
-                        // at face value would poison round coverage.
-                        let error = PipelineError::ParseCorrupt {
-                            stream_idx: i,
-                            offset: None,
-                            reason: format!("implausible sequence number {}", p.meta.seq),
-                        };
-                        ingest.fault_pending[i] = true;
-                        note_fault(&mut faults, &mut health, &error, round, true);
-                        continue;
-                    }
-                    trackers[i].note_arrival(&p);
-                    // Keep stores bounded: drop entries older than two GOPs.
-                    let horizon = p.meta.gop_id.saturating_sub(1);
-                    let seq = p.meta.seq;
-                    stores[i].insert(seq, p);
-                    stores[i].retain(|_, q| q.meta.gop_id >= horizon);
-                    ingest.max_seen[i] = Some(ingest.max_seen[i].map_or(seq, |s| s.max(seq)));
-                    ingest.fault_pending[i] = false;
-                }
-                Ok((i, ParserMsg::Fault { error, fatal })) => {
-                    if fatal {
-                        telemetry.fault(error.kind(), Some(i));
-                        push_fault(&mut faults, &error);
-                        health.kill(i);
-                        telemetry.stream_degraded(i);
-                    } else {
-                        ingest.fault_pending[i] = true;
-                        note_fault(&mut faults, &mut health, &error, round, true);
-                    }
+            match batch_rx.recv_timeout(cfg.stall_timeout) {
+                Ok(batch) => {
+                    ingest.receive(batch, cfg.rounds, &mut health, &mut pending);
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     // No parser output for a long time: declare the
@@ -655,13 +886,67 @@ fn gate_stage(
                                 offset: None,
                                 reason: "stream stalled (no parser output)".to_string(),
                             };
-                            ingest.fault_pending[i] = true;
+                            raise(&mut ingest.fault_cover[i], round);
                             note_fault(&mut faults, &mut health, &error, round, true);
                         }
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     ingest.closed = true;
+                }
+            }
+        }
+
+        // Canonical processing: every parked batch of round ≤ this round,
+        // rounds ascending, items within a round stably sorted by stream
+        // index — an order independent of batch arrival interleaving.
+        let due: Vec<u64> = pending.range(..=round).map(|(r, _)| *r).collect();
+        for key in due {
+            let batches = pending.remove(&key).unwrap_or_default();
+            let mut pkts: Vec<(u32, Packet)> = Vec::new();
+            let mut flts: Vec<BatchFault> = Vec::new();
+            for b in batches {
+                pkts.extend(b.stream_idx.into_iter().zip(b.packets));
+                flts.extend(b.faults);
+            }
+            pkts.sort_by_key(|(i, _)| *i);
+            flts.sort_by_key(|f| f.stream_idx);
+            for (iu, p) in pkts {
+                let i = iu as usize;
+                insight.observe_packet(
+                    i,
+                    round,
+                    p.meta.frame_type.is_independent(),
+                    u64::from(p.meta.size),
+                );
+                if p.meta.seq >= cfg.rounds {
+                    // An implausible sequence number is bit-flip damage
+                    // that still framed as a record; taking it at face
+                    // value would poison round coverage.
+                    let error = PipelineError::ParseCorrupt {
+                        stream_idx: i,
+                        offset: None,
+                        reason: format!("implausible sequence number {}", p.meta.seq),
+                    };
+                    note_fault(&mut faults, &mut health, &error, round, true);
+                    continue;
+                }
+                trackers[i].note_arrival(&p);
+                // Keep stores bounded: drop entries older than two GOPs.
+                let horizon = p.meta.gop_id.saturating_sub(1);
+                let seq = p.meta.seq;
+                stores[i].insert(seq, p);
+                stores[i].retain(|_, q| q.meta.gop_id >= horizon);
+            }
+            for f in flts {
+                if f.fatal {
+                    // The stream was killed at receipt; write the ledger
+                    // entry at its canonical position.
+                    telemetry.fault(f.error.kind(), Some(f.stream_idx));
+                    push_fault(&mut faults, &f.error);
+                    telemetry.stream_degraded(f.stream_idx);
+                } else {
+                    note_fault(&mut faults, &mut health, &f.error, round, true);
                 }
             }
         }
@@ -693,7 +978,7 @@ fn gate_stage(
                 continue;
             }
             let Some(p) = stores[i].get(&round) else {
-                if ingest.fault_pending[i] || ingest.closed {
+                if ingest.fault_cover[i].is_some_and(|c| c >= round) || ingest.closed {
                     // Record already accounted as lost (fault marker or
                     // early end of input): skip quietly.
                     continue;
@@ -734,7 +1019,9 @@ fn gate_stage(
 
         // Dispatch decode jobs under the budget. Selection entries are
         // stream indices; entries without a candidate this round are
-        // skipped.
+        // skipped. The pool's injector is unbounded, so dispatch never
+        // blocks and never fails: if the pool died, the jobs sit queued
+        // and the dead workers surface as StageDown records at join.
         let mut has_candidate = vec![false; m];
         for c in &contexts {
             has_candidate[c.stream_idx] = true;
@@ -764,14 +1051,7 @@ fn gate_stage(
             spent += job.cost;
             sent[idx] = true;
             decoded += 1;
-            if job_tx.send(job).is_err() {
-                return GateStats {
-                    decoded,
-                    gate_time,
-                    faults,
-                    health: health.summary(),
-                };
-            }
+            pool.push(job);
         }
 
         // Close the round for the decision-quality monitor. The runtime
@@ -789,10 +1069,12 @@ fn gate_stage(
                 outcomes: &[],
             });
         }
+        round_latency_us.push(round_start.elapsed().as_micros() as u64);
     }
     GateStats {
         decoded,
         gate_time,
+        round_latency_us,
         faults,
         health: health.summary(),
     }
@@ -802,7 +1084,7 @@ fn gate_stage(
 /// `None` when the dependency closure cannot be produced (references lost).
 fn build_job(
     tracker: &mut DependencyTracker,
-    store: &std::collections::BTreeMap<u64, Packet>,
+    store: &BTreeMap<u64, Packet>,
     costs: &CostModel,
     idx: usize,
     round: u64,
@@ -890,7 +1172,7 @@ mod tests {
             rounds,
             decode_workers: 2,
             budget_per_round: budget,
-            work: DecodeWorkModel { iters_per_unit: 100 },
+            work: DecodeWorkModel::spin(100),
             ..ConcurrentConfig::default()
         }
     }
@@ -906,6 +1188,7 @@ mod tests {
         assert!(report.pipeline_pps() > 0.0);
         assert!(report.faults.is_empty());
         assert_eq!(report.health.degraded_events, 0);
+        assert_eq!(report.round_latency_us.len(), 50);
     }
 
     #[test]
@@ -922,15 +1205,14 @@ mod tests {
         let report = ConcurrentPipeline::new(config(4, 30, 1e9)).run(&mut DecodeAll);
         assert!(report.gate_time > Duration::ZERO);
         assert!(report.gate_latency_per_round() < Duration::from_millis(50));
+        assert!(report.round_latency_percentile(99.0) >= report.round_latency_percentile(50.0));
     }
 
     #[test]
     fn heavier_decode_work_slows_the_pipeline() {
         let fast = ConcurrentPipeline::new(config(4, 60, 1e9)).run(&mut DecodeAll);
         let mut heavy_cfg = config(4, 60, 1e9);
-        heavy_cfg.work = DecodeWorkModel {
-            iters_per_unit: 300_000,
-        };
+        heavy_cfg.work = DecodeWorkModel::spin(300_000);
         let heavy = ConcurrentPipeline::new(heavy_cfg).run(&mut DecodeAll);
         assert!(
             heavy.wall > fast.wall,
@@ -938,6 +1220,56 @@ mod tests {
             heavy.wall,
             fast.wall
         );
+    }
+
+    #[test]
+    fn offload_work_model_runs_the_pipeline() {
+        let mut cfg = config(4, 20, 1e9);
+        cfg.work = DecodeWorkModel::offload_ns(1_000);
+        let report = ConcurrentPipeline::new(cfg).run(&mut DecodeAll);
+        assert_eq!(report.packets_decoded, 80);
+        assert!(report.faults.is_empty());
+    }
+
+    #[test]
+    fn explicit_shard_counts_are_clamped() {
+        let mut cfg = config(4, 10, 1e9);
+        cfg.parser_shards = 3;
+        assert_eq!(cfg.effective_shards(), 3);
+        cfg.parser_shards = 9;
+        assert_eq!(cfg.effective_shards(), 4, "clamped to stream count");
+        cfg.parser_shards = 0;
+        let auto = cfg.effective_shards();
+        assert!((1..=4).contains(&auto), "auto shards {auto}");
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for shards in 1..=4 {
+            for i in 0..64 {
+                let s = shard_of(i, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(i, shards), "stable");
+            }
+        }
+        // With a reasonable stream count every shard gets work.
+        let hit: std::collections::HashSet<usize> =
+            (0..64).map(|i| shard_of(i, 4)).collect();
+        assert_eq!(hit.len(), 4);
+    }
+
+    #[test]
+    fn multi_shard_run_matches_single_shard() {
+        let mut one = config(8, 40, 6.0);
+        one.parser_shards = 1;
+        let mut four = config(8, 40, 6.0);
+        four.parser_shards = 4;
+        let a = ConcurrentPipeline::new(one).run(&mut DecodeAll);
+        let b = ConcurrentPipeline::new(four).run(&mut DecodeAll);
+        assert_eq!(a.packets_parsed, b.packets_parsed);
+        assert_eq!(a.packets_decoded, b.packets_decoded);
+        assert_eq!(a.frames_decoded, b.frames_decoded);
+        assert_eq!(a.frames_per_stream, b.frames_per_stream);
     }
 
     #[test]

@@ -27,10 +27,11 @@ pub mod netround;
 pub mod replay;
 pub mod round;
 pub mod search;
+pub mod steal;
 pub mod telemetry;
 
 pub use budget::RoundBudget;
-pub use concurrent::{ConcurrentPipeline, ConcurrentReport, DecodeWorkModel};
+pub use concurrent::{ConcurrentPipeline, ConcurrentReport, DecodeWorkModel, WorkKind};
 pub use fault::{
     ChunkFaultMode, FaultKind, FaultPlan, FaultRecord, HealthSummary, PipelineError,
     QuarantineConfig, StreamHealth,

@@ -206,7 +206,7 @@ impl RoundSimulator {
                 let mut header =
                     serialize_stream_chunks::header_bytes(i as u32, s.encoder.config());
                 self.faults.corrupt_header(i, &mut header);
-                p.push(&header);
+                p.push_shared(bytes::Bytes::from(header));
             }
             Some(ps)
         };
@@ -256,7 +256,9 @@ impl RoundSimulator {
                     Some(ps) => {
                         let mut bytes = serialize_stream_chunks::packet_bytes(&packet);
                         self.faults.corrupt_chunk(i, round, &mut bytes);
-                        ps[i].push(&bytes);
+                        // Freeze the corrupted chunk and hand it over
+                        // zero-copy; parsed payloads slice this allocation.
+                        ps[i].push_shared(bytes::Bytes::from(bytes));
                         let mut this_round = None;
                         loop {
                             match ps[i].next_packet() {

@@ -31,9 +31,7 @@ fn main() {
         decode_workers: 2,
         budget_per_round: 6.0,
         task,
-        work: DecodeWorkModel {
-            iters_per_unit: 60_000,
-        },
+        work: DecodeWorkModel::spin(60_000),
         seed: 3,
         ..ConcurrentConfig::default()
     };

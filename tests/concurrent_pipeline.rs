@@ -17,9 +17,7 @@ fn base_config(budget: f64) -> ConcurrentConfig {
         decode_workers: 2,
         budget_per_round: budget,
         task: TaskKind::AnomalyDetection,
-        work: DecodeWorkModel {
-            iters_per_unit: 30_000,
-        },
+        work: DecodeWorkModel::spin(30_000),
         seed: 11,
         ..ConcurrentConfig::default()
     }

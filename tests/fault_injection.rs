@@ -21,7 +21,7 @@ fn concurrent_config(streams: usize, rounds: u64, seed: u64) -> ConcurrentConfig
         rounds,
         decode_workers: 4,
         budget_per_round: 1e9,
-        work: DecodeWorkModel { iters_per_unit: 5 },
+        work: DecodeWorkModel::spin(5),
         seed,
         quarantine: QuarantineConfig::new(8, 1),
         ..ConcurrentConfig::default()

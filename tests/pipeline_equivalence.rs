@@ -1,0 +1,137 @@
+//! Sharded parsing must be invisible in the results.
+//!
+//! The multi-core runtime partitions streams across N parser shards, but
+//! the gate re-canonicalizes shard batches per round (ascending round,
+//! stream-sorted within a round), so everything a run *reports* — parse
+//! and decode tallies, per-stream frame counts, the fault ledger, health,
+//! telemetry counters, the gate audit — must be identical for a 1-shard
+//! and an N-shard run over the same seeded trace. Only timing fields
+//! (wall clock, latencies) and the float `cost_spent` (summed in worker
+//! join order) may differ.
+
+use pg_pipeline::concurrent::ConcurrentConfig;
+use pg_pipeline::gate::DecodeAll;
+use pg_pipeline::{
+    ChunkFaultMode, ConcurrentPipeline, ConcurrentReport, DecodeWorkModel, FaultPlan, GatePolicy,
+    Telemetry,
+};
+
+fn run(cfg: ConcurrentConfig, gate: &mut dyn GatePolicy) -> ConcurrentReport {
+    ConcurrentPipeline::new(cfg)
+        .with_telemetry(Telemetry::enabled())
+        .run(gate)
+}
+
+/// Everything except timing must match exactly; `cost_spent` is a float
+/// sum whose addend order depends on decode-worker join order, so it gets
+/// an epsilon.
+fn assert_equivalent(single: &ConcurrentReport, sharded: &ConcurrentReport) {
+    assert_eq!(single.streams, sharded.streams);
+    assert_eq!(single.rounds, sharded.rounds);
+    assert_eq!(single.bytes_parsed, sharded.bytes_parsed, "bytes parsed");
+    assert_eq!(single.packets_parsed, sharded.packets_parsed, "packets parsed");
+    assert_eq!(single.packets_decoded, sharded.packets_decoded, "packets decoded");
+    assert_eq!(single.frames_decoded, sharded.frames_decoded, "frames decoded");
+    assert_eq!(single.frames_per_stream, sharded.frames_per_stream, "per-stream frames");
+    assert_eq!(single.health, sharded.health, "health summary");
+    let eps = 1e-6 * single.cost_spent.abs().max(1.0);
+    assert!(
+        (single.cost_spent - sharded.cost_spent).abs() <= eps,
+        "cost spent: {} vs {}",
+        single.cost_spent,
+        sharded.cost_spent
+    );
+
+    // The fault ledger must carry the same records; chronological order
+    // within the ledger can interleave differently across shard counts,
+    // so compare as a sorted multiset.
+    let key = |f: &pg_pipeline::FaultRecord| {
+        (f.kind.clone(), f.stream_idx, f.round, f.detail.clone())
+    };
+    let mut single_faults: Vec<_> = single.faults.iter().map(key).collect();
+    let mut sharded_faults: Vec<_> = sharded.faults.iter().map(key).collect();
+    single_faults.sort();
+    sharded_faults.sort();
+    assert_eq!(single_faults, sharded_faults, "fault ledger");
+
+    // Telemetry: stage counters (not latencies), the gate decision
+    // counters and audit ring, and the fault roll-up.
+    let t1 = single.telemetry.as_ref().expect("telemetry attached");
+    let tn = sharded.telemetry.as_ref().expect("telemetry attached");
+    let counters = |t: &pg_pipeline::TelemetrySnapshot| {
+        t.stages
+            .iter()
+            .map(|s| (s.stage.clone(), s.calls, s.items))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(counters(t1), counters(tn), "stage call/item counters");
+    assert_eq!(t1.gate.kept, tn.gate.kept, "gate kept");
+    assert_eq!(t1.gate.dropped, tn.gate.dropped, "gate dropped");
+    assert_eq!(t1.gate.audit_total, tn.gate.audit_total, "audit total");
+    let audit = |t: &pg_pipeline::TelemetrySnapshot| {
+        let mut a = t.gate.audit.clone();
+        a.sort_by(|x, y| {
+            (x.round, x.stream_idx)
+                .cmp(&(y.round, y.stream_idx))
+                .then(x.cost.total_cmp(&y.cost))
+        });
+        a
+    };
+    assert_eq!(audit(t1), audit(tn), "gate audit entries");
+    assert_eq!(t1.faults, tn.faults, "fault telemetry roll-up");
+}
+
+fn config(streams: usize, rounds: u64, budget: f64, shards: usize) -> ConcurrentConfig {
+    ConcurrentConfig {
+        streams,
+        rounds,
+        decode_workers: 2,
+        parser_shards: shards,
+        budget_per_round: budget,
+        work: DecodeWorkModel::spin(50),
+        seed: 33,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn clean_run_is_shard_count_invariant() {
+    let single = run(config(12, 40, 1e9, 1), &mut DecodeAll);
+    let sharded = run(config(12, 40, 1e9, 4), &mut DecodeAll);
+    assert_eq!(single.parser_shards, 1);
+    assert_eq!(sharded.parser_shards, 4);
+    assert_eq!(single.packets_parsed, 12 * 40);
+    assert!(single.faults.is_empty());
+    assert_equivalent(&single, &sharded);
+}
+
+#[test]
+fn faulted_run_is_shard_count_invariant() {
+    let plan = FaultPlan::new(9)
+        .with_corrupt(3, 10, ChunkFaultMode::Truncate)
+        .with_corrupt(5, 20, ChunkFaultMode::BitFlip)
+        .with_corrupt_header(7);
+    let mut cfg1 = config(12, 40, 1e9, 1);
+    cfg1.faults = plan.clone();
+    let mut cfg4 = config(12, 40, 1e9, 4);
+    cfg4.faults = plan;
+    let single = run(cfg1, &mut DecodeAll);
+    let sharded = run(cfg4, &mut DecodeAll);
+    assert!(!single.faults.is_empty(), "fault plan must bite");
+    assert!(single.health.dead_streams >= 1, "corrupt header kills stream 7");
+    assert_equivalent(&single, &sharded);
+}
+
+#[test]
+fn budgeted_policy_run_is_shard_count_invariant() {
+    // A budget-limited rotating gate exercises the selection path (some
+    // streams skipped each round, pending closures accumulate) without
+    // feedback-adaptive state that would be timing-sensitive either way.
+    let single = run(config(16, 50, 8.0, 1), &mut packetgame::RoundRobinGate::new());
+    let sharded = run(config(16, 50, 8.0, 4), &mut packetgame::RoundRobinGate::new());
+    assert!(
+        single.packets_decoded < single.packets_parsed,
+        "budget must actually gate"
+    );
+    assert_equivalent(&single, &sharded);
+}

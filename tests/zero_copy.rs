@@ -1,0 +1,61 @@
+//! The packet byte path must never deep-copy a payload.
+//!
+//! Payloads are refcounted [`bytes::Bytes`]: the producer materializes
+//! each chunk once, and every later stage — shard parser, gate, decode
+//! job closure, fault plan — passes slices of that one allocation.
+//! `bytes::deep_copy_count()` is a process-global counter of the copying
+//! constructors, so this file runs alone in its own test binary: the
+//! whole-pipeline assertion would race with unrelated tests otherwise.
+
+use pg_pipeline::concurrent::ConcurrentConfig;
+use pg_pipeline::gate::DecodeAll;
+use pg_pipeline::{ChunkFaultMode, ConcurrentPipeline, DecodeWorkModel, FaultPlan};
+
+#[test]
+fn end_to_end_pipeline_never_deep_copies_payload_bytes() {
+    // Clean multi-shard run with decode work and gating all enabled:
+    // strictly zero copies.
+    let before = bytes::deep_copy_count();
+    let report = ConcurrentPipeline::new(ConcurrentConfig {
+        streams: 16,
+        rounds: 30,
+        decode_workers: 2,
+        parser_shards: 4,
+        budget_per_round: 1e9,
+        work: DecodeWorkModel::spin(50),
+        seed: 5,
+        ..Default::default()
+    })
+    .run(&mut DecodeAll);
+    assert_eq!(report.packets_parsed, 16 * 30);
+    let clean_copies = bytes::deep_copy_count() - before;
+    assert_eq!(
+        clean_copies, 0,
+        "steady-state parser→gate→decode path performed {clean_copies} payload deep copies"
+    );
+
+    // Corruption recovery is the one sanctioned exception: truncating a
+    // chunk smears the next record across a chunk boundary, and the
+    // parser consolidates a boundary-spanning record with one counted
+    // copy. One planned truncation may therefore cost at most one copy —
+    // never one per packet.
+    let before = bytes::deep_copy_count();
+    let faulted = ConcurrentPipeline::new(ConcurrentConfig {
+        streams: 8,
+        rounds: 20,
+        decode_workers: 2,
+        parser_shards: 2,
+        budget_per_round: 1e9,
+        work: DecodeWorkModel::spin(50),
+        seed: 6,
+        faults: FaultPlan::new(3).with_corrupt(2, 5, ChunkFaultMode::Truncate),
+        ..Default::default()
+    })
+    .run(&mut DecodeAll);
+    assert!(faulted.packets_parsed > 0);
+    let fault_copies = bytes::deep_copy_count() - before;
+    assert!(
+        fault_copies <= 1,
+        "corruption recovery should consolidate at most once, did {fault_copies} copies"
+    );
+}

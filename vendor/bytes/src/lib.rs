@@ -4,6 +4,224 @@
 //! little-endian accessors the workspace's wire format uses. Reads panic on
 //! underflow, exactly like the real crate; callers guard with
 //! [`Buf::remaining`] first.
+//!
+//! Also provides [`Bytes`]: a cheaply-cloneable, refcounted, immutable
+//! byte slice. Slicing and cloning share the underlying allocation; the
+//! only operations that copy payload bytes are [`Bytes::copy_from_slice`]
+//! and `From<&[u8]>`, and both bump a process-global counter readable via
+//! [`deep_copy_count`] so tests can assert a code path is copy-free.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Process-global tally of payload deep copies (see [`deep_copy_count`]).
+static DEEP_COPIES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of payload deep copies made through [`Bytes`] since process
+/// start. Zero-copy constructors ([`From<Vec<u8>>`], [`Bytes::slice`],
+/// `Clone`) never bump this; tests assert deltas across a region to prove
+/// a path never duplicates payload bytes.
+pub fn deep_copy_count() -> u64 {
+    DEEP_COPIES.load(Ordering::Relaxed)
+}
+
+/// A refcounted immutable byte slice.
+///
+/// `Clone` and [`Bytes::slice`] are O(1) and share the backing allocation;
+/// contents are compared by value. The in-tree shim backs every `Bytes`
+/// with an `Arc<Vec<u8>>` window rather than the real crate's vtable
+/// design — the observable API subset is the same.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+fn empty_backing() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
+}
+
+impl Bytes {
+    /// The empty slice. Allocation-free after first use (shared backing).
+    pub fn new() -> Bytes {
+        Bytes {
+            data: empty_backing(),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Deep-copy `src` into a fresh allocation. Counted in
+    /// [`deep_copy_count`].
+    pub fn copy_from_slice(src: &[u8]) -> Bytes {
+        DEEP_COPIES.fetch_add(1, Ordering::Relaxed);
+        let len = src.len();
+        Bytes {
+            data: Arc::new(src.to_vec()),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Length of the slice in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A sub-slice sharing the same backing allocation (O(1), no copy).
+    /// Panics if the range is out of bounds, like the real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "range {start}..{end} out of bounds for Bytes of length {}",
+            self.len
+        );
+        Bytes {
+            data: self.data.clone(),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// The bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    /// Zero-copy: takes ownership of the vector's allocation.
+    fn from(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        Bytes {
+            data: Arc::new(v),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    /// Deep copy (the source is borrowed); counted in [`deep_copy_count`].
+    fn from(src: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(src)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl serde::Serialize for Bytes {
+    /// Same wire shape as `Vec<u8>`: an array of integers.
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(
+            self.as_slice()
+                .iter()
+                .map(|&b| serde::Value::U64(u64::from(b)))
+                .collect(),
+        )
+    }
+}
+
+impl serde::Deserialize for Bytes {
+    fn from_value(value: &serde::Value) -> Result<Bytes, serde::de::Error> {
+        let arr = value
+            .as_array()
+            .ok_or_else(|| serde::de::Error::type_mismatch("Bytes", "array", value))?;
+        let mut out = Vec::with_capacity(arr.len());
+        for v in arr {
+            let b = v
+                .as_u64()
+                .and_then(|n| u8::try_from(n).ok())
+                .ok_or_else(|| serde::de::Error::type_mismatch("Bytes element", "byte", v))?;
+            out.push(b);
+        }
+        Ok(Bytes::from(out)) // moves the vec: not a counted deep copy
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len, "buffer underflow");
+        self.off += cnt;
+        self.len -= cnt;
+    }
+}
 
 /// Read cursor over a contiguous byte slice.
 pub trait Buf {
@@ -152,5 +370,65 @@ mod tests {
         let mut buf = Vec::new();
         buf.put_u32_le(1);
         assert_eq!(buf, [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn bytes_from_vec_and_slicing_do_not_deep_copy() {
+        let before = deep_copy_count();
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let mid = b.slice(1..4);
+        let tail = mid.slice(1..);
+        let cloned = tail.clone();
+        assert_eq!(&b[..], &[1, 2, 3, 4, 5]);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        assert_eq!(&tail[..], &[3, 4]);
+        assert_eq!(cloned, tail);
+        assert_eq!(deep_copy_count(), before, "zero-copy path bumped the counter");
+    }
+
+    #[test]
+    fn bytes_copy_from_slice_is_counted() {
+        let before = deep_copy_count();
+        let b = Bytes::copy_from_slice(&[9, 8, 7]);
+        let c = Bytes::from(&[1u8, 2][..]);
+        assert_eq!(&b[..], &[9, 8, 7]);
+        assert_eq!(&c[..], &[1, 2]);
+        assert!(deep_copy_count() >= before + 2);
+    }
+
+    #[test]
+    fn bytes_empty_and_equality() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::new(), Bytes::default());
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(a, vec![1u8, 2, 3]);
+        assert_eq!(a.slice(0..0), Bytes::new());
+        assert_eq!(a.slice(..), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bytes_slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1u8, 2]);
+        let _ = b.slice(0..3);
+    }
+
+    #[test]
+    fn bytes_implements_buf() {
+        let mut b = Bytes::from(vec![7u8, 0, 0, 0, 42]);
+        assert_eq!(b.get_u32_le(), 7);
+        assert_eq!(b.remaining(), 1);
+        assert_eq!(b.get_u8(), 42);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn bytes_serde_round_trip() {
+        use serde::{Deserialize, Serialize};
+        let b = Bytes::from(vec![0u8, 127, 255]);
+        let v = b.to_value();
+        let back = Bytes::from_value(&v).unwrap();
+        assert_eq!(back, b);
+        assert!(Bytes::from_value(&serde::Value::Bool(true)).is_err());
     }
 }

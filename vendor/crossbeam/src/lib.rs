@@ -5,6 +5,13 @@
 //! every receiver is gone, `recv` fails once the queue is drained and every
 //! sender is gone. Built on `Mutex` + two `Condvar`s; correctness over
 //! raw speed (the workspace moves thousands, not billions, of messages).
+//!
+//! Also provides `deque::{Worker, Stealer, Injector, Steal}` — the
+//! work-stealing primitives of `crossbeam-deque`, backed by locked
+//! `VecDeque`s rather than the lock-free Chase–Lev deque. Semantics match
+//! the real crate's FIFO configuration: owners pop from the front of their
+//! local queue, thieves steal from the back, and the `Injector` is a
+//! shared FIFO overflow queue with batched steals.
 
 /// Multi-producer multi-consumer channels.
 pub mod channel {
@@ -306,6 +313,276 @@ pub mod channel {
                 .collect();
             all.sort_unstable();
             assert_eq!(all, (0..n_producers * per).collect::<Vec<_>>());
+        }
+    }
+}
+
+/// Work-stealing deques (shim for `crossbeam-deque`).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, MutexGuard};
+
+    /// How many items one `steal_batch_and_pop` moves at most (the real
+    /// crate moves up to half the source; a small fixed batch keeps
+    /// latency-sensitive jobs from being hoarded by one thief).
+    const MAX_BATCH: usize = 4;
+
+    fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        // A panicking owner must not wedge every thief: the queues hold
+        // plain jobs, so the data is still coherent after a poison.
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source queue was empty.
+        Empty,
+        /// One item was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        ///
+        /// The lock-based shim never loses races, but callers written
+        /// against the real API must still handle the variant.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen item, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// Whether this is `Steal::Empty`.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// The owner's end of a local FIFO work queue.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A thief's handle onto some worker's local queue. Cloneable.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A shared FIFO queue every worker can push to and steal from.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Worker<T> {
+        /// New empty FIFO worker queue.
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// A stealer handle for this queue.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: self.queue.clone(),
+            }
+        }
+
+        /// Enqueue at the back.
+        pub fn push(&self, value: T) {
+            lock(&self.queue).push_back(value);
+        }
+
+        /// Owner pop from the front (FIFO).
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.queue).pop_front()
+        }
+
+        /// Whether the local queue is empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Number of queued items.
+        pub fn len(&self) -> usize {
+            lock(&self.queue).len()
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one item from the back of the victim's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_back() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the victim's queue is empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Stealer<T> {
+            Stealer {
+                queue: self.queue.clone(),
+            }
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// New empty shared queue.
+        pub fn new() -> Injector<T> {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueue at the back.
+        pub fn push(&self, value: T) {
+            lock(&self.queue).push_back(value);
+        }
+
+        /// Steal one item from the front.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Move up to [`MAX_BATCH`] items into `dest`'s local queue and
+        /// pop the first of them for immediate execution.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut src = lock(&self.queue);
+            let first = match src.pop_front() {
+                Some(v) => v,
+                None => return Steal::Empty,
+            };
+            let extra = src.len().min(MAX_BATCH - 1);
+            if extra > 0 {
+                let mut dst = lock(&dest.queue);
+                for _ in 0..extra {
+                    // `extra` is bounded by src.len() above.
+                    dst.push_back(src.pop_front().expect("batch underflow"));
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// Whether the shared queue is empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Number of queued items.
+        pub fn len(&self) -> usize {
+            lock(&self.queue).len()
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Injector<T> {
+            Injector::new()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Arc;
+
+        #[test]
+        fn worker_is_fifo_for_owner() {
+            let w = Worker::new_fifo();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.len(), 3);
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(w.pop(), None);
+            assert!(w.is_empty());
+        }
+
+        #[test]
+        fn stealer_takes_from_the_back() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            assert_eq!(s.steal(), Steal::Success(2));
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(s.steal(), Steal::Empty);
+            assert!(s.is_empty());
+        }
+
+        #[test]
+        fn injector_batch_steal_moves_work_locally() {
+            let inj = Injector::new();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            let w = Worker::new_fifo();
+            assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+            // MAX_BATCH=4: one popped, up to three parked locally, in order.
+            assert_eq!(w.len(), 3);
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(inj.len(), 6);
+            assert_eq!(inj.steal(), Steal::Success(4));
+        }
+
+        #[test]
+        fn batch_steal_on_empty_injector_reports_empty() {
+            let inj: Injector<u32> = Injector::default();
+            let w = Worker::new_fifo();
+            assert_eq!(inj.steal_batch_and_pop(&w), Steal::Empty);
+            assert!(inj.is_empty());
+        }
+
+        #[test]
+        fn concurrent_stealing_loses_nothing() {
+            let inj = Arc::new(Injector::new());
+            let n = 4_000u64;
+            for i in 0..n {
+                inj.push(i);
+            }
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let inj = inj.clone();
+                handles.push(std::thread::spawn(move || {
+                    let w = Worker::new_fifo();
+                    let mut got = Vec::new();
+                    loop {
+                        match inj.steal_batch_and_pop(&w) {
+                            Steal::Success(v) => {
+                                got.push(v);
+                                while let Some(v) = w.pop() {
+                                    got.push(v);
+                                }
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => continue,
+                        }
+                    }
+                    got
+                }));
+            }
+            let mut all: Vec<u64> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..n).collect::<Vec<_>>());
         }
     }
 }
