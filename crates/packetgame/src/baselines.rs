@@ -197,7 +197,10 @@ impl GatePolicy for RoundRobinGate {
         self.offset = (self.offset + served.max(1)) % m;
         // Selections name streams, not candidate positions (the candidate
         // list may be a subset under loss or quarantine).
-        order.into_iter().map(|i| candidates[i].stream_idx).collect()
+        order
+            .into_iter()
+            .map(|i| candidates[i].stream_idx)
+            .collect()
     }
 
     fn feedback(&mut self, _events: &[FeedbackEvent]) {}

@@ -227,8 +227,17 @@ mod tests {
         assert_eq!(c[2], 30, "TRT+Grace still inference-bound at 30");
         assert!(c[3] > 100, "TRT+Reducto two-digit-plus: {}", c[3]);
         assert!((30..=40).contains(&c[4]), "TRT+InFi decode-bound: {}", c[4]);
-        assert!((4..=6).contains(&c[5]), "PG alone inference-bound: {}", c[5]);
-        assert!(c[6] > c[3], "TRT+PG ({}) beats TRT+Reducto ({})", c[6], c[3]);
+        assert!(
+            (4..=6).contains(&c[5]),
+            "PG alone inference-bound: {}",
+            c[5]
+        );
+        assert!(
+            c[6] > c[3],
+            "TRT+PG ({}) beats TRT+Reducto ({})",
+            c[6],
+            c[3]
+        );
         // The winner is TRT+PacketGame, as in the paper.
         let max = c.iter().max().unwrap();
         assert_eq!(c[6], *max);
@@ -289,9 +298,12 @@ mod tests {
 
     #[test]
     fn grace_relieves_decode() {
-        let plain = ComparatorStack::new(vec![Method::TensorRt, Method::InFi {
-            filtering_rate: 0.99,
-        }]);
+        let plain = ComparatorStack::new(vec![
+            Method::TensorRt,
+            Method::InFi {
+                filtering_rate: 0.99,
+            },
+        ]);
         let with_grace = ComparatorStack::new(vec![
             Method::TensorRt,
             Method::InFi {

@@ -104,7 +104,9 @@ impl FeatureWindows {
         FeatureWindows {
             window: config.window,
             size_log_scale: config.size_log_scale,
-            streams: (0..streams).map(|_| StreamWindows::new(config.window)).collect(),
+            streams: (0..streams)
+                .map(|_| StreamWindows::new(config.window))
+                .collect(),
         }
     }
 

@@ -14,6 +14,7 @@ use crate::config::PacketGameConfig;
 use crate::context::FeatureWindows;
 use crate::optimizer::{CombinatorialOptimizer, Item, SelectScratch};
 use crate::predictor::{ContextualPredictor, PredictScratch};
+use crate::quant::{QuantCalibrator, QuantizedPredictor};
 use crate::temporal::TemporalEstimator;
 
 /// Configuration for online fine-tuning of the contextual predictor from
@@ -41,6 +42,18 @@ impl Default for OnlineConfig {
             batch_size: 64,
         }
     }
+}
+
+/// Int8 inference state: a few rounds of activation-range calibration,
+/// then a frozen quantized snapshot takes over the batched decision path.
+enum QuantState {
+    /// Observing live rounds to calibrate activation scales.
+    Calibrating {
+        calib: Box<QuantCalibrator>,
+        rounds_left: usize,
+    },
+    /// Calibration finished; this snapshot scores every round.
+    Active(Box<QuantizedPredictor>),
 }
 
 /// Predictor input captured for one stream: (view_i, view_p, temporal).
@@ -78,6 +91,8 @@ pub struct PacketGame {
     /// Score candidates with the batched predictor path (the default);
     /// `false` falls back to per-stream sequential `predict` calls.
     batched: bool,
+    /// Int8 inference state (calibrating or active), when enabled.
+    quant: Option<QuantState>,
     /// Reusable buffers for the batched path — grow-only, so steady-state
     /// rounds never touch the allocator for prediction.
     scratch: PredictScratch,
@@ -130,8 +145,11 @@ impl PacketGame {
             online: None,
             telemetry: Telemetry::disabled(),
             batched: true,
+            quant: None,
             scratch: PredictScratch::with_threads(
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
             ),
             items: Vec::new(),
             select_scratch: SelectScratch::new(),
@@ -149,6 +167,43 @@ impl PacketGame {
     /// Whether `select` uses the batched predictor path.
     pub fn batched_inference(&self) -> bool {
         self.batched
+    }
+
+    /// Enable int8 quantized inference on the batched decision path.
+    ///
+    /// The first `calib_rounds` non-empty rounds keep scoring with the f32
+    /// predictor while a [`QuantCalibrator`] records activation ranges;
+    /// after that a frozen [`QuantizedPredictor`] snapshot takes over.
+    /// Quantized confidences are decision-equivalent to f32, not
+    /// bit-identical (see DESIGN.md D9 and `tests/decision_equivalence.rs`).
+    ///
+    /// Forces the batched path on (the sequential path has no int8
+    /// kernels). The snapshot does not follow online-learning weight
+    /// updates — call this again after fine-tuning to re-snapshot. Errors
+    /// for recurrent embeddings, which have no quantized kernels.
+    pub fn enable_quantized_inference(&mut self, calib_rounds: usize) -> Result<(), String> {
+        let calib = Box::new(QuantCalibrator::from_predictor(&self.predictor)?);
+        self.batched = true;
+        self.quant = Some(QuantState::Calibrating {
+            calib,
+            rounds_left: calib_rounds.max(1),
+        });
+        Ok(())
+    }
+
+    /// Disable quantized inference and return to the f32 predictor.
+    pub fn disable_quantized_inference(&mut self) {
+        self.quant = None;
+    }
+
+    /// Whether the quantized snapshot is live (calibration finished).
+    pub fn quantized_active(&self) -> bool {
+        matches!(self.quant, Some(QuantState::Active(_)))
+    }
+
+    /// Whether quantized inference is enabled (calibrating or active).
+    pub fn quantized_enabled(&self) -> bool {
+        self.quant.is_some()
     }
 
     /// Enable online fine-tuning of the predictor from live feedback (the
@@ -254,7 +309,32 @@ impl GatePolicy for PacketGame {
                         Some((vi.to_vec(), vp.to_vec(), exploit as f32));
                 }
             }
-            let conf = self.predictor.predict_batch(&mut self.scratch, self.task_head);
+            // Quantization calibration rides the staged batch: each
+            // calibration round observes the exact rows the f32 path is
+            // about to score; once the budgeted rounds are spent the
+            // frozen snapshot swaps in at the *next* round, so every
+            // calibration round itself is still scored by f32.
+            if m > 0 {
+                if let Some(QuantState::Calibrating { calib, rounds_left }) = &mut self.quant {
+                    if *rounds_left == 0 {
+                        self.quant = match calib.finish() {
+                            Ok(qp) => Some(QuantState::Active(Box::new(qp))),
+                            // Unreachable in practice (rows were observed);
+                            // fall back to f32 rather than panic mid-round.
+                            Err(_) => None,
+                        };
+                    } else {
+                        calib.observe_batch(&self.scratch);
+                        *rounds_left -= 1;
+                    }
+                }
+            }
+            let conf: &[f64] = match &mut self.quant {
+                Some(QuantState::Active(qp)) => qp.predict_batch(&self.scratch, self.task_head),
+                _ => self
+                    .predictor
+                    .predict_batch(&mut self.scratch, self.task_head),
+            };
             for (row, c) in candidates.iter().enumerate() {
                 let explore = self.temporal.exploration(c.stream_idx);
                 if cal {
@@ -420,8 +500,7 @@ mod tests {
         let streams = 12;
 
         let mut pg = trained_gate(task, 2);
-        let pg_report =
-            RoundSimulator::uniform(task, streams, 7, sim_config).run(&mut pg, rounds);
+        let pg_report = RoundSimulator::uniform(task, streams, 7, sim_config).run(&mut pg, rounds);
 
         let mut random = RandomGate::new(3);
         let rand_report =
@@ -477,7 +556,11 @@ mod tests {
         let online_report =
             RoundSimulator::uniform(task, streams, 9, sim_config).run(&mut online, rounds);
 
-        assert!(online.online_steps() > 3, "steps: {}", online.online_steps());
+        assert!(
+            online.online_steps() > 3,
+            "steps: {}",
+            online.online_steps()
+        );
         assert!(
             online_report.accuracy_overall() + 0.03 >= frozen_report.accuracy_overall(),
             "online {:.3} should not trail frozen {:.3} materially",
@@ -512,11 +595,65 @@ mod tests {
 
         // Bit-identical confidences ⇒ identical greedy selections ⇒ the
         // deterministic simulator produces identical reports.
-        assert_eq!(batched_report.packets_decoded, sequential_report.packets_decoded);
+        assert_eq!(
+            batched_report.packets_decoded,
+            sequential_report.packets_decoded
+        );
         assert_eq!(
             batched_report.accuracy_overall(),
             sequential_report.accuracy_overall()
         );
+    }
+
+    #[test]
+    fn quantized_gate_calibrates_then_activates() {
+        let task = TaskKind::AnomalyDetection;
+        let config = test_config();
+        let predictor = train_for_task(task, &config, 6);
+        let wf = predictor.to_weight_file();
+
+        let sim_config = SimConfig {
+            budget_per_round: 4.0,
+            segments: 4,
+            ..SimConfig::default()
+        };
+        let mut f32_gate = PacketGame::new(config.clone(), predictor);
+        let f32_report = RoundSimulator::uniform(task, 12, 6, sim_config).run(&mut f32_gate, 400);
+
+        let mut reloaded = crate::ContextualPredictor::new(config.clone().with_seed(6));
+        reloaded.load_weight_file(&wf).expect("weights");
+        let mut q_gate = PacketGame::new(config, reloaded);
+        q_gate.enable_quantized_inference(8).expect("enable");
+        assert!(q_gate.quantized_enabled());
+        assert!(!q_gate.quantized_active());
+        let q_report = RoundSimulator::uniform(task, 12, 6, sim_config).run(&mut q_gate, 400);
+        assert!(q_gate.quantized_active(), "snapshot never activated");
+
+        // Decision equivalence, not bit-identity: the quantized gate's
+        // aggregate behaviour must stay within a whisker of the f32 gate.
+        let kept_f32 = f32_report.packets_decoded as f64 / f32_report.packets_total as f64;
+        let kept_q = q_report.packets_decoded as f64 / q_report.packets_total as f64;
+        assert!(
+            (kept_f32 - kept_q).abs() < 0.02,
+            "keep rate drifted: f32 {kept_f32:.4} vs quantized {kept_q:.4}"
+        );
+        assert!(
+            (f32_report.accuracy_overall() - q_report.accuracy_overall()).abs() < 0.03,
+            "accuracy drifted: f32 {:.4} vs quantized {:.4}",
+            f32_report.accuracy_overall(),
+            q_report.accuracy_overall()
+        );
+    }
+
+    #[test]
+    fn quantized_inference_rejects_recurrent_embeddings() {
+        use crate::config::EmbeddingKind;
+        let mut config = test_config();
+        config.embedding = EmbeddingKind::Lstm;
+        let predictor = crate::ContextualPredictor::new(config.clone());
+        let mut gate = PacketGame::new(config, predictor);
+        assert!(gate.enable_quantized_inference(4).is_err());
+        assert!(!gate.quantized_enabled());
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod context;
 pub mod game;
 pub mod optimizer;
 pub mod predictor;
+pub mod quant;
 pub mod temporal;
 pub mod theory;
 pub mod training;
@@ -61,5 +62,6 @@ pub use context::FeatureWindows;
 pub use game::{OnlineConfig, PacketGame};
 pub use optimizer::{CombinatorialOptimizer, Item, SelectScratch};
 pub use predictor::{ContextualPredictor, PredictScratch};
+pub use quant::{QuantCalibrator, QuantizedPredictor};
 pub use temporal::TemporalEstimator;
 pub use training::{build_offline_dataset, train_for_task, train_multi_task, TrainSample};

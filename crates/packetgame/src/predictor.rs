@@ -16,10 +16,10 @@
 
 use pg_nn::batch::Scratch;
 use pg_nn::layers::{Conv1d, Dense, GlobalMaxPool1d, Layer, ReLU};
-use pg_nn::model::Sequential;
 use pg_nn::lstm::Lstm;
-use pg_nn::recurrent::Rnn;
+use pg_nn::model::Sequential;
 use pg_nn::optim::Optimizer;
+use pg_nn::recurrent::Rnn;
 use pg_nn::serialize::WeightFile;
 use pg_nn::tensor::Tensor;
 
@@ -112,6 +112,19 @@ impl PredictScratch {
     /// Number of rows in the current round.
     pub fn rows(&self) -> usize {
         self.m
+    }
+
+    /// The staged round as `(m, w, view_i, view_p, temporal)` — read-only
+    /// access for consumers that score the same staged rows through a
+    /// different inference path (quantized calibration and inference).
+    pub(crate) fn staged(&self) -> (usize, usize, &[f32], &[f32], &[f32]) {
+        (
+            self.m,
+            self.w,
+            &self.view_i[..self.m * self.w],
+            &self.view_p[..self.m * self.w],
+            &self.temporal[..self.m],
+        )
     }
 
     /// Set stream `row`'s temporal estimate and return its two size-view
@@ -297,7 +310,14 @@ impl ContextualPredictor {
             1
         };
         if nshards == 1 {
-            self.run_rows(view_i, view_p, temporal, &mut shards[0], &mut logits[..m * tasks], 0..m);
+            self.run_rows(
+                view_i,
+                view_p,
+                temporal,
+                &mut shards[0],
+                &mut logits[..m * tasks],
+                0..m,
+            );
             return;
         }
         let chunk = m.div_ceil(nshards);
@@ -658,8 +678,14 @@ mod tests {
             di.fill(0.1);
             dp.fill(0.9);
             let batched = p.forward_logits_batch(&mut s).to_vec();
-            assert_eq!(p.forward_logits(&vec![0.4; w], &vec![0.8; w], 0.7)[0], batched[0]);
-            assert_eq!(p.forward_logits(&vec![0.1; w], &vec![0.9; w], 0.2)[0], batched[1]);
+            assert_eq!(
+                p.forward_logits(&vec![0.4; w], &vec![0.8; w], 0.7)[0],
+                batched[0]
+            );
+            assert_eq!(
+                p.forward_logits(&vec![0.1; w], &vec![0.9; w], 0.2)[0],
+                batched[1]
+            );
         }
     }
 

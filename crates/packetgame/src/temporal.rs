@@ -153,8 +153,8 @@ impl TemporalEstimator {
         let ucb = ((3.0 * (self.round.max(2) as f64).ln()) / (2.0 * t_eff))
             .sqrt()
             .min(self.exploration_cap);
-        let age = (self.age_coeff * self.age.get(stream).copied().unwrap_or(0) as f64)
-            .min(self.age_cap);
+        let age =
+            (self.age_coeff * self.age.get(stream).copied().unwrap_or(0) as f64).min(self.age_cap);
         ucb + age
     }
 

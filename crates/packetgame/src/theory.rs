@@ -308,14 +308,14 @@ mod bandit_tests {
         let mut regret = Vec::new();
         for _ in 0..20_000 {
             idx.shuffle(&mut rng);
-            let reward: f64 = idx[..k]
-                .iter()
-                .filter(|&&i| rng.gen_bool(means[i]))
-                .count() as f64;
+            let reward: f64 = idx[..k].iter().filter(|&&i| rng.gen_bool(means[i])).count() as f64;
             cum += (oracle - reward).max(0.0);
             regret.push(cum);
         }
         let exponent = regret_growth_exponent(&regret);
-        assert!(exponent > 0.9, "random-play exponent {exponent} should be ~1");
+        assert!(
+            exponent > 0.9,
+            "random-play exponent {exponent} should be ~1"
+        );
     }
 }

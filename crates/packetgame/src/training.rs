@@ -116,7 +116,11 @@ pub fn balance_dataset(samples: &[TrainSample], seed: u64) -> Vec<TrainSample> {
     let mut r = rng(seed, 0xBA1A);
     pos.shuffle(&mut r);
     neg.shuffle(&mut r);
-    let mut out: Vec<TrainSample> = pos[..n].iter().chain(&neg[..n]).map(|&s| s.clone()).collect();
+    let mut out: Vec<TrainSample> = pos[..n]
+        .iter()
+        .chain(&neg[..n])
+        .map(|&s| s.clone())
+        .collect();
     out.shuffle(&mut r);
     out
 }
@@ -143,8 +147,7 @@ pub fn train(
             predictor.zero_grad();
             for &i in chunk {
                 let s = &samples[i];
-                let logits =
-                    predictor.forward_logits(&s.view_i, &s.view_p, f64::from(s.temporal));
+                let logits = predictor.forward_logits(&s.view_i, &s.view_p, f64::from(s.temporal));
                 let head = s.task_id.min(tasks - 1);
                 let (loss, dz) = bce_with_logits(s.label, logits[head]);
                 epoch_loss += loss;
@@ -169,12 +172,7 @@ pub fn score_samples(
     samples
         .iter()
         .map(|s| {
-            let conf = predictor.predict(
-                &s.view_i,
-                &s.view_p,
-                f64::from(s.temporal),
-                s.task_id,
-            );
+            let conf = predictor.predict(&s.view_i, &s.view_p, f64::from(s.temporal), s.task_id);
             (conf, s.label > 0.5)
         })
         .collect()
@@ -185,11 +183,7 @@ pub fn classification_accuracy(scored: &[(f64, bool)]) -> f64 {
     if scored.is_empty() {
         return 0.0;
     }
-    scored
-        .iter()
-        .filter(|(c, l)| (*c >= 0.5) == *l)
-        .count() as f64
-        / scored.len() as f64
+    scored.iter().filter(|(c, l)| (*c >= 0.5) == *l).count() as f64 / scored.len() as f64
 }
 
 /// End-to-end convenience: build a balanced offline dataset for `task` and
@@ -216,8 +210,15 @@ pub fn train_multi_task(
     let enc = EncoderConfig::new(pg_codec::Codec::H264);
     let mut all = Vec::new();
     for (id, &task) in tasks.iter().enumerate() {
-        let samples =
-            build_offline_dataset_with_task_id(task, id, 6, 2500, enc, &config, mix(seed, id as u64));
+        let samples = build_offline_dataset_with_task_id(
+            task,
+            id,
+            6,
+            2500,
+            enc,
+            &config,
+            mix(seed, id as u64),
+        );
         all.extend(balance_dataset(&samples, mix(seed, 100 + id as u64)));
     }
     let mut r = rng(seed, 0x4D54);

@@ -25,7 +25,9 @@ fn predictor(kind: EmbeddingKind, seed: u64, tasks: usize) -> ContextualPredicto
         embedding: kind,
         conv_units: 8,
         dense_units: 16,
-        ..PacketGameConfig::default().with_seed(seed).with_tasks(tasks)
+        ..PacketGameConfig::default()
+            .with_seed(seed)
+            .with_tasks(tasks)
     };
     ContextualPredictor::new(cfg)
 }

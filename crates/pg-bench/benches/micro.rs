@@ -59,7 +59,9 @@ fn bench_parser(c: &mut Criterion) {
     let enc = EncoderConfig::new(Codec::H264);
     let mut encoder = Encoder::new(enc, 1);
     let mut scene = PersonSceneGen::new(1, 25.0);
-    let packets: Vec<_> = (0..500).map(|_| encoder.encode(&scene.next_frame())).collect();
+    let packets: Vec<_> = (0..500)
+        .map(|_| encoder.encode(&scene.next_frame()))
+        .collect();
     let bytes = serialize_stream(0, &enc, &packets);
 
     let mut group = c.benchmark_group("parser");

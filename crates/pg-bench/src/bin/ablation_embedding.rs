@@ -90,7 +90,14 @@ fn main() {
 
     print_table(
         "§5.2 exploration — embedding layer families (PC task)",
-        &["embedding", "window", "accuracy", "params", "FLOPs", "latency (µs)"],
+        &[
+            "embedding",
+            "window",
+            "accuracy",
+            "params",
+            "FLOPs",
+            "latency (µs)",
+        ],
         &rows
             .iter()
             .map(|r| {

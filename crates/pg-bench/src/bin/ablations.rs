@@ -91,7 +91,10 @@ fn main() {
                 "closure-aware (PacketGame)".into(),
                 format!("{:.1}%", with_report.accuracy_overall() * 100.0),
                 format!("{:.2}", with_report.mean_cost_per_round()),
-                format!("{:.0}%", (with_report.budget_utilisation() - 1.0).max(0.0) * 100.0),
+                format!(
+                    "{:.0}%",
+                    (with_report.budget_utilisation() - 1.0).max(0.0) * 100.0
+                ),
             ],
             vec![
                 "dependency-blind".into(),
@@ -194,7 +197,10 @@ fn main() {
         &["variant", "test accuracy"],
         &[
             vec!["multi-view".into(), format!("{:.1}%", multi_acc * 100.0)],
-            vec!["single mixed view".into(), format!("{:.1}%", single_acc * 100.0)],
+            vec![
+                "single mixed view".into(),
+                format!("{:.1}%", single_acc * 100.0),
+            ],
         ],
     );
     records.push(Record {

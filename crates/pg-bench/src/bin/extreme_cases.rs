@@ -67,7 +67,12 @@ fn main() {
     let task = TaskKind::SuperResolution;
 
     let rows = vec![
-        evaluate("baseline (4 Mbit/s, GOP 25)", EncoderConfig::new(Codec::H264), task, &scale),
+        evaluate(
+            "baseline (4 Mbit/s, GOP 25)",
+            EncoderConfig::new(Codec::H264),
+            task,
+            &scale,
+        ),
         evaluate(
             "extreme-low bitrate (100 kbit/s)",
             EncoderConfig::new(Codec::H264).with_bitrate(100_000),

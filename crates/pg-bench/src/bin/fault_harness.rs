@@ -107,7 +107,13 @@ fn concurrent_scenario(
     }
 }
 
-fn round_scenario(name: &str, seed: u64, streams: usize, rounds: u64, plan: FaultPlan) -> ScenarioRecord {
+fn round_scenario(
+    name: &str,
+    seed: u64,
+    streams: usize,
+    rounds: u64,
+    plan: FaultPlan,
+) -> ScenarioRecord {
     let config = SimConfig {
         budget_per_round: 1e9,
         segments: 4,
@@ -152,7 +158,13 @@ fn round_scenario(name: &str, seed: u64, streams: usize, rounds: u64, plan: Faul
     }
 }
 
-fn netround_scenario(name: &str, seed: u64, streams: usize, rounds: u64, loss: f64) -> ScenarioRecord {
+fn netround_scenario(
+    name: &str,
+    seed: u64,
+    streams: usize,
+    rounds: u64,
+    loss: f64,
+) -> ScenarioRecord {
     let result = std::panic::catch_unwind(|| {
         NetworkedRoundSimulator::new(
             TaskKind::AnomalyDetection,
@@ -255,7 +267,13 @@ fn main() {
         rounds,
         FaultPlan::new(16).with_corrupt_header(5),
     ));
-    scenarios.push(netround_scenario("netround-loss-10pct", 17, 6, rounds.max(200), 0.10));
+    scenarios.push(netround_scenario(
+        "netround-loss-10pct",
+        17,
+        6,
+        rounds.max(200),
+        0.10,
+    ));
 
     // Seeded sweep: corruption placement varies with the seed; the runtime
     // must contain every one of them.
@@ -309,7 +327,8 @@ fn main() {
         panics,
         healthy_violations,
     };
-    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../FAULTS_report.json");
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../FAULTS_report.json");
     let json = serde_json::to_string_pretty(&record).expect("serialize fault report");
     std::fs::write(&path, json).expect("write FAULTS_report.json");
     eprintln!("[fault_harness] wrote {}", path.display());

@@ -55,9 +55,7 @@ fn main() {
         &["module", "throughput (FPS)", "potential streams"],
         &rows
             .iter()
-            .map(|(name, fps, conc)| {
-                vec![name.to_string(), format!("{fps:.1}"), conc.to_string()]
-            })
+            .map(|(name, fps, conc)| vec![name.to_string(), format!("{fps:.1}"), conc.to_string()])
             .collect::<Vec<_>>(),
     );
 
@@ -118,7 +116,9 @@ fn measure_substrate() -> Vec<(String, String)> {
     let enc = EncoderConfig::new(Codec::H264);
     let mut encoder = Encoder::new(enc, 1);
     let mut scene = PersonSceneGen::new(1, 25.0);
-    let packets: Vec<_> = (0..2000).map(|_| encoder.encode(&scene.next_frame())).collect();
+    let packets: Vec<_> = (0..2000)
+        .map(|_| encoder.encode(&scene.next_frame()))
+        .collect();
     let bytes = serialize_stream(0, &enc, &packets);
 
     // Parser throughput (metadata-only, the gate path).

@@ -65,7 +65,10 @@ fn main() {
     let peak = hourly_fps.iter().cloned().fold(0.0, f64::max);
 
     println!("== Fig. 4a — necessary inference per second over one day (1108 cameras) ==");
-    println!("hour:   {}", (0..24).map(|h| format!("{h:>3}")).collect::<String>());
+    println!(
+        "hour:   {}",
+        (0..24).map(|h| format!("{h:>3}")).collect::<String>()
+    );
     println!(
         "need/s: {}",
         hourly_fps

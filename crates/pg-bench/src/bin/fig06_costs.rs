@@ -73,10 +73,7 @@ fn main() {
             decoder.ingest(encoder.encode(&frame(i)));
         }
         let current = 4; // second GOP's I
-        assert_eq!(
-            decoder.tracker().frame_type(current),
-            Some(FrameType::I)
-        );
+        assert_eq!(decoder.tracker().frame_type(current), Some(FrameType::I));
         let cost = decoder.pending_cost(current).unwrap();
         assert_eq!(cost, costs.c_i, "stream 2 must cost 1I");
         rows.push(Row {
@@ -91,7 +88,9 @@ fn main() {
     // --- Stream 3: I P P P..., I and first P decoded, next P skipped;
     //     current P must trace back to the last decoded P: cost 2P.
     {
-        let enc = EncoderConfig::new(Codec::H264).with_gop(10).with_b_frames(0);
+        let enc = EncoderConfig::new(Codec::H264)
+            .with_gop(10)
+            .with_b_frames(0);
         let mut encoder = Encoder::new(enc, 3);
         let mut decoder = Decoder::new(0, costs);
         for i in 0..4 {
@@ -118,7 +117,13 @@ fn main() {
 
     print_table(
         "Fig. 6 — decision-dependent decode costs (c_P = c_B = 1, c_I = 32/11)",
-        &["stream", "current", "pending closure", "cost (units)", "paper"],
+        &[
+            "stream",
+            "current",
+            "pending closure",
+            "cost (units)",
+            "paper",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -58,9 +58,7 @@ fn main() {
         let wf = predictor.to_weight_file();
         let budget = min_budget_at_accuracy(
             |b| {
-                let mut p = packetgame::ContextualPredictor::new(
-                    config.clone().with_seed(55),
-                );
+                let mut p = packetgame::ContextualPredictor::new(config.clone().with_seed(55));
                 p.load_weight_file(&wf).expect("weights");
                 let mut gate = PacketGame::new(config.clone(), p);
                 sim(b, &mut gate).accuracy_overall()
@@ -90,8 +88,7 @@ fn main() {
             (
                 "PacketGame",
                 Box::new({
-                    let mut p =
-                        packetgame::ContextualPredictor::new(config.clone().with_seed(55));
+                    let mut p = packetgame::ContextualPredictor::new(config.clone().with_seed(55));
                     p.load_weight_file(&wf).expect("weights");
                     PacketGame::new(config.clone(), p)
                 }),

@@ -51,11 +51,8 @@ fn main() {
     // Three training regimes. All predictors are two-headed so weights are
     // comparable; single-task regimes simply never see the other task.
     let config = base_config.clone().with_tasks(2);
-    let regimes: Vec<(&str, Vec<usize>)> = vec![
-        ("PC", vec![0]),
-        ("AD", vec![1]),
-        ("PC+AD", vec![0, 1]),
-    ];
+    let regimes: Vec<(&str, Vec<usize>)> =
+        vec![("PC", vec![0]), ("AD", vec![1]), ("PC+AD", vec![0, 1])];
 
     let mut cells = Vec::new();
     let mut offline_rows = Vec::new();
@@ -83,8 +80,7 @@ fn main() {
             let scored: Vec<(f64, bool)> = test_sets[test_id]
                 .iter()
                 .map(|s| {
-                    let c =
-                        predictor.predict(&s.view_i, &s.view_p, f64::from(s.temporal), head);
+                    let c = predictor.predict(&s.view_i, &s.view_p, f64::from(s.temporal), head);
                     (c, s.label > 0.5)
                 })
                 .collect();
@@ -103,8 +99,7 @@ fn main() {
                         segments: 4,
                         ..SimConfig::default()
                     };
-                    RoundSimulator::uniform(test_task, m, 31, cfg)
-                        .run(&mut gate, scale.rounds / 2)
+                    RoundSimulator::uniform(test_task, m, 31, cfg).run(&mut gate, scale.rounds / 2)
                 },
                 0.90,
                 scale.max_streams.min(256),

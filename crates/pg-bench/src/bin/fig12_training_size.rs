@@ -82,9 +82,7 @@ fn main() {
                 for &r in &ratios {
                     let p = points
                         .iter()
-                        .find(|p| {
-                            p.task == task.abbrev() && p.variant == variant && p.ratio == r
-                        })
+                        .find(|p| p.task == task.abbrev() && p.variant == variant && p.ratio == r)
                         .unwrap();
                     cells.push(format!("{:.1}%", p.test_accuracy * 100.0));
                 }

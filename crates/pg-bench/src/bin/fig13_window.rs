@@ -88,7 +88,13 @@ fn main() {
 
     print_table(
         "Fig. 13 — window length effects on the person-counting task",
-        &["window", "contextual acc", "temporal acc", "throughput/s", "params"],
+        &[
+            "window",
+            "contextual acc",
+            "temporal acc",
+            "throughput/s",
+            "params",
+        ],
         &points
             .iter()
             .map(|p| {

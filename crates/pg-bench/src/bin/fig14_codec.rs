@@ -92,7 +92,13 @@ fn main() {
 
     print_table(
         "Fig. 14 — packet sizes and learning performance per codec (SR task)",
-        &["codec", "mean I size", "mean P/B size", "Contextual", "PacketGame"],
+        &[
+            "codec",
+            "mean I size",
+            "mean P/B size",
+            "Contextual",
+            "PacketGame",
+        ],
         &records
             .iter()
             .map(|r| {

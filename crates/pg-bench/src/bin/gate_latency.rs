@@ -1,21 +1,25 @@
-//! Gate decision latency: batched vs sequential predictor path.
+//! Gate decision latency: sequential vs batched vs SIMD vs int8 paths.
 //!
 //! The gate's per-round job is scoring all `m` concurrent streams with the
 //! contextual predictor before the greedy selection. This benchmark times
-//! exactly that step both ways — the historical per-stream sequential
-//! `predict` loop and the batched, allocation-free
-//! `ContextualPredictor::predict_batch` — at several concurrency levels,
-//! and writes `BENCH_gate.json` at the repository root.
+//! exactly that step four ways — the historical per-stream sequential
+//! `predict` loop, the batched scalar `predict_batch` (both pinned to
+//! forced-scalar dispatch so they stay comparable across hosts), the same
+//! batched path under the machine's best SIMD level, and the calibrated
+//! int8 [`packetgame::QuantizedPredictor`] — at several concurrency
+//! levels, and writes `BENCH_gate.json` at the repository root, tagged
+//! with the detected CPU feature level.
 //!
 //! Reported per (m, path): per-round latency p50 / p99 / mean (µs) and
-//! rounds per second. A third row repeats the batched path with the
+//! rounds per second. An extra row repeats the batched path with the
 //! decision-quality monitor ([`pg_pipeline::Insight`]) recording every
 //! packet, selection, and round close — pinning the monitor's per-round
 //! cost next to the decision it observes. `PG_SCALE=quick` shrinks the
 //! concurrency sweep and the measurement time for CI smoke runs.
 
-use packetgame::{ContextualPredictor, PacketGameConfig, PredictScratch};
+use packetgame::{ContextualPredictor, PacketGameConfig, PredictScratch, QuantCalibrator};
 use pg_bench::harness::print_table;
+use pg_nn::simd::{detected_level, with_level, Level};
 use pg_pipeline::{Insight, PacketOutcome, RoundOutcome, SelectionEntry};
 use serde::Serialize;
 use std::time::Instant;
@@ -32,14 +36,27 @@ struct PathStats {
 #[derive(Serialize)]
 struct SizeRecord {
     m: usize,
+    /// Per-stream `predict` loop, forced-scalar dispatch.
     sequential: PathStats,
+    /// `predict_batch` pinned to forced-scalar dispatch — the stable
+    /// cross-host baseline the SIMD and int8 rows are measured against.
     batched: PathStats,
+    /// `predict_batch` under the detected SIMD level (bit-identical
+    /// decisions to `batched`; see tests/decision_equivalence.rs).
+    simd: PathStats,
+    /// Calibrated int8 snapshot (`QuantizedPredictor::predict_batch`),
+    /// decision-equivalent rather than bit-identical.
+    quantized: PathStats,
     /// Batched path with the decision-quality monitor enabled: scoring
     /// plus per-packet drift observation, Lemma-1 selection recording,
     /// and the end-of-round regret/ring update.
     batched_insight: PathStats,
     /// Sequential mean round latency / batched mean round latency.
     speedup: f64,
+    /// Batched (scalar) mean / SIMD mean.
+    simd_speedup: f64,
+    /// Batched (scalar) mean / quantized mean.
+    quantized_speedup: f64,
     /// Batched-with-insight mean / batched mean (monitor cost factor).
     insight_overhead: f64,
 }
@@ -49,6 +66,9 @@ struct Record {
     scale: String,
     window: usize,
     embedding: String,
+    /// Best SIMD level the host supports (after `PG_FORCE_SCALAR`):
+    /// "avx2", "sse2", or "scalar". The `simd` rows ran at this level.
+    cpu_features: String,
     sizes: Vec<SizeRecord>,
 }
 
@@ -134,16 +154,32 @@ fn main() {
     for &m in sizes {
         let inputs = Inputs::new(m, w);
 
-        let sequential = measure(target_ms, || {
-            let mut acc = 0.0;
-            for r in 0..m {
-                let (vi, vp, t) = inputs.row(r);
-                acc += predictor.predict(vi, vp, t, 0);
-            }
-            acc
+        let sequential = with_level(Level::Scalar, || {
+            measure(target_ms, || {
+                let mut acc = 0.0;
+                for r in 0..m {
+                    let (vi, vp, t) = inputs.row(r);
+                    acc += predictor.predict(vi, vp, t, 0);
+                }
+                acc
+            })
         });
 
-        let batched = measure(target_ms, || {
+        let batched = with_level(Level::Scalar, || {
+            measure(target_ms, || {
+                scratch.begin(m, w);
+                for r in 0..m {
+                    let (vi, vp, t) = inputs.row(r);
+                    let (di, dp) = scratch.stream_row(r, t);
+                    di.copy_from_slice(vi);
+                    dp.copy_from_slice(vp);
+                }
+                predictor.predict_batch(&mut scratch, 0).iter().sum()
+            })
+        });
+
+        // Same batched kernel under the machine's best vector dispatch.
+        let simd = measure(target_ms, || {
             scratch.begin(m, w);
             for r in 0..m {
                 let (vi, vp, t) = inputs.row(r);
@@ -154,6 +190,30 @@ fn main() {
             predictor.predict_batch(&mut scratch, 0).iter().sum()
         });
 
+        // Int8 snapshot calibrated on one staged batch of the same
+        // synthetic distribution (range coverage is all that matters for
+        // latency), scored at the detected SIMD level.
+        let mut calib = QuantCalibrator::from_predictor(&predictor).expect("calibrator");
+        scratch.begin(m, w);
+        for r in 0..m {
+            let (vi, vp, t) = inputs.row(r);
+            let (di, dp) = scratch.stream_row(r, t);
+            di.copy_from_slice(vi);
+            dp.copy_from_slice(vp);
+        }
+        calib.observe_batch(&scratch);
+        let mut qp = calib.finish().expect("quantized snapshot");
+        let quantized = measure(target_ms, || {
+            scratch.begin(m, w);
+            for r in 0..m {
+                let (vi, vp, t) = inputs.row(r);
+                let (di, dp) = scratch.stream_row(r, t);
+                di.copy_from_slice(vi);
+                dp.copy_from_slice(vp);
+            }
+            qp.predict_batch(&scratch, 0).iter().sum()
+        });
+
         // Batched scoring again, now with the insight monitor observing
         // the full decision: per-packet size samples (drift), the greedy
         // selection (Lemma-1 gauge), and the round close (regret + ring).
@@ -162,47 +222,50 @@ fn main() {
         let mut round_no = 0u64;
         let mut entries: Vec<SelectionEntry> = Vec::with_capacity(m);
         let mut outcomes: Vec<PacketOutcome> = Vec::with_capacity(m);
-        let batched_insight = measure(target_ms, || {
-            scratch.begin(m, w);
-            for r in 0..m {
-                let (vi, vp, t) = inputs.row(r);
-                let (di, dp) = scratch.stream_row(r, t);
-                di.copy_from_slice(vi);
-                dp.copy_from_slice(vp);
-                insight.observe_packet(r, round_no, r % 4 == 0, 800 + (r as u64 % 13) * 16);
-            }
-            let conf = predictor.predict_batch(&mut scratch, 0);
-            entries.clear();
-            outcomes.clear();
-            let mut spent = 0.0;
-            for (r, &value) in conf.iter().enumerate() {
-                let cost = 1.0 + (r % 3) as f64;
-                let kept = spent < budget;
-                if kept {
-                    spent += cost;
+        let batched_insight = with_level(Level::Scalar, || {
+            measure(target_ms, || {
+                scratch.begin(m, w);
+                for r in 0..m {
+                    let (vi, vp, t) = inputs.row(r);
+                    let (di, dp) = scratch.stream_row(r, t);
+                    di.copy_from_slice(vi);
+                    dp.copy_from_slice(vp);
+                    insight.observe_packet(r, round_no, r % 4 == 0, 800 + (r as u64 % 13) * 16);
                 }
-                entries.push(SelectionEntry { value, cost, kept });
-                outcomes.push(PacketOutcome {
-                    cost,
-                    necessary: value > 0.5,
-                    decoded: kept,
+                let conf = predictor.predict_batch(&mut scratch, 0);
+                entries.clear();
+                outcomes.clear();
+                let mut spent = 0.0;
+                for (r, &value) in conf.iter().enumerate() {
+                    let cost = 1.0 + (r % 3) as f64;
+                    let kept = spent < budget;
+                    if kept {
+                        spent += cost;
+                    }
+                    entries.push(SelectionEntry { value, cost, kept });
+                    outcomes.push(PacketOutcome {
+                        cost,
+                        necessary: value > 0.5,
+                        decoded: kept,
+                    });
+                }
+                insight.record_selection(round_no, budget, &entries);
+                insight.record_round(&RoundOutcome {
+                    round: round_no,
+                    budget,
+                    spent,
+                    offered: m,
+                    decoded: entries.iter().filter(|e| e.kept).count(),
+                    quarantined: 0,
+                    outcomes: &outcomes,
                 });
-            }
-            insight.record_selection(round_no, budget, &entries);
-            insight.record_round(&RoundOutcome {
-                round: round_no,
-                budget,
-                spent,
-                offered: m,
-                decoded: entries.iter().filter(|e| e.kept).count(),
-                quarantined: 0,
-                outcomes: &outcomes,
-            });
-            round_no += 1;
-            conf.iter().sum()
+                round_no += 1;
+                conf.iter().sum()
+            })
         });
 
-        // Cross-check: both paths score every stream identically.
+        // Cross-check: scalar, SIMD, and sequential scoring must agree
+        // bit-for-bit; the quantized path must stay finite and close.
         scratch.begin(m, w);
         for r in 0..m {
             let (vi, vp, t) = inputs.row(r);
@@ -211,6 +274,11 @@ fn main() {
             dp.copy_from_slice(vp);
         }
         let conf = predictor.predict_batch(&mut scratch, 0).to_vec();
+        let scalar_conf = with_level(Level::Scalar, || {
+            predictor.predict_batch(&mut scratch, 0).to_vec()
+        });
+        assert_eq!(conf, scalar_conf, "m={m}: SIMD diverged from scalar");
+        let q_conf = qp.predict_batch(&scratch, 0).to_vec();
         for (r, &batched_conf) in conf.iter().enumerate() {
             let (vi, vp, t) = inputs.row(r);
             let seq = predictor.predict(vi, vp, t, 0);
@@ -218,29 +286,38 @@ fn main() {
                 (seq - batched_conf).abs() <= 1e-5,
                 "m={m} row {r}: sequential {seq} vs batched {batched_conf}"
             );
+            assert!(
+                (q_conf[r] - batched_conf).abs() <= 0.12,
+                "m={m} row {r}: quantized {} strayed from f32 {batched_conf}",
+                q_conf[r]
+            );
         }
 
         records.push(SizeRecord {
             m,
             sequential,
             batched,
+            simd,
+            quantized,
             batched_insight,
             speedup: sequential.mean_us / batched.mean_us,
+            simd_speedup: batched.mean_us / simd.mean_us,
+            quantized_speedup: batched.mean_us / quantized.mean_us,
             insight_overhead: batched_insight.mean_us / batched.mean_us,
         });
     }
 
     print_table(
-        "Gate decision latency per round (sequential vs batched)",
+        "Gate decision latency per round (sequential / batched / SIMD / int8)",
         &[
             "m",
             "seq p50 µs",
-            "seq p99 µs",
-            "seq rounds/s",
             "batch p50 µs",
-            "batch p99 µs",
-            "batch rounds/s",
-            "speedup",
+            "batch speedup",
+            "simd p50 µs",
+            "simd speedup",
+            "int8 p50 µs",
+            "int8 speedup",
             "insight p50 µs",
             "insight ovh",
         ],
@@ -250,12 +327,12 @@ fn main() {
                 vec![
                     r.m.to_string(),
                     format!("{:.1}", r.sequential.p50_us),
-                    format!("{:.1}", r.sequential.p99_us),
-                    format!("{:.0}", r.sequential.rounds_per_sec),
                     format!("{:.1}", r.batched.p50_us),
-                    format!("{:.1}", r.batched.p99_us),
-                    format!("{:.0}", r.batched.rounds_per_sec),
                     format!("{:.2}x", r.speedup),
+                    format!("{:.1}", r.simd.p50_us),
+                    format!("{:.2}x", r.simd_speedup),
+                    format!("{:.1}", r.quantized.p50_us),
+                    format!("{:.2}x", r.quantized_speedup),
                     format!("{:.1}", r.batched_insight.p50_us),
                     format!("{:.2}x", r.insight_overhead),
                 ]
@@ -267,6 +344,7 @@ fn main() {
         scale: if quick { "quick".into() } else { "std".into() },
         window: w,
         embedding: format!("{:?}", config.embedding),
+        cpu_features: detected_level().name().to_string(),
         sizes: records,
     };
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_gate.json");

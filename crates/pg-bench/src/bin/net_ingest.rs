@@ -34,7 +34,9 @@ fn main() {
 
     for &loss in &[0.0f64, 0.02, 0.05, 0.10] {
         for &gop in &[8u32, 25, 100] {
-            let enc = EncoderConfig::new(Codec::H264).with_gop(gop).with_b_frames(2);
+            let enc = EncoderConfig::new(Codec::H264)
+                .with_gop(gop)
+                .with_b_frames(2);
             let run = |mut stream: NetworkedStream| -> (f64, f64, u64) {
                 let mut decoder = Decoder::new(0, CostModel::default());
                 let mut decodable = 0u64;
@@ -57,14 +59,13 @@ fn main() {
                     stats.records_resynced,
                 )
             };
-            let (delivered_rate, decodable_rate, resyncs) =
-                run(NetworkedStream::with_config(
-                    TaskKind::PersonCounting,
-                    2024,
-                    enc,
-                    ImpairmentConfig::lossy(loss),
-                    ReassemblyConfig::default(),
-                ));
+            let (delivered_rate, decodable_rate, resyncs) = run(NetworkedStream::with_config(
+                TaskKind::PersonCounting,
+                2024,
+                enc,
+                ImpairmentConfig::lossy(loss),
+                ReassemblyConfig::default(),
+            ));
             let (_, arq_decodable_rate, _) = run(NetworkedStream::with_arq(
                 TaskKind::PersonCounting,
                 2024,
@@ -84,7 +85,14 @@ fn main() {
 
     print_table(
         "network ingest under datagram loss (delivery vs decodability)",
-        &["loss", "GOP", "delivered", "decodable", "decodable+ARQ", "resyncs"],
+        &[
+            "loss",
+            "GOP",
+            "delivered",
+            "decodable",
+            "decodable+ARQ",
+            "resyncs",
+        ],
         &rows
             .iter()
             .map(|r| {

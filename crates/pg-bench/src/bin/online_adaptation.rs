@@ -6,8 +6,8 @@
 //! under-trained) and compare frozen vs online-fine-tuned gating accuracy
 //! over time on the target domain.
 
-use packetgame::OnlineConfig;
 use packetgame::training::{balance_dataset, build_offline_dataset, train};
+use packetgame::OnlineConfig;
 use packetgame::{ContextualPredictor, PacketGame};
 use pg_bench::harness::{bench_config, print_table, sparkline, write_json, Scale};
 use pg_codec::{Codec, EncoderConfig};

@@ -10,8 +10,7 @@
 //! `R(T)` should be well below 1 (√T ⇒ 0.5).
 
 use packetgame::theory::{
-    approximation_ratio, cumulative_regret, lemma1_bound, regret_growth_exponent,
-    ucb_bandit_regret,
+    approximation_ratio, cumulative_regret, lemma1_bound, regret_growth_exponent, ucb_bandit_regret,
 };
 use packetgame::{Item, OracleGate, PacketGame};
 use pg_bench::harness::{bench_config, print_table, trained_predictor, write_json, Scale};
@@ -95,7 +94,14 @@ fn main() {
     let bandit_exponent = regret_growth_exponent(&bandit);
     print_table(
         "Theorem 1 — combinatorial-bandit regret vs best fixed subset",
-        &["arms", "k", "rounds", "final regret", "growth exponent", "sublinear?"],
+        &[
+            "arms",
+            "k",
+            "rounds",
+            "final regret",
+            "growth exponent",
+            "sublinear?",
+        ],
         &[vec![
             means.len().to_string(),
             "8".into(),

@@ -29,7 +29,13 @@ fn main() {
     let tick = |b: bool| if b { "yes" } else { "no" }.to_string();
     print_table(
         "Table 1 — feature comparison (regenerated from comparator models)",
-        &["method", "reduce decode", "commodity cams", "offline videos", "cross-stream"],
+        &[
+            "method",
+            "reduce decode",
+            "commodity cams",
+            "offline videos",
+            "cross-stream",
+        ],
         &methods
             .iter()
             .map(|(name, m)| {
@@ -57,7 +63,11 @@ fn main() {
             .iter()
             .map(|&t| {
                 let (ds, src) = dataset(t);
-                vec![ds.to_string(), src.to_string(), format!("{} ({})", t.name(), t.abbrev())]
+                vec![
+                    ds.to_string(),
+                    src.to_string(),
+                    format!("{} ({})", t.name(), t.abbrev()),
+                ]
             })
             .collect::<Vec<_>>(),
     );

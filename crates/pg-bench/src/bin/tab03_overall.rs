@@ -43,8 +43,7 @@ fn main() {
                 "Temporal" => Box::new(TemporalGate::new(config.window, config.exploration_cap)),
                 "Contextual" => Box::new(ContextualGate::train(task, &config, 55)),
                 "PacketGame" => {
-                    let mut p =
-                        packetgame::ContextualPredictor::new(config.clone().with_seed(55));
+                    let mut p = packetgame::ContextualPredictor::new(config.clone().with_seed(55));
                     p.load_weight_file(&wf).expect("weights");
                     Box::new(PacketGame::new(config.clone(), p))
                 }

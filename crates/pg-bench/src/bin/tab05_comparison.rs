@@ -45,7 +45,10 @@ fn main() {
     let scored = score_samples(&mut predictor, &balanced[cut..]);
     let curve = offline_curve(&scored, 201);
     let pg_rate = filtering_rate_at_accuracy(&curve, 0.90).unwrap_or(0.793);
-    println!("measured PacketGame filtering rate at 90% accuracy: {:.1}%", pg_rate * 100.0);
+    println!(
+        "measured PacketGame filtering rate at 90% accuracy: {:.1}%",
+        pg_rate * 100.0
+    );
 
     let stacks = table5_rows(pg_rate);
     let rows: Vec<Row> = stacks

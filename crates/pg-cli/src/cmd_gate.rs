@@ -27,6 +27,11 @@ OPTIONS:
                              (default packetgame)
     --weights <path>         trained weight file (packetgame policy; trains
                              a small predictor on the fly if omitted)
+    --quantized [<rounds>]   int8 quantized inference (packetgame policy):
+                             calibrate activation scales for <rounds>
+                             live rounds (default 8), then gate with the
+                             quantized snapshot (statistical decision
+                             equivalence; see DESIGN.md D9)
     --seed <n>               workload seed (default 1)
 
 OBSERVABILITY (any of these also enables the decision-quality monitor:
@@ -94,6 +99,20 @@ pub fn run(args: &[String]) -> Result<(), String> {
     };
     let watch = watch_requested.then(|| Watch::start(telemetry.clone()));
 
+    // `--quantized` alone calibrates for 8 rounds; `--quantized <n>` for n.
+    let quant_calib: usize = match o.str_or("quantized", "").as_str() {
+        "" => 0,
+        "true" => 8,
+        s => s
+            .parse()
+            .map_err(|_| format!("bad --quantized rounds {s:?}"))?,
+    };
+    if quant_calib > 0 && policy != "packetgame" {
+        return Err(format!(
+            "--quantized requires --policy packetgame, not {policy:?}"
+        ));
+    }
+
     let config = test_config();
     let mut gate: Box<dyn GatePolicy> = match policy.as_str() {
         "random" => Box::new(RandomGate::new(seed)),
@@ -101,7 +120,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "roundrobin" => Box::new(RoundRobinGate::new()),
         "optimal" => Box::new(OracleGate),
         "packetgame" => {
-            match o.str_required("weights") {
+            let mut game = match o.str_required("weights") {
                 Ok(path) => {
                     let wf = pg_nn::serialize::WeightFile::load(&path)
                         .map_err(|e| format!("loading {path}: {e}"))?;
@@ -117,14 +136,19 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     let (cfg, p) = loaded.ok_or_else(|| {
                         format!("weight file {path} does not match a known architecture")
                     })?;
-                    Box::new(PacketGame::new(cfg, p))
+                    PacketGame::new(cfg, p)
                 }
                 Err(_) => {
                     eprintln!("no --weights given; training a small predictor ...");
                     let predictor = packetgame::train_for_task(task, &config, seed);
-                    Box::new(PacketGame::new(config, predictor))
+                    PacketGame::new(config, predictor)
                 }
+            };
+            if quant_calib > 0 {
+                game.enable_quantized_inference(quant_calib)?;
+                eprintln!("int8 inference after {quant_calib} calibration rounds ...");
             }
+            Box::new(game)
         }
         other => return Err(format!("unknown policy {other:?}")),
     };
@@ -138,15 +162,18 @@ pub fn run(args: &[String]) -> Result<(), String> {
     for (s, r) in parse_injections(&o.str_or("inject-dropfb", ""))? {
         plan = plan.with_dropped_feedback(s, r);
     }
-    for s in o.str_or("inject-header", "").split(',').filter(|s| !s.is_empty()) {
+    for s in o
+        .str_or("inject-header", "")
+        .split(',')
+        .filter(|s| !s.is_empty())
+    {
         let s: usize = s
             .trim()
             .parse()
             .map_err(|_| format!("bad --inject-header stream {s:?}"))?;
         plan = plan.with_corrupt_header(s);
     }
-    let quarantine =
-        QuarantineConfig::new(o.num_or("cooldown", 16)?, o.num_or("strikes", 1u32)?);
+    let quarantine = QuarantineConfig::new(o.num_or("cooldown", 16)?, o.num_or("strikes", 1u32)?);
 
     let inputs: Vec<String> = o
         .str_or("inputs", "")
@@ -193,7 +220,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
         expose_oracle: policy == "optimal",
         ..SimConfig::default()
     };
-    eprintln!("replaying {} offline streams at B={budget} ...", recorded.len());
+    eprintln!(
+        "replaying {} offline streams at B={budget} ...",
+        recorded.len()
+    );
     let report = ReplaySimulator::new(recorded, sim_config)
         .with_telemetry(telemetry)
         .run(gate.as_mut(), rounds);
@@ -212,7 +242,10 @@ fn finish_observers(watch: Option<Watch>, server: Option<MetricsServer>, linger_
     }
     if let Some(s) = server {
         if linger_secs > 0 {
-            eprintln!("[metrics lingering {linger_secs}s at http://{}/metrics]", s.local_addr());
+            eprintln!(
+                "[metrics lingering {linger_secs}s at http://{}/metrics]",
+                s.local_addr()
+            );
             std::thread::sleep(std::time::Duration::from_secs(linger_secs));
         }
         s.stop();
@@ -291,7 +324,11 @@ fn print_report(report: &pg_pipeline::RoundSimReport, budget: f64) {
     println!("staleness acc.  {:.2}%", report.staleness_overall() * 100.0);
     println!("recall          {:.2}%", report.recall() * 100.0);
     println!("filtering rate  {:.2}%", report.filtering_rate() * 100.0);
-    println!("cost/round      {:.2} of {:.2}", report.mean_cost_per_round(), budget);
+    println!(
+        "cost/round      {:.2} of {:.2}",
+        report.mean_cost_per_round(),
+        budget
+    );
     println!(
         "decoded         {} of {} packets (+{} dependency back-fill)",
         report.packets_decoded, report.packets_total, report.packets_backfilled

@@ -45,7 +45,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
         header.config.gop,
         header.config.b_frames,
     );
-    println!("  file: {} KiB, {} packets parsed, {} damaged records", bytes.len() / 1024, packets.len(), damaged);
+    println!(
+        "  file: {} KiB, {} packets parsed, {} damaged records",
+        bytes.len() / 1024,
+        packets.len(),
+        damaged
+    );
 
     let costs = CostModel::default();
     let mut count = [0u64; 3];
@@ -74,7 +79,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "  total decode cost: {total_cost:.1} units ({:.2} units/frame)",
         total_cost / packets.len().max(1) as f64
     );
-    let gops = packets.iter().map(|p| p.meta.gop_id).max().map(|g| g + 1).unwrap_or(0);
+    let gops = packets
+        .iter()
+        .map(|p| p.meta.gop_id)
+        .max()
+        .map(|g| g + 1)
+        .unwrap_or(0);
     println!("  GOPs: {gops}");
 
     if dump > 0 {

@@ -59,7 +59,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         received += arrived;
     }
     let stats = stream.stats();
-    println!("link: drop {:.1}% corrupt {:.1}% duplicate {:.1}% jitter {} ticks",
+    println!(
+        "link: drop {:.1}% corrupt {:.1}% duplicate {:.1}% jitter {} ticks",
         impairments.drop_chance * 100.0,
         impairments.corrupt_chance * 100.0,
         impairments.duplicate_chance * 100.0,

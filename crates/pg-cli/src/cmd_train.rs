@@ -50,7 +50,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let cut = (balanced.len() * 4 / 5).max(1);
     let (train_set, test_set) = balanced.split_at(cut);
 
-    eprintln!("training {epochs} epochs on {} samples ...", train_set.len());
+    eprintln!(
+        "training {epochs} epochs on {} samples ...",
+        train_set.len()
+    );
     let mut predictor = ContextualPredictor::new(config.clone());
     let loss = train(&mut predictor, train_set, &config);
     let acc = classification_accuracy(&score_samples(&mut predictor, test_set));

@@ -23,8 +23,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let path = &o.positional()[0];
     let wf = WeightFile::load(path).map_err(|e| format!("loading {path}: {e}"))?;
 
-    println!("{path}: {} entries, {} parameters", wf.len(), wf.total_params());
-    println!("\n{:<12} {:>10} {:>12} {:>12} {:>12}", "entry", "params", "min", "mean", "max");
+    println!(
+        "{path}: {} entries, {} parameters",
+        wf.len(),
+        wf.total_params()
+    );
+    println!(
+        "\n{:<12} {:>10} {:>12} {:>12} {:>12}",
+        "entry", "params", "min", "mean", "max"
+    );
     for (name, values) in wf.entries() {
         let (mut lo, mut hi, mut sum) = (f32::MAX, f32::MIN, 0.0f64);
         for &v in values {
@@ -32,7 +39,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
             hi = hi.max(v);
             sum += f64::from(v);
         }
-        let mean = if values.is_empty() { 0.0 } else { sum / values.len() as f64 };
+        let mean = if values.is_empty() {
+            0.0
+        } else {
+            sum / values.len() as f64
+        };
         println!(
             "{:<12} {:>10} {:>12.4} {:>12.4} {:>12.4}",
             name,

@@ -152,8 +152,14 @@ mod tests {
             Duration::from_micros(5),
         );
         let second = scrape(server.local_addr());
-        assert!(first.contains(r#"pg_stage_calls_total{stage="decode"} 0"#), "{first}");
-        assert!(second.contains(r#"pg_stage_calls_total{stage="decode"} 1"#), "{second}");
+        assert!(
+            first.contains(r#"pg_stage_calls_total{stage="decode"} 0"#),
+            "{first}"
+        );
+        assert!(
+            second.contains(r#"pg_stage_calls_total{stage="decode"} 1"#),
+            "{second}"
+        );
         server.stop();
     }
 }

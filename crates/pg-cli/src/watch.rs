@@ -34,10 +34,7 @@ impl Watch {
             .name("pgv-watch".into())
             .spawn(move || run(&telemetry, interval, &thread_stop))
             .ok();
-        Watch {
-            stop,
-            handle,
-        }
+        Watch { stop, handle }
     }
 
     /// Stop the dashboard after a final redraw.
@@ -119,7 +116,11 @@ pub fn render(snapshot: &TelemetrySnapshot) -> Vec<String> {
         r.exponent
             .map(|e| format!("{e:.2} (≤{:.2})", r.threshold))
             .unwrap_or_else(|| "—".to_string()),
-        if r.flagged { "ALARM: super-√T growth" } else { "ok" }
+        if r.flagged {
+            "ALARM: super-√T growth"
+        } else {
+            "ok"
+        }
     ));
     let l = &ins.lemma1;
     lines.push(format!(
@@ -170,8 +171,7 @@ mod tests {
 
     #[test]
     fn renders_the_insight_panel() {
-        let telemetry =
-            Telemetry::enabled().with_insight(pg_pipeline::Insight::enabled());
+        let telemetry = Telemetry::enabled().with_insight(pg_pipeline::Insight::enabled());
         let insight = telemetry.insight().clone();
         for round in 0..4 {
             insight.observe_packet(0, round, true, 1000);

@@ -41,14 +41,21 @@ fn generate_then_inspect_roundtrip() {
         .arg(&file)
         .output()
         .expect("generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(file.exists());
 
     let out = pgv().arg("inspect").arg(&file).output().expect("inspect");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("H.265"), "inspect output: {text}");
-    assert!(text.contains("200 packets parsed"), "inspect output: {text}");
+    assert!(
+        text.contains("200 packets parsed"),
+        "inspect output: {text}"
+    );
     assert!(text.contains("GOPs: 20"), "inspect output: {text}");
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -60,7 +67,9 @@ fn gate_replays_offline_files() {
     let b = dir.join("b.pgv");
     for (seed, path) in [("5", &a), ("6", &b)] {
         let out = pgv()
-            .args(["generate", "--task", "AD", "--frames", "150", "--seed", seed, "--out"])
+            .args([
+                "generate", "--task", "AD", "--frames", "150", "--seed", seed, "--out",
+            ])
             .arg(path)
             .output()
             .expect("generate");
@@ -69,11 +78,21 @@ fn gate_replays_offline_files() {
     let inputs = format!("{},{}", a.display(), b.display());
     let out = pgv()
         .args([
-            "gate", "--inputs", &inputs, "--policy", "roundrobin", "--budget", "1.5",
+            "gate",
+            "--inputs",
+            &inputs,
+            "--policy",
+            "roundrobin",
+            "--budget",
+            "1.5",
         ])
         .output()
         .expect("gate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("policy          RoundRobin"), "{text}");
     assert!(text.contains("accuracy"), "{text}");
@@ -101,8 +120,19 @@ fn gate_serves_metrics_and_writes_insight_telemetry() {
     let telemetry_file = dir.join("telemetry.json");
     let mut child = pgv()
         .args([
-            "gate", "--streams", "4", "--rounds", "80", "--budget", "2", "--policy", "random",
-            "--metrics-addr", "127.0.0.1:0", "--metrics-linger", "10",
+            "gate",
+            "--streams",
+            "4",
+            "--rounds",
+            "80",
+            "--budget",
+            "2",
+            "--policy",
+            "random",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--metrics-linger",
+            "10",
         ])
         .arg("--metrics-addr-file")
         .arg(&addr_file)
@@ -117,7 +147,10 @@ fn gate_serves_metrics_and_writes_insight_telemetry() {
     // to finish (the JSON lands before the linger window starts).
     let wait_for = |path: &std::path::Path| {
         for _ in 0..400 {
-            if std::fs::metadata(path).map(|m| m.len() > 0).unwrap_or(false) {
+            if std::fs::metadata(path)
+                .map(|m| m.len() > 0)
+                .unwrap_or(false)
+            {
                 return true;
             }
             std::thread::sleep(std::time::Duration::from_millis(50));
@@ -129,7 +162,8 @@ fn gate_serves_metrics_and_writes_insight_telemetry() {
 
     let addr = std::fs::read_to_string(&addr_file).expect("addr file");
     let mut conn = std::net::TcpStream::connect(addr.trim()).expect("connect to metrics");
-    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").expect("request");
+    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+        .expect("request");
     let mut raw = String::new();
     conn.read_to_string(&mut raw).expect("scrape");
     let body = raw.split_once("\r\n\r\n").expect("http response").1;
@@ -145,7 +179,10 @@ fn gate_serves_metrics_and_writes_insight_telemetry() {
     }
 
     let json = std::fs::read_to_string(&telemetry_file).expect("telemetry json");
-    assert!(json.contains(r#""insight""#), "insight missing from snapshot");
+    assert!(
+        json.contains(r#""insight""#),
+        "insight missing from snapshot"
+    );
     assert!(json.contains(r#""regret""#), "regret missing from snapshot");
 
     child.kill().ok(); // don't sit out the linger window
@@ -155,7 +192,61 @@ fn gate_serves_metrics_and_writes_insight_telemetry() {
 
 #[test]
 fn missing_required_option_is_a_clean_error() {
-    let out = pgv().args(["generate", "--task", "PC"]).output().expect("run");
+    let out = pgv()
+        .args(["generate", "--task", "PC"])
+        .output()
+        .expect("run");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+}
+
+#[test]
+fn gate_quantized_toggle_runs_and_guards_policy() {
+    // Quantized gating: calibrate briefly, then the int8 snapshot scores
+    // the rest of the run. Small shapes keep the inline training cheap.
+    let out = pgv()
+        .args([
+            "gate",
+            "--streams",
+            "6",
+            "--rounds",
+            "40",
+            "--budget",
+            "2",
+            "--seed",
+            "5",
+            "--quantized",
+            "4",
+        ])
+        .output()
+        .expect("run quantized gate");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("int8 inference after 4 calibration rounds"),
+        "{err}"
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("filtering rate"), "{text}");
+
+    // The flag only makes sense for the packetgame policy.
+    let out = pgv()
+        .args([
+            "gate",
+            "--streams",
+            "4",
+            "--rounds",
+            "10",
+            "--policy",
+            "random",
+            "--quantized",
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--quantized requires"));
 }

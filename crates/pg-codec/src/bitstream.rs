@@ -230,10 +230,7 @@ mod tests {
         let before = w.len();
         w.write_packet(&pkts[0]);
         let record_len = w.len() - before;
-        assert_eq!(
-            record_len,
-            RECORD_HEADER_SIZE + pkts[0].meta.size as usize
-        );
+        assert_eq!(record_len, RECORD_HEADER_SIZE + pkts[0].meta.size as usize);
     }
 
     #[test]
@@ -263,7 +260,10 @@ mod tests {
     #[test]
     fn read_scene_rejects_unknown_tag() {
         let mut buf = Vec::new();
-        write_scene(&mut buf, &SceneFrame::new(0, 0.0, 0.0, SceneState::Fire(false)));
+        write_scene(
+            &mut buf,
+            &SceneFrame::new(0, 0.0, 0.0, SceneState::Fire(false)),
+        );
         buf[24] = 99; // corrupt the tag byte
         let mut cursor = &buf[..];
         assert!(read_scene(&mut cursor).is_none());

@@ -192,7 +192,9 @@ mod tests {
     use pg_scene::{PersonSceneGen, SceneGenerator};
 
     fn stream(gop: u32, b: u32, n: usize) -> (Decoder, Vec<Packet>) {
-        let config = EncoderConfig::new(Codec::H264).with_gop(gop).with_b_frames(b);
+        let config = EncoderConfig::new(Codec::H264)
+            .with_gop(gop)
+            .with_b_frames(b);
         let mut enc = Encoder::new(config, 13);
         let mut scene = PersonSceneGen::new(13, 25.0);
         let packets: Vec<Packet> = (0..n).map(|_| enc.encode(&scene.next_frame())).collect();
@@ -219,7 +221,10 @@ mod tests {
         let (mut dec, _) = stream(9, 2, 9);
         // seq 2 is a B referencing I0 and P1.
         let err = dec.decode(2).unwrap_err();
-        assert!(matches!(err, CodecError::MissingReference { missing: 0, .. }));
+        assert!(matches!(
+            err,
+            CodecError::MissingReference { missing: 0, .. }
+        ));
     }
 
     #[test]

@@ -149,7 +149,9 @@ mod tests {
 
     /// Encode an IPBBPBB… stream and ingest everything.
     fn setup(gop: u32, b: u32, n: usize) -> (DependencyTracker, Vec<Packet>) {
-        let config = EncoderConfig::new(Codec::H264).with_gop(gop).with_b_frames(b);
+        let config = EncoderConfig::new(Codec::H264)
+            .with_gop(gop)
+            .with_b_frames(b);
         let mut enc = Encoder::new(config, 9);
         let mut scene = PersonSceneGen::new(9, 25.0);
         let packets: Vec<Packet> = (0..n).map(|_| enc.encode(&scene.next_frame())).collect();

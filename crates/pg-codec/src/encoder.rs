@@ -265,7 +265,8 @@ mod tests {
         for (gop, b) in [(1, 0), (2, 0), (5, 2), (25, 2), (300, 3), (7, 10)] {
             let pkts = packets(Codec::H264, gop, b, 200);
             for pk in &pkts {
-                pk.validate().unwrap_or_else(|e| panic!("gop={gop} b={b}: {e}"));
+                pk.validate()
+                    .unwrap_or_else(|e| panic!("gop={gop} b={b}: {e}"));
             }
         }
     }
@@ -339,7 +340,9 @@ mod tests {
     #[test]
     fn adaptive_gop_inserts_keyframes_at_scene_cuts() {
         use pg_scene::{SceneFrame, SceneState};
-        let config = EncoderConfig::new(Codec::H264).with_gop(50).with_b_frames(2);
+        let config = EncoderConfig::new(Codec::H264)
+            .with_gop(50)
+            .with_b_frames(2);
         let mut enc = Encoder::new(config, 5).with_adaptive_gop(0.8);
         let mut packets = Vec::new();
         for i in 0..30u64 {
@@ -370,7 +373,9 @@ mod tests {
     #[test]
     fn adaptive_gop_respects_max_gop_length() {
         use pg_scene::{SceneFrame, SceneState};
-        let config = EncoderConfig::new(Codec::H264).with_gop(10).with_b_frames(0);
+        let config = EncoderConfig::new(Codec::H264)
+            .with_gop(10)
+            .with_b_frames(0);
         let mut enc = Encoder::new(config, 6).with_adaptive_gop(5.0); // never triggers
         let mut i_positions = Vec::new();
         for i in 0..40u64 {
@@ -386,7 +391,10 @@ mod tests {
     #[test]
     fn large_gop_300() {
         let p = packets(Codec::H264, 300, 2, 600);
-        let i_count = p.iter().filter(|pk| pk.meta.frame_type == FrameType::I).count();
+        let i_count = p
+            .iter()
+            .filter(|pk| pk.meta.frame_type == FrameType::I)
+            .count();
         assert_eq!(i_count, 2);
         assert_eq!(p[300].meta.frame_type, FrameType::I);
     }

@@ -48,7 +48,9 @@ pub mod packet;
 pub mod parser;
 pub mod size_model;
 
-pub use bitstream::{serialize_stream, serialize_stream_chunks, BitstreamWriter, STREAM_MAGIC, SYNC_MARKER};
+pub use bitstream::{
+    serialize_stream, serialize_stream_chunks, BitstreamWriter, STREAM_MAGIC, SYNC_MARKER,
+};
 pub use config::{Codec, EncoderConfig};
 pub use cost::CostModel;
 pub use decoder::{DecodedFrame, Decoder, DecoderStats};

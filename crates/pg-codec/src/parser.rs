@@ -246,7 +246,11 @@ impl PacketParser {
                 gop: gop.max(1),
                 b_frames,
                 bitrate,
-                fps: if fps.is_finite() && fps > 0.0 { fps } else { 25.0 },
+                fps: if fps.is_finite() && fps > 0.0 {
+                    fps
+                } else {
+                    25.0
+                },
                 width,
                 height,
             },
@@ -306,8 +310,7 @@ impl PacketParser {
             offset: self.consumed,
             reason: format!("unknown frame type byte 0x{:02x}", bytes[26]),
         })?;
-        let payload_len =
-            u32::from_le_bytes(bytes[27..31].try_into().expect("4 bytes")) as usize;
+        let payload_len = u32::from_le_bytes(bytes[27..31].try_into().expect("4 bytes")) as usize;
         // Sanity cap: a corrupted length field must not stall the parser
         // forever waiting for phantom payload bytes.
         const MAX_PAYLOAD: usize = 16 << 20;
@@ -542,10 +545,12 @@ mod tests {
     use super::*;
     use crate::bitstream::serialize_stream;
     use crate::encoder::Encoder;
-    use pg_scene::{SrSceneGen, SceneGenerator};
+    use pg_scene::{SceneGenerator, SrSceneGen};
 
     fn stream_bytes(n: usize) -> (EncoderConfig, Vec<Packet>, Vec<u8>) {
-        let config = EncoderConfig::new(Codec::H265).with_gop(12).with_b_frames(2);
+        let config = EncoderConfig::new(Codec::H265)
+            .with_gop(12)
+            .with_b_frames(2);
         let mut enc = Encoder::for_stream(config, 17, 42);
         let mut scene = SrSceneGen::new(17, 25.0);
         let packets: Vec<Packet> = (0..n).map(|_| enc.encode(&scene.next_frame())).collect();
@@ -783,8 +788,12 @@ mod lossy_tests {
         let (config, packets, _) = stream(6);
         // Simulate: first header lost; later the sender repeats it.
         let mut bytes = Vec::new();
-        bytes.extend(crate::bitstream::serialize_stream_chunks::packet_bytes(&packets[0]));
-        bytes.extend(crate::bitstream::serialize_stream_chunks::header_bytes(1, &config));
+        bytes.extend(crate::bitstream::serialize_stream_chunks::packet_bytes(
+            &packets[0],
+        ));
+        bytes.extend(crate::bitstream::serialize_stream_chunks::header_bytes(
+            1, &config,
+        ));
         for p in &packets[1..] {
             bytes.extend(crate::bitstream::serialize_stream_chunks::packet_bytes(p));
         }
@@ -803,13 +812,17 @@ mod lossy_tests {
         for (i, p) in packets.iter().enumerate() {
             if i == 3 {
                 // In-band parameter-set repeat mid-stream.
-                bytes.extend(crate::bitstream::serialize_stream_chunks::header_bytes(1, &config));
+                bytes.extend(crate::bitstream::serialize_stream_chunks::header_bytes(
+                    1, &config,
+                ));
             }
             bytes.extend(crate::bitstream::serialize_stream_chunks::packet_bytes(p));
         }
         let mut parser = PacketParser::new();
         parser.push(&bytes);
-        let all = parser.drain_packets().expect("clean parse, no resync needed");
+        let all = parser
+            .drain_packets()
+            .expect("clean parse, no resync needed");
         assert_eq!(all, packets);
     }
 
@@ -818,7 +831,10 @@ mod lossy_tests {
         let (_, _, bytes) = stream(5);
         let mut parser = PacketParser::new();
         parser.push(&bytes);
-        parser.next_packet().expect("first packet").expect("present");
+        parser
+            .next_packet()
+            .expect("first packet")
+            .expect("present");
         // Pretend damage: resync from a known-good position discards up to
         // the next marker.
         let skipped = parser.resync();

@@ -91,8 +91,7 @@ impl SizeModel {
             FrameType::B => self.b_scale * self.k_p * (0.06 + motion.max(0.0)),
         };
         // Resolution scaling relative to 1080p (bits scale roughly with area).
-        let area_scale =
-            f64::from(config.width) * f64::from(config.height) / (1920.0 * 1080.0);
+        let area_scale = f64::from(config.width) * f64::from(config.height) / (1920.0 * 1080.0);
         (bpf * eff * raw * area_scale).max(f64::from(MIN_PACKET_SIZE))
     }
 
@@ -248,8 +247,7 @@ mod low_rate_tests {
         let hi = EncoderConfig::new(Codec::H264); // 4 Mbit/s
         let lo = EncoderConfig::new(Codec::H264).with_bitrate(100_000);
         assert!(
-            m.effective_sigma(lo.bytes_per_frame())
-                > 2.5 * m.effective_sigma(hi.bytes_per_frame())
+            m.effective_sigma(lo.bytes_per_frame()) > 2.5 * m.effective_sigma(hi.bytes_per_frame())
         );
 
         // Separation statistic between "calm" and "busy" P-frame sizes:

@@ -189,7 +189,10 @@ mod tests {
     fn separable_scores_reach_optimal() {
         let curve = offline_curve(&separable(1000), 101);
         // At threshold 0.5: filter all redundant (r = 0.5), accuracy 1.0.
-        let p = curve.iter().find(|p| (p.threshold - 0.5).abs() < 1e-9).unwrap();
+        let p = curve
+            .iter()
+            .find(|p| (p.threshold - 0.5).abs() < 1e-9)
+            .unwrap();
         assert!((p.filtering_rate - 0.5).abs() < 1e-9);
         assert!((p.accuracy - 1.0).abs() < 1e-9);
         assert!((auc(&curve) - 1.0).abs() < 1e-6);

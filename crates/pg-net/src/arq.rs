@@ -164,7 +164,9 @@ impl ReliableLink {
         // have been lost; if the in-order point is stuck behind datagrams
         // we have already seen, re-NACK the whole stalled range.
         let expected = self.receiver.next_seq();
-        if expected == before && expected < self.highest_seen.saturating_add(1) && self.receiver.buffered() > 0
+        if expected == before
+            && expected < self.highest_seen.saturating_add(1)
+            && self.receiver.buffered() > 0
         {
             self.stall_ticks += 1;
             if self.stall_ticks >= self.rto_ticks {

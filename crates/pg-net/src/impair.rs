@@ -139,7 +139,10 @@ impl ImpairedChannel {
             self.dropped += 1;
             return;
         }
-        let copies = if self.rng.gen_bool(self.config.duplicate_chance.clamp(0.0, 1.0)) {
+        let copies = if self
+            .rng
+            .gen_bool(self.config.duplicate_chance.clamp(0.0, 1.0))
+        {
             self.duplicated += 1;
             2
         } else {
@@ -147,7 +150,10 @@ impl ImpairedChannel {
         };
         for _ in 0..copies {
             let mut b = bytes.clone();
-            if !b.is_empty() && self.rng.gen_bool(self.config.corrupt_chance.clamp(0.0, 1.0))
+            if !b.is_empty()
+                && self
+                    .rng
+                    .gen_bool(self.config.corrupt_chance.clamp(0.0, 1.0))
             {
                 self.corrupted += 1;
                 flip_random_bit(&mut b, &mut self.rng);

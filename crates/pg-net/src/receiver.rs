@@ -185,7 +185,10 @@ mod tests {
             out.extend(r.accept(d, crc));
         }
         // All five delivered, in order 0..5.
-        assert_eq!(out, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4]);
+        assert_eq!(
+            out,
+            vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4]
+        );
         assert_eq!(r.duplicates, 0);
     }
 
@@ -249,7 +252,11 @@ mod tests {
             let (d, crc) = dgram(seq);
             r.accept(d, crc);
         }
-        assert!(r.buffered() <= 9, "buffer must stay bounded: {}", r.buffered());
+        assert!(
+            r.buffered() <= 9,
+            "buffer must stay bounded: {}",
+            r.buffered()
+        );
         assert!(r.skipped >= 1);
     }
 }

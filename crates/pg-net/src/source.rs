@@ -144,8 +144,7 @@ impl NetworkedStream {
         // real encoders repeat parameter sets) so a lost header datagram
         // does not kill the stream; then encode the next frame.
         if self.frames_since_header >= HEADER_REPEAT_INTERVAL {
-            let header =
-                serialize_stream_chunks::header_bytes(0, self.encoder.config());
+            let header = serialize_stream_chunks::header_bytes(0, self.encoder.config());
             for d in self.fragmenter.push(&header) {
                 self.send(d);
             }
@@ -181,8 +180,7 @@ impl NetworkedStream {
                 self.stats.datagrams_dropped = channel.dropped;
                 // Corruption is caught two ways: broken framing (counted
                 // here) and CRC mismatch (counted by the receiver).
-                self.stats.integrity_failures =
-                    self.framing_failures + receiver.integrity_failures;
+                self.stats.integrity_failures = self.framing_failures + receiver.integrity_failures;
                 out
             }
             Link::Reliable(link) => {
@@ -222,7 +220,11 @@ impl NetworkedStream {
 mod tests {
     use super::*;
 
-    fn run(impairments: ImpairmentConfig, ticks: usize, seed: u64) -> (Vec<Packet>, TransportStats) {
+    fn run(
+        impairments: ImpairmentConfig,
+        ticks: usize,
+        seed: u64,
+    ) -> (Vec<Packet>, TransportStats) {
         let mut stream = NetworkedStream::new(TaskKind::AnomalyDetection, seed, impairments);
         let mut packets = Vec::new();
         for _ in 0..ticks {

@@ -94,6 +94,24 @@ fn grow(v: &mut Vec<f32>, n: usize) {
     }
 }
 
+/// Lane stride (possibly padded batch) for feature-major kernel buffers.
+///
+/// A feature-major buffer stores one row per feature with sample lanes
+/// contiguous at a stride of `batch` elements. When that stride's byte
+/// size is a large power-of-two multiple the rows alias to a handful of
+/// L1 cache sets — and at exactly 4 KiB every row sits on its own page,
+/// thrashing the DTLB. At m = 1024 this *inverts* the SIMD advantage
+/// (the vector kernels run slower than scalar). Padding the stride by
+/// one lane block breaks the resonance; callers zero the padded lanes
+/// and discard their outputs.
+pub fn lane_stride(batch: usize) -> usize {
+    if batch >= 256 && batch.is_multiple_of(256) {
+        batch + 16
+    } else {
+        batch
+    }
+}
+
 /// Reusable ping-pong activation buffers for one batched forward pass.
 ///
 /// A pass starts with [`Scratch::begin`], which shapes the input activation

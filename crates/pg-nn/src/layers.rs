@@ -9,6 +9,8 @@
 use crate::batch::Scratch;
 use crate::init::{glorot_uniform, he_uniform, init_rng};
 use crate::param::ParamSet;
+#[cfg(target_arch = "x86_64")]
+use crate::simd::Level;
 use crate::tensor::Tensor;
 
 /// A differentiable layer.
@@ -82,26 +84,293 @@ fn tap_range(t: usize, pad: usize, kernel: usize, len: usize) -> (usize, usize) 
 const LANE_BLOCK: usize = 16;
 
 /// Transpose a sample-major `(batch, features)` batch view into a
-/// feature-major `(features, batch)` buffer: `dst[j*batch + r] =
+/// feature-major `(features, stride)` buffer: `dst[j*stride + r] =
 /// row(r)[j]`. The batched matmul-style kernels run feature-major so the
-/// innermost loop walks contiguous sample lanes.
-fn transpose_to_feature_major(inp: &crate::batch::BatchView<'_>, dst: &mut [f32]) {
+/// innermost loop walks contiguous sample lanes. `stride ≥ batch` (see
+/// [`crate::batch::lane_stride`]); padded lanes are zeroed so the kernels
+/// compute on defined values (never denormal garbage) and the results are
+/// simply discarded by the inverse transpose.
+fn transpose_to_feature_major(inp: &crate::batch::BatchView<'_>, dst: &mut [f32], stride: usize) {
     let batch = inp.batch();
-    for r in 0..batch {
+    let features = dst.len() / stride;
+    let mut r0 = 0;
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::active_level() == Level::Avx2 {
+        let data = inp.data();
+        while r0 + 8 <= batch {
+            let mut j0 = 0;
+            while j0 + 8 <= features {
+                // SAFETY: AVX2 verified by the dispatch level; the tile
+                // spans rows r0..r0+8 × features j0..j0+8, in bounds by
+                // the loop conditions.
+                unsafe {
+                    transpose_tile8x8_avx2(data, dst, r0, j0, features, stride);
+                }
+                j0 += 8;
+            }
+            for r in r0..r0 + 8 {
+                for j in j0..features {
+                    dst[j * stride + r] = data[r * features + j];
+                }
+            }
+            r0 += 8;
+        }
+    }
+    for r in r0..batch {
         for (j, &v) in inp.row(r).iter().enumerate() {
-            dst[j * batch + r] = v;
+            dst[j * stride + r] = v;
+        }
+    }
+    if stride > batch {
+        for j in 0..features {
+            dst[j * stride + batch..(j + 1) * stride].fill(0.0);
         }
     }
 }
 
+/// 8×8 f32 transpose core: unpack pairs, shuffle quads, then swap
+/// 128-bit halves. Pure data movement — bit-identical to the scalar copy
+/// by construction.
+///
+/// # Safety
+/// Requires AVX2 at runtime; the caller guarantees the tile is in bounds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn transpose8x8_avx2(
+    rows: [std::arch::x86_64::__m256; 8],
+) -> [std::arch::x86_64::__m256; 8] {
+    use std::arch::x86_64::*;
+    let [r0, r1, r2, r3, r4, r5, r6, r7] = rows;
+    let t0 = _mm256_unpacklo_ps(r0, r1);
+    let t1 = _mm256_unpackhi_ps(r0, r1);
+    let t2 = _mm256_unpacklo_ps(r2, r3);
+    let t3 = _mm256_unpackhi_ps(r2, r3);
+    let t4 = _mm256_unpacklo_ps(r4, r5);
+    let t5 = _mm256_unpackhi_ps(r4, r5);
+    let t6 = _mm256_unpacklo_ps(r6, r7);
+    let t7 = _mm256_unpackhi_ps(r6, r7);
+    let s0 = _mm256_shuffle_ps(t0, t2, 0b01_00_01_00);
+    let s1 = _mm256_shuffle_ps(t0, t2, 0b11_10_11_10);
+    let s2 = _mm256_shuffle_ps(t1, t3, 0b01_00_01_00);
+    let s3 = _mm256_shuffle_ps(t1, t3, 0b11_10_11_10);
+    let s4 = _mm256_shuffle_ps(t4, t6, 0b01_00_01_00);
+    let s5 = _mm256_shuffle_ps(t4, t6, 0b11_10_11_10);
+    let s6 = _mm256_shuffle_ps(t5, t7, 0b01_00_01_00);
+    let s7 = _mm256_shuffle_ps(t5, t7, 0b11_10_11_10);
+    [
+        _mm256_permute2f128_ps(s0, s4, 0x20),
+        _mm256_permute2f128_ps(s1, s5, 0x20),
+        _mm256_permute2f128_ps(s2, s6, 0x20),
+        _mm256_permute2f128_ps(s3, s7, 0x20),
+        _mm256_permute2f128_ps(s0, s4, 0x31),
+        _mm256_permute2f128_ps(s1, s5, 0x31),
+        _mm256_permute2f128_ps(s2, s6, 0x31),
+        _mm256_permute2f128_ps(s3, s7, 0x31),
+    ]
+}
+
+/// Sample-major → feature-major 8×8 tile.
+///
+/// # Safety
+/// Requires AVX2 at runtime, `(r0+7)*features + j0+7 < data.len()` and
+/// `(j0+7)*stride + r0+7 < dst.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn transpose_tile8x8_avx2(
+    data: &[f32],
+    dst: &mut [f32],
+    r0: usize,
+    j0: usize,
+    features: usize,
+    stride: usize,
+) {
+    use std::arch::x86_64::*;
+    let mut rows = [_mm256_setzero_ps(); 8];
+    for (q, row) in rows.iter_mut().enumerate() {
+        *row = _mm256_loadu_ps(data.as_ptr().add((r0 + q) * features + j0));
+    }
+    let cols = transpose8x8_avx2(rows);
+    for (q, col) in cols.iter().enumerate() {
+        _mm256_storeu_ps(dst.as_mut_ptr().add((j0 + q) * stride + r0), *col);
+    }
+}
+
+/// Feature-major → sample-major 8×8 tile (inverse of
+/// [`transpose_tile8x8_avx2`]).
+///
+/// # Safety
+/// Requires AVX2 at runtime, `(j0+7)*stride + r0+7 < src.len()` and
+/// `(r0+7)*features + j0+7 < out.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn transpose_tile8x8_inv_avx2(
+    src: &[f32],
+    out: &mut [f32],
+    r0: usize,
+    j0: usize,
+    features: usize,
+    stride: usize,
+) {
+    use std::arch::x86_64::*;
+    let mut cols = [_mm256_setzero_ps(); 8];
+    for (q, col) in cols.iter_mut().enumerate() {
+        *col = _mm256_loadu_ps(src.as_ptr().add((j0 + q) * stride + r0));
+    }
+    let rows = transpose8x8_avx2(cols);
+    for (q, row) in rows.iter().enumerate() {
+        _mm256_storeu_ps(out.as_mut_ptr().add((r0 + q) * features + j0), *row);
+    }
+}
+
 /// Inverse of [`transpose_to_feature_major`]: feature-major `(features,
-/// batch)` back into the sample-major layout the scratch exposes.
-fn transpose_to_sample_major(src: &[f32], out: &mut [f32], batch: usize, features: usize) {
-    for r in 0..batch {
+/// stride)` back into the sample-major layout the scratch exposes, reading
+/// only the `batch` real lanes.
+fn transpose_to_sample_major(
+    src: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    features: usize,
+    stride: usize,
+) {
+    let mut r0 = 0;
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::active_level() == Level::Avx2 {
+        while r0 + 8 <= batch {
+            let mut j0 = 0;
+            while j0 + 8 <= features {
+                // SAFETY: AVX2 verified by the dispatch level; the tile
+                // spans features j0..j0+8 × lanes r0..r0+8, in bounds by
+                // the loop conditions.
+                unsafe {
+                    transpose_tile8x8_inv_avx2(src, out, r0, j0, features, stride);
+                }
+                j0 += 8;
+            }
+            for r in r0..r0 + 8 {
+                for j in j0..features {
+                    out[r * features + j] = src[j * stride + r];
+                }
+            }
+            r0 += 8;
+        }
+    }
+    for r in r0..batch {
         let dst = &mut out[r * features..(r + 1) * features];
         for (j, d) in dst.iter_mut().enumerate() {
-            *d = src[j * batch + r];
+            *d = src[j * stride + r];
         }
+    }
+}
+
+/// Dense matvec over **feature-major** activations: `y[j·stride + r] =
+/// b[j] + Σᵢ w[j·in_dim + i] · x[i·stride + r]` for every lane
+/// `r < stride`.
+///
+/// This is the layout the batched kernels use internally; exposing it lets
+/// mixed-precision pipelines (e.g. the quantized predictor's f32 fusion
+/// head) run a dense layer on already-feature-major buffers without the
+/// sample-major round-trip of [`Layer::forward_batch`]. Per-lane
+/// arithmetic order (bias first, then inputs in ascending `i`, separate
+/// multiply and add) is identical at every dispatch level, so results are
+/// bit-identical across levels.
+pub fn dense_feature_major(
+    w: &[f32],
+    bias: &[f32],
+    x: &[f32],
+    y: &mut [f32],
+    in_dim: usize,
+    out_dim: usize,
+    stride: usize,
+) {
+    assert_eq!(w.len(), out_dim * in_dim, "dense weight shape");
+    assert_eq!(bias.len(), out_dim, "dense bias shape");
+    assert_eq!(x.len(), in_dim * stride, "dense input shape");
+    assert_eq!(y.len(), out_dim * stride, "dense output shape");
+    let level = crate::simd::active_level();
+    let mut rc = 0;
+    while rc < stride {
+        let left = stride - rc;
+        #[cfg(target_arch = "x86_64")]
+        if level == Level::Avx2 && left >= LANE_BLOCK {
+            // SAFETY: AVX2 verified by the dispatch level (clamped to
+            // runtime detection); the block spans lanes rc..rc+16 within
+            // the asserted buffer shapes.
+            unsafe { dense_fm_lanes16_avx2(w, bias, x, y, in_dim, out_dim, rc, stride) };
+            rc += LANE_BLOCK;
+            continue;
+        }
+        let _ = level;
+        if left >= LANE_BLOCK {
+            dense_fm_lanes::<LANE_BLOCK>(w, bias, x, y, in_dim, out_dim, rc, stride);
+            rc += LANE_BLOCK;
+        } else if left >= 4 {
+            dense_fm_lanes::<4>(w, bias, x, y, in_dim, out_dim, rc, stride);
+            rc += 4;
+        } else {
+            dense_fm_lanes::<1>(w, bias, x, y, in_dim, out_dim, rc, stride);
+            rc += 1;
+        }
+    }
+}
+
+/// Scalar lane block of [`dense_feature_major`].
+#[allow(clippy::too_many_arguments)]
+fn dense_fm_lanes<const N: usize>(
+    w: &[f32],
+    bias: &[f32],
+    x: &[f32],
+    y: &mut [f32],
+    in_dim: usize,
+    out_dim: usize,
+    rc: usize,
+    stride: usize,
+) {
+    for j in 0..out_dim {
+        let w_row = &w[j * in_dim..(j + 1) * in_dim];
+        let mut acc = [bias[j]; N];
+        for (i, &wv) in w_row.iter().enumerate() {
+            let xs = &x[i * stride + rc..i * stride + rc + N];
+            for (a, &xv) in acc.iter_mut().zip(xs) {
+                *a += wv * xv;
+            }
+        }
+        y[j * stride + rc..j * stride + rc + N].copy_from_slice(&acc);
+    }
+}
+
+/// AVX2 16-lane block of [`dense_feature_major`].
+///
+/// # Safety
+/// Requires AVX2 at runtime and `rc + 16 <= stride`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn dense_fm_lanes16_avx2(
+    w: &[f32],
+    bias: &[f32],
+    x: &[f32],
+    y: &mut [f32],
+    in_dim: usize,
+    out_dim: usize,
+    rc: usize,
+    stride: usize,
+) {
+    use std::arch::x86_64::*;
+    for j in 0..out_dim {
+        let w_row = &w[j * in_dim..(j + 1) * in_dim];
+        let b = _mm256_set1_ps(bias[j]);
+        let mut acc0 = b;
+        let mut acc1 = b;
+        for (i, &wv) in w_row.iter().enumerate() {
+            let wb = _mm256_set1_ps(wv);
+            let xp = x.as_ptr().add(i * stride + rc);
+            acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(wb, _mm256_loadu_ps(xp)));
+            acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(wb, _mm256_loadu_ps(xp.add(8))));
+        }
+        let yp = y.as_mut_ptr().add(j * stride + rc);
+        _mm256_storeu_ps(yp, acc0);
+        _mm256_storeu_ps(yp.add(8), acc1);
     }
 }
 
@@ -192,6 +461,281 @@ impl Conv1d {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Explicit SIMD lane kernels (x86_64)
+//
+// Each mirrors `forward_lanes::<N>` with the per-lane accumulators held in
+// vector registers: broadcast the tap weight, multiply against N contiguous
+// sample lanes of the feature-major buffer, add into the accumulators.
+// Multiply and add stay separate instructions (never FMA), and taps stream
+// in the same ascending order as the scalar cascade, so every lane performs
+// the exact same rounding sequence — results are bit-identical across
+// AVX2 / SSE2 / scalar, and the runtime level choice is purely throughput.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+impl Conv1d {
+    /// AVX2 16-lane block: two `__m256` accumulators per `(o, t)` output,
+    /// with outputs processed four at a time so each 16-lane activation
+    /// tile is loaded once and reused across the block (the kernel is
+    /// load-port bound; blocking cuts activation loads 4×). Each output
+    /// still accumulates bias-first taps in ascending `(i, k)` order with
+    /// separate multiply and add, so results stay bit-identical to the
+    /// scalar cascade.
+    ///
+    /// # Safety
+    /// Requires AVX2 at runtime and `rc + 16 <= batch`, with `xt`/`yt`
+    /// shaped `(features, batch)` by the feature-major transpose.
+    #[target_feature(enable = "avx2")]
+    unsafe fn forward_lanes16_avx2(
+        &self,
+        xt: &[f32],
+        yt: &mut [f32],
+        rc: usize,
+        batch: usize,
+        len: usize,
+    ) {
+        use std::arch::x86_64::*;
+        let pad = self.kernel / 2;
+        for t in 0..len {
+            let (k_lo, k_hi) = tap_range(t, pad, self.kernel, len);
+            let mut o0 = 0;
+            while o0 + 4 <= self.out_ch {
+                let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+                for (ob, a) in acc.iter_mut().enumerate() {
+                    *a = [_mm256_set1_ps(self.bias.w[o0 + ob]); 2];
+                }
+                for i in 0..self.in_ch {
+                    for k in k_lo..k_hi {
+                        let col = (i * len + t + k - pad) * batch + rc;
+                        let x0 = _mm256_loadu_ps(xt.as_ptr().add(col));
+                        let x1 = _mm256_loadu_ps(xt.as_ptr().add(col + 8));
+                        for (ob, a) in acc.iter_mut().enumerate() {
+                            let w = _mm256_set1_ps(
+                                self.weights.w[((o0 + ob) * self.in_ch + i) * self.kernel + k],
+                            );
+                            a[0] = _mm256_add_ps(a[0], _mm256_mul_ps(w, x0));
+                            a[1] = _mm256_add_ps(a[1], _mm256_mul_ps(w, x1));
+                        }
+                    }
+                }
+                for (ob, a) in acc.iter().enumerate() {
+                    let y = yt.as_mut_ptr().add(((o0 + ob) * len + t) * batch + rc);
+                    _mm256_storeu_ps(y, a[0]);
+                    _mm256_storeu_ps(y.add(8), a[1]);
+                }
+                o0 += 4;
+            }
+            while o0 < self.out_ch {
+                let bias = _mm256_set1_ps(self.bias.w[o0]);
+                let mut acc0 = bias;
+                let mut acc1 = bias;
+                for i in 0..self.in_ch {
+                    let w_base = (o0 * self.in_ch + i) * self.kernel;
+                    for k in k_lo..k_hi {
+                        let w = _mm256_set1_ps(self.weights.w[w_base + k]);
+                        let col = (i * len + t + k - pad) * batch + rc;
+                        let x = xt.as_ptr().add(col);
+                        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(w, _mm256_loadu_ps(x)));
+                        acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(w, _mm256_loadu_ps(x.add(8))));
+                    }
+                }
+                let y = yt.as_mut_ptr().add((o0 * len + t) * batch + rc);
+                _mm256_storeu_ps(y, acc0);
+                _mm256_storeu_ps(y.add(8), acc1);
+                o0 += 1;
+            }
+        }
+    }
+
+    /// AVX2 8-lane block: one `__m256` accumulator per `(o, t)` output.
+    ///
+    /// # Safety
+    /// Requires AVX2 at runtime and `rc + 8 <= batch`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn forward_lanes8_avx2(
+        &self,
+        xt: &[f32],
+        yt: &mut [f32],
+        rc: usize,
+        batch: usize,
+        len: usize,
+    ) {
+        use std::arch::x86_64::*;
+        let pad = self.kernel / 2;
+        for o in 0..self.out_ch {
+            let bias = _mm256_set1_ps(self.bias.w[o]);
+            for t in 0..len {
+                let (k_lo, k_hi) = tap_range(t, pad, self.kernel, len);
+                let mut acc = bias;
+                for i in 0..self.in_ch {
+                    let w_base = (o * self.in_ch + i) * self.kernel;
+                    for k in k_lo..k_hi {
+                        let w = _mm256_set1_ps(self.weights.w[w_base + k]);
+                        let col = (i * len + t + k - pad) * batch + rc;
+                        acc = _mm256_add_ps(
+                            acc,
+                            _mm256_mul_ps(w, _mm256_loadu_ps(xt.as_ptr().add(col))),
+                        );
+                    }
+                }
+                _mm256_storeu_ps(yt.as_mut_ptr().add((o * len + t) * batch + rc), acc);
+            }
+        }
+    }
+
+    /// SSE2 16-lane block: four `__m128` accumulators per `(o, t)` output.
+    ///
+    /// # Safety
+    /// Requires `rc + 16 <= batch` (SSE2 is baseline on x86_64).
+    #[target_feature(enable = "sse2")]
+    unsafe fn forward_lanes16_sse2(
+        &self,
+        xt: &[f32],
+        yt: &mut [f32],
+        rc: usize,
+        batch: usize,
+        len: usize,
+    ) {
+        use std::arch::x86_64::*;
+        let pad = self.kernel / 2;
+        for o in 0..self.out_ch {
+            let bias = _mm_set1_ps(self.bias.w[o]);
+            for t in 0..len {
+                let (k_lo, k_hi) = tap_range(t, pad, self.kernel, len);
+                let mut acc = [bias; 4];
+                for i in 0..self.in_ch {
+                    let w_base = (o * self.in_ch + i) * self.kernel;
+                    for k in k_lo..k_hi {
+                        let w = _mm_set1_ps(self.weights.w[w_base + k]);
+                        let col = (i * len + t + k - pad) * batch + rc;
+                        let x = xt.as_ptr().add(col);
+                        for (q, a) in acc.iter_mut().enumerate() {
+                            *a = _mm_add_ps(*a, _mm_mul_ps(w, _mm_loadu_ps(x.add(4 * q))));
+                        }
+                    }
+                }
+                let y = yt.as_mut_ptr().add((o * len + t) * batch + rc);
+                for (q, a) in acc.iter().enumerate() {
+                    _mm_storeu_ps(y.add(4 * q), *a);
+                }
+            }
+        }
+    }
+
+    /// SSE2 4-lane block: one `__m128` accumulator per `(o, t)` output.
+    /// Also serves as the 8-lane tail (two calls) and the sub-16 tail for
+    /// the AVX2 level, where a 256-bit load would overrun the batch.
+    ///
+    /// # Safety
+    /// Requires `rc + 4 <= batch`.
+    #[target_feature(enable = "sse2")]
+    unsafe fn forward_lanes4_sse2(
+        &self,
+        xt: &[f32],
+        yt: &mut [f32],
+        rc: usize,
+        batch: usize,
+        len: usize,
+    ) {
+        use std::arch::x86_64::*;
+        let pad = self.kernel / 2;
+        for o in 0..self.out_ch {
+            let bias = _mm_set1_ps(self.bias.w[o]);
+            for t in 0..len {
+                let (k_lo, k_hi) = tap_range(t, pad, self.kernel, len);
+                let mut acc = bias;
+                for i in 0..self.in_ch {
+                    let w_base = (o * self.in_ch + i) * self.kernel;
+                    for k in k_lo..k_hi {
+                        let w = _mm_set1_ps(self.weights.w[w_base + k]);
+                        let col = (i * len + t + k - pad) * batch + rc;
+                        acc = _mm_add_ps(acc, _mm_mul_ps(w, _mm_loadu_ps(xt.as_ptr().add(col))));
+                    }
+                }
+                _mm_storeu_ps(yt.as_mut_ptr().add((o * len + t) * batch + rc), acc);
+            }
+        }
+    }
+
+    /// One cascade step at lane `rc` for the given dispatch `level`: run
+    /// the widest kernel that fits the remaining lanes and return how many
+    /// lanes it consumed. Sub-vector tails fall through to the scalar
+    /// cascade, which the vector kernels match bit-for-bit.
+    fn forward_block(
+        &self,
+        level: Level,
+        xt: &[f32],
+        yt: &mut [f32],
+        rc: usize,
+        batch: usize,
+        len: usize,
+    ) -> usize {
+        let left = batch - rc;
+        // SAFETY: each vector kernel touches exactly its block of lanes
+        // starting at `rc`, chosen only when `left` covers it; `level` is
+        // clamped to runtime-detected CPU features by `crate::simd`.
+        unsafe {
+            if left >= LANE_BLOCK {
+                match level {
+                    Level::Avx2 => self.forward_lanes16_avx2(xt, yt, rc, batch, len),
+                    Level::Sse2 => self.forward_lanes16_sse2(xt, yt, rc, batch, len),
+                    Level::Scalar => self.forward_lanes::<LANE_BLOCK>(xt, yt, rc, batch, len),
+                }
+                LANE_BLOCK
+            } else if left >= 8 {
+                match level {
+                    Level::Avx2 => self.forward_lanes8_avx2(xt, yt, rc, batch, len),
+                    Level::Sse2 => {
+                        self.forward_lanes4_sse2(xt, yt, rc, batch, len);
+                        self.forward_lanes4_sse2(xt, yt, rc + 4, batch, len);
+                    }
+                    Level::Scalar => self.forward_lanes::<8>(xt, yt, rc, batch, len),
+                }
+                8
+            } else if left >= 4 {
+                match level {
+                    Level::Avx2 | Level::Sse2 => self.forward_lanes4_sse2(xt, yt, rc, batch, len),
+                    Level::Scalar => self.forward_lanes::<4>(xt, yt, rc, batch, len),
+                }
+                4
+            } else {
+                self.forward_lanes::<1>(xt, yt, rc, batch, len);
+                1
+            }
+        }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+impl Conv1d {
+    /// Portable cascade step: same block widths, scalar kernels only.
+    fn forward_block(
+        &self,
+        _level: crate::simd::Level,
+        xt: &[f32],
+        yt: &mut [f32],
+        rc: usize,
+        batch: usize,
+        len: usize,
+    ) -> usize {
+        let left = batch - rc;
+        if left >= LANE_BLOCK {
+            self.forward_lanes::<LANE_BLOCK>(xt, yt, rc, batch, len);
+            LANE_BLOCK
+        } else if left >= 8 {
+            self.forward_lanes::<8>(xt, yt, rc, batch, len);
+            8
+        } else if left >= 4 {
+            self.forward_lanes::<4>(xt, yt, rc, batch, len);
+            4
+        } else {
+            self.forward_lanes::<1>(xt, yt, rc, batch, len);
+            1
+        }
+    }
+}
+
 impl Layer for Conv1d {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         assert_eq!(input.rows(), self.in_ch, "conv1d input channel mismatch");
@@ -256,35 +800,26 @@ impl Layer for Conv1d {
         let out_ch = self.out_ch;
         // Feature-major workspace: samples become the contiguous innermost
         // axis, so each tap is one weight broadcast against a lane block
-        // held in registers. Both halves are fully overwritten (transpose /
-        // bias init), hence the `_raw` aux.
-        let in_n = batch * in_ch * len;
-        let out_n = batch * out_ch * len;
+        // held in registers. The lane stride is padded away from cache-set
+        // resonance at large power-of-two batches. Both halves are fully
+        // overwritten (transpose / bias init), hence the `_raw` aux.
+        let stride = crate::batch::lane_stride(batch);
+        let in_n = stride * in_ch * len;
+        let out_n = stride * out_ch * len;
+        let level = crate::simd::active_level();
         scratch.map_layer_with_aux_raw(out_ch, len, in_n + out_n, |inp, out, aux| {
             let (xt, yt) = aux.split_at_mut(in_n);
-            transpose_to_feature_major(&inp, xt);
+            transpose_to_feature_major(&inp, xt, stride);
             // Cache-blocked sweep: per block of sample lanes, visit every
             // (o, t) output with the accumulators in registers. The block
             // width cascades 16 → 8 → 4 → 1 so small batches (and tails)
-            // keep vector-width lanes instead of falling back to scalar.
+            // keep vector-width lanes instead of falling back to scalar;
+            // each step runs the strongest kernel the dispatch level allows.
             let mut rc = 0;
-            while rc < batch {
-                let left = batch - rc;
-                if left >= LANE_BLOCK {
-                    self.forward_lanes::<LANE_BLOCK>(xt, yt, rc, batch, len);
-                    rc += LANE_BLOCK;
-                } else if left >= 8 {
-                    self.forward_lanes::<8>(xt, yt, rc, batch, len);
-                    rc += 8;
-                } else if left >= 4 {
-                    self.forward_lanes::<4>(xt, yt, rc, batch, len);
-                    rc += 4;
-                } else {
-                    self.forward_lanes::<1>(xt, yt, rc, batch, len);
-                    rc += 1;
-                }
+            while rc < stride {
+                rc += self.forward_block(level, xt, yt, rc, stride, len);
             }
-            transpose_to_sample_major(yt, out, batch, out_ch * len);
+            transpose_to_sample_major(yt, out, batch, out_ch * len, stride);
         });
     }
 
@@ -363,6 +898,177 @@ impl Dense {
     }
 }
 
+#[cfg(target_arch = "x86_64")]
+impl Dense {
+    /// AVX2 16-lane matvec block: two `__m256` accumulators per output.
+    ///
+    /// # Safety
+    /// Requires AVX2 at runtime and `rc + 16 <= batch`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn forward_lanes16_avx2(&self, xt: &[f32], yt: &mut [f32], rc: usize, batch: usize) {
+        use std::arch::x86_64::*;
+        let in_dim = self.in_dim;
+        for j in 0..self.out_dim {
+            let w_row = &self.weights.w[j * in_dim..(j + 1) * in_dim];
+            let bias = _mm256_set1_ps(self.bias.w[j]);
+            let mut acc0 = bias;
+            let mut acc1 = bias;
+            for (i, &w) in w_row.iter().enumerate() {
+                let wv = _mm256_set1_ps(w);
+                let x = xt.as_ptr().add(i * batch + rc);
+                acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(wv, _mm256_loadu_ps(x)));
+                acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(wv, _mm256_loadu_ps(x.add(8))));
+            }
+            let y = yt.as_mut_ptr().add(j * batch + rc);
+            _mm256_storeu_ps(y, acc0);
+            _mm256_storeu_ps(y.add(8), acc1);
+        }
+    }
+
+    /// AVX2 8-lane matvec block: one `__m256` accumulator per output.
+    ///
+    /// # Safety
+    /// Requires AVX2 at runtime and `rc + 8 <= batch`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn forward_lanes8_avx2(&self, xt: &[f32], yt: &mut [f32], rc: usize, batch: usize) {
+        use std::arch::x86_64::*;
+        let in_dim = self.in_dim;
+        for j in 0..self.out_dim {
+            let mut acc = _mm256_set1_ps(self.bias.w[j]);
+            let w_row = &self.weights.w[j * in_dim..(j + 1) * in_dim];
+            for (i, &w) in w_row.iter().enumerate() {
+                let wv = _mm256_set1_ps(w);
+                acc = _mm256_add_ps(
+                    acc,
+                    _mm256_mul_ps(wv, _mm256_loadu_ps(xt.as_ptr().add(i * batch + rc))),
+                );
+            }
+            _mm256_storeu_ps(yt.as_mut_ptr().add(j * batch + rc), acc);
+        }
+    }
+
+    /// SSE2 16-lane matvec block: four `__m128` accumulators per output.
+    ///
+    /// # Safety
+    /// Requires `rc + 16 <= batch` (SSE2 is baseline on x86_64).
+    #[target_feature(enable = "sse2")]
+    unsafe fn forward_lanes16_sse2(&self, xt: &[f32], yt: &mut [f32], rc: usize, batch: usize) {
+        use std::arch::x86_64::*;
+        let in_dim = self.in_dim;
+        for j in 0..self.out_dim {
+            let w_row = &self.weights.w[j * in_dim..(j + 1) * in_dim];
+            let mut acc = [_mm_set1_ps(self.bias.w[j]); 4];
+            for (i, &w) in w_row.iter().enumerate() {
+                let wv = _mm_set1_ps(w);
+                let x = xt.as_ptr().add(i * batch + rc);
+                for (q, a) in acc.iter_mut().enumerate() {
+                    *a = _mm_add_ps(*a, _mm_mul_ps(wv, _mm_loadu_ps(x.add(4 * q))));
+                }
+            }
+            let y = yt.as_mut_ptr().add(j * batch + rc);
+            for (q, a) in acc.iter().enumerate() {
+                _mm_storeu_ps(y.add(4 * q), *a);
+            }
+        }
+    }
+
+    /// SSE2 4-lane matvec block; doubles as the 8-lane tail (two calls)
+    /// and the AVX2 level's sub-16 tail.
+    ///
+    /// # Safety
+    /// Requires `rc + 4 <= batch`.
+    #[target_feature(enable = "sse2")]
+    unsafe fn forward_lanes4_sse2(&self, xt: &[f32], yt: &mut [f32], rc: usize, batch: usize) {
+        use std::arch::x86_64::*;
+        let in_dim = self.in_dim;
+        for j in 0..self.out_dim {
+            let mut acc = _mm_set1_ps(self.bias.w[j]);
+            let w_row = &self.weights.w[j * in_dim..(j + 1) * in_dim];
+            for (i, &w) in w_row.iter().enumerate() {
+                let wv = _mm_set1_ps(w);
+                acc = _mm_add_ps(
+                    acc,
+                    _mm_mul_ps(wv, _mm_loadu_ps(xt.as_ptr().add(i * batch + rc))),
+                );
+            }
+            _mm_storeu_ps(yt.as_mut_ptr().add(j * batch + rc), acc);
+        }
+    }
+
+    /// One cascade step at lane `rc` for the given dispatch `level`;
+    /// returns the number of lanes consumed. See [`Conv1d::forward_block`].
+    fn forward_block(
+        &self,
+        level: Level,
+        xt: &[f32],
+        yt: &mut [f32],
+        rc: usize,
+        batch: usize,
+    ) -> usize {
+        let left = batch - rc;
+        // SAFETY: each vector kernel touches exactly its block of lanes
+        // starting at `rc`, chosen only when `left` covers it; `level` is
+        // clamped to runtime-detected CPU features by `crate::simd`.
+        unsafe {
+            if left >= LANE_BLOCK {
+                match level {
+                    Level::Avx2 => self.forward_lanes16_avx2(xt, yt, rc, batch),
+                    Level::Sse2 => self.forward_lanes16_sse2(xt, yt, rc, batch),
+                    Level::Scalar => self.forward_lanes::<LANE_BLOCK>(xt, yt, rc, batch),
+                }
+                LANE_BLOCK
+            } else if left >= 8 {
+                match level {
+                    Level::Avx2 => self.forward_lanes8_avx2(xt, yt, rc, batch),
+                    Level::Sse2 => {
+                        self.forward_lanes4_sse2(xt, yt, rc, batch);
+                        self.forward_lanes4_sse2(xt, yt, rc + 4, batch);
+                    }
+                    Level::Scalar => self.forward_lanes::<8>(xt, yt, rc, batch),
+                }
+                8
+            } else if left >= 4 {
+                match level {
+                    Level::Avx2 | Level::Sse2 => self.forward_lanes4_sse2(xt, yt, rc, batch),
+                    Level::Scalar => self.forward_lanes::<4>(xt, yt, rc, batch),
+                }
+                4
+            } else {
+                self.forward_lanes::<1>(xt, yt, rc, batch);
+                1
+            }
+        }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+impl Dense {
+    /// Portable cascade step: same block widths, scalar kernels only.
+    fn forward_block(
+        &self,
+        _level: crate::simd::Level,
+        xt: &[f32],
+        yt: &mut [f32],
+        rc: usize,
+        batch: usize,
+    ) -> usize {
+        let left = batch - rc;
+        if left >= LANE_BLOCK {
+            self.forward_lanes::<LANE_BLOCK>(xt, yt, rc, batch);
+            LANE_BLOCK
+        } else if left >= 8 {
+            self.forward_lanes::<8>(xt, yt, rc, batch);
+            8
+        } else if left >= 4 {
+            self.forward_lanes::<4>(xt, yt, rc, batch);
+            4
+        } else {
+            self.forward_lanes::<1>(xt, yt, rc, batch);
+            1
+        }
+    }
+}
+
 impl Layer for Dense {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         let x = input.clone().flatten();
@@ -405,33 +1111,22 @@ impl Layer for Dense {
         let in_dim = ch * len;
         assert_eq!(in_dim, self.in_dim, "dense batch input dim mismatch");
         let out_dim = self.out_dim;
-        // Same feature-major, lane-blocked scheme as the conv kernel: a
-        // dense layer is the kernel == len == 1 special case.
-        let in_n = batch * in_dim;
-        let out_n = batch * out_dim;
+        // Same feature-major, lane-blocked, stride-padded scheme as the
+        // conv kernel: a dense layer is the kernel == len == 1 special case.
+        let stride = crate::batch::lane_stride(batch);
+        let in_n = stride * in_dim;
+        let out_n = stride * out_dim;
+        let level = crate::simd::active_level();
         scratch.map_layer_with_aux_raw(out_dim, 1, in_n + out_n, |inp, out, aux| {
             let (xt, yt) = aux.split_at_mut(in_n);
-            transpose_to_feature_major(&inp, xt);
+            transpose_to_feature_major(&inp, xt, stride);
             // Same 16 → 8 → 4 → 1 lane cascade as the conv kernel so small
-            // batches stay vectorized.
+            // batches stay vectorized, dispatched to the active SIMD level.
             let mut rc = 0;
-            while rc < batch {
-                let left = batch - rc;
-                if left >= LANE_BLOCK {
-                    self.forward_lanes::<LANE_BLOCK>(xt, yt, rc, batch);
-                    rc += LANE_BLOCK;
-                } else if left >= 8 {
-                    self.forward_lanes::<8>(xt, yt, rc, batch);
-                    rc += 8;
-                } else if left >= 4 {
-                    self.forward_lanes::<4>(xt, yt, rc, batch);
-                    rc += 4;
-                } else {
-                    self.forward_lanes::<1>(xt, yt, rc, batch);
-                    rc += 1;
-                }
+            while rc < stride {
+                rc += self.forward_block(level, xt, yt, rc, stride);
             }
-            transpose_to_sample_major(yt, out, batch, out_dim);
+            transpose_to_sample_major(yt, out, batch, out_dim, stride);
         });
     }
 
@@ -603,9 +1298,7 @@ mod tests {
     /// loss `L = Σ out²/2` (so ∂L/∂out = out).
     fn check_layer_gradients(layer: &mut dyn Layer, input: &Tensor, tol: f32) {
         let eps = 1e-3f32;
-        let loss_of = |out: &Tensor| -> f32 {
-            out.data().iter().map(|&v| 0.5 * v * v).sum()
-        };
+        let loss_of = |out: &Tensor| -> f32 { out.data().iter().map(|&v| 0.5 * v * v).sum() };
         // Analytic pass.
         let out = layer.forward(input);
         let grad_in = layer.backward(&out.clone());
@@ -814,10 +1507,13 @@ mod prop_tests {
     /// Lighter-weight analytic-vs-numeric check for proptest: verify the
     /// input gradient only (parameter gradients are covered by the
     /// deterministic tests above).
-    fn input_gradient_matches(layer: &mut dyn Layer, input: &Tensor, tol: f32) -> Result<(), String> {
+    fn input_gradient_matches(
+        layer: &mut dyn Layer,
+        input: &Tensor,
+        tol: f32,
+    ) -> Result<(), String> {
         let eps = 1e-2f32;
-        let loss_of =
-            |out: &Tensor| -> f32 { out.data().iter().map(|&v| 0.5 * v * v).sum() };
+        let loss_of = |out: &Tensor| -> f32 { out.data().iter().map(|&v| 0.5 * v * v).sum() };
         let out = layer.forward(input);
         let grad_in = layer.backward(&out.clone());
         for idx in 0..input.len() {

@@ -10,9 +10,10 @@
 //! — two 1-D convolution layers of 32 units per view, global max pooling,
 //! 128 dense units, sigmoid output, binary cross-entropy loss, RMSprop
 //! optimizer, ~5 K FLOPs per inference — so a small from-scratch library
-//! reproduces it exactly: no graph compiler, no SIMD heroics, just correct
-//! forward/backward passes and a binary weight file (the paper likewise
-//! deploys the trained predictor as "a binary runtime file").
+//! reproduces it exactly: no graph compiler, just correct forward/backward
+//! passes, a binary weight file (the paper likewise deploys the trained
+//! predictor as "a binary runtime file"), and hand-rolled `std::arch`
+//! kernels where the gate's per-round latency budget demands them.
 //!
 //! Components:
 //!
@@ -26,7 +27,12 @@
 //! * [`model::Sequential`] — ordered layer container;
 //! * [`loss`] — binary cross-entropy (plain and with-logits) and MSE;
 //! * [`optim::RmsProp`] — the paper's optimizer (plus plain SGD);
-//! * [`serialize::WeightFile`] — binary save/load of named parameter blobs.
+//! * [`serialize::WeightFile`] — binary save/load of named parameter blobs;
+//! * [`simd`] — runtime AVX2/SSE2/scalar dispatch for the batched kernels
+//!   (bit-identical across levels: multiply-then-add, never FMA);
+//! * [`quant`] — int8 per-channel quantized conv/dense kernels with
+//!   activation-range calibration, for decision-equivalent (not
+//!   bit-identical) fast inference.
 //!
 //! ## Quick tour
 //!
@@ -54,8 +60,10 @@ pub mod lstm;
 pub mod model;
 pub mod optim;
 pub mod param;
+pub mod quant;
 pub mod recurrent;
 pub mod serialize;
+pub mod simd;
 pub mod tensor;
 
 pub use batch::{BatchView, Scratch};
@@ -65,6 +73,8 @@ pub use lstm::Lstm;
 pub use model::Sequential;
 pub use optim::{Optimizer, RmsProp, Sgd};
 pub use param::ParamSet;
+pub use quant::{ActRange, QConv1d, QDense};
 pub use recurrent::Rnn;
 pub use serialize::WeightFile;
+pub use simd::{active_level, detected_level, Level};
 pub use tensor::Tensor;

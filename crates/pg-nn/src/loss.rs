@@ -84,7 +84,10 @@ mod tests {
         for (r, z) in [(1.0f32, -2.0f32), (0.0, 3.0), (1.0, 0.0), (0.0, -0.5)] {
             let y = 1.0 / (1.0 + (-z).exp());
             let (loss, grad) = bce_with_logits(r, z);
-            assert!((loss - bce(r, y)).abs() < 1e-5, "loss mismatch at r={r} z={z}");
+            assert!(
+                (loss - bce(r, y)).abs() < 1e-5,
+                "loss mismatch at r={r} z={z}"
+            );
             assert!(((y - r) - grad).abs() < 1e-6);
         }
     }

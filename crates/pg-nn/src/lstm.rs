@@ -135,8 +135,7 @@ impl Layer for Lstm {
             c_prev = c;
         }
 
-        self.last_flops =
-            (2 * len * GATES * hd * (self.in_ch + hd + 1) + 10 * len * hd) as u64;
+        self.last_flops = (2 * len * GATES * hd * (self.in_ch + hd + 1) + 10 * len * hd) as u64;
         self.cache = Some(Cache {
             input: input.clone(),
             gates,
@@ -196,8 +195,7 @@ impl Layer for Lstm {
                     }
                     self.bias.g[gate * hd + h] += d;
                     for i in 0..self.in_ch {
-                        self.wx.g[(gate * hd + h) * self.in_ch + i] +=
-                            d * cache.input.get(i, t);
+                        self.wx.g[(gate * hd + h) * self.in_ch + i] += d * cache.input.get(i, t);
                         let cur = grad_in.get(i, t);
                         grad_in.set(i, t, cur + d * self.wx_at(gate, h, i));
                     }
@@ -243,13 +241,11 @@ impl Layer for Lstm {
                                     acc += self.wh_at(gate, h, hp) * o[hp * len + t - 1];
                                 }
                             }
-                            g[gate * hd + h] =
-                                if gate == 3 { acc.tanh() } else { sigmoid(acc) };
+                            g[gate * hd + h] = if gate == 3 { acc.tanh() } else { sigmoid(acc) };
                         }
                     }
                     for h in 0..hd {
-                        let (i_g, f_g, o_g, g_g) =
-                            (g[h], g[hd + h], g[2 * hd + h], g[3 * hd + h]);
+                        let (i_g, f_g, o_g, g_g) = (g[h], g[hd + h], g[2 * hd + h], g[3 * hd + h]);
                         // c[h] still holds c_{t−1}; overwrite in place.
                         let cc = f_g * c[h] + i_g * g_g;
                         c[h] = cc;
@@ -279,8 +275,7 @@ mod tests {
 
     fn check_gradients(layer: &mut Lstm, input: &Tensor, tol: f32) {
         let eps = 1e-3f32;
-        let loss_of =
-            |out: &Tensor| -> f32 { out.data().iter().map(|&v| 0.5 * v * v).sum() };
+        let loss_of = |out: &Tensor| -> f32 { out.data().iter().map(|&v| 0.5 * v * v).sum() };
         let out = layer.forward(input);
         let grad_in = layer.backward(&out.clone());
 

@@ -1,0 +1,1289 @@
+//! Int8 quantized inference kernels.
+//!
+//! Symmetric linear quantization: a tensor of f32 values is mapped to
+//! `i8` by `q = round(x / s)` saturated to `[-127, 127]`, with `s` chosen
+//! so the calibrated absolute maximum lands on 127. Weights use one scale
+//! **per output channel** (per conv filter / per dense row), activations
+//! one scale per tensor, recorded by [`ActRange`] during a calibration
+//! phase. Products accumulate exactly in `i32` — integer arithmetic is
+//! associative, so unlike the f32 kernels the quantized path is
+//! bit-identical across SIMD levels by construction — and results
+//! dequantize as `y = acc · s_w[o] · s_x + bias[o]`.
+//!
+//! Layout: activations are **feature-major** `(features, batch)` — the
+//! same layout the f32 batch kernels transpose into internally, but kept
+//! across layers so a quantized pipeline never round-trips through
+//! sample-major f32 between layers. `i8` lanes are 4× denser than f32,
+//! which is where much of the quantized path's speed comes from at large
+//! batch sizes.
+//!
+//! Quantized logits are *not* bit-identical to the f32 path; the
+//! reproduction's contract for them is statistical decision equivalence
+//! (see the decision-equivalence test suite and DESIGN.md D9).
+
+use crate::simd::{active_level, Level};
+
+/// Calibrated absolute-max range of one activation tensor.
+///
+/// Fed with observed f32 activations during calibration; afterwards
+/// [`ActRange::scale`] yields the quantization step. A range that never
+/// saw a non-zero value (degenerate constant-zero activation) falls back
+/// to a scale of `1/127` instead of dividing by zero — any scale
+/// represents an all-zero tensor exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ActRange {
+    max_abs: f32,
+    observed: u64,
+}
+
+impl ActRange {
+    /// Empty range; observe activations before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one activation value into the range (NaN/inf are ignored —
+    /// a poisoned calibration batch must not poison the scale).
+    #[inline]
+    pub fn observe_one(&mut self, x: f32) {
+        if x.is_finite() {
+            let a = x.abs();
+            if a > self.max_abs {
+                self.max_abs = a;
+            }
+            self.observed += 1;
+        }
+    }
+
+    /// Fold a slice of activations into the range.
+    pub fn observe(&mut self, xs: &[f32]) {
+        for &x in xs {
+            self.observe_one(x);
+        }
+    }
+
+    /// Largest absolute value seen so far.
+    pub fn max_abs(&self) -> f32 {
+        self.max_abs
+    }
+
+    /// Number of finite values observed.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Quantization step `s` such that the calibrated max maps to ±127.
+    /// Guarded against degenerate ranges: never zero, never subnormal.
+    pub fn scale(&self) -> f32 {
+        let m = if self.max_abs > f32::MIN_POSITIVE {
+            self.max_abs
+        } else {
+            1.0
+        };
+        m / 127.0
+    }
+}
+
+/// Quantize one value: `round(x / scale)` saturated to `[-127, 127]`.
+/// Values beyond the calibrated range clip instead of wrapping.
+#[inline]
+pub fn quantize(x: f32, scale: f32) -> i8 {
+    let q = (x / scale).round();
+    q.clamp(-127.0, 127.0) as i8
+}
+
+/// Quantize a slice with one shared scale.
+pub fn quantize_into(xs: &[f32], scale: f32, out: &mut [i8]) {
+    assert_eq!(xs.len(), out.len(), "quantize length mismatch");
+    for (o, &x) in out.iter_mut().zip(xs) {
+        *o = quantize(x, scale);
+    }
+}
+
+/// Requantize a rectified value with a precomputed reciprocal scale.
+///
+/// For `y ≥ 0`, `trunc(y·inv + 0.5)` is round-half-away-from-zero, and the
+/// saturating `as` cast supplies the 127 clamp — so this matches
+/// [`quantize`]`(max(0, y), 1/inv)` except that multiplying by the
+/// reciprocal instead of dividing can land one ulp off the true quotient,
+/// occasionally shifting a borderline value by one step. That is well
+/// inside the quantization error budget, it is the *same* value at every
+/// dispatch level (all levels share this definition), and it keeps the
+/// finish loops free of `divss`/`roundss` so they auto-vectorize.
+#[inline]
+fn requant_relu(y: f32, inv: f32) -> i8 {
+    (y.max(0.0) * inv + 0.5) as i8
+}
+
+/// Dequantize + bias + ReLU + requantize one contiguous accumulator span:
+/// `yq[u] = requant_relu(acc[u]·deq + b, inv)`, dispatch-gated. The AVX2
+/// kernel replays the scalar formula step for step (convert, multiply,
+/// add, `max(·,0)` with the scalar NaN-to-zero semantics, `+0.5`, clamp,
+/// truncate), so results are bit-identical across levels.
+fn requant_span(acc: &[i32], yq: &mut [i8], deq: f32, b: f32, inv: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if active_level() == Level::Avx2 {
+        // SAFETY: AVX2 verified by the dispatch level (clamped to runtime
+        // detection); the kernel stays within the equal-length slices.
+        unsafe { requant_span_avx2(acc, yq, deq, b, inv) };
+        return;
+    }
+    for (dst, &a) in yq.iter_mut().zip(acc) {
+        *dst = requant_relu((a as f32) * deq + b, inv);
+    }
+}
+
+/// AVX2 16-lane body of [`requant_span`].
+///
+/// The clamp uses `min(f, 127.5)` before the truncating convert: for
+/// `f ∈ [0.5, 128)` the min is a no-op and truncation matches the scalar
+/// saturating cast; for `f ≥ 128` both paths produce 127. `max(y, 0)`
+/// with `y` as the first operand returns 0 for NaN inputs, matching
+/// `f32::max`.
+///
+/// # Safety
+/// Requires AVX2 at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn requant_span_avx2(acc: &[i32], yq: &mut [i8], deq: f32, b: f32, inv: f32) {
+    use std::arch::x86_64::*;
+    assert_eq!(acc.len(), yq.len(), "requant span length");
+    let n = acc.len();
+    let deqv = _mm256_set1_ps(deq);
+    let bv = _mm256_set1_ps(b);
+    let invv = _mm256_set1_ps(inv);
+    let half = _mm256_set1_ps(0.5);
+    let zero = _mm256_setzero_ps();
+    let cap = _mm256_set1_ps(127.5);
+    let mut u = 0;
+    while u + 16 <= n {
+        let a0 = _mm256_cvtepi32_ps(_mm256_loadu_si256(acc.as_ptr().add(u).cast()));
+        let a1 = _mm256_cvtepi32_ps(_mm256_loadu_si256(acc.as_ptr().add(u + 8).cast()));
+        let y0 = _mm256_add_ps(_mm256_mul_ps(a0, deqv), bv);
+        let y1 = _mm256_add_ps(_mm256_mul_ps(a1, deqv), bv);
+        let f0 = _mm256_add_ps(_mm256_mul_ps(_mm256_max_ps(y0, zero), invv), half);
+        let f1 = _mm256_add_ps(_mm256_mul_ps(_mm256_max_ps(y1, zero), invv), half);
+        let q0 = _mm256_cvttps_epi32(_mm256_min_ps(f0, cap));
+        let q1 = _mm256_cvttps_epi32(_mm256_min_ps(f1, cap));
+        // i32×16 → i16×16 (lane order restored after the cross-half
+        // interleave of packs), then → i8×16 in two 64-bit stores.
+        let p = _mm256_permute4x64_epi64(_mm256_packs_epi32(q0, q1), 0b11_01_10_00);
+        let b8 = _mm256_packs_epi16(p, p);
+        _mm_storel_epi64(yq.as_mut_ptr().add(u).cast(), _mm256_castsi256_si128(b8));
+        _mm_storel_epi64(
+            yq.as_mut_ptr().add(u + 8).cast(),
+            _mm256_extracti128_si256(b8, 1),
+        );
+        u += 16;
+    }
+    for v in u..n {
+        yq[v] = requant_relu((acc[v] as f32) * deq + b, inv);
+    }
+}
+
+/// Per-output-channel symmetric weight quantization of a `rows × cols`
+/// f32 matrix (row-major, one output channel per row). Returns the `i8`
+/// weights and one scale per row.
+fn quantize_weights(w: &[f32], rows: usize, cols: usize) -> (Vec<i8>, Vec<f32>) {
+    assert_eq!(w.len(), rows * cols, "weight shape mismatch");
+    let mut wq = vec![0i8; rows * cols];
+    let mut scales = vec![0f32; rows];
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        let mut range = ActRange::new();
+        range.observe(row);
+        let s = range.scale();
+        scales[r] = s;
+        for (dst, &v) in wq[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+            *dst = quantize(v, s);
+        }
+    }
+    (wq, scales)
+}
+
+/// Samples per accumulator block in the scalar int kernels (mirrors the
+/// f32 cascade; integer sums are order-free, so the block width is purely
+/// a register-pressure choice).
+const QLANE_BLOCK: usize = 8;
+
+/// Fold one tap *pair* into 16 i32 lanes: interleave the two taps' 16 i8
+/// sample lanes byte-wise, multiply-add against the broadcast weight pair
+/// with `maddubs` (unsigned × signed → i16 pair sums), and widen into two
+/// 8-lane i32 accumulators.
+///
+/// Exactness: the activation lanes must be in `[0, 127]` so their u8
+/// reinterpretation is value-preserving, and then each pair sum satisfies
+/// `|x₀w₀ + x₁w₁| ≤ 2·127·127 = 32258 < i16::MAX` — `maddubs`' saturation
+/// never fires and the result is bit-identical to the scalar i32 path.
+///
+/// # Safety
+/// Requires AVX2 at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn madd_pair_16(
+    xa: std::arch::x86_64::__m128i,
+    xb: std::arch::x86_64::__m128i,
+    w0: i8,
+    w1: i8,
+    acc0: &mut std::arch::x86_64::__m256i,
+    acc1: &mut std::arch::x86_64::__m256i,
+) {
+    use std::arch::x86_64::*;
+    // [a0,b0,a1,b1,..,a7,b7 | a8,b8,..,a15,b15]: pair j holds lane j's
+    // two taps, in lane order across the whole register.
+    let x = _mm256_set_m128i(_mm_unpackhi_epi8(xa, xb), _mm_unpacklo_epi8(xa, xb));
+    let wp = _mm256_set1_epi16(i16::from_le_bytes([w0 as u8, w1 as u8]));
+    let prod = _mm256_maddubs_epi16(x, wp);
+    *acc0 = _mm256_add_epi32(*acc0, _mm256_cvtepi16_epi32(_mm256_castsi256_si128(prod)));
+    *acc1 = _mm256_add_epi32(
+        *acc1,
+        _mm256_cvtepi16_epi32(_mm256_extracti128_si256(prod, 1)),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// QConv1d
+// ---------------------------------------------------------------------------
+
+/// Int8 1-D convolution (same zero-padding, stride 1), per-filter weight
+/// scales, f32 bias. The shape contract matches [`crate::layers::Conv1d`];
+/// activations are feature-major `(in_ch·len, batch)` i8.
+#[derive(Debug, Clone)]
+pub struct QConv1d {
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    wq: Vec<i8>,
+    /// Input-channel pair words for the `maddubs` kernel: entry
+    /// `(o·kernel + k)·(in_ch/2) + q` packs the two bytes
+    /// `wq[o][2q][k], wq[o][2q+1][k]` little-endian, ready for a 16-bit
+    /// broadcast (an odd trailing channel is handled separately).
+    wq_pairs: Vec<i16>,
+    w_scale: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl QConv1d {
+    /// Quantize an f32 conv layer's weights (`w[o][i][k]` row-major) and
+    /// bias into an int8 layer.
+    pub fn from_f32(in_ch: usize, out_ch: usize, kernel: usize, w: &[f32], bias: &[f32]) -> Self {
+        assert!(kernel % 2 == 1, "kernel size must be odd for same padding");
+        assert_eq!(bias.len(), out_ch, "bias shape mismatch");
+        let (wq, w_scale) = quantize_weights(w, out_ch, in_ch * kernel);
+        let pairs = in_ch / 2;
+        let mut wq_pairs = vec![0i16; out_ch * kernel * pairs];
+        for o in 0..out_ch {
+            for k in 0..kernel {
+                for q in 0..pairs {
+                    let w0 = wq[(o * in_ch + 2 * q) * kernel + k];
+                    let w1 = wq[(o * in_ch + 2 * q + 1) * kernel + k];
+                    wq_pairs[(o * kernel + k) * pairs + q] =
+                        i16::from_le_bytes([w0 as u8, w1 as u8]);
+                }
+            }
+        }
+        QConv1d {
+            in_ch,
+            out_ch,
+            kernel,
+            wq,
+            wq_pairs,
+            w_scale,
+            bias: bias.to_vec(),
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Per-output-channel weight scales.
+    pub fn w_scale(&self) -> &[f32] {
+        &self.w_scale
+    }
+
+    /// Quantized weights (`w[o][i][k]` row-major).
+    pub fn weights_q(&self) -> &[i8] {
+        &self.wq
+    }
+
+    /// Integer accumulation: `xq` feature-major `(in_ch·len, batch)` i8,
+    /// `acc` feature-major `(out_ch·len, batch)` i32, fully overwritten.
+    /// Exact in i32, hence bit-identical across dispatch levels.
+    pub fn accumulate(&self, xq: &[i8], acc: &mut [i32], batch: usize, len: usize) {
+        assert_eq!(xq.len(), self.in_ch * len * batch, "qconv input shape");
+        assert_eq!(acc.len(), self.out_ch * len * batch, "qconv acc shape");
+        let level = active_level();
+        let mut rc = 0;
+        while rc < batch {
+            let left = batch - rc;
+            #[cfg(target_arch = "x86_64")]
+            if level == Level::Avx2 && left >= 8 {
+                // SAFETY: AVX2 verified by the dispatch level (clamped to
+                // runtime detection); the block spans lanes rc..rc+8 within
+                // the asserted buffer shapes.
+                unsafe { self.acc_lanes8_avx2(xq, acc, rc, batch, len) };
+                rc += 8;
+                continue;
+            }
+            let _ = level;
+            if left >= QLANE_BLOCK {
+                self.acc_lanes::<QLANE_BLOCK>(xq, acc, rc, batch, len);
+                rc += QLANE_BLOCK;
+            } else {
+                self.acc_lanes::<1>(xq, acc, rc, batch, len);
+                rc += 1;
+            }
+        }
+    }
+
+    /// [`QConv1d::accumulate`] for **non-negative** activations
+    /// (`xq` lanes in `[0, 127]`, e.g. quantized post-ReLU or log-size
+    /// features). Results are bit-identical to `accumulate` on such inputs
+    /// at every dispatch level, but the AVX2 path reinterprets the lanes as
+    /// unsigned bytes and uses `maddubs` (two taps × 16 lanes per
+    /// instruction, exact — see [`madd_pair_16`]), roughly doubling
+    /// throughput over the sign-extending kernel.
+    pub fn accumulate_nonneg(&self, xq: &[i8], acc: &mut [i32], batch: usize, len: usize) {
+        debug_assert!(
+            xq.iter().all(|&v| v >= 0),
+            "accumulate_nonneg requires activations in [0, 127]"
+        );
+        assert_eq!(xq.len(), self.in_ch * len * batch, "qconv input shape");
+        assert_eq!(acc.len(), self.out_ch * len * batch, "qconv acc shape");
+        let level = active_level();
+        let mut rc = 0;
+        while rc < batch {
+            let left = batch - rc;
+            #[cfg(target_arch = "x86_64")]
+            if level == Level::Avx2 && left >= 16 {
+                // SAFETY: AVX2 verified by the dispatch level; the block
+                // spans lanes rc..rc+16 within the asserted buffer shapes.
+                unsafe { self.acc_lanes16_maddubs_avx2(xq, acc, rc, batch, len) };
+                rc += 16;
+                continue;
+            }
+            let _ = level;
+            if left >= QLANE_BLOCK {
+                self.acc_lanes::<QLANE_BLOCK>(xq, acc, rc, batch, len);
+                rc += QLANE_BLOCK;
+            } else {
+                self.acc_lanes::<1>(xq, acc, rc, batch, len);
+                rc += 1;
+            }
+        }
+    }
+
+    /// Scalar lane block of the integer accumulation.
+    fn acc_lanes<const N: usize>(
+        &self,
+        xq: &[i8],
+        acc_out: &mut [i32],
+        rc: usize,
+        batch: usize,
+        len: usize,
+    ) {
+        let pad = self.kernel / 2;
+        for o in 0..self.out_ch {
+            for t in 0..len {
+                let (k_lo, k_hi) = tap_range(t, pad, self.kernel, len);
+                let mut acc = [0i32; N];
+                for i in 0..self.in_ch {
+                    let w_base = (o * self.in_ch + i) * self.kernel;
+                    for k in k_lo..k_hi {
+                        let w = i32::from(self.wq[w_base + k]);
+                        let col = (i * len + t + k - pad) * batch + rc;
+                        let x = &xq[col..col + N];
+                        for (a, &xv) in acc.iter_mut().zip(x) {
+                            *a += w * i32::from(xv);
+                        }
+                    }
+                }
+                let y = (o * len + t) * batch + rc;
+                for (dst, a) in acc_out[y..y + N].iter_mut().zip(acc) {
+                    *dst = a;
+                }
+            }
+        }
+    }
+
+    /// AVX2 8-lane block: sign-extend 8 i8 samples to i32 lanes, multiply
+    /// by the broadcast tap weight, accumulate in i32.
+    ///
+    /// # Safety
+    /// Requires AVX2 at runtime and `rc + 8 <= batch`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn acc_lanes8_avx2(
+        &self,
+        xq: &[i8],
+        acc_out: &mut [i32],
+        rc: usize,
+        batch: usize,
+        len: usize,
+    ) {
+        use std::arch::x86_64::*;
+        let pad = self.kernel / 2;
+        for o in 0..self.out_ch {
+            for t in 0..len {
+                let (k_lo, k_hi) = tap_range(t, pad, self.kernel, len);
+                let mut acc = _mm256_setzero_si256();
+                for i in 0..self.in_ch {
+                    let w_base = (o * self.in_ch + i) * self.kernel;
+                    for k in k_lo..k_hi {
+                        let w = _mm256_set1_epi32(i32::from(self.wq[w_base + k]));
+                        let col = (i * len + t + k - pad) * batch + rc;
+                        let x8 = _mm_loadl_epi64(xq.as_ptr().add(col).cast());
+                        let x = _mm256_cvtepi8_epi32(x8);
+                        acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(w, x));
+                    }
+                }
+                let y = (o * len + t) * batch + rc;
+                _mm256_storeu_si256(acc_out.as_mut_ptr().add(y).cast(), acc);
+            }
+        }
+    }
+
+    /// AVX2 16-lane `maddubs` block for non-negative activations: input
+    /// channels are folded in pairs (two taps per instruction) with the
+    /// prepacked pair words of [`QConv1d::from_f32`]; an odd trailing
+    /// channel rides through the same path with a zero partner. Output
+    /// channels run four at a time so each interleaved 16-lane input tile
+    /// is loaded once and reused across the block. Integer addition is
+    /// order-free, so the restructured loop order matches the scalar
+    /// kernel bit-for-bit.
+    ///
+    /// # Safety
+    /// Requires AVX2 at runtime, `rc + 16 <= batch`, and `xq` lanes in
+    /// `[0, 127]`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn acc_lanes16_maddubs_avx2(
+        &self,
+        xq: &[i8],
+        acc_out: &mut [i32],
+        rc: usize,
+        batch: usize,
+        len: usize,
+    ) {
+        use std::arch::x86_64::*;
+        let pad = self.kernel / 2;
+        let pairs = self.in_ch / 2;
+        let odd = self.in_ch % 2 == 1;
+        let xp = xq.as_ptr();
+        for t in 0..len {
+            let (k_lo, k_hi) = tap_range(t, pad, self.kernel, len);
+            let mut o0 = 0;
+            while o0 + 4 <= self.out_ch {
+                let mut acc = [_mm256_setzero_si256(); 8];
+                for k in k_lo..k_hi {
+                    let trow = (t + k - pad) * batch + rc;
+                    for q in 0..pairs {
+                        let xa = _mm_loadu_si128(xp.add(2 * q * len * batch + trow).cast());
+                        let xb = _mm_loadu_si128(xp.add((2 * q + 1) * len * batch + trow).cast());
+                        let x =
+                            _mm256_set_m128i(_mm_unpackhi_epi8(xa, xb), _mm_unpacklo_epi8(xa, xb));
+                        for ob in 0..4 {
+                            let wp = _mm256_set1_epi16(
+                                self.wq_pairs[((o0 + ob) * self.kernel + k) * pairs + q],
+                            );
+                            let prod = _mm256_maddubs_epi16(x, wp);
+                            acc[2 * ob] = _mm256_add_epi32(
+                                acc[2 * ob],
+                                _mm256_cvtepi16_epi32(_mm256_castsi256_si128(prod)),
+                            );
+                            acc[2 * ob + 1] = _mm256_add_epi32(
+                                acc[2 * ob + 1],
+                                _mm256_cvtepi16_epi32(_mm256_extracti128_si256(prod, 1)),
+                            );
+                        }
+                    }
+                    if odd {
+                        let i = self.in_ch - 1;
+                        let xa = _mm_loadu_si128(xp.add(i * len * batch + trow).cast());
+                        let x = _mm256_set_m128i(
+                            _mm_unpackhi_epi8(xa, _mm_setzero_si128()),
+                            _mm_unpacklo_epi8(xa, _mm_setzero_si128()),
+                        );
+                        for ob in 0..4 {
+                            let w0 = self.wq[((o0 + ob) * self.in_ch + i) * self.kernel + k];
+                            let wp = _mm256_set1_epi16(i16::from_le_bytes([w0 as u8, 0]));
+                            let prod = _mm256_maddubs_epi16(x, wp);
+                            acc[2 * ob] = _mm256_add_epi32(
+                                acc[2 * ob],
+                                _mm256_cvtepi16_epi32(_mm256_castsi256_si128(prod)),
+                            );
+                            acc[2 * ob + 1] = _mm256_add_epi32(
+                                acc[2 * ob + 1],
+                                _mm256_cvtepi16_epi32(_mm256_extracti128_si256(prod, 1)),
+                            );
+                        }
+                    }
+                }
+                for ob in 0..4 {
+                    let y = ((o0 + ob) * len + t) * batch + rc;
+                    _mm256_storeu_si256(acc_out.as_mut_ptr().add(y).cast(), acc[2 * ob]);
+                    _mm256_storeu_si256(acc_out.as_mut_ptr().add(y + 8).cast(), acc[2 * ob + 1]);
+                }
+                o0 += 4;
+            }
+            // Output-channel tail: one channel at a time, same tap order.
+            while o0 < self.out_ch {
+                let mut acc0 = _mm256_setzero_si256();
+                let mut acc1 = _mm256_setzero_si256();
+                for k in k_lo..k_hi {
+                    let trow = (t + k - pad) * batch + rc;
+                    for q in 0..pairs {
+                        let xa = _mm_loadu_si128(xp.add(2 * q * len * batch + trow).cast());
+                        let xb = _mm_loadu_si128(xp.add((2 * q + 1) * len * batch + trow).cast());
+                        let w0 = self.wq[(o0 * self.in_ch + 2 * q) * self.kernel + k];
+                        let w1 = self.wq[(o0 * self.in_ch + 2 * q + 1) * self.kernel + k];
+                        madd_pair_16(xa, xb, w0, w1, &mut acc0, &mut acc1);
+                    }
+                    if odd {
+                        let i = self.in_ch - 1;
+                        let w0 = self.wq[(o0 * self.in_ch + i) * self.kernel + k];
+                        let xa = _mm_loadu_si128(xp.add(i * len * batch + trow).cast());
+                        madd_pair_16(xa, _mm_setzero_si128(), w0, 0, &mut acc0, &mut acc1);
+                    }
+                }
+                let y = (o0 * len + t) * batch + rc;
+                _mm256_storeu_si256(acc_out.as_mut_ptr().add(y).cast(), acc0);
+                _mm256_storeu_si256(acc_out.as_mut_ptr().add(y + 8).cast(), acc1);
+                o0 += 1;
+            }
+        }
+    }
+
+    /// Dequantize accumulators, add bias, apply ReLU, and requantize for
+    /// the next layer: `yq = quant(max(0, acc·s_w[o]·s_x + b[o]), s_out)`.
+    /// Feature-major in and out.
+    pub fn finish_relu_quant(
+        &self,
+        acc: &[i32],
+        s_x: f32,
+        s_out: f32,
+        yq: &mut [i8],
+        batch: usize,
+        len: usize,
+    ) {
+        assert_eq!(acc.len(), self.out_ch * len * batch, "finish acc shape");
+        assert_eq!(yq.len(), acc.len(), "finish out shape");
+        let inv = 1.0 / s_out;
+        for o in 0..self.out_ch {
+            let deq = self.w_scale[o] * s_x;
+            let b = self.bias[o];
+            let base = o * len * batch;
+            requant_span(
+                &acc[base..base + len * batch],
+                &mut yq[base..base + len * batch],
+                deq,
+                b,
+                inv,
+            );
+        }
+    }
+
+    /// [`QConv1d::finish_relu_quant`] with a distinct requantization scale
+    /// per output channel: `yq[o] = quant(max(0, acc·s_w[o]·s_x + b[o]),
+    /// s_out[o])`. Per-channel activation scales keep resolution for
+    /// small-range channels; fold `s_out[o]` into the *next* layer's f32
+    /// weights before quantizing them, then finish that layer with
+    /// `s_x = 1.0`.
+    pub fn finish_relu_quant_per_channel(
+        &self,
+        acc: &[i32],
+        s_x: f32,
+        s_out: &[f32],
+        yq: &mut [i8],
+        batch: usize,
+        len: usize,
+    ) {
+        assert_eq!(acc.len(), self.out_ch * len * batch, "finish acc shape");
+        assert_eq!(yq.len(), acc.len(), "finish out shape");
+        assert_eq!(s_out.len(), self.out_ch, "per-channel scale count");
+        for o in 0..self.out_ch {
+            let deq = self.w_scale[o] * s_x;
+            let b = self.bias[o];
+            let inv = 1.0 / s_out[o];
+            let base = o * len * batch;
+            requant_span(
+                &acc[base..base + len * batch],
+                &mut yq[base..base + len * batch],
+                deq,
+                b,
+                inv,
+            );
+        }
+    }
+
+    /// Dequantize accumulators to f32 (feature-major), adding bias and
+    /// optionally rectifying — for taps that need real-valued outputs.
+    pub fn finish_f32(
+        &self,
+        acc: &[i32],
+        s_x: f32,
+        relu: bool,
+        y: &mut [f32],
+        batch: usize,
+        len: usize,
+    ) {
+        assert_eq!(acc.len(), self.out_ch * len * batch, "finish acc shape");
+        assert_eq!(y.len(), acc.len(), "finish out shape");
+        for o in 0..self.out_ch {
+            let deq = self.w_scale[o] * s_x;
+            let b = self.bias[o];
+            let base = o * len * batch;
+            for (dst, &a) in y[base..base + len * batch]
+                .iter_mut()
+                .zip(&acc[base..base + len * batch])
+            {
+                let v = (a as f32) * deq + b;
+                *dst = if relu { v.max(0.0) } else { v };
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// QDense
+// ---------------------------------------------------------------------------
+
+/// Int8 fully-connected layer: per-row weight scales, f32 bias,
+/// feature-major `(in_dim, batch)` i8 activations.
+#[derive(Debug, Clone)]
+pub struct QDense {
+    in_dim: usize,
+    out_dim: usize,
+    wq: Vec<i8>,
+    w_scale: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl QDense {
+    /// Quantize an f32 dense layer's weights (`w[j][i]` row-major) and
+    /// bias into an int8 layer.
+    pub fn from_f32(in_dim: usize, out_dim: usize, w: &[f32], bias: &[f32]) -> Self {
+        assert_eq!(bias.len(), out_dim, "bias shape mismatch");
+        let (wq, w_scale) = quantize_weights(w, out_dim, in_dim);
+        QDense {
+            in_dim,
+            out_dim,
+            wq,
+            w_scale,
+            bias: bias.to_vec(),
+        }
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Per-output weight scales.
+    pub fn w_scale(&self) -> &[f32] {
+        &self.w_scale
+    }
+
+    /// Quantized weights (`w[j][i]` row-major).
+    pub fn weights_q(&self) -> &[i8] {
+        &self.wq
+    }
+
+    /// Integer matvec accumulation over feature-major lanes; exact in
+    /// i32, bit-identical across dispatch levels.
+    pub fn accumulate(&self, xq: &[i8], acc: &mut [i32], batch: usize) {
+        assert_eq!(xq.len(), self.in_dim * batch, "qdense input shape");
+        assert_eq!(acc.len(), self.out_dim * batch, "qdense acc shape");
+        let level = active_level();
+        let mut rc = 0;
+        while rc < batch {
+            let left = batch - rc;
+            #[cfg(target_arch = "x86_64")]
+            if level == Level::Avx2 && left >= 8 {
+                // SAFETY: AVX2 verified by the dispatch level; lanes
+                // rc..rc+8 lie within the asserted buffer shapes.
+                unsafe { self.acc_lanes8_avx2(xq, acc, rc, batch) };
+                rc += 8;
+                continue;
+            }
+            let _ = level;
+            if left >= QLANE_BLOCK {
+                self.acc_lanes::<QLANE_BLOCK>(xq, acc, rc, batch);
+                rc += QLANE_BLOCK;
+            } else {
+                self.acc_lanes::<1>(xq, acc, rc, batch);
+                rc += 1;
+            }
+        }
+    }
+
+    /// [`QDense::accumulate`] for **non-negative** activations (`xq`
+    /// lanes in `[0, 127]`); bit-identical to it on such inputs, with an
+    /// AVX2 `maddubs` kernel that folds input pairs two taps × 16 lanes
+    /// per instruction (see [`madd_pair_16`]).
+    pub fn accumulate_nonneg(&self, xq: &[i8], acc: &mut [i32], batch: usize) {
+        debug_assert!(
+            xq.iter().all(|&v| v >= 0),
+            "accumulate_nonneg requires activations in [0, 127]"
+        );
+        assert_eq!(xq.len(), self.in_dim * batch, "qdense input shape");
+        assert_eq!(acc.len(), self.out_dim * batch, "qdense acc shape");
+        let level = active_level();
+        let mut rc = 0;
+        while rc < batch {
+            let left = batch - rc;
+            #[cfg(target_arch = "x86_64")]
+            if level == Level::Avx2 && left >= 16 {
+                // SAFETY: AVX2 verified by the dispatch level; lanes
+                // rc..rc+16 lie within the asserted buffer shapes.
+                unsafe { self.acc_lanes16_maddubs_avx2(xq, acc, rc, batch) };
+                rc += 16;
+                continue;
+            }
+            let _ = level;
+            if left >= QLANE_BLOCK {
+                self.acc_lanes::<QLANE_BLOCK>(xq, acc, rc, batch);
+                rc += QLANE_BLOCK;
+            } else {
+                self.acc_lanes::<1>(xq, acc, rc, batch);
+                rc += 1;
+            }
+        }
+    }
+
+    /// Scalar lane block of the integer matvec.
+    fn acc_lanes<const N: usize>(&self, xq: &[i8], acc_out: &mut [i32], rc: usize, batch: usize) {
+        let in_dim = self.in_dim;
+        for j in 0..self.out_dim {
+            let w_row = &self.wq[j * in_dim..(j + 1) * in_dim];
+            let mut acc = [0i32; N];
+            for (i, &w) in w_row.iter().enumerate() {
+                let w = i32::from(w);
+                let x = &xq[i * batch + rc..i * batch + rc + N];
+                for (a, &xv) in acc.iter_mut().zip(x) {
+                    *a += w * i32::from(xv);
+                }
+            }
+            let y = j * batch + rc;
+            for (dst, a) in acc_out[y..y + N].iter_mut().zip(acc) {
+                *dst = a;
+            }
+        }
+    }
+
+    /// AVX2 8-lane matvec block.
+    ///
+    /// # Safety
+    /// Requires AVX2 at runtime and `rc + 8 <= batch`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn acc_lanes8_avx2(&self, xq: &[i8], acc_out: &mut [i32], rc: usize, batch: usize) {
+        use std::arch::x86_64::*;
+        let in_dim = self.in_dim;
+        for j in 0..self.out_dim {
+            let w_row = &self.wq[j * in_dim..(j + 1) * in_dim];
+            let mut acc = _mm256_setzero_si256();
+            for (i, &w) in w_row.iter().enumerate() {
+                let wv = _mm256_set1_epi32(i32::from(w));
+                let x8 = _mm_loadl_epi64(xq.as_ptr().add(i * batch + rc).cast());
+                let x = _mm256_cvtepi8_epi32(x8);
+                acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(wv, x));
+            }
+            _mm256_storeu_si256(acc_out.as_mut_ptr().add(j * batch + rc).cast(), acc);
+        }
+    }
+
+    /// AVX2 16-lane `maddubs` matvec block for non-negative activations;
+    /// weight pairs are adjacent bytes of the row, the odd tail — if any —
+    /// rides through with a zero partner.
+    ///
+    /// # Safety
+    /// Requires AVX2 at runtime, `rc + 16 <= batch`, and `xq` lanes in
+    /// `[0, 127]`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn acc_lanes16_maddubs_avx2(
+        &self,
+        xq: &[i8],
+        acc_out: &mut [i32],
+        rc: usize,
+        batch: usize,
+    ) {
+        use std::arch::x86_64::*;
+        let in_dim = self.in_dim;
+        let xp = xq.as_ptr();
+        for j in 0..self.out_dim {
+            let w_row = &self.wq[j * in_dim..(j + 1) * in_dim];
+            let mut acc0 = _mm256_setzero_si256();
+            let mut acc1 = _mm256_setzero_si256();
+            let mut i = 0;
+            while i + 1 < in_dim {
+                let xa = _mm_loadu_si128(xp.add(i * batch + rc).cast());
+                let xb = _mm_loadu_si128(xp.add((i + 1) * batch + rc).cast());
+                madd_pair_16(xa, xb, w_row[i], w_row[i + 1], &mut acc0, &mut acc1);
+                i += 2;
+            }
+            if i < in_dim {
+                let xa = _mm_loadu_si128(xp.add(i * batch + rc).cast());
+                madd_pair_16(xa, _mm_setzero_si128(), w_row[i], 0, &mut acc0, &mut acc1);
+            }
+            _mm256_storeu_si256(acc_out.as_mut_ptr().add(j * batch + rc).cast(), acc0);
+            _mm256_storeu_si256(acc_out.as_mut_ptr().add(j * batch + rc + 8).cast(), acc1);
+        }
+    }
+
+    /// Dequantize + bias + ReLU + requantize (see
+    /// [`QConv1d::finish_relu_quant`]); feature-major `(out_dim, batch)`.
+    pub fn finish_relu_quant(
+        &self,
+        acc: &[i32],
+        s_x: f32,
+        s_out: f32,
+        yq: &mut [i8],
+        batch: usize,
+    ) {
+        assert_eq!(acc.len(), self.out_dim * batch, "finish acc shape");
+        assert_eq!(yq.len(), acc.len(), "finish out shape");
+        let inv = 1.0 / s_out;
+        for j in 0..self.out_dim {
+            let deq = self.w_scale[j] * s_x;
+            let b = self.bias[j];
+            let base = j * batch;
+            requant_span(
+                &acc[base..base + batch],
+                &mut yq[base..base + batch],
+                deq,
+                b,
+                inv,
+            );
+        }
+    }
+
+    /// [`QDense::finish_relu_quant`] with a distinct requantization scale
+    /// per output dimension (see the [`QConv1d`] counterpart for the
+    /// weight-folding contract).
+    pub fn finish_relu_quant_per_channel(
+        &self,
+        acc: &[i32],
+        s_x: f32,
+        s_out: &[f32],
+        yq: &mut [i8],
+        batch: usize,
+    ) {
+        assert_eq!(acc.len(), self.out_dim * batch, "finish acc shape");
+        assert_eq!(yq.len(), acc.len(), "finish out shape");
+        assert_eq!(s_out.len(), self.out_dim, "per-channel scale count");
+        for j in 0..self.out_dim {
+            let deq = self.w_scale[j] * s_x;
+            let b = self.bias[j];
+            let inv = 1.0 / s_out[j];
+            let base = j * batch;
+            requant_span(
+                &acc[base..base + batch],
+                &mut yq[base..base + batch],
+                deq,
+                b,
+                inv,
+            );
+        }
+    }
+
+    /// Dequantize accumulators to f32 (feature-major), adding bias.
+    pub fn finish_f32(&self, acc: &[i32], s_x: f32, relu: bool, y: &mut [f32], batch: usize) {
+        assert_eq!(acc.len(), self.out_dim * batch, "finish acc shape");
+        assert_eq!(y.len(), acc.len(), "finish out shape");
+        for j in 0..self.out_dim {
+            let deq = self.w_scale[j] * s_x;
+            let b = self.bias[j];
+            let base = j * batch;
+            for (dst, &a) in y[base..base + batch]
+                .iter_mut()
+                .zip(&acc[base..base + batch])
+            {
+                let v = (a as f32) * deq + b;
+                *dst = if relu { v.max(0.0) } else { v };
+            }
+        }
+    }
+}
+
+/// Global max pooling over the time axis in quantized space: feature-major
+/// `(channels·len, batch)` i8 → `(channels, batch)` i8. Quantization is
+/// monotone (positive scale), so pooling before or after dequantization
+/// selects the same element — this commutes exactly with the f32 pool.
+pub fn global_max_pool_q(xq: &[i8], yq: &mut [i8], channels: usize, len: usize, batch: usize) {
+    assert!(len > 0, "cannot max-pool an empty sequence");
+    assert_eq!(xq.len(), channels * len * batch, "qpool input shape");
+    assert_eq!(yq.len(), channels * batch, "qpool output shape");
+    for c in 0..channels {
+        let base = c * len * batch;
+        let dst = &mut yq[c * batch..(c + 1) * batch];
+        dst.copy_from_slice(&xq[base..base + batch]);
+        for t in 1..len {
+            let src = &xq[base + t * batch..base + (t + 1) * batch];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                if s > *d {
+                    *d = s;
+                }
+            }
+        }
+    }
+}
+
+/// Valid kernel-tap range under same zero-padding (duplicated from the
+/// f32 kernels; kept private there).
+#[inline]
+fn tap_range(t: usize, pad: usize, kernel: usize, len: usize) -> (usize, usize) {
+    let lo = pad.saturating_sub(t);
+    let hi = kernel.min(len + pad - t);
+    (lo, hi.max(lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simd::{available_levels, with_level};
+
+    #[test]
+    fn quantize_saturates_instead_of_wrapping() {
+        // 10/0.05 = 200 would wrap an i8; it must clip to 127.
+        assert_eq!(quantize(10.0, 0.05), 127);
+        assert_eq!(quantize(-10.0, 0.05), -127);
+        assert_eq!(quantize(0.0, 0.05), 0);
+    }
+
+    #[test]
+    fn quantize_rounds_half_away_from_zero() {
+        assert_eq!(quantize(0.15, 0.1), 2); // 1.5 → 2
+        assert_eq!(quantize(-0.15, 0.1), -2);
+    }
+
+    #[test]
+    fn degenerate_range_has_safe_scale() {
+        let mut r = ActRange::new();
+        r.observe(&[0.0, 0.0, 0.0]);
+        assert!(r.scale() > 0.0);
+        assert_eq!(quantize(0.0, r.scale()), 0);
+        // Never-observed range too.
+        assert!(ActRange::new().scale() > 0.0);
+    }
+
+    #[test]
+    fn act_range_ignores_non_finite() {
+        let mut r = ActRange::new();
+        r.observe(&[0.5, f32::NAN, f32::INFINITY, -0.25]);
+        assert_eq!(r.max_abs(), 0.5);
+        assert_eq!(r.observed(), 2);
+    }
+
+    #[test]
+    fn per_channel_scales_hit_127() {
+        // Two rows with very different magnitudes: each must quantize its
+        // own max to exactly ±127 (per-channel, not per-tensor).
+        let w = vec![0.001, -0.002, 5.0, 2.5];
+        let (wq, s) = quantize_weights(&w, 2, 2);
+        assert_eq!(wq[1], -127);
+        assert_eq!(wq[2], 127);
+        assert!((s[0] - 0.002 / 127.0).abs() < 1e-9);
+        assert!((s[1] - 5.0 / 127.0).abs() < 1e-9);
+    }
+
+    fn ref_qconv(
+        q: &QConv1d,
+        xq: &[i8],
+        batch: usize,
+        len: usize,
+        r: usize,
+        o: usize,
+        t: usize,
+    ) -> i32 {
+        let pad = q.kernel / 2;
+        let mut acc = 0i32;
+        for i in 0..q.in_ch {
+            for k in 0..q.kernel {
+                let src = t as isize + k as isize - pad as isize;
+                if src < 0 || src >= len as isize {
+                    continue;
+                }
+                let w = i32::from(q.wq[(o * q.in_ch + i) * q.kernel + k]);
+                let x = i32::from(xq[(i * len + src as usize) * batch + r]);
+                acc += w * x;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn qconv_accumulate_matches_reference_on_all_levels() {
+        let in_ch = 2;
+        let out_ch = 3;
+        let k = 3;
+        let len = 5;
+        let batch = 11; // odd: exercises the sub-block lane tail
+        let w: Vec<f32> = (0..out_ch * in_ch * k)
+            .map(|i| ((i * 37 % 19) as f32 - 9.0) / 10.0)
+            .collect();
+        let bias = vec![0.1, -0.2, 0.3];
+        let q = QConv1d::from_f32(in_ch, out_ch, k, &w, &bias);
+        let xq: Vec<i8> = (0..in_ch * len * batch)
+            .map(|i| ((i * 23 % 255) as i32 - 127) as i8)
+            .collect();
+        let mut expected = vec![0i32; out_ch * len * batch];
+        for o in 0..out_ch {
+            for t in 0..len {
+                for r in 0..batch {
+                    expected[(o * len + t) * batch + r] = ref_qconv(&q, &xq, batch, len, r, o, t);
+                }
+            }
+        }
+        for level in available_levels() {
+            let mut acc = vec![0i32; out_ch * len * batch];
+            with_level(level, || q.accumulate(&xq, &mut acc, batch, len));
+            assert_eq!(acc, expected, "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn qdense_accumulate_matches_reference_on_all_levels() {
+        let in_dim = 7;
+        let out_dim = 4;
+        let batch = 13;
+        let w: Vec<f32> = (0..out_dim * in_dim)
+            .map(|i| ((i * 41 % 17) as f32 - 8.0) / 8.0)
+            .collect();
+        let bias = vec![0.0; out_dim];
+        let q = QDense::from_f32(in_dim, out_dim, &w, &bias);
+        let xq: Vec<i8> = (0..in_dim * batch)
+            .map(|i| ((i * 29 % 255) as i32 - 127) as i8)
+            .collect();
+        let mut expected = vec![0i32; out_dim * batch];
+        for j in 0..out_dim {
+            for r in 0..batch {
+                let mut acc = 0i32;
+                for i in 0..in_dim {
+                    acc += i32::from(q.wq[j * in_dim + i]) * i32::from(xq[i * batch + r]);
+                }
+                expected[j * batch + r] = acc;
+            }
+        }
+        for level in available_levels() {
+            let mut acc = vec![0i32; out_dim * batch];
+            with_level(level, || q.accumulate(&xq, &mut acc, batch));
+            assert_eq!(acc, expected, "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn qdense_error_within_analytic_bound() {
+        // One linear layer: |y - ŷ| ≤ s_w·s_x·Σᵢ(|wqᵢ|/2 + |xqᵢ|/2 + 1/4),
+        // from weight and activation rounding errors each bounded by half a
+        // quantization step (no saturation by construction here).
+        let in_dim = 9;
+        let out_dim = 5;
+        let w: Vec<f32> = (0..out_dim * in_dim)
+            .map(|i| (((i * 31 + 7) % 200) as f32 - 100.0) / 100.0)
+            .collect();
+        let bias: Vec<f32> = (0..out_dim).map(|j| j as f32 * 0.05 - 0.1).collect();
+        let x: Vec<f32> = (0..in_dim)
+            .map(|i| (((i * 53 + 3) % 160) as f32 - 80.0) / 80.0)
+            .collect();
+
+        let mut range = ActRange::new();
+        range.observe(&x);
+        let s_x = range.scale();
+        let mut xq = vec![0i8; in_dim];
+        quantize_into(&x, s_x, &mut xq);
+
+        let q = QDense::from_f32(in_dim, out_dim, &w, &bias);
+        let mut acc = vec![0i32; out_dim];
+        q.accumulate(&xq, &mut acc, 1);
+        let mut y_hat = vec![0f32; out_dim];
+        q.finish_f32(&acc, s_x, false, &mut y_hat, 1);
+
+        for j in 0..out_dim {
+            let y: f32 = bias[j] + (0..in_dim).map(|i| w[j * in_dim + i] * x[i]).sum::<f32>();
+            let s_w = q.w_scale[j];
+            let bound: f32 = (0..in_dim)
+                .map(|i| {
+                    s_w * s_x
+                        * (f32::from(q.wq[j * in_dim + i].unsigned_abs()) / 2.0
+                            + f32::from(xq[i].unsigned_abs()) / 2.0
+                            + 0.25)
+                })
+                .sum();
+            assert!(
+                (y - y_hat[j]).abs() <= bound * 1.001 + 1e-6,
+                "out {j}: |{y} - {}| > bound {bound}",
+                y_hat[j]
+            );
+        }
+    }
+
+    #[test]
+    fn per_channel_finish_generalizes_per_tensor_finish() {
+        // Uniform per-channel scales must reproduce the per-tensor finish
+        // exactly; distinct scales must equal requantizing each channel's
+        // dequantized output with its own scale.
+        let in_ch = 2;
+        let out_ch = 3;
+        let kernel = 3;
+        let len = 4;
+        let batch = 5;
+        let w: Vec<f32> = (0..out_ch * in_ch * kernel)
+            .map(|i| ((i * 37 % 19) as f32 - 9.0) / 9.0)
+            .collect();
+        let bias: Vec<f32> = (0..out_ch).map(|j| j as f32 * 0.1 - 0.1).collect();
+        let q = QConv1d::from_f32(in_ch, out_ch, kernel, &w, &bias);
+        let xq: Vec<i8> = (0..in_ch * len * batch)
+            .map(|i| ((i * 23 % 255) as i32 - 127) as i8)
+            .collect();
+        let mut acc = vec![0i32; out_ch * len * batch];
+        q.accumulate(&xq, &mut acc, batch, len);
+        let s_x = 0.013;
+
+        let uniform = 0.02;
+        let mut per_tensor = vec![0i8; acc.len()];
+        q.finish_relu_quant(&acc, s_x, uniform, &mut per_tensor, batch, len);
+        let mut per_channel = vec![0i8; acc.len()];
+        q.finish_relu_quant_per_channel(
+            &acc,
+            s_x,
+            &vec![uniform; out_ch],
+            &mut per_channel,
+            batch,
+            len,
+        );
+        assert_eq!(
+            per_tensor, per_channel,
+            "uniform scales must match per-tensor"
+        );
+
+        let scales: Vec<f32> = (0..out_ch).map(|o| 0.01 + o as f32 * 0.007).collect();
+        let mut distinct = vec![0i8; acc.len()];
+        q.finish_relu_quant_per_channel(&acc, s_x, &scales, &mut distinct, batch, len);
+        let mut f = vec![0f32; acc.len()];
+        q.finish_f32(&acc, s_x, true, &mut f, batch, len);
+        for o in 0..out_ch {
+            let base = o * len * batch;
+            for t in 0..len * batch {
+                assert_eq!(
+                    distinct[base + t],
+                    requant_relu(f[base + t], 1.0 / scales[o]),
+                    "ch {o}"
+                );
+            }
+        }
+
+        // Dense counterpart: uniform per-channel equals per-tensor.
+        let in_dim = 6;
+        let out_dim = 4;
+        let dw: Vec<f32> = (0..out_dim * in_dim)
+            .map(|i| ((i * 13 % 11) as f32 - 5.0) / 5.0)
+            .collect();
+        let dbias = vec![0.05; out_dim];
+        let d = QDense::from_f32(in_dim, out_dim, &dw, &dbias);
+        let dxq: Vec<i8> = (0..in_dim * batch)
+            .map(|i| ((i * 31 % 255) as i32 - 127) as i8)
+            .collect();
+        let mut dacc = vec![0i32; out_dim * batch];
+        d.accumulate(&dxq, &mut dacc, batch);
+        let mut d_tensor = vec![0i8; dacc.len()];
+        d.finish_relu_quant(&dacc, s_x, uniform, &mut d_tensor, batch);
+        let mut d_channel = vec![0i8; dacc.len()];
+        d.finish_relu_quant_per_channel(&dacc, s_x, &vec![uniform; out_dim], &mut d_channel, batch);
+        assert_eq!(
+            d_tensor, d_channel,
+            "dense uniform scales must match per-tensor"
+        );
+    }
+
+    #[test]
+    fn nonneg_accumulate_matches_signed_path_on_all_levels() {
+        // Non-negative lanes: the maddubs kernel must agree exactly with
+        // the sign-extending path at every level, including the scalar
+        // tail (batch not a multiple of 16) and odd channel counts.
+        for (in_ch, batch) in [(2usize, 37usize), (3, 16), (5, 21)] {
+            let out_ch = 4;
+            let k = 3;
+            let len = 5;
+            let w: Vec<f32> = (0..out_ch * in_ch * k)
+                .map(|i| ((i * 37 % 19) as f32 - 9.0) / 10.0)
+                .collect();
+            let q = QConv1d::from_f32(in_ch, out_ch, k, &w, &vec![0.0; out_ch]);
+            let xq: Vec<i8> = (0..in_ch * len * batch)
+                .map(|i| ((i * 23) % 128) as i8)
+                .collect();
+            let mut expected = vec![0i32; out_ch * len * batch];
+            q.accumulate(&xq, &mut expected, batch, len);
+            for level in available_levels() {
+                let mut acc = vec![0i32; out_ch * len * batch];
+                with_level(level, || q.accumulate_nonneg(&xq, &mut acc, batch, len));
+                assert_eq!(acc, expected, "conv in_ch={in_ch} batch={batch} {level:?}");
+            }
+        }
+        for (in_dim, batch) in [(6usize, 48usize), (7, 19), (65, 33)] {
+            let out_dim = 5;
+            let w: Vec<f32> = (0..out_dim * in_dim)
+                .map(|i| ((i * 41 % 17) as f32 - 8.0) / 8.0)
+                .collect();
+            let d = QDense::from_f32(in_dim, out_dim, &w, &vec![0.0; out_dim]);
+            let xq: Vec<i8> = (0..in_dim * batch)
+                .map(|i| ((i * 29) % 128) as i8)
+                .collect();
+            let mut expected = vec![0i32; out_dim * batch];
+            d.accumulate(&xq, &mut expected, batch);
+            for level in available_levels() {
+                let mut acc = vec![0i32; out_dim * batch];
+                with_level(level, || d.accumulate_nonneg(&xq, &mut acc, batch));
+                assert_eq!(
+                    acc, expected,
+                    "dense in_dim={in_dim} batch={batch} {level:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn maddubs_pair_sum_peaks_without_saturating() {
+        // Worst case |x·w| pair: x = 127, w = ±127 on both taps —
+        // 2·127·127 = 32258 must come through exactly (an i16-saturating
+        // kernel would clip at 32767 only above this, so the peak probes
+        // the margin).
+        let in_dim = 2;
+        let batch = 16;
+        let w = vec![1.0f32, 1.0, -1.0, -1.0];
+        let d = QDense::from_f32(in_dim, 2, &w, &[0.0, 0.0]);
+        assert_eq!(d.weights_q(), &[127, 127, -127, -127]);
+        let xq = vec![127i8; in_dim * batch];
+        for level in available_levels() {
+            let mut acc = vec![0i32; 2 * batch];
+            with_level(level, || d.accumulate_nonneg(&xq, &mut acc, batch));
+            assert!(acc[..batch].iter().all(|&a| a == 32258), "{level:?}");
+            assert!(acc[batch..].iter().all(|&a| a == -32258), "{level:?}");
+        }
+    }
+
+    #[test]
+    fn qpool_commutes_with_dequantization() {
+        let channels = 3;
+        let len = 4;
+        let batch = 5;
+        let xq: Vec<i8> = (0..channels * len * batch)
+            .map(|i| ((i * 67 % 255) as i32 - 127) as i8)
+            .collect();
+        let mut yq = vec![0i8; channels * batch];
+        global_max_pool_q(&xq, &mut yq, channels, len, batch);
+        for c in 0..channels {
+            for r in 0..batch {
+                let m = (0..len)
+                    .map(|t| xq[(c * len + t) * batch + r])
+                    .max()
+                    .unwrap();
+                assert_eq!(yq[c * batch + r], m);
+            }
+        }
+    }
+}

@@ -191,8 +191,7 @@ mod tests {
     /// Numerical gradient check (same scheme as the layers module).
     fn check_gradients(layer: &mut Rnn, input: &Tensor, tol: f32) {
         let eps = 1e-3f32;
-        let loss_of =
-            |out: &Tensor| -> f32 { out.data().iter().map(|&v| 0.5 * v * v).sum() };
+        let loss_of = |out: &Tensor| -> f32 { out.data().iter().map(|&v| 0.5 * v * v).sum() };
         let out = layer.forward(input);
         let grad_in = layer.backward(&out.clone());
 
@@ -232,11 +231,7 @@ mod tests {
     #[test]
     fn bptt_gradients_check_out() {
         let mut layer = Rnn::new(2, 3, 1);
-        let input = Tensor::from_vec(
-            2,
-            4,
-            vec![0.3, -0.2, 0.5, 0.1, -0.4, 0.2, 0.0, 0.6],
-        );
+        let input = Tensor::from_vec(2, 4, vec![0.3, -0.2, 0.5, 0.1, -0.4, 0.2, 0.0, 0.6]);
         check_gradients(&mut layer, &input, 3e-2);
     }
 

@@ -1,0 +1,161 @@
+//! Runtime SIMD dispatch for the batched inference kernels.
+//!
+//! The lane-blocked kernels in [`crate::layers`] come in three flavours:
+//! explicit AVX2 (`std::arch` 256-bit), explicit SSE2 (128-bit), and the
+//! portable scalar lane cascade. Which one runs is decided *once* per
+//! process from `is_x86_feature_detected!` and cached — the decision path
+//! must not pay a detection branch per round. All three produce
+//! bit-identical f32 results: the vector kernels use separate multiply and
+//! add instructions (never FMA) and keep the exact per-lane accumulation
+//! order of the scalar code, so picking a level is purely a throughput
+//! choice.
+//!
+//! Overrides, strongest first:
+//!
+//! 1. [`with_level`] — pins the *calling thread* to a (possibly lower)
+//!    level for the duration of a closure. Used by the bit-identity tests
+//!    and the benchmark harness to compare levels in one process.
+//! 2. `PG_FORCE_SCALAR=1` in the environment — forces the scalar cascade
+//!    process-wide. CI uses this to exercise the portable path on machines
+//!    that do have vector units.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Instruction-set level the batched kernels dispatch to.
+///
+/// Ordered by capability: `Scalar < Sse2 < Avx2`, so clamping a requested
+/// level to the detected one is just `min`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Portable lane cascade — no `std::arch` intrinsics.
+    Scalar,
+    /// 128-bit `__m128` kernels (baseline on `x86_64`).
+    Sse2,
+    /// 256-bit `__m256` kernels.
+    Avx2,
+}
+
+impl Level {
+    /// Stable lowercase name, recorded in benchmark artifacts so numbers
+    /// from different machines are comparable.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Scalar => "scalar",
+            Level::Sse2 => "sse2",
+            Level::Avx2 => "avx2",
+        }
+    }
+}
+
+/// True when `PG_FORCE_SCALAR` is set to anything but `0`/empty.
+fn force_scalar() -> bool {
+    std::env::var("PG_FORCE_SCALAR").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn detect() -> Level {
+    if force_scalar() {
+        return Level::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Level::Avx2;
+        }
+        if std::arch::is_x86_feature_detected!("sse2") {
+            return Level::Sse2;
+        }
+    }
+    Level::Scalar
+}
+
+static DETECTED: OnceLock<Level> = OnceLock::new();
+
+thread_local! {
+    static OVERRIDE: Cell<Option<Level>> = const { Cell::new(None) };
+}
+
+/// The level detected for this process (after `PG_FORCE_SCALAR`), ignoring
+/// any thread-local override. This is what the hardware supports and what
+/// benchmark artifacts should record.
+pub fn detected_level() -> Level {
+    *DETECTED.get_or_init(detect)
+}
+
+/// The level the calling thread's kernels will actually use: the
+/// thread-local override if one is active (see [`with_level`]), otherwise
+/// the process-wide detected level.
+#[inline]
+pub fn active_level() -> Level {
+    OVERRIDE.with(Cell::get).unwrap_or_else(detected_level)
+}
+
+/// Run `f` with this thread's kernel dispatch pinned to `level`.
+///
+/// The request is clamped to [`detected_level`] — asking for AVX2 on a
+/// machine without it silently degrades rather than executing illegal
+/// instructions. The previous override is restored when `f` returns or
+/// unwinds, so nested pins compose.
+pub fn with_level<T>(level: Level, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<Level>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let clamped = level.min(detected_level());
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(clamped))));
+    f()
+}
+
+/// Every level at or below the process's detected level, strongest first.
+/// Tests iterate this to compare all runnable kernels on the host.
+pub fn available_levels() -> Vec<Level> {
+    [Level::Avx2, Level::Sse2, Level::Scalar]
+        .into_iter()
+        .filter(|&l| l <= detected_level())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_by_capability() {
+        assert!(Level::Scalar < Level::Sse2);
+        assert!(Level::Sse2 < Level::Avx2);
+        assert_eq!(Level::Avx2.name(), "avx2");
+        assert_eq!(Level::Sse2.name(), "sse2");
+        assert_eq!(Level::Scalar.name(), "scalar");
+    }
+
+    #[test]
+    fn with_level_pins_and_restores() {
+        let before = active_level();
+        with_level(Level::Scalar, || {
+            assert_eq!(active_level(), Level::Scalar);
+            // Nested pins compose and restore.
+            with_level(Level::Scalar, || {
+                assert_eq!(active_level(), Level::Scalar);
+            });
+            assert_eq!(active_level(), Level::Scalar);
+        });
+        assert_eq!(active_level(), before);
+    }
+
+    #[test]
+    fn with_level_clamps_to_detected() {
+        // Requesting more than the machine has must not exceed detection.
+        with_level(Level::Avx2, || {
+            assert!(active_level() <= detected_level());
+        });
+    }
+
+    #[test]
+    fn available_levels_start_at_detected() {
+        let levels = available_levels();
+        assert_eq!(levels.first().copied(), Some(detected_level()));
+        assert_eq!(levels.last().copied(), Some(Level::Scalar));
+    }
+}

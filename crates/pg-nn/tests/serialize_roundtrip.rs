@@ -43,9 +43,7 @@ fn fixed_inputs() -> Vec<Tensor> {
     // positive and negative activations through both conv layers.
     (0..16)
         .map(|k| {
-            let xs: Vec<f32> = (0..9)
-                .map(|i| ((k * 9 + i) as f32 * 0.37).sin())
-                .collect();
+            let xs: Vec<f32> = (0..9).map(|i| ((k * 9 + i) as f32 * 0.37).sin()).collect();
             Tensor::from_vec(1, 9, xs)
         })
         .collect()

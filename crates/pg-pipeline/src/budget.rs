@@ -47,10 +47,7 @@ impl RoundBudget {
     /// be finite and non-negative — otherwise NaN/∞ (e.g. `∞ × 0`) would
     /// propagate into `per_round`, where only the product is checked and a
     /// NaN would silently disable `can_spend`.
-    pub fn try_from_decode_fps(
-        decode_fps: f64,
-        mean_cost_per_frame: f64,
-    ) -> Result<Self, String> {
+    pub fn try_from_decode_fps(decode_fps: f64, mean_cost_per_frame: f64) -> Result<Self, String> {
         if !decode_fps.is_finite() || decode_fps < 0.0 {
             return Err(format!(
                 "decode_fps must be finite and non-negative, got {decode_fps}"

@@ -472,9 +472,10 @@ impl ConcurrentPipeline {
                 let work = cfg.work;
                 let plan = &cfg.faults;
                 let telemetry = self.telemetry.clone();
-                decode_handles.push(scope.spawn(move || {
-                    decode_worker(m, work, plan, worker, tx, err_tx, telemetry)
-                }));
+                decode_handles
+                    .push(scope.spawn(move || {
+                        decode_worker(m, work, plan, worker, tx, err_tx, telemetry)
+                    }));
             }
             drop(frame_tx);
 
@@ -483,8 +484,15 @@ impl ConcurrentPipeline {
             let infer_telemetry = self.telemetry.clone();
             let infer_err_tx = fault_tx.clone();
             let infer_handle = scope.spawn(move || {
-                inference_stage(m, cfg.task, infer_plan, frame_rx, fb_tx, infer_err_tx,
-                    infer_telemetry)
+                inference_stage(
+                    m,
+                    cfg.task,
+                    infer_plan,
+                    frame_rx,
+                    fb_tx,
+                    infer_err_tx,
+                    infer_telemetry,
+                )
             });
             drop(fault_tx);
 
@@ -495,7 +503,16 @@ impl ConcurrentPipeline {
             // panics, or the workers would block forever and the scope
             // would never join. Catch, close, re-raise.
             let gate_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                gate_stage(cfg, shards, gate, batch_rx, &pool, fb_rx, &fault_rx, &self.telemetry)
+                gate_stage(
+                    cfg,
+                    shards,
+                    gate,
+                    batch_rx,
+                    &pool,
+                    fb_rx,
+                    &fault_rx,
+                    &self.telemetry,
+                )
             }));
             // End of input for the decode pool: workers drain every queued
             // job, then exit.
@@ -593,7 +610,10 @@ fn producer(cfg: &ConcurrentConfig, chunk_txs: Vec<Sender<(usize, u64, Bytes)>>,
     for i in 0..cfg.streams {
         let mut chunk = serialize_stream_chunks::header_bytes(i as u32, &cfg.encoder);
         cfg.faults.corrupt_header(i, &mut chunk);
-        if chunk_txs[shard_map[i]].send((i, 0, Bytes::from(chunk))).is_err() {
+        if chunk_txs[shard_map[i]]
+            .send((i, 0, Bytes::from(chunk)))
+            .is_err()
+        {
             return;
         }
     }
@@ -603,7 +623,10 @@ fn producer(cfg: &ConcurrentConfig, chunk_txs: Vec<Sender<(usize, u64, Bytes)>>,
             let packet = encoders[i].encode(&frame);
             let mut chunk = serialize_stream_chunks::packet_bytes(&packet);
             cfg.faults.corrupt_chunk(i, round, &mut chunk);
-            if chunk_txs[shard_map[i]].send((i, round, Bytes::from(chunk))).is_err() {
+            if chunk_txs[shard_map[i]]
+                .send((i, round, Bytes::from(chunk)))
+                .is_err()
+            {
                 return;
             }
         }
@@ -815,6 +838,46 @@ impl GateIngest {
     }
 }
 
+/// Reusable per-round buffers for the gate stage. At m = 1024 the round
+/// loop used to re-allocate seven Vecs per round and sort whole `Packet`
+/// values; together with per-packet store pruning that produced a scaling
+/// cliff where gate-side bookkeeping outweighed prediction itself. All of
+/// these are grow-only: steady-state rounds never touch the allocator.
+struct RoundScratch {
+    /// Batch keys due for canonical processing this round.
+    due: Vec<u64>,
+    /// This round's packets; `Option` so the sorted pass can move each
+    /// packet out without shuffling full `Packet` values during the sort.
+    pkts: Vec<(u32, Option<Packet>)>,
+    /// Sort permutation over `pkts` — 4-byte keys swap, packets don't.
+    order: Vec<u32>,
+    /// This round's in-band faults, sorted by stream.
+    flts: Vec<BatchFault>,
+    /// Gate candidates offered to `select`.
+    contexts: Vec<PacketContext>,
+    /// Per-stream: offered a candidate this round.
+    has_candidate: Vec<bool>,
+    /// Per-stream: decode job dispatched this round.
+    sent: Vec<bool>,
+    /// Feedback events drained from the inference stage.
+    events: Vec<FeedbackEvent>,
+}
+
+impl RoundScratch {
+    fn new(m: usize) -> Self {
+        RoundScratch {
+            due: Vec::new(),
+            pkts: Vec::new(),
+            order: Vec::new(),
+            flts: Vec::new(),
+            contexts: Vec::with_capacity(m),
+            has_candidate: vec![false; m],
+            sent: vec![false; m],
+            events: Vec::new(),
+        }
+    }
+}
+
 #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn gate_stage(
     cfg: &ConcurrentConfig,
@@ -840,16 +903,20 @@ fn gate_stage(
     };
     // Batches received but not yet processed, keyed by producer round.
     let mut pending: BTreeMap<u64, Vec<ShardBatch>> = BTreeMap::new();
+    let mut scratch = RoundScratch::new(m);
+    // Highest GOP id whose predecessor horizon each stream's store has
+    // been pruned to — pruning runs once per GOP, not once per packet.
+    let mut pruned_gop: Vec<u64> = vec![0; m];
     let mut decoded = 0u64;
     let mut gate_time = Duration::ZERO;
     let mut round_latency_us = Vec::with_capacity(cfg.rounds as usize);
     let insight = telemetry.insight().clone();
 
     let note_fault = |faults: &mut Vec<FaultRecord>,
-                          health: &mut StreamHealth,
-                          error: &PipelineError,
-                          round: u64,
-                          strike: bool| {
+                      health: &mut StreamHealth,
+                      error: &PipelineError,
+                      round: u64,
+                      strike: bool| {
         telemetry.fault(error.kind(), error.stream_idx());
         push_fault(faults, error);
         if strike {
@@ -899,20 +966,38 @@ fn gate_stage(
 
         // Canonical processing: every parked batch of round ≤ this round,
         // rounds ascending, items within a round stably sorted by stream
-        // index — an order independent of batch arrival interleaving.
-        let due: Vec<u64> = pending.range(..=round).map(|(r, _)| *r).collect();
-        for key in due {
+        // index — an order independent of batch arrival interleaving. The
+        // sort permutes 4-byte keys, not `Packet` values, and all buffers
+        // are reused round to round.
+        scratch.due.clear();
+        scratch.due.extend(pending.range(..=round).map(|(r, _)| *r));
+        for di in 0..scratch.due.len() {
+            let key = scratch.due[di];
             let batches = pending.remove(&key).unwrap_or_default();
-            let mut pkts: Vec<(u32, Packet)> = Vec::new();
-            let mut flts: Vec<BatchFault> = Vec::new();
+            let RoundScratch {
+                pkts, order, flts, ..
+            } = &mut scratch;
+            pkts.clear();
+            flts.clear();
             for b in batches {
-                pkts.extend(b.stream_idx.into_iter().zip(b.packets));
+                pkts.extend(
+                    b.stream_idx
+                        .into_iter()
+                        .zip(b.packets.into_iter().map(Some)),
+                );
                 flts.extend(b.faults);
             }
-            pkts.sort_by_key(|(i, _)| *i);
+            order.clear();
+            order.extend(0..pkts.len() as u32);
+            order.sort_by_key(|&k| pkts[k as usize].0);
             flts.sort_by_key(|f| f.stream_idx);
-            for (iu, p) in pkts {
-                let i = iu as usize;
+            for &k in order.iter() {
+                let (iu, slot) = &mut pkts[k as usize];
+                let i = *iu as usize;
+                // `order` is a permutation, so each slot is taken exactly
+                // once; a vacant slot would be a logic bug, not input
+                // damage, and skipping it keeps this path panic-free.
+                let Some(p) = slot.take() else { continue };
                 insight.observe_packet(
                     i,
                     round,
@@ -933,12 +1018,18 @@ fn gate_stage(
                 }
                 trackers[i].note_arrival(&p);
                 // Keep stores bounded: drop entries older than two GOPs.
-                let horizon = p.meta.gop_id.saturating_sub(1);
+                // Within a GOP nothing new becomes stale, so the O(store)
+                // sweep runs once per GOP boundary instead of per packet.
+                let gop = p.meta.gop_id;
                 let seq = p.meta.seq;
                 stores[i].insert(seq, p);
-                stores[i].retain(|_, q| q.meta.gop_id >= horizon);
+                if gop > pruned_gop[i] {
+                    let horizon = gop.saturating_sub(1);
+                    stores[i].retain(|_, q| q.meta.gop_id >= horizon);
+                    pruned_gop[i] = gop;
+                }
             }
-            for f in flts {
+            for f in scratch.flts.drain(..) {
                 if f.fatal {
                     // The stream was killed at receipt; write the ledger
                     // entry at its canonical position.
@@ -961,18 +1052,18 @@ fn gate_stage(
         }
 
         // Drain async feedback.
-        let mut events = Vec::new();
+        scratch.events.clear();
         while let Ok(e) = fb_rx.try_recv() {
-            events.push(e);
+            scratch.events.push(e);
         }
-        if !events.is_empty() {
-            gate.feedback(&events);
+        if !scratch.events.is_empty() {
+            gate.feedback(&scratch.events);
         }
 
         // Build contexts from the active streams that actually delivered
         // this round's record. Quarantined/dead streams contribute no
         // candidate, so their budget share is released to the rest.
-        let mut contexts: Vec<PacketContext> = Vec::with_capacity(m);
+        scratch.contexts.clear();
         for i in 0..m {
             if !health.is_active(i) {
                 continue;
@@ -1002,7 +1093,7 @@ fn gate_stage(
                 note_fault(&mut faults, &mut health, &error, round, true);
                 continue;
             };
-            contexts.push(PacketContext {
+            scratch.contexts.push(PacketContext {
                 stream_idx: i,
                 meta: p.meta,
                 pending_cost,
@@ -1010,9 +1101,10 @@ fn gate_stage(
                 oracle_necessary: None,
             });
         }
+        let contexts = &scratch.contexts;
 
         let t0 = Instant::now();
-        let selection = gate.select(round, &contexts, cfg.budget_per_round);
+        let selection = gate.select(round, contexts, cfg.budget_per_round);
         let select_elapsed = t0.elapsed();
         gate_time += select_elapsed;
         telemetry.record_duration(Stage::Gate, contexts.len() as u64, select_elapsed);
@@ -1022,14 +1114,15 @@ fn gate_stage(
         // skipped. The pool's injector is unbounded, so dispatch never
         // blocks and never fails: if the pool died, the jobs sit queued
         // and the dead workers surface as StageDown records at join.
-        let mut has_candidate = vec![false; m];
-        for c in &contexts {
-            has_candidate[c.stream_idx] = true;
+        scratch.has_candidate[..m].fill(false);
+        for c in contexts {
+            scratch.has_candidate[c.stream_idx] = true;
         }
         let mut spent = 0.0f64;
-        let mut sent = vec![false; m];
+        scratch.sent[..m].fill(false);
+        let sent = &mut scratch.sent;
         for idx in selection {
-            if idx >= m || sent[idx] || !has_candidate[idx] {
+            if idx >= m || sent[idx] || !scratch.has_candidate[idx] {
                 continue;
             }
             if spent >= cfg.budget_per_round {
@@ -1195,7 +1288,11 @@ mod tests {
     fn budget_limits_decoding() {
         let report = ConcurrentPipeline::new(config(8, 50, 2.0)).run(&mut DecodeAll);
         assert_eq!(report.packets_parsed, 400);
-        assert!(report.packets_decoded < 400, "decoded {}", report.packets_decoded);
+        assert!(
+            report.packets_decoded < 400,
+            "decoded {}",
+            report.packets_decoded
+        );
         // Dependency back-fill can exceed the target count.
         assert!(report.frames_decoded >= report.packets_decoded);
     }
@@ -1253,8 +1350,7 @@ mod tests {
             }
         }
         // With a reasonable stream count every shard gets work.
-        let hit: std::collections::HashSet<usize> =
-            (0..64).map(|i| shard_of(i, 4)).collect();
+        let hit: std::collections::HashSet<usize> = (0..64).map(|i| shard_of(i, 4)).collect();
         assert_eq!(hit.len(), 4);
     }
 

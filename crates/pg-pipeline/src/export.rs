@@ -18,11 +18,36 @@ pub fn prometheus_exposition(snapshot: &TelemetrySnapshot) -> String {
 
     for stage in &snapshot.stages {
         let s = &stage.stage;
-        family(&mut out, "pg_stage_calls_total", "Timed spans recorded per stage.", "counter");
-        sample(&mut out, "pg_stage_calls_total", &[("stage", s)], stage.calls as f64);
-        family(&mut out, "pg_stage_items_total", "Items moved across all spans per stage.", "counter");
-        sample(&mut out, "pg_stage_items_total", &[("stage", s)], stage.items as f64);
-        family(&mut out, "pg_stage_latency_us", "Span latency histogram per stage (µs).", "histogram");
+        family(
+            &mut out,
+            "pg_stage_calls_total",
+            "Timed spans recorded per stage.",
+            "counter",
+        );
+        sample(
+            &mut out,
+            "pg_stage_calls_total",
+            &[("stage", s)],
+            stage.calls as f64,
+        );
+        family(
+            &mut out,
+            "pg_stage_items_total",
+            "Items moved across all spans per stage.",
+            "counter",
+        );
+        sample(
+            &mut out,
+            "pg_stage_items_total",
+            &[("stage", s)],
+            stage.items as f64,
+        );
+        family(
+            &mut out,
+            "pg_stage_latency_us",
+            "Span latency histogram per stage (µs).",
+            "histogram",
+        );
         let mut cumulative = 0u64;
         for bucket in &stage.latency_buckets {
             cumulative += bucket.count;
@@ -46,27 +71,107 @@ pub fn prometheus_exposition(snapshot: &TelemetrySnapshot) -> String {
                 cumulative as f64,
             );
         }
-        sample(&mut out, "pg_stage_latency_us_sum", &[("stage", s)], stage.total_us as f64);
-        sample(&mut out, "pg_stage_latency_us_count", &[("stage", s)], stage.calls as f64);
+        sample(
+            &mut out,
+            "pg_stage_latency_us_sum",
+            &[("stage", s)],
+            stage.total_us as f64,
+        );
+        sample(
+            &mut out,
+            "pg_stage_latency_us_count",
+            &[("stage", s)],
+            stage.calls as f64,
+        );
     }
 
-    family(&mut out, "pg_gate_kept_total", "Candidates the gate sent to the decoder.", "counter");
-    sample(&mut out, "pg_gate_kept_total", &[], snapshot.gate.kept as f64);
-    family(&mut out, "pg_gate_dropped_total", "Candidates the gate dropped.", "counter");
-    sample(&mut out, "pg_gate_dropped_total", &[], snapshot.gate.dropped as f64);
-    family(&mut out, "pg_gate_audit_total", "Gate decisions ever audited.", "counter");
-    sample(&mut out, "pg_gate_audit_total", &[], snapshot.gate.audit_total as f64);
+    family(
+        &mut out,
+        "pg_gate_kept_total",
+        "Candidates the gate sent to the decoder.",
+        "counter",
+    );
+    sample(
+        &mut out,
+        "pg_gate_kept_total",
+        &[],
+        snapshot.gate.kept as f64,
+    );
+    family(
+        &mut out,
+        "pg_gate_dropped_total",
+        "Candidates the gate dropped.",
+        "counter",
+    );
+    sample(
+        &mut out,
+        "pg_gate_dropped_total",
+        &[],
+        snapshot.gate.dropped as f64,
+    );
+    family(
+        &mut out,
+        "pg_gate_audit_total",
+        "Gate decisions ever audited.",
+        "counter",
+    );
+    sample(
+        &mut out,
+        "pg_gate_audit_total",
+        &[],
+        snapshot.gate.audit_total as f64,
+    );
 
-    family(&mut out, "pg_faults_total", "Classified pipeline faults.", "counter");
-    sample(&mut out, "pg_faults_total", &[], snapshot.faults.total as f64);
+    family(
+        &mut out,
+        "pg_faults_total",
+        "Classified pipeline faults.",
+        "counter",
+    );
+    sample(
+        &mut out,
+        "pg_faults_total",
+        &[],
+        snapshot.faults.total as f64,
+    );
     for kind in &snapshot.faults.by_kind {
-        family(&mut out, "pg_faults_by_kind_total", "Pipeline faults by kind.", "counter");
-        sample(&mut out, "pg_faults_by_kind_total", &[("kind", &kind.kind)], kind.count as f64);
+        family(
+            &mut out,
+            "pg_faults_by_kind_total",
+            "Pipeline faults by kind.",
+            "counter",
+        );
+        sample(
+            &mut out,
+            "pg_faults_by_kind_total",
+            &[("kind", &kind.kind)],
+            kind.count as f64,
+        );
     }
-    family(&mut out, "pg_streams_degraded_total", "Stream quarantine/kill events.", "counter");
-    sample(&mut out, "pg_streams_degraded_total", &[], snapshot.faults.degraded_events as f64);
-    family(&mut out, "pg_streams_recovered_total", "Stream cooldown-expiry recoveries.", "counter");
-    sample(&mut out, "pg_streams_recovered_total", &[], snapshot.faults.recovered_events as f64);
+    family(
+        &mut out,
+        "pg_streams_degraded_total",
+        "Stream quarantine/kill events.",
+        "counter",
+    );
+    sample(
+        &mut out,
+        "pg_streams_degraded_total",
+        &[],
+        snapshot.faults.degraded_events as f64,
+    );
+    family(
+        &mut out,
+        "pg_streams_recovered_total",
+        "Stream cooldown-expiry recoveries.",
+        "counter",
+    );
+    sample(
+        &mut out,
+        "pg_streams_recovered_total",
+        &[],
+        snapshot.faults.recovered_events as f64,
+    );
 
     if let Some(insight) = &snapshot.insight {
         render_insight(&mut out, insight);
@@ -75,36 +180,121 @@ pub fn prometheus_exposition(snapshot: &TelemetrySnapshot) -> String {
 }
 
 fn render_insight(out: &mut String, insight: &InsightSnapshot) {
-    family(out, "pg_insight_rounds_total", "Rounds closed by the decision-quality monitor.", "counter");
+    family(
+        out,
+        "pg_insight_rounds_total",
+        "Rounds closed by the decision-quality monitor.",
+        "counter",
+    );
     sample(out, "pg_insight_rounds_total", &[], insight.rounds as f64);
 
     let r = &insight.regret;
-    family(out, "pg_insight_regret_cumulative", "Cumulative regret vs the per-round hindsight oracle (Theorem 1).", "gauge");
+    family(
+        out,
+        "pg_insight_regret_cumulative",
+        "Cumulative regret vs the per-round hindsight oracle (Theorem 1).",
+        "gauge",
+    );
     sample(out, "pg_insight_regret_cumulative", &[], r.cumulative);
-    family(out, "pg_insight_regret_exponent", "Fitted growth exponent of R(t) ~ t^a (NaN until enough history).", "gauge");
-    sample(out, "pg_insight_regret_exponent", &[], r.exponent.unwrap_or(f64::NAN));
-    family(out, "pg_insight_regret_threshold", "Alarm threshold on the regret growth exponent (0.5 + epsilon).", "gauge");
+    family(
+        out,
+        "pg_insight_regret_exponent",
+        "Fitted growth exponent of R(t) ~ t^a (NaN until enough history).",
+        "gauge",
+    );
+    sample(
+        out,
+        "pg_insight_regret_exponent",
+        &[],
+        r.exponent.unwrap_or(f64::NAN),
+    );
+    family(
+        out,
+        "pg_insight_regret_threshold",
+        "Alarm threshold on the regret growth exponent (0.5 + epsilon).",
+        "gauge",
+    );
     sample(out, "pg_insight_regret_threshold", &[], r.threshold);
-    family(out, "pg_insight_regret_alarm", "1 when the regret growth exponent exceeds its threshold.", "gauge");
-    sample(out, "pg_insight_regret_alarm", &[], if r.flagged { 1.0 } else { 0.0 });
+    family(
+        out,
+        "pg_insight_regret_alarm",
+        "1 when the regret growth exponent exceeds its threshold.",
+        "gauge",
+    );
+    sample(
+        out,
+        "pg_insight_regret_alarm",
+        &[],
+        if r.flagged { 1.0 } else { 0.0 },
+    );
 
     let l = &insight.lemma1;
-    family(out, "pg_insight_lemma1_realized_value", "Selection value realized in the last round.", "gauge");
-    sample(out, "pg_insight_lemma1_realized_value", &[], l.realized_value);
-    family(out, "pg_insight_lemma1_upper_bound", "Fractional-knapsack upper bound for the last round.", "gauge");
+    family(
+        out,
+        "pg_insight_lemma1_realized_value",
+        "Selection value realized in the last round.",
+        "gauge",
+    );
+    sample(
+        out,
+        "pg_insight_lemma1_realized_value",
+        &[],
+        l.realized_value,
+    );
+    family(
+        out,
+        "pg_insight_lemma1_upper_bound",
+        "Fractional-knapsack upper bound for the last round.",
+        "gauge",
+    );
     sample(out, "pg_insight_lemma1_upper_bound", &[], l.upper_bound);
-    family(out, "pg_insight_lemma1_slack", "Upper bound minus realized value (last round).", "gauge");
+    family(
+        out,
+        "pg_insight_lemma1_slack",
+        "Upper bound minus realized value (last round).",
+        "gauge",
+    );
     sample(out, "pg_insight_lemma1_slack", &[], l.slack);
-    family(out, "pg_insight_lemma1_guarantee", "Lemma 1 guarantee 1 - c_max/B for the last round.", "gauge");
+    family(
+        out,
+        "pg_insight_lemma1_guarantee",
+        "Lemma 1 guarantee 1 - c_max/B for the last round.",
+        "gauge",
+    );
     sample(out, "pg_insight_lemma1_guarantee", &[], l.guarantee);
-    family(out, "pg_insight_lemma1_worst_ratio", "Worst realized/upper ratio seen this run.", "gauge");
+    family(
+        out,
+        "pg_insight_lemma1_worst_ratio",
+        "Worst realized/upper ratio seen this run.",
+        "gauge",
+    );
     sample(out, "pg_insight_lemma1_worst_ratio", &[], l.worst_ratio);
-    family(out, "pg_insight_lemma1_mean_ratio", "Mean realized/upper ratio this run.", "gauge");
+    family(
+        out,
+        "pg_insight_lemma1_mean_ratio",
+        "Mean realized/upper ratio this run.",
+        "gauge",
+    );
     sample(out, "pg_insight_lemma1_mean_ratio", &[], l.mean_ratio);
 
-    family(out, "pg_insight_calibration_ece", "Expected calibration error per task head.", "gauge");
-    family(out, "pg_insight_calibration_brier", "Brier score per task head.", "gauge");
-    family(out, "pg_insight_calibration_samples", "Calibration observations per task head.", "counter");
+    family(
+        out,
+        "pg_insight_calibration_ece",
+        "Expected calibration error per task head.",
+        "gauge",
+    );
+    family(
+        out,
+        "pg_insight_calibration_brier",
+        "Brier score per task head.",
+        "gauge",
+    );
+    family(
+        out,
+        "pg_insight_calibration_samples",
+        "Calibration observations per task head.",
+        "counter",
+    );
     if insight.calibration.is_empty() {
         // Keep the ECE/Brier series present even before any feedback
         // arrives so scrapers see a stable metric set.
@@ -114,31 +304,111 @@ fn render_insight(out: &mut String, insight: &InsightSnapshot) {
     }
     for cal in &insight.calibration {
         let head = cal.head.to_string();
-        sample(out, "pg_insight_calibration_ece", &[("head", &head)], cal.ece);
-        sample(out, "pg_insight_calibration_brier", &[("head", &head)], cal.brier);
-        sample(out, "pg_insight_calibration_samples", &[("head", &head)], cal.samples as f64);
+        sample(
+            out,
+            "pg_insight_calibration_ece",
+            &[("head", &head)],
+            cal.ece,
+        );
+        sample(
+            out,
+            "pg_insight_calibration_brier",
+            &[("head", &head)],
+            cal.brier,
+        );
+        sample(
+            out,
+            "pg_insight_calibration_samples",
+            &[("head", &head)],
+            cal.samples as f64,
+        );
     }
 
     let d = &insight.drift;
-    family(out, "pg_insight_drift_flags_total", "Page-Hinkley drift alarms across all streams.", "counter");
-    sample(out, "pg_insight_drift_flags_total", &[], d.flags_total as f64);
-    family(out, "pg_insight_drift_stale_streams", "Streams whose predictor is currently marked stale.", "gauge");
-    sample(out, "pg_insight_drift_stale_streams", &[], d.stale.len() as f64);
-    family(out, "pg_insight_stream_stale", "1 for each stream marked stale by drift detection.", "gauge");
+    family(
+        out,
+        "pg_insight_drift_flags_total",
+        "Page-Hinkley drift alarms across all streams.",
+        "counter",
+    );
+    sample(
+        out,
+        "pg_insight_drift_flags_total",
+        &[],
+        d.flags_total as f64,
+    );
+    family(
+        out,
+        "pg_insight_drift_stale_streams",
+        "Streams whose predictor is currently marked stale.",
+        "gauge",
+    );
+    sample(
+        out,
+        "pg_insight_drift_stale_streams",
+        &[],
+        d.stale.len() as f64,
+    );
+    family(
+        out,
+        "pg_insight_stream_stale",
+        "1 for each stream marked stale by drift detection.",
+        "gauge",
+    );
     for s in &d.stale {
         let idx = s.stream_idx.to_string();
-        sample(out, "pg_insight_stream_stale", &[("stream", &idx), ("channel", &s.channel)], 1.0);
+        sample(
+            out,
+            "pg_insight_stream_stale",
+            &[("stream", &idx), ("channel", &s.channel)],
+            1.0,
+        );
     }
 
     if let Some(last) = insight.ring.last() {
-        family(out, "pg_insight_keep_rate", "Decoded/offered candidates in the latest round.", "gauge");
+        family(
+            out,
+            "pg_insight_keep_rate",
+            "Decoded/offered candidates in the latest round.",
+            "gauge",
+        );
         sample(out, "pg_insight_keep_rate", &[], last.keep_rate);
-        family(out, "pg_insight_budget_utilisation", "Spent/budget in the latest round.", "gauge");
-        sample(out, "pg_insight_budget_utilisation", &[], last.budget_utilisation);
-        family(out, "pg_insight_mean_confidence", "Mean kept-candidate confidence in the latest round.", "gauge");
-        sample(out, "pg_insight_mean_confidence", &[], last.mean_confidence.unwrap_or(f64::NAN));
-        family(out, "pg_insight_quarantined_streams", "Streams quarantined at the end of the latest round.", "gauge");
-        sample(out, "pg_insight_quarantined_streams", &[], last.quarantined as f64);
+        family(
+            out,
+            "pg_insight_budget_utilisation",
+            "Spent/budget in the latest round.",
+            "gauge",
+        );
+        sample(
+            out,
+            "pg_insight_budget_utilisation",
+            &[],
+            last.budget_utilisation,
+        );
+        family(
+            out,
+            "pg_insight_mean_confidence",
+            "Mean kept-candidate confidence in the latest round.",
+            "gauge",
+        );
+        sample(
+            out,
+            "pg_insight_mean_confidence",
+            &[],
+            last.mean_confidence.unwrap_or(f64::NAN),
+        );
+        family(
+            out,
+            "pg_insight_quarantined_streams",
+            "Streams quarantined at the end of the latest round.",
+            "gauge",
+        );
+        sample(
+            out,
+            "pg_insight_quarantined_streams",
+            &[],
+            last.quarantined as f64,
+        );
     }
 }
 
@@ -173,7 +443,11 @@ fn fmt_value(v: f64) -> String {
     if v.is_nan() {
         "NaN".to_string()
     } else if v.is_infinite() {
-        if v > 0.0 { "+Inf".to_string() } else { "-Inf".to_string() }
+        if v > 0.0 {
+            "+Inf".to_string()
+        } else {
+            "-Inf".to_string()
+        }
     } else {
         format!("{v}")
     }
@@ -200,7 +474,10 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
             }
             if keyword == "TYPE" {
                 let kind = words.next().unwrap_or("");
-                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
                     return err("unknown metric type");
                 }
             }
@@ -234,8 +511,7 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
         if !is_metric_name(name) {
             return err("bad sample metric name");
         }
-        let ok = matches!(value_part, "NaN" | "+Inf" | "-Inf")
-            || value_part.parse::<f64>().is_ok();
+        let ok = matches!(value_part, "NaN" | "+Inf" | "-Inf") || value_part.parse::<f64>().is_ok();
         if !ok {
             return err("unparseable sample value");
         }
@@ -245,8 +521,11 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
 
 fn is_metric_name(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
 #[cfg(test)]
@@ -257,8 +536,7 @@ mod tests {
     use std::time::Duration;
 
     fn populated_snapshot() -> TelemetrySnapshot {
-        let telemetry =
-            Telemetry::enabled().with_insight(Insight::enabled());
+        let telemetry = Telemetry::enabled().with_insight(Insight::enabled());
         telemetry.record_duration(Stage::Parse, 8, Duration::from_micros(12));
         telemetry.record_duration(Stage::Decode, 3, Duration::from_micros(300));
         telemetry.fault(crate::fault::FaultKind::DecodeFail, Some(2));
@@ -267,8 +545,16 @@ mod tests {
             0,
             4.0,
             &[
-                SelectionEntry { value: 0.9, cost: 1.0, kept: true },
-                SelectionEntry { value: 0.2, cost: 1.5, kept: false },
+                SelectionEntry {
+                    value: 0.9,
+                    cost: 1.0,
+                    kept: true,
+                },
+                SelectionEntry {
+                    value: 0.2,
+                    cost: 1.5,
+                    kept: false,
+                },
             ],
         );
         insight.record_outcome(0, 0.9, true);
@@ -281,8 +567,16 @@ mod tests {
             decoded: 1,
             quarantined: 0,
             outcomes: &[
-                PacketOutcome { cost: 1.0, necessary: true, decoded: true },
-                PacketOutcome { cost: 1.5, necessary: false, decoded: false },
+                PacketOutcome {
+                    cost: 1.0,
+                    necessary: true,
+                    decoded: true,
+                },
+                PacketOutcome {
+                    cost: 1.5,
+                    necessary: false,
+                    decoded: false,
+                },
             ],
         });
         telemetry.snapshot().expect("enabled")
@@ -303,7 +597,10 @@ mod tests {
             "pg_insight_drift_flags_total",
             "pg_insight_keep_rate",
         ] {
-            assert!(text.contains(metric), "exposition must export {metric}\n{text}");
+            assert!(
+                text.contains(metric),
+                "exposition must export {metric}\n{text}"
+            );
         }
     }
 
@@ -330,7 +627,10 @@ mod tests {
             .iter()
             .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
             .collect();
-        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "buckets cumulative: {counts:?}");
+        assert!(
+            counts.windows(2).all(|w| w[0] <= w[1]),
+            "buckets cumulative: {counts:?}"
+        );
     }
 
     #[test]

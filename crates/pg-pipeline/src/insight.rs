@@ -472,7 +472,9 @@ pub struct Insight {
 
 impl std::fmt::Debug for Insight {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Insight").field("enabled", &self.is_enabled()).finish()
+        f.debug_struct("Insight")
+            .field("enabled", &self.is_enabled())
+            .finish()
     }
 }
 
@@ -515,14 +517,17 @@ impl Insight {
         let Some(inner) = &self.inner else { return };
         let mut state = inner.lock();
         let cfg = state.config;
-        let cell = state.drift.entry(stream_idx).or_insert_with(|| StreamDrift {
-            intra: PageHinkley::new(cfg.ph_warmup, cfg.ph_delta, cfg.ph_lambda),
-            predicted: PageHinkley::new(cfg.ph_warmup, cfg.ph_delta, cfg.ph_lambda),
-            stale: false,
-            flags: 0,
-            first_flag_round: 0,
-            last_channel: CHANNEL_PREDICTED,
-        });
+        let cell = state
+            .drift
+            .entry(stream_idx)
+            .or_insert_with(|| StreamDrift {
+                intra: PageHinkley::new(cfg.ph_warmup, cfg.ph_delta, cfg.ph_lambda),
+                predicted: PageHinkley::new(cfg.ph_warmup, cfg.ph_delta, cfg.ph_lambda),
+                stale: false,
+                flags: 0,
+                first_flag_round: 0,
+                last_channel: CHANNEL_PREDICTED,
+            });
         let (detector, channel) = if independent {
             (&mut cell.intra, CHANNEL_INTRA)
         } else {
@@ -545,8 +550,7 @@ impl Insight {
         let Some(inner) = &self.inner else { return };
         let mut state = inner.lock();
         state.lemma1.record(budget, entries);
-        let kept: Vec<f64> =
-            entries.iter().filter(|e| e.kept).map(|e| e.value).collect();
+        let kept: Vec<f64> = entries.iter().filter(|e| e.kept).map(|e| e.value).collect();
         state.pending_mean_conf = if kept.is_empty() {
             None
         } else {
@@ -637,7 +641,11 @@ impl Insight {
             upper_bound: l.last_upper,
             slack: (l.last_upper - l.last_realized).max(0.0),
             guarantee: l.last_guarantee,
-            mean_ratio: if l.rounds == 0 { 1.0 } else { l.sum_ratio / l.rounds as f64 },
+            mean_ratio: if l.rounds == 0 {
+                1.0
+            } else {
+                l.sum_ratio / l.rounds as f64
+            },
             worst_ratio: if l.rounds == 0 { 1.0 } else { l.worst_ratio },
         };
         let calibration = state
@@ -911,7 +919,8 @@ impl HeadCalibration {
                 }
             }
         }
-        self.bins.sort_by(|a, b| a.lower.partial_cmp(&b.lower).unwrap());
+        self.bins
+            .sort_by(|a, b| a.lower.partial_cmp(&b.lower).unwrap());
         self.samples += other.samples;
         let total = self.samples as f64;
         self.ece = self
@@ -1010,9 +1019,21 @@ mod tests {
             0,
             4.0,
             &[
-                SelectionEntry { value: 0.8, cost: 1.0, kept: true },
-                SelectionEntry { value: 0.4, cost: 1.0, kept: true },
-                SelectionEntry { value: 0.1, cost: 1.0, kept: false },
+                SelectionEntry {
+                    value: 0.8,
+                    cost: 1.0,
+                    kept: true,
+                },
+                SelectionEntry {
+                    value: 0.4,
+                    cost: 1.0,
+                    kept: true,
+                },
+                SelectionEntry {
+                    value: 0.1,
+                    cost: 1.0,
+                    kept: false,
+                },
             ],
         );
         ins.record_round(&RoundOutcome {

@@ -32,21 +32,19 @@ pub mod telemetry;
 
 pub use budget::RoundBudget;
 pub use concurrent::{ConcurrentPipeline, ConcurrentReport, DecodeWorkModel, WorkKind};
+pub use export::{prometheus_exposition, validate_exposition};
 pub use fault::{
     ChunkFaultMode, FaultKind, FaultPlan, FaultRecord, HealthSummary, PipelineError,
     QuarantineConfig, StreamHealth,
 };
 pub use gate::{FeedbackEvent, GatePolicy, PacketContext};
+pub use insight::{
+    Insight, InsightConfig, InsightSnapshot, Lemma1Snapshot, PacketOutcome, PageHinkley,
+    RegretSnapshot, RoundOutcome, SelectionEntry,
+};
 pub use metrics::RoundSimReport;
 pub use netround::{NetworkedRoundSimulator, NetworkedSimReport};
 pub use replay::ReplaySimulator;
 pub use round::{RoundSimulator, SimConfig, StreamSpec};
-pub use export::{prometheus_exposition, validate_exposition};
-pub use insight::{
-    Insight, InsightConfig, InsightSnapshot, PacketOutcome, PageHinkley, RoundOutcome,
-    SelectionEntry,
-};
 pub use search::max_streams_at_accuracy;
-pub use telemetry::{
-    AuditReason, GateAuditEntry, Stage, Telemetry, TelemetrySnapshot,
-};
+pub use telemetry::{AuditReason, GateAuditEntry, Stage, Telemetry, TelemetrySnapshot};

@@ -20,7 +20,9 @@ use pg_net::{ImpairmentConfig, NetworkedStream, ReassemblyConfig};
 use pg_scene::{SceneState, TaskKind};
 
 use crate::budget::RoundBudget;
-use crate::fault::{push_fault, FaultRecord, HealthSummary, PipelineError, QuarantineConfig, StreamHealth};
+use crate::fault::{
+    push_fault, FaultRecord, HealthSummary, PipelineError, QuarantineConfig, StreamHealth,
+};
 use crate::gate::{FeedbackEvent, GatePolicy, PacketContext};
 use crate::telemetry::{Stage, Telemetry, TelemetrySnapshot};
 
@@ -256,7 +258,9 @@ impl NetworkedRoundSimulator {
                         decoded_flags[idx] = true;
                         packets_decoded += 1;
                         health.clear_strikes(idx);
-                        let Some(target) = frames.last() else { continue };
+                        let Some(target) = frames.last() else {
+                            continue;
+                        };
                         let infer_timer = self.telemetry.timer();
                         let result = s.model.infer(target);
                         self.telemetry.record(Stage::Infer, 1, infer_timer);
@@ -365,8 +369,7 @@ mod tests {
 
     #[test]
     fn perfect_network_behaves_like_plain_rounds() {
-        let report = sim(ImpairmentConfig::perfect(), Transport::Raw, 1e9)
-            .run(&mut DecodeAll, 300);
+        let report = sim(ImpairmentConfig::perfect(), Transport::Raw, 1e9).run(&mut DecodeAll, 300);
         assert!(report.delivery_rate() > 0.98);
         assert!(report.accuracy_overall() > 0.95);
         assert_eq!(report.undecodable, 0);
@@ -376,35 +379,33 @@ mod tests {
 
     #[test]
     fn heavy_loss_quarantines_and_recovers_streams() {
-        let report = sim(ImpairmentConfig::lossy(0.15), Transport::Raw, 1e9)
-            .run(&mut DecodeAll, 400);
+        let report =
+            sim(ImpairmentConfig::lossy(0.15), Transport::Raw, 1e9).run(&mut DecodeAll, 400);
         assert!(
             report.health.degraded_events > 0,
             "persistent stranding must quarantine"
         );
         assert!(report.health.recovered_events > 0, "cooldowns must expire");
         assert_eq!(report.health.dead_streams, 0);
-        assert!(report
-            .faults
-            .iter()
-            .all(|f| f.kind == "decode_fail"));
+        assert!(report.faults.iter().all(|f| f.kind == "decode_fail"));
     }
 
     #[test]
     fn raw_loss_creates_undecodable_packets() {
-        let report = sim(ImpairmentConfig::lossy(0.05), Transport::Raw, 1e9)
-            .run(&mut DecodeAll, 500);
+        let report =
+            sim(ImpairmentConfig::lossy(0.05), Transport::Raw, 1e9).run(&mut DecodeAll, 500);
         assert!(report.delivery_rate() < 0.95);
-        assert!(report.undecodable > 0, "lost references must strand packets");
+        assert!(
+            report.undecodable > 0,
+            "lost references must strand packets"
+        );
         assert!(report.accuracy_overall() < 0.97);
     }
 
     #[test]
     fn arq_transport_restores_accuracy() {
-        let raw = sim(ImpairmentConfig::lossy(0.05), Transport::Raw, 1e9)
-            .run(&mut DecodeAll, 500);
-        let arq = sim(ImpairmentConfig::lossy(0.05), Transport::Arq, 1e9)
-            .run(&mut DecodeAll, 500);
+        let raw = sim(ImpairmentConfig::lossy(0.05), Transport::Raw, 1e9).run(&mut DecodeAll, 500);
+        let arq = sim(ImpairmentConfig::lossy(0.05), Transport::Arq, 1e9).run(&mut DecodeAll, 500);
         assert!(
             arq.accuracy_overall() > raw.accuracy_overall(),
             "ARQ {:.3} should beat raw {:.3}",
@@ -416,10 +417,8 @@ mod tests {
 
     #[test]
     fn budget_still_binds_over_the_network() {
-        let tight = sim(ImpairmentConfig::perfect(), Transport::Raw, 1.5)
-            .run(&mut DecodeAll, 300);
-        let loose = sim(ImpairmentConfig::perfect(), Transport::Raw, 1e9)
-            .run(&mut DecodeAll, 300);
+        let tight = sim(ImpairmentConfig::perfect(), Transport::Raw, 1.5).run(&mut DecodeAll, 300);
+        let loose = sim(ImpairmentConfig::perfect(), Transport::Raw, 1e9).run(&mut DecodeAll, 300);
         assert!(tight.packets_decoded < loose.packets_decoded);
         assert!(tight.accuracy_overall() <= loose.accuracy_overall());
     }

@@ -199,7 +199,9 @@ impl ReplaySimulator {
                 decoded_flags[idx] = true;
                 packets_decoded += 1;
                 packets_backfilled += frames.len().saturating_sub(1) as u64;
-                let Some(target) = frames.last() else { continue };
+                let Some(target) = frames.last() else {
+                    continue;
+                };
                 let infer_timer = self.telemetry.timer();
                 let result = s.model.infer(target);
                 self.telemetry.record(Stage::Infer, 1, infer_timer);
@@ -278,7 +280,9 @@ mod tests {
                 let enc = EncoderConfig::new(Codec::H264);
                 let mut gen = generator_for(TaskKind::FireDetection, i as u64, enc.fps);
                 let mut encoder = Encoder::for_stream(enc, i as u64, i as u32);
-                let packets = (0..frames).map(|_| encoder.encode(&gen.next_frame())).collect();
+                let packets = (0..frames)
+                    .map(|_| encoder.encode(&gen.next_frame()))
+                    .collect();
                 (Codec::H264, packets)
             })
             .collect()
@@ -312,7 +316,9 @@ mod tests {
                 let enc = EncoderConfig::new(Codec::H264);
                 let mut gen = generator_for(TaskKind::FireDetection, i as u64, enc.fps);
                 let mut encoder = Encoder::for_stream(enc, i as u64, i as u32);
-                let packets = (0..rounds).map(|_| encoder.encode(&gen.next_frame())).collect();
+                let packets = (0..rounds)
+                    .map(|_| encoder.encode(&gen.next_frame()))
+                    .collect();
                 (Codec::H264, packets)
             })
             .collect();

@@ -29,7 +29,9 @@ use pg_inference::tasks::{model_for, InferenceModel};
 use pg_scene::{generator_for, SceneGenerator, SceneState, TaskKind};
 
 use crate::budget::RoundBudget;
-use crate::fault::{push_fault, FaultPlan, FaultRecord, PipelineError, QuarantineConfig, StreamHealth};
+use crate::fault::{
+    push_fault, FaultPlan, FaultRecord, PipelineError, QuarantineConfig, StreamHealth,
+};
 use crate::gate::{FeedbackEvent, GatePolicy, PacketContext};
 use crate::metrics::RoundSimReport;
 use crate::telemetry::{Stage, Telemetry};
@@ -319,7 +321,14 @@ impl RoundSimulator {
                         seq,
                         detail: "pending cost unavailable (references lost)".to_string(),
                     };
-                    note_fault(&self.telemetry, &mut fault_log, &mut health, &error, round, true);
+                    note_fault(
+                        &self.telemetry,
+                        &mut fault_log,
+                        &mut health,
+                        &error,
+                        round,
+                        true,
+                    );
                     continue;
                 };
                 health.clear_strikes(i);
@@ -364,7 +373,14 @@ impl RoundSimulator {
                         round,
                         detail: "decoder stalled (injected)".to_string(),
                     };
-                    note_fault(&self.telemetry, &mut fault_log, &mut health, &error, round, true);
+                    note_fault(
+                        &self.telemetry,
+                        &mut fault_log,
+                        &mut health,
+                        &error,
+                        round,
+                        true,
+                    );
                     continue;
                 }
                 let s = &mut self.streams[idx];
@@ -400,7 +416,9 @@ impl RoundSimulator {
                 packets_decoded += 1;
                 packets_backfilled += frames.len().saturating_sub(1) as u64;
 
-                let Some(target) = frames.last() else { continue };
+                let Some(target) = frames.last() else {
+                    continue;
+                };
                 debug_assert_eq!(target.seq, seq);
                 let infer_timer = self.telemetry.timer();
                 let result = s.model.infer(target);
@@ -531,7 +549,10 @@ mod tests {
         let report = sim(4, 1e9).run(&mut DecodeAll, 100);
         assert_eq!(report.packets_total, 400);
         assert_eq!(report.packets_decoded, 400);
-        assert_eq!(report.packets_backfilled, 0, "in-order decode needs no backfill");
+        assert_eq!(
+            report.packets_backfilled, 0,
+            "in-order decode needs no backfill"
+        );
         assert!((report.accuracy_overall() - 1.0).abs() < 1e-9);
         assert_eq!(report.filtering_rate(), 0.0);
     }

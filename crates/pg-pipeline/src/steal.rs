@@ -110,7 +110,12 @@ impl<T> PoolWorker<T> {
             if *closed {
                 return None;
             }
-            drop(self.shared.wake.wait(closed).unwrap_or_else(|e| e.into_inner()));
+            drop(
+                self.shared
+                    .wake
+                    .wait(closed)
+                    .unwrap_or_else(|e| e.into_inner()),
+            );
         }
     }
 
@@ -243,7 +248,8 @@ mod tests {
                         } else {
                             std::thread::sleep(Duration::from_millis(1));
                             if light_done.fetch_add(1, Ordering::Relaxed) + 1 == light_jobs {
-                                *light_finished_at.lock().unwrap() = Some(std::time::Instant::now());
+                                *light_finished_at.lock().unwrap() =
+                                    Some(std::time::Instant::now());
                             }
                         }
                     }

@@ -282,7 +282,10 @@ impl Default for Telemetry {
 impl Telemetry {
     /// A disabled handle: every hook is a no-op branch.
     pub fn disabled() -> Self {
-        Telemetry { inner: None, insight: Insight::disabled() }
+        Telemetry {
+            inner: None,
+            insight: Insight::disabled(),
+        }
     }
 
     /// An enabled handle with the default audit-ring capacity.
@@ -363,7 +366,9 @@ impl Telemetry {
                 inner.gate_dropped.fetch_add(1, Ordering::Relaxed);
             }
             let seq = inner.audit_total.fetch_add(1, Ordering::Relaxed);
-            inner.audit[entry.stream_idx % AUDIT_SHARDS].lock().push(seq, entry);
+            inner.audit[entry.stream_idx % AUDIT_SHARDS]
+                .lock()
+                .push(seq, entry);
         }
     }
 
@@ -647,7 +652,12 @@ impl TelemetrySnapshot {
         self.faults.degraded_events += other.faults.degraded_events;
         self.faults.recovered_events += other.faults.recovered_events;
         for theirs in &other.faults.by_kind {
-            match self.faults.by_kind.iter_mut().find(|k| k.kind == theirs.kind) {
+            match self
+                .faults
+                .by_kind
+                .iter_mut()
+                .find(|k| k.kind == theirs.kind)
+            {
                 None => self.faults.by_kind.push(theirs.clone()),
                 Some(ours) => ours.count += theirs.count,
             }
@@ -703,7 +713,10 @@ impl StageSnapshot {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
-            .map(|(i, &count)| LatencyBucket { le_us: bucket_upper_us(i), count })
+            .map(|(i, &count)| LatencyBucket {
+                le_us: bucket_upper_us(i),
+                count,
+            })
             .collect();
     }
 }
@@ -786,7 +799,10 @@ mod tests {
     fn disabled_handle_records_nothing() {
         let t = Telemetry::disabled();
         assert!(!t.is_enabled());
-        assert!(t.timer().is_none(), "disabled timer must not read the clock");
+        assert!(
+            t.timer().is_none(),
+            "disabled timer must not read the clock"
+        );
         t.record(Stage::Parse, 10, None);
         t.record_duration(Stage::Gate, 5, Duration::from_micros(3));
         t.audit(entry(0, true));
@@ -810,7 +826,10 @@ mod tests {
             decode.latency_buckets,
             vec![
                 LatencyBucket { le_us: 4, count: 1 },
-                LatencyBucket { le_us: 128, count: 1 },
+                LatencyBucket {
+                    le_us: 128,
+                    count: 1
+                },
             ]
         );
         // Percentiles report the bucket *midpoint* (geometric mean of the
@@ -819,7 +838,10 @@ mod tests {
         assert_eq!(decode.p50_us, 3);
         assert_eq!(decode.p99_us, 91);
         let infer = snap.stage(Stage::Infer).expect("infer stage");
-        assert_eq!(infer.latency_buckets, vec![LatencyBucket { le_us: 1, count: 1 }]);
+        assert_eq!(
+            infer.latency_buckets,
+            vec![LatencyBucket { le_us: 1, count: 1 }]
+        );
         // Untouched stages are present with zero counts (stable shape).
         let parse = snap.stage(Stage::Parse).expect("parse stage");
         assert_eq!(parse.calls, 0);
@@ -837,7 +859,11 @@ mod tests {
         assert_eq!(snap.gate.kept, 5);
         assert_eq!(snap.gate.dropped, 5);
         let rounds: Vec<u64> = snap.gate.audit.iter().map(|e| e.round).collect();
-        assert_eq!(rounds, vec![6, 7, 8, 9], "ring keeps the newest, oldest first");
+        assert_eq!(
+            rounds,
+            vec![6, 7, 8, 9],
+            "ring keeps the newest, oldest first"
+        );
     }
 
     #[test]
@@ -896,11 +922,17 @@ mod tests {
         let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
         buckets[3] = 98; // [4,8) µs
         buckets[10] = 2; // [512,1024) µs
-        // Percentile convention: the *midpoint* (geometric mean of the
-        // bucket bounds) of the bucket that crosses the target rank —
-        // the upper bound overstated p50 by up to 2×.
-        assert_eq!(percentile_from_buckets(&buckets, 0.50), bucket_midpoint_us(3)); // 6 µs
-        assert_eq!(percentile_from_buckets(&buckets, 0.99), bucket_midpoint_us(10)); // 724 µs
+                         // Percentile convention: the *midpoint* (geometric mean of the
+                         // bucket bounds) of the bucket that crosses the target rank —
+                         // the upper bound overstated p50 by up to 2×.
+        assert_eq!(
+            percentile_from_buckets(&buckets, 0.50),
+            bucket_midpoint_us(3)
+        ); // 6 µs
+        assert_eq!(
+            percentile_from_buckets(&buckets, 0.99),
+            bucket_midpoint_us(10)
+        ); // 724 µs
         assert_eq!(percentile_from_buckets(&[0; 4], 0.5), 0);
     }
 
@@ -909,8 +941,11 @@ mod tests {
         assert_eq!(bucket_midpoint_us(0), 0);
         assert_eq!(bucket_midpoint_us(3), 6); // √(4·8) ≈ 5.66 → 6
         assert_eq!(bucket_midpoint_us(10), 724); // √(512·1024) ≈ 724.1
-        // Overflow bucket reports its lower bound.
-        assert_eq!(bucket_midpoint_us(HISTOGRAM_BUCKETS - 1), 1 << (HISTOGRAM_BUCKETS - 2));
+                                                 // Overflow bucket reports its lower bound.
+        assert_eq!(
+            bucket_midpoint_us(HISTOGRAM_BUCKETS - 1),
+            1 << (HISTOGRAM_BUCKETS - 2)
+        );
         for i in 1..HISTOGRAM_BUCKETS - 1 {
             let mid = bucket_midpoint_us(i);
             assert!(mid >= (bucket_upper_us(i) / 2) && mid <= bucket_upper_us(i));
@@ -944,7 +979,11 @@ mod tests {
         assert_eq!(snap.gate.audit_total, per_writer * 2);
         assert_eq!(snap.gate.kept, per_writer);
         assert_eq!(snap.gate.dropped, per_writer);
-        assert_eq!(snap.gate.audit.len(), 32, "trimmed to the configured capacity");
+        assert_eq!(
+            snap.gate.audit.len(),
+            32,
+            "trimmed to the configured capacity"
+        );
     }
 
     #[test]
@@ -975,7 +1014,10 @@ mod tests {
             decode.latency_buckets,
             vec![
                 LatencyBucket { le_us: 4, count: 1 },
-                LatencyBucket { le_us: 128, count: 3 },
+                LatencyBucket {
+                    le_us: 128,
+                    count: 3
+                },
             ]
         );
         assert_eq!(decode.p50_us, 91);

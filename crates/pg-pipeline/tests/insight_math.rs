@@ -15,8 +15,8 @@
 
 use pg_pipeline::insight::fractional_upper_bound;
 use pg_pipeline::{
-    prometheus_exposition, validate_exposition, Insight, PacketOutcome, PageHinkley,
-    RoundOutcome, Telemetry,
+    prometheus_exposition, validate_exposition, Insight, PacketOutcome, PageHinkley, RoundOutcome,
+    Telemetry,
 };
 use proptest::prelude::*;
 
@@ -45,7 +45,11 @@ fn ece_and_brier_match_hand_computation() {
     // ECE = 0.4·|0.95−0.75| + 0.4·|0.15−0| + 0.2·|0.55−1| = 0.23
     assert!((head.ece - 0.23).abs() < 1e-12, "ece = {}", head.ece);
     // Brier = (3·0.05² + 0.95² + 4·0.15² + 2·0.45²) / 10 = 0.1405
-    assert!((head.brier - 0.1405).abs() < 1e-12, "brier = {}", head.brier);
+    assert!(
+        (head.brier - 0.1405).abs() < 1e-12,
+        "brier = {}",
+        head.brier
+    );
     // Only occupied bins are reported, lowest edge first.
     let edges: Vec<f64> = head.bins.iter().map(|b| b.lower).collect();
     assert_eq!(edges, vec![0.1, 0.5, 0.9]);
@@ -199,7 +203,10 @@ fn injected_size_shift_flags_the_stream_in_snapshot_and_exposition() {
 
     // The same flag must ride into the JSON snapshot ...
     let json = serde_json::to_string(&snapshot).expect("serializable");
-    assert!(json.contains(r#""stream_idx":3"#), "stale stream missing from JSON");
+    assert!(
+        json.contains(r#""stream_idx":3"#),
+        "stale stream missing from JSON"
+    );
 
     // ... and into the Prometheus exposition.
     let text = prometheus_exposition(&snapshot);

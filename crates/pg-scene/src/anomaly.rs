@@ -128,7 +128,11 @@ impl SceneGenerator for AnomalySceneGen {
         );
         let motion = self.noisy(
             self.config.background_motion * activity
-                + if active { self.config.anomaly_motion } else { 0.0 }
+                + if active {
+                    self.config.anomaly_motion
+                } else {
+                    0.0
+                }
                 + 0.01,
         );
 
@@ -201,7 +205,8 @@ mod tests {
                 // two virtual days
                 let f = gen.next_frame();
                 if is_active(&f) {
-                    let hour = DiurnalProfile::hour_of_frame(f.index, 25.0, 1440.0).rem_euclid(24.0);
+                    let hour =
+                        DiurnalProfile::hour_of_frame(f.index, 25.0, 1440.0).rem_euclid(24.0);
                     if (7.0..21.0).contains(&hour) {
                         day += 1;
                     } else {

@@ -103,7 +103,10 @@ mod tests {
         let p = DiurnalProfile::default();
         for i in 0..240 {
             let a = p.activity(i as f64 / 10.0);
-            assert!((0.0..=1.0 + 1e-9).contains(&a), "activity out of range: {a}");
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&a),
+                "activity out of range: {a}"
+            );
         }
     }
 

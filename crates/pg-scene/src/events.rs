@@ -154,14 +154,8 @@ mod tests {
             p_start: 0.002,
             p_end: 0.05,
         };
-        let low = run(config, 100_000, 0.25, 6)
-            .iter()
-            .filter(|&&a| a)
-            .count();
-        let high = run(config, 100_000, 2.0, 6)
-            .iter()
-            .filter(|&&a| a)
-            .count();
+        let low = run(config, 100_000, 0.25, 6).iter().filter(|&&a| a).count();
+        let high = run(config, 100_000, 2.0, 6).iter().filter(|&&a| a).count();
         assert!(
             high > low * 2,
             "high-modulation activity {high} should well exceed low {low}"

@@ -114,7 +114,11 @@ impl SceneGenerator for FireSceneGen {
         };
         let complexity = self.noisy(
             self.config.base_complexity
-                + if active { self.config.fire_complexity } else { 0.0 },
+                + if active {
+                    self.config.fire_complexity
+                } else {
+                    0.0
+                },
         );
         let motion = self.noisy(self.config.jitter_motion + flicker + 0.01);
 

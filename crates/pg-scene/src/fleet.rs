@@ -227,7 +227,10 @@ mod tests {
     fn uniform_fleet_sizes() {
         let fleet = CameraFleet::uniform(TaskKind::FireDetection, 57, 3);
         assert_eq!(fleet.len(), 57);
-        assert!(fleet.cameras().iter().all(|c| c.task == TaskKind::FireDetection));
+        assert!(fleet
+            .cameras()
+            .iter()
+            .all(|c| c.task == TaskKind::FireDetection));
     }
 
     #[test]

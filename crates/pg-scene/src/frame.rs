@@ -43,9 +43,7 @@ impl SceneState {
     /// * SR — necessary while the stream is degraded.
     pub fn necessary_after(&self, prev: Option<&SceneState>) -> bool {
         match (self, prev) {
-            (SceneState::PersonCount(now), Some(SceneState::PersonCount(before))) => {
-                now != before
-            }
+            (SceneState::PersonCount(now), Some(SceneState::PersonCount(before))) => now != before,
             // First frame of a stream: the result is always news.
             (SceneState::PersonCount(_), None) => true,
             (SceneState::PersonCount(_), Some(_)) => true,
@@ -117,8 +115,14 @@ mod tests {
     #[test]
     fn state_task_mapping() {
         assert_eq!(SceneState::PersonCount(0).task(), TaskKind::PersonCounting);
-        assert_eq!(SceneState::Anomaly(false).task(), TaskKind::AnomalyDetection);
-        assert_eq!(SceneState::Degraded(false).task(), TaskKind::SuperResolution);
+        assert_eq!(
+            SceneState::Anomaly(false).task(),
+            TaskKind::AnomalyDetection
+        );
+        assert_eq!(
+            SceneState::Degraded(false).task(),
+            TaskKind::SuperResolution
+        );
         assert_eq!(SceneState::Fire(false).task(), TaskKind::FireDetection);
     }
 }

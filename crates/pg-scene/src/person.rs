@@ -136,8 +136,7 @@ impl SceneGenerator for PersonSceneGen {
 
         let delta = (i64::from(self.count) - i64::from(prev)).unsigned_abs() as f64;
         let complexity = self.noisy(
-            self.config.base_complexity
-                + self.config.complexity_per_person * f64::from(self.count),
+            self.config.base_complexity + self.config.complexity_per_person * f64::from(self.count),
         );
         let motion = self.noisy(
             self.config.motion_per_person * f64::from(self.count)

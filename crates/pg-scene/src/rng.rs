@@ -14,8 +14,7 @@ use rand::SeedableRng;
 /// index. Two different `(seed, lane)` pairs yield uncorrelated streams.
 #[inline]
 pub fn mix(seed: u64, lane: u64) -> u64 {
-    let mut z = seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(lane.wrapping_add(1)));
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(lane.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -58,8 +57,7 @@ mod tests {
     #[test]
     fn consecutive_seeds_do_not_collide() {
         // The classic failure mode mix() protects against.
-        let outputs: std::collections::HashSet<u64> =
-            (0..1000u64).map(|s| mix(s, 0)).collect();
+        let outputs: std::collections::HashSet<u64> = (0..1000u64).map(|s| mix(s, 0)).collect();
         assert_eq!(outputs.len(), 1000);
     }
 }

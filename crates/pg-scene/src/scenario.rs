@@ -59,10 +59,7 @@ impl TaskKind {
     /// activity cycle (true for the Campus1K tasks; the paper notes SR/FD
     /// temporal patterns are randomly simulated instead, §6.3).
     pub fn is_diurnal(self) -> bool {
-        matches!(
-            self,
-            TaskKind::PersonCounting | TaskKind::AnomalyDetection
-        )
+        matches!(self, TaskKind::PersonCounting | TaskKind::AnomalyDetection)
     }
 }
 

@@ -113,10 +113,9 @@ impl SceneGenerator for SrSceneGen {
         let step: f64 = Normal::new(0.0, self.config.walk_step)
             .expect("walk step finite")
             .sample(&mut self.rng);
-        self.complexity = (self.complexity
-            + step
-            + 0.01 * (self.config.mean_complexity - self.complexity))
-            .clamp(0.2, 2.0);
+        self.complexity =
+            (self.complexity + step + 0.01 * (self.config.mean_complexity - self.complexity))
+                .clamp(0.2, 2.0);
         let cut = self.rng.gen_bool(self.config.cut_prob.clamp(0.0, 1.0));
         if cut {
             self.complexity = self.rng.gen_range(0.4..1.4);
@@ -130,9 +129,8 @@ impl SceneGenerator for SrSceneGen {
             1.0
         };
         let complexity = self.noisy(self.complexity * detail);
-        let motion = self.noisy(
-            (self.config.base_motion + if cut { 0.8 } else { 0.0 }) * detail + 0.01,
-        );
+        let motion =
+            self.noisy((self.config.base_motion + if cut { 0.8 } else { 0.0 }) * detail + 0.01);
 
         let frame = SceneFrame::new(
             self.frame,

@@ -136,7 +136,10 @@ mod tests {
             let rate = trace.necessity_rate();
             assert!((0.0..=1.0).contains(&rate), "{task}: {rate}");
             assert!(rate > 0.0, "{task}: some frames should be necessary");
-            assert!(rate < 0.9, "{task}: most frames should be redundant, got {rate}");
+            assert!(
+                rate < 0.9,
+                "{task}: most frames should be redundant, got {rate}"
+            );
         }
     }
 

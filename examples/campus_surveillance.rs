@@ -72,7 +72,10 @@ fn main() {
     let pg_report = RoundSimulator::new(specs(), sim_config).run(&mut pg, rounds);
     let rr_report = RoundSimulator::new(specs(), sim_config).run(&mut rr, rounds);
 
-    println!("\n{:<12} {:>10} {:>14}", "policy", "accuracy", "filter-rate");
+    println!(
+        "\n{:<12} {:>10} {:>14}",
+        "policy", "accuracy", "filter-rate"
+    );
     for r in [&pg_report, &rr_report] {
         println!(
             "{:<12} {:>9.1}% {:>13.1}%",

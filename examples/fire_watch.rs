@@ -23,7 +23,10 @@ fn main() {
     println!("training PacketGame's contextual predictor offline ...");
     let config = test_config();
     let predictor = train_for_task(task, &config, 3);
-    println!("  predictor ready ({} parameters)\n", predictor.param_count());
+    println!(
+        "  predictor ready ({} parameters)\n",
+        predictor.param_count()
+    );
 
     let base = ConcurrentConfig {
         streams: 16,

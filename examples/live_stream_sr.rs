@@ -28,7 +28,9 @@ fn main() {
     let enc = EncoderConfig::new(Codec::H264);
     let mut encoder = Encoder::new(enc, 5);
     let mut scene = SrSceneGen::new(5, 25.0);
-    let packets: Vec<_> = (0..200).map(|_| encoder.encode(&scene.next_frame())).collect();
+    let packets: Vec<_> = (0..200)
+        .map(|_| encoder.encode(&scene.next_frame()))
+        .collect();
     let bytes = serialize_stream(0, &enc, &packets);
     let (header, parsed) = parse_stream(&bytes).expect("parse PGVS stream");
     println!(

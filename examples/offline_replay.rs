@@ -24,17 +24,24 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("temp dir");
 
     // 1. Build a mixed-codec library of stored videos.
-    println!("writing a mixed-codec .pgv library to {} ...", dir.display());
+    println!(
+        "writing a mixed-codec .pgv library to {} ...",
+        dir.display()
+    );
     let codecs = [Codec::H264, Codec::H265, Codec::Vp9, Codec::Jpeg2000];
     let frames = 800;
     let mut paths = Vec::new();
     for (i, &codec) in codecs.iter().cycle().take(12).enumerate() {
         // Modest bitrate keeps the temp library small (J2K is intra-only
         // and would otherwise dominate disk).
-        let enc = EncoderConfig::new(codec).with_gop(16).with_bitrate(1_200_000);
+        let enc = EncoderConfig::new(codec)
+            .with_gop(16)
+            .with_bitrate(1_200_000);
         let mut gen = generator_for(task, 7000 + i as u64, enc.fps);
         let mut encoder = Encoder::for_stream(enc, 7000 + i as u64, i as u32);
-        let packets: Vec<_> = (0..frames).map(|_| encoder.encode(&gen.next_frame())).collect();
+        let packets: Vec<_> = (0..frames)
+            .map(|_| encoder.encode(&gen.next_frame()))
+            .collect();
         let bytes = serialize_stream(i as u32, &enc, &packets);
         let path = dir.join(format!("video-{i:02}-{}.pgv", codec.label()));
         std::fs::write(&path, &bytes).expect("write pgv");
@@ -76,10 +83,7 @@ fn main() {
         "policy", "accuracy", "recall", "filter-rate"
     );
     for gate in gates.iter_mut() {
-        let recorded_copy: Vec<_> = recorded
-            .iter()
-            .map(|(c, p)| (*c, p.clone()))
-            .collect();
+        let recorded_copy: Vec<_> = recorded.iter().map(|(c, p)| (*c, p.clone())).collect();
         let report =
             ReplaySimulator::new(recorded_copy, sim_config).run(gate.as_mut(), frames as u64);
         println!(

@@ -27,10 +27,7 @@ fn main() {
     let config = test_config();
     println!("training contextual predictor ...");
     let predictor = train_for_task(task, &config, 7);
-    println!(
-        "  {} parameters, ready\n",
-        predictor.param_count()
-    );
+    println!("  {} parameters, ready\n", predictor.param_count());
 
     // 2. Run the same workload under each policy.
     let sim_config = SimConfig {

@@ -7,10 +7,10 @@
 pub use packetgame;
 pub use pg_codec;
 pub use pg_inference;
+pub use pg_net;
 pub use pg_nn;
 pub use pg_pipeline;
 pub use pg_scene;
-pub use pg_net;
 
 // Observability surface, re-exported for direct use by downstream tools.
 pub use pg_pipeline::telemetry::{

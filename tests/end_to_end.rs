@@ -15,7 +15,9 @@ use pg_scene::{generator_for, TaskKind};
 #[test]
 fn bytes_roundtrip_through_the_whole_pipeline() {
     for task in TaskKind::ALL {
-        let enc = EncoderConfig::new(Codec::H265).with_gop(12).with_b_frames(2);
+        let enc = EncoderConfig::new(Codec::H265)
+            .with_gop(12)
+            .with_b_frames(2);
         let mut gen = generator_for(task, 99, enc.fps);
         let trace = gen.generate(150);
         let labels = trace.necessity_labels();
@@ -97,7 +99,9 @@ fn policy_ordering_under_budget() {
 /// then decode everything again — the decoder recovers at I-frames.
 #[test]
 fn decoder_recovers_after_gating_droughts() {
-    let enc = EncoderConfig::new(Codec::H264).with_gop(10).with_b_frames(2);
+    let enc = EncoderConfig::new(Codec::H264)
+        .with_gop(10)
+        .with_b_frames(2);
     let mut gen = generator_for(TaskKind::FireDetection, 7, enc.fps);
     let mut encoder = Encoder::new(enc, 7);
     let mut decoder = Decoder::new(0, CostModel::default());
@@ -198,7 +202,9 @@ fn gating_over_impaired_network() {
     let config = test_config();
     let predictor = train_for_task(task, &config, 41);
     let wf = predictor.to_weight_file();
-    let enc = EncoderConfig::new(Codec::H264).with_gop(12).with_b_frames(2);
+    let enc = EncoderConfig::new(Codec::H264)
+        .with_gop(12)
+        .with_b_frames(2);
     let budget = 4.0;
     let rounds = 400;
 

@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 
+use pg_codec::{CostModel, EncoderConfig};
 use pg_net::ImpairmentConfig;
 use pg_pipeline::concurrent::{ConcurrentConfig, ConcurrentPipeline, DecodeWorkModel};
 use pg_pipeline::gate::DecodeAll;
@@ -12,7 +13,6 @@ use pg_pipeline::{
     ChunkFaultMode, FaultPlan, NetworkedRoundSimulator, QuarantineConfig, RoundSimulator,
     SimConfig, Telemetry,
 };
-use pg_codec::{CostModel, EncoderConfig};
 use pg_scene::TaskKind;
 
 fn concurrent_config(streams: usize, rounds: u64, seed: u64) -> ConcurrentConfig {
@@ -37,8 +37,7 @@ fn corrupt_one_of_64_streams_leaves_the_other_63_identical() {
     let rounds = 40;
     let victim = 17;
 
-    let clean = ConcurrentPipeline::new(concurrent_config(streams, rounds, 5))
-        .run(&mut DecodeAll);
+    let clean = ConcurrentPipeline::new(concurrent_config(streams, rounds, 5)).run(&mut DecodeAll);
 
     let mut cfg = concurrent_config(streams, rounds, 5);
     cfg.faults = FaultPlan::new(99)
@@ -95,8 +94,14 @@ fn corrupt_one_of_64_streams_leaves_the_other_63_identical() {
 #[test]
 fn execution_paths_contain_no_expect_or_unwrap() {
     let sources = [
-        ("round.rs", include_str!("../crates/pg-pipeline/src/round.rs")),
-        ("replay.rs", include_str!("../crates/pg-pipeline/src/replay.rs")),
+        (
+            "round.rs",
+            include_str!("../crates/pg-pipeline/src/round.rs"),
+        ),
+        (
+            "replay.rs",
+            include_str!("../crates/pg-pipeline/src/replay.rs"),
+        ),
         (
             "netround.rs",
             include_str!("../crates/pg-pipeline/src/netround.rs"),
@@ -105,7 +110,10 @@ fn execution_paths_contain_no_expect_or_unwrap() {
             "concurrent.rs",
             include_str!("../crates/pg-pipeline/src/concurrent.rs"),
         ),
-        ("fault.rs", include_str!("../crates/pg-pipeline/src/fault.rs")),
+        (
+            "fault.rs",
+            include_str!("../crates/pg-pipeline/src/fault.rs"),
+        ),
     ];
     for (name, src) in sources {
         let production = src.split("#[cfg(test)]").next().unwrap_or(src);
@@ -119,7 +127,10 @@ fn execution_paths_contain_no_expect_or_unwrap() {
 }
 
 fn any_mode() -> impl Strategy<Value = ChunkFaultMode> {
-    prop_oneof![Just(ChunkFaultMode::Truncate), Just(ChunkFaultMode::BitFlip)]
+    prop_oneof![
+        Just(ChunkFaultMode::Truncate),
+        Just(ChunkFaultMode::BitFlip)
+    ]
 }
 
 proptest! {

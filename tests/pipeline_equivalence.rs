@@ -29,10 +29,22 @@ fn assert_equivalent(single: &ConcurrentReport, sharded: &ConcurrentReport) {
     assert_eq!(single.streams, sharded.streams);
     assert_eq!(single.rounds, sharded.rounds);
     assert_eq!(single.bytes_parsed, sharded.bytes_parsed, "bytes parsed");
-    assert_eq!(single.packets_parsed, sharded.packets_parsed, "packets parsed");
-    assert_eq!(single.packets_decoded, sharded.packets_decoded, "packets decoded");
-    assert_eq!(single.frames_decoded, sharded.frames_decoded, "frames decoded");
-    assert_eq!(single.frames_per_stream, sharded.frames_per_stream, "per-stream frames");
+    assert_eq!(
+        single.packets_parsed, sharded.packets_parsed,
+        "packets parsed"
+    );
+    assert_eq!(
+        single.packets_decoded, sharded.packets_decoded,
+        "packets decoded"
+    );
+    assert_eq!(
+        single.frames_decoded, sharded.frames_decoded,
+        "frames decoded"
+    );
+    assert_eq!(
+        single.frames_per_stream, sharded.frames_per_stream,
+        "per-stream frames"
+    );
     assert_eq!(single.health, sharded.health, "health summary");
     let eps = 1e-6 * single.cost_spent.abs().max(1.0);
     assert!(
@@ -45,9 +57,8 @@ fn assert_equivalent(single: &ConcurrentReport, sharded: &ConcurrentReport) {
     // The fault ledger must carry the same records; chronological order
     // within the ledger can interleave differently across shard counts,
     // so compare as a sorted multiset.
-    let key = |f: &pg_pipeline::FaultRecord| {
-        (f.kind.clone(), f.stream_idx, f.round, f.detail.clone())
-    };
+    let key =
+        |f: &pg_pipeline::FaultRecord| (f.kind.clone(), f.stream_idx, f.round, f.detail.clone());
     let mut single_faults: Vec<_> = single.faults.iter().map(key).collect();
     let mut sharded_faults: Vec<_> = sharded.faults.iter().map(key).collect();
     single_faults.sort();
@@ -118,7 +129,10 @@ fn faulted_run_is_shard_count_invariant() {
     let single = run(cfg1, &mut DecodeAll);
     let sharded = run(cfg4, &mut DecodeAll);
     assert!(!single.faults.is_empty(), "fault plan must bite");
-    assert!(single.health.dead_streams >= 1, "corrupt header kills stream 7");
+    assert!(
+        single.health.dead_streams >= 1,
+        "corrupt header kills stream 7"
+    );
     assert_equivalent(&single, &sharded);
 }
 
@@ -127,8 +141,14 @@ fn budgeted_policy_run_is_shard_count_invariant() {
     // A budget-limited rotating gate exercises the selection path (some
     // streams skipped each round, pending closures accumulate) without
     // feedback-adaptive state that would be timing-sensitive either way.
-    let single = run(config(16, 50, 8.0, 1), &mut packetgame::RoundRobinGate::new());
-    let sharded = run(config(16, 50, 8.0, 4), &mut packetgame::RoundRobinGate::new());
+    let single = run(
+        config(16, 50, 8.0, 1),
+        &mut packetgame::RoundRobinGate::new(),
+    );
+    let sharded = run(
+        config(16, 50, 8.0, 4),
+        &mut packetgame::RoundRobinGate::new(),
+    );
     assert!(
         single.packets_decoded < single.packets_parsed,
         "budget must actually gate"

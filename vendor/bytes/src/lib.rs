@@ -383,7 +383,11 @@ mod tests {
         assert_eq!(&mid[..], &[2, 3, 4]);
         assert_eq!(&tail[..], &[3, 4]);
         assert_eq!(cloned, tail);
-        assert_eq!(deep_copy_count(), before, "zero-copy path bumped the counter");
+        assert_eq!(
+            deep_copy_count(),
+            before,
+            "zero-copy path bumped the counter"
+        );
     }
 
     #[test]

@@ -26,12 +26,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Id rendered from a parameter value, e.g. an input size.
     pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> BenchmarkId {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 
     /// Id with an explicit function name and parameter.
     pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
-        BenchmarkId { id: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
     }
 }
 
@@ -149,7 +153,10 @@ impl BenchmarkGroup<'_> {
 
     fn report(&self, id: &BenchmarkId, median_ns: f64) {
         if self.criterion.test_mode {
-            println!("test {}/{} ... ok (ran once, --test mode)", self.name, id.id);
+            println!(
+                "test {}/{} ... ok (ran once, --test mode)",
+                self.name, id.id
+            );
             return;
         }
         let rate = match self.throughput {
@@ -157,7 +164,10 @@ impl BenchmarkGroup<'_> {
                 format!("  {:>12.0} elem/s", n as f64 / (median_ns * 1e-9))
             }
             Some(Throughput::Bytes(n)) if median_ns > 0.0 => {
-                format!("  {:>12.1} MiB/s", n as f64 / (median_ns * 1e-9) / (1024.0 * 1024.0))
+                format!(
+                    "  {:>12.1} MiB/s",
+                    n as f64 / (median_ns * 1e-9) / (1024.0 * 1024.0)
+                )
             }
             _ => String::new(),
         };

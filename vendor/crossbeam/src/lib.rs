@@ -83,10 +83,7 @@ pub mod channel {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
         });
-        (
-            Sender { chan: chan.clone() },
-            Receiver { chan },
-        )
+        (Sender { chan: chan.clone() }, Receiver { chan })
     }
 
     /// Create an unbounded MPMC channel (capacity limited only by memory);

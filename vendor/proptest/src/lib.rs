@@ -66,7 +66,9 @@ pub struct Union<T> {
 impl<T> Union<T> {
     /// An empty union (sampling panics until an option is added).
     pub fn empty() -> Union<T> {
-        Union { options: Vec::new() }
+        Union {
+            options: Vec::new(),
+        }
     }
 
     /// Add one alternative.
@@ -80,7 +82,10 @@ impl<T> Strategy for Union<T> {
     type Value = T;
 
     fn sample(&self, rng: &mut TestRng) -> T {
-        assert!(!self.options.is_empty(), "prop_oneof! needs at least one option");
+        assert!(
+            !self.options.is_empty(),
+            "prop_oneof! needs at least one option"
+        );
         let idx = rng.gen_range(0..self.options.len());
         self.options[idx].sample(rng)
     }
@@ -125,7 +130,9 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
 
 /// Canonical strategy for a type: `any::<bool>()` etc.
 pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
-    AnyStrategy { _marker: core::marker::PhantomData }
+    AnyStrategy {
+        _marker: core::marker::PhantomData,
+    }
 }
 
 /// Collection strategies.
@@ -170,7 +177,11 @@ pub mod collection {
     pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
         let (min, max_exclusive) = size.bounds();
         assert!(min < max_exclusive, "empty size range for collection::vec");
-        VecStrategy { element, min, max_exclusive }
+        VecStrategy {
+            element,
+            min,
+            max_exclusive,
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -213,7 +224,9 @@ pub struct TestCaseError {
 impl TestCaseError {
     /// Failure with the given message.
     pub fn fail(message: impl Into<String>) -> TestCaseError {
-        TestCaseError { message: message.into() }
+        TestCaseError {
+            message: message.into(),
+        }
     }
 }
 
@@ -240,7 +253,11 @@ impl TestRunner {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        TestRunner { config, name, base_seed: h }
+        TestRunner {
+            config,
+            name,
+            base_seed: h,
+        }
     }
 
     /// Run `case` once per configured case; returns the first failure.
@@ -256,7 +273,9 @@ impl TestRunner {
             if let Err(e) = case(&mut rng) {
                 return Err(format!(
                     "property `{}` failed at case {}/{} (seed {seed:#x}): {e}",
-                    self.name, i + 1, self.config.cases
+                    self.name,
+                    i + 1,
+                    self.config.cases
                 ));
             }
         }

@@ -102,8 +102,7 @@ mod tests {
         let n = 60_000;
         let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let var =
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
         assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
     }

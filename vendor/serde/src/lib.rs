@@ -237,7 +237,9 @@ pub mod de {
     impl Error {
         /// Error with an arbitrary message.
         pub fn custom<T: std::fmt::Display>(msg: T) -> Error {
-            Error { msg: msg.to_string() }
+            Error {
+                msg: msg.to_string(),
+            }
         }
 
         /// Error for an unrecognized enum variant tag.
@@ -483,7 +485,11 @@ impl_tuple!(4 => A.0, B.1, C.2, D.3);
 
 impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -502,8 +508,10 @@ impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
 impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
     fn to_value(&self) -> Value {
         // Sort keys so serialized output is deterministic.
-        let mut pairs: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
         pairs.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(pairs)
     }

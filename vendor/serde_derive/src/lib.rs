@@ -15,13 +15,17 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("serde_derive: generated Serialize impl must parse")
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
 }
 
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("serde_derive: generated Deserialize impl must parse")
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
 }
 
 struct Item {
@@ -207,9 +211,8 @@ fn gen_serialize(item: &Item) -> String {
     let body = match &item.body {
         Body::UnitStruct => "::serde::Value::Null".to_string(),
         Body::NamedStruct(fields) => {
-            let mut s = String::from(
-                "let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
-            );
+            let mut s =
+                String::from("let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
             for f in fields {
                 s.push_str(&format!(
                     "__fields.push((String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));\n"

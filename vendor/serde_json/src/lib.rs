@@ -274,8 +274,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String> {
                             hi
                         };
                         out.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| Error::new("invalid \\u escape"))?,
+                            char::from_u32(code).ok_or_else(|| Error::new("invalid \\u escape"))?,
                         );
                     }
                     _ => return Err(Error::new(format!("invalid escape at byte {pos}"))),
@@ -345,7 +344,10 @@ mod tests {
             ("name".into(), Value::from("stream-1")),
             ("count".into(), Value::U64(3)),
             ("ratio".into(), Value::F64(0.5)),
-            ("tags".into(), Value::Array(vec![Value::from("a"), Value::from("b")])),
+            (
+                "tags".into(),
+                Value::Array(vec![Value::from("a"), Value::from("b")]),
+            ),
             ("none".into(), Value::Null),
         ]);
         let compact = to_string(&v).unwrap();
