@@ -1,0 +1,204 @@
+//! Live-ingest churn: connect/disconnect storms against the session server.
+//!
+//! Binds the nonblocking session server, points a seeded loopback fleet
+//! at it (one PGL1 session per stream), and runs the full concurrent
+//! pipeline off the wire while a deterministic churn plan kills and
+//! resumes connections mid-run. Measures what the ingest plane sustains:
+//!
+//! * **connects/sec** — handshakes (initial + resumed) over the wall;
+//! * **max sessions sustained** — the server's peak concurrently-active
+//!   session count, asserted against the scale target;
+//! * **bytes/sec** — payload ingested off sockets;
+//! * **round p50/p99** — gate round latency with the warm-up prefix
+//!   excluded (same convention as `pipeline_throughput`);
+//! * **zero deep copies** — every chunk crosses from socket to decode
+//!   refcounted, asserted via `bytes::deep_copy_count`.
+//!
+//! Every killed connection must resume inside the gate's grace window,
+//! so the run is also a correctness drill: all streams are asserted to
+//! decode every round despite the storm. Results land under the
+//! `ingest_churn` key of `BENCH_pipeline.json`, preserving the
+//! `pipeline_throughput` record around it. `PG_SCALE=quick` shrinks the
+//! fleet for CI smoke runs (target ≥256 sessions; full targets ≥1024).
+
+use pg_bench::harness::print_table;
+use pg_net::SessionServerConfig;
+use pg_pipeline::concurrent::ConcurrentConfig;
+use pg_pipeline::gate::DecodeAll;
+use pg_pipeline::{ChurnPlan, ConcurrentPipeline, DecodeWorkModel, FleetConfig, LoopbackFleet, NetIngestSource};
+use serde::Serialize;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+#[derive(Serialize)]
+struct ChurnRecord {
+    scale: String,
+    sessions: usize,
+    rounds: u64,
+    feeders: usize,
+    /// Minimum peak-active sessions the run must sustain at this scale.
+    session_target: u64,
+    planned_kills: u64,
+    reconnects: u64,
+    handshakes: u64,
+    wall_s: f64,
+    connects_per_sec: f64,
+    /// Peak concurrently-active sessions observed by the server.
+    peak_sessions: u64,
+    bytes_rx: u64,
+    bytes_per_sec: f64,
+    data_chunks: u64,
+    backpressure_pauses: u64,
+    connection_faults: u64,
+    frames_decoded: u64,
+    /// Same warm-up convention as the pipeline_throughput record.
+    latency_warmup_rounds: u64,
+    round_p50_us: u64,
+    round_p99_us: u64,
+    /// Deep payload copies across the run — the socket→decode path is
+    /// refcounted end to end, so this must be 0.
+    payload_deep_copies: u64,
+}
+
+fn main() {
+    let quick = matches!(std::env::var("PG_SCALE").as_deref(), Ok("quick"));
+    // The session target is what the run must sustain; the fleet is a
+    // little larger so the target holds even at the instant every
+    // planned kill happens to be down at once.
+    let (streams, rounds, kills, target): (usize, u64, usize, u64) = if quick {
+        (288, 4, 8, 256)
+    } else {
+        (1088, 6, 32, 1024)
+    };
+    let feeders = 4;
+    let down_for = Duration::from_millis(100);
+    // Sessions hold their connection open at least this long after
+    // connecting (like a real capture session), so peak concurrency
+    // measures the server, not the race between the connect storm and
+    // the first streams finishing their handful of rounds.
+    let linger = if quick {
+        Duration::from_secs(3)
+    } else {
+        Duration::from_secs(10)
+    };
+
+    let cfg = ConcurrentConfig {
+        streams,
+        rounds,
+        decode_workers: 2,
+        // Effectively unbounded: closures cost several units each and the
+        // gating budget is not the subject here — every arriving round
+        // must decode so churn recovery is observable in frame counts.
+        budget_per_round: streams as f64 * 64.0,
+        // Light offload decode: the ingest plane, not the decode pool,
+        // should be the thing under test.
+        work: DecodeWorkModel::offload_ns(1_000),
+        seed: 11,
+        // A connect storm of this size on a small host can honestly take
+        // a while per round; the grace window must comfortably cover a
+        // 100 ms planned outage plus scheduling noise, not real stalls.
+        stall_timeout: Duration::from_secs(10),
+        ..Default::default()
+    };
+    let warmup = ((rounds / 3).min(2)) as usize;
+
+    let copies_before = bytes::deep_copy_count();
+    let source = NetIngestSource::bind(
+        streams,
+        rounds,
+        SessionServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_sessions: streams + 64,
+            ..SessionServerConfig::default()
+        },
+    )
+    .expect("bind session server");
+    let counters = source.counters();
+
+    let mut fleet_cfg = FleetConfig::for_pipeline(&cfg, source.local_addr());
+    fleet_cfg.feeders = feeders;
+    fleet_cfg.give_up = Duration::from_secs(30);
+    fleet_cfg.linger = linger;
+    fleet_cfg.churn = ChurnPlan::storm(cfg.seed, streams, rounds, kills, down_for);
+    let planned_kills = fleet_cfg.churn.events.len() as u64;
+
+    eprintln!(
+        "churn: {streams} sessions x {rounds} rounds, {planned_kills} kills, \
+         {feeders} feeders, target >= {target} peak sessions ..."
+    );
+    let fleet = LoopbackFleet::spawn(fleet_cfg);
+    let report = ConcurrentPipeline::new(cfg).run_with_source(&mut DecodeAll, Box::new(source));
+    let fleet_report = fleet.join();
+    let payload_deep_copies = bytes::deep_copy_count() - copies_before;
+
+    let wall_s = report.wall.as_secs_f64();
+    let peak_sessions = counters.peak_active.load(Ordering::Relaxed);
+    let bytes_rx = counters.bytes_rx.load(Ordering::Relaxed);
+    let record = ChurnRecord {
+        scale: if quick { "quick".into() } else { "std".into() },
+        sessions: streams,
+        rounds,
+        feeders,
+        session_target: target,
+        planned_kills,
+        reconnects: fleet_report.reconnects,
+        handshakes: counters.handshakes.load(Ordering::Relaxed),
+        wall_s,
+        connects_per_sec: counters.handshakes.load(Ordering::Relaxed) as f64
+            / wall_s.max(1e-9),
+        peak_sessions,
+        bytes_rx,
+        bytes_per_sec: bytes_rx as f64 / wall_s.max(1e-9),
+        data_chunks: counters.data_chunks.load(Ordering::Relaxed),
+        backpressure_pauses: counters.backpressure_pauses.load(Ordering::Relaxed),
+        connection_faults: report.faults.len() as u64,
+        frames_decoded: report.frames_decoded,
+        latency_warmup_rounds: warmup as u64,
+        round_p50_us: report.round_latency_percentile_after(warmup, 50.0).as_micros() as u64,
+        round_p99_us: report.round_latency_percentile_after(warmup, 99.0).as_micros() as u64,
+        payload_deep_copies,
+    };
+
+    print_table(
+        "Ingest churn: loopback connect/disconnect storm",
+        &["metric", "value"],
+        &[
+            vec!["sessions".into(), format!("{streams} (peak {peak_sessions})")],
+            vec!["handshakes".into(), format!(
+                "{} ({} reconnects, {} kills)",
+                record.handshakes, record.reconnects, planned_kills
+            )],
+            vec!["connects/sec".into(), format!("{:.0}", record.connects_per_sec)],
+            vec!["bytes/sec".into(), format!("{:.0}", record.bytes_per_sec)],
+            vec!["wall".into(), format!("{wall_s:.2}s")],
+            vec!["round p50 µs".into(), record.round_p50_us.to_string()],
+            vec!["round p99 µs".into(), record.round_p99_us.to_string()],
+            vec!["backpressure pauses".into(), record.backpressure_pauses.to_string()],
+            vec!["connection faults".into(), record.connection_faults.to_string()],
+            vec!["deep copies".into(), payload_deep_copies.to_string()],
+        ],
+    );
+
+    // The run is a correctness drill too: zero copies, the session
+    // target held, and every stream decoded every round despite churn
+    // (kills resume inside the grace window).
+    assert_eq!(
+        payload_deep_copies, 0,
+        "socket-to-decode path must never deep-copy a payload"
+    );
+    assert!(
+        peak_sessions >= target,
+        "sustained only {peak_sessions} concurrent sessions (target {target})"
+    );
+    assert!(
+        report.frames_per_stream.iter().all(|&f| f == rounds),
+        "every stream must decode every round despite churn: {:?} (faults: {:?})",
+        report.frames_per_stream,
+        report.faults
+    );
+
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
+    pg_bench::jsonio::upsert_key(&path, "ingest_churn", &record);
+    println!("\n[wrote {} (ingest_churn section)]", path.display());
+}

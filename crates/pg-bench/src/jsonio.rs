@@ -1,0 +1,112 @@
+//! Helpers for JSON result files co-owned by more than one benchmark
+//! binary.
+//!
+//! `BENCH_pipeline.json` carries both the `pipeline_throughput` sweep
+//! (its top-level record) and the `ingest_churn` section. Each binary
+//! rewrites only its own portion and carries the other's through, so CI
+//! jobs can run them in either order — or just one — without clobbering
+//! the other's numbers.
+
+use serde::{Serialize, Value};
+use std::path::Path;
+
+/// Parse `path` as a JSON object, returning its key/value pairs.
+/// Missing, unreadable, or non-object files all yield `None`.
+fn read_object(path: &Path) -> Option<Vec<(String, Value)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match serde_json::from_str::<Value>(&text).ok()? {
+        Value::Object(pairs) => Some(pairs),
+        _ => None,
+    }
+}
+
+fn write_value(path: &Path, value: &Value) {
+    let json = serde_json::to_string_pretty(value).expect("serialize benchmark record");
+    std::fs::write(path, json)
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
+
+/// Write `fresh` (which must serialize to a JSON object) to `path`,
+/// carrying over any `preserve` top-level keys from the existing file
+/// that the fresh record does not itself define.
+pub fn write_preserving<T: Serialize>(path: &Path, fresh: &T, preserve: &[&str]) {
+    let mut value = fresh.to_value();
+    if let (Value::Object(pairs), Some(old)) = (&mut value, read_object(path)) {
+        for key in preserve {
+            if pairs.iter().any(|(k, _)| k == key) {
+                continue;
+            }
+            if let Some((_, kept)) = old.iter().find(|(k, _)| k == key) {
+                pairs.push(((*key).to_string(), kept.clone()));
+            }
+        }
+    }
+    write_value(path, &value);
+}
+
+/// Insert or replace the single top-level `key` in the JSON object at
+/// `path`, leaving every other key untouched. Creates the file (as an
+/// object with just that key) if it does not exist.
+pub fn upsert_key<T: Serialize>(path: &Path, key: &str, section: &T) {
+    let mut pairs = read_object(path).unwrap_or_default();
+    let fresh = section.to_value();
+    if let Some(slot) = pairs.iter_mut().find(|(k, _)| k == key) {
+        slot.1 = fresh;
+    } else {
+        pairs.push((key.to_string(), fresh));
+    }
+    write_value(path, &Value::Object(pairs));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("pg_jsonio_{name}_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[derive(Serialize)]
+    struct Rec {
+        a: u64,
+        b: String,
+    }
+
+    #[test]
+    fn upsert_creates_replaces_and_keeps_other_keys() {
+        let path = tmp("upsert");
+        upsert_key(&path, "first", &Rec { a: 1, b: "x".into() });
+        upsert_key(&path, "second", &7u64);
+        upsert_key(&path, "first", &Rec { a: 2, b: "y".into() });
+        let v: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(v.get("first").and_then(|f| f.get("a")).and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("second").and_then(Value::as_u64), Some(7));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn write_preserving_carries_foreign_sections_through() {
+        let path = tmp("preserve");
+        upsert_key(&path, "foreign", &"kept".to_string());
+        write_preserving(&path, &Rec { a: 3, b: "z".into() }, &["foreign", "absent"]);
+        let v: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("foreign").and_then(Value::as_str), Some("kept"));
+        assert!(v.get("absent").is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn write_preserving_tolerates_missing_and_garbage_files() {
+        let path = tmp("garbage");
+        write_preserving(&path, &Rec { a: 1, b: "q".into() }, &["x"]);
+        std::fs::write(&path, "not json at all").unwrap();
+        write_preserving(&path, &Rec { a: 5, b: "r".into() }, &["x"]);
+        let v: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(5));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -4,3 +4,4 @@
 //! micro-benchmarks (`benches/micro.rs`). Shared helpers live here.
 
 pub mod harness;
+pub mod jsonio;

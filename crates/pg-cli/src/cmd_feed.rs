@@ -1,0 +1,91 @@
+//! `pgv feed` — drive a `pgv serve` instance with seeded loopback
+//! sessions.
+//!
+//! Spawns one PGL1 session per stream and feeds the exact chunk bytes the
+//! in-process producer would have generated for the same task/seed, so a
+//! served run is bit-comparable to a `pgv pipeline` run. A seeded churn
+//! storm can kill and resume connections mid-run to exercise the
+//! reconnect path.
+
+use crate::args::{parse_task, Options};
+use pg_pipeline::concurrent::ConcurrentConfig;
+use pg_pipeline::{ChurnPlan, FleetConfig, LoopbackFleet};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::Duration;
+
+const HELP: &str = "\
+pgv feed — feed a pgv serve instance with seeded loopback sessions
+
+OPTIONS:
+    --addr <host:port>     session server address (required)
+    --task <PC|AD|SR|FD>   workload task; must match the server (default AD)
+    --streams <n>          sessions to open (default 64)
+    --rounds <n>           rounds per stream; must match the server
+                           (default 200)
+    --seed <n>             workload seed; must match an in-process run to
+                           be bit-comparable (default 1)
+    --feeders <n>          feeder threads multiplexing the sessions
+                           (default 2)
+    --churn-kills <n>      seeded connection kills spread over the run
+                           (default 0)
+    --churn-down-ms <n>    how long a killed connection stays down before
+                           resuming (default 100)
+";
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let o = Options::parse(args)?;
+    if o.wants_help() {
+        print!("{HELP}");
+        return Ok(());
+    }
+    let addr_s = o.str_or("addr", "");
+    if addr_s.is_empty() {
+        return Err("feed: --addr <host:port> is required".to_string());
+    }
+    let addr: SocketAddr = addr_s
+        .to_socket_addrs()
+        .map_err(|e| format!("resolving {addr_s}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("no address for {addr_s}"))?;
+    let task = parse_task(&o.str_or("task", "AD"))?;
+    let streams: usize = o.num_or("streams", 64)?;
+    let rounds: u64 = o.num_or("rounds", 200)?;
+    let seed: u64 = o.num_or("seed", 1)?;
+    let feeders: usize = o.num_or("feeders", 2)?;
+    let churn_kills: usize = o.num_or("churn-kills", 0)?;
+    let churn_down_ms: u64 = o.num_or("churn-down-ms", 100)?;
+
+    let pipeline_cfg = ConcurrentConfig {
+        streams,
+        rounds,
+        task,
+        seed,
+        ..Default::default()
+    };
+    let mut fleet_cfg = FleetConfig::for_pipeline(&pipeline_cfg, addr);
+    fleet_cfg.feeders = feeders.max(1);
+    if churn_kills > 0 {
+        fleet_cfg.churn = ChurnPlan::storm(
+            seed,
+            streams,
+            rounds,
+            churn_kills,
+            Duration::from_millis(churn_down_ms),
+        );
+    }
+
+    eprintln!(
+        "feeding {streams} sessions x {rounds} rounds to {addr} \
+         ({} feeder threads, {} planned kills) ...",
+        fleet_cfg.feeders,
+        fleet_cfg.churn.events.len()
+    );
+    let report = LoopbackFleet::spawn(fleet_cfg).join();
+    println!(
+        "handshakes      {} ({} reconnects)",
+        report.handshakes, report.reconnects
+    );
+    println!("kills           {}", report.kills);
+    println!("bytes sent      {}", report.bytes_sent);
+    Ok(())
+}

@@ -1,0 +1,192 @@
+//! `pgv serve` — run the concurrent runtime fed by live TCP sessions.
+//!
+//! Binds the session server, then runs the same parser → gate → decode →
+//! inference pipeline as `pgv pipeline`, except the bytes arrive over
+//! sockets from `pgv feed` (or any client speaking the PGL1 framing)
+//! instead of from the in-process producer. Optional control and metrics
+//! endpoints expose live session state and telemetry while the run is up.
+
+use crate::args::{parse_task, Options};
+use crate::metrics::MetricsServer;
+use packetgame::training::test_config;
+use packetgame::PacketGame;
+use pg_net::{HttpResponse, MiniHttpServer, SessionServerConfig};
+use pg_pipeline::concurrent::ConcurrentConfig;
+use pg_pipeline::gate::DecodeAll;
+use pg_pipeline::{
+    ConcurrentPipeline, DecodeWorkModel, GatePolicy, NetIngestSource, Telemetry,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const HELP: &str = "\
+pgv serve — run the threaded runtime fed by live TCP ingest sessions
+
+The server expects one session per stream, carrying PGL1-framed chunks
+(`pgv feed` speaks the protocol). The pipeline runs for --rounds rounds
+per stream, then reports like `pgv pipeline`.
+
+OPTIONS:
+    --listen <addr>        session listen address (default 127.0.0.1:7070,
+                           port 0 for ephemeral)
+    --addr-file <path>     write the bound session address to a file once
+                           listening (for scripts that spawn the feeder)
+    --task <PC|AD|SR|FD>   workload task (default AD)
+    --streams <n>          expected streams / sessions (default 64)
+    --rounds <n>           rounds per stream (default 200)
+    --budget <units>       decode budget per round (default streams/2)
+    --workers <n>          decode worker threads (default 2)
+    --shards <n>           parser shards; 0 = auto (default 0)
+    --policy <name>        packetgame|decodeall (default decodeall)
+    --seed <n>             workload seed (default 1; informs the gate's
+                           predictor only — bytes come from the wire)
+    --ingest-threads <n>   ingest socket threads (default 2)
+    --max-sessions <n>     refuse connections beyond this (default 4096)
+    --stall-ms <n>         gate stall timeout = reconnect grace window in
+                           milliseconds (default 500)
+    --first-wait-ms <n>    wait up to this long for the first session
+                           before starting the pipeline clock (default
+                           10000; 0 = start immediately)
+    --control-addr <a>     serve live session JSON at http://<a>/sessions
+    --metrics-addr <a>     serve Prometheus telemetry at http://<a>/metrics
+";
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let o = Options::parse(args)?;
+    if o.wants_help() {
+        print!("{HELP}");
+        return Ok(());
+    }
+    let task = parse_task(&o.str_or("task", "AD"))?;
+    let listen = o.str_or("listen", "127.0.0.1:7070");
+    let addr_file = o.str_or("addr-file", "");
+    let streams: usize = o.num_or("streams", 64)?;
+    let rounds: u64 = o.num_or("rounds", 200)?;
+    let budget: f64 = o.num_or("budget", streams as f64 / 2.0)?;
+    let workers: usize = o.num_or("workers", 2)?;
+    let shards: usize = o.num_or("shards", 0)?;
+    let policy = o.str_or("policy", "decodeall");
+    let seed: u64 = o.num_or("seed", 1)?;
+    let ingest_threads: usize = o.num_or("ingest-threads", 2)?;
+    let max_sessions: usize = o.num_or("max-sessions", 4096)?;
+    let stall_ms: u64 = o.num_or("stall-ms", 500)?;
+    let first_wait_ms: u64 = o.num_or("first-wait-ms", 10_000)?;
+    let control_addr = o.str_or("control-addr", "");
+    let metrics_addr = o.str_or("metrics-addr", "");
+
+    let cfg = ConcurrentConfig {
+        streams,
+        rounds,
+        decode_workers: workers.max(1),
+        parser_shards: shards,
+        budget_per_round: budget,
+        task,
+        seed,
+        work: DecodeWorkModel::default(),
+        stall_timeout: Duration::from_millis(stall_ms.max(1)),
+        ..Default::default()
+    };
+    let mut gate: Box<dyn GatePolicy> = match policy.as_str() {
+        "decodeall" => Box::new(DecodeAll),
+        "packetgame" => {
+            eprintln!("training a small predictor ...");
+            let config = test_config();
+            let predictor = packetgame::train_for_task(task, &config, seed);
+            Box::new(PacketGame::new(config, predictor))
+        }
+        other => return Err(format!("unknown policy {other:?} (packetgame/decodeall)")),
+    };
+
+    let source = NetIngestSource::bind(
+        streams,
+        rounds,
+        SessionServerConfig {
+            addr: listen.clone(),
+            ingest_threads: ingest_threads.max(1),
+            max_sessions,
+            ..SessionServerConfig::default()
+        },
+    )?;
+    let local = source.local_addr();
+    eprintln!("session server listening on {local} ({streams} streams x {rounds} rounds)");
+    if !addr_file.is_empty() {
+        std::fs::write(&addr_file, local.to_string())
+            .map_err(|e| format!("writing {addr_file}: {e}"))?;
+    }
+
+    let telemetry = Telemetry::enabled().with_ingest(source.counters());
+    let _metrics = if metrics_addr.is_empty() {
+        None
+    } else {
+        let server = MetricsServer::bind(&metrics_addr, telemetry.clone())?;
+        eprintln!("metrics endpoint at http://{}/metrics", server.local_addr());
+        Some(server)
+    };
+    let _control = if control_addr.is_empty() {
+        None
+    } else {
+        let handle = source.control();
+        let server = MiniHttpServer::bind(
+            &control_addr,
+            "pgv-control",
+            Arc::new(move |path: &str| {
+                if path == "/sessions" || path == "/" {
+                    HttpResponse::ok("application/json", handle.control_json())
+                } else {
+                    HttpResponse::not_found()
+                }
+            }),
+        )?;
+        eprintln!("control endpoint at http://{}/sessions", server.local_addr());
+        Some(server)
+    };
+
+    let counters = source.counters();
+    // Give the first feeder a window to show up before the gate's stall
+    // clock starts ticking; events buffer in the server meanwhile.
+    let wait_deadline = std::time::Instant::now() + Duration::from_millis(first_wait_ms);
+    while first_wait_ms > 0
+        && counters.handshakes.load(std::sync::atomic::Ordering::Relaxed) == 0
+        && std::time::Instant::now() < wait_deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let report = ConcurrentPipeline::new(cfg)
+        .with_telemetry(telemetry)
+        .run_with_source(gate.as_mut(), Box::new(source));
+
+    println!("wall            {:.2}s", report.wall.as_secs_f64());
+    println!("packets/sec     {:.0}", report.pipeline_pps());
+    println!(
+        "sessions        {} handshakes ({} resumed), peak {} active, {} rejected",
+        counters.handshakes.load(std::sync::atomic::Ordering::Relaxed),
+        counters.resumed.load(std::sync::atomic::Ordering::Relaxed),
+        counters.peak_active.load(std::sync::atomic::Ordering::Relaxed),
+        counters.rejected.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    println!(
+        "ingest          {} bytes, {} data chunks, {} backpressure pauses",
+        counters.bytes_rx.load(std::sync::atomic::Ordering::Relaxed),
+        counters.data_chunks.load(std::sync::atomic::Ordering::Relaxed),
+        counters
+            .backpressure_pauses
+            .load(std::sync::atomic::Ordering::Relaxed),
+    );
+    println!(
+        "parsed          {} packets ({} bytes)",
+        report.packets_parsed, report.bytes_parsed
+    );
+    println!(
+        "decoded         {} packets -> {} frames ({:.1} cost units spent)",
+        report.packets_decoded, report.frames_decoded, report.cost_spent
+    );
+    if !report.faults.is_empty() || report.health.degraded_events > 0 {
+        let h = &report.health;
+        println!("faults          {} recorded", report.faults.len());
+        println!(
+            "health          {} degraded, {} recovered, {} quarantined at end, {} dead",
+            h.degraded_events, h.recovered_events, h.quarantined_at_end, h.dead_streams
+        );
+    }
+    Ok(())
+}

@@ -6,16 +6,20 @@
 //! pgv gate --task AD --streams 32 --budget 6 --rounds 1000 [--policy packetgame]
 //! pgv train --task PC --out weights.pgnn
 //! pgv netsim --loss 0.05 --ticks 2000
+//! pgv serve --listen 127.0.0.1:7070 --streams 64 --rounds 500
+//! pgv feed --addr 127.0.0.1:7070 --streams 64 --rounds 500
 //! ```
 
 use std::process::ExitCode;
 
 mod args;
+mod cmd_feed;
 mod cmd_gate;
 mod cmd_generate;
 mod cmd_inspect;
 mod cmd_netsim;
 mod cmd_pipeline;
+mod cmd_serve;
 mod cmd_train;
 mod cmd_weights;
 mod metrics;
@@ -33,6 +37,8 @@ COMMANDS:
     train      Train a contextual predictor and save a weight file
     gate       Simulate multi-stream gating and report accuracy
     pipeline   Run the threaded end-to-end runtime and report throughput
+    serve      Run the runtime fed by live TCP ingest sessions
+    feed       Drive a serve instance with seeded loopback sessions
     netsim     Push a stream through an impaired network link
     weights    Inspect a .pgnn predictor weight file
     help       Show this message
@@ -53,6 +59,8 @@ fn main() -> ExitCode {
         "train" => cmd_train::run(rest),
         "gate" => cmd_gate::run(rest),
         "pipeline" => cmd_pipeline::run(rest),
+        "serve" => cmd_serve::run(rest),
+        "feed" => cmd_feed::run(rest),
         "netsim" => cmd_netsim::run(rest),
         "weights" => cmd_weights::run(rest),
         "help" | "--help" | "-h" => {

@@ -1,25 +1,21 @@
 //! Minimal Prometheus scrape endpoint for `pgv gate --metrics-addr`.
 //!
-//! Hand-rolled on `std::net::TcpListener` — no HTTP framework. Each GET
-//! (any request, really; the request head is drained and ignored) gets a
-//! fresh [`pg_pipeline::prometheus_exposition`] rendering of the gate's
-//! live telemetry snapshot, so a scraper polling mid-run sees the
-//! monitor's current regret/calibration/drift state.
+//! Built on the workspace's shared [`MiniHttpServer`] accept loop (also
+//! used by `pgv serve`'s session control endpoint). Each GET — any path;
+//! every request is a scrape — gets a fresh
+//! [`pg_pipeline::prometheus_exposition`] rendering of the gate's live
+//! telemetry snapshot, so a scraper polling mid-run sees the monitor's
+//! current regret/calibration/drift state.
 
+use pg_net::{HttpResponse, MiniHttpServer};
 use pg_pipeline::{prometheus_exposition, Telemetry};
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::SocketAddr;
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
 
 /// A background scrape server bound to a local address. Dropping (or
 /// calling [`MetricsServer::stop`]) shuts the accept loop down.
 pub struct MetricsServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    inner: MiniHttpServer,
 }
 
 impl MetricsServer {
@@ -27,92 +23,39 @@ impl MetricsServer {
     /// port — read it back via [`MetricsServer::local_addr`]) and start
     /// serving the telemetry handle's snapshots.
     pub fn bind(addr: &str, telemetry: Telemetry) -> Result<Self, String> {
-        let listener =
-            TcpListener::bind(addr).map_err(|e| format!("binding metrics addr {addr}: {e}"))?;
-        listener
-            .set_nonblocking(true)
-            .map_err(|e| format!("metrics listener: {e}"))?;
-        let local = listener
-            .local_addr()
-            .map_err(|e| format!("metrics listener: {e}"))?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept_stop = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("pgv-metrics".into())
-            .spawn(move || accept_loop(&listener, &telemetry, &accept_stop))
-            .map_err(|e| format!("spawning metrics thread: {e}"))?;
-        Ok(MetricsServer {
-            addr: local,
-            stop,
-            handle: Some(handle),
-        })
+        let inner = MiniHttpServer::bind(
+            addr,
+            "pgv-metrics",
+            Arc::new(move |_path: &str| {
+                let body = telemetry
+                    .snapshot()
+                    .map(|s| prometheus_exposition(&s))
+                    .unwrap_or_default();
+                HttpResponse::ok("text/plain; version=0.0.4; charset=utf-8", body)
+            }),
+        )
+        .map_err(|e| format!("metrics: {e}"))?;
+        Ok(MetricsServer { inner })
     }
 
     /// The bound address (resolves port 0 to the actual ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.local_addr()
     }
 
     /// Stop accepting and join the server thread.
-    pub fn stop(mut self) {
-        self.shutdown();
+    pub fn stop(self) {
+        self.inner.stop();
     }
-
-    fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-impl Drop for MetricsServer {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-fn accept_loop(listener: &TcpListener, telemetry: &Telemetry, stop: &AtomicBool) {
-    while !stop.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((conn, _)) => {
-                // Scrape errors (client hung up mid-write) are the
-                // scraper's problem; the run must not care.
-                let _ = respond(conn, telemetry);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-    }
-}
-
-fn respond(mut conn: TcpStream, telemetry: &Telemetry) -> std::io::Result<()> {
-    conn.set_read_timeout(Some(Duration::from_millis(250)))?;
-    conn.set_write_timeout(Some(Duration::from_secs(2)))?;
-    // Drain (a prefix of) the request head; the path is irrelevant —
-    // every request is a scrape.
-    let mut head = [0u8; 1024];
-    let _ = conn.read(&mut head);
-    let body = telemetry
-        .snapshot()
-        .map(|s| prometheus_exposition(&s))
-        .unwrap_or_default();
-    let header = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    conn.write_all(header.as_bytes())?;
-    conn.write_all(body.as_bytes())?;
-    conn.flush()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pg_pipeline::validate_exposition;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
 
     fn scrape(addr: SocketAddr) -> String {
         let mut conn = TcpStream::connect(addr).expect("connect");

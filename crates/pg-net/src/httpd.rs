@@ -1,0 +1,198 @@
+//! Shared single-threaded HTTP/1.1 listener for the workspace's
+//! observability endpoints.
+//!
+//! Both the Prometheus scrape server (`pgv --metrics-addr`) and the
+//! session server's control endpoint (`pgv serve --control-addr`) need
+//! the same thing: a nonblocking `TcpListener` on a background thread
+//! that answers each request with a freshly rendered text body, then
+//! closes the connection. This module is that accept/read/respond loop,
+//! extracted once so there is exactly one hand-rolled HTTP server in the
+//! tree. No keep-alive, no chunked encoding — scrape-style traffic only.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Response a [`MiniHttpServer`] handler produces for one request.
+pub struct HttpResponse {
+    /// HTTP status code (200, 404, ...).
+    pub status: u16,
+    /// Content-Type header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// 200 OK with the given content type.
+    pub fn ok(content_type: &str, body: String) -> Self {
+        HttpResponse {
+            status: 200,
+            content_type: content_type.to_string(),
+            body,
+        }
+    }
+
+    /// 404 with a plain-text body.
+    pub fn not_found() -> Self {
+        HttpResponse {
+            status: 404,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: "not found\n".to_string(),
+        }
+    }
+
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            404 => "Not Found",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// Request handler: receives the request path (e.g. `/metrics`), returns
+/// the response. Called on the server thread, one request at a time.
+pub type HttpHandler = Arc<dyn Fn(&str) -> HttpResponse + Send + Sync>;
+
+/// A background single-threaded HTTP server. Dropping (or calling
+/// [`MiniHttpServer::stop`]) shuts the accept loop down.
+pub struct MiniHttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MiniHttpServer {
+    /// Bind `addr` (port 0 for ephemeral — read it back via
+    /// [`MiniHttpServer::local_addr`]) and serve `handler` on a thread
+    /// named `thread_name`.
+    pub fn bind(addr: &str, thread_name: &str, handler: HttpHandler) -> Result<Self, String> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| format!("binding http addr {addr}: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("http listener: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("http listener: {e}"))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(thread_name.to_string())
+            .spawn(move || accept_loop(&listener, &handler, &accept_stop))
+            .map_err(|e| format!("spawning http thread: {e}"))?;
+        Ok(MiniHttpServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MiniHttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, handler: &HttpHandler, stop: &AtomicBool) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((conn, _)) => {
+                // Client errors (hung up mid-write) are the client's
+                // problem; the serving process must not care.
+                let _ = respond(conn, handler);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn respond(mut conn: TcpStream, handler: &HttpHandler) -> std::io::Result<()> {
+    conn.set_read_timeout(Some(Duration::from_millis(250)))?;
+    conn.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Drain (a prefix of) the request head; only the request-line path
+    // is interpreted.
+    let mut head = [0u8; 1024];
+    let n = conn.read(&mut head).unwrap_or(0);
+    let path = parse_path(&head[..n]);
+    let response = handler(path);
+    let header = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.status_text(),
+        response.content_type,
+        response.body.len()
+    );
+    conn.write_all(header.as_bytes())?;
+    conn.write_all(response.body.as_bytes())?;
+    conn.flush()
+}
+
+/// Pull the path out of `GET /path HTTP/1.1`; defaults to `/`.
+fn parse_path(head: &[u8]) -> &str {
+    let line = match head.iter().position(|&b| b == b'\r' || b == b'\n') {
+        Some(end) => &head[..end],
+        None => head,
+    };
+    let line = std::str::from_utf8(line).unwrap_or("");
+    line.split_whitespace().nth(1).unwrap_or("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .expect("request");
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).expect("response");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn routes_by_path_and_closes_per_request() {
+        let server = MiniHttpServer::bind(
+            "127.0.0.1:0",
+            "test-http",
+            Arc::new(|path: &str| match path {
+                "/ping" => HttpResponse::ok("text/plain", "pong\n".to_string()),
+                _ => HttpResponse::not_found(),
+            }),
+        )
+        .expect("bind");
+        let (head, body) = get(server.local_addr(), "/ping");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, "pong\n");
+        let (head, _) = get(server.local_addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        server.stop();
+    }
+}

@@ -23,6 +23,22 @@
 //! [`PacketParser::resync`](pg_codec::PacketParser::resync)), so a lossy
 //! link degrades gracefully into lost *packets* rather than a dead stream.
 //!
+//! ## Live ingest plane
+//!
+//! The datagram modules above simulate transport in-process. The live
+//! ingest plane carries real bytes over real sockets:
+//!
+//! * [`wire`] — length-framed session protocol (hello / claim / header /
+//!   data / keepalive) with a zero-copy frame decoder;
+//! * [`session`] — the transport-agnostic server-side state machine,
+//!   resume oracle, and shared session counters;
+//! * [`server`] — a nonblocking `std::net` session server multiplexing
+//!   thousands of connections across a fixed ingest thread pool;
+//! * [`client`] — the blocking feeder client used by `pgv feed`, the
+//!   loopback bench fleets, and tests;
+//! * [`httpd`] — the one hand-rolled HTTP/1.1 accept loop shared by the
+//!   metrics scrape endpoint and the session control endpoint.
+//!
 //! ## Quick tour
 //!
 //! ```
@@ -38,17 +54,26 @@
 //! ```
 
 pub mod arq;
+pub mod client;
 pub mod crc;
 pub mod frag;
+pub mod httpd;
 pub mod impair;
 pub mod receiver;
+pub mod server;
+pub mod session;
 pub mod source;
+pub mod wire;
 
 pub use arq::{Nack, ReliableLink};
+pub use client::SessionClient;
 pub use crc::crc32;
 pub use frag::{Datagram, Fragmenter, DATAGRAM_HEADER_SIZE, DEFAULT_MTU};
+pub use httpd::{HttpHandler, HttpResponse, MiniHttpServer};
 pub use impair::{
     flip_bit_seeded, flip_random_bit, truncate_seeded, ImpairedChannel, ImpairmentConfig,
 };
 pub use receiver::{ReassemblyConfig, ReorderReceiver};
+pub use server::{ServerEvent, SessionServer, SessionServerConfig};
+pub use session::{ResumeOracle, ResumePoint, SessionCounters, SessionEvent, SessionMachine};
 pub use source::{NetworkedStream, TransportStats};

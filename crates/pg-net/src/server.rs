@@ -1,0 +1,550 @@
+//! Nonblocking TCP session server for the live ingest plane.
+//!
+//! Thousands of connections are multiplexed over plain `std::net`
+//! sockets (vendored-deps only — no tokio/mio) across a small fixed pool
+//! of ingest threads. Thread 0 owns the nonblocking listener and hands
+//! accepted sockets round-robin to its peers; every thread then runs a
+//! readiness loop over its connection list with adaptive backoff: a pass
+//! that moves no bytes doubles the sleep (50µs → 2ms cap), any progress
+//! resets it. Session events funnel into one global MPSC channel so the
+//! ingest bridge observes a single total order per stream — an old
+//! connection's events always precede a replacement connection's.
+//!
+//! Backpressure: the bridge decrements [`SessionCounters::queue_depth`]
+//! as it drains; when the gauge exceeds the configured hi-watermark the
+//! read loop stops reading sockets (kernel TCP buffers fill, clients
+//! block) until the pipeline catches up.
+
+use crate::session::{
+    reject_frame, ResumeOracle, SessionCounters, SessionEvent, SessionMachine,
+};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`SessionServer`].
+#[derive(Debug, Clone)]
+pub struct SessionServerConfig {
+    /// Bind address, e.g. `"127.0.0.1:0"` for an ephemeral port.
+    pub addr: String,
+    /// Fixed pool of ingest threads (thread 0 also accepts).
+    pub ingest_threads: usize,
+    /// Connections beyond this are refused with a REJECT frame.
+    pub max_sessions: usize,
+    /// Connections silent for longer than this are dropped.
+    pub idle_timeout: Duration,
+    /// Pause socket reads while `queue_depth` exceeds this.
+    pub queue_hi_watermark: i64,
+}
+
+impl Default for SessionServerConfig {
+    fn default() -> Self {
+        SessionServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ingest_threads: 2,
+            max_sessions: 4096,
+            idle_timeout: Duration::from_secs(30),
+            queue_hi_watermark: 8192,
+        }
+    }
+}
+
+/// Events the server publishes to the ingest bridge, in per-stream order.
+#[derive(Debug, Clone)]
+pub enum ServerEvent {
+    /// A connection finished its handshake and claimed a stream.
+    SessionUp {
+        /// Server-local connection id.
+        conn_id: u64,
+        /// Stream the connection speaks for.
+        stream_id: u32,
+        /// Whether the claim resumed mid-stream (next_round > 0).
+        resumed: bool,
+    },
+    /// Stream header bytes arrived.
+    Header {
+        /// Stream the header belongs to.
+        stream_id: u32,
+        /// Header chunk (refcounted, zero-copy).
+        chunk: Bytes,
+    },
+    /// One round of bitstream arrived.
+    Data {
+        /// Stream the chunk belongs to.
+        stream_id: u32,
+        /// Client-tagged round.
+        round: u64,
+        /// Chunk bytes (refcounted slice of the frame payload).
+        chunk: Bytes,
+    },
+    /// A connection ended.
+    SessionDown {
+        /// Server-local connection id.
+        conn_id: u64,
+        /// Stream the connection had claimed, if handshaken.
+        stream_id: Option<u32>,
+        /// `true` for a clean BYE, `false` for an abrupt drop.
+        graceful: bool,
+        /// Human-readable close reason.
+        reason: String,
+    },
+}
+
+/// Sentinel in [`ConnStat::stream_id`] for "not yet claimed".
+const NO_STREAM: u32 = u32::MAX;
+
+const STATE_HANDSHAKE: u8 = 0;
+const STATE_STREAMING: u8 = 1;
+
+/// Per-connection stats surfaced by the control endpoint.
+struct ConnStat {
+    stream_id: AtomicU32,
+    state: AtomicU8,
+    rounds_rx: AtomicU64,
+    bytes_rx: AtomicU64,
+}
+
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    machine: SessionMachine,
+    stat: Arc<ConnStat>,
+    last_activity: Instant,
+    events: Vec<SessionEvent>,
+    outbound: Vec<u8>,
+}
+
+type Registry = Arc<Mutex<BTreeMap<u64, Arc<ConnStat>>>>;
+
+/// The live ingest session server. Dropping it stops all threads.
+pub struct SessionServer {
+    local_addr: SocketAddr,
+    counters: Arc<SessionCounters>,
+    events_rx: Receiver<ServerEvent>,
+    stop: Arc<AtomicBool>,
+    registry: Registry,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SessionServer {
+    /// Bind the listener and start the ingest thread pool. `oracle`
+    /// answers resume points at claim time (None ⇒ every claim is
+    /// treated as fresh).
+    pub fn bind(
+        cfg: SessionServerConfig,
+        oracle: Option<Arc<dyn ResumeOracle>>,
+    ) -> std::io::Result<SessionServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let counters = SessionCounters::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let registry: Registry = Arc::new(Mutex::new(BTreeMap::new()));
+        let (events_tx, events_rx) = unbounded::<ServerEvent>();
+        let threads_n = cfg.ingest_threads.max(1);
+        // Socket handoff channels, one per ingest thread; bounded so a
+        // stuck thread pushes accept pressure back onto the listener.
+        let mut handoff_txs: Vec<Sender<(u64, TcpStream)>> = Vec::with_capacity(threads_n);
+        let mut handoff_rxs: Vec<Receiver<(u64, TcpStream)>> = Vec::with_capacity(threads_n);
+        for _ in 0..threads_n {
+            let (tx, rx) = bounded(1024);
+            handoff_txs.push(tx);
+            handoff_rxs.push(rx);
+        }
+        let mut threads = Vec::with_capacity(threads_n);
+        for (t, handoff_rx) in handoff_rxs.into_iter().enumerate() {
+            let worker = IngestThread {
+                listener: if t == 0 { Some(listener.try_clone()?) } else { None },
+                handoff_txs: if t == 0 { handoff_txs.clone() } else { Vec::new() },
+                handoff_rx,
+                events_tx: events_tx.clone(),
+                counters: counters.clone(),
+                stop: stop.clone(),
+                registry: registry.clone(),
+                oracle: oracle.clone(),
+                cfg: cfg.clone(),
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("pg-ingest-{t}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn ingest thread"),
+            );
+        }
+        Ok(SessionServer {
+            local_addr,
+            counters,
+            events_rx,
+            stop,
+            registry,
+            threads,
+        })
+    }
+
+    /// Address the listener actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Shared session counters (telemetry / Prometheus / backpressure).
+    pub fn counters(&self) -> Arc<SessionCounters> {
+        self.counters.clone()
+    }
+
+    /// The global event stream consumed by the ingest bridge. The
+    /// receiver is cloneable (MPMC) but per-stream ordering is only
+    /// meaningful through a single consumer.
+    pub fn events(&self) -> Receiver<ServerEvent> {
+        self.events_rx.clone()
+    }
+
+    /// JSON snapshot of session state for the control endpoint:
+    /// aggregate gauges plus per-connection rows (capped at 2048).
+    pub fn control_json(&self) -> String {
+        let c = &self.counters;
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!(
+            "{{\"active\":{},\"peak_active\":{},\"accepted\":{},\"handshakes\":{},\
+             \"disconnects\":{},\"queue_depth\":{},\"sessions\":[",
+            c.active.load(Ordering::Relaxed),
+            c.peak_active.load(Ordering::Relaxed),
+            c.accepted.load(Ordering::Relaxed),
+            c.handshakes.load(Ordering::Relaxed),
+            c.disconnects.load(Ordering::Relaxed),
+            c.queue_depth.load(Ordering::Relaxed),
+        ));
+        let registry = self.registry.lock().expect("registry lock");
+        for (i, (conn_id, stat)) in registry.iter().take(2048).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let stream = stat.stream_id.load(Ordering::Relaxed);
+            let state = if stat.state.load(Ordering::Relaxed) == STATE_STREAMING {
+                "streaming"
+            } else {
+                "handshake"
+            };
+            out.push_str(&format!(
+                "{{\"conn_id\":{conn_id},\"stream_id\":{},\"state\":\"{state}\",\
+                 \"rounds_rx\":{},\"bytes_rx\":{}}}",
+                if stream == NO_STREAM {
+                    "null".to_string()
+                } else {
+                    stream.to_string()
+                },
+                stat.rounds_rx.load(Ordering::Relaxed),
+                stat.bytes_rx.load(Ordering::Relaxed),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Stop all ingest threads and close the listener.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SessionServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct IngestThread {
+    listener: Option<TcpListener>,
+    handoff_txs: Vec<Sender<(u64, TcpStream)>>,
+    handoff_rx: Receiver<(u64, TcpStream)>,
+    events_tx: Sender<ServerEvent>,
+    counters: Arc<SessionCounters>,
+    stop: Arc<AtomicBool>,
+    registry: Registry,
+    oracle: Option<Arc<dyn ResumeOracle>>,
+    cfg: SessionServerConfig,
+}
+
+const BACKOFF_MIN: Duration = Duration::from_micros(50);
+const BACKOFF_MAX: Duration = Duration::from_millis(2);
+/// Per-pass read buffer; sized so one busy connection cannot starve the
+/// rest of the readiness loop.
+const READ_CHUNK: usize = 64 * 1024;
+
+impl IngestThread {
+    fn run(self) {
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut next_accept_thread = 0usize;
+        let mut next_conn_id: u64 = 0;
+        let mut backoff = BACKOFF_MIN;
+        let mut scratch = vec![0u8; READ_CHUNK];
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let mut progress = false;
+
+            // Thread 0: drain the accept queue, round-robin sockets out.
+            if let Some(listener) = &self.listener {
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            progress = true;
+                            let active = self.counters.active.load(Ordering::Relaxed);
+                            if active as usize >= self.cfg.max_sessions {
+                                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                                let _ = (&stream).write_all(&reject_frame(1, "at capacity"));
+                                let _ = stream.shutdown(Shutdown::Both);
+                                continue;
+                            }
+                            let id = next_conn_id;
+                            next_conn_id += 1;
+                            self.counters.connection_opened();
+                            let t = next_accept_thread % self.handoff_txs.len();
+                            next_accept_thread += 1;
+                            if self.handoff_txs[t].send((id, stream)).is_err() {
+                                self.counters.connection_closed();
+                            }
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(_) => break,
+                    }
+                }
+            }
+
+            // Adopt sockets handed to this thread.
+            while let Ok((id, stream)) = self.handoff_rx.try_recv() {
+                progress = true;
+                if stream.set_nonblocking(true).is_err() {
+                    self.close_conn_pre_adopt(id);
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let stat = Arc::new(ConnStat {
+                    stream_id: AtomicU32::new(NO_STREAM),
+                    state: AtomicU8::new(STATE_HANDSHAKE),
+                    rounds_rx: AtomicU64::new(0),
+                    bytes_rx: AtomicU64::new(0),
+                });
+                self.registry
+                    .lock()
+                    .expect("registry lock")
+                    .insert(id, stat.clone());
+                conns.push(Conn {
+                    id,
+                    stream,
+                    machine: SessionMachine::new(),
+                    stat,
+                    last_activity: Instant::now(),
+                    events: Vec::new(),
+                    outbound: Vec::new(),
+                });
+            }
+
+            // Backpressure: if the bridge is behind, stop reading and let
+            // kernel TCP buffers push back on the clients.
+            let paused =
+                self.counters.queue_depth.load(Ordering::Relaxed) > self.cfg.queue_hi_watermark;
+            if paused && !conns.is_empty() {
+                self.counters
+                    .backpressure_pauses
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+
+            let now = Instant::now();
+            let mut closed: Vec<(usize, bool, String)> = Vec::new();
+            if !paused {
+                for (idx, conn) in conns.iter_mut().enumerate() {
+                    match Self::service_conn(
+                        conn,
+                        &mut scratch,
+                        &self.counters,
+                        &self.events_tx,
+                        self.oracle.as_deref(),
+                    ) {
+                        ConnOutcome::Idle => {
+                            if now.duration_since(conn.last_activity) > self.cfg.idle_timeout {
+                                closed.push((idx, false, "idle timeout".to_string()));
+                            }
+                        }
+                        ConnOutcome::Progress => progress = true,
+                        ConnOutcome::Closed { graceful, reason } => {
+                            progress = true;
+                            closed.push((idx, graceful, reason));
+                        }
+                    }
+                }
+            }
+            for (idx, graceful, reason) in closed.into_iter().rev() {
+                let conn = conns.swap_remove(idx);
+                self.retire_conn(conn, graceful, reason);
+            }
+
+            if progress {
+                backoff = BACKOFF_MIN;
+            } else {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(BACKOFF_MAX);
+            }
+        }
+        // Shutdown: close every connection this thread still owns.
+        for conn in conns.drain(..) {
+            self.retire_conn(conn, false, "server shutdown".to_string());
+        }
+    }
+
+    /// A socket that failed adoption: undo the accept-side bookkeeping.
+    fn close_conn_pre_adopt(&self, _id: u64) {
+        self.counters.connection_closed();
+    }
+
+    fn retire_conn(&self, conn: Conn, graceful: bool, reason: String) {
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        self.registry.lock().expect("registry lock").remove(&conn.id);
+        self.counters.connection_closed();
+        self.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let _ = self.events_tx.send(ServerEvent::SessionDown {
+            conn_id: conn.id,
+            stream_id: conn.machine.stream_id(),
+            graceful,
+            reason,
+        });
+    }
+
+    fn service_conn(
+        conn: &mut Conn,
+        scratch: &mut [u8],
+        counters: &SessionCounters,
+        events_tx: &Sender<ServerEvent>,
+        oracle: Option<&dyn ResumeOracle>,
+    ) -> ConnOutcome {
+        let n = match conn.stream.read(scratch) {
+            Ok(0) => {
+                return ConnOutcome::Closed {
+                    graceful: conn.machine.is_closed(),
+                    reason: "peer closed".to_string(),
+                }
+            }
+            Ok(n) => n,
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return ConnOutcome::Idle,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => return ConnOutcome::Idle,
+            Err(e) => {
+                return ConnOutcome::Closed {
+                    graceful: false,
+                    reason: format!("read error: {e}"),
+                }
+            }
+        };
+        conn.last_activity = Instant::now();
+        counters.bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
+        conn.stat.bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
+        conn.events.clear();
+        conn.outbound.clear();
+        if let Err(e) = conn.machine.feed(
+            &scratch[..n],
+            oracle,
+            &mut conn.events,
+            &mut conn.outbound,
+        ) {
+            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = conn.stream.write_all(&reject_frame(2, &e.to_string()));
+            return ConnOutcome::Closed {
+                graceful: false,
+                reason: format!("protocol error: {e}"),
+            };
+        }
+        counters
+            .frames_rx
+            .fetch_add(conn.events.len() as u64, Ordering::Relaxed);
+        let mut saw_bye = false;
+        for event in conn.events.drain(..) {
+            match event {
+                SessionEvent::Claimed { stream_id, resume } => {
+                    counters.handshakes.fetch_add(1, Ordering::Relaxed);
+                    if resume.next_round > 0 {
+                        counters.resumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    conn.stat.stream_id.store(stream_id, Ordering::Relaxed);
+                    conn.stat.state.store(STATE_STREAMING, Ordering::Relaxed);
+                    counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+                    let _ = events_tx.send(ServerEvent::SessionUp {
+                        conn_id: conn.id,
+                        stream_id,
+                        resumed: resume.next_round > 0,
+                    });
+                }
+                SessionEvent::Header { chunk } => {
+                    if let Some(stream_id) = conn.machine.stream_id() {
+                        counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+                        let _ = events_tx.send(ServerEvent::Header { stream_id, chunk });
+                    }
+                }
+                SessionEvent::Data { round, chunk } => {
+                    counters.data_chunks.fetch_add(1, Ordering::Relaxed);
+                    conn.stat.rounds_rx.fetch_add(1, Ordering::Relaxed);
+                    if let Some(stream_id) = conn.machine.stream_id() {
+                        counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+                        let _ = events_tx.send(ServerEvent::Data {
+                            stream_id,
+                            round,
+                            chunk,
+                        });
+                    }
+                }
+                SessionEvent::Keepalive => {
+                    counters.keepalives.fetch_add(1, Ordering::Relaxed);
+                }
+                SessionEvent::Bye => saw_bye = true,
+            }
+        }
+        // Handshake replies are tiny; a blocking-ish retry loop is fine.
+        if !conn.outbound.is_empty() && Self::write_all_retrying(conn).is_err() {
+            return ConnOutcome::Closed {
+                graceful: false,
+                reason: "write error".to_string(),
+            };
+        }
+        if saw_bye {
+            return ConnOutcome::Closed {
+                graceful: true,
+                reason: "bye".to_string(),
+            };
+        }
+        ConnOutcome::Progress
+    }
+
+    fn write_all_retrying(conn: &mut Conn) -> std::io::Result<()> {
+        let mut written = 0usize;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while written < conn.outbound.len() {
+            match conn.stream.write(&conn.outbound[written..]) {
+                Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+                Ok(n) => written += n,
+                Err(ref e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::Interrupted =>
+                {
+                    if Instant::now() > deadline {
+                        return Err(std::io::ErrorKind::TimedOut.into());
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+enum ConnOutcome {
+    Idle,
+    Progress,
+    Closed { graceful: bool, reason: String },
+}

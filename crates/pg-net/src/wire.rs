@@ -1,0 +1,267 @@
+//! Length-framed wire protocol for the live ingest plane.
+//!
+//! Every message on a session connection is a frame:
+//!
+//! ```text
+//! [len: u32 LE] [type: u8] [payload: len-1 bytes]
+//! ```
+//!
+//! `len` counts the type byte plus the payload, so an empty-payload frame
+//! has `len == 1`. The decoder materializes each payload exactly once as
+//! an owned `Vec<u8>` frozen into a refcounted [`Bytes`]; downstream
+//! consumers slice into it without copying, which keeps the parser→gate→
+//! decode path zero-copy end to end (`bytes::deep_copy_count()` audits
+//! this).
+//!
+//! Client→server frame types: HELLO, CLAIM, HEADER, DATA, KEEPALIVE, BYE.
+//! Server→client: HELLO_ACK, CLAIM_ACK, REJECT. Payload layouts are
+//! documented on the constructor helpers below; all integers are
+//! little-endian.
+
+use bytes::Bytes;
+
+/// Magic number opening every HELLO payload: ASCII "PGL1".
+pub const MAGIC: u32 = 0x5047_4c31;
+/// Protocol version carried in HELLO / HELLO_ACK.
+pub const VERSION: u16 = 1;
+/// Hard cap on `len`; anything larger is a protocol error and the
+/// connection is rejected before allocating.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Client→server: session hello. Payload: magic u32, version u16.
+pub const FT_HELLO: u8 = 0x01;
+/// Client→server: claim a stream id. Payload: stream_id u32, resume_hint u64.
+pub const FT_CLAIM: u8 = 0x02;
+/// Client→server: stream header bytes (the pg-codec stream preamble).
+pub const FT_HEADER: u8 = 0x03;
+/// Client→server: one round of framed bitstream. Payload: round u64, chunk.
+pub const FT_DATA: u8 = 0x04;
+/// Client→server: liveness ping; empty payload.
+pub const FT_KEEPALIVE: u8 = 0x05;
+/// Client→server: graceful goodbye; empty payload.
+pub const FT_BYE: u8 = 0x06;
+/// Server→client: hello accepted. Payload: version u16.
+pub const FT_HELLO_ACK: u8 = 0x81;
+/// Server→client: claim accepted. Payload: stream_id u32,
+/// header_needed u8, next_round u64.
+pub const FT_CLAIM_ACK: u8 = 0x82;
+/// Server→client: connection refused. Payload: code u8, utf-8 message.
+pub const FT_REJECT: u8 = 0x83;
+
+/// Encode one frame (header + type + payload) into a fresh buffer.
+pub fn encode_frame(frame_type: u8, payload: &[u8]) -> Vec<u8> {
+    let len = payload.len() + 1;
+    debug_assert!(len <= MAX_FRAME, "frame payload exceeds MAX_FRAME");
+    let mut out = Vec::with_capacity(4 + len);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(frame_type);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Append one frame to an existing buffer (batched client writes).
+pub fn encode_frame_into(out: &mut Vec<u8>, frame_type: u8, payload: &[u8]) {
+    let len = payload.len() + 1;
+    debug_assert!(len <= MAX_FRAME, "frame payload exceeds MAX_FRAME");
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(frame_type);
+    out.extend_from_slice(payload);
+}
+
+/// Errors the frame decoder can surface; all of them are fatal for the
+/// connection that produced the bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame length field exceeded [`MAX_FRAME`] (or was zero).
+    BadLength(u32),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadLength(len) => write!(f, "bad frame length {len}"),
+        }
+    }
+}
+
+enum DecodeState {
+    /// Accumulating the 5-byte header (len u32 + type u8).
+    Header,
+    /// Filling the payload buffer for a known frame type.
+    Body { frame_type: u8, need: usize },
+}
+
+/// Incremental frame decoder: push raw socket bytes, pop whole frames.
+///
+/// Each completed payload is handed out as `Bytes` built from an
+/// exact-size `Vec` — one materialization per frame, zero deep copies
+/// afterwards.
+pub struct FrameDecoder {
+    state: DecodeState,
+    header: [u8; 5],
+    header_len: usize,
+    body: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// Fresh decoder expecting a frame header.
+    pub fn new() -> Self {
+        FrameDecoder {
+            state: DecodeState::Header,
+            header: [0; 5],
+            header_len: 0,
+            body: Vec::new(),
+        }
+    }
+
+    /// Consume `input`, appending every completed `(type, payload)` frame
+    /// to `out`. Returns an error on a malformed length field; the
+    /// decoder must be discarded (along with the connection) after that.
+    pub fn push(&mut self, mut input: &[u8], out: &mut Vec<(u8, Bytes)>) -> Result<(), WireError> {
+        while !input.is_empty() {
+            match &mut self.state {
+                DecodeState::Header => {
+                    let take = (5 - self.header_len).min(input.len());
+                    self.header[self.header_len..self.header_len + take]
+                        .copy_from_slice(&input[..take]);
+                    self.header_len += take;
+                    input = &input[take..];
+                    if self.header_len == 5 {
+                        let len = u32::from_le_bytes([
+                            self.header[0],
+                            self.header[1],
+                            self.header[2],
+                            self.header[3],
+                        ]);
+                        if len == 0 || len as usize > MAX_FRAME {
+                            return Err(WireError::BadLength(len));
+                        }
+                        let frame_type = self.header[4];
+                        let need = len as usize - 1;
+                        self.header_len = 0;
+                        if need == 0 {
+                            out.push((frame_type, Bytes::new()));
+                        } else {
+                            self.body = Vec::with_capacity(need);
+                            self.state = DecodeState::Body { frame_type, need };
+                        }
+                    }
+                }
+                DecodeState::Body { frame_type, need } => {
+                    let take = (*need - self.body.len()).min(input.len());
+                    self.body.extend_from_slice(&input[..take]);
+                    input = &input[take..];
+                    if self.body.len() == *need {
+                        let ft = *frame_type;
+                        let payload = Bytes::from(std::mem::take(&mut self.body));
+                        out.push((ft, payload));
+                        self.state = DecodeState::Header;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Build a HELLO payload.
+pub fn hello_payload() -> Vec<u8> {
+    let mut p = Vec::with_capacity(6);
+    p.extend_from_slice(&MAGIC.to_le_bytes());
+    p.extend_from_slice(&VERSION.to_le_bytes());
+    p
+}
+
+/// Build a CLAIM payload.
+pub fn claim_payload(stream_id: u32, resume_hint: u64) -> Vec<u8> {
+    let mut p = Vec::with_capacity(12);
+    p.extend_from_slice(&stream_id.to_le_bytes());
+    p.extend_from_slice(&resume_hint.to_le_bytes());
+    p
+}
+
+/// Build a DATA payload prefix (round tag); the chunk bytes follow.
+pub fn data_payload(round: u64, chunk: &[u8]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(8 + chunk.len());
+    p.extend_from_slice(&round.to_le_bytes());
+    p.extend_from_slice(chunk);
+    p
+}
+
+/// Read a little-endian u32 from the front of a payload.
+pub fn read_u32(payload: &[u8]) -> Option<u32> {
+    payload
+        .get(..4)
+        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+/// Read a little-endian u64 starting at `offset`.
+pub fn read_u64(payload: &[u8], offset: usize) -> Option<u64> {
+    payload.get(offset..offset + 8).map(|b| {
+        u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_frames_across_arbitrary_splits() {
+        let frames = vec![
+            (FT_HELLO, hello_payload()),
+            (FT_CLAIM, claim_payload(7, 42)),
+            (FT_DATA, data_payload(3, &[1, 2, 3, 4, 5])),
+            (FT_KEEPALIVE, Vec::new()),
+            (FT_BYE, Vec::new()),
+        ];
+        let mut stream = Vec::new();
+        for (t, p) in &frames {
+            encode_frame_into(&mut stream, *t, p);
+        }
+        // Feed the byte stream in every possible single split point.
+        for cut in 0..=stream.len() {
+            let mut dec = FrameDecoder::new();
+            let mut out = Vec::new();
+            dec.push(&stream[..cut], &mut out).unwrap();
+            dec.push(&stream[cut..], &mut out).unwrap();
+            assert_eq!(out.len(), frames.len(), "split at {cut}");
+            for ((t, p), (dt, dp)) in frames.iter().zip(&out) {
+                assert_eq!(t, dt);
+                assert_eq!(&p[..], &dp[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        let mut bad = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        bad.push(FT_DATA);
+        assert!(dec.push(&bad, &mut out).is_err());
+        let mut dec = FrameDecoder::new();
+        let zero = [0u8, 0, 0, 0, FT_DATA];
+        assert!(dec.push(&zero, &mut out).is_err());
+    }
+
+    #[test]
+    fn payload_materialization_is_zero_copy() {
+        let before = bytes::deep_copy_count();
+        let mut stream = Vec::new();
+        encode_frame_into(&mut stream, FT_DATA, &data_payload(0, &[9; 512]));
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        dec.push(&stream, &mut out).unwrap();
+        let (_, payload) = &out[0];
+        let chunk = payload.slice(8..);
+        assert_eq!(chunk.len(), 512);
+        assert_eq!(bytes::deep_copy_count(), before, "no Bytes deep copies");
+    }
+}

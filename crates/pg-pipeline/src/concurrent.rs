@@ -66,16 +66,17 @@
 //! available via [`ConcurrentConfig::faults`].
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 
 use pg_codec::{
-    serialize_stream_chunks, CostModel, DependencyTracker, Encoder, EncoderConfig, Packet,
-    PacketParser,
+    CostModel, DependencyTracker, EncoderConfig, Packet, PacketParser,
 };
-use pg_scene::{generator_for, TaskKind};
+use pg_scene::TaskKind;
 
 use crate::fault::{
     push_fault, FaultPlan, FaultRecord, HealthSummary, PipelineError, QuarantineConfig,
@@ -316,10 +317,25 @@ impl ConcurrentReport {
     /// Nearest-rank percentile (`pct` in [0, 100]) of the per-round wall
     /// latency. `Duration::ZERO` when no rounds ran.
     pub fn round_latency_percentile(&self, pct: f64) -> Duration {
-        if self.round_latency_us.is_empty() {
+        self.round_latency_percentile_after(0, pct)
+    }
+
+    /// Nearest-rank percentile over the rounds *after* a warmup prefix.
+    /// The first rounds of a run pay one-off costs (thread spin-up, cold
+    /// channels, store/tracker allocation) that can skew p99 by an order
+    /// of magnitude; excluding them measures steady state. Falls back to
+    /// the full distribution when fewer than `warmup + 1` rounds ran.
+    pub fn round_latency_percentile_after(&self, warmup: usize, pct: f64) -> Duration {
+        let lat = &self.round_latency_us;
+        if lat.is_empty() {
             return Duration::ZERO;
         }
-        let mut sorted = self.round_latency_us.clone();
+        let tail = if warmup < lat.len() {
+            &lat[warmup..]
+        } else {
+            &lat[..]
+        };
+        let mut sorted = tail.to_vec();
         sorted.sort_unstable();
         let rank = (pct.clamp(0.0, 100.0) / 100.0 * (sorted.len() - 1) as f64).round() as usize;
         Duration::from_micros(sorted[rank.min(sorted.len() - 1)])
@@ -382,6 +398,65 @@ impl ShardBatch {
     }
 }
 
+/// Where a [`ChunkSource`] delivers byte chunks into the runtime.
+///
+/// The sink owns the producer ends of the per-shard chunk channels plus a
+/// clone of the fault channel, so a source is the *only* producer: when
+/// its `run` returns and the sink drops, the parser shards see end of
+/// input and the pipeline drains. `deliver` routes by the same stable
+/// stream→shard hash the gate uses for coverage.
+pub struct IngestSink {
+    txs: Vec<Sender<(usize, u64, Bytes)>>,
+    shard_map: Vec<usize>,
+    fault_tx: Sender<PipelineError>,
+    stop: Arc<AtomicBool>,
+    streams: usize,
+    rounds: u64,
+}
+
+impl IngestSink {
+    /// Number of streams the pipeline expects.
+    pub fn streams(&self) -> usize {
+        self.streams
+    }
+
+    /// Number of rounds the pipeline will run.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Deliver one chunk for `(stream, round)`. Blocks while the shard
+    /// channel is full (natural backpressure). Returns `false` when the
+    /// chunk cannot be delivered — out-of-range stream, or the pipeline
+    /// already tore down — in which case the source should wind down.
+    pub fn deliver(&self, stream: usize, round: u64, chunk: Bytes) -> bool {
+        let Some(&shard) = self.shard_map.get(stream) else {
+            return false;
+        };
+        self.txs[shard].send((stream, round, chunk)).is_ok()
+    }
+
+    /// Report a classified fault into the gate's fault channel.
+    pub fn fault(&self, error: PipelineError) {
+        let _ = self.fault_tx.send(error);
+    }
+
+    /// Whether the pipeline finished its rounds (the source should exit).
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+/// A pluggable chunk producer for [`ConcurrentPipeline::run_with_source`]:
+/// the in-process seeded producer and the live TCP ingest bridge
+/// ([`crate::ingest::NetIngestSource`]) both implement this, so the
+/// parser→gate→decode core is identical no matter where bytes come from.
+pub trait ChunkSource: Send {
+    /// Produce chunks into `sink` until input is exhausted or
+    /// [`IngestSink::stopped`] turns true. Runs on a dedicated thread.
+    fn run(self: Box<Self>, sink: IngestSink);
+}
+
 /// The concurrent pipeline runner.
 pub struct ConcurrentPipeline {
     config: ConcurrentConfig,
@@ -420,8 +495,47 @@ impl ConcurrentPipeline {
         })
     }
 
-    /// Run to completion under `gate`.
+    /// Like [`ConcurrentPipeline::run_with_source`], with the same
+    /// panic-to-`Err` conversion as [`ConcurrentPipeline::try_run`].
+    pub fn try_run_with_source(
+        &self,
+        gate: &mut dyn GatePolicy,
+        source: Box<dyn ChunkSource + '_>,
+    ) -> Result<ConcurrentReport, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            self.run_with_source(gate, source)
+        }))
+        .map_err(|e| {
+            e.downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| e.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "pipeline panicked".to_string())
+        })
+    }
+
+    /// Run to completion under `gate`, fed by the in-process seeded
+    /// producer.
     pub fn run(&self, gate: &mut dyn GatePolicy) -> ConcurrentReport {
+        self.run_inner(gate, None)
+    }
+
+    /// Run to completion under `gate`, fed by an external [`ChunkSource`]
+    /// (e.g. the live TCP ingest bridge). The source runs on the producer
+    /// thread; when the gate finishes its rounds the sink's stop flag is
+    /// raised so a long-lived source knows to wind down.
+    pub fn run_with_source(
+        &self,
+        gate: &mut dyn GatePolicy,
+        source: Box<dyn ChunkSource + '_>,
+    ) -> ConcurrentReport {
+        self.run_inner(gate, Some(source))
+    }
+
+    fn run_inner(
+        &self,
+        gate: &mut dyn GatePolicy,
+        source: Option<Box<dyn ChunkSource + '_>>,
+    ) -> ConcurrentReport {
         let cfg = &self.config;
         let m = cfg.streams;
         let shards = cfg.effective_shards();
@@ -448,10 +562,24 @@ impl ConcurrentPipeline {
         // fault report can never block a stage against a finished gate.
         let (fault_tx, fault_rx) = unbounded::<PipelineError>();
 
+        // Raised once the gate finishes its rounds, so a long-lived
+        // external source (a session server) knows to wind down instead
+        // of blocking on channels nobody drains.
+        let stop = Arc::new(AtomicBool::new(false));
+        let sink = IngestSink {
+            txs: chunk_txs,
+            shard_map: (0..m).map(|i| shard_of(i, shards)).collect(),
+            fault_tx: fault_tx.clone(),
+            stop: stop.clone(),
+            streams: m,
+            rounds: cfg.rounds,
+        };
+
         std::thread::scope(|scope| {
-            // ---------------- producer ----------------
-            let producer_handle = scope.spawn(move || {
-                producer(cfg, chunk_txs, shards);
+            // ---------------- producer / chunk source ----------------
+            let producer_handle = scope.spawn(move || match source {
+                None => producer(cfg, sink),
+                Some(src) => src.run(sink),
             });
 
             // ---------------- parser shards ----------------
@@ -514,6 +642,8 @@ impl ConcurrentPipeline {
                     &self.telemetry,
                 )
             }));
+            // Tell a long-lived source the run is over before joining it.
+            stop.store(true, Ordering::SeqCst);
             // End of input for the decode pool: workers drain every queued
             // job, then exit.
             pool.close();
@@ -591,52 +721,45 @@ impl ConcurrentPipeline {
     }
 }
 
-fn producer(cfg: &ConcurrentConfig, chunk_txs: Vec<Sender<(usize, u64, Bytes)>>, shards: usize) {
-    let mut encoders: Vec<Encoder> = (0..cfg.streams)
-        .map(|i| Encoder::for_stream(cfg.encoder, cfg.seed, i as u32))
+fn producer(cfg: &ConcurrentConfig, sink: IngestSink) {
+    use crate::ingest::StreamFeed;
+    let mut feeds: Vec<StreamFeed> = (0..cfg.streams)
+        .map(|i| StreamFeed::new(cfg.task, cfg.encoder, cfg.seed, i))
         .collect();
-    let mut generators: Vec<_> = (0..cfg.streams)
-        .map(|i| {
-            generator_for(
-                cfg.task,
-                pg_scene::rng::mix(cfg.seed, i as u64),
-                cfg.encoder.fps,
-            )
-        })
-        .collect();
-    let shard_map: Vec<usize> = (0..cfg.streams).map(|i| shard_of(i, shards)).collect();
     // First send each stream's header, tagged round 0 so it lands in the
     // same batch as the stream's first packet.
-    for i in 0..cfg.streams {
-        let mut chunk = serialize_stream_chunks::header_bytes(i as u32, &cfg.encoder);
-        cfg.faults.corrupt_header(i, &mut chunk);
-        if chunk_txs[shard_map[i]]
-            .send((i, 0, Bytes::from(chunk)))
-            .is_err()
-        {
+    for (i, feed) in feeds.iter().enumerate() {
+        if !sink.deliver(i, 0, Bytes::from(feed.header_chunk(&cfg.faults))) {
             return;
         }
     }
     for round in 0..cfg.rounds {
-        for i in 0..cfg.streams {
-            let frame = generators[i].next_frame();
-            let packet = encoders[i].encode(&frame);
-            let mut chunk = serialize_stream_chunks::packet_bytes(&packet);
-            cfg.faults.corrupt_chunk(i, round, &mut chunk);
-            if chunk_txs[shard_map[i]]
-                .send((i, round, Bytes::from(chunk)))
-                .is_err()
-            {
+        for (i, feed) in feeds.iter_mut().enumerate() {
+            if !sink.deliver(i, round, Bytes::from(feed.next_chunk(round, &cfg.faults))) {
                 return;
             }
         }
     }
 }
 
-/// One parser shard: parses its streams' chunks and emits one
-/// [`ShardBatch`] per producer round. The batch for round `r` is flushed
-/// when the first chunk tagged `> r` arrives (producer tags are
-/// non-decreasing within a shard channel), or at end of input.
+/// How long a parser shard waits on an empty chunk channel before
+/// flushing every open batch. Network-fed streams progress at different
+/// rates, so a batch can't wait for a "next round" chunk that may be
+/// minutes away; the in-process producer outruns this timeout and never
+/// triggers it on the hot path.
+const PARSER_IDLE_FLUSH: Duration = Duration::from_millis(2);
+
+/// One parser shard: parses its streams' chunks into per-round
+/// [`ShardBatch`]es. With the in-process producer, round tags on a shard
+/// channel are non-decreasing and a round's batch is flushed when the
+/// first higher-tagged chunk arrives — one batch per shard per round,
+/// exactly as before. A network source interleaves streams at different
+/// rounds (a reconnecting stream replays old rounds while its neighbours
+/// are far ahead), so batches are kept per round in a map: any open batch
+/// older than the newest tag seen is flushed immediately, and an idle
+/// channel flushes everything. The gate parks and canonically re-sorts
+/// batches per round, so splitting a round across several batches is
+/// invisible in the results.
 fn shard_parser_stage(
     shard: usize,
     m: usize,
@@ -648,64 +771,91 @@ fn shard_parser_stage(
     let mut dead = vec![false; m];
     let mut packets = 0u64;
     let mut bytes = 0u64;
-    let mut batch = ShardBatch::new(shard, 0);
-    while let Ok((i, round, chunk)) = chunk_rx.recv() {
-        if round > batch.round {
-            if batch.is_empty() {
-                batch.round = round;
-            } else {
-                let full = std::mem::replace(&mut batch, ShardBatch::new(shard, round));
-                if batch_tx.send(full).is_err() {
+    let mut open: BTreeMap<u64, ShardBatch> = BTreeMap::new();
+    let mut max_round_seen = 0u64;
+    // Flush every open batch with round < `below` (ascending). Returns
+    // false when the gate hung up.
+    let flush_below = |open: &mut BTreeMap<u64, ShardBatch>, below: u64| -> bool {
+        while let Some(entry) = open.first_entry() {
+            if *entry.key() >= below {
+                break;
+            }
+            let batch = entry.remove();
+            if !batch.is_empty() && batch_tx.send(batch).is_err() {
+                return false;
+            }
+        }
+        true
+    };
+    loop {
+        let (i, round, chunk) = match chunk_rx.recv_timeout(PARSER_IDLE_FLUSH) {
+            Ok(msg) => msg,
+            Err(RecvTimeoutError::Timeout) => {
+                if !flush_below(&mut open, u64::MAX) {
                     return (packets, bytes);
                 }
+                continue;
             }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        if round > max_round_seen {
+            max_round_seen = round;
         }
         bytes += chunk.len() as u64;
-        if dead[i] {
-            // Unrecoverable stream (destroyed header): its bytes can never
-            // be framed, so drop them instead of growing the buffer.
-            continue;
-        }
-        let parse_timer = telemetry.timer();
-        parsers[i].push_shared(chunk);
-        let mut chunk_packets = 0u64;
-        loop {
-            match parsers[i].next_packet() {
-                Ok(Some(p)) => {
-                    chunk_packets += 1;
-                    batch.stream_idx.push(i as u32);
-                    batch.packets.push(p);
-                }
-                Ok(None) => break,
-                Err(e) => {
-                    // A destroyed header is fatal: the stream can never be
-                    // identified. Record damage (the missing packets
-                    // surface as sequence gaps at the gate) and resync.
-                    let fatal = parsers[i].header().is_none();
-                    let error = PipelineError::ParseCorrupt {
-                        stream_idx: i,
-                        offset: e.offset(),
-                        reason: e.to_string(),
-                    };
-                    batch.faults.push(BatchFault {
-                        stream_idx: i,
-                        error,
-                        fatal,
-                    });
-                    if fatal {
-                        dead[i] = true;
-                        break;
+        if !dead[i] {
+            let parse_timer = telemetry.timer();
+            parsers[i].push_shared(chunk);
+            let mut chunk_packets = 0u64;
+            let batch = open
+                .entry(round)
+                .or_insert_with(|| ShardBatch::new(shard, round));
+            loop {
+                match parsers[i].next_packet() {
+                    Ok(Some(p)) => {
+                        chunk_packets += 1;
+                        batch.stream_idx.push(i as u32);
+                        batch.packets.push(p);
                     }
-                    parsers[i].resync();
+                    Ok(None) => break,
+                    Err(e) => {
+                        // A destroyed header is fatal: the stream can
+                        // never be identified. Record damage (the missing
+                        // packets surface as sequence gaps at the gate)
+                        // and resync.
+                        let fatal = parsers[i].header().is_none();
+                        let error = PipelineError::ParseCorrupt {
+                            stream_idx: i,
+                            offset: e.offset(),
+                            reason: e.to_string(),
+                        };
+                        batch.faults.push(BatchFault {
+                            stream_idx: i,
+                            error,
+                            fatal,
+                        });
+                        if fatal {
+                            dead[i] = true;
+                            break;
+                        }
+                        parsers[i].resync();
+                    }
                 }
             }
+            if batch.is_empty() {
+                // A header-only chunk opened no batch worth keeping.
+                open.remove(&round);
+            }
+            telemetry.record(Stage::Parse, chunk_packets, parse_timer);
+            packets += chunk_packets;
         }
-        telemetry.record(Stage::Parse, chunk_packets, parse_timer);
-        packets += chunk_packets;
+        // Anything older than the newest tag is complete as far as this
+        // shard can know — ship it so the gate never waits on a batch
+        // that has no "next round" chunk coming to push it out.
+        if !flush_below(&mut open, max_round_seen) {
+            return (packets, bytes);
+        }
     }
-    if !batch.is_empty() {
-        let _ = batch_tx.send(batch);
-    }
+    flush_below(&mut open, u64::MAX);
     (packets, bytes)
 }
 
@@ -786,6 +936,14 @@ struct GateIngest {
     shard_progress: Vec<Option<u64>>,
     /// Stream → shard assignment.
     shard_map: Vec<usize>,
+    /// Per-stream: the link feeding this stream is presumed stalled — a
+    /// stall timeout fired while the stream was uncovered. A stalled
+    /// stream counts as covered for every later round, so a network
+    /// client that died costs the pipeline at most one stall timeout
+    /// instead of one per round. Cleared the instant packets for the
+    /// stream arrive again (e.g. a reconnect), restoring the normal
+    /// coverage rules.
+    link_stalled: Vec<bool>,
     /// All parser shards hung up (end of input or parser death).
     closed: bool,
 }
@@ -798,6 +956,7 @@ impl GateIngest {
     fn covered(&self, i: usize, round: u64, health: &StreamHealth) -> bool {
         self.closed
             || health.is_dead(i)
+            || self.link_stalled[i]
             || self.fault_cover[i].is_some_and(|c| c >= round)
             || (self.max_seen[i].is_some_and(|s| s >= round)
                 && self.shard_progress[self.shard_map[i]].is_some_and(|p| p >= round))
@@ -821,6 +980,7 @@ impl GateIngest {
         raise(&mut self.shard_progress[batch.shard], batch.round);
         for (k, p) in batch.packets.iter().enumerate() {
             let i = batch.stream_idx[k] as usize;
+            self.link_stalled[i] = false;
             if p.meta.seq < rounds_limit {
                 raise(&mut self.max_seen[i], p.meta.seq);
             } else {
@@ -899,6 +1059,7 @@ fn gate_stage(
         fault_cover: vec![None; m],
         shard_progress: vec![None; shards],
         shard_map: (0..m).map(|i| shard_of(i, shards)).collect(),
+        link_stalled: vec![false; m],
         closed: false,
     };
     // Batches received but not yet processed, keyed by producer round.
@@ -954,6 +1115,7 @@ fn gate_stage(
                                 reason: "stream stalled (no parser output)".to_string(),
                             };
                             raise(&mut ingest.fault_cover[i], round);
+                            ingest.link_stalled[i] = true;
                             note_fault(&mut faults, &mut health, &error, round, true);
                         }
                     }

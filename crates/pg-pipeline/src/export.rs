@@ -176,7 +176,100 @@ pub fn prometheus_exposition(snapshot: &TelemetrySnapshot) -> String {
     if let Some(insight) = &snapshot.insight {
         render_insight(&mut out, insight);
     }
+    if let Some(ingest) = &snapshot.ingest {
+        render_ingest(&mut out, ingest);
+    }
     out
+}
+
+fn render_ingest(out: &mut String, ingest: &crate::telemetry::IngestSnapshot) {
+    let counters: [(&str, &str, u64); 11] = [
+        (
+            "pg_ingest_sessions_accepted_total",
+            "TCP ingest connections accepted.",
+            ingest.accepted,
+        ),
+        (
+            "pg_ingest_handshakes_total",
+            "Ingest connections that completed the session handshake.",
+            ingest.handshakes,
+        ),
+        (
+            "pg_ingest_resumed_total",
+            "Handshakes that resumed an already-started stream.",
+            ingest.resumed,
+        ),
+        (
+            "pg_ingest_disconnects_total",
+            "Ingest connections that ended.",
+            ingest.disconnects,
+        ),
+        (
+            "pg_ingest_rejected_total",
+            "Ingest connections refused at capacity.",
+            ingest.rejected,
+        ),
+        (
+            "pg_ingest_protocol_errors_total",
+            "Sessions dropped for protocol violations.",
+            ingest.protocol_errors,
+        ),
+        (
+            "pg_ingest_bytes_rx_total",
+            "Raw bytes read off ingest sockets.",
+            ingest.bytes_rx,
+        ),
+        (
+            "pg_ingest_frames_rx_total",
+            "Whole session frames decoded.",
+            ingest.frames_rx,
+        ),
+        (
+            "pg_ingest_data_chunks_total",
+            "DATA frames decoded into bitstream chunks.",
+            ingest.data_chunks,
+        ),
+        (
+            "pg_ingest_keepalives_total",
+            "KEEPALIVE frames received.",
+            ingest.keepalives,
+        ),
+        (
+            "pg_ingest_backpressure_pauses_total",
+            "Read-loop passes skipped under queue backpressure.",
+            ingest.backpressure_pauses,
+        ),
+    ];
+    for (name, help, value) in counters {
+        family(out, name, help, "counter");
+        sample(out, name, &[], value as f64);
+    }
+    family(
+        out,
+        "pg_ingest_sessions_active",
+        "Currently open ingest connections.",
+        "gauge",
+    );
+    sample(out, "pg_ingest_sessions_active", &[], ingest.active as f64);
+    family(
+        out,
+        "pg_ingest_sessions_peak",
+        "High-water mark of concurrently open ingest connections.",
+        "gauge",
+    );
+    sample(
+        out,
+        "pg_ingest_sessions_peak",
+        &[],
+        ingest.peak_active as f64,
+    );
+    family(
+        out,
+        "pg_ingest_queue_depth",
+        "Session events queued to the ingest bridge but not yet consumed.",
+        "gauge",
+    );
+    sample(out, "pg_ingest_queue_depth", &[], ingest.queue_depth as f64);
 }
 
 fn render_insight(out: &mut String, insight: &InsightSnapshot) {
@@ -534,6 +627,24 @@ mod tests {
     use crate::insight::{Insight, PacketOutcome, RoundOutcome, SelectionEntry};
     use crate::telemetry::{Stage, Telemetry};
     use std::time::Duration;
+
+    #[test]
+    fn ingest_counters_join_the_exposition() {
+        let counters = pg_net::SessionCounters::new();
+        counters.connection_opened();
+        counters.connection_opened();
+        counters
+            .bytes_rx
+            .store(4096, std::sync::atomic::Ordering::Relaxed);
+        let telemetry = Telemetry::enabled().with_ingest(counters);
+        let snapshot = telemetry.snapshot().expect("snapshot");
+        let text = prometheus_exposition(&snapshot);
+        validate_exposition(&text).expect("valid exposition");
+        assert!(text.contains("pg_ingest_sessions_accepted_total 2"), "{text}");
+        assert!(text.contains("pg_ingest_sessions_active 2"), "{text}");
+        assert!(text.contains("pg_ingest_sessions_peak 2"), "{text}");
+        assert!(text.contains("pg_ingest_bytes_rx_total 4096"), "{text}");
+    }
 
     fn populated_snapshot() -> TelemetrySnapshot {
         let telemetry = Telemetry::enabled().with_insight(Insight::enabled());

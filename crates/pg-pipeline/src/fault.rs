@@ -72,6 +72,18 @@ pub enum PipelineError {
         /// Whatever could be recovered about the cause.
         detail: String,
     },
+    /// A live ingest connection feeding one stream dropped abruptly (no
+    /// BYE). The stream is degraded, not dead: a reconnect within the
+    /// gate's grace window resumes it without a round gap, otherwise the
+    /// stall/quarantine lifecycle takes over.
+    ConnectionLost {
+        /// Stream whose feeding connection dropped.
+        stream_idx: usize,
+        /// First round not yet ingested when the link went down.
+        round: u64,
+        /// Close reason from the session server.
+        detail: String,
+    },
 }
 
 impl PipelineError {
@@ -83,6 +95,7 @@ impl PipelineError {
             PipelineError::DecodeFail { .. } => FaultKind::DecodeFail,
             PipelineError::FeedbackLost { .. } => FaultKind::FeedbackLost,
             PipelineError::StageDown { .. } => FaultKind::StageDown,
+            PipelineError::ConnectionLost { .. } => FaultKind::ConnectionLost,
         }
     }
 
@@ -92,7 +105,8 @@ impl PipelineError {
             PipelineError::ParseCorrupt { stream_idx, .. }
             | PipelineError::DependencyViolation { stream_idx, .. }
             | PipelineError::DecodeFail { stream_idx, .. }
-            | PipelineError::FeedbackLost { stream_idx, .. } => Some(*stream_idx),
+            | PipelineError::FeedbackLost { stream_idx, .. }
+            | PipelineError::ConnectionLost { stream_idx, .. } => Some(*stream_idx),
             PipelineError::StageDown { .. } => None,
         }
     }
@@ -113,6 +127,9 @@ impl PipelineError {
             PipelineError::DecodeFail { round, detail, .. } => (Some(*round), detail.clone()),
             PipelineError::FeedbackLost { round, .. } => (Some(*round), String::new()),
             PipelineError::StageDown { stage, detail } => (None, format!("{stage}: {detail}")),
+            PipelineError::ConnectionLost { round, detail, .. } => {
+                (Some(*round), detail.clone())
+            }
         };
         FaultRecord {
             kind: self.kind().name().to_string(),
@@ -159,13 +176,21 @@ impl fmt::Display for PipelineError {
             PipelineError::StageDown { stage, detail } => {
                 write!(f, "stage {stage} down: {detail}")
             }
+            PipelineError::ConnectionLost {
+                stream_idx,
+                round,
+                detail,
+            } => write!(
+                f,
+                "stream {stream_idx}: ingest connection lost before round {round}: {detail}"
+            ),
         }
     }
 }
 
 impl std::error::Error for PipelineError {}
 
-/// The five fault classes of the taxonomy, as a flat tag.
+/// The six fault classes of the taxonomy, as a flat tag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum FaultKind {
     /// Damaged bitstream (header or record level).
@@ -178,6 +203,8 @@ pub enum FaultKind {
     FeedbackLost,
     /// A stage thread died.
     StageDown,
+    /// A live ingest connection dropped abruptly.
+    ConnectionLost,
 }
 
 impl FaultKind {
@@ -189,6 +216,7 @@ impl FaultKind {
             FaultKind::DecodeFail => "decode_fail",
             FaultKind::FeedbackLost => "feedback_lost",
             FaultKind::StageDown => "stage_down",
+            FaultKind::ConnectionLost => "connection_lost",
         }
     }
 }

@@ -21,6 +21,7 @@ pub mod concurrent;
 pub mod export;
 pub mod fault;
 pub mod gate;
+pub mod ingest;
 pub mod insight;
 pub mod metrics;
 pub mod netround;
@@ -31,13 +32,19 @@ pub mod steal;
 pub mod telemetry;
 
 pub use budget::RoundBudget;
-pub use concurrent::{ConcurrentPipeline, ConcurrentReport, DecodeWorkModel, WorkKind};
+pub use concurrent::{
+    ChunkSource, ConcurrentPipeline, ConcurrentReport, DecodeWorkModel, IngestSink, WorkKind,
+};
 pub use export::{prometheus_exposition, validate_exposition};
 pub use fault::{
     ChunkFaultMode, FaultKind, FaultPlan, FaultRecord, HealthSummary, PipelineError,
     QuarantineConfig, StreamHealth,
 };
 pub use gate::{FeedbackEvent, GatePolicy, PacketContext};
+pub use ingest::{
+    ChurnEvent, ChurnPlan, FleetConfig, FleetReport, IngestControl, LoopbackFleet,
+    NetIngestSource, StreamFeed,
+};
 pub use insight::{
     Insight, InsightConfig, InsightSnapshot, Lemma1Snapshot, PacketOutcome, PageHinkley,
     RegretSnapshot, RoundOutcome, SelectionEntry,
@@ -47,4 +54,6 @@ pub use netround::{NetworkedRoundSimulator, NetworkedSimReport};
 pub use replay::ReplaySimulator;
 pub use round::{RoundSimulator, SimConfig, StreamSpec};
 pub use search::max_streams_at_accuracy;
-pub use telemetry::{AuditReason, GateAuditEntry, Stage, Telemetry, TelemetrySnapshot};
+pub use telemetry::{
+    AuditReason, GateAuditEntry, IngestSnapshot, Stage, Telemetry, TelemetrySnapshot,
+};

@@ -198,13 +198,14 @@ impl AuditRing {
     }
 }
 
-/// All five fault kinds, in ledger order.
-const FAULT_KINDS: [FaultKind; 5] = [
+/// All six fault kinds, in ledger order.
+const FAULT_KINDS: [FaultKind; 6] = [
     FaultKind::ParseCorrupt,
     FaultKind::DependencyViolation,
     FaultKind::DecodeFail,
     FaultKind::FeedbackLost,
     FaultKind::StageDown,
+    FaultKind::ConnectionLost,
 ];
 
 fn fault_kind_index(kind: FaultKind) -> usize {
@@ -214,6 +215,7 @@ fn fault_kind_index(kind: FaultKind) -> usize {
         FaultKind::DecodeFail => 2,
         FaultKind::FeedbackLost => 3,
         FaultKind::StageDown => 4,
+        FaultKind::ConnectionLost => 5,
     }
 }
 
@@ -221,7 +223,7 @@ fn fault_kind_index(kind: FaultKind) -> usize {
 /// so a mutex (not atomics) keeps the per-stream map simple.
 #[derive(Default)]
 struct FaultLedger {
-    by_kind: [u64; 5],
+    by_kind: [u64; 6],
     per_stream: BTreeMap<usize, StreamFaultCell>,
     degraded_events: u64,
     recovered_events: u64,
@@ -262,6 +264,10 @@ pub struct Telemetry {
     /// [`crate::insight`]). Disabled by default — [`Telemetry::enabled`]
     /// keeps the stage-telemetry cost profile unchanged.
     insight: Insight,
+    /// Optional live-ingest session counters (see [`crate::ingest`]);
+    /// attached when the pipeline is fed from the session server so the
+    /// connection plane shows up in snapshots and Prometheus exposition.
+    ingest: Option<Arc<pg_net::SessionCounters>>,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -269,6 +275,7 @@ impl std::fmt::Debug for Telemetry {
         f.debug_struct("Telemetry")
             .field("enabled", &self.is_enabled())
             .field("insight", &self.insight.is_enabled())
+            .field("ingest", &self.ingest.is_some())
             .finish()
     }
 }
@@ -285,6 +292,7 @@ impl Telemetry {
         Telemetry {
             inner: None,
             insight: Insight::disabled(),
+            ingest: None,
         }
     }
 
@@ -306,6 +314,7 @@ impl Telemetry {
                 faults: Mutex::new(FaultLedger::default()),
             })),
             insight: Insight::disabled(),
+            ingest: None,
         }
     }
 
@@ -314,6 +323,18 @@ impl Telemetry {
     pub fn with_insight(mut self, insight: Insight) -> Self {
         self.insight = insight;
         self
+    }
+
+    /// Attach live-ingest session counters; their snapshot rides along as
+    /// [`TelemetrySnapshot::ingest`] and joins the Prometheus exposition.
+    pub fn with_ingest(mut self, counters: Arc<pg_net::SessionCounters>) -> Self {
+        self.ingest = Some(counters);
+        self
+    }
+
+    /// The attached ingest counters, if any.
+    pub fn ingest_counters(&self) -> Option<&Arc<pg_net::SessionCounters>> {
+        self.ingest.as_ref()
     }
 
     /// The attached decision-quality monitor (disabled by default).
@@ -440,6 +461,7 @@ impl Telemetry {
                     streams: Vec::new(),
                 },
                 insight: Some(insight),
+                ingest: self.ingest_snapshot(),
             });
         };
         let stages = Stage::ALL
@@ -526,6 +548,27 @@ impl Telemetry {
             },
             faults,
             insight: self.insight.snapshot(),
+            ingest: self.ingest_snapshot(),
+        })
+    }
+
+    fn ingest_snapshot(&self) -> Option<IngestSnapshot> {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.ingest.as_ref().map(|c| IngestSnapshot {
+            accepted: c.accepted.load(Relaxed),
+            handshakes: c.handshakes.load(Relaxed),
+            resumed: c.resumed.load(Relaxed),
+            active: c.active.load(Relaxed),
+            peak_active: c.peak_active.load(Relaxed),
+            disconnects: c.disconnects.load(Relaxed),
+            rejected: c.rejected.load(Relaxed),
+            protocol_errors: c.protocol_errors.load(Relaxed),
+            bytes_rx: c.bytes_rx.load(Relaxed),
+            frames_rx: c.frames_rx.load(Relaxed),
+            data_chunks: c.data_chunks.load(Relaxed),
+            keepalives: c.keepalives.load(Relaxed),
+            backpressure_pauses: c.backpressure_pauses.load(Relaxed),
+            queue_depth: c.queue_depth.load(Relaxed),
         })
     }
 }
@@ -612,6 +655,60 @@ pub struct FaultsSnapshot {
     pub streams: Vec<StreamFaultSnapshot>,
 }
 
+/// Live-ingest session-plane counters at snapshot time. Gauges
+/// (`active`, `queue_depth`) are instantaneous; everything else is
+/// monotonic since the server started.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct IngestSnapshot {
+    /// TCP connections accepted.
+    pub accepted: u64,
+    /// Connections that completed the hello→claim handshake.
+    pub handshakes: u64,
+    /// Handshakes that resumed an already-started stream.
+    pub resumed: u64,
+    /// Currently open connections (gauge).
+    pub active: u64,
+    /// High-water mark of `active`.
+    pub peak_active: u64,
+    /// Connections that ended (any reason).
+    pub disconnects: u64,
+    /// Connections refused at capacity.
+    pub rejected: u64,
+    /// Sessions dropped for protocol violations.
+    pub protocol_errors: u64,
+    /// Raw bytes read off sockets.
+    pub bytes_rx: u64,
+    /// Whole frames decoded.
+    pub frames_rx: u64,
+    /// DATA frames decoded.
+    pub data_chunks: u64,
+    /// KEEPALIVE frames decoded.
+    pub keepalives: u64,
+    /// Read-loop passes skipped under backpressure.
+    pub backpressure_pauses: u64,
+    /// Events queued to the ingest bridge but not yet consumed (gauge).
+    pub queue_depth: i64,
+}
+
+impl IngestSnapshot {
+    fn merge(&mut self, other: &IngestSnapshot) {
+        self.accepted += other.accepted;
+        self.handshakes += other.handshakes;
+        self.resumed += other.resumed;
+        self.active += other.active;
+        self.peak_active = self.peak_active.max(other.peak_active);
+        self.disconnects += other.disconnects;
+        self.rejected += other.rejected;
+        self.protocol_errors += other.protocol_errors;
+        self.bytes_rx += other.bytes_rx;
+        self.frames_rx += other.frames_rx;
+        self.data_chunks += other.data_chunks;
+        self.keepalives += other.keepalives;
+        self.backpressure_pauses += other.backpressure_pauses;
+        self.queue_depth += other.queue_depth;
+    }
+}
+
 /// Everything [`Telemetry`] recorded, frozen and serializable.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TelemetrySnapshot {
@@ -624,6 +721,9 @@ pub struct TelemetrySnapshot {
     /// Decision-quality monitor state (`None` unless an [`Insight`] was
     /// attached via [`Telemetry::with_insight`]).
     pub insight: Option<InsightSnapshot>,
+    /// Live-ingest session counters (`None` unless attached via
+    /// [`Telemetry::with_ingest`]).
+    pub ingest: Option<IngestSnapshot>,
 }
 
 impl TelemetrySnapshot {
@@ -679,6 +779,11 @@ impl TelemetrySnapshot {
         }
         self.faults.streams.sort_by_key(|s| s.stream_idx);
         match (&mut self.insight, &other.insight) {
+            (Some(ours), Some(theirs)) => ours.merge(theirs),
+            (ours @ None, Some(theirs)) => *ours = Some(theirs.clone()),
+            _ => {}
+        }
+        match (&mut self.ingest, &other.ingest) {
             (Some(ours), Some(theirs)) => ours.merge(theirs),
             (ours @ None, Some(theirs)) => *ours = Some(theirs.clone()),
             _ => {}

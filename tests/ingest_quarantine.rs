@@ -1,0 +1,159 @@
+//! Dropped ingest connections must compose with stream health, not crash.
+//!
+//! Two contracts, exercised with 64 loopback sessions feeding the live
+//! session server:
+//!
+//! * **Reconnect inside the grace window** — a connection killed mid-run
+//!   that comes back before the gate's stall timeout leaves exactly a
+//!   `connection_lost` record in the fault ledger and *nothing else*: no
+//!   round gap, no degraded stream, and per-stream frame counts identical
+//!   to an undisturbed in-process run.
+//! * **Permanent loss** — a client that never returns degrades through
+//!   the normal quarantine lifecycle (stall fault → strike → quarantine)
+//!   while the other 63 streams decode every round bit-identically, and
+//!   the run terminates instead of waiting on a socket that will never
+//!   speak again.
+
+use pg_net::SessionServerConfig;
+use pg_pipeline::concurrent::ConcurrentConfig;
+use pg_pipeline::gate::DecodeAll;
+use pg_pipeline::{
+    ChurnEvent, ChurnPlan, ConcurrentPipeline, ConcurrentReport, DecodeWorkModel, FleetConfig,
+    LoopbackFleet, NetIngestSource, QuarantineConfig,
+};
+use std::time::Duration;
+
+const STREAMS: usize = 64;
+const ROUNDS: u64 = 8;
+const KILLED: usize = 21;
+const KILL_AT_ROUND: u64 = 3;
+
+fn base_config() -> ConcurrentConfig {
+    ConcurrentConfig {
+        streams: STREAMS,
+        rounds: ROUNDS,
+        decode_workers: 2,
+        parser_shards: 4,
+        budget_per_round: 1e9,
+        work: DecodeWorkModel::spin(50),
+        seed: 42,
+        ..Default::default()
+    }
+}
+
+fn run_with_churn(cfg: ConcurrentConfig, churn: ChurnPlan) -> ConcurrentReport {
+    let source = NetIngestSource::bind(cfg.streams, cfg.rounds, SessionServerConfig::default())
+        .expect("bind session server");
+    let mut fleet_cfg = FleetConfig::for_pipeline(&cfg, source.local_addr());
+    fleet_cfg.churn = churn;
+    let fleet = LoopbackFleet::spawn(fleet_cfg);
+    let report = ConcurrentPipeline::new(cfg).run_with_source(&mut DecodeAll, Box::new(source));
+    let fleet_report = fleet.join();
+    assert_eq!(fleet_report.kills, 1, "exactly one planned kill");
+    report
+}
+
+#[test]
+fn reconnect_within_grace_leaves_no_round_gap() {
+    // Grace window far larger than the outage: the kill must be invisible
+    // everywhere except the fault ledger.
+    let mut cfg = base_config();
+    cfg.stall_timeout = Duration::from_secs(10);
+    let clean = ConcurrentPipeline::new(cfg.clone()).run(&mut DecodeAll);
+    assert!(clean.faults.is_empty(), "baseline run must be clean");
+
+    let churn = ChurnPlan {
+        events: vec![ChurnEvent {
+            stream: KILLED,
+            at_round: KILL_AT_ROUND,
+            down_for: Duration::from_millis(150),
+        }],
+    };
+    let report = run_with_churn(cfg, churn);
+
+    let lost: Vec<_> = report
+        .faults
+        .iter()
+        .filter(|f| f.kind == "connection_lost")
+        .collect();
+    assert_eq!(lost.len(), 1, "one drop, one record: {:?}", report.faults);
+    assert_eq!(lost[0].stream_idx, Some(KILLED));
+    assert_eq!(
+        report.faults.len(),
+        1,
+        "no secondary faults from a drop inside the grace window: {:?}",
+        report.faults
+    );
+    // No round gap anywhere — including the killed stream — and the
+    // other streams' counts are bit-identical to the undisturbed run.
+    assert_eq!(
+        report.frames_per_stream, clean.frames_per_stream,
+        "a reconnect inside the grace window must not cost any stream a round"
+    );
+    assert_eq!(report.health.degraded_events, 0, "nothing degrades");
+    assert_eq!(report.health.quarantined_at_end, 0);
+    assert_eq!(report.health.dead_streams, 0);
+}
+
+#[test]
+fn permanent_loss_quarantines_only_the_dead_stream() {
+    // Short grace so the dead client is declared stalled promptly, and a
+    // long quarantine so the degradation is visible at the end.
+    let mut cfg = base_config();
+    cfg.stall_timeout = Duration::from_millis(300);
+    cfg.quarantine = QuarantineConfig::new(10_000, 1);
+    let clean = ConcurrentPipeline::new(cfg.clone()).run(&mut DecodeAll);
+
+    let churn = ChurnPlan {
+        events: vec![ChurnEvent {
+            stream: KILLED,
+            at_round: KILL_AT_ROUND,
+            down_for: Duration::MAX,
+        }],
+    };
+    let report = run_with_churn(cfg, churn);
+
+    assert!(
+        report
+            .faults
+            .iter()
+            .any(|f| f.kind == "connection_lost" && f.stream_idx == Some(KILLED)),
+        "the drop itself must be in the ledger: {:?}",
+        report.faults
+    );
+    // The gate declared the silent stream stalled and quarantined it.
+    assert!(
+        report.health.degraded_events >= 1,
+        "a permanently lost stream must degrade: {:?}",
+        report.health
+    );
+    assert_eq!(
+        report.health.quarantined_at_end, 1,
+        "exactly the dead-client stream sits in quarantine: {:?}",
+        report.health
+    );
+    // The killed stream lost its tail; every other stream is untouched.
+    for (i, (&got, &want)) in report
+        .frames_per_stream
+        .iter()
+        .zip(&clean.frames_per_stream)
+        .enumerate()
+    {
+        if i == KILLED {
+            assert!(
+                got < want,
+                "stream {i} kept sending after a permanent kill? {got} vs {want}"
+            );
+        } else {
+            assert_eq!(got, want, "stream {i} must be untouched by {KILLED}'s death");
+        }
+    }
+    // Every fault in the ledger belongs to the killed stream.
+    for f in &report.faults {
+        assert_eq!(
+            f.stream_idx,
+            Some(KILLED),
+            "no collateral faults on healthy streams: {f:?}"
+        );
+    }
+}

@@ -1,4 +1,5 @@
-//! Sharded parsing must be invisible in the results.
+//! Sharded parsing and the ingest transport must be invisible in the
+//! results.
 //!
 //! The multi-core runtime partitions streams across N parser shards, but
 //! the gate re-canonicalizes shard batches per round (ascending round,
@@ -8,18 +9,38 @@
 //! and an N-shard run over the same seeded trace. Only timing fields
 //! (wall clock, latencies) and the float `cost_spent` (summed in worker
 //! join order) may differ.
+//!
+//! The same bar applies to the live ingest plane: a run fed over loopback
+//! TCP sessions (`NetIngestSource` + `LoopbackFleet`, which sends the
+//! exact bytes the in-process producer would generate) must be
+//! bit-identical in decisions, counters, and audit to the in-process run.
 
+use pg_net::SessionServerConfig;
 use pg_pipeline::concurrent::ConcurrentConfig;
 use pg_pipeline::gate::DecodeAll;
 use pg_pipeline::{
-    ChunkFaultMode, ConcurrentPipeline, ConcurrentReport, DecodeWorkModel, FaultPlan, GatePolicy,
-    Telemetry,
+    ChunkFaultMode, ConcurrentPipeline, ConcurrentReport, DecodeWorkModel, FaultPlan, FleetConfig,
+    GatePolicy, LoopbackFleet, NetIngestSource, Telemetry,
 };
 
 fn run(cfg: ConcurrentConfig, gate: &mut dyn GatePolicy) -> ConcurrentReport {
     ConcurrentPipeline::new(cfg)
         .with_telemetry(Telemetry::enabled())
         .run(gate)
+}
+
+/// The same run, but fed over loopback TCP: a session server is bound on
+/// an ephemeral port and a fleet sends the identical seeded chunk bytes
+/// (including any fault-plan corruption) through real sockets.
+fn run_netfed(cfg: ConcurrentConfig, gate: &mut dyn GatePolicy) -> ConcurrentReport {
+    let source = NetIngestSource::bind(cfg.streams, cfg.rounds, SessionServerConfig::default())
+        .expect("bind session server");
+    let fleet = LoopbackFleet::spawn(FleetConfig::for_pipeline(&cfg, source.local_addr()));
+    let report = ConcurrentPipeline::new(cfg)
+        .with_telemetry(Telemetry::enabled())
+        .run_with_source(gate, Box::new(source));
+    fleet.join();
+    report
 }
 
 /// Everything except timing must match exactly; `cost_spent` is a float
@@ -134,6 +155,57 @@ fn faulted_run_is_shard_count_invariant() {
         "corrupt header kills stream 7"
     );
     assert_equivalent(&single, &sharded);
+}
+
+/// Generous stall window for the socket-fed comparisons: a loaded CI
+/// host can honestly delay a loopback feeder past the default grace, and
+/// a stall fault would be a timing artifact, not a transport difference.
+/// Both sides of each comparison get the same config, so this changes
+/// nothing about what is being compared.
+fn net_config(streams: usize, rounds: u64, budget: f64, shards: usize) -> ConcurrentConfig {
+    ConcurrentConfig {
+        stall_timeout: std::time::Duration::from_secs(10),
+        ..config(streams, rounds, budget, shards)
+    }
+}
+
+#[test]
+fn net_fed_clean_run_matches_in_process() {
+    let cfg = net_config(12, 40, 1e9, 4);
+    let local = run(cfg.clone(), &mut DecodeAll);
+    let netfed = run_netfed(cfg, &mut DecodeAll);
+    assert_eq!(local.packets_parsed, 12 * 40);
+    assert!(netfed.faults.is_empty(), "clean net-fed run must be fault-free");
+    assert_equivalent(&local, &netfed);
+}
+
+#[test]
+fn net_fed_faulted_run_matches_in_process() {
+    // The fleet applies the same corruption plan to the wire bytes the
+    // producer would have damaged in-process, so even the fault ledger
+    // and the dead stream must reproduce exactly.
+    let plan = FaultPlan::new(9)
+        .with_corrupt(3, 10, ChunkFaultMode::Truncate)
+        .with_corrupt(5, 20, ChunkFaultMode::BitFlip)
+        .with_corrupt_header(7);
+    let mut cfg = net_config(12, 40, 1e9, 4);
+    cfg.faults = plan;
+    let local = run(cfg.clone(), &mut DecodeAll);
+    let netfed = run_netfed(cfg, &mut DecodeAll);
+    assert!(!netfed.faults.is_empty(), "fault plan must bite over the wire");
+    assert_equivalent(&local, &netfed);
+}
+
+#[test]
+fn net_fed_budgeted_policy_run_matches_in_process() {
+    let cfg = net_config(16, 50, 8.0, 4);
+    let local = run(cfg.clone(), &mut packetgame::RoundRobinGate::new());
+    let netfed = run_netfed(cfg, &mut packetgame::RoundRobinGate::new());
+    assert!(
+        netfed.packets_decoded < netfed.packets_parsed,
+        "budget must actually gate over the wire"
+    );
+    assert_equivalent(&local, &netfed);
 }
 
 #[test]
