@@ -61,6 +61,15 @@ type FeatureSnapshot = (Vec<f32>, Vec<f32>, f32);
 /// A training sample: (view_i, view_p, temporal, label).
 type TrainingSample = (Vec<f32>, Vec<f32>, f32, f32);
 
+/// Per-stream samples retained for the autopilot's retrain rung. Sized so a
+/// retrain sees a couple of windows of post-shift feedback without growing
+/// without bound.
+const RETRAIN_RING: usize = 96;
+/// Full passes over the retained ring per [`GatePolicy::autopilot_retrain`]
+/// call — enough RMSprop movement to matter, few enough to stay a
+/// sub-millisecond action.
+const RETRAIN_PASSES: usize = 4;
+
 /// Live-training state.
 struct OnlineState {
     opt: RmsProp,
@@ -69,6 +78,9 @@ struct OnlineState {
     snapshots: Vec<Option<FeatureSnapshot>>,
     /// Accumulated samples.
     batch: Vec<TrainingSample>,
+    /// Bounded per-stream ring of recent samples, kept for the autopilot's
+    /// retrain rung ([`GatePolicy::autopilot_retrain`]).
+    replay: Vec<std::collections::VecDeque<TrainingSample>>,
     /// Update steps taken.
     steps: u64,
 }
@@ -107,6 +119,12 @@ pub struct PacketGame {
     /// `NaN` marks "no prediction this round". Only written when the
     /// attached telemetry carries an enabled insight monitor.
     cal_conf: Vec<f64>,
+    /// Per-stream autopilot fallback flags: `true` scores the stream from
+    /// the temporal estimator alone (exploitation + exploration), bypassing
+    /// the suspected-stale contextual predictor. Set via
+    /// [`GatePolicy::autopilot_fallback`]; empty when the autopilot never
+    /// intervened, so the flag costs one bounds-checked read per candidate.
+    fallback: Vec<bool>,
 }
 
 impl PacketGame {
@@ -154,6 +172,7 @@ impl PacketGame {
             items: Vec::new(),
             select_scratch: SelectScratch::new(),
             cal_conf: Vec::new(),
+            fallback: Vec::new(),
         }
     }
 
@@ -214,8 +233,19 @@ impl PacketGame {
             batch_size: config.batch_size.max(1),
             snapshots: Vec::new(),
             batch: Vec::new(),
+            replay: Vec::new(),
             steps: 0,
         });
+    }
+
+    /// Streams currently scored from the temporal estimator alone (the
+    /// autopilot's fallback rung), ascending.
+    pub fn fallback_streams(&self) -> Vec<usize> {
+        self.fallback
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &on)| on.then_some(i))
+            .collect()
     }
 
     /// Online update steps taken so far (0 when online learning is off).
@@ -259,8 +289,18 @@ impl GatePolicy for PacketGame {
 
     fn select(&mut self, round: u64, candidates: &[PacketContext], budget: f64) -> Vec<usize> {
         let m = candidates.len();
-        self.temporal.ensure_streams(m);
-        self.windows.ensure_streams(m);
+        // Per-stream state is indexed by `stream_idx`, not candidate
+        // position: on lossy transports a round can offer fewer
+        // candidates than there are streams, so size by the highest
+        // stream actually present this round.
+        let streams_needed = candidates
+            .iter()
+            .map(|c| c.stream_idx + 1)
+            .max()
+            .unwrap_or(0)
+            .max(m);
+        self.temporal.ensure_streams(streams_needed);
+        self.windows.ensure_streams(streams_needed);
         self.temporal.begin_round();
 
         // Parse packet features into the per-stream windows (Alg. 1 line 2).
@@ -275,22 +315,17 @@ impl GatePolicy for PacketGame {
         // applied outside the network so the network never sees
         // out-of-distribution temporal inputs.
         if let Some(online) = &mut self.online {
-            online.snapshots.resize(m.max(online.snapshots.len()), None);
+            online
+                .snapshots
+                .resize(streams_needed.max(online.snapshots.len()), None);
         }
         self.items.clear();
         // Calibration stash: the insight monitor wants the raw predictor
         // probability (before the exploration bonus) joined with the
         // necessity ground truth that only arrives in `feedback`.
         let cal = self.telemetry.insight().is_enabled();
-        if cal {
-            let need = candidates
-                .iter()
-                .map(|c| c.stream_idx + 1)
-                .max()
-                .unwrap_or(0);
-            if self.cal_conf.len() < need {
-                self.cal_conf.resize(need, f64::NAN);
-            }
+        if cal && self.cal_conf.len() < streams_needed {
+            self.cal_conf.resize(streams_needed, f64::NAN);
         }
         if self.batched {
             // Batched path: stage one `(view_i, view_p, μ̂)` row per
@@ -340,9 +375,18 @@ impl GatePolicy for PacketGame {
                 if cal {
                     self.cal_conf[c.stream_idx] = conf[row];
                 }
+                // Fallback rung: a drift-flagged stream is scored from the
+                // temporal estimate alone while its predictor recovers. The
+                // predictor probability is still computed and stashed above,
+                // so calibration keeps tracking the (recovering) predictor.
+                let base = if self.fallback.get(c.stream_idx).copied().unwrap_or(false) {
+                    self.temporal.exploitation(c.stream_idx)
+                } else {
+                    conf[row]
+                };
                 self.items.push(Item {
                     idx: c.stream_idx,
-                    confidence: conf[row] + explore,
+                    confidence: base + explore,
                     cost: c.pending_cost.max(f64::MIN_POSITIVE),
                 });
             }
@@ -359,9 +403,14 @@ impl GatePolicy for PacketGame {
                 if cal {
                     self.cal_conf[c.stream_idx] = fused;
                 }
+                let base = if self.fallback.get(c.stream_idx).copied().unwrap_or(false) {
+                    exploit
+                } else {
+                    fused
+                };
                 self.items.push(Item {
                     idx: c.stream_idx,
-                    confidence: fused + explore,
+                    confidence: base + explore,
                     cost: c.pending_cost.max(f64::MIN_POSITIVE),
                 });
             }
@@ -413,6 +462,16 @@ impl GatePolicy for PacketGame {
                     online.snapshots.get_mut(e.stream_idx).map(Option::take)
                 {
                     let label = if e.necessary { 1.0 } else { 0.0 };
+                    // Retain a bounded per-stream copy for the autopilot's
+                    // retrain rung before the sample joins the mini-batch.
+                    if online.replay.len() <= e.stream_idx {
+                        online.replay.resize_with(e.stream_idx + 1, Default::default);
+                    }
+                    let ring = &mut online.replay[e.stream_idx];
+                    if ring.len() == RETRAIN_RING {
+                        ring.pop_front();
+                    }
+                    ring.push_back((v1.clone(), v2.clone(), t, label));
                     online.batch.push((v1, v2, t, label));
                 }
             }
@@ -456,6 +515,57 @@ impl GatePolicy for PacketGame {
 
     fn attach_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    fn autopilot_fallback(&mut self, stream_idx: usize, enabled: bool) -> bool {
+        if self.fallback.len() <= stream_idx {
+            if !enabled {
+                return true; // already off
+            }
+            self.fallback.resize(stream_idx + 1, false);
+        }
+        self.fallback[stream_idx] = enabled;
+        true
+    }
+
+    fn autopilot_reset_estimator(&mut self, stream_idx: usize) -> bool {
+        self.temporal.reset_stream(stream_idx);
+        true
+    }
+
+    fn autopilot_retrain(&mut self, stream_idx: usize) -> bool {
+        // Retraining needs the live-learning machinery (optimizer state and
+        // the retained sample ring); without it the ladder stops at the
+        // estimator reset and the autopilot reports the rung as unhonoured.
+        let Some(mut online) = self.online.take() else {
+            return false;
+        };
+        let samples: Vec<TrainingSample> = online
+            .replay
+            .get(stream_idx)
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default();
+        if samples.is_empty() {
+            self.online = Some(online);
+            return false;
+        }
+        let tasks = self.predictor.tasks();
+        let head = self.task_head.min(tasks - 1);
+        for _ in 0..RETRAIN_PASSES {
+            self.predictor.zero_grad();
+            for (v1, v2, t, label) in &samples {
+                let logits = self.predictor.forward_logits(v1, v2, f64::from(*t));
+                let dz = bce_with_logits(*label, logits[head]).1;
+                let mut grad = vec![0.0f32; tasks];
+                grad[head] = dz;
+                self.predictor.backward(&grad);
+            }
+            self.predictor.scale_grad(1.0 / samples.len() as f32);
+            self.predictor.step(&online.opt);
+            online.steps += 1;
+        }
+        self.online = Some(online);
+        true
     }
 }
 
@@ -524,6 +634,38 @@ mod tests {
             let c = gate.confidence(s);
             assert!((0.0..=1.0).contains(&c), "confidence {c}");
         }
+    }
+
+    #[test]
+    fn sparse_candidate_rounds_do_not_break_per_stream_state() {
+        // On lossy transports a round can offer fewer candidates than
+        // there are streams. Per-stream state is indexed by `stream_idx`,
+        // so a round offering only the *last* stream used to index past
+        // the state sized by `candidates.len()` (panic in the online
+        // snapshot stash).
+        use super::OnlineConfig;
+        let config = test_config();
+        let predictor = ContextualPredictor::new(config.clone());
+        let mut gate = PacketGame::new(config, predictor);
+        gate.enable_online_learning(OnlineConfig::default());
+        let ctx = |stream_idx: usize, seq: u64| pg_pipeline::PacketContext {
+            stream_idx,
+            meta: pg_codec::PacketMeta {
+                stream_id: stream_idx as u32,
+                seq,
+                pts: seq,
+                frame_type: pg_codec::FrameType::P,
+                size: 4000,
+                gop_id: 0,
+            },
+            pending_cost: 1.0,
+            codec: pg_codec::Codec::H264,
+            oracle_necessary: None,
+        };
+        // Round 0: only stream 7 arrives. Round 1: streams 2 and 7.
+        let kept = gate.select(0, &[ctx(7, 0)], 10.0);
+        assert!(kept.iter().all(|&s| s == 7), "kept unknown stream: {kept:?}");
+        gate.select(1, &[ctx(2, 0), ctx(7, 1)], 10.0);
     }
 
     #[test]
@@ -654,6 +796,58 @@ mod tests {
         let mut gate = PacketGame::new(config, predictor);
         assert!(gate.enable_quantized_inference(4).is_err());
         assert!(!gate.quantized_enabled());
+    }
+
+    #[test]
+    fn autopilot_hooks_are_honoured() {
+        let mut gate = trained_gate(TaskKind::AnomalyDetection, 11);
+        // Fallback and estimator reset are honoured unconditionally.
+        assert!(gate.autopilot_fallback(2, true));
+        assert_eq!(gate.fallback_streams(), vec![2]);
+        assert!(gate.autopilot_fallback(2, false));
+        assert!(gate.fallback_streams().is_empty());
+        // Turning fallback off for a never-flagged stream stays cheap.
+        assert!(gate.autopilot_fallback(40, false));
+        assert!(gate.fallback.len() <= 3);
+        assert!(gate.autopilot_reset_estimator(0));
+        // Retrain needs online learning...
+        assert!(!gate.autopilot_retrain(0), "no online state: unhonoured");
+        gate.enable_online_learning(OnlineConfig::default());
+        // ...and retained feedback for the stream.
+        assert!(!gate.autopilot_retrain(0), "no samples yet: unhonoured");
+        let sim_config = SimConfig {
+            budget_per_round: 4.0,
+            segments: 4,
+            ..SimConfig::default()
+        };
+        RoundSimulator::uniform(TaskKind::AnomalyDetection, 6, 11, sim_config).run(&mut gate, 60);
+        let steps_before = gate.online_steps();
+        assert!(gate.autopilot_retrain(0), "ring populated: must retrain");
+        assert!(gate.online_steps() > steps_before);
+    }
+
+    #[test]
+    fn fallback_scores_from_the_temporal_estimator_alone() {
+        // With every stream on fallback the gate must behave like the
+        // temporal-only policy: selections no longer depend on predictor
+        // weights, so two gates with *different* predictors agree.
+        let task = TaskKind::AnomalyDetection;
+        let config = test_config();
+        let sim_config = SimConfig {
+            budget_per_round: 3.0,
+            segments: 4,
+            ..SimConfig::default()
+        };
+        let mut a = PacketGame::new(config.clone(), train_for_task(task, &config, 21));
+        let mut b = PacketGame::new(config.clone(), train_for_task(task, &config, 22));
+        for s in 0..8 {
+            a.autopilot_fallback(s, true);
+            b.autopilot_fallback(s, true);
+        }
+        let ra = RoundSimulator::uniform(task, 8, 5, sim_config).run(&mut a, 200);
+        let rb = RoundSimulator::uniform(task, 8, 5, sim_config).run(&mut b, 200);
+        assert_eq!(ra.packets_decoded, rb.packets_decoded);
+        assert_eq!(ra.accuracy_overall(), rb.accuracy_overall());
     }
 
     #[test]

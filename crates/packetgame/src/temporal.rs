@@ -176,6 +176,17 @@ impl TemporalEstimator {
             .unwrap_or(0)
     }
 
+    /// Forget stream `i`'s window and aging state, as if the stream had
+    /// just joined. Used by the drift autopilot's estimator-reset rung so
+    /// post-shift feedback is not averaged against the stale regime; the
+    /// restored `T = 0` exploration bonus re-probes the stream promptly.
+    pub fn reset_stream(&mut self, stream: usize) {
+        if let Some(h) = self.history.get_mut(stream) {
+            h.clear();
+            self.age[stream] = u64::MAX / 2;
+        }
+    }
+
     /// Rounds since stream `i` was last selected (large if never).
     pub fn age_of(&self, stream: usize) -> u64 {
         self.age.get(stream).copied().unwrap_or(u64::MAX / 2)
@@ -304,6 +315,29 @@ mod tests {
             est.begin_round();
         }
         assert!(est.history[2].len() <= 5);
+    }
+
+    #[test]
+    fn reset_stream_restores_the_cold_start_bonus() {
+        let mut est = TemporalEstimator::new(2, 5, 10.0);
+        for _ in 0..50 {
+            est.begin_round();
+            est.record(0, true);
+            est.record(1, true);
+        }
+        assert!(est.exploitation(0) > 0.0);
+        est.reset_stream(0);
+        // History and aging are both forgotten: exploitation drops to zero
+        // and the T=0 + max-staleness bonus puts the stream above its
+        // untouched, just-rewarded peer.
+        assert_eq!(est.exploitation(0), 0.0);
+        assert_eq!(est.selections_in_window(0), 0);
+        assert!(est.exploration(0) > est.exploration(1));
+        // Out-of-range resets are safe, and recording still works after.
+        est.reset_stream(9);
+        est.begin_round();
+        est.record(0, true);
+        assert!(est.exploitation(0) > 0.0);
     }
 
     #[test]

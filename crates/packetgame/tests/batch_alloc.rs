@@ -9,7 +9,8 @@
 //! The allocator is process-global, so this file holds exactly one test.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use packetgame::{
     CombinatorialOptimizer, ContextualPredictor, Item, PacketGameConfig, PredictScratch,
@@ -18,26 +19,42 @@ use packetgame::{
 
 struct CountingAlloc;
 
-static COUNTING: AtomicBool = AtomicBool::new(false);
+// The counting flag is per-thread: the libtest harness runs its own
+// bookkeeping (channel sends, watchdog) on other threads of this same
+// process, and a process-global flag intermittently counted those
+// allocations as the gate path's. A `const`-initialised `Cell` compiles
+// to a plain TLS slot — no lazy registration, so reading it inside the
+// allocator cannot itself allocate.
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+fn counting() -> bool {
+    COUNTING.with(Cell::get)
+}
+
+fn set_counting(on: bool) {
+    COUNTING.with(|c| c.set(on));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         System.realloc(ptr, layout, new_size)
@@ -81,12 +98,12 @@ fn steady_state_batched_rounds_do_not_allocate() {
     sink += round(&p, &mut s, 7, w, 0.5);
 
     ALLOCS.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
+    set_counting(true);
     for i in 0..10 {
         sink += round(&p, &mut s, m, w, i as f32 * 0.1);
         sink += round(&p, &mut s, m / 2, w, i as f32 * 0.2);
     }
-    COUNTING.store(false, Ordering::SeqCst);
+    set_counting(false);
     let allocs = ALLOCS.load(Ordering::SeqCst);
 
     assert!(sink.is_finite());
@@ -111,7 +128,7 @@ fn steady_state_batched_rounds_do_not_allocate() {
     let mut spent_sink = opt.select_with(&items, 40.0, &mut sel); // warm-up
 
     ALLOCS.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
+    set_counting(true);
     for r in 0..10 {
         for (i, it) in items.iter_mut().enumerate() {
             it.confidence = ((i + r) % 17) as f64 / 17.0;
@@ -119,7 +136,7 @@ fn steady_state_batched_rounds_do_not_allocate() {
         spent_sink += opt.select_with(&items, 40.0, &mut sel);
         spent_sink += sel.selected().len() as f64;
     }
-    COUNTING.store(false, Ordering::SeqCst);
+    set_counting(false);
     let select_allocs = ALLOCS.load(Ordering::SeqCst);
 
     assert!(spent_sink.is_finite());

@@ -1,0 +1,341 @@
+//! Drift-recovery acceptance experiment — the autopilot headline artifact.
+//!
+//! Three arms on the most stationary workload in the repo (SuperResolution,
+//! whose P-frame sizes have no scene-driven regime changes of their own):
+//!
+//! 1. **clean + autopilot** — no injected drift. The control: the
+//!    autopilot must take *zero* actions — no ladder rungs, no budget
+//!    moves (no-thrash).
+//! 2. **drift + autopilot** — half the fleet's encoders jump 6× mid-run
+//!    (an aggressive ABR ladder step on streams 0–3 only; a partial
+//!    shift is the harsh case because stale predictors misrank shifted
+//!    streams *against* healthy ones). The Page–Hinkley monitors flag
+//!    the shifted streams, the ladder walks fallback → estimator reset →
+//!    retrain, and every stream is restored within a bounded number of
+//!    rounds, with the calibration heads repaired by the retrain.
+//! 3. **drift, no autopilot** — same injection, gauges observe but nothing
+//!    acts. No recovery action ever fires; the stale flags and the
+//!    post-shift miscalibration persist to the end of the run.
+//!
+//! All arms share one offline-trained predictor (weights serialized once
+//! and reloaded per arm) and identical gate configuration, so the only
+//! difference is whether the autopilot is attached.
+
+use packetgame::{ContextualPredictor, OnlineConfig, PacketGame};
+use pg_bench::harness::{bench_config, print_table, sparkline, trained_predictor, write_json, Scale};
+use pg_pipeline::insight::InsightConfig;
+use pg_pipeline::{
+    Autopilot, AutopilotConfig, AutopilotSnapshot, Insight, RegimeShift, RoundSimulator, SimConfig,
+    Telemetry,
+};
+use pg_scene::TaskKind;
+use serde::Serialize;
+
+const TASK: TaskKind = TaskKind::SuperResolution;
+const STREAMS: usize = 8;
+/// Properly provisioned for the stationary regime: at B=7 the clean
+/// control's regret stays √T-like, so the budget controller (correctly)
+/// never moves and the control records zero autopilot actions. Drop to
+/// 6 and the grow trigger fires on the clean run too — real
+/// under-provisioning, not thrash, but it would muddy the control.
+const BUDGET: f64 = 7.0;
+const SIM_SEED: u64 = 41;
+const TRAIN_SEED: u64 = 97;
+const SHIFT_FACTOR: f64 = 6.0;
+/// Streams 0–3 of 8 shift; 4–7 stay in the trained regime.
+const SHIFT_MASK: u64 = 0b0000_1111;
+
+#[derive(Serialize)]
+struct ArmRecord {
+    arm: String,
+    accuracy_overall: f64,
+    pre_shift_accuracy: f64,
+    dip_accuracy: f64,
+    final_accuracy: f64,
+    /// Mean decoded/offered over the 60 rounds before the shift.
+    pre_shift_keep_rate: f64,
+    /// Worst single-round keep rate in the 60 rounds after the shift.
+    dip_keep_rate: f64,
+    /// Mean keep rate over the last 60 rounds.
+    final_keep_rate: f64,
+    /// Mean expected calibration error across per-stream heads, end of run.
+    mean_ece: f64,
+    ladder_actions: u64,
+    fallbacks: u64,
+    estimator_resets: u64,
+    retrains: u64,
+    restores: u64,
+    budget_moves: u64,
+    budget_final: f64,
+    stale_streams_at_end: usize,
+    first_fallback_round: Option<u64>,
+    last_restore_round: Option<u64>,
+    /// Rounds from the injected shift to the last restore — the issue's
+    /// "recovers within k rounds" k. `None` when nothing was restored.
+    recovery_rounds: Option<u64>,
+}
+
+#[derive(Serialize)]
+struct Record {
+    rounds: u64,
+    shift_round: u64,
+    shift_factor: f64,
+    /// Bitmask of shifted streams (bit i = stream i).
+    shift_mask: u64,
+    streams: usize,
+    budget_per_round: f64,
+    arms: Vec<ArmRecord>,
+    /// Full intervention ledger of the drift+autopilot arm.
+    drift_ledger: Option<AutopilotSnapshot>,
+}
+
+fn run_arm(
+    name: &str,
+    weights: &pg_nn::serialize::WeightFile,
+    scale: &Scale,
+    rounds: u64,
+    shift: Option<RegimeShift>,
+    autopilot_on: bool,
+) -> (ArmRecord, Option<AutopilotSnapshot>) {
+    eprintln!("[drift] arm: {name}");
+    let config = bench_config(scale);
+    let mut predictor = ContextualPredictor::new(config.clone().with_seed(TRAIN_SEED));
+    predictor
+        .load_weight_file(weights)
+        .expect("reload trained weights");
+    let mut game = PacketGame::new(config, predictor);
+    // The live-learning machinery is attached in every arm because the
+    // retrain rung replays its per-stream feedback ring — but the batch
+    // sentinel keeps the *continuous* mini-batch from ever stepping, so
+    // the predictor is static unless the autopilot's retrain rung acts.
+    // That is PR4's observe-only world as the baseline: feedback
+    // collected, nothing acts; only the autopilot attachment differs.
+    game.enable_online_learning(OnlineConfig {
+        batch_size: usize::MAX,
+        ..OnlineConfig::default()
+    });
+
+    let autopilot = if autopilot_on {
+        Autopilot::enabled(AutopilotConfig::default())
+    } else {
+        Autopilot::disabled()
+    };
+    // A ring that covers the whole run, so keep-rate windows around the
+    // shift are still there at the end.
+    let insight = Insight::with_config(InsightConfig {
+        ring_capacity: rounds as usize,
+        ..InsightConfig::default()
+    });
+    let telemetry = Telemetry::enabled()
+        .with_insight(insight)
+        .with_autopilot(autopilot.clone());
+
+    let segments = (rounds / 25).max(4) as usize;
+    let sim_config = SimConfig {
+        budget_per_round: BUDGET,
+        segments,
+        regime_shift: shift,
+        ..SimConfig::default()
+    };
+    let report = RoundSimulator::uniform(TASK, STREAMS, SIM_SEED, sim_config)
+        .with_telemetry(telemetry)
+        .with_autopilot(autopilot.clone())
+        .run(&mut game, rounds);
+
+    let per_segment = report.accuracy.per_segment();
+    let rounds_per_segment = (rounds as usize / segments).max(1);
+    // The clean arm measures the same windows as the shifted arms.
+    let shift_round = shift.map(|s| s.at_round).unwrap_or(rounds / 3);
+    let shift_seg = (shift_round as usize / rounds_per_segment).min(segments - 1);
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len().max(1) as f64;
+    // Skip the first two segments (cold estimators) for the pre-shift mean.
+    let pre = mean(&per_segment[2.min(shift_seg)..shift_seg]);
+    let dip = per_segment[shift_seg..(shift_seg + 4).min(segments)]
+        .iter()
+        .cloned()
+        .fold(f64::MAX, f64::min);
+    let tail = mean(&per_segment[segments.saturating_sub(4)..]);
+    println!("  {name}: accuracy trend {}", sparkline(&per_segment));
+
+    let snap = autopilot.snapshot();
+    let (ladder, fb, er, rt, rs, bm, bf) = snap
+        .as_ref()
+        .map(|s| {
+            (
+                s.fallbacks + s.estimator_resets + s.retrains + s.restores,
+                s.fallbacks,
+                s.estimator_resets,
+                s.retrains,
+                s.restores,
+                s.budget_grows + s.budget_shrinks,
+                s.budget_current,
+            )
+        })
+        .unwrap_or((0, 0, 0, 0, 0, 0, BUDGET));
+    let first_fallback = snap.as_ref().and_then(|s| {
+        s.ledger
+            .iter()
+            .find(|a| a.action == "fallback")
+            .map(|a| a.round)
+    });
+    let last_restore = snap.as_ref().and_then(|s| {
+        s.ledger
+            .iter()
+            .filter(|a| a.action == "restore")
+            .map(|a| a.round)
+            .next_back()
+    });
+    let insight_snap = report.telemetry.as_ref().and_then(|t| t.insight.as_ref());
+    let stale = insight_snap.map(|i| i.drift.stale.len()).unwrap_or(0);
+    let ring = insight_snap.map(|i| i.ring.as_slice()).unwrap_or(&[]);
+    let keep_in = |lo: u64, hi: u64| {
+        let w: Vec<f64> = ring
+            .iter()
+            .filter(|s| s.round >= lo && s.round < hi)
+            .map(|s| s.keep_rate)
+            .collect();
+        if w.is_empty() {
+            f64::NAN
+        } else {
+            w.iter().sum::<f64>() / w.len() as f64
+        }
+    };
+    let pre_keep = keep_in(shift_round.saturating_sub(60), shift_round);
+    let dip_keep = ring
+        .iter()
+        .filter(|s| s.round >= shift_round && s.round < shift_round + 60)
+        .map(|s| s.keep_rate)
+        .fold(f64::MAX, f64::min);
+    let final_keep = keep_in(rounds.saturating_sub(60), rounds);
+    let mean_ece = insight_snap
+        .map(|i| {
+            let heads: Vec<f64> = i.calibration.iter().map(|c| c.ece).collect();
+            if heads.is_empty() {
+                f64::NAN
+            } else {
+                heads.iter().sum::<f64>() / heads.len() as f64
+            }
+        })
+        .unwrap_or(f64::NAN);
+
+    let record = ArmRecord {
+        arm: name.to_string(),
+        accuracy_overall: report.accuracy_overall(),
+        pre_shift_accuracy: pre,
+        dip_accuracy: dip,
+        final_accuracy: tail,
+        pre_shift_keep_rate: pre_keep,
+        dip_keep_rate: dip_keep,
+        final_keep_rate: final_keep,
+        mean_ece,
+        ladder_actions: ladder,
+        fallbacks: fb,
+        estimator_resets: er,
+        retrains: rt,
+        restores: rs,
+        budget_moves: bm,
+        budget_final: bf,
+        stale_streams_at_end: stale,
+        first_fallback_round: first_fallback,
+        last_restore_round: last_restore,
+        recovery_rounds: last_restore.map(|r| r.saturating_sub(shift_round)),
+    };
+    (record, snap)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let rounds = scale.rounds.min(600);
+    let shift_round = rounds / 3;
+    // Shift half the fleet: a partial shift is the harsh case — stale
+    // predictors misrank the shifted streams *against* the healthy ones,
+    // so the knapsack misallocates budget across streams instead of
+    // uniformly rescaling everyone.
+    let shift = RegimeShift::all(shift_round, SHIFT_FACTOR).with_stream_mask(SHIFT_MASK);
+
+    let weights = trained_predictor(TASK, &scale, TRAIN_SEED).to_weight_file();
+
+    let mut arms = Vec::new();
+    let mut drift_ledger = None;
+
+    let (clean, _) = run_arm("clean + autopilot", &weights, &scale, rounds, None, true);
+    arms.push(clean);
+    let (drift_on, ledger) = run_arm(
+        "drift + autopilot",
+        &weights,
+        &scale,
+        rounds,
+        Some(shift),
+        true,
+    );
+    drift_ledger = ledger.or(drift_ledger);
+    arms.push(drift_on);
+    let (drift_off, _) = run_arm(
+        "drift, no autopilot",
+        &weights,
+        &scale,
+        rounds,
+        Some(shift),
+        false,
+    );
+    arms.push(drift_off);
+
+    print_table(
+        &format!(
+            "drift recovery — {STREAMS} streams, bitrate x{SHIFT_FACTOR} at round {shift_round}"
+        ),
+        &[
+            "arm",
+            "acc",
+            "keep pre",
+            "keep dip",
+            "keep end",
+            "ece",
+            "actions",
+            "restores",
+            "stale@end",
+            "recovery",
+        ],
+        &arms
+            .iter()
+            .map(|a| {
+                vec![
+                    a.arm.clone(),
+                    format!("{:.1}%", a.accuracy_overall * 100.0),
+                    format!("{:.1}%", a.pre_shift_keep_rate * 100.0),
+                    format!("{:.1}%", a.dip_keep_rate * 100.0),
+                    format!("{:.1}%", a.final_keep_rate * 100.0),
+                    format!("{:.3}", a.mean_ece),
+                    (a.ladder_actions + a.budget_moves).to_string(),
+                    a.restores.to_string(),
+                    a.stale_streams_at_end.to_string(),
+                    a.recovery_rounds
+                        .map(|k| format!("{k} rounds"))
+                        .unwrap_or_else(|| "—".to_string()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nExpected shape: the clean control takes zero autopilot actions;\n\
+         with drift the autopilot flags, recovers, and restores every\n\
+         shifted stream within a bounded window and the retrain repairs\n\
+         the calibration heads (lower end-of-run ECE); without it no\n\
+         action ever fires and the stale flags and miscalibration persist\n\
+         to the end of the run."
+    );
+
+    write_json(
+        "drift_recovery",
+        &Record {
+            rounds,
+            shift_round,
+            shift_factor: SHIFT_FACTOR,
+            shift_mask: SHIFT_MASK,
+            streams: STREAMS,
+            budget_per_round: BUDGET,
+            arms,
+            drift_ledger,
+        },
+    );
+}

@@ -13,6 +13,7 @@
 
 use pg_bench::harness::{print_table, write_json};
 use pg_codec::{Codec, CostModel, Decoder, Encoder, EncoderConfig, FrameType};
+use pg_pipeline::PipelineError;
 use pg_scene::{SceneFrame, SceneState};
 use serde::Serialize;
 
@@ -29,7 +30,17 @@ fn frame(i: u64) -> SceneFrame {
     SceneFrame::new(i, 0.5, 0.1, SceneState::Fire(false))
 }
 
-fn main() {
+/// Map a missing dependency closure onto the pipeline's error taxonomy so a
+/// corrupt fixture fails the bench with a diagnosable cause, not a panic.
+fn closure_or_err<T>(got: Option<T>, stream_idx: usize, seq: u64) -> Result<T, PipelineError> {
+    got.ok_or_else(|| PipelineError::DependencyViolation {
+        stream_idx,
+        seq,
+        detail: "dependency tracker has no pending closure for this packet".into(),
+    })
+}
+
+fn main() -> Result<(), PipelineError> {
     let costs = CostModel::default();
     let mut rows = Vec::new();
 
@@ -43,8 +54,8 @@ fn main() {
         for i in 0..3 {
             decoder.ingest(encoder.encode(&frame(i)));
         }
-        let closure = decoder.tracker().pending_closure(2).unwrap();
-        let cost = decoder.pending_cost(2).unwrap();
+        let closure = closure_or_err(decoder.tracker().pending_closure(2), 1, 2)?;
+        let cost = closure_or_err(decoder.pending_cost(2), 1, 2)?;
         let types: Vec<String> = closure
             .iter()
             .map(|&s| format!("{}{s}", decoder.tracker().frame_type(s).unwrap()))
@@ -74,7 +85,7 @@ fn main() {
         }
         let current = 4; // second GOP's I
         assert_eq!(decoder.tracker().frame_type(current), Some(FrameType::I));
-        let cost = decoder.pending_cost(current).unwrap();
+        let cost = closure_or_err(decoder.pending_cost(current), 2, current)?;
         assert_eq!(cost, costs.c_i, "stream 2 must cost 1I");
         rows.push(Row {
             stream: "2: ..skipped GOP.. I",
@@ -96,11 +107,16 @@ fn main() {
         for i in 0..4 {
             decoder.ingest(encoder.encode(&frame(i)));
         }
-        decoder.decode(0).unwrap(); // I0
-        decoder.decode(1).unwrap(); // P1
-                                    // P2 skipped; current is P3.
-        let closure = decoder.tracker().pending_closure(3).unwrap();
-        let cost = decoder.pending_cost(3).unwrap();
+        // I0 then P1; P2 skipped, current is P3.
+        for seq in [0u64, 1] {
+            decoder.decode(seq).map_err(|e| PipelineError::DecodeFail {
+                stream_idx: 3,
+                round: seq,
+                detail: format!("fixture decode of seq {seq} failed: {e}"),
+            })?;
+        }
+        let closure = closure_or_err(decoder.tracker().pending_closure(3), 3, 3)?;
+        let cost = closure_or_err(decoder.pending_cost(3), 3, 3)?;
         assert_eq!(cost, 2.0 * costs.c_p, "stream 3 must cost 2P");
         let types: Vec<String> = closure
             .iter()
@@ -143,4 +159,5 @@ fn main() {
          not just printed)."
     );
     write_json("fig06_costs", &rows);
+    Ok(())
 }

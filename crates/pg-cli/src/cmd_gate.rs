@@ -5,12 +5,12 @@ use crate::metrics::MetricsServer;
 use crate::watch::Watch;
 use packetgame::training::test_config;
 use packetgame::{
-    ContextualPredictor, OracleGate, PacketGame, PacketGameConfig, RandomGate, RoundRobinGate,
-    TemporalGate,
+    ContextualPredictor, OnlineConfig, OracleGate, PacketGame, PacketGameConfig, RandomGate,
+    RoundRobinGate, TemporalGate,
 };
 use pg_pipeline::{
-    ChunkFaultMode, FaultPlan, GatePolicy, Insight, QuarantineConfig, ReplaySimulator,
-    RoundSimulator, SimConfig, Telemetry,
+    Autopilot, AutopilotConfig, ChunkFaultMode, FaultPlan, GatePolicy, Insight, QuarantineConfig,
+    RegimeShift, ReplaySimulator, RoundSimulator, SimConfig, Telemetry,
 };
 
 const HELP: &str = "\
@@ -47,6 +47,20 @@ regret / Lemma-1 slack / calibration / drift):
                              after the run finishes (default 0)
     --watch                  live decision-quality dashboard on stderr
 
+AUTOPILOT (acts on the monitor's alarms; see DESIGN.md D11):
+    --autopilot              stale predictors walk a recovery ladder
+                             (temporal fallback → estimator reset →
+                             online retrain) and the SLO controller
+                             auto-tunes B from slack and latency; the
+                             packetgame policy also gets online learning
+                             so the retrain rung has an optimizer
+    --slo-p99-us <us>        round-latency p99 target for the budget
+                             controller (implies --autopilot)
+    --regime-shift <r@f[@s,...]>  scale stream bitrates by factor f at
+                             round r (drift injection; synthetic mode).
+                             An optional comma list restricts the shift
+                             to those streams (default: all)
+
 FAULT INJECTION (synthetic mode only; deterministic per --fault-seed):
     --inject-corrupt <s@r,...>   truncate stream s's chunk at round r
     --inject-header <s,...>      destroy stream s's header (stream dies)
@@ -75,12 +89,27 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let metrics_addr_file = o.str_or("metrics-addr-file", "");
     let metrics_linger: u64 = o.num_or("metrics-linger", 0)?;
     let watch_requested = o.str_or("watch", "") == "true";
+    let slo_p99_us: f64 = o.num_or("slo-p99-us", 0.0)?;
+    let autopilot_requested = o.str_or("autopilot", "") == "true" || slo_p99_us > 0.0;
+    let regime_shift = parse_regime_shift(&o.str_or("regime-shift", ""))?;
     // Any observability surface enables full telemetry plus the
     // decision-quality monitor; otherwise both stay disabled (and the gate
-    // hot path pays a single predicted branch).
+    // hot path pays a single predicted branch). The autopilot feeds on the
+    // monitor's pulses, so enabling it enables the monitor too.
     let observing = !telemetry_path.is_empty() || !metrics_addr.is_empty() || watch_requested;
-    let telemetry = if observing {
-        Telemetry::enabled().with_insight(Insight::enabled())
+    let autopilot = if autopilot_requested {
+        let mut ap_config = AutopilotConfig::default();
+        if slo_p99_us > 0.0 {
+            ap_config = ap_config.with_slo_p99_us(slo_p99_us);
+        }
+        Autopilot::enabled(ap_config)
+    } else {
+        Autopilot::disabled()
+    };
+    let telemetry = if observing || autopilot_requested {
+        Telemetry::enabled()
+            .with_insight(Insight::enabled())
+            .with_autopilot(autopilot.clone())
     } else {
         Telemetry::disabled()
     };
@@ -148,6 +177,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 game.enable_quantized_inference(quant_calib)?;
                 eprintln!("int8 inference after {quant_calib} calibration rounds ...");
             }
+            if autopilot_requested {
+                game.enable_online_learning(OnlineConfig::default());
+            }
             Box::new(game)
         }
         other => return Err(format!("unknown policy {other:?}")),
@@ -193,13 +225,19 @@ pub fn run(args: &[String]) -> Result<(), String> {
             telemetry,
             plan,
             quarantine,
+            autopilot.clone(),
+            regime_shift,
         )?;
+        print_autopilot(&autopilot);
         write_telemetry(&telemetry_path, report.telemetry.as_ref())?;
         finish_observers(watch, server, metrics_linger);
         return Ok(());
     }
     if !plan.is_empty() {
         return Err("fault injection requires synthetic mode (drop --inputs)".to_string());
+    }
+    if regime_shift.is_some() {
+        return Err("--regime-shift requires synthetic mode (drop --inputs)".to_string());
     }
 
     // Offline mode: replay parsed .pgv files (design goal 3 — no
@@ -226,8 +264,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
     );
     let report = ReplaySimulator::new(recorded, sim_config)
         .with_telemetry(telemetry)
+        .with_autopilot(autopilot.clone())
         .run(gate.as_mut(), rounds);
     print_report(&report, budget);
+    print_autopilot(&autopilot);
     write_telemetry(&telemetry_path, report.telemetry.as_ref())?;
     finish_observers(watch, server, metrics_linger);
     Ok(())
@@ -264,11 +304,14 @@ fn run_sim(
     telemetry: Telemetry,
     plan: FaultPlan,
     quarantine: QuarantineConfig,
+    autopilot: Autopilot,
+    regime_shift: Option<RegimeShift>,
 ) -> Result<pg_pipeline::RoundSimReport, String> {
     let sim_config = SimConfig {
         budget_per_round: budget,
         segments: 12,
         expose_oracle: policy == "optimal",
+        regime_shift,
         ..SimConfig::default()
     };
     eprintln!("simulating {streams} x {task} streams for {rounds} rounds at B={budget} ...");
@@ -276,9 +319,68 @@ fn run_sim(
         .with_telemetry(telemetry)
         .with_faults(plan)
         .with_quarantine(quarantine)
+        .with_autopilot(autopilot)
         .run(gate, rounds);
     print_report(&report, budget);
     Ok(report)
+}
+
+/// Parse a `round@factor` regime-shift spec (empty = none).
+fn parse_regime_shift(spec: &str) -> Result<Option<RegimeShift>, String> {
+    if spec.is_empty() {
+        return Ok(None);
+    }
+    // round@factor shifts every stream; round@factor@0,2,5 only those.
+    let (r, rest) = spec
+        .split_once('@')
+        .ok_or_else(|| format!("bad --regime-shift {spec:?}, expected round@factor[@streams]"))?;
+    let (f, streams) = match rest.split_once('@') {
+        Some((f, s)) => (f, Some(s)),
+        None => (rest, None),
+    };
+    let mut shift = RegimeShift::all(
+        r.trim()
+            .parse()
+            .map_err(|_| format!("bad round in {spec:?}"))?,
+        f.trim()
+            .parse()
+            .map_err(|_| format!("bad factor in {spec:?}"))?,
+    );
+    if let Some(streams) = streams {
+        let mut mask = 0u64;
+        for s in streams.split(',') {
+            let i: u32 = s
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad stream index in {spec:?}"))?;
+            if i >= 64 {
+                return Err(format!("stream index {i} out of range in {spec:?}"));
+            }
+            mask |= 1 << i;
+        }
+        shift = shift.with_stream_mask(mask);
+    }
+    Ok(Some(shift))
+}
+
+/// Print the autopilot's end-of-run action summary (no-op when disabled).
+fn print_autopilot(autopilot: &Autopilot) {
+    let Some(ap) = autopilot.snapshot() else {
+        return;
+    };
+    println!(
+        "autopilot       {} actions: {} fallback, {} reset, {} retrain, {} restore; \
+         B {:.2} (from {:.2}, {} grows / {} shrinks)",
+        ap.actions_total,
+        ap.fallbacks,
+        ap.estimator_resets,
+        ap.retrains,
+        ap.restores,
+        ap.budget_current,
+        ap.budget_initial,
+        ap.budget_grows,
+        ap.budget_shrinks
+    );
 }
 
 /// Parse a `stream@round,stream@round,...` injection list.

@@ -154,6 +154,21 @@ pub fn render(snapshot: &TelemetrySnapshot) -> Vec<String> {
             format!("  [{}]", stale.join(" "))
         }
     ));
+    if let Some(ap) = &snapshot.autopilot {
+        lines.push(format!(
+            " auto    {} actions ({} fallback / {} reset / {} retrain / {} restore)   {} on fallback",
+            ap.actions_total,
+            ap.fallbacks,
+            ap.estimator_resets,
+            ap.retrains,
+            ap.restores,
+            ap.streams_on_fallback
+        ));
+        lines.push(format!(
+            " budget  B {:.2} (initial {:.2})   {} grows / {} shrinks",
+            ap.budget_current, ap.budget_initial, ap.budget_grows, ap.budget_shrinks
+        ));
+    }
     if snapshot.faults.total > 0 {
         lines.push(format!(
             " faults  {} total   {} degraded / {} recovered",
@@ -198,6 +213,20 @@ mod tests {
         assert!(joined.contains("lemma1"), "{joined}");
         assert!(joined.contains("calib   head 0"), "{joined}");
         assert!(joined.contains("drift"), "{joined}");
+    }
+
+    #[test]
+    fn renders_autopilot_rows_when_attached() {
+        let autopilot =
+            pg_pipeline::Autopilot::enabled(pg_pipeline::AutopilotConfig::default());
+        let telemetry = Telemetry::enabled()
+            .with_insight(pg_pipeline::Insight::enabled())
+            .with_autopilot(autopilot);
+        let snapshot = telemetry.snapshot().expect("snapshot");
+        let lines = render(&snapshot);
+        let joined = lines.join("\n");
+        assert!(joined.contains(" auto    0 actions"), "{joined}");
+        assert!(joined.contains(" budget  B"), "{joined}");
     }
 
     #[test]

@@ -83,6 +83,7 @@ use crate::fault::{
     StreamHealth,
 };
 use crate::gate::{FeedbackEvent, GatePolicy, PacketContext};
+use crate::round::RegimeShift;
 use crate::steal::{steal_pool, PoolWorker, StealPool};
 use crate::telemetry::{Stage, Telemetry, TelemetrySnapshot};
 
@@ -204,6 +205,9 @@ pub struct ConcurrentConfig {
     /// large stream counts on few cores, where an honest round of
     /// producing + parsing can outlast the default 500 ms.
     pub stall_timeout: Duration,
+    /// Optional mid-run bitrate regime change applied at the producer
+    /// (drift-injection experiments). `None` = stationary content.
+    pub regime_shift: Option<RegimeShift>,
 }
 
 impl Default for ConcurrentConfig {
@@ -222,6 +226,7 @@ impl Default for ConcurrentConfig {
             quarantine: QuarantineConfig::default(),
             faults: FaultPlan::default(),
             stall_timeout: STALL_TIMEOUT,
+            regime_shift: None,
         }
     }
 }
@@ -734,6 +739,15 @@ fn producer(cfg: &ConcurrentConfig, sink: IngestSink) {
         }
     }
     for round in 0..cfg.rounds {
+        if let Some(shift) = cfg.regime_shift {
+            if round == shift.at_round {
+                for (i, feed) in feeds.iter_mut().enumerate() {
+                    if shift.applies_to(i) {
+                        feed.shift_bitrate(shift.bitrate_factor);
+                    }
+                }
+            }
+        }
         for (i, feed) in feeds.iter_mut().enumerate() {
             if !sink.deliver(i, round, Bytes::from(feed.next_chunk(round, &cfg.faults))) {
                 return;
@@ -1072,6 +1086,9 @@ fn gate_stage(
     let mut gate_time = Duration::ZERO;
     let mut round_latency_us = Vec::with_capacity(cfg.rounds as usize);
     let insight = telemetry.insight().clone();
+    let autopilot = telemetry.autopilot().clone();
+    // The SLO controller may retune this between rounds.
+    let mut budget_per_round = cfg.budget_per_round;
 
     let note_fault = |faults: &mut Vec<FaultRecord>,
                       health: &mut StreamHealth,
@@ -1266,7 +1283,7 @@ fn gate_stage(
         let contexts = &scratch.contexts;
 
         let t0 = Instant::now();
-        let selection = gate.select(round, contexts, cfg.budget_per_round);
+        let selection = gate.select(round, contexts, budget_per_round);
         let select_elapsed = t0.elapsed();
         gate_time += select_elapsed;
         telemetry.record_duration(Stage::Gate, contexts.len() as u64, select_elapsed);
@@ -1287,7 +1304,7 @@ fn gate_stage(
             if idx >= m || sent[idx] || !scratch.has_candidate[idx] {
                 continue;
             }
-            if spent >= cfg.budget_per_round {
+            if spent >= budget_per_round {
                 break;
             }
             let Some(job) = build_job(&mut trackers[idx], &stores[idx], &cfg.costs, idx, round)
@@ -1316,7 +1333,7 @@ fn gate_stage(
         if insight.is_enabled() {
             insight.record_round(&crate::insight::RoundOutcome {
                 round,
-                budget: cfg.budget_per_round,
+                budget: budget_per_round,
                 spent,
                 offered: contexts.len(),
                 decoded: sent.iter().filter(|&&d| d).count(),
@@ -1324,7 +1341,18 @@ fn gate_stage(
                 outcomes: &[],
             });
         }
-        round_latency_us.push(round_start.elapsed().as_micros() as u64);
+        let round_us = round_start.elapsed().as_micros() as u64;
+        round_latency_us.push(round_us);
+        if autopilot.is_enabled() {
+            budget_per_round = autopilot.observe_round(
+                round,
+                gate,
+                &insight,
+                spent,
+                budget_per_round,
+                Some(round_us as f64),
+            );
+        }
     }
     GateStats {
         decoded,

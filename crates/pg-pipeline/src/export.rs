@@ -179,7 +179,67 @@ pub fn prometheus_exposition(snapshot: &TelemetrySnapshot) -> String {
     if let Some(ingest) = &snapshot.ingest {
         render_ingest(&mut out, ingest);
     }
+    if let Some(autopilot) = &snapshot.autopilot {
+        render_autopilot(&mut out, autopilot);
+    }
     out
+}
+
+fn render_autopilot(out: &mut String, ap: &crate::autopilot::AutopilotSnapshot) {
+    family(
+        out,
+        "pg_autopilot_actions_total",
+        "Autopilot interventions (ladder rungs and budget moves).",
+        "counter",
+    );
+    sample(out, "pg_autopilot_actions_total", &[], ap.actions_total as f64);
+    family(
+        out,
+        "pg_autopilot_actions",
+        "Autopilot interventions by action kind.",
+        "counter",
+    );
+    let by_kind: [(&str, u64); 6] = [
+        ("fallback", ap.fallbacks),
+        ("estimator_reset", ap.estimator_resets),
+        ("retrain", ap.retrains),
+        ("restore", ap.restores),
+        ("budget_grow", ap.budget_grows),
+        ("budget_shrink", ap.budget_shrinks),
+    ];
+    for (kind, count) in by_kind {
+        sample(out, "pg_autopilot_actions", &[("action", kind)], count as f64);
+    }
+    family(
+        out,
+        "pg_autopilot_streams_on_fallback",
+        "Streams currently inside the recovery ladder.",
+        "gauge",
+    );
+    sample(
+        out,
+        "pg_autopilot_streams_on_fallback",
+        &[],
+        ap.streams_on_fallback as f64,
+    );
+    family(
+        out,
+        "pg_autopilot_budget",
+        "Round budget B in cost units, initial and as currently tuned.",
+        "gauge",
+    );
+    sample(
+        out,
+        "pg_autopilot_budget",
+        &[("bound", "initial")],
+        ap.budget_initial,
+    );
+    sample(
+        out,
+        "pg_autopilot_budget",
+        &[("bound", "current")],
+        ap.budget_current,
+    );
 }
 
 fn render_ingest(out: &mut String, ingest: &crate::telemetry::IngestSnapshot) {
@@ -644,6 +704,42 @@ mod tests {
         assert!(text.contains("pg_ingest_sessions_active 2"), "{text}");
         assert!(text.contains("pg_ingest_sessions_peak 2"), "{text}");
         assert!(text.contains("pg_ingest_bytes_rx_total 4096"), "{text}");
+    }
+
+    #[test]
+    fn autopilot_counters_join_the_exposition() {
+        use crate::autopilot::{Autopilot, AutopilotConfig};
+        use crate::gate::DecodeAll;
+        let ap = Autopilot::enabled(AutopilotConfig {
+            hysteresis_rounds: 1,
+            probation_rounds: 6,
+            ..AutopilotConfig::default()
+        });
+        let insight = Insight::enabled();
+        for round in 0..200u64 {
+            let size = if round >= 120 { 3000 } else { 1000 };
+            insight.observe_packet(0, round, false, size);
+        }
+        let mut gate = DecodeAll;
+        for round in 0..2 {
+            ap.observe_round(round, &mut gate, &insight, 6.0, 8.0, None);
+        }
+        let telemetry = Telemetry::enabled()
+            .with_insight(insight)
+            .with_autopilot(ap);
+        let snapshot = telemetry.snapshot().expect("snapshot");
+        let text = prometheus_exposition(&snapshot);
+        validate_exposition(&text).expect("valid exposition");
+        assert!(text.contains("pg_autopilot_actions_total 1"), "{text}");
+        assert!(
+            text.contains(r#"pg_autopilot_actions{action="fallback"} 1"#),
+            "{text}"
+        );
+        assert!(text.contains("pg_autopilot_streams_on_fallback 1"), "{text}");
+        assert!(
+            text.contains(r#"pg_autopilot_budget{bound="initial"} 8"#),
+            "{text}"
+        );
     }
 
     fn populated_snapshot() -> TelemetrySnapshot {

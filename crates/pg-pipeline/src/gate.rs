@@ -68,6 +68,30 @@ pub trait GatePolicy: Send {
     /// the first round. The default is a no-op: policies that do not score
     /// candidates simply leave the audit ring to the pipeline's counters.
     fn attach_telemetry(&mut self, _telemetry: Telemetry) {}
+
+    /// Autopilot rung 1: put `stream_idx` on (or take it off) temporal-only
+    /// fallback — the policy should score that stream from its redundancy
+    /// estimator alone, ignoring the (suspected-stale) contextual
+    /// predictor. Returns `true` if the policy honoured the request.
+    /// Default: the policy has no predictor to bypass, so nothing happens.
+    fn autopilot_fallback(&mut self, _stream_idx: usize, _enabled: bool) -> bool {
+        false
+    }
+
+    /// Autopilot rung 2: drop `stream_idx`'s redundancy-estimator history
+    /// (sliding window + aging state) so post-shift feedback is not
+    /// averaged against the stale regime. Returns `true` if the policy
+    /// honoured the request. Default: no estimator, no-op.
+    fn autopilot_reset_estimator(&mut self, _stream_idx: usize) -> bool {
+        false
+    }
+
+    /// Autopilot rung 3: re-fit the contextual predictor for `stream_idx`
+    /// from whatever recent feedback the policy retained. Returns `true`
+    /// if a re-fit actually ran. Default: nothing to retrain, no-op.
+    fn autopilot_retrain(&mut self, _stream_idx: usize) -> bool {
+        false
+    }
 }
 
 /// A trivial gate that selects every stream (the "Original" workload:
@@ -116,6 +140,14 @@ mod tests {
         assert_eq!(gate.select(0, &candidates, 10.0), vec![0, 1, 2, 3, 4]);
         gate.feedback(&[]); // must not panic
         assert_eq!(gate.name(), "DecodeAll");
+    }
+
+    #[test]
+    fn autopilot_hooks_default_to_unhonoured_noops() {
+        let mut gate = DecodeAll;
+        assert!(!gate.autopilot_fallback(0, true));
+        assert!(!gate.autopilot_reset_estimator(0));
+        assert!(!gate.autopilot_retrain(0));
     }
 
     #[test]

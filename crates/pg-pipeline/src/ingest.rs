@@ -83,6 +83,15 @@ impl StreamFeed {
         chunk
     }
 
+    /// Rescale the encoder's target bitrate by `factor` mid-stream
+    /// (regime-change injection). Takes effect from the next chunk; the
+    /// already-sent header keeps advertising the original configuration,
+    /// exactly like a camera whose scene got busier.
+    pub fn shift_bitrate(&mut self, factor: f64) {
+        let next = (f64::from(self.encoder.config().bitrate) * factor) as u32;
+        self.encoder.set_bitrate(next);
+    }
+
     /// The next round's chunk (must be called with consecutive rounds),
     /// with `faults` applied.
     pub fn next_chunk(&mut self, round: u64, faults: &FaultPlan) -> Vec<u8> {

@@ -5,10 +5,11 @@
 //! fast"; this module answers "how well". It tracks, per round, the
 //! quantities PacketGame's analysis says an operator should watch:
 //!
-//! * an **online regret tracker** — cumulative gated utility vs an
-//!   in-hindsight fractional-knapsack oracle, with a running growth-exponent
-//!   fit of `log R(t)` against `log t`. Theorem 1 promises `O(√T)` regret,
-//!   i.e. an exponent ≤ 0.5; a fitted slope above `0.5 + ε` raises a flag.
+//! * an **online regret tracker** — cumulative gated utility vs the
+//!   in-hindsight *integral* knapsack oracle, with a running
+//!   growth-exponent fit of `log R(t)` against `log t`. Theorem 1
+//!   promises `O(√T)` regret, i.e. an exponent ≤ 0.5; a fitted slope
+//!   above `0.5 + ε` raises a flag.
 //! * a **Lemma-1 slack gauge** — realized selection value vs the
 //!   fractional-knapsack upper bound each round, next to the
 //!   `1 − c_max/B` guarantee the greedy selection carries.
@@ -66,9 +67,16 @@ impl Default for InsightConfig {
             regret_epsilon: 0.1,
             regret_min_rounds: 64,
             calibration_bins: 10,
-            ph_delta: 0.1,
-            ph_lambda: 5.0,
-            ph_warmup: 24,
+            // Calibrated against the synthetic encoders: per-packet sizes
+            // are lognormal with scene-driven bursts (cv ≈ 0.5–1.2), so a
+            // twitchier setting alarms on in-distribution content swings.
+            // At (0.3, 16, 32) every stationary workload in the repo stays
+            // quiet over 1500 rounds while a sustained ≥2× level shift
+            // still alarms within ~tens of predicted-frame samples — the
+            // precision an *acting* autopilot needs, not just a gauge.
+            ph_delta: 0.3,
+            ph_lambda: 16.0,
+            ph_warmup: 32,
             ring_capacity: 240,
         }
     }
@@ -151,6 +159,34 @@ pub fn fractional_upper_bound(items: &[(f64, f64)], budget: f64) -> f64 {
         } else {
             value += v * (remaining / c.max(1e-12));
             remaining = 0.0;
+        }
+    }
+    value
+}
+
+/// Best value any *integral* selection can realize when every valued
+/// item is worth the same (the regret feed's case: 1 for a necessary
+/// packet, 0 otherwise): take the cheapest valued items until the budget
+/// runs out. Exact for uniform values — maximizing count is maximizing
+/// value, and cheapest-first maximizes count.
+///
+/// The regret tracker measures against this, not the fractional bound
+/// above: the LP relaxation gains up to one fractional item every round,
+/// so on scarce budgets that integrality gap puts a *linear* floor under
+/// any regret series measured against it — the growth-exponent fit then
+/// flags a perfectly healthy gate as super-√T forever. Theorem 1's bound
+/// is against feasible (integral) policies.
+pub fn integral_hindsight_oracle(items: &[(f64, f64)], budget: f64) -> f64 {
+    let mut valued: Vec<(f64, f64)> = items.iter().filter(|&&(v, _)| v > 0.0).copied().collect();
+    valued.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut remaining = budget;
+    let mut value = 0.0;
+    for (v, c) in valued {
+        if c <= remaining {
+            value += v;
+            remaining -= c;
+        } else {
+            break;
         }
     }
     value
@@ -337,8 +373,12 @@ impl CalibrationHead {
 /// `warmup` samples establish a baseline mean; afterwards each sample is
 /// divided by that baseline (so `delta`/`lambda` are scale-free) and the
 /// classic cumulative-deviation statistics are maintained in both
-/// directions. On an alarm the detector re-baselines at the shifted
-/// level, so a second shift can be caught too.
+/// directions. On an alarm the detector re-baselines **immediately** at
+/// its tracked recent level (an EWMA of the raw signal) and stays armed:
+/// a persistent regime change raises exactly one alarm, and a second
+/// shift is caught even if it lands right after the first — there is no
+/// post-alarm warmup window during which the detector is blind and would
+/// silently adopt whatever level it sees as the new baseline.
 #[derive(Debug, Clone)]
 pub struct PageHinkley {
     warmup: usize,
@@ -347,6 +387,9 @@ pub struct PageHinkley {
     baseline_n: usize,
     baseline_sum: f64,
     baseline: f64,
+    /// EWMA of the raw signal — the detector's view of the *current*
+    /// level, used to re-baseline on alarm without re-warming.
+    level: f64,
     n: u64,
     mean: f64,
     mt_up: f64,
@@ -367,6 +410,7 @@ impl PageHinkley {
             baseline_n: 0,
             baseline_sum: 0.0,
             baseline: 1.0,
+            level: 0.0,
             n: 0,
             mean: 0.0,
             mt_up: 0.0,
@@ -376,9 +420,15 @@ impl PageHinkley {
         }
     }
 
+    /// Re-arm after an alarm: the normalization baseline snaps to the
+    /// tracked recent level (mostly post-shift samples by the time the
+    /// alarm fires) and the cumulative statistics restart. The detector
+    /// stays armed — it does NOT re-enter warmup, which would leave a
+    /// blind window that silently adopts any level observed during it.
     fn rearm(&mut self) {
-        self.baseline_n = 0;
-        self.baseline_sum = 0.0;
+        if self.level > 0.0 && self.level.is_finite() {
+            self.baseline = self.level;
+        }
         self.n = 0;
         self.mean = 0.0;
         self.mt_up = 0.0;
@@ -388,7 +438,7 @@ impl PageHinkley {
     }
 
     /// Feed one sample; returns `true` when a mean shift is detected (the
-    /// detector then re-baselines itself).
+    /// detector then re-baselines itself at the shifted level).
     pub fn observe(&mut self, x: f64) -> bool {
         if !x.is_finite() {
             return false;
@@ -396,11 +446,15 @@ impl PageHinkley {
         if self.baseline_n < self.warmup {
             self.baseline_n += 1;
             self.baseline_sum += x;
+            self.level = self.baseline_sum / self.baseline_n as f64;
             if self.baseline_n == self.warmup {
                 self.baseline = (self.baseline_sum / self.warmup as f64).max(1e-9);
             }
             return false;
         }
+        // Track the current raw level so an alarm can re-baseline there.
+        let alpha = 2.0 / (self.warmup as f64 + 1.0);
+        self.level += alpha * (x - self.level);
         let z = x / self.baseline;
         self.n += 1;
         self.mean += (z - self.mean) / self.n as f64;
@@ -578,15 +632,17 @@ impl Insight {
         let mut state = inner.lock();
         state.rounds += 1;
         if !outcome.outcomes.is_empty() {
-            // Hindsight oracle: fractional knapsack over ground-truth
-            // necessity (value 1 for necessary packets) at this round's
-            // budget, vs the utility the gate actually realized.
+            // Hindsight oracle: the best *integral* selection over
+            // ground-truth necessity (value 1 for necessary packets) at
+            // this round's budget, vs the utility the gate realized. Not
+            // the fractional bound — its integrality gap would accrue
+            // linearly and flag healthy gates on scarce budgets.
             let items: Vec<(f64, f64)> = outcome
                 .outcomes
                 .iter()
                 .map(|o| (if o.necessary { 1.0 } else { 0.0 }, o.cost))
                 .collect();
-            let oracle = fractional_upper_bound(&items, outcome.budget);
+            let oracle = integral_hindsight_oracle(&items, outcome.budget);
             let achieved = outcome
                 .outcomes
                 .iter()
@@ -613,6 +669,54 @@ impl Insight {
             state.ring.pop_front();
         }
         state.ring.push_back(sample);
+    }
+
+    /// A cheap per-round pulse of the gauges the drift autopilot consumes:
+    /// which streams are currently flagged stale, whether the regret
+    /// trajectory is flagged, and the Lemma-1 aggregates. Unlike
+    /// [`Insight::snapshot`] this clones no ring/series/bin state, so it
+    /// is safe to call every round on the hot path. `None` when disabled.
+    pub fn pulse(&self) -> Option<InsightPulse> {
+        let inner = self.inner.as_ref()?;
+        let state = inner.lock();
+        let cfg = &state.config;
+        let exponent = if state.regret.rounds >= cfg.regret_min_rounds {
+            growth_exponent(&state.regret.series)
+        } else {
+            None
+        };
+        let l = &state.lemma1;
+        Some(InsightPulse {
+            stale: state
+                .drift
+                .iter()
+                .filter(|(_, d)| d.stale)
+                .map(|(&i, _)| i)
+                .collect(),
+            regret_flagged: exponent.is_some_and(|e| e > 0.5 + cfg.regret_epsilon),
+            mean_ratio: if l.rounds == 0 {
+                1.0
+            } else {
+                l.sum_ratio / l.rounds as f64
+            },
+            last_guarantee: l.last_guarantee,
+        })
+    }
+
+    /// Clear a stream's stale flag after a recovery action: the flag
+    /// drops and both of the stream's Page–Hinkley detectors re-warm from
+    /// scratch, so their baselines re-form on the *post-recovery* size
+    /// distribution instead of the one that tripped the alarm. Alarm
+    /// counters (`flags`, `flags_total`) are history and stay.
+    pub fn clear_stale(&self, stream_idx: usize) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.lock();
+        let cfg = state.config;
+        if let Some(cell) = state.drift.get_mut(&stream_idx) {
+            cell.stale = false;
+            cell.intra = PageHinkley::new(cfg.ph_warmup, cfg.ph_delta, cfg.ph_lambda);
+            cell.predicted = PageHinkley::new(cfg.ph_warmup, cfg.ph_delta, cfg.ph_lambda);
+        }
     }
 
     /// An immutable snapshot of everything recorded so far, or `None`
@@ -676,6 +780,7 @@ impl Insight {
             .collect();
         let drift = DriftSnapshot {
             streams: state.drift.len() as u64,
+            monitored: state.drift.keys().copied().collect(),
             flags_total: state.drift_flags_total,
             stale: state
                 .drift
@@ -701,6 +806,20 @@ impl Insight {
 }
 
 // ------------------------------------------------------------ snapshot
+
+/// The per-round signal bundle [`Insight::pulse`] hands the autopilot —
+/// just the actionable gauges, cheap enough to read every round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsightPulse {
+    /// Streams currently flagged stale by the drift detectors, ascending.
+    pub stale: Vec<usize>,
+    /// Whether the regret growth exponent exceeds the Theorem-1 threshold.
+    pub regret_flagged: bool,
+    /// Mean realized/upper Lemma-1 ratio across recorded rounds.
+    pub mean_ratio: f64,
+    /// Last round's `1 − c_max/B` guarantee.
+    pub last_guarantee: f64,
+}
 
 /// Regret trajectory at snapshot time.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -784,8 +903,13 @@ pub struct StaleStream {
 /// Drift-detection roll-up.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DriftSnapshot {
-    /// Streams with at least one observed packet.
+    /// Distinct streams with at least one observed packet. Always equals
+    /// `monitored.len()`, including across [`InsightSnapshot::merge`].
     pub streams: u64,
+    /// Ids of the monitored streams, ascending. Carried so multi-instance
+    /// roll-ups can count *distinct* streams instead of guessing from the
+    /// two sides' counts (instances typically cover disjoint stream sets).
+    pub monitored: Vec<usize>,
     /// Drift alarms raised across all streams.
     pub flags_total: u64,
     /// Streams currently marked stale, ascending index.
@@ -869,7 +993,17 @@ impl InsightSnapshot {
             }
         }
         self.calibration.sort_by_key(|c| c.head);
-        self.drift.streams = self.drift.streams.max(other.drift.streams);
+        // Monitored streams roll up by id: two instances covering disjoint
+        // stream sets contribute the union, not the max of their counts
+        // (`max` undercounted exactly the multi-instance case this merge
+        // exists for). Keyed like the `stale` merge below.
+        for &id in &other.drift.monitored {
+            if !self.drift.monitored.contains(&id) {
+                self.drift.monitored.push(id);
+            }
+        }
+        self.drift.monitored.sort_unstable();
+        self.drift.streams = self.drift.monitored.len() as u64;
         self.drift.flags_total += other.drift.flags_total;
         for theirs in &other.drift.stale {
             match self
@@ -965,6 +1099,24 @@ mod tests {
     }
 
     #[test]
+    fn integral_oracle_packs_whole_items_only() {
+        // Uniform-value items at costs 1, 2, 2; budget 2 fits only the
+        // cheapest whole item — the fractional bound would add half of
+        // the next one.
+        let items = [(1.0, 1.0), (1.0, 2.0), (1.0, 2.0), (0.0, 0.5)];
+        assert!((integral_hindsight_oracle(&items, 2.0) - 1.0).abs() < 1e-9);
+        assert!((integral_hindsight_oracle(&items, 3.0) - 2.0).abs() < 1e-9);
+        assert!((integral_hindsight_oracle(&items, 100.0) - 3.0).abs() < 1e-9);
+        assert_eq!(integral_hindsight_oracle(&[], 5.0), 0.0);
+        // Zero-value items never consume budget.
+        assert_eq!(integral_hindsight_oracle(&[(0.0, 1.0)], 1.0), 0.0);
+        // A gate that decodes every necessary packet that fits has zero
+        // regret against this oracle — no integrality-gap floor.
+        let upper = fractional_upper_bound(&items, 2.0);
+        assert!(upper > integral_hindsight_oracle(&items, 2.0));
+    }
+
+    #[test]
     fn regret_ring_decimates_but_keeps_growing() {
         let mut tracker = RegretTracker::new();
         for _ in 0..(REGRET_SERIES_CAP as u64 * 4) {
@@ -1010,6 +1162,79 @@ mod tests {
         assert_eq!(snap.ring.len(), 8);
         assert_eq!(snap.ring.last().unwrap().round, 49);
         assert_eq!(snap.ring.first().unwrap().round, 42);
+    }
+
+    #[test]
+    fn merge_counts_distinct_monitored_streams_across_disjoint_instances() {
+        // Two gate instances covering DISJOINT stream sets: instance A
+        // monitors streams {0, 1, 2}, instance B monitors {3, 4}. The
+        // fleet roll-up must report 5 distinct monitored streams — the
+        // old `max` roll-up reported 3.
+        let a = Insight::enabled();
+        for stream in 0..3usize {
+            for round in 0..30u64 {
+                a.observe_packet(stream, round, false, 1000);
+            }
+        }
+        let b = Insight::enabled();
+        for stream in 3..5usize {
+            for round in 0..150u64 {
+                // Stream 4 shifts 3x at round 100 so a stale entry rides
+                // the merge too.
+                let size = if stream == 4 && round >= 100 { 3000 } else { 1000 };
+                b.observe_packet(stream, round, false, size);
+            }
+        }
+        let mut merged = a.snapshot().expect("enabled");
+        let b_snap = b.snapshot().expect("enabled");
+        assert_eq!(b_snap.drift.stale.len(), 1, "stream 4 must be stale");
+        merged.merge(&b_snap);
+        assert_eq!(merged.drift.streams, 5, "disjoint sets must sum distinct");
+        assert_eq!(merged.drift.monitored, vec![0, 1, 2, 3, 4]);
+        assert_eq!(merged.drift.stale.len(), 1);
+        assert_eq!(merged.drift.stale[0].stream_idx, 4);
+
+        // Overlapping sets still count each stream once.
+        let c = Insight::enabled();
+        for round in 0..30u64 {
+            c.observe_packet(2, round, false, 1000);
+            c.observe_packet(5, round, false, 1000);
+        }
+        merged.merge(&c.snapshot().expect("enabled"));
+        assert_eq!(merged.drift.streams, 6, "stream 2 must not double-count");
+        assert_eq!(merged.drift.monitored, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn pulse_reports_stale_streams_and_clear_stale_rearms() {
+        let ins = Insight::enabled();
+        // Two streams; stream 1 shifts 3x at round 100.
+        for round in 0..160u64 {
+            ins.observe_packet(0, round, false, 1000);
+            let size = if round >= 100 { 3000 } else { 1000 };
+            ins.observe_packet(1, round, false, size);
+        }
+        let pulse = ins.pulse().expect("enabled");
+        assert_eq!(pulse.stale, vec![1]);
+        ins.clear_stale(1);
+        let pulse = ins.pulse().expect("enabled");
+        assert!(pulse.stale.is_empty(), "flag must drop after clear");
+        // The re-warmed detector baselines on the post-shift level: more
+        // samples at the shifted level stay quiet...
+        for round in 160..260u64 {
+            ins.observe_packet(1, round, false, 3000);
+        }
+        assert!(ins.pulse().expect("enabled").stale.is_empty());
+        // ...while a fresh 3x shift from that level re-fires.
+        for round in 260..360u64 {
+            ins.observe_packet(1, round, false, 9000);
+        }
+        assert_eq!(ins.pulse().expect("enabled").stale, vec![1]);
+        // Alarm history survives the clear.
+        let snap = ins.snapshot().expect("enabled");
+        assert!(snap.drift.flags_total >= 2);
+        assert!(ins.pulse().is_some());
+        assert!(Insight::disabled().pulse().is_none());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! Gating policies plug in through the [`gate::GatePolicy`] trait; the
 //! `packetgame` crate provides PacketGame itself plus all baselines.
 
+pub mod autopilot;
 pub mod budget;
 pub mod concurrent;
 pub mod export;
@@ -31,6 +32,7 @@ pub mod search;
 pub mod steal;
 pub mod telemetry;
 
+pub use autopilot::{Autopilot, AutopilotAction, AutopilotConfig, AutopilotSnapshot};
 pub use budget::RoundBudget;
 pub use concurrent::{
     ChunkSource, ConcurrentPipeline, ConcurrentReport, DecodeWorkModel, IngestSink, WorkKind,
@@ -46,13 +48,13 @@ pub use ingest::{
     NetIngestSource, StreamFeed,
 };
 pub use insight::{
-    Insight, InsightConfig, InsightSnapshot, Lemma1Snapshot, PacketOutcome, PageHinkley,
-    RegretSnapshot, RoundOutcome, SelectionEntry,
+    Insight, InsightConfig, InsightPulse, InsightSnapshot, Lemma1Snapshot, PacketOutcome,
+    PageHinkley, RegretSnapshot, RoundOutcome, SelectionEntry,
 };
 pub use metrics::RoundSimReport;
 pub use netround::{NetworkedRoundSimulator, NetworkedSimReport};
 pub use replay::ReplaySimulator;
-pub use round::{RoundSimulator, SimConfig, StreamSpec};
+pub use round::{RegimeShift, RoundSimulator, SimConfig, StreamSpec};
 pub use search::max_streams_at_accuracy;
 pub use telemetry::{
     AuditReason, GateAuditEntry, IngestSnapshot, Stage, Telemetry, TelemetrySnapshot,

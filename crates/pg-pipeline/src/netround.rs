@@ -19,6 +19,7 @@ use pg_inference::tasks::{model_for, InferenceModel};
 use pg_net::{ImpairmentConfig, NetworkedStream, ReassemblyConfig};
 use pg_scene::{SceneState, TaskKind};
 
+use crate::autopilot::Autopilot;
 use crate::budget::RoundBudget;
 use crate::fault::{
     push_fault, FaultRecord, HealthSummary, PipelineError, QuarantineConfig, StreamHealth,
@@ -94,6 +95,7 @@ pub struct NetworkedRoundSimulator {
     segments: usize,
     telemetry: Telemetry,
     quarantine: QuarantineConfig,
+    autopilot: Autopilot,
 }
 
 impl NetworkedRoundSimulator {
@@ -144,7 +146,15 @@ impl NetworkedRoundSimulator {
             // several consecutive closures before it is quarantined; the
             // cooldown is about one GOP, when an I-frame can rebuild it.
             quarantine: QuarantineConfig::new(12, 3),
+            autopilot: Autopilot::disabled(),
         }
+    }
+
+    /// Attach an autopilot handle (see
+    /// [`RoundSimulator::with_autopilot`](crate::round::RoundSimulator::with_autopilot)).
+    pub fn with_autopilot(mut self, autopilot: Autopilot) -> Self {
+        self.autopilot = autopilot;
+        self
     }
 
     /// Override the quarantine thresholds for failing streams.
@@ -327,6 +337,17 @@ impl NetworkedRoundSimulator {
                     quarantined: health.sidelined_count(),
                     outcomes: &outcomes,
                 });
+            }
+
+            if self.autopilot.is_enabled() {
+                budget.per_round = self.autopilot.observe_round(
+                    round,
+                    gate,
+                    &insight,
+                    budget.total_spent() - spent_before,
+                    budget.per_round,
+                    None,
+                );
             }
         }
 

@@ -14,6 +14,7 @@ use pg_inference::redundancy::RedundancyJudge;
 use pg_inference::tasks::{model_for, InferenceModel};
 use pg_scene::SceneState;
 
+use crate::autopilot::Autopilot;
 use crate::budget::RoundBudget;
 use crate::fault::{push_fault, FaultRecord, HealthSummary, PipelineError};
 use crate::gate::{FeedbackEvent, GatePolicy, PacketContext};
@@ -36,6 +37,7 @@ pub struct ReplaySimulator {
     streams: Vec<ReplayStream>,
     config: SimConfig,
     telemetry: Telemetry,
+    autopilot: Autopilot,
 }
 
 impl ReplaySimulator {
@@ -70,6 +72,7 @@ impl ReplaySimulator {
             streams,
             config,
             telemetry: Telemetry::disabled(),
+            autopilot: Autopilot::disabled(),
         }
     }
 
@@ -77,6 +80,15 @@ impl ReplaySimulator {
     /// [`RoundSimulator::with_telemetry`](crate::round::RoundSimulator::with_telemetry)).
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attach an autopilot handle (see
+    /// [`RoundSimulator::with_autopilot`](crate::round::RoundSimulator::with_autopilot)).
+    /// Replays gate stored packets, so regime shifts live in the recording;
+    /// the autopilot still recovers the gate when it detects them.
+    pub fn with_autopilot(mut self, autopilot: Autopilot) -> Self {
+        self.autopilot = autopilot;
         self
     }
 
@@ -243,6 +255,17 @@ impl ReplaySimulator {
                     quarantined: 0,
                     outcomes: &outcomes,
                 });
+            }
+
+            if self.autopilot.is_enabled() {
+                budget.per_round = self.autopilot.observe_round(
+                    round,
+                    gate,
+                    &insight,
+                    budget.total_spent() - spent_before,
+                    budget.per_round,
+                    None,
+                );
             }
         }
 

@@ -28,6 +28,7 @@ use pg_inference::redundancy::RedundancyJudge;
 use pg_inference::tasks::{model_for, InferenceModel};
 use pg_scene::{generator_for, SceneGenerator, SceneState, TaskKind};
 
+use crate::autopilot::Autopilot;
 use crate::budget::RoundBudget;
 use crate::fault::{
     push_fault, FaultPlan, FaultRecord, PipelineError, QuarantineConfig, StreamHealth,
@@ -70,6 +71,52 @@ impl StreamSpec {
     }
 }
 
+/// A bitrate regime change injected at a round boundary: each selected
+/// stream's encoder is re-targeted to `bitrate_factor ×` its current
+/// bitrate at the start of round `at_round`. This is the drift-recovery
+/// experiment's ground truth — the simulator knows exactly when the shift
+/// happened, so recovery time is measurable in rounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegimeShift {
+    /// Round at whose start the shift applies.
+    pub at_round: u64,
+    /// Multiplier on each encoder's configured bitrate (e.g. `1.6` for the
+    /// +60% ABR ladder step used by the drift acceptance scenario).
+    pub bitrate_factor: f64,
+    /// Bitmask of streams the shift applies to (bit *i* selects stream
+    /// *i*); `u64::MAX` shifts everyone. A partial shift is the harsher
+    /// scenario: a uniform shift rescales every stream's packets together
+    /// so relative rankings survive, but when only some streams move, a
+    /// stale predictor misranks them *against* the healthy ones and the
+    /// knapsack misallocates budget across streams.
+    pub stream_mask: u64,
+}
+
+impl RegimeShift {
+    /// Shift every stream at `at_round`.
+    pub fn all(at_round: u64, bitrate_factor: f64) -> Self {
+        RegimeShift {
+            at_round,
+            bitrate_factor,
+            stream_mask: u64::MAX,
+        }
+    }
+
+    /// Restrict the shift to the masked streams.
+    pub fn with_stream_mask(mut self, mask: u64) -> Self {
+        self.stream_mask = mask;
+        self
+    }
+
+    /// Whether stream `i` is shifted (streams past the mask width are not).
+    pub fn applies_to(&self, stream_idx: usize) -> bool {
+        u32::try_from(stream_idx)
+            .ok()
+            .filter(|&i| i < 64)
+            .is_some_and(|i| self.stream_mask & (1u64 << i) != 0)
+    }
+}
+
 /// Simulator-wide configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
@@ -82,6 +129,8 @@ pub struct SimConfig {
     /// Expose ground-truth necessity in [`PacketContext`] (Oracle baseline
     /// only).
     pub expose_oracle: bool,
+    /// Optional mid-run bitrate regime change (drift injection).
+    pub regime_shift: Option<RegimeShift>,
 }
 
 impl Default for SimConfig {
@@ -91,6 +140,7 @@ impl Default for SimConfig {
             cost_model: CostModel::default(),
             segments: 24,
             expose_oracle: false,
+            regime_shift: None,
         }
     }
 }
@@ -115,6 +165,7 @@ pub struct RoundSimulator {
     telemetry: Telemetry,
     faults: FaultPlan,
     quarantine: QuarantineConfig,
+    autopilot: Autopilot,
 }
 
 impl RoundSimulator {
@@ -142,7 +193,17 @@ impl RoundSimulator {
             telemetry: Telemetry::disabled(),
             faults: FaultPlan::default(),
             quarantine: QuarantineConfig::default(),
+            autopilot: Autopilot::disabled(),
         }
+    }
+
+    /// Attach a drift autopilot: each round it consumes the insight pulse,
+    /// drives the gate's recovery hooks, and returns the (possibly
+    /// re-tuned) budget the next round runs with. A disabled handle (the
+    /// default) leaves every round bit-identical to a run without one.
+    pub fn with_autopilot(mut self, autopilot: Autopilot) -> Self {
+        self.autopilot = autopilot;
+        self
     }
 
     /// Inject deterministic faults: with a non-empty plan, every packet is
@@ -224,6 +285,20 @@ impl RoundSimulator {
         let insight = self.telemetry.insight().clone();
 
         for round in 0..rounds {
+            // Injected drift: re-target the selected encoders at the
+            // shift round.
+            if let Some(shift) = self.config.regime_shift {
+                if round == shift.at_round {
+                    for (i, s) in self.streams.iter_mut().enumerate() {
+                        if !shift.applies_to(i) {
+                            continue;
+                        }
+                        let next = (f64::from(s.encoder.config().bitrate)
+                            * shift.bitrate_factor) as u32;
+                        s.encoder.set_bitrate(next);
+                    }
+                }
+            }
             budget.begin_round();
             let spent_before = budget.total_spent();
             contexts.clear();
@@ -486,6 +561,19 @@ impl RoundSimulator {
                     quarantined: health.sidelined_count(),
                     outcomes: &outcomes,
                 });
+            }
+
+            // 8. Autopilot: recovery ladder + budget tuning for the next
+            // round. Disabled handles return the budget unchanged.
+            if self.autopilot.is_enabled() {
+                budget.per_round = self.autopilot.observe_round(
+                    round,
+                    gate,
+                    &insight,
+                    budget.total_spent() - spent_before,
+                    budget.per_round,
+                    None,
+                );
             }
         }
 

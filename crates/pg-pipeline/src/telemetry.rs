@@ -33,6 +33,7 @@ use parking_lot::Mutex;
 use serde::Serialize;
 
 use crate::fault::FaultKind;
+use crate::autopilot::{Autopilot, AutopilotSnapshot};
 use crate::insight::{Insight, InsightSnapshot};
 
 /// The four pipeline stages every execution mode shares.
@@ -268,6 +269,10 @@ pub struct Telemetry {
     /// attached when the pipeline is fed from the session server so the
     /// connection plane shows up in snapshots and Prometheus exposition.
     ingest: Option<Arc<pg_net::SessionCounters>>,
+    /// Optional drift autopilot riding on the same handle (see
+    /// [`crate::autopilot`]); its actions ledger and counters join the
+    /// snapshot and the Prometheus exposition when attached.
+    autopilot: Autopilot,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -276,6 +281,7 @@ impl std::fmt::Debug for Telemetry {
             .field("enabled", &self.is_enabled())
             .field("insight", &self.insight.is_enabled())
             .field("ingest", &self.ingest.is_some())
+            .field("autopilot", &self.autopilot.is_enabled())
             .finish()
     }
 }
@@ -293,6 +299,7 @@ impl Telemetry {
             inner: None,
             insight: Insight::disabled(),
             ingest: None,
+            autopilot: Autopilot::disabled(),
         }
     }
 
@@ -315,6 +322,7 @@ impl Telemetry {
             })),
             insight: Insight::disabled(),
             ingest: None,
+            autopilot: Autopilot::disabled(),
         }
     }
 
@@ -335,6 +343,19 @@ impl Telemetry {
     /// The attached ingest counters, if any.
     pub fn ingest_counters(&self) -> Option<&Arc<pg_net::SessionCounters>> {
         self.ingest.as_ref()
+    }
+
+    /// Attach a drift autopilot; its counters and actions ledger ride
+    /// along as [`TelemetrySnapshot::autopilot`].
+    pub fn with_autopilot(mut self, autopilot: Autopilot) -> Self {
+        self.autopilot = autopilot;
+        self
+    }
+
+    /// The attached drift autopilot (disabled by default). Cheap to
+    /// clone — hooks branch on [`Autopilot::is_enabled`].
+    pub fn autopilot(&self) -> &Autopilot {
+        &self.autopilot
     }
 
     /// The attached decision-quality monitor (disabled by default).
@@ -462,6 +483,7 @@ impl Telemetry {
                 },
                 insight: Some(insight),
                 ingest: self.ingest_snapshot(),
+                autopilot: self.autopilot.snapshot(),
             });
         };
         let stages = Stage::ALL
@@ -549,6 +571,7 @@ impl Telemetry {
             faults,
             insight: self.insight.snapshot(),
             ingest: self.ingest_snapshot(),
+            autopilot: self.autopilot.snapshot(),
         })
     }
 
@@ -724,6 +747,9 @@ pub struct TelemetrySnapshot {
     /// Live-ingest session counters (`None` unless attached via
     /// [`Telemetry::with_ingest`]).
     pub ingest: Option<IngestSnapshot>,
+    /// Drift-autopilot counters and actions ledger (`None` unless
+    /// attached via [`Telemetry::with_autopilot`]).
+    pub autopilot: Option<AutopilotSnapshot>,
 }
 
 impl TelemetrySnapshot {
@@ -784,6 +810,11 @@ impl TelemetrySnapshot {
             _ => {}
         }
         match (&mut self.ingest, &other.ingest) {
+            (Some(ours), Some(theirs)) => ours.merge(theirs),
+            (ours @ None, Some(theirs)) => *ours = Some(theirs.clone()),
+            _ => {}
+        }
+        match (&mut self.autopilot, &other.autopilot) {
             (Some(ours), Some(theirs)) => ours.merge(theirs),
             (ours @ None, Some(theirs)) => *ours = Some(theirs.clone()),
             _ => {}

@@ -178,14 +178,14 @@ fn page_hinkley_flags_a_mean_shift_and_stays_quiet_when_stationary() {
 fn injected_size_shift_flags_the_stream_in_snapshot_and_exposition() {
     let telemetry = Telemetry::enabled().with_insight(Insight::enabled());
     let insight = telemetry.insight().clone();
-    // Five streams of predicted packets; stream 3's sizes jump 60% at
-    // round 60 (the default warmup is 24 samples, so the baseline is
-    // long established).
-    for round in 0..200u64 {
+    // Five streams of predicted packets; stream 3's sizes jump 3x at
+    // round 100 (the default warmup is 32 samples, so the baseline is
+    // long established and the running mean has inertia).
+    for round in 0..300u64 {
         for stream in 0..5usize {
             let base = 900 + 40 * stream as u64;
-            let size = if stream == 3 && round >= 60 {
-                base * 8 / 5
+            let size = if stream == 3 && round >= 100 {
+                base * 3
             } else {
                 base + round % 3
             };
@@ -199,7 +199,7 @@ fn injected_size_shift_flags_the_stream_in_snapshot_and_exposition() {
     assert_eq!(stale, vec![3], "only the shifted stream may be stale");
     let flagged = &ins.drift.stale[0];
     assert_eq!(flagged.channel, "predicted");
-    assert!(flagged.first_flag_round >= 60, "flagged before the shift");
+    assert!(flagged.first_flag_round >= 100, "flagged before the shift");
 
     // The same flag must ride into the JSON snapshot ...
     let json = serde_json::to_string(&snapshot).expect("serializable");
@@ -222,14 +222,42 @@ fn injected_size_shift_flags_the_stream_in_snapshot_and_exposition() {
 fn drift_rearms_after_an_alarm_and_can_catch_a_second_shift() {
     let mut ph = PageHinkley::new(24, 0.1, 5.0);
     for _ in 0..100 {
+        assert!(!ph.observe(1000.0), "false alarm on the stationary prefix");
+    }
+    // One persistent regime change ⇒ exactly one alarm over the whole
+    // plateau: the re-arm re-baselines at the shifted level, so the new
+    // regime must not keep re-firing (the autopilot would retrain in a
+    // loop), nor stay silent (the shift would be missed entirely).
+    let alarms: usize = (0..200).filter(|_| ph.observe(1500.0)).count();
+    assert_eq!(alarms, 1, "persistent shift must fire exactly once");
+    // After re-baselining at 1500, a further shift must also fire —
+    // again exactly once across its plateau.
+    let alarms: usize = (0..200).filter(|_| ph.observe(2400.0)).count();
+    assert_eq!(alarms, 1, "second persistent shift must fire exactly once");
+}
+
+#[test]
+fn rearm_leaves_no_post_alarm_blind_window() {
+    // A shift landing shortly after an alarm — inside what used to be the
+    // post-alarm re-warmup — must still be caught. The old re-arm path
+    // re-entered warmup and averaged the mixed pre/post levels into the
+    // new baseline, silently adopting the second shift as normal.
+    let mut ph = PageHinkley::new(24, 0.1, 5.0);
+    for _ in 0..100 {
         ph.observe(1000.0);
     }
-    let first = (0..200).any(|_| ph.observe(1500.0));
-    assert!(first, "first shift missed");
-    // After re-baselining at 1500, a further shift must also fire.
-    for _ in 0..100 {
-        assert!(!ph.observe(1500.0), "false alarm while re-baselined");
+    assert!((0..200).any(|_| ph.observe(1500.0)), "first shift missed");
+    // Only 10 settle samples (< warmup = 24) before the next regime.
+    for _ in 0..10 {
+        assert!(!ph.observe(1500.0), "false alarm while settling");
     }
-    let second = (0..200).any(|_| ph.observe(2400.0));
-    assert!(second, "second shift missed");
+    let mut fired_at = None;
+    for i in 0..200u64 {
+        if ph.observe(2400.0) {
+            fired_at = Some(i);
+            break;
+        }
+    }
+    let fired_at = fired_at.expect("shift inside the old blind window missed");
+    assert!(fired_at < 40, "alarm took {fired_at} samples");
 }

@@ -1,0 +1,278 @@
+//! Drift-recovery autopilot across every execution mode.
+//!
+//! The contract under test, end to end:
+//!
+//! * **Recovery** — inject a mid-run bitrate regime change (3× ABR jump)
+//!   and the autopilot must walk its ladder on every shifted stream:
+//!   fallback engages only after the shift, every stream is eventually
+//!   restored, and the stale flags the drift monitors raised are cleared
+//!   by the end of the run.
+//! * **Clean control** — on stationary content the recovery ladder never
+//!   engages. (The SLO budget controller may still tune B; that is its
+//!   job and is asserted separately in the bench experiment.)
+//! * **Disabled = invisible** — a simulator with `Autopilot::disabled()`
+//!   attached must produce bit-identical results to one with no autopilot
+//!   at all.
+//!
+//! Modes covered: live rounds (`RoundSimulator`), offline replay
+//! (`ReplaySimulator`, shift embedded in the recording), the networked
+//! simulator (`NetworkedRoundSimulator`, wiring + clean control), and the
+//! multi-core runtime (`ConcurrentPipeline`, producer-side shift).
+
+use packetgame::{ContextualPredictor, OnlineConfig, PacketGame, PacketGameConfig};
+use pg_codec::{Codec, Encoder, EncoderConfig, Packet};
+use pg_net::ImpairmentConfig;
+use pg_pipeline::concurrent::ConcurrentConfig;
+use pg_pipeline::netround::Transport;
+use pg_pipeline::{
+    Autopilot, AutopilotConfig, AutopilotSnapshot, ConcurrentPipeline, Insight,
+    NetworkedRoundSimulator, RegimeShift, ReplaySimulator, RoundSimulator, SimConfig, Telemetry,
+};
+use pg_scene::{generator_for, TaskKind};
+
+/// SuperResolution is the most stationary workload in the repo: its
+/// packet sizes carry no scene-driven regime changes, so any drift the
+/// monitors flag is the drift these tests injected.
+const TASK: TaskKind = TaskKind::SuperResolution;
+const STREAMS: usize = 8;
+const ROUNDS: u64 = 280;
+const SHIFT_ROUND: u64 = 150;
+const SHIFT_FACTOR: f64 = 3.0;
+
+fn gate() -> PacketGame {
+    let config = PacketGameConfig::default().with_seed(7);
+    let mut game = PacketGame::new(config.clone(), ContextualPredictor::new(config));
+    // The retrain rung replays the online feedback buffer.
+    game.enable_online_learning(OnlineConfig::default());
+    game
+}
+
+fn instruments() -> (Autopilot, Telemetry) {
+    let autopilot = Autopilot::enabled(AutopilotConfig::default());
+    let telemetry = Telemetry::enabled()
+        .with_insight(Insight::enabled())
+        .with_autopilot(autopilot.clone());
+    (autopilot, telemetry)
+}
+
+fn assert_recovered(snap: &AutopilotSnapshot, stale_at_end: usize, mode: &str) {
+    assert!(
+        snap.fallbacks >= 1,
+        "{mode}: ladder never engaged after the shift: {snap:?}"
+    );
+    assert_eq!(
+        snap.restores, snap.fallbacks,
+        "{mode}: every engaged stream must be restored"
+    );
+    assert_eq!(
+        snap.streams_on_fallback, 0,
+        "{mode}: no stream may still be on fallback at the end"
+    );
+    let first_fallback = snap
+        .ledger
+        .iter()
+        .find(|a| a.action == "fallback")
+        .map(|a| a.round)
+        .expect("fallback in ledger");
+    assert!(
+        first_fallback >= SHIFT_ROUND,
+        "{mode}: ladder engaged at round {first_fallback}, before the shift at {SHIFT_ROUND}"
+    );
+    let last_restore = snap
+        .ledger
+        .iter()
+        .filter(|a| a.action == "restore")
+        .map(|a| a.round)
+        .next_back()
+        .expect("restore in ledger");
+    assert!(
+        last_restore < ROUNDS,
+        "{mode}: restore must land inside the run"
+    );
+    assert_eq!(
+        stale_at_end, 0,
+        "{mode}: restored streams must have their stale flags cleared"
+    );
+}
+
+fn stale_streams(telemetry: &Telemetry) -> usize {
+    telemetry
+        .snapshot()
+        .and_then(|s| s.insight.map(|i| i.drift.stale.len()))
+        .unwrap_or(usize::MAX)
+}
+
+// ------------------------------------------------------------ live rounds
+
+#[test]
+fn round_mode_recovers_from_injected_drift() {
+    let (autopilot, telemetry) = instruments();
+    let config = SimConfig {
+        budget_per_round: 6.0,
+        segments: 8,
+        regime_shift: Some(RegimeShift::all(SHIFT_ROUND, SHIFT_FACTOR)),
+        ..SimConfig::default()
+    };
+    RoundSimulator::uniform(TASK, STREAMS, 41, config)
+        .with_telemetry(telemetry.clone())
+        .with_autopilot(autopilot.clone())
+        .run(&mut gate(), ROUNDS);
+    let snap = autopilot.snapshot().expect("enabled autopilot snapshots");
+    assert_recovered(&snap, stale_streams(&telemetry), "round");
+    assert!(
+        snap.estimator_resets >= 1 && snap.retrains >= 1,
+        "ladder must walk past rung 1: {snap:?}"
+    );
+}
+
+#[test]
+fn round_mode_clean_run_never_engages_the_ladder() {
+    let (autopilot, telemetry) = instruments();
+    let config = SimConfig {
+        budget_per_round: 6.0,
+        segments: 8,
+        ..SimConfig::default()
+    };
+    RoundSimulator::uniform(TASK, STREAMS, 41, config)
+        .with_telemetry(telemetry)
+        .with_autopilot(autopilot.clone())
+        .run(&mut gate(), ROUNDS);
+    let snap = autopilot.snapshot().expect("enabled autopilot snapshots");
+    assert_eq!(snap.fallbacks, 0, "clean control engaged: {snap:?}");
+    assert_eq!(snap.estimator_resets, 0);
+    assert_eq!(snap.retrains, 0);
+    assert_eq!(snap.restores, 0);
+    assert_eq!(snap.streams_on_fallback, 0);
+}
+
+#[test]
+fn disabled_autopilot_is_bit_identical_to_none() {
+    let config = SimConfig {
+        budget_per_round: 6.0,
+        segments: 8,
+        regime_shift: Some(RegimeShift::all(SHIFT_ROUND, SHIFT_FACTOR)),
+        ..SimConfig::default()
+    };
+    let bare = RoundSimulator::uniform(TASK, STREAMS, 41, config).run(&mut gate(), ROUNDS);
+    let attached = RoundSimulator::uniform(TASK, STREAMS, 41, config)
+        .with_autopilot(Autopilot::disabled())
+        .run(&mut gate(), ROUNDS);
+    assert_eq!(bare.packets_decoded, attached.packets_decoded);
+    assert_eq!(bare.packets_backfilled, attached.packets_backfilled);
+    assert_eq!(bare.necessary_decoded, attached.necessary_decoded);
+    assert!((bare.cost_spent - attached.cost_spent).abs() < 1e-12);
+    assert!((bare.accuracy_overall() - attached.accuracy_overall()).abs() < 1e-12);
+}
+
+// ---------------------------------------------------------------- replay
+
+/// Record each stream with the regime shift baked into the encoder: the
+/// replay path gates stored packets, so drift lives in the recording.
+fn recorded_streams_with_shift() -> Vec<(Codec, Vec<Packet>)> {
+    (0..STREAMS)
+        .map(|i| {
+            let enc = EncoderConfig::new(Codec::H264);
+            let mut gen = generator_for(TASK, i as u64, enc.fps);
+            let mut encoder = Encoder::for_stream(enc, i as u64, i as u32);
+            let packets = (0..ROUNDS)
+                .map(|round| {
+                    if round == SHIFT_ROUND {
+                        let next = f64::from(encoder.config().bitrate) * SHIFT_FACTOR;
+                        encoder.set_bitrate(next as u32);
+                    }
+                    encoder.encode(&gen.next_frame())
+                })
+                .collect();
+            (Codec::H264, packets)
+        })
+        .collect()
+}
+
+#[test]
+fn replay_mode_recovers_from_drift_in_the_recording() {
+    let (autopilot, telemetry) = instruments();
+    let config = SimConfig {
+        budget_per_round: 6.0,
+        segments: 8,
+        ..SimConfig::default()
+    };
+    ReplaySimulator::new(recorded_streams_with_shift(), config)
+        .with_telemetry(telemetry.clone())
+        .with_autopilot(autopilot.clone())
+        .run(&mut gate(), ROUNDS);
+    let snap = autopilot.snapshot().expect("enabled autopilot snapshots");
+    assert_recovered(&snap, stale_streams(&telemetry), "replay");
+}
+
+// --------------------------------------------------------------- network
+
+#[test]
+fn networked_mode_wires_the_autopilot_and_stays_clean() {
+    // The networked simulator owns its encoders end to end, so this mode
+    // checks the wiring and the clean control: a lossy but stationary
+    // link must not look like predictor drift.
+    let (autopilot, telemetry) = instruments();
+    NetworkedRoundSimulator::new(
+        TASK,
+        STREAMS,
+        41,
+        EncoderConfig::new(Codec::H264),
+        ImpairmentConfig::lossy(0.05),
+        Transport::Raw,
+        6.0,
+    )
+    .with_telemetry(telemetry)
+    .with_autopilot(autopilot.clone())
+    .run(&mut gate(), ROUNDS);
+    let snap = autopilot.snapshot().expect("enabled autopilot snapshots");
+    assert_eq!(snap.fallbacks, 0, "loss is not drift: {snap:?}");
+    assert_eq!(snap.restores, 0);
+    assert_eq!(snap.streams_on_fallback, 0);
+}
+
+// ------------------------------------------------------------ concurrent
+
+#[test]
+fn concurrent_mode_recovers_from_producer_side_drift() {
+    let (autopilot, telemetry) = instruments();
+    let cfg = ConcurrentConfig {
+        streams: STREAMS,
+        rounds: ROUNDS,
+        decode_workers: 2,
+        parser_shards: 2,
+        budget_per_round: 6.0,
+        task: TASK,
+        seed: 41,
+        stall_timeout: std::time::Duration::from_secs(10),
+        regime_shift: Some(RegimeShift::all(SHIFT_ROUND, SHIFT_FACTOR)),
+        ..Default::default()
+    };
+    ConcurrentPipeline::new(cfg)
+        .with_telemetry(telemetry.clone())
+        .run(&mut gate());
+    let snap = autopilot.snapshot().expect("enabled autopilot snapshots");
+    assert_recovered(&snap, stale_streams(&telemetry), "concurrent");
+}
+
+#[test]
+fn concurrent_mode_clean_run_never_engages_the_ladder() {
+    let (autopilot, telemetry) = instruments();
+    let cfg = ConcurrentConfig {
+        streams: STREAMS,
+        rounds: ROUNDS,
+        decode_workers: 2,
+        parser_shards: 2,
+        budget_per_round: 6.0,
+        task: TASK,
+        seed: 41,
+        stall_timeout: std::time::Duration::from_secs(10),
+        ..Default::default()
+    };
+    ConcurrentPipeline::new(cfg)
+        .with_telemetry(telemetry)
+        .run(&mut gate());
+    let snap = autopilot.snapshot().expect("enabled autopilot snapshots");
+    assert_eq!(snap.fallbacks, 0, "clean control engaged: {snap:?}");
+    assert_eq!(snap.restores, 0);
+    assert_eq!(snap.streams_on_fallback, 0);
+}
