@@ -105,6 +105,10 @@ struct ShardRow {
 struct Record {
     scale: String,
     cores: usize,
+    /// Machine and source revision the numbers were produced on. The
+    /// top-level `cores` stays for older readers; `environment.cores` is
+    /// the same probe.
+    environment: pg_bench::envprobe::Environment,
     /// ns of simulated hardware-decode wait per cost unit (Offload model).
     offload_ns_per_unit: u64,
     worker_scaling: Vec<ScalingRow>,
@@ -293,6 +297,7 @@ fn main() {
     let record = Record {
         scale: if quick { "quick".into() } else { "std".into() },
         cores,
+        environment: pg_bench::envprobe::Environment::probe(),
         offload_ns_per_unit: offload_ns,
         worker_scaling,
         shard_comparison,

@@ -1,0 +1,83 @@
+//! Environment probe stamped into every BENCH artifact.
+//!
+//! Benchmark numbers are only comparable when the machine that produced
+//! them is known, so every bench binary embeds an [`Environment`] record
+//! — core count, the SIMD level the kernels actually dispatched to, and
+//! the git revision — next to its measurements. Readers diffing two
+//! BENCH files can then tell a real regression from a hardware change.
+
+use serde::Serialize;
+
+/// A snapshot of the machine and source revision a bench ran on.
+#[derive(Debug, Clone, Serialize)]
+pub struct Environment {
+    /// Logical cores visible to the process (`available_parallelism`).
+    pub cores: usize,
+    /// SIMD dispatch level the lane kernels selected (e.g. "avx2").
+    pub cpu_features: String,
+    /// `git describe --always --dirty` of the tree, when git is
+    /// available; `null` in exported artifacts otherwise.
+    pub git_describe: Option<String>,
+}
+
+impl Environment {
+    /// Probe the current process environment.
+    pub fn probe() -> Self {
+        Environment {
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            cpu_features: pg_nn::simd::detected_level().name().to_string(),
+            git_describe: git_describe(),
+        }
+    }
+}
+
+/// Best-effort source revision: benches must still run from an exported
+/// tarball or a container without git, so failure degrades to `None`
+/// rather than an error.
+fn git_describe() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(out.stdout).ok()?;
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        None
+    } else {
+        Some(trimmed.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_reports_a_plausible_machine() {
+        let env = Environment::probe();
+        assert!(env.cores >= 1);
+        assert!(!env.cpu_features.is_empty());
+        // git_describe is best-effort; in this repo it should resolve.
+        if let Some(desc) = &env.git_describe {
+            assert!(!desc.is_empty());
+        }
+    }
+
+    #[test]
+    fn environment_serializes_with_stable_keys() {
+        let env = Environment {
+            cores: 8,
+            cpu_features: "avx2".to_string(),
+            git_describe: Some("abc1234".to_string()),
+        };
+        let json = serde_json::to_string(&env).unwrap();
+        assert!(json.contains("\"cores\":8"), "{json}");
+        assert!(json.contains("\"cpu_features\":\"avx2\""), "{json}");
+        assert!(json.contains("\"git_describe\":\"abc1234\""), "{json}");
+    }
+}

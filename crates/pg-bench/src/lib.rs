@@ -3,5 +3,6 @@
 //! One binary per paper table/figure (see `src/bin/`), plus criterion
 //! micro-benchmarks (`benches/micro.rs`). Shared helpers live here.
 
+pub mod envprobe;
 pub mod harness;
 pub mod jsonio;

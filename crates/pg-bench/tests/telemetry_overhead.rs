@@ -149,6 +149,54 @@ fn disabled_insight_hooks_cost_under_two_percent_of_packet_work() {
 }
 
 #[test]
+fn disabled_trace_hooks_cost_under_two_percent_of_packet_work() {
+    // The tracing subsystem arms the hottest hook set of all: a span
+    // begin/end pair per stage touched by a packet, a sampling check per
+    // round, and the end-of-round attribution note. Disabled, each hook
+    // must collapse to a single branch so the whole set stays under the
+    // same 2% bound as the stage timers.
+    let telemetry = Telemetry::disabled();
+    let trace = telemetry.trace().clone();
+    assert!(!trace.is_enabled());
+
+    let hooks_ns = time_ns_per_op(200_000, || {
+        std::hint::black_box(trace.sampled(7));
+        // Dispatch → queue-wait → decode → infer: the deepest span chain
+        // a single packet ever threads through.
+        for stage in [
+            pg_pipeline::TraceStage::Dispatch,
+            pg_pipeline::TraceStage::QueueWait,
+            pg_pipeline::TraceStage::Decode,
+            pg_pipeline::TraceStage::Infer,
+        ] {
+            let span = trace.begin(stage, Some(3), 7, None);
+            std::hint::black_box(trace.end(span, pg_pipeline::Track::Gate));
+        }
+        trace.note_round(pg_pipeline::RoundBreakdown {
+            round: 7,
+            total_us: 0,
+            parts: Vec::new(),
+        });
+    });
+
+    let work = DecodeWorkModel::default();
+    let work_ns = time_ns_per_op(2_000, || {
+        work.decode_work(1.0);
+    });
+
+    let overhead = hooks_ns / work_ns;
+    assert!(
+        overhead < 0.02,
+        "disabled tracing costs {hooks_ns:.1} ns against {work_ns:.1} ns \
+         of per-packet work ({:.3}% > 2%)",
+        overhead * 100.0
+    );
+    // And nothing is retained.
+    assert!(trace.snapshot().is_none());
+    assert!(trace.spans().is_empty());
+}
+
+#[test]
 fn disabled_handle_allocates_and_observes_nothing() {
     let telemetry = Telemetry::disabled();
     // No clock reads: the timer is None, so record() is a single branch.

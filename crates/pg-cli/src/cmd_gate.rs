@@ -10,7 +10,7 @@ use packetgame::{
 };
 use pg_pipeline::{
     Autopilot, AutopilotConfig, ChunkFaultMode, FaultPlan, GatePolicy, Insight, QuarantineConfig,
-    RegimeShift, ReplaySimulator, RoundSimulator, SimConfig, Telemetry,
+    RegimeShift, ReplaySimulator, RoundSimulator, SimConfig, Telemetry, Trace,
 };
 
 const HELP: &str = "\
@@ -46,6 +46,12 @@ regret / Lemma-1 slack / calibration / drift):
     --metrics-linger <secs>  keep the metrics endpoint up this many seconds
                              after the run finishes (default 0)
     --watch                  live decision-quality dashboard on stderr
+    --trace-out <path>       record per-stage spans and write a Chrome
+                             trace-event JSON (load in Perfetto /
+                             chrome://tracing); the per-round latency
+                             attribution also joins --telemetry-json and
+                             the pg_trace_* metrics
+    --trace-sample <n>       trace every n-th round only (default 1)
 
 AUTOPILOT (acts on the monitor's alarms; see DESIGN.md D11):
     --autopilot              stale predictors walk a recovery ladder
@@ -89,6 +95,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let metrics_addr_file = o.str_or("metrics-addr-file", "");
     let metrics_linger: u64 = o.num_or("metrics-linger", 0)?;
     let watch_requested = o.str_or("watch", "") == "true";
+    let trace_path = o.str_or("trace-out", "");
+    let trace_sample: u64 = o.num_or("trace-sample", 1)?;
     let slo_p99_us: f64 = o.num_or("slo-p99-us", 0.0)?;
     let autopilot_requested = o.str_or("autopilot", "") == "true" || slo_p99_us > 0.0;
     let regime_shift = parse_regime_shift(&o.str_or("regime-shift", ""))?;
@@ -96,7 +104,18 @@ pub fn run(args: &[String]) -> Result<(), String> {
     // decision-quality monitor; otherwise both stay disabled (and the gate
     // hot path pays a single predicted branch). The autopilot feeds on the
     // monitor's pulses, so enabling it enables the monitor too.
-    let observing = !telemetry_path.is_empty() || !metrics_addr.is_empty() || watch_requested;
+    let observing = !telemetry_path.is_empty()
+        || !metrics_addr.is_empty()
+        || watch_requested
+        || !trace_path.is_empty();
+    let trace = if trace_path.is_empty() {
+        Trace::disabled()
+    } else {
+        Trace::with_config(pg_pipeline::TraceConfig {
+            sample_every: trace_sample,
+            ..pg_pipeline::TraceConfig::default()
+        })
+    };
     let autopilot = if autopilot_requested {
         let mut ap_config = AutopilotConfig::default();
         if slo_p99_us > 0.0 {
@@ -110,6 +129,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         Telemetry::enabled()
             .with_insight(Insight::enabled())
             .with_autopilot(autopilot.clone())
+            .with_trace(trace.clone())
     } else {
         Telemetry::disabled()
     };
@@ -230,6 +250,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         )?;
         print_autopilot(&autopilot);
         write_telemetry(&telemetry_path, report.telemetry.as_ref())?;
+        write_trace(&trace_path, &trace)?;
         finish_observers(watch, server, metrics_linger);
         return Ok(());
     }
@@ -269,6 +290,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     print_report(&report, budget);
     print_autopilot(&autopilot);
     write_telemetry(&telemetry_path, report.telemetry.as_ref())?;
+    write_trace(&trace_path, &trace)?;
     finish_observers(watch, server, metrics_linger);
     Ok(())
 }
@@ -417,6 +439,20 @@ fn write_telemetry(
         .map_err(|e| format!("serializing telemetry: {e}"))?;
     std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!("[telemetry written to {path}]");
+    Ok(())
+}
+
+/// Dump the recorded spans as Chrome trace-event JSON (loadable in
+/// Perfetto or chrome://tracing) when `--trace-out` was given.
+pub(crate) fn write_trace(path: &str, trace: &Trace) -> Result<(), String> {
+    if path.is_empty() {
+        return Ok(());
+    }
+    let json = trace
+        .chrome_trace_json()
+        .ok_or("tracing was requested but not recorded")?;
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("[trace written to {path}]");
     Ok(())
 }
 

@@ -9,7 +9,7 @@ use packetgame::training::test_config;
 use packetgame::PacketGame;
 use pg_pipeline::concurrent::ConcurrentConfig;
 use pg_pipeline::gate::DecodeAll;
-use pg_pipeline::{ConcurrentPipeline, DecodeWorkModel, GatePolicy};
+use pg_pipeline::{ConcurrentPipeline, DecodeWorkModel, GatePolicy, Telemetry, Trace};
 
 const HELP: &str = "\
 pgv pipeline — run the threaded end-to-end runtime and report throughput
@@ -28,6 +28,11 @@ OPTIONS:
                            offload per cost unit instead of a CPU spin
                            (default 0 = spin)
     --seed <n>             workload seed (default 1)
+    --trace-out <path>     record per-stage spans (parser shards, gate
+                           select, queue-wait vs decode execution,
+                           inference) and write a Chrome trace-event
+                           JSON loadable in Perfetto / chrome://tracing
+    --trace-sample <n>     trace every n-th round only (default 1)
 ";
 
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -45,6 +50,16 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let policy = o.str_or("policy", "packetgame");
     let offload_ns: u64 = o.num_or("offload-ns", 0)?;
     let seed: u64 = o.num_or("seed", 1)?;
+    let trace_path = o.str_or("trace-out", "");
+    let trace_sample: u64 = o.num_or("trace-sample", 1)?;
+    let trace = if trace_path.is_empty() {
+        Trace::disabled()
+    } else {
+        Trace::with_config(pg_pipeline::TraceConfig {
+            sample_every: trace_sample,
+            ..pg_pipeline::TraceConfig::default()
+        })
+    };
 
     let cfg = ConcurrentConfig {
         streams,
@@ -78,7 +93,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
          {} decode workers, {effective_shards} parser shards, B={budget} ...",
         cfg.decode_workers
     );
-    let report = ConcurrentPipeline::new(cfg).run(gate.as_mut());
+    let mut pipeline = ConcurrentPipeline::new(cfg);
+    if trace.is_enabled() {
+        pipeline = pipeline.with_telemetry(Telemetry::enabled().with_trace(trace.clone()));
+    }
+    let report = pipeline.run(gate.as_mut());
 
     println!("wall            {:.2}s", report.wall.as_secs_f64());
     println!("streams/sec     {:.0}", report.streams_decoded_per_sec());
@@ -105,5 +124,6 @@ pub fn run(args: &[String]) -> Result<(), String> {
             h.degraded_events, h.recovered_events, h.quarantined_at_end, h.dead_streams
         );
     }
+    crate::cmd_gate::write_trace(&trace_path, &trace)?;
     Ok(())
 }

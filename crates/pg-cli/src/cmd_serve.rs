@@ -14,7 +14,7 @@ use pg_net::{HttpResponse, MiniHttpServer, SessionServerConfig};
 use pg_pipeline::concurrent::ConcurrentConfig;
 use pg_pipeline::gate::DecodeAll;
 use pg_pipeline::{
-    ConcurrentPipeline, DecodeWorkModel, GatePolicy, NetIngestSource, Telemetry,
+    ConcurrentPipeline, DecodeWorkModel, GatePolicy, NetIngestSource, Telemetry, Trace,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -49,6 +49,11 @@ OPTIONS:
                            10000; 0 = start immediately)
     --control-addr <a>     serve live session JSON at http://<a>/sessions
     --metrics-addr <a>     serve Prometheus telemetry at http://<a>/metrics
+    --trace-out <path>     record per-stage spans — including ingest
+                           bridge handoffs and queue-wait vs decode
+                           execution — and write a Chrome trace-event
+                           JSON loadable in Perfetto / chrome://tracing
+    --trace-sample <n>     trace every n-th round only (default 1)
 ";
 
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -73,6 +78,16 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let first_wait_ms: u64 = o.num_or("first-wait-ms", 10_000)?;
     let control_addr = o.str_or("control-addr", "");
     let metrics_addr = o.str_or("metrics-addr", "");
+    let trace_path = o.str_or("trace-out", "");
+    let trace_sample: u64 = o.num_or("trace-sample", 1)?;
+    let trace = if trace_path.is_empty() {
+        Trace::disabled()
+    } else {
+        Trace::with_config(pg_pipeline::TraceConfig {
+            sample_every: trace_sample,
+            ..pg_pipeline::TraceConfig::default()
+        })
+    };
 
     let cfg = ConcurrentConfig {
         streams,
@@ -106,7 +121,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
             max_sessions,
             ..SessionServerConfig::default()
         },
-    )?;
+    )?
+    .with_trace(trace.clone());
     let local = source.local_addr();
     eprintln!("session server listening on {local} ({streams} streams x {rounds} rounds)");
     if !addr_file.is_empty() {
@@ -114,7 +130,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("writing {addr_file}: {e}"))?;
     }
 
-    let telemetry = Telemetry::enabled().with_ingest(source.counters());
+    let telemetry = Telemetry::enabled()
+        .with_ingest(source.counters())
+        .with_trace(trace.clone());
     let _metrics = if metrics_addr.is_empty() {
         None
     } else {
@@ -188,5 +206,6 @@ pub fn run(args: &[String]) -> Result<(), String> {
             h.degraded_events, h.recovered_events, h.quarantined_at_end, h.dead_streams
         );
     }
+    crate::cmd_gate::write_trace(&trace_path, &trace)?;
     Ok(())
 }

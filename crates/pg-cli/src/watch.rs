@@ -98,6 +98,7 @@ pub fn render(snapshot: &TelemetrySnapshot) -> Vec<String> {
             g.kept, g.dropped
         ));
         lines.push(" insight off (run with --metrics-addr/--watch to enable)".to_string());
+        push_trace_row(&mut lines, snapshot);
         return lines;
     };
     let (util, quarantined) = ins
@@ -177,7 +178,42 @@ pub fn render(snapshot: &TelemetrySnapshot) -> Vec<String> {
             snapshot.faults.recovered_events
         ));
     }
+    push_trace_row(&mut lines, snapshot);
     lines
+}
+
+/// Append the live stage breakdown of the worst recent round: where did
+/// the slow round actually spend its wall time?
+fn push_trace_row(lines: &mut Vec<String>, snapshot: &TelemetrySnapshot) {
+    let Some(trace) = &snapshot.trace else {
+        return;
+    };
+    if let Some(worst) = &trace.worst_round {
+        let parts: Vec<String> = worst
+            .parts
+            .iter()
+            .map(|p| {
+                let pct = if worst.total_us > 0 {
+                    p.us as f64 / worst.total_us as f64 * 100.0
+                } else {
+                    0.0
+                };
+                format!("{} {pct:.0}%", p.stage)
+            })
+            .collect();
+        lines.push(format!(
+            " trace   worst round {}: {} µs  [{}]   queue-wait {:.1}% of decode path",
+            worst.round,
+            worst.total_us,
+            parts.join("  "),
+            trace.queue_wait_share * 100.0
+        ));
+    } else {
+        lines.push(format!(
+            " trace   {} spans recorded, awaiting a full round",
+            trace.spans_recorded
+        ));
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +263,33 @@ mod tests {
         let joined = lines.join("\n");
         assert!(joined.contains(" auto    0 actions"), "{joined}");
         assert!(joined.contains(" budget  B"), "{joined}");
+    }
+
+    #[test]
+    fn renders_the_trace_row_with_worst_round_breakdown() {
+        let trace = pg_pipeline::Trace::enabled();
+        trace.note_round(pg_pipeline::RoundBreakdown {
+            round: 7,
+            total_us: 1_000,
+            parts: vec![
+                pg_pipeline::RoundPart {
+                    stage: "gate_select".into(),
+                    us: 600,
+                },
+                pg_pipeline::RoundPart {
+                    stage: "dispatch".into(),
+                    us: 400,
+                },
+            ],
+        });
+        let telemetry = Telemetry::enabled().with_trace(trace);
+        let snapshot = telemetry.snapshot().expect("snapshot");
+        let lines = render(&snapshot);
+        let joined = lines.join("\n");
+        assert!(joined.contains(" trace   worst round 7: 1000 µs"), "{joined}");
+        assert!(joined.contains("gate_select 60%"), "{joined}");
+        assert!(joined.contains("dispatch 40%"), "{joined}");
+        assert!(joined.contains("queue-wait"), "{joined}");
     }
 
     #[test]

@@ -86,6 +86,7 @@ use crate::gate::{FeedbackEvent, GatePolicy, PacketContext};
 use crate::round::RegimeShift;
 use crate::steal::{steal_pool, PoolWorker, StealPool};
 use crate::telemetry::{Stage, Telemetry, TelemetrySnapshot};
+use crate::trace::{RoundBreakdown, RoundPart, SpanId, SpanToken, TraceStage, Track};
 
 /// Default for [`ConcurrentConfig::stall_timeout`]: how long the gate
 /// waits for parser output before declaring the uncovered streams stalled
@@ -353,6 +354,12 @@ struct DecodeJob {
     round: u64,
     closure: Vec<Packet>,
     cost: f64,
+    /// Open queue-wait span, begun on the gate thread at dispatch and
+    /// closed by the worker that pops the job — the time in between is
+    /// pure pool-queue wait, the quantity §5.3's budget tuning needs to
+    /// see separately from decode execution. `None` when tracing is off
+    /// or the round is unsampled.
+    queue_span: Option<SpanToken>,
 }
 
 /// A decoded target frame heading for inference.
@@ -360,6 +367,8 @@ struct InferItem {
     stream_idx: usize,
     round: u64,
     target: Packet,
+    /// Decode span id, parenting the inference span across threads.
+    trace_parent: Option<SpanId>,
 }
 
 /// A fault a parser shard reports in-band, riding in the round batch (so
@@ -783,6 +792,7 @@ fn shard_parser_stage(
 ) -> (u64, u64) {
     let mut parsers: Vec<PacketParser> = (0..m).map(|_| PacketParser::new()).collect();
     let mut dead = vec![false; m];
+    let trace = telemetry.trace().clone();
     let mut packets = 0u64;
     let mut bytes = 0u64;
     let mut open: BTreeMap<u64, ShardBatch> = BTreeMap::new();
@@ -818,6 +828,7 @@ fn shard_parser_stage(
         bytes += chunk.len() as u64;
         if !dead[i] {
             let parse_timer = telemetry.timer();
+            let parse_span = trace.begin(TraceStage::Parse, Some(i), round, None);
             parsers[i].push_shared(chunk);
             let mut chunk_packets = 0u64;
             let batch = open
@@ -859,6 +870,7 @@ fn shard_parser_stage(
                 // A header-only chunk opened no batch worth keeping.
                 open.remove(&round);
             }
+            trace.end(parse_span, Track::Parser(shard));
             telemetry.record(Stage::Parse, chunk_packets, parse_timer);
             packets += chunk_packets;
         }
@@ -887,7 +899,12 @@ fn decode_worker(
     let mut frames = 0u64;
     let mut cost = 0.0f64;
     let mut per_stream = vec![0u64; m];
-    while let Some(job) = rx.next() {
+    let trace = telemetry.trace().clone();
+    let track = Track::Decode(rx.id());
+    while let Some(mut job) = rx.next() {
+        // The job's queue-wait span ends the moment a worker takes it;
+        // what follows on this track is pure decode execution.
+        let queued = trace.end(job.queue_span.take(), track);
         if plan.stalls_decoder(job.stream_idx, job.round) {
             // Injected decoder stall: the closure is abandoned undecoded.
             let _ = err_tx.send(PipelineError::DecodeFail {
@@ -906,7 +923,14 @@ fn decode_worker(
             continue;
         };
         let decode_timer = telemetry.timer();
+        let decode_span = trace.begin(
+            TraceStage::Decode,
+            Some(job.stream_idx),
+            job.round,
+            queued.map(|q| q.id),
+        );
         work.decode_work(job.cost);
+        let decoded_span = trace.end(decode_span, track);
         telemetry.record(Stage::Decode, job.closure.len() as u64, decode_timer);
         frames += job.closure.len() as u64;
         cost += job.cost;
@@ -917,6 +941,7 @@ fn decode_worker(
             stream_idx: job.stream_idx,
             round: job.round,
             target,
+            trace_parent: decoded_span.map(|d| d.id),
         };
         if tx.send((item, job.cost, job.closure.len())).is_err() {
             break;
@@ -1087,6 +1112,7 @@ fn gate_stage(
     let mut round_latency_us = Vec::with_capacity(cfg.rounds as usize);
     let insight = telemetry.insight().clone();
     let autopilot = telemetry.autopilot().clone();
+    let trace = telemetry.trace().clone();
     // The SLO controller may retune this between rounds.
     let mut budget_per_round = cfg.budget_per_round;
 
@@ -1108,6 +1134,12 @@ fn gate_stage(
 
     for round in 0..cfg.rounds {
         let round_start = Instant::now();
+        // The round span brackets the same interval `round_latency_us`
+        // measures; the four sub-spans below tile its body (only
+        // `health.tick` and the insight round close fall in the gaps), so
+        // their durations attribute the round's wall time by stage.
+        let round_span = trace.begin(TraceStage::Round, None, round, None);
+        let round_id = round_span.as_ref().map(SpanToken::id);
         // Streams whose cooldown expired re-enter gating.
         for i in health.tick(round) {
             telemetry.stream_recovered(i);
@@ -1116,6 +1148,7 @@ fn gate_stage(
         // Ingest until every live stream covers this round. Fault markers
         // and dead/closed streams count as covered, so one damaged stream
         // never stalls the other m−1.
+        let ingest_span = trace.begin(TraceStage::IngestWait, None, round, round_id);
         while !ingest.all_covered(m, round, &health) {
             match batch_rx.recv_timeout(cfg.stall_timeout) {
                 Ok(batch) => {
@@ -1142,6 +1175,8 @@ fn gate_stage(
                 }
             }
         }
+        let ingest_done = trace.end(ingest_span, Track::Gate);
+        let assemble_span = trace.begin(TraceStage::Assemble, None, round, round_id);
 
         // Canonical processing: every parked batch of round ≤ this round,
         // rounds ascending, items within a round stably sorted by stream
@@ -1281,10 +1316,13 @@ fn gate_stage(
             });
         }
         let contexts = &scratch.contexts;
+        let assemble_done = trace.end(assemble_span, Track::Gate);
 
+        let select_span = trace.begin(TraceStage::GateSelect, None, round, round_id);
         let t0 = Instant::now();
         let selection = gate.select(round, contexts, budget_per_round);
         let select_elapsed = t0.elapsed();
+        let select_done = trace.end(select_span, Track::Gate);
         gate_time += select_elapsed;
         telemetry.record_duration(Stage::Gate, contexts.len() as u64, select_elapsed);
 
@@ -1293,6 +1331,8 @@ fn gate_stage(
         // skipped. The pool's injector is unbounded, so dispatch never
         // blocks and never fails: if the pool died, the jobs sit queued
         // and the dead workers surface as StageDown records at join.
+        let dispatch_span = trace.begin(TraceStage::Dispatch, None, round, round_id);
+        let dispatch_id = dispatch_span.as_ref().map(SpanToken::id);
         scratch.has_candidate[..m].fill(false);
         for c in contexts {
             scratch.has_candidate[c.stream_idx] = true;
@@ -1307,7 +1347,7 @@ fn gate_stage(
             if spent >= budget_per_round {
                 break;
             }
-            let Some(job) = build_job(&mut trackers[idx], &stores[idx], &cfg.costs, idx, round)
+            let Some(mut job) = build_job(&mut trackers[idx], &stores[idx], &cfg.costs, idx, round)
             else {
                 // The closure references records lost to damage: drop the
                 // in-flight closure and quarantine until the next clean
@@ -1323,8 +1363,10 @@ fn gate_stage(
             spent += job.cost;
             sent[idx] = true;
             decoded += 1;
+            job.queue_span = trace.begin(TraceStage::QueueWait, Some(idx), round, dispatch_id);
             pool.push(job);
         }
+        let dispatch_done = trace.end(dispatch_span, Track::Gate);
 
         // Close the round for the decision-quality monitor. The runtime
         // has no scene ground truth, so no hindsight-oracle outcomes are
@@ -1343,6 +1385,27 @@ fn gate_stage(
         }
         let round_us = round_start.elapsed().as_micros() as u64;
         round_latency_us.push(round_us);
+        if let Some(done) = trace.end(round_span, Track::Gate) {
+            let parts = [
+                (TraceStage::IngestWait, ingest_done),
+                (TraceStage::Assemble, assemble_done),
+                (TraceStage::GateSelect, select_done),
+                (TraceStage::Dispatch, dispatch_done),
+            ]
+            .into_iter()
+            .filter_map(|(stage, closed)| {
+                closed.map(|c| RoundPart {
+                    stage: stage.name().to_string(),
+                    us: c.dur_us,
+                })
+            })
+            .collect();
+            trace.note_round(RoundBreakdown {
+                round,
+                total_us: done.dur_us,
+                parts,
+            });
+        }
         if autopilot.is_enabled() {
             budget_per_round = autopilot.observe_round(
                 round,
@@ -1388,6 +1451,7 @@ fn build_job(
         round,
         closure,
         cost,
+        queue_span: None,
     })
 }
 
@@ -1405,9 +1469,16 @@ fn inference_stage(
     use pg_inference::tasks::model_for;
     let mut models: Vec<_> = (0..m).map(|_| model_for(task)).collect();
     let mut judges: Vec<RedundancyJudge> = (0..m).map(|_| RedundancyJudge::new()).collect();
+    let trace = telemetry.trace().clone();
     let mut count = 0u64;
     while let Ok((item, _cost, _len)) = frame_rx.recv() {
         let infer_timer = telemetry.timer();
+        let infer_span = trace.begin(
+            TraceStage::Infer,
+            Some(item.stream_idx),
+            item.round,
+            item.trace_parent,
+        );
         let decoded = pg_codec::DecodedFrame {
             stream_id: item.target.meta.stream_id,
             seq: item.target.meta.seq,
@@ -1417,6 +1488,7 @@ fn inference_stage(
         };
         let result = models[item.stream_idx].infer(&decoded);
         let necessary = judges[item.stream_idx].feedback(result);
+        trace.end(infer_span, Track::Infer);
         telemetry.record(Stage::Infer, 1, infer_timer);
         count += 1;
         if plan.drops_feedback(item.stream_idx, item.round) {

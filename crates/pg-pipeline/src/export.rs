@@ -182,7 +182,80 @@ pub fn prometheus_exposition(snapshot: &TelemetrySnapshot) -> String {
     if let Some(autopilot) = &snapshot.autopilot {
         render_autopilot(&mut out, autopilot);
     }
+    if let Some(trace) = &snapshot.trace {
+        render_trace(&mut out, trace);
+    }
     out
+}
+
+fn render_trace(out: &mut String, trace: &crate::trace::TraceSnapshot) {
+    family(
+        out,
+        "pg_trace_spans_recorded_total",
+        "Completed trace spans recorded (attribution covers all of them).",
+        "counter",
+    );
+    sample(
+        out,
+        "pg_trace_spans_recorded_total",
+        &[],
+        trace.spans_recorded as f64,
+    );
+    family(
+        out,
+        "pg_trace_spans_evicted_total",
+        "Raw spans evicted from the bounded store (newest kept).",
+        "counter",
+    );
+    sample(
+        out,
+        "pg_trace_spans_evicted_total",
+        &[],
+        trace.spans_evicted as f64,
+    );
+    family(
+        out,
+        "pg_trace_queue_wait_share",
+        "Fraction of gate round time decode jobs spent queued in the pool.",
+        "gauge",
+    );
+    sample(out, "pg_trace_queue_wait_share", &[], trace.queue_wait_share);
+    family(
+        out,
+        "pg_trace_stage_spans_total",
+        "Trace spans per pipeline stage.",
+        "counter",
+    );
+    family(
+        out,
+        "pg_trace_stage_time_us_total",
+        "Cumulative span time per pipeline stage, microseconds.",
+        "counter",
+    );
+    family(
+        out,
+        "pg_trace_stage_mean_us",
+        "Mean span duration per pipeline stage, microseconds.",
+        "gauge",
+    );
+    family(
+        out,
+        "pg_trace_stage_p99_us",
+        "99th-percentile span duration per pipeline stage, microseconds.",
+        "gauge",
+    );
+    for stage in &trace.stages {
+        let labels = [("stage", stage.stage.as_str())];
+        sample(out, "pg_trace_stage_spans_total", &labels, stage.count as f64);
+        sample(
+            out,
+            "pg_trace_stage_time_us_total",
+            &labels,
+            stage.total_us as f64,
+        );
+        sample(out, "pg_trace_stage_mean_us", &labels, stage.mean_us);
+        sample(out, "pg_trace_stage_p99_us", &labels, stage.p99_us as f64);
+    }
 }
 
 fn render_autopilot(out: &mut String, ap: &crate::autopilot::AutopilotSnapshot) {
@@ -740,6 +813,31 @@ mod tests {
             text.contains(r#"pg_autopilot_budget{bound="initial"} 8"#),
             "{text}"
         );
+    }
+
+    #[test]
+    fn trace_attribution_joins_the_exposition() {
+        use crate::trace::{Trace, TraceStage, Track};
+        let trace = Trace::enabled();
+        let round_span = trace.begin(TraceStage::Round, None, 0, None);
+        let queue_span = trace.begin(TraceStage::QueueWait, Some(0), 0, None);
+        std::thread::sleep(Duration::from_millis(1));
+        trace.end(queue_span, Track::Decode(0));
+        trace.end(round_span, Track::Gate);
+        let telemetry = Telemetry::enabled().with_trace(trace);
+        let snapshot = telemetry.snapshot().expect("snapshot");
+        let text = prometheus_exposition(&snapshot);
+        validate_exposition(&text).expect("valid exposition");
+        assert!(text.contains("pg_trace_spans_recorded_total 2"), "{text}");
+        assert!(
+            text.contains(r#"pg_trace_stage_spans_total{stage="round"} 1"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"pg_trace_stage_time_us_total{stage="queue_wait"}"#),
+            "{text}"
+        );
+        assert!(text.contains("pg_trace_queue_wait_share"), "{text}");
     }
 
     fn populated_snapshot() -> TelemetrySnapshot {

@@ -159,6 +159,7 @@ pub struct NetIngestSource {
     local_addr: SocketAddr,
     streams: usize,
     rounds: u64,
+    trace: crate::trace::Trace,
 }
 
 impl NetIngestSource {
@@ -186,7 +187,17 @@ impl NetIngestSource {
             local_addr,
             streams,
             rounds,
+            trace: crate::trace::Trace::disabled(),
         })
+    }
+
+    /// Attach a trace handle: each chunk bridged from a session into the
+    /// pipeline records a `bridge` span on the ingest track, making
+    /// socket→parser handoff (including backpressure blocking in
+    /// [`IngestSink::deliver`]) visible in the exported trace.
+    pub fn with_trace(mut self, trace: crate::trace::Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// The bound address clients should connect to.
@@ -245,7 +256,12 @@ impl ChunkSource for NetIngestSource {
                     if i < streams && !self.progress.header_done[i].swap(true, Ordering::AcqRel) {
                         // Headers ride round 0, like the in-process
                         // producer, so they join the first data batch.
-                        if !sink.deliver(i, 0, chunk) {
+                        let span =
+                            self.trace
+                                .begin(crate::trace::TraceStage::Bridge, Some(i), 0, None);
+                        let ok = sink.deliver(i, 0, chunk);
+                        self.trace.end(span, crate::trace::Track::Ingest);
+                        if !ok {
                             break;
                         }
                     }
@@ -265,7 +281,12 @@ impl ChunkSource for NetIngestSource {
                         // resume: the cursor makes it harmless.
                         continue;
                     }
-                    if !sink.deliver(i, round, chunk) {
+                    let span =
+                        self.trace
+                            .begin(crate::trace::TraceStage::Bridge, Some(i), round, None);
+                    let ok = sink.deliver(i, round, chunk);
+                    self.trace.end(span, crate::trace::Track::Ingest);
+                    if !ok {
                         break;
                     }
                     self.progress.next_round[i].store(round + 1, Ordering::Release);

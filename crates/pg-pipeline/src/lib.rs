@@ -31,6 +31,7 @@ pub mod round;
 pub mod search;
 pub mod steal;
 pub mod telemetry;
+pub mod trace;
 
 pub use autopilot::{Autopilot, AutopilotAction, AutopilotConfig, AutopilotSnapshot};
 pub use budget::RoundBudget;
@@ -58,4 +59,8 @@ pub use round::{RegimeShift, RoundSimulator, SimConfig, StreamSpec};
 pub use search::max_streams_at_accuracy;
 pub use telemetry::{
     AuditReason, GateAuditEntry, IngestSnapshot, Stage, Telemetry, TelemetrySnapshot,
+};
+pub use trace::{
+    RoundBreakdown, RoundPart, SpanId, SpanToken, Trace, TraceConfig, TraceSnapshot, TraceSpan,
+    TraceStage, Track,
 };

@@ -184,8 +184,13 @@ impl NetworkedRoundSimulator {
         let mut fault_log: Vec<FaultRecord> = Vec::new();
 
         let insight = self.telemetry.insight().clone();
+        let trace = self.telemetry.trace().clone();
 
         for round in 0..rounds {
+            let round_span = trace.begin(crate::trace::TraceStage::Round, None, round, None);
+            let round_id = round_span.as_ref().map(crate::trace::SpanToken::id);
+            let mut decode_us = 0u64;
+            let mut infer_us = 0u64;
             budget.begin_round();
             let spent_before = budget.total_spent();
             let segment = (round as usize * self.segments) / rounds.max(1) as usize;
@@ -199,6 +204,8 @@ impl NetworkedRoundSimulator {
             let mut necessity = vec![false; m];
             let mut contexts: Vec<PacketContext> = Vec::new();
             let parse_timer = self.telemetry.timer();
+            let parse_span =
+                trace.begin(crate::trace::TraceStage::Parse, None, round, round_id);
             let mut arrived_this_round = 0u64;
             for (i, s) in self.streams.iter_mut().enumerate() {
                 let (frame, packets) = s.net.tick_full();
@@ -237,12 +244,16 @@ impl NetworkedRoundSimulator {
                 }
             }
 
+            let parse_done = trace.end(parse_span, crate::trace::Track::Gate);
             self.telemetry
                 .record(Stage::Parse, arrived_this_round, parse_timer);
 
             // Gate decision over the streams that actually delivered.
             let gate_timer = self.telemetry.timer();
+            let select_span =
+                trace.begin(crate::trace::TraceStage::GateSelect, None, round, round_id);
             let selection = gate.select(round, &contexts, budget.per_round);
+            let select_done = trace.end(select_span, crate::trace::Track::Gate);
             self.telemetry
                 .record(Stage::Gate, contexts.len() as u64, gate_timer);
             let mut decoded_flags = vec![false; m];
@@ -260,8 +271,12 @@ impl NetworkedRoundSimulator {
                 };
                 let before = s.decoder.stats().cost_spent;
                 let decode_timer = self.telemetry.timer();
+                let decode_span =
+                    trace.begin(crate::trace::TraceStage::Decode, Some(idx), round, round_id);
                 match s.decoder.decode_closure(p.meta.seq) {
                     Ok(frames) => {
+                        let decode_done = trace.end(decode_span, crate::trace::Track::Gate);
+                        decode_us += decode_done.map_or(0, |d| d.dur_us);
                         self.telemetry
                             .record(Stage::Decode, frames.len() as u64, decode_timer);
                         budget.charge(s.decoder.stats().cost_spent - before);
@@ -272,7 +287,15 @@ impl NetworkedRoundSimulator {
                             continue;
                         };
                         let infer_timer = self.telemetry.timer();
+                        let infer_span = trace.begin(
+                            crate::trace::TraceStage::Infer,
+                            Some(idx),
+                            round,
+                            decode_done.map(|d| d.id),
+                        );
                         let result = s.model.infer(target);
+                        let infer_done = trace.end(infer_span, crate::trace::Track::Gate);
+                        infer_us += infer_done.map_or(0, |d| d.dur_us);
                         self.telemetry.record(Stage::Infer, 1, infer_timer);
                         let necessary = s.judge.feedback(result);
                         events.push(FeedbackEvent {
@@ -282,6 +305,7 @@ impl NetworkedRoundSimulator {
                         });
                     }
                     Err(e) => {
+                        trace.end(decode_span, crate::trace::Track::Gate);
                         // References were lost in transit: the packet is
                         // stranded until the next I-frame. Only the
                         // simulator can see this outcome, so it records the
@@ -348,6 +372,31 @@ impl NetworkedRoundSimulator {
                     budget.per_round,
                     None,
                 );
+            }
+            if let Some(done) = trace.end(round_span, crate::trace::Track::Gate) {
+                let parts = [
+                    (
+                        crate::trace::TraceStage::Parse,
+                        parse_done.map_or(0, |d| d.dur_us),
+                    ),
+                    (
+                        crate::trace::TraceStage::GateSelect,
+                        select_done.map_or(0, |d| d.dur_us),
+                    ),
+                    (crate::trace::TraceStage::Decode, decode_us),
+                    (crate::trace::TraceStage::Infer, infer_us),
+                ]
+                .into_iter()
+                .map(|(stage, us)| crate::trace::RoundPart {
+                    stage: stage.name().to_string(),
+                    us,
+                })
+                .collect();
+                trace.note_round(crate::trace::RoundBreakdown {
+                    round,
+                    total_us: done.dur_us,
+                    parts,
+                });
             }
         }
 

@@ -21,6 +21,7 @@ use crate::gate::{FeedbackEvent, GatePolicy, PacketContext};
 use crate::metrics::RoundSimReport;
 use crate::round::SimConfig;
 use crate::telemetry::{Stage, Telemetry};
+use crate::trace::{RoundBreakdown, RoundPart, SpanToken, TraceStage, Track};
 
 struct ReplayStream {
     packets: Vec<Packet>,
@@ -116,8 +117,13 @@ impl ReplaySimulator {
         let mut fault_log: Vec<FaultRecord> = Vec::new();
 
         let insight = self.telemetry.insight().clone();
+        let trace = self.telemetry.trace().clone();
 
         for round in 0..rounds {
+            let round_span = trace.begin(TraceStage::Round, None, round, None);
+            let round_id = round_span.as_ref().map(SpanToken::id);
+            let mut decode_us = 0u64;
+            let mut infer_us = 0u64;
             budget.begin_round();
             let spent_before = budget.total_spent();
             let segment = (round as usize * self.config.segments) / rounds.max(1) as usize;
@@ -126,6 +132,7 @@ impl ReplaySimulator {
             let mut necessity = vec![false; m];
             let mut truths = Vec::with_capacity(m);
             let parse_timer = self.telemetry.timer();
+            let parse_span = trace.begin(TraceStage::Parse, None, round, round_id);
             for (i, s) in self.streams.iter_mut().enumerate() {
                 // Re-stamp the stream id so multi-file replays don't clash.
                 let mut packet = s.packets[round as usize].clone();
@@ -167,10 +174,13 @@ impl ReplaySimulator {
                 });
             }
 
+            let parse_done = trace.end(parse_span, Track::Gate);
             self.telemetry.record(Stage::Parse, m as u64, parse_timer);
 
             let gate_timer = self.telemetry.timer();
+            let select_span = trace.begin(TraceStage::GateSelect, None, round, round_id);
             let selection = gate.select(round, &contexts, budget.per_round);
+            let select_done = trace.end(select_span, Track::Gate);
             self.telemetry
                 .record(Stage::Gate, contexts.len() as u64, gate_timer);
             let mut decoded_flags = vec![false; m];
@@ -192,9 +202,11 @@ impl ReplaySimulator {
                 // A damaged/lossy file may be missing references; treat
                 // such packets as stranded rather than crashing the replay.
                 let decode_timer = self.telemetry.timer();
+                let decode_span = trace.begin(TraceStage::Decode, Some(idx), round, round_id);
                 let frames = match s.decoder.decode_closure(seq) {
                     Ok(frames) => frames,
                     Err(e) => {
+                        trace.end(decode_span, Track::Gate);
                         let error = PipelineError::DecodeFail {
                             stream_idx: idx,
                             round,
@@ -205,6 +217,8 @@ impl ReplaySimulator {
                         continue;
                     }
                 };
+                let decode_done = trace.end(decode_span, Track::Gate);
+                decode_us += decode_done.map_or(0, |d| d.dur_us);
                 self.telemetry
                     .record(Stage::Decode, frames.len() as u64, decode_timer);
                 budget.charge(s.decoder.stats().cost_spent - before);
@@ -215,7 +229,15 @@ impl ReplaySimulator {
                     continue;
                 };
                 let infer_timer = self.telemetry.timer();
+                let infer_span = trace.begin(
+                    TraceStage::Infer,
+                    Some(idx),
+                    round,
+                    decode_done.map(|d| d.id),
+                );
                 let result = s.model.infer(target);
+                let infer_done = trace.end(infer_span, Track::Gate);
+                infer_us += infer_done.map_or(0, |d| d.dur_us);
                 self.telemetry.record(Stage::Infer, 1, infer_timer);
                 s.published = Some(result);
                 events.push(FeedbackEvent {
@@ -266,6 +288,25 @@ impl ReplaySimulator {
                     budget.per_round,
                     None,
                 );
+            }
+            if let Some(done) = trace.end(round_span, Track::Gate) {
+                let parts = [
+                    (TraceStage::Parse, parse_done.map_or(0, |d| d.dur_us)),
+                    (TraceStage::GateSelect, select_done.map_or(0, |d| d.dur_us)),
+                    (TraceStage::Decode, decode_us),
+                    (TraceStage::Infer, infer_us),
+                ]
+                .into_iter()
+                .map(|(stage, us)| RoundPart {
+                    stage: stage.name().to_string(),
+                    us,
+                })
+                .collect();
+                trace.note_round(RoundBreakdown {
+                    round,
+                    total_us: done.dur_us,
+                    parts,
+                });
             }
         }
 

@@ -283,8 +283,13 @@ impl RoundSimulator {
         let mut round_seq: Vec<Option<u64>> = vec![None; m];
 
         let insight = self.telemetry.insight().clone();
+        let trace = self.telemetry.trace().clone();
 
         for round in 0..rounds {
+            let round_span = trace.begin(crate::trace::TraceStage::Round, None, round, None);
+            let round_id = round_span.as_ref().map(crate::trace::SpanToken::id);
+            let mut decode_us = 0u64;
+            let mut infer_us = 0u64;
             // Injected drift: re-target the selected encoders at the
             // shift round.
             if let Some(shift) = self.config.regime_shift {
@@ -309,6 +314,8 @@ impl RoundSimulator {
 
             // 1-2. Generate, encode, ingest; build gate contexts.
             let parse_timer = self.telemetry.timer();
+            let parse_span =
+                trace.begin(crate::trace::TraceStage::Parse, None, round, round_id);
             for (i, s) in self.streams.iter_mut().enumerate() {
                 let frame = s.generator.next_frame();
                 // Paper necessity: count change / event active (§5.1).
@@ -421,11 +428,15 @@ impl RoundSimulator {
                 });
             }
 
+            let parse_done = trace.end(parse_span, crate::trace::Track::Gate);
             self.telemetry.record(Stage::Parse, m as u64, parse_timer);
 
             // 3. Policy decision.
             let gate_timer = self.telemetry.timer();
+            let select_span =
+                trace.begin(crate::trace::TraceStage::GateSelect, None, round, round_id);
             let selection = gate.select(round, &contexts, budget.per_round);
+            let select_done = trace.end(select_span, crate::trace::Track::Gate);
             self.telemetry
                 .record(Stage::Gate, contexts.len() as u64, gate_timer);
 
@@ -461,9 +472,12 @@ impl RoundSimulator {
                 let s = &mut self.streams[idx];
                 let before = s.decoder.stats().cost_spent;
                 let decode_timer = self.telemetry.timer();
+                let decode_span =
+                    trace.begin(crate::trace::TraceStage::Decode, Some(idx), round, round_id);
                 let frames = match s.decoder.decode_closure(seq) {
                     Ok(frames) => frames,
                     Err(e) => {
+                        trace.end(decode_span, crate::trace::Track::Gate);
                         // References lost to damage: the in-flight closure
                         // is dropped and the stream quarantined until a
                         // clean GOP can rebuild it.
@@ -484,6 +498,8 @@ impl RoundSimulator {
                         continue;
                     }
                 };
+                let decode_done = trace.end(decode_span, crate::trace::Track::Gate);
+                decode_us += decode_done.map_or(0, |d| d.dur_us);
                 self.telemetry
                     .record(Stage::Decode, frames.len() as u64, decode_timer);
                 budget.charge(s.decoder.stats().cost_spent - before);
@@ -496,7 +512,15 @@ impl RoundSimulator {
                 };
                 debug_assert_eq!(target.seq, seq);
                 let infer_timer = self.telemetry.timer();
+                let infer_span = trace.begin(
+                    crate::trace::TraceStage::Infer,
+                    Some(idx),
+                    round,
+                    decode_done.map(|d| d.id),
+                );
                 let result = s.model.infer(target);
+                let infer_done = trace.end(infer_span, crate::trace::Track::Gate);
+                infer_us += infer_done.map_or(0, |d| d.dur_us);
                 self.telemetry.record(Stage::Infer, 1, infer_timer);
                 s.published = Some(result);
                 let necessary_fb = s.judge.feedback(result);
@@ -574,6 +598,28 @@ impl RoundSimulator {
                     budget.per_round,
                     None,
                 );
+            }
+            if let Some(done) = trace.end(round_span, crate::trace::Track::Gate) {
+                let parts = [
+                    (crate::trace::TraceStage::Parse, parse_done.map_or(0, |d| d.dur_us)),
+                    (
+                        crate::trace::TraceStage::GateSelect,
+                        select_done.map_or(0, |d| d.dur_us),
+                    ),
+                    (crate::trace::TraceStage::Decode, decode_us),
+                    (crate::trace::TraceStage::Infer, infer_us),
+                ]
+                .into_iter()
+                .map(|(stage, us)| crate::trace::RoundPart {
+                    stage: stage.name().to_string(),
+                    us,
+                })
+                .collect();
+                trace.note_round(crate::trace::RoundBreakdown {
+                    round,
+                    total_us: done.dur_us,
+                    parts,
+                });
             }
         }
 

@@ -94,6 +94,12 @@ impl<T> StealPool<T> {
 }
 
 impl<T> PoolWorker<T> {
+    /// This worker's index in the pool (0-based) — stable identity for
+    /// per-worker trace tracks.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
     /// The next job, blocking while the pool is open and idle. Returns
     /// `None` once the pool is closed and fully drained. Search order:
     /// own deque, then a batched refill from the injector, then stealing

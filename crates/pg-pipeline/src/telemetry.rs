@@ -35,6 +35,7 @@ use serde::Serialize;
 use crate::fault::FaultKind;
 use crate::autopilot::{Autopilot, AutopilotSnapshot};
 use crate::insight::{Insight, InsightSnapshot};
+use crate::trace::{Trace, TraceSnapshot};
 
 /// The four pipeline stages every execution mode shares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -273,6 +274,10 @@ pub struct Telemetry {
     /// [`crate::autopilot`]); its actions ledger and counters join the
     /// snapshot and the Prometheus exposition when attached.
     autopilot: Autopilot,
+    /// Optional span recorder riding on the same handle (see
+    /// [`crate::trace`]); its latency-attribution summary joins the
+    /// snapshot and the Prometheus exposition when attached.
+    trace: Trace,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -282,6 +287,7 @@ impl std::fmt::Debug for Telemetry {
             .field("insight", &self.insight.is_enabled())
             .field("ingest", &self.ingest.is_some())
             .field("autopilot", &self.autopilot.is_enabled())
+            .field("trace", &self.trace.is_enabled())
             .finish()
     }
 }
@@ -300,6 +306,7 @@ impl Telemetry {
             insight: Insight::disabled(),
             ingest: None,
             autopilot: Autopilot::disabled(),
+            trace: Trace::disabled(),
         }
     }
 
@@ -323,6 +330,7 @@ impl Telemetry {
             insight: Insight::disabled(),
             ingest: None,
             autopilot: Autopilot::disabled(),
+            trace: Trace::disabled(),
         }
     }
 
@@ -362,6 +370,19 @@ impl Telemetry {
     /// Cheap to clone — hooks branch on [`Insight::is_enabled`].
     pub fn insight(&self) -> &Insight {
         &self.insight
+    }
+
+    /// Attach a span recorder; its latency-attribution summary rides
+    /// along as [`TelemetrySnapshot::trace`].
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The attached span recorder (disabled by default). Cheap to clone —
+    /// hooks branch on [`Trace::is_enabled`].
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Whether this handle records anything.
@@ -451,9 +472,13 @@ impl Telemetry {
     /// the stage/gate sections come back zeroed with the stable shape.
     pub fn snapshot(&self) -> Option<TelemetrySnapshot> {
         let Some(inner) = self.inner.as_ref() else {
-            // Stage telemetry off, but a decision-quality monitor may
-            // still be recording.
-            let insight = self.insight.snapshot()?;
+            // Stage telemetry off, but a decision-quality monitor or span
+            // recorder may still be recording.
+            let insight = self.insight.snapshot();
+            let trace = self.trace.snapshot();
+            if insight.is_none() && trace.is_none() {
+                return None;
+            }
             return Some(TelemetrySnapshot {
                 stages: Stage::ALL
                     .iter()
@@ -481,9 +506,10 @@ impl Telemetry {
                     by_kind: Vec::new(),
                     streams: Vec::new(),
                 },
-                insight: Some(insight),
+                insight,
                 ingest: self.ingest_snapshot(),
                 autopilot: self.autopilot.snapshot(),
+                trace,
             });
         };
         let stages = Stage::ALL
@@ -572,6 +598,7 @@ impl Telemetry {
             insight: self.insight.snapshot(),
             ingest: self.ingest_snapshot(),
             autopilot: self.autopilot.snapshot(),
+            trace: self.trace.snapshot(),
         })
     }
 
@@ -750,6 +777,9 @@ pub struct TelemetrySnapshot {
     /// Drift-autopilot counters and actions ledger (`None` unless
     /// attached via [`Telemetry::with_autopilot`]).
     pub autopilot: Option<AutopilotSnapshot>,
+    /// Per-round latency-attribution summary (`None` unless a [`Trace`]
+    /// was attached via [`Telemetry::with_trace`]).
+    pub trace: Option<TraceSnapshot>,
 }
 
 impl TelemetrySnapshot {
@@ -819,6 +849,11 @@ impl TelemetrySnapshot {
             (ours @ None, Some(theirs)) => *ours = Some(theirs.clone()),
             _ => {}
         }
+        match (&mut self.trace, &other.trace) {
+            (Some(ours), Some(theirs)) => ours.merge(theirs),
+            (ours @ None, Some(theirs)) => *ours = Some(theirs.clone()),
+            _ => {}
+        }
     }
 }
 
@@ -876,7 +911,7 @@ pub fn bucket_midpoint_us(i: usize) -> u64 {
 /// Bucket-resolution percentile: the midpoint (geometric mean of bounds)
 /// of the first bucket at which the cumulative count reaches `q` of the
 /// total (0 when empty).
-fn percentile_from_buckets(buckets: &[u64], q: f64) -> u64 {
+pub(crate) fn percentile_from_buckets(buckets: &[u64], q: f64) -> u64 {
     let total: u64 = buckets.iter().sum();
     if total == 0 {
         return 0;
