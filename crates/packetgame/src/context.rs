@@ -88,6 +88,30 @@ impl StreamWindows {
     pub fn predicted_len(&self) -> usize {
         self.predicted.len()
     }
+
+    /// Raw window contents oldest-first, unpadded — the migration payload
+    /// form (a `Vec` rather than the internal ring so it serializes with
+    /// the vendored serde shim).
+    pub fn export(&self) -> (Vec<f32>, Vec<f32>) {
+        (
+            self.independent.iter().copied().collect(),
+            self.predicted.iter().copied().collect(),
+        )
+    }
+
+    /// Replace the window contents with exported state (oldest-first).
+    /// Entries beyond the configured window are dropped from the front, so
+    /// importing into a smaller-window deployment keeps the most recent
+    /// sizes — the same ones `push` would have retained.
+    pub fn restore(&mut self, independent: &[f32], predicted: &[f32]) {
+        let fill = |target: &mut VecDeque<f32>, src: &[f32], window: usize| {
+            target.clear();
+            let skip = src.len().saturating_sub(window);
+            target.extend(src[skip..].iter().copied());
+        };
+        fill(&mut self.independent, independent, self.window);
+        fill(&mut self.predicted, predicted, self.window);
+    }
 }
 
 /// Feature windows for all streams of a deployment.
@@ -137,6 +161,12 @@ impl FeatureWindows {
     /// The windows of one stream.
     pub fn stream(&self, stream: usize) -> &StreamWindows {
         &self.streams[stream]
+    }
+
+    /// Mutable access for state import (grows the table if needed).
+    pub fn stream_mut(&mut self, stream: usize) -> &mut StreamWindows {
+        self.ensure_streams(stream + 1);
+        &mut self.streams[stream]
     }
 }
 

@@ -280,6 +280,61 @@ impl PacketGame {
     pub fn config(&self) -> &PacketGameConfig {
         &self.config
     }
+
+    /// Export stream `i`'s complete per-stream policy state — the
+    /// migration payload a cluster coordinator hands to another gate
+    /// instance (see [`crate::migrate`] for exactly what travels).
+    pub fn export_stream(&self, stream: usize) -> crate::migrate::StreamContext {
+        let (independent, predicted) = if stream < self.windows.len() {
+            self.windows.stream(stream).export()
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        crate::migrate::StreamContext {
+            stream_idx: stream as u64,
+            independent,
+            predicted,
+            temporal: self.temporal.export_stream(stream),
+            fallback: self.fallback.get(stream).copied().unwrap_or(false),
+        }
+    }
+
+    /// Import a migrated stream's policy state, replacing whatever this
+    /// instance held for that index (typically nothing, or the unselected
+    /// placeholder records lockstep rounds accumulated). The estimator's
+    /// global round counter is *not* touched: lockstep instances already
+    /// agree on it, and a fresh instance aligns via
+    /// [`PacketGame::align_round`] before importing.
+    pub fn import_stream(&mut self, ctx: &crate::migrate::StreamContext) {
+        let stream = ctx.stream_idx as usize;
+        self.temporal.import_stream(stream, &ctx.temporal);
+        self.windows
+            .stream_mut(stream)
+            .restore(&ctx.independent, &ctx.predicted);
+        if ctx.fallback || stream < self.fallback.len() {
+            if self.fallback.len() <= stream {
+                self.fallback.resize(stream + 1, false);
+            }
+            self.fallback[stream] = ctx.fallback;
+        }
+        if let Some(conf) = self.cal_conf.get_mut(stream) {
+            // The in-flight calibration stash belongs to the source
+            // instance's current round; mark "no prediction" here.
+            *conf = f64::NAN;
+        }
+    }
+
+    /// Set the temporal estimator's global round counter. Required once
+    /// when a fresh instance takes over mid-run (the `ln t` exploration
+    /// term reads it); lockstep instances never need it.
+    pub fn align_round(&mut self, round: u64) {
+        self.temporal.set_round(round);
+    }
+
+    /// The temporal estimator's global round counter.
+    pub fn rounds_started(&self) -> u64 {
+        self.temporal.round()
+    }
 }
 
 impl GatePolicy for PacketGame {
@@ -566,6 +621,20 @@ impl GatePolicy for PacketGame {
         }
         self.online = Some(online);
         true
+    }
+
+    fn export_stream_state(&self, stream_idx: usize) -> Option<Vec<u8>> {
+        Some(self.export_stream(stream_idx).to_wire())
+    }
+
+    fn import_stream_state(&mut self, state: &[u8]) -> bool {
+        match crate::migrate::StreamContext::from_wire(state) {
+            Ok(ctx) => {
+                self.import_stream(&ctx);
+                true
+            }
+            Err(_) => false,
+        }
     }
 }
 

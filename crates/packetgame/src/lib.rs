@@ -48,6 +48,7 @@ pub mod comparators;
 pub mod config;
 pub mod context;
 pub mod game;
+pub mod migrate;
 pub mod optimizer;
 pub mod predictor;
 pub mod quant;
@@ -60,8 +61,9 @@ pub use comparators::{ComparatorStack, Method};
 pub use config::{EmbeddingKind, PacketGameConfig};
 pub use context::FeatureWindows;
 pub use game::{OnlineConfig, PacketGame};
+pub use migrate::StreamContext;
 pub use optimizer::{CombinatorialOptimizer, Item, SelectScratch};
 pub use predictor::{ContextualPredictor, PredictScratch};
 pub use quant::{QuantCalibrator, QuantizedPredictor};
-pub use temporal::TemporalEstimator;
+pub use temporal::{TemporalEstimator, TemporalState, TemporalStreamState};
 pub use training::{build_offline_dataset, train_for_task, train_multi_task, TrainSample};

@@ -1,0 +1,90 @@
+//! Stream migration payloads for fleet-scale gate clusters.
+//!
+//! A cluster coordinator rebalances streams across gate instances by
+//! serializing one stream's complete per-stream policy state — the feature
+//! windows (predictor views 1 and 2, §5.2), the temporal estimator's
+//! sliding window and aging state (§5.1), and the autopilot fallback flag —
+//! handing it to the destination instance, and resuming there. Everything a
+//! gate decision reads for a stream is either in this payload, shared fleet
+//! state that both instances already agree on (predictor weights, config),
+//! or the estimator's global round counter, which lockstep epochs keep
+//! equal (a fresh instance aligns it via
+//! [`crate::PacketGame::align_round`]). Restoring the payload therefore
+//! continues the stream's decision trajectory bit-identically; the
+//! round-trip tests in this module and the cluster executor's handoff test
+//! hold that property.
+//!
+//! Not migrated: the online-learning replay buffer (predictor weight
+//! updates are shared fleet state and cluster deployments keep online
+//! fine-tuning per-instance) and the in-flight calibration confidence of
+//! the current round (observability-only; it never feeds a decision).
+
+use serde::{Deserialize, Serialize};
+
+use crate::temporal::TemporalStreamState;
+
+/// One stream's portable gate-policy state — the unit of migration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamContext {
+    /// Fleet-global stream index.
+    pub stream_idx: u64,
+    /// I-packet size window, oldest-first, embedded scale (view 1).
+    pub independent: Vec<f32>,
+    /// P/B-packet size window, oldest-first, embedded scale (view 2).
+    pub predicted: Vec<f32>,
+    /// Temporal estimator window and aging state.
+    pub temporal: TemporalStreamState,
+    /// Autopilot fallback rung: score from the temporal estimator alone.
+    pub fallback: bool,
+}
+
+impl StreamContext {
+    /// Serialize to the JSON wire form carried by the pg-net handoff frame.
+    pub fn to_wire(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("StreamContext serialization is infallible")
+            .into_bytes()
+    }
+
+    /// Parse the JSON wire form back into a payload.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("handoff not UTF-8: {e}"))?;
+        serde_json::from_str(text).map_err(|e| format!("handoff payload malformed: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload() -> StreamContext {
+        StreamContext {
+            stream_idx: 42,
+            independent: vec![0.5, 0.625],
+            predicted: vec![0.25, 0.3125, 0.375],
+            temporal: TemporalStreamState {
+                selected: vec![true, false, true],
+                reward: vec![true, false, false],
+                age: 7,
+            },
+            fallback: true,
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_is_exact() {
+        let ctx = payload();
+        let restored = StreamContext::from_wire(&ctx.to_wire()).expect("round trip");
+        assert_eq!(restored, ctx);
+        // f32 windows must survive bit-exactly, not just approximately.
+        for (a, b) in ctx.independent.iter().zip(&restored.independent) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn malformed_wire_bytes_are_rejected() {
+        assert!(StreamContext::from_wire(b"{\"stream_idx\":").is_err());
+        assert!(StreamContext::from_wire(&[0xFF, 0xFE]).is_err());
+    }
+}

@@ -27,11 +27,47 @@
 
 use std::collections::VecDeque;
 
+use serde::{Deserialize, Serialize};
+
 /// Per-round record for one stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct RoundRecord {
     selected: bool,
     reward: bool,
+}
+
+/// One stream's estimator state in portable form — the migration payload
+/// for the temporal term. `selected`/`reward` run oldest-first over the
+/// retained window (parallel vectors rather than the internal ring so the
+/// vendored serde shim can carry them).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalStreamState {
+    /// Whether the stream was selected in each retained round.
+    pub selected: Vec<bool>,
+    /// Redundancy feedback for each retained round (false when unselected).
+    pub reward: Vec<bool>,
+    /// Rounds since the stream was last selected.
+    pub age: u64,
+}
+
+/// The whole estimator's state in portable form: hyper-parameters, the
+/// global round counter, and every stream's window. Serializing this
+/// mid-run and restoring it into a fresh estimator reproduces subsequent
+/// estimates bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemporalState {
+    /// Sliding-window length `w`.
+    pub window: u64,
+    /// UCB bonus cap.
+    pub exploration_cap: f64,
+    /// Aging coefficient.
+    pub age_coeff: f64,
+    /// Aging cap.
+    pub age_cap: f64,
+    /// The `t` in `ln t`.
+    pub round: u64,
+    /// Per-stream windows, index-aligned with the fleet.
+    pub streams: Vec<TemporalStreamState>,
 }
 
 /// Sliding-window temporal estimator over `m` streams. See module docs.
@@ -196,6 +232,80 @@ impl TemporalEstimator {
     pub fn round(&self) -> u64 {
         self.round
     }
+
+    /// Align the global round counter with another instance's. Cluster
+    /// migration imports per-stream state into an estimator that has been
+    /// running in lockstep (equal `t`); restoring into a *fresh* estimator
+    /// must set `t` explicitly or the `ln t` exploration term diverges.
+    pub fn set_round(&mut self, round: u64) {
+        self.round = round;
+    }
+
+    /// Stream `i`'s window and aging state in portable form.
+    pub fn export_stream(&self, stream: usize) -> TemporalStreamState {
+        let (selected, reward) = self
+            .history
+            .get(stream)
+            .map(|h| {
+                (
+                    h.iter().map(|r| r.selected).collect(),
+                    h.iter().map(|r| r.reward).collect(),
+                )
+            })
+            .unwrap_or_default();
+        TemporalStreamState {
+            selected,
+            reward,
+            age: self.age_of(stream),
+        }
+    }
+
+    /// Replace stream `i`'s window and aging state with exported state
+    /// (grows the table if needed). Entries beyond the configured window
+    /// are dropped from the front, keeping the most recent rounds.
+    pub fn import_stream(&mut self, stream: usize, state: &TemporalStreamState) {
+        self.ensure_streams(stream + 1);
+        let h = &mut self.history[stream];
+        h.clear();
+        let n = state.selected.len().min(state.reward.len());
+        let skip = n.saturating_sub(self.window);
+        for k in skip..n {
+            h.push_back(RoundRecord {
+                selected: state.selected[k],
+                reward: state.reward[k],
+            });
+        }
+        self.age[stream] = state.age;
+    }
+
+    /// The whole estimator in portable form (hyper-parameters, round
+    /// counter, every stream's window).
+    pub fn export_state(&self) -> TemporalState {
+        TemporalState {
+            window: self.window as u64,
+            exploration_cap: self.exploration_cap,
+            age_coeff: self.age_coeff,
+            age_cap: self.age_cap,
+            round: self.round,
+            streams: (0..self.streams()).map(|i| self.export_stream(i)).collect(),
+        }
+    }
+
+    /// Rebuild an estimator from exported state. Subsequent estimates are
+    /// bit-identical to the instance that produced the export.
+    pub fn from_state(state: &TemporalState) -> Self {
+        let mut est = TemporalEstimator::new(
+            state.streams.len(),
+            state.window as usize,
+            state.exploration_cap,
+        )
+        .with_aging(state.age_coeff, state.age_cap);
+        est.round = state.round;
+        for (i, s) in state.streams.iter().enumerate() {
+            est.import_stream(i, s);
+        }
+        est
+    }
 }
 
 #[cfg(test)]
@@ -357,6 +467,47 @@ mod tests {
         assert_eq!(est.estimate(9), 0.3);
         assert_eq!(est.exploitation(9), 0.0);
         assert_eq!(est.selections_in_window(9), 0);
+    }
+
+    #[test]
+    fn state_round_trip_reproduces_estimates_bit_identically() {
+        let mut a = TemporalEstimator::new(4, 5, 10.0);
+        for round in 0..37u64 {
+            a.begin_round();
+            a.record((round % 4) as usize, round % 3 == 0);
+        }
+        let mut b = TemporalEstimator::from_state(&a.export_state());
+        assert_eq!(a.round(), b.round());
+        for i in 0..4 {
+            assert_eq!(a.estimate(i).to_bits(), b.estimate(i).to_bits());
+        }
+        // The restored estimator continues the trajectory, not just the
+        // snapshot: advance both in lockstep and compare every estimate.
+        for round in 0..20u64 {
+            a.begin_round();
+            b.begin_round();
+            let served = (round % 3) as usize;
+            a.record(served, round % 2 == 0);
+            b.record(served, round % 2 == 0);
+            for i in 0..4 {
+                assert_eq!(a.estimate(i).to_bits(), b.estimate(i).to_bits());
+                assert_eq!(a.age_of(i), b.age_of(i));
+            }
+        }
+    }
+
+    #[test]
+    fn import_stream_overwrites_placeholder_history() {
+        let mut src = TemporalEstimator::new(2, 5, 10.0);
+        let mut dst = TemporalEstimator::new(2, 5, 10.0);
+        for _ in 0..12 {
+            src.begin_round();
+            dst.begin_round(); // lockstep: dst sees stream 1 unselected
+            src.record(1, true);
+        }
+        dst.import_stream(1, &src.export_stream(1));
+        assert_eq!(src.estimate(1).to_bits(), dst.estimate(1).to_bits());
+        assert_eq!(dst.selections_in_window(1), 5);
     }
 
     #[test]

@@ -310,6 +310,6 @@ fn main() {
     let path =
         std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
     // The ingest_churn bin co-owns this file; keep its section intact.
-    pg_bench::jsonio::write_preserving(&path, &record, &["ingest_churn"]);
+    pg_bench::jsonio::write_preserving(&path, &record, &["ingest_churn", "cluster_scaling"]);
     println!("\n[wrote {}]", path.display());
 }

@@ -1,0 +1,197 @@
+//! `pgv cluster` — run N gate instances under the cluster coordinator.
+//!
+//! Each instance is a full threaded pipeline (`pgv pipeline` semantics,
+//! unchanged); the coordinator splits the cluster budget across them and
+//! re-splits it every epoch from live demand/latency/regret feeds. One
+//! Prometheus endpoint per instance (`--metrics-base`) exposes the same
+//! series N times, disambiguated by an `instance` label.
+
+use crate::args::{parse_task, Options};
+use crate::metrics::MetricsServer;
+use packetgame::training::test_config;
+use packetgame::PacketGame;
+use pg_pipeline::cluster::{ClusterConfig, ClusterPipeline};
+use pg_pipeline::gate::DecodeAll;
+use pg_pipeline::{prometheus_exposition_with_instance, DecodeWorkModel, GatePolicy};
+
+const HELP: &str = "\
+pgv cluster — run N gate instances under the cluster coordinator
+
+OPTIONS:
+    --instances <n>        gate instances (default 2)
+    --task <PC|AD|SR|FD>   workload task (default AD)
+    --streams <n>          fleet streams, partitioned across instances
+                           (default 64)
+    --rounds <n>           packets per stream (default 200)
+    --budget <units>       CLUSTER decode budget per round, split across
+                           instances by the coordinator
+                           (default streams/2)
+    --workers <n>          decode workers per instance (default 2)
+    --shards <n>           parser shards per instance; 0 = auto
+                           (default 1)
+    --policy <name>        packetgame|decodeall (default packetgame)
+    --offload-ns <n>       model decode as an n-nanosecond hardware
+                           offload per cost unit (default 0 = spin)
+    --epoch <n>            rounds per coordinator epoch (default 16)
+    --static               keep the stream-proportional budget split for
+                           the whole run (no epoch reallocation)
+    --seed <n>             workload seed (default 1)
+    --metrics-base <port>  serve one Prometheus endpoint per instance at
+                           127.0.0.1:<port>+k, each sample labeled
+                           instance=\"k\" (default off)
+    --metrics-out <dir>    after the run, write instance-<k>.prom
+                           expositions (instance-labeled) to <dir>
+";
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let o = Options::parse(args)?;
+    if o.wants_help() {
+        print!("{HELP}");
+        return Ok(());
+    }
+    let instances: usize = o.num_or("instances", 2)?;
+    let task = parse_task(&o.str_or("task", "AD"))?;
+    let streams: usize = o.num_or("streams", 64)?;
+    let rounds: u64 = o.num_or("rounds", 200)?;
+    let budget: f64 = o.num_or("budget", streams as f64 / 2.0)?;
+    let workers: usize = o.num_or("workers", 2)?;
+    let shards: usize = o.num_or("shards", 1)?;
+    let policy = o.str_or("policy", "packetgame");
+    let offload_ns: u64 = o.num_or("offload-ns", 0)?;
+    let epoch: u64 = o.num_or("epoch", 16)?;
+    let reallocate = o.str_or("static", "absent") == "absent";
+    let seed: u64 = o.num_or("seed", 1)?;
+    let metrics_base: u16 = o.num_or("metrics-base", 0)?;
+    let metrics_out = o.str_or("metrics-out", "");
+
+    if instances == 0 {
+        return Err("--instances must be at least 1".into());
+    }
+    if streams < instances {
+        return Err(format!(
+            "--streams {streams} cannot be below --instances {instances}"
+        ));
+    }
+
+    let cfg = ClusterConfig {
+        instances,
+        streams,
+        rounds,
+        budget_total: budget,
+        decode_workers: workers.max(1),
+        parser_shards: shards,
+        task,
+        seed,
+        epoch_rounds: epoch.max(1),
+        reallocate,
+        work: if offload_ns > 0 {
+            DecodeWorkModel::offload_ns(offload_ns)
+        } else {
+            DecodeWorkModel::default()
+        },
+        ..ClusterConfig::default()
+    };
+
+    let gates: Vec<Box<dyn GatePolicy>> = match policy.as_str() {
+        "decodeall" => (0..instances)
+            .map(|_| Box::new(DecodeAll) as Box<dyn GatePolicy>)
+            .collect(),
+        "packetgame" => {
+            eprintln!("training {instances} small predictors ...");
+            (0..instances)
+                .map(|_| {
+                    let config = test_config();
+                    let predictor = packetgame::train_for_task(task, &config, seed);
+                    Box::new(PacketGame::new(config, predictor)) as Box<dyn GatePolicy>
+                })
+                .collect()
+        }
+        other => return Err(format!("unknown policy {other:?} (packetgame/decodeall)")),
+    };
+
+    let cluster = ClusterPipeline::new(cfg);
+    let mut servers = Vec::new();
+    if metrics_base > 0 {
+        for (k, tel) in cluster.telemetry_handles().iter().enumerate() {
+            let addr = format!("127.0.0.1:{}", metrics_base as usize + k);
+            let server = MetricsServer::bind_with_instance(&addr, tel.clone(), k)?;
+            eprintln!("instance {k} metrics at http://{}", server.local_addr());
+            servers.push(server);
+        }
+    }
+
+    let partition = cluster.partition();
+    eprintln!(
+        "running {streams} x {task} streams across {instances} instances \
+         ({} streams each), {rounds} rounds, cluster B={budget} \
+         ({}) ...",
+        partition
+            .iter()
+            .map(|p| p.len().to_string())
+            .collect::<Vec<_>>()
+            .join("+"),
+        if reallocate {
+            format!("reallocated every {epoch} rounds")
+        } else {
+            "static split".to_string()
+        }
+    );
+    let report = cluster.run(gates);
+
+    println!("wall            {:.2}s", report.wall.as_secs_f64());
+    println!("streams/sec     {:.0}", report.streams_decoded_per_sec());
+    println!(
+        "keep rate       {:.4} ({} of {} packets decoded)",
+        report.keep_rate(),
+        report.packets_decoded(),
+        report.packets_parsed()
+    );
+    println!(
+        "round latency   p50 {:?}  p99 {:?} (cluster-wide, warmup excluded)",
+        report.round_latency_percentile_after(2, 50.0),
+        report.round_latency_percentile_after(2, 99.0)
+    );
+    println!("cost spent      {:.1} units", report.cost_spent());
+    for (k, r) in report.instances.iter().enumerate() {
+        println!(
+            "instance {k}      {} streams [{}..{}), {} decoded, {:.2}s wall, p99 {:?}",
+            r.streams,
+            report.partition[k].start,
+            report.partition[k].end,
+            r.packets_decoded,
+            r.wall.as_secs_f64(),
+            r.round_latency_percentile_after(2, 99.0),
+        );
+    }
+    if report.ledger.is_empty() {
+        println!("coordinator     0 reallocations (static split)");
+    } else {
+        let last = report.ledger.last().expect("non-empty ledger");
+        println!(
+            "coordinator     {} reallocations; final split [{}]",
+            report.ledger.len(),
+            last.allocations
+                .iter()
+                .map(|b| format!("{b:.1}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    if !metrics_out.is_empty() {
+        std::fs::create_dir_all(&metrics_out)
+            .map_err(|e| format!("create {metrics_out}: {e}"))?;
+        for (k, r) in report.instances.iter().enumerate() {
+            if let Some(snap) = &r.telemetry {
+                let path = format!("{metrics_out}/instance-{k}.prom");
+                std::fs::write(&path, prometheus_exposition_with_instance(snap, k))
+                    .map_err(|e| format!("write {path}: {e}"))?;
+            }
+        }
+        eprintln!("wrote {} expositions to {metrics_out}/", report.instances.len());
+    }
+    for server in servers {
+        server.stop();
+    }
+    Ok(())
+}

@@ -13,6 +13,7 @@
 use std::process::ExitCode;
 
 mod args;
+mod cmd_cluster;
 mod cmd_feed;
 mod cmd_gate;
 mod cmd_generate;
@@ -37,6 +38,7 @@ COMMANDS:
     train      Train a contextual predictor and save a weight file
     gate       Simulate multi-stream gating and report accuracy
     pipeline   Run the threaded end-to-end runtime and report throughput
+    cluster    Run N gate instances under the cluster coordinator
     serve      Run the runtime fed by live TCP ingest sessions
     feed       Drive a serve instance with seeded loopback sessions
     netsim     Push a stream through an impaired network link
@@ -59,6 +61,7 @@ fn main() -> ExitCode {
         "train" => cmd_train::run(rest),
         "gate" => cmd_gate::run(rest),
         "pipeline" => cmd_pipeline::run(rest),
+        "cluster" => cmd_cluster::run(rest),
         "serve" => cmd_serve::run(rest),
         "feed" => cmd_feed::run(rest),
         "netsim" => cmd_netsim::run(rest),

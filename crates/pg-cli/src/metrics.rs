@@ -8,7 +8,7 @@
 //! current regret/calibration/drift state.
 
 use pg_net::{HttpResponse, MiniHttpServer};
-use pg_pipeline::{prometheus_exposition, Telemetry};
+use pg_pipeline::{prometheus_exposition, prometheus_exposition_with_instance, Telemetry};
 use std::net::SocketAddr;
 use std::sync::Arc;
 
@@ -30,6 +30,29 @@ impl MetricsServer {
                 let body = telemetry
                     .snapshot()
                     .map(|s| prometheus_exposition(&s))
+                    .unwrap_or_default();
+                HttpResponse::ok("text/plain; version=0.0.4; charset=utf-8", body)
+            }),
+        )
+        .map_err(|e| format!("metrics: {e}"))?;
+        Ok(MetricsServer { inner })
+    }
+
+    /// Like [`MetricsServer::bind`], but stamps every sample with an
+    /// `instance="k"` label — one endpoint per cluster instance, scraped
+    /// side by side without series collisions.
+    pub fn bind_with_instance(
+        addr: &str,
+        telemetry: Telemetry,
+        instance: usize,
+    ) -> Result<Self, String> {
+        let inner = MiniHttpServer::bind(
+            addr,
+            "pgv-metrics",
+            Arc::new(move |_path: &str| {
+                let body = telemetry
+                    .snapshot()
+                    .map(|s| prometheus_exposition_with_instance(&s, instance))
                     .unwrap_or_default();
                 HttpResponse::ok("text/plain; version=0.0.4; charset=utf-8", body)
             }),
@@ -81,6 +104,29 @@ mod tests {
         validate_exposition(&body).expect("valid exposition");
         assert!(body.contains("pg_stage_calls_total"));
         assert!(body.contains("pg_insight_regret_cumulative"));
+        server.stop();
+    }
+
+    #[test]
+    fn instance_endpoints_label_every_sample() {
+        let telemetry = Telemetry::enabled();
+        telemetry.record_duration(
+            pg_pipeline::telemetry::Stage::Gate,
+            3,
+            Duration::from_micros(4),
+        );
+        let server =
+            MetricsServer::bind_with_instance("127.0.0.1:0", telemetry, 2).expect("bind");
+        let body = scrape(server.local_addr());
+        validate_exposition(&body).expect("valid exposition");
+        assert!(
+            body.contains(r#"pg_stage_calls_total{instance="2",stage="gate"}"#),
+            "{body}"
+        );
+        assert!(body
+            .lines()
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .all(|l| l.contains(r#"instance="2""#)));
         server.stop();
     }
 

@@ -14,9 +14,11 @@
 //! this).
 //!
 //! Client→server frame types: HELLO, CLAIM, HEADER, DATA, KEEPALIVE, BYE.
-//! Server→client: HELLO_ACK, CLAIM_ACK, REJECT. Payload layouts are
-//! documented on the constructor helpers below; all integers are
-//! little-endian.
+//! Server→client: HELLO_ACK, CLAIM_ACK, REJECT. Cluster coordination
+//! reuses the same framing: MIGRATE carries a serialized stream-policy
+//! state between gate instances and MIGRATE_ACK confirms the handoff.
+//! Payload layouts are documented on the constructor helpers below; all
+//! integers are little-endian.
 
 use bytes::Bytes;
 
@@ -40,6 +42,13 @@ pub const FT_DATA: u8 = 0x04;
 pub const FT_KEEPALIVE: u8 = 0x05;
 /// Client→server: graceful goodbye; empty payload.
 pub const FT_BYE: u8 = 0x06;
+/// Coordinator→instance: stream handoff (cluster migration). Payload:
+/// stream_id u32, epoch u64, then the serialized policy state (an opaque
+/// blob to this layer; the gate crate owns its schema).
+pub const FT_MIGRATE: u8 = 0x07;
+/// Instance→coordinator: handoff accepted. Payload: stream_id u32,
+/// epoch u64.
+pub const FT_MIGRATE_ACK: u8 = 0x84;
 /// Server→client: hello accepted. Payload: version u16.
 pub const FT_HELLO_ACK: u8 = 0x81;
 /// Server→client: claim accepted. Payload: stream_id u32,
@@ -194,6 +203,32 @@ pub fn data_payload(round: u64, chunk: &[u8]) -> Vec<u8> {
     p
 }
 
+/// Build a MIGRATE payload: stream id, epoch, then the opaque serialized
+/// policy state produced by the gate crate.
+pub fn migrate_payload(stream_id: u32, epoch: u64, state: &[u8]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(12 + state.len());
+    p.extend_from_slice(&stream_id.to_le_bytes());
+    p.extend_from_slice(&epoch.to_le_bytes());
+    p.extend_from_slice(state);
+    p
+}
+
+/// Split a MIGRATE payload into `(stream_id, epoch, state)`. The state
+/// slice borrows the payload's refcounted buffer — no copy.
+pub fn read_migrate(payload: &Bytes) -> Option<(u32, u64, Bytes)> {
+    let stream_id = read_u32(payload)?;
+    let epoch = read_u64(payload, 4)?;
+    Some((stream_id, epoch, payload.slice(12..)))
+}
+
+/// Build a MIGRATE_ACK payload.
+pub fn migrate_ack_payload(stream_id: u32, epoch: u64) -> Vec<u8> {
+    let mut p = Vec::with_capacity(12);
+    p.extend_from_slice(&stream_id.to_le_bytes());
+    p.extend_from_slice(&epoch.to_le_bytes());
+    p
+}
+
 /// Read a little-endian u32 from the front of a payload.
 pub fn read_u32(payload: &[u8]) -> Option<u32> {
     payload
@@ -249,6 +284,29 @@ mod tests {
         let mut dec = FrameDecoder::new();
         let zero = [0u8, 0, 0, 0, FT_DATA];
         assert!(dec.push(&zero, &mut out).is_err());
+    }
+
+    #[test]
+    fn migrate_frames_round_trip_with_opaque_state() {
+        let state = b"{\"stream_idx\":42,\"fallback\":true}";
+        let mut stream = Vec::new();
+        encode_frame_into(&mut stream, FT_MIGRATE, &migrate_payload(42, 9, state));
+        encode_frame_into(&mut stream, FT_MIGRATE_ACK, &migrate_ack_payload(42, 9));
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        dec.push(&stream, &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, FT_MIGRATE);
+        let before = bytes::deep_copy_count();
+        let (stream_id, epoch, blob) = read_migrate(&out[0].1).expect("well-formed");
+        assert_eq!((stream_id, epoch), (42, 9));
+        assert_eq!(&blob[..], state);
+        assert_eq!(bytes::deep_copy_count(), before, "state slice borrows");
+        assert_eq!(out[1].0, FT_MIGRATE_ACK);
+        assert_eq!(read_u32(&out[1].1), Some(42));
+        assert_eq!(read_u64(&out[1].1, 4), Some(9));
+        // Truncated payloads are rejected, not sliced out of range.
+        assert!(read_migrate(&Bytes::from(vec![1u8, 2, 3])).is_none());
     }
 
     #[test]

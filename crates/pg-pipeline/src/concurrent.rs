@@ -66,7 +66,7 @@
 //! available via [`ConcurrentConfig::faults`].
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -173,6 +173,106 @@ impl DecodeWorkModel {
     }
 }
 
+/// Length of the [`ClusterControl`] round-latency ring: enough recent
+/// rounds for an honest tail estimate without the coordinator and the gate
+/// sharing anything wider than a few cache lines.
+const CONTROL_LATENCY_RING: usize = 64;
+
+/// Shared control surface between a cluster coordinator and one running
+/// gate instance.
+///
+/// The gate is the only writer of the progress gauges; the coordinator is
+/// the only writer of the budget cell. The gate reads the budget **once
+/// per round, at round start**, so a coordinator write never splits one
+/// round's knapsack: within a round the §5.3 semantics are untouched, and
+/// reallocations land exactly on round boundaries (DESIGN.md D13).
+#[derive(Debug)]
+pub struct ClusterControl {
+    /// Current per-round budget, as f64 bits (coordinator-written).
+    budget_bits: AtomicU64,
+    /// Rounds the gate has completed.
+    rounds_done: AtomicU64,
+    /// Cumulative decode cost dispatched, as f64 bits (gate-written).
+    spent_bits: AtomicU64,
+    /// Cumulative offered cost (sum of candidate pending costs), as f64
+    /// bits — the instance's demand signal.
+    offered_bits: AtomicU64,
+    /// Ring of the most recent rounds' gate latencies in µs.
+    latency_us: [AtomicU64; CONTROL_LATENCY_RING],
+}
+
+impl ClusterControl {
+    /// Control cell starting at `budget` cost units per round.
+    pub fn new(budget: f64) -> Self {
+        ClusterControl {
+            budget_bits: AtomicU64::new(budget.to_bits()),
+            rounds_done: AtomicU64::new(0),
+            spent_bits: AtomicU64::new(0f64.to_bits()),
+            offered_bits: AtomicU64::new(0f64.to_bits()),
+            latency_us: [const { AtomicU64::new(0) }; CONTROL_LATENCY_RING],
+        }
+    }
+
+    /// Reallocate: set the budget the instance's *next* round runs with.
+    pub fn set_budget(&self, budget: f64) {
+        self.budget_bits.store(budget.to_bits(), Ordering::Release);
+    }
+
+    /// The budget currently allocated to this instance.
+    pub fn budget(&self) -> f64 {
+        f64::from_bits(self.budget_bits.load(Ordering::Acquire))
+    }
+
+    /// Gate-side: publish one finished round's accounting. Single-writer
+    /// (the gate thread), so the read-modify-write cells need no CAS.
+    pub fn note_round(&self, offered_cost: f64, spent: f64, round_us: u64) {
+        let add = |cell: &AtomicU64, x: f64| {
+            let cur = f64::from_bits(cell.load(Ordering::Relaxed));
+            cell.store((cur + x).to_bits(), Ordering::Relaxed);
+        };
+        add(&self.spent_bits, spent);
+        add(&self.offered_bits, offered_cost);
+        let done = self.rounds_done.load(Ordering::Relaxed);
+        self.latency_us[(done as usize) % CONTROL_LATENCY_RING]
+            .store(round_us.max(1), Ordering::Relaxed);
+        // Release-publish the round count last so readers that observe it
+        // also observe this round's gauges.
+        self.rounds_done.store(done + 1, Ordering::Release);
+    }
+
+    /// Rounds the instance has completed.
+    pub fn rounds_done(&self) -> u64 {
+        self.rounds_done.load(Ordering::Acquire)
+    }
+
+    /// Cumulative decode cost dispatched.
+    pub fn spent(&self) -> f64 {
+        f64::from_bits(self.spent_bits.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative offered cost (the demand feed).
+    pub fn offered_cost(&self) -> f64 {
+        f64::from_bits(self.offered_bits.load(Ordering::Relaxed))
+    }
+
+    /// Approximate p99 of the most recent rounds' gate latencies in µs
+    /// (0 until a round completes) — the coordinator's PR-9 tail feed.
+    pub fn recent_p99_us(&self) -> u64 {
+        let mut seen: Vec<u64> = self
+            .latency_us
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .filter(|&v| v > 0)
+            .collect();
+        if seen.is_empty() {
+            return 0;
+        }
+        seen.sort_unstable();
+        let rank = ((seen.len() as f64) * 0.99).ceil() as usize;
+        seen[rank.clamp(1, seen.len()) - 1]
+    }
+}
+
 /// Configuration for one concurrent run.
 #[derive(Debug, Clone)]
 pub struct ConcurrentConfig {
@@ -209,6 +309,18 @@ pub struct ConcurrentConfig {
     /// Optional mid-run bitrate regime change applied at the producer
     /// (drift-injection experiments). `None` = stationary content.
     pub regime_shift: Option<RegimeShift>,
+    /// Fleet-global index of this instance's first stream. Local stream
+    /// `i` is seeded as fleet stream `stream_seed_offset + i`, so a
+    /// cluster partition sees exactly the content the corresponding slice
+    /// of a single giant gate would — the keep-rate comparison between the
+    /// two is apples-to-apples. `0` (the default) reproduces the
+    /// standalone behaviour bit for bit.
+    pub stream_seed_offset: usize,
+    /// Cluster coordinator hook: when set, the gate reads its per-round
+    /// budget from this cell at each round start (overriding
+    /// `budget_per_round` and any local autopilot retune) and publishes
+    /// progress gauges at each round end. `None` = standalone instance.
+    pub control: Option<Arc<ClusterControl>>,
 }
 
 impl Default for ConcurrentConfig {
@@ -228,6 +340,8 @@ impl Default for ConcurrentConfig {
             faults: FaultPlan::default(),
             stall_timeout: STALL_TIMEOUT,
             regime_shift: None,
+            stream_seed_offset: 0,
+            control: None,
         }
     }
 }
@@ -738,7 +852,7 @@ impl ConcurrentPipeline {
 fn producer(cfg: &ConcurrentConfig, sink: IngestSink) {
     use crate::ingest::StreamFeed;
     let mut feeds: Vec<StreamFeed> = (0..cfg.streams)
-        .map(|i| StreamFeed::new(cfg.task, cfg.encoder, cfg.seed, i))
+        .map(|i| StreamFeed::new(cfg.task, cfg.encoder, cfg.seed, cfg.stream_seed_offset + i))
         .collect();
     // First send each stream's header, tagged round 0 so it lands in the
     // same batch as the stream's first packet.
@@ -1115,6 +1229,7 @@ fn gate_stage(
     let trace = telemetry.trace().clone();
     // The SLO controller may retune this between rounds.
     let mut budget_per_round = cfg.budget_per_round;
+    let control = cfg.control.as_deref();
 
     let note_fault = |faults: &mut Vec<FaultRecord>,
                       health: &mut StreamHealth,
@@ -1134,6 +1249,12 @@ fn gate_stage(
 
     for round in 0..cfg.rounds {
         let round_start = Instant::now();
+        // Cluster budget lands exactly on the round boundary: read once
+        // here, never mid-round, so a coordinator reallocation can't split
+        // one round's knapsack (§5.3 semantics hold within every round).
+        if let Some(c) = control {
+            budget_per_round = c.budget();
+        }
         // The round span brackets the same interval `round_latency_us`
         // measures; the four sub-spans below tile its body (only
         // `health.tick` and the insight round close fall in the gaps), so
@@ -1385,6 +1506,10 @@ fn gate_stage(
         }
         let round_us = round_start.elapsed().as_micros() as u64;
         round_latency_us.push(round_us);
+        if let Some(c) = control {
+            let offered: f64 = contexts.iter().map(|ctx| ctx.pending_cost).sum();
+            c.note_round(offered, spent, round_us);
+        }
         if let Some(done) = trace.end(round_span, Track::Gate) {
             let parts = [
                 (TraceStage::IngestWait, ingest_done),

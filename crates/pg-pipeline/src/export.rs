@@ -745,6 +745,45 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Render a snapshot with an `instance="k"` label on every sample, so N
+/// cluster instances can be scraped side by side without series
+/// collisions. The label is injected first so relabeling rules that
+/// match on it stay cheap.
+pub fn prometheus_exposition_with_instance(
+    snapshot: &TelemetrySnapshot,
+    instance: usize,
+) -> String {
+    with_instance_label(&prometheus_exposition(snapshot), instance)
+}
+
+/// Inject `instance="k"` as the first label of every sample line of an
+/// exposition. HELP/TYPE comments and blank lines pass through
+/// untouched; the result still satisfies [`validate_exposition`].
+pub fn with_instance_label(text: &str, instance: usize) -> String {
+    let mut out = String::with_capacity(text.len() + text.lines().count() * 16);
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            out.push_str(line);
+            out.push('\n');
+            continue;
+        }
+        let Some((name_part, value)) = line.rsplit_once(' ') else {
+            out.push_str(line);
+            out.push('\n');
+            continue;
+        };
+        match name_part.split_once('{') {
+            Some((name, rest)) => {
+                let _ = writeln!(out, "{name}{{instance=\"{instance}\",{rest} {value}");
+            }
+            None => {
+                let _ = writeln!(out, "{name_part}{{instance=\"{instance}\"}} {value}");
+            }
+        }
+    }
+    out
+}
+
 fn is_metric_name(s: &str) -> bool {
     !s.is_empty()
         && s.chars()
@@ -935,6 +974,52 @@ mod tests {
         assert!(
             counts.windows(2).all(|w| w[0] <= w[1]),
             "buckets cumulative: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn instance_label_lands_first_on_every_sample() {
+        let plain = prometheus_exposition(&populated_snapshot());
+        let labeled = prometheus_exposition_with_instance(&populated_snapshot(), 3);
+        validate_exposition(&labeled).expect("labeled exposition stays valid");
+        let mut samples = 0;
+        for line in labeled.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            samples += 1;
+            let (name_part, _) = line.rsplit_once(' ').unwrap();
+            let (_, labels) = name_part.split_once('{').expect("every sample gains labels");
+            assert!(
+                labels.starts_with("instance=\"3\""),
+                "instance label must come first: {line:?}"
+            );
+        }
+        assert_eq!(
+            samples,
+            plain.lines().filter(|l| !l.is_empty() && !l.starts_with('#')).count(),
+            "no sample lost or invented"
+        );
+        // HELP/TYPE comments pass through untouched.
+        assert_eq!(
+            plain.lines().filter(|l| l.starts_with('#')).count(),
+            labeled.lines().filter(|l| l.starts_with('#')).count()
+        );
+    }
+
+    #[test]
+    fn distinct_instances_never_collide() {
+        let a = prometheus_exposition_with_instance(&populated_snapshot(), 0);
+        let b = prometheus_exposition_with_instance(&populated_snapshot(), 1);
+        let keys = |text: &str| {
+            text.lines()
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(|l| l.rsplit_once(' ').unwrap().0.to_string())
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        assert!(
+            keys(&a).is_disjoint(&keys(&b)),
+            "same series from two instances must differ by label"
         );
     }
 

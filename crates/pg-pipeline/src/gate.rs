@@ -92,6 +92,24 @@ pub trait GatePolicy: Send {
     fn autopilot_retrain(&mut self, _stream_idx: usize) -> bool {
         false
     }
+
+    /// Cluster migration: serialize stream `stream_idx`'s per-stream
+    /// policy state into an opaque blob a peer instance of the same policy
+    /// can import. The blob travels in a pg-net MIGRATE frame; this layer
+    /// never interprets it. `None` means the policy keeps no per-stream
+    /// state (e.g. [`DecodeAll`]) and the stream can be handed off with no
+    /// payload at all.
+    fn export_stream_state(&self, _stream_idx: usize) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Cluster migration: import a peer's exported stream state, replacing
+    /// whatever this instance holds for that stream. Returns `true` if the
+    /// blob was understood and applied. Default: stateless policy, nothing
+    /// to restore — the handoff still succeeds, there is just no state.
+    fn import_stream_state(&mut self, _state: &[u8]) -> bool {
+        false
+    }
 }
 
 /// A trivial gate that selects every stream (the "Original" workload:

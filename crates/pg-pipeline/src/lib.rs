@@ -18,6 +18,7 @@
 
 pub mod autopilot;
 pub mod budget;
+pub mod cluster;
 pub mod concurrent;
 pub mod export;
 pub mod fault;
@@ -35,10 +36,18 @@ pub mod trace;
 
 pub use autopilot::{Autopilot, AutopilotAction, AutopilotConfig, AutopilotSnapshot};
 pub use budget::RoundBudget;
-pub use concurrent::{
-    ChunkSource, ConcurrentPipeline, ConcurrentReport, DecodeWorkModel, IngestSink, WorkKind,
+pub use cluster::{
+    partition_fleet, BudgetDecision, ClusterConfig, ClusterPipeline, ClusterReport, ClusterSim,
+    ClusterSimConfig, ClusterSimReport, MigrationPlan,
 };
-pub use export::{prometheus_exposition, validate_exposition};
+pub use concurrent::{
+    ChunkSource, ClusterControl, ConcurrentPipeline, ConcurrentReport, DecodeWorkModel,
+    IngestSink, WorkKind,
+};
+pub use export::{
+    prometheus_exposition, prometheus_exposition_with_instance, validate_exposition,
+    with_instance_label,
+};
 pub use fault::{
     ChunkFaultMode, FaultKind, FaultPlan, FaultRecord, HealthSummary, PipelineError,
     QuarantineConfig, StreamHealth,

@@ -1158,6 +1158,88 @@ mod tests {
     }
 
     #[test]
+    fn cross_instance_merge_composes_all_four_sections_at_once() {
+        // Two cluster instances, each carrying every optional section —
+        // insight, ingest, autopilot, trace — in one snapshot. The
+        // cluster report folds these with `merge`; every section must
+        // compose in the same pass, not just whichever happens to be
+        // populated.
+        use crate::autopilot::AutopilotSnapshot;
+        use crate::insight::{Insight, PacketOutcome, RoundOutcome};
+        use crate::trace::{Trace, TraceStage, Track};
+
+        let instance = |rounds: u64, accepted: u64, spans: u64| {
+            let insight = Insight::enabled();
+            for round in 0..rounds {
+                insight.record_round(&RoundOutcome {
+                    round,
+                    budget: 4.0,
+                    spent: 2.0,
+                    offered: 2,
+                    decoded: 1,
+                    quarantined: 0,
+                    outcomes: &[PacketOutcome {
+                        cost: 2.0,
+                        necessary: true,
+                        decoded: true,
+                    }],
+                });
+            }
+            let counters = pg_net::SessionCounters::new();
+            for _ in 0..accepted {
+                counters.connection_opened();
+            }
+            let trace = Trace::enabled();
+            for round in 0..spans {
+                let span = trace.begin(TraceStage::Round, None, round, None);
+                trace.end(span, Track::Gate);
+            }
+            let t = Telemetry::enabled()
+                .with_insight(insight)
+                .with_ingest(counters)
+                .with_trace(trace);
+            t.record_duration(Stage::Gate, 1, Duration::from_micros(10));
+            let mut snap = t.snapshot().expect("enabled");
+            snap.autopilot = Some(AutopilotSnapshot {
+                actions_total: rounds,
+                fallbacks: 1,
+                budget_initial: 8.0,
+                budget_current: 6.0,
+                ..AutopilotSnapshot::default()
+            });
+            snap
+        };
+
+        let mut merged = instance(3, 2, 4);
+        merged.merge(&instance(5, 1, 2));
+
+        let insight = merged.insight.as_ref().expect("insight section merged");
+        assert_eq!(insight.rounds, 8);
+        let ingest = merged.ingest.as_ref().expect("ingest section merged");
+        assert_eq!(ingest.accepted, 3);
+        let autopilot = merged.autopilot.as_ref().expect("autopilot section merged");
+        assert_eq!(autopilot.actions_total, 8);
+        assert_eq!(autopilot.fallbacks, 2);
+        assert!((autopilot.budget_initial - 16.0).abs() < 1e-9, "fleet capacity adds");
+        let trace = merged.trace.as_ref().expect("trace section merged");
+        assert_eq!(trace.spans_recorded, 6);
+        // The plain stage counters still merged alongside.
+        assert_eq!(merged.stage(Stage::Gate).expect("gate stage").calls, 2);
+
+        // Asymmetric fold: an instance with no optional sections adopts
+        // the merged ones rather than erasing them.
+        let bare = Telemetry::enabled();
+        bare.record_duration(Stage::Gate, 1, Duration::from_micros(5));
+        let mut bare_snap = bare.snapshot().expect("enabled");
+        bare_snap.merge(&merged);
+        assert!(bare_snap.insight.is_some());
+        assert!(bare_snap.ingest.is_some());
+        assert!(bare_snap.autopilot.is_some());
+        assert!(bare_snap.trace.is_some());
+        assert_eq!(bare_snap.stage(Stage::Gate).expect("gate stage").calls, 3);
+    }
+
+    #[test]
     fn snapshot_merge_adds_counters_and_recomputes_percentiles() {
         let a = Telemetry::enabled();
         a.record_duration(Stage::Decode, 4, Duration::from_micros(3));

@@ -1,0 +1,240 @@
+//! Cluster integration tests: stream migration with the real PacketGame
+//! policy, mid-run serde restore into a fresh instance, and live
+//! cluster-vs-giant-gate keep-rate parity.
+
+use packetgame::training::{test_config, train_for_task};
+use packetgame::{PacketGame, StreamContext};
+use pg_codec::{Codec, FrameType, PacketMeta};
+use pg_pipeline::cluster::{
+    ClusterConfig, ClusterPipeline, ClusterSim, ClusterSimConfig, MigrationPlan,
+};
+use pg_pipeline::concurrent::{ConcurrentConfig, ConcurrentPipeline, DecodeWorkModel};
+use pg_pipeline::gate::{DecodeAll, FeedbackEvent, GatePolicy, PacketContext};
+use pg_scene::TaskKind;
+
+fn trained_gate(seed: u64) -> PacketGame {
+    let config = test_config();
+    let predictor = train_for_task(TaskKind::PersonCounting, &config, seed);
+    PacketGame::new(config, predictor)
+}
+
+fn sim_config(streams: usize, rounds: u64, migrations: Vec<MigrationPlan>) -> ClusterSimConfig {
+    ClusterSimConfig {
+        instances: 2,
+        streams,
+        rounds,
+        // Non-binding budget, as in the 64-stream isolation test of the
+        // fault-injection suite: decisions depend only on per-stream
+        // policy state, so migration must preserve them bit for bit.
+        budget_total: 1e9,
+        task: TaskKind::PersonCounting,
+        seed: 7,
+        migrations,
+        ..ClusterSimConfig::default()
+    }
+}
+
+/// Single-stream migration under a generous budget: the migrated stream
+/// loses zero rounds, every other stream's decision sequence is
+/// bit-identical to the unmigrated run, and the exported policy state at
+/// the end matches the unmigrated run's exactly.
+#[test]
+fn packetgame_single_stream_migration_loses_nothing() {
+    let rounds = 70u64;
+    let baseline = ClusterSim::new(sim_config(6, rounds, vec![]))
+        .run(vec![Box::new(trained_gate(3)), Box::new(trained_gate(3))]);
+    let migrated = ClusterSim::new(sim_config(
+        6,
+        rounds,
+        vec![MigrationPlan {
+            round: 35,
+            stream: 2,
+            to: 1,
+        }],
+    ))
+    .run(vec![Box::new(trained_gate(3)), Box::new(trained_gate(3))]);
+
+    assert_eq!(migrated.handoffs, 1);
+    assert_eq!(migrated.handoff_imports, 1, "PacketGame state must travel");
+    assert!(migrated.handoff_bytes > 0);
+    assert_eq!(migrated.final_owner[2], 1);
+
+    // Zero lost rounds for the migrant: its decision row is identical,
+    // including the rounds immediately around the handoff.
+    assert_eq!(
+        baseline.decoded[2], migrated.decoded[2],
+        "migrated stream must not lose or gain a single round"
+    );
+    // Every other stream is bit-identical too.
+    for i in 0..6 {
+        assert_eq!(
+            baseline.decoded[i], migrated.decoded[i],
+            "stream {i} decisions diverged after an unrelated migration"
+        );
+    }
+    // The destination gate's exported state matches what the unmigrated
+    // owner would have exported: the estimator kept learning seamlessly.
+    assert_eq!(baseline.final_state, migrated.final_state);
+}
+
+/// Whole-instance handoff: drain instance 0 entirely into instance 1
+/// mid-run. The lockstep executor keeps both gates' round counters
+/// aligned, so the receiving gate continues every migrated stream's
+/// decision sequence bit for bit.
+#[test]
+fn packetgame_whole_instance_handoff_is_bit_identical() {
+    let rounds = 60u64;
+    let baseline = ClusterSim::new(sim_config(6, rounds, vec![]))
+        .run(vec![Box::new(trained_gate(5)), Box::new(trained_gate(5))]);
+    let drain: Vec<MigrationPlan> = (0..3)
+        .map(|stream| MigrationPlan {
+            round: 25,
+            stream,
+            to: 1,
+        })
+        .collect();
+    let migrated = ClusterSim::new(sim_config(6, rounds, drain))
+        .run(vec![Box::new(trained_gate(5)), Box::new(trained_gate(5))]);
+
+    assert_eq!(migrated.handoffs, 3);
+    assert_eq!(migrated.handoff_imports, 3);
+    assert_eq!(migrated.final_owner, vec![1; 6], "instance 0 fully drained");
+    assert_eq!(baseline.decoded, migrated.decoded);
+    assert_eq!(baseline.final_state, migrated.final_state);
+    assert_eq!(baseline.keep_rate(), migrated.keep_rate());
+}
+
+/// Satellite: serialize PacketGame stream state mid-run, restore it into
+/// a *fresh* gate instance through the wire encoding, and verify the
+/// fresh instance's subsequent decisions are bit-identical to the
+/// original gate's — under a binding budget, where the knapsack ranking
+/// actually exercises the restored estimator state.
+#[test]
+fn mid_run_restore_into_fresh_instance_is_decision_identical() {
+    let m = 4usize;
+    let budget = 2.5f64;
+    let candidates = |round: u64| -> Vec<PacketContext> {
+        (0..m)
+            .map(|i| {
+                let size = 800 + ((round * 31 + i as u64 * 17) % 64) as u32 * 10;
+                PacketMeta {
+                    stream_id: i as u32,
+                    seq: round,
+                    pts: round,
+                    frame_type: if round.is_multiple_of(10) {
+                        FrameType::I
+                    } else {
+                        FrameType::P
+                    },
+                    size,
+                    gop_id: round / 10,
+                }
+            })
+            .map(|meta| PacketContext {
+                stream_idx: meta.stream_id as usize,
+                pending_cost: 1.0 + f64::from(meta.size) / 2000.0,
+                codec: Codec::H264,
+                oracle_necessary: None,
+                meta,
+            })
+            .collect()
+    };
+    let feedback = |round: u64, selection: &[usize]| -> Vec<FeedbackEvent> {
+        selection
+            .iter()
+            .map(|&i| FeedbackEvent {
+                stream_idx: i,
+                round,
+                necessary: !(round + i as u64).is_multiple_of(3),
+            })
+            .collect()
+    };
+
+    let mut original = trained_gate(11);
+    for round in 0..40u64 {
+        let ctxs = candidates(round);
+        let selection = original.select(round, &ctxs, budget);
+        original.feedback(&feedback(round, &selection));
+    }
+
+    // Fresh instance: same policy configuration, zero history. Restore
+    // every stream through the actual wire blob, then align the round
+    // clock as the migration path does.
+    let mut fresh = trained_gate(11);
+    for i in 0..m {
+        let blob = original.export_stream(i).to_wire();
+        let ctx = StreamContext::from_wire(&blob).expect("wire blob round-trips");
+        fresh.import_stream(&ctx);
+    }
+    fresh.align_round(original.rounds_started());
+
+    for round in 40..80u64 {
+        let ctxs = candidates(round);
+        let a = original.select(round, &ctxs, budget);
+        let b = fresh.select(round, &ctxs, budget);
+        assert_eq!(
+            a, b,
+            "round {round}: restored instance diverged from the original"
+        );
+        original.feedback(&feedback(round, &a));
+        fresh.feedback(&feedback(round, &b));
+    }
+}
+
+/// Live cluster parity: N=2 instances see exactly the content one giant
+/// gate sees (same seeds via `stream_seed_offset`), and under the same
+/// total budget the cluster keep-rate stays within a couple of points of
+/// the giant gate's.
+#[test]
+fn live_cluster_keep_rate_matches_one_giant_gate() {
+    let m = 32usize;
+    let rounds = 60u64;
+    let budget = 32.0f64;
+    let work = DecodeWorkModel {
+        iters_per_unit: 0,
+        ..DecodeWorkModel::default()
+    };
+
+    let single = ConcurrentPipeline::new(ConcurrentConfig {
+        streams: m,
+        rounds,
+        decode_workers: 1,
+        parser_shards: 1,
+        budget_per_round: budget,
+        task: TaskKind::PersonCounting,
+        work,
+        seed: 9,
+        ..ConcurrentConfig::default()
+    })
+    .run(&mut DecodeAll);
+
+    let cluster = ClusterPipeline::new(ClusterConfig {
+        instances: 2,
+        streams: m,
+        rounds,
+        budget_total: budget,
+        decode_workers: 1,
+        parser_shards: 1,
+        task: TaskKind::PersonCounting,
+        work,
+        seed: 9,
+        reallocate: false, // static split for the parity comparison
+        ..ClusterConfig::default()
+    })
+    .run(vec![Box::new(DecodeAll), Box::new(DecodeAll)]);
+
+    // Content parity: the partitioned fleet parses exactly the bytes the
+    // giant gate does — stream i is seeded identically on both sides.
+    assert_eq!(cluster.packets_parsed(), single.packets_parsed);
+    let cluster_bytes: u64 = cluster.instances.iter().map(|r| r.bytes_parsed).sum();
+    assert_eq!(cluster_bytes, single.bytes_parsed);
+
+    let single_keep = single.packets_decoded as f64 / single.packets_parsed as f64;
+    let delta = (cluster.keep_rate() - single_keep).abs();
+    assert!(
+        delta < 0.05,
+        "cluster keep {:.4} vs giant gate {single_keep:.4} (Δ {delta:.4})",
+        cluster.keep_rate()
+    );
+    assert!(single_keep < 1.0, "the budget must actually bind");
+}
